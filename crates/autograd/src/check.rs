@@ -1,0 +1,56 @@
+//! Finite-difference gradient checking, used throughout the test suites of
+//! this crate and of `fedomd-nn` to validate every analytic backward rule.
+
+use fedomd_tensor::Matrix;
+
+/// Checks `analytic ≈ ∂f/∂x` by central differences.
+///
+/// For every element, perturbs `x` by `±eps` and compares the slope with the
+/// analytic gradient using a mixed absolute/relative tolerance. Panics with
+/// a located message on the first mismatch — intended for tests.
+pub fn finite_diff_check(
+    f: impl Fn(&Matrix) -> f32,
+    x: &Matrix,
+    analytic: &Matrix,
+    eps: f32,
+    tol: f32,
+) {
+    assert_eq!(x.shape(), analytic.shape(), "finite_diff_check: shape mismatch");
+    let (rows, cols) = x.shape();
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut xp = x.clone();
+            xp[(r, c)] += eps;
+            let mut xm = x.clone();
+            xm[(r, c)] -= eps;
+            let numeric = (f(&xp) - f(&xm)) / (2.0 * eps);
+            let a = analytic[(r, c)];
+            let scale = 1.0f32.max(a.abs()).max(numeric.abs());
+            assert!(
+                (numeric - a).abs() <= tol * scale,
+                "gradient mismatch at ({r},{c}): numeric {numeric} vs analytic {a} (tol {tol})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_correct_gradient_of_quadratic() {
+        // f(x) = Σ x², ∂f/∂x = 2x.
+        let x = Matrix::from_vec(2, 2, vec![1.0, -2.0, 0.5, 3.0]);
+        let grad = x.map(|v| 2.0 * v);
+        finite_diff_check(|m| m.as_slice().iter().map(|v| v * v).sum(), &x, &grad, 1e-3, 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn rejects_wrong_gradient() {
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let wrong = x.map(|v| 3.0 * v);
+        finite_diff_check(|m| m.as_slice().iter().map(|v| v * v).sum(), &x, &wrong, 1e-3, 1e-3);
+    }
+}

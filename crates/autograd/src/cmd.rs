@@ -1,0 +1,292 @@
+//! The Central Moment Discrepancy distance (paper Eq. 11) and its analytic
+//! gradient with respect to the client's hidden representation.
+//!
+//! For a client activation matrix `Z` (`n × d`) with column means
+//! `m = E(Z)` and central moments `C_j = E[(Z − m)^j]`, and server targets
+//! `(M, S_2..S_J)` obtained from the two-round protocol, the distance is
+//!
+//! ```text
+//! d_CMD = (1/w)‖m − M‖₂ + Σ_{j=2}^{J} (1/w^j) ‖C_j − S_j‖₂
+//! ```
+//!
+//! with `w = b − a` the assumed activation range. The gradient through both
+//! the mean and each central moment is analytic:
+//!
+//! ```text
+//! ∂d/∂Z[r,c] = (1/w)·u_c/n
+//!            + Σ_j (1/w^j)·v_{j,c}·(j/n)·((Z[r,c] − m_c)^{j−1} − C_{j−1,c})
+//! ```
+//!
+//! where `u = (m − M)/‖m − M‖`, `v_j = (C_j − S_j)/‖C_j − S_j‖` (taken as 0
+//! at the non-differentiable origin), and `C_1 = 0` by definition.
+
+use fedomd_tensor::stats::{central_moments, column_means, l2_distance};
+use fedomd_tensor::Matrix;
+use rayon::prelude::*;
+
+/// Server-side CMD targets for one hidden layer: the global mean `M` and
+/// the global central moments `S_j` for `j = 2..=max_order`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CmdTargets {
+    /// Global column mean `M` (length `d`).
+    pub mean: Vec<f32>,
+    /// `moments[j - 2]` is the order-`j` global central moment (length `d`).
+    pub moments: Vec<Vec<f32>>,
+}
+
+impl CmdTargets {
+    /// Highest moment order carried (the paper uses 5).
+    pub fn max_order(&self) -> u32 {
+        self.moments.len() as u32 + 1
+    }
+
+    /// Targets computed from a single matrix (used by tests: the CMD of `Z`
+    /// against its own targets must be zero).
+    pub fn from_matrix(z: &Matrix, max_order: u32) -> Self {
+        assert!(max_order >= 2);
+        let mean = column_means(z);
+        let moments =
+            (2..=max_order).map(|j| central_moments(z, &mean, j)).collect();
+        Self { mean, moments }
+    }
+}
+
+/// Forward value of the CMD distance for one layer.
+///
+/// # Panics
+/// Panics when dimensions disagree or `width <= 0`.
+pub fn cmd_value(z: &Matrix, targets: &CmdTargets, width: f32) -> f32 {
+    cmd_value_weighted(z, targets, width, 1.0)
+}
+
+/// [`cmd_value`] with the first (mean-alignment) term of Eq. 11 scaled by
+/// `mean_scale`. `mean_scale = 1` is the paper's distance; `0` keeps only
+/// the order-≥2 shape terms — an ablation of which Eq. 11 component the
+/// constraint's effect comes from.
+pub fn cmd_value_weighted(z: &Matrix, targets: &CmdTargets, width: f32, mean_scale: f32) -> f32 {
+    assert!(width > 0.0, "cmd_value: width must be positive");
+    assert_eq!(targets.mean.len(), z.cols(), "cmd_value: dimension mismatch");
+    let m = column_means(z);
+    let mut total = mean_scale * l2_distance(&m, &targets.mean) / width;
+    let mut wj = width;
+    for (idx, s_j) in targets.moments.iter().enumerate() {
+        let j = idx as u32 + 2;
+        wj *= width;
+        let c_j = central_moments(z, &m, j);
+        total += l2_distance(&c_j, s_j) / wj;
+    }
+    total
+}
+
+/// Gradient of `gout * cmd_value(z, targets, width)` with respect to `z`.
+pub fn cmd_grad(z: &Matrix, targets: &CmdTargets, width: f32, gout: f32) -> Matrix {
+    cmd_grad_weighted(z, targets, width, gout, 1.0)
+}
+
+/// Gradient counterpart of [`cmd_value_weighted`].
+pub fn cmd_grad_weighted(
+    z: &Matrix,
+    targets: &CmdTargets,
+    width: f32,
+    gout: f32,
+    mean_scale: f32,
+) -> Matrix {
+    assert!(width > 0.0, "cmd_grad: width must be positive");
+    let (n, d) = z.shape();
+    let mut grad = Matrix::zeros(n, d);
+    if n == 0 {
+        return grad;
+    }
+    let max_order = targets.max_order();
+    let m = column_means(z);
+
+    // Central moments C_1..C_J about the local mean. C_1 is identically 0
+    // but participates in the j = 2 gradient term, so keep the slot.
+    let mut c: Vec<Vec<f32>> = Vec::with_capacity(max_order as usize);
+    c.push(vec![0.0; d]);
+    for j in 2..=max_order {
+        c.push(central_moments(z, &m, j));
+    }
+
+    // Unit direction for the mean term.
+    let mean_norm = l2_distance(&m, &targets.mean);
+    let u: Vec<f32> = if mean_norm > 0.0 {
+        m.iter().zip(&targets.mean).map(|(a, b)| (a - b) / mean_norm).collect()
+    } else {
+        vec![0.0; d]
+    };
+
+    // Unit directions and weights for each moment term.
+    let mut v: Vec<Vec<f32>> = Vec::with_capacity(max_order as usize - 1);
+    let mut coef: Vec<f32> = Vec::with_capacity(max_order as usize - 1);
+    let mut wj = width;
+    for (idx, s_j) in targets.moments.iter().enumerate() {
+        let c_j = &c[idx + 1]; // order j = idx + 2, slot j - 1 = idx + 1
+        wj *= width;
+        let norm = l2_distance(c_j, s_j);
+        if norm > 0.0 {
+            v.push(c_j.iter().zip(s_j).map(|(a, b)| (a - b) / norm).collect());
+        } else {
+            v.push(vec![0.0; d]);
+        }
+        coef.push(1.0 / wj);
+    }
+
+    let inv_n = 1.0 / n as f32;
+    let z_data = z.as_slice();
+    let mean_coef = mean_scale * gout / width;
+    grad.as_mut_slice()
+        .par_chunks_mut(d)
+        .enumerate()
+        .for_each(|(r, grow)| {
+            let zrow = &z_data[r * d..(r + 1) * d];
+            for col in 0..d {
+                let diff = zrow[col] - m[col];
+                let mut g = mean_coef * u[col] * inv_n;
+                // powers (Z - m)^{j-1}: start at j = 2 -> power 1.
+                let mut p = diff;
+                for (idx, vj) in v.iter().enumerate() {
+                    let j = (idx + 2) as f32;
+                    let c_prev = c[idx][col]; // C_{j-1}
+                    g += gout * coef[idx] * vj[col] * j * inv_n * (p - c_prev);
+                    p *= diff;
+                }
+                grow[col] += g;
+            }
+        });
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::finite_diff_check;
+    use fedomd_tensor::rng::seeded;
+
+    fn z(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = seeded(seed);
+        fedomd_tensor::init::standard_normal(rows, cols, &mut rng).map(|v| v * 0.5)
+    }
+
+    fn targets(seed: u64, cols: usize) -> CmdTargets {
+        CmdTargets::from_matrix(&z(23, cols, seed), 5)
+    }
+
+    #[test]
+    fn distance_to_own_targets_is_zero() {
+        let a = z(17, 6, 1);
+        let t = CmdTargets::from_matrix(&a, 5);
+        assert!(cmd_value(&a, &t, 1.0) < 1e-5);
+    }
+
+    #[test]
+    fn distance_is_nonnegative_and_detects_shift() {
+        let a = z(17, 6, 2);
+        let shifted = a.map(|v| v + 1.0);
+        let t = CmdTargets::from_matrix(&a, 5);
+        assert!(cmd_value(&shifted, &t, 1.0) > 0.5);
+    }
+
+    #[test]
+    fn width_downweights_higher_moments() {
+        // With a larger width the same discrepancy costs less.
+        let a = z(20, 4, 3);
+        let t = targets(4, 4);
+        let d1 = cmd_value(&a, &t, 1.0);
+        let d5 = cmd_value(&a, &t, 5.0);
+        assert!(d5 < d1);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let a = z(9, 4, 5);
+        let t = targets(6, 4);
+        let analytic = cmd_grad(&a, &t, 1.0, 1.0);
+        finite_diff_check(|m| cmd_value(m, &t, 1.0), &a, &analytic, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn gradient_with_nonunit_width_and_gout() {
+        let a = z(7, 3, 8);
+        let t = targets(9, 3);
+        let gout = 2.5;
+        let width = 2.0;
+        let analytic = cmd_grad(&a, &t, width, gout);
+        finite_diff_check(|m| gout * cmd_value(m, &t, width), &a, &analytic, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn gradient_at_own_targets_is_finite() {
+        // At the minimum all norms are ~0; the subgradient must be 0/finite,
+        // not NaN.
+        let a = z(11, 4, 10);
+        let t = CmdTargets::from_matrix(&a, 5);
+        let g = cmd_grad(&a, &t, 1.0, 1.0);
+        assert!(g.all_finite());
+        assert!(g.max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn gradient_descends_the_distance() {
+        let mut a = z(15, 5, 11);
+        let t = targets(12, 5);
+        let before = cmd_value(&a, &t, 1.0);
+        for _ in 0..200 {
+            let g = cmd_grad(&a, &t, 1.0, 1.0);
+            fedomd_tensor::ops::axpy(&mut a, -0.05, &g);
+        }
+        let after = cmd_value(&a, &t, 1.0);
+        assert!(
+            after.is_finite() && after < before * 0.8,
+            "descent failed: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn max_order_respected() {
+        let t = CmdTargets::from_matrix(&z(9, 3, 13), 3);
+        assert_eq!(t.max_order(), 3);
+        assert_eq!(t.moments.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let a = z(4, 2, 14);
+        let t = targets(15, 2);
+        let _ = cmd_value(&a, &t, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod weighted_tests {
+    use super::*;
+    use crate::check::finite_diff_check;
+    use fedomd_tensor::rng::seeded;
+
+    #[test]
+    fn weighted_gradient_matches_finite_differences() {
+        let mut rng = seeded(31);
+        let z = fedomd_tensor::init::standard_normal(9, 4, &mut rng).map(|v| v * 0.5);
+        let t = CmdTargets::from_matrix(
+            &fedomd_tensor::init::standard_normal(11, 4, &mut seeded(32)).map(|v| v * 0.5),
+            5,
+        );
+        for ms in [0.0f32, 0.1, 0.7] {
+            let g = cmd_grad_weighted(&z, &t, 1.0, 1.0, ms);
+            finite_diff_check(|m| cmd_value_weighted(m, &t, 1.0, ms), &z, &g, 1e-3, 2e-2);
+        }
+    }
+
+    #[test]
+    fn zero_mean_scale_ignores_mean_shift() {
+        let mut rng = seeded(33);
+        let z = fedomd_tensor::init::standard_normal(20, 3, &mut rng);
+        let t = CmdTargets::from_matrix(&z, 5);
+        // Shifting z changes the mean but not the central moments, so with
+        // mean_scale = 0 the distance stays ~0.
+        let shifted = z.map(|v| v + 3.0);
+        assert!(cmd_value_weighted(&shifted, &t, 1.0, 0.0) < 1e-4);
+        assert!(cmd_value_weighted(&shifted, &t, 1.0, 1.0) > 1.0);
+    }
+}

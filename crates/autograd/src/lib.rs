@@ -1,0 +1,27 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! This crate replaces the autograd engine of the framework the paper runs
+//! on. A [`Tape`] records a DAG of matrix operations executed eagerly
+//! (values are computed at record time); [`Tape::backward`] then walks the
+//! tape in reverse, accumulating gradients into every parameter node.
+//!
+//! The op set is exactly what the paper's models and losses need:
+//! dense/sparse products, bias broadcast, ReLU, softmax cross-entropy over
+//! masked node sets, the orthogonality penalty `‖WWᵀ − I‖_F` (paper Eq. 6),
+//! the CMD distance (paper Eq. 11) with analytic gradients through the
+//! client-side means and central moments, and the proximal penalty used by
+//! the FedProx baseline.
+//!
+//! Design notes: nodes are addressed by index ([`Var`] is `Copy`), so the
+//! tape is `Send` and each simulated client can differentiate on its own
+//! rayon worker with zero shared state.
+
+pub mod check;
+pub mod cmd;
+pub mod tape;
+
+pub use cmd::CmdTargets;
+pub use tape::{Tape, Var};
+
+#[cfg(test)]
+mod proptests;

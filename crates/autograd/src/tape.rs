@@ -1,0 +1,731 @@
+//! The recording tape: eager forward evaluation plus reverse-mode backward.
+
+use std::sync::Arc;
+
+use fedomd_sparse::Csr;
+use fedomd_tensor::activation::{relu, relu_backward, softmax_rows};
+use fedomd_tensor::gemm::{matmul, matmul_nt, matmul_tn};
+use fedomd_tensor::ops::{add_row_broadcast, axpy};
+use fedomd_tensor::Matrix;
+
+use crate::cmd::{cmd_grad_weighted, cmd_value_weighted, CmdTargets};
+
+/// Handle to a node on a [`Tape`]. Cheap to copy; only meaningful for the
+/// tape that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+enum Op {
+    /// Input or parameter; no backward propagation beyond gradient storage.
+    Leaf,
+    /// `C = A · B`.
+    MatMul(usize, usize),
+    /// `Y = S · X` for a constant sparse `S`.
+    SpMM(Arc<Csr>, usize),
+    /// `C = A + alpha · B` (same shapes).
+    AddScaled(usize, usize, f32),
+    /// Row-broadcast bias add: `Y = X + 1·bᵀ`, `b` is `1 × cols`.
+    AddBias(usize, usize),
+    /// Element-wise `max(0, x)`.
+    Relu(usize),
+    /// `alpha · x`.
+    Scale(usize, f32),
+    /// Element-wise product with a constant mask (dropout).
+    MaskMul(usize, Matrix),
+    /// Mean softmax cross-entropy over `mask` rows of the logits.
+    SoftmaxCrossEntropy { logits: usize, probs: Matrix, labels: Vec<usize>, mask: Vec<usize> },
+    /// `‖WWᵀ − I‖_F` (paper Eq. 6, one layer's term).
+    OrthoPenalty(usize),
+    /// CMD distance of the activations against server targets (Eq. 11);
+    /// `mean_scale` scales the first (mean) term (1 = the paper's Eq. 11).
+    Cmd { z: usize, targets: CmdTargets, width: f32, mean_scale: f32 },
+    /// `0.5 ‖W − T‖_F²` against a constant target (FedProx proximal term).
+    SqDiff(usize, Matrix),
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// A gradient tape. Create one per optimisation step, record the forward
+/// computation through its methods, call [`Tape::backward`], then read
+/// parameter gradients with [`Tape::grad`].
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node { value, op, requires_grad });
+        self.grads.push(None);
+        Var(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Records a constant (no gradient tracked).
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// Records a trainable parameter (gradient accumulated on backward).
+    pub fn param(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The scalar value of a `1 × 1` node.
+    ///
+    /// # Panics
+    /// Panics when the node is not `1 × 1`.
+    pub fn scalar(&self, v: Var) -> f32 {
+        let m = self.value(v);
+        assert_eq!(m.shape(), (1, 1), "scalar: node is {:?}", m.shape());
+        m[(0, 0)]
+    }
+
+    /// The accumulated gradient of a node, if any was propagated.
+    pub fn grad(&self, v: Var) -> Option<&Matrix> {
+        self.grads[v.0].as_ref()
+    }
+
+    /// `C = A · B`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = matmul(self.value(a), self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::MatMul(a.0, b.0), rg)
+    }
+
+    /// `Y = S · X` with a constant sparse operator (graph propagation).
+    pub fn spmm(&mut self, s: Arc<Csr>, x: Var) -> Var {
+        let value = s.spmm(self.value(x));
+        let rg = self.rg(x);
+        self.push(value, Op::SpMM(s, x.0), rg)
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        self.add_scaled(a, b, 1.0)
+    }
+
+    /// `a + alpha · b` (shapes must match). The workhorse for combining the
+    /// paper's three loss terms (Eq. 12).
+    pub fn add_scaled(&mut self, a: Var, b: Var, alpha: f32) -> Var {
+        assert_eq!(
+            self.value(a).shape(),
+            self.value(b).shape(),
+            "add_scaled: shape mismatch"
+        );
+        let mut value = self.value(a).clone();
+        axpy(&mut value, alpha, self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::AddScaled(a.0, b.0, alpha), rg)
+    }
+
+    /// Adds a `1 × cols` bias row to every row of `x`.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        assert_eq!(self.value(bias).rows(), 1, "add_bias: bias must be 1 x cols");
+        assert_eq!(
+            self.value(x).cols(),
+            self.value(bias).cols(),
+            "add_bias: width mismatch"
+        );
+        let mut value = self.value(x).clone();
+        add_row_broadcast(&mut value, self.value(bias).row(0));
+        let rg = self.rg(x) || self.rg(bias);
+        self.push(value, Op::AddBias(x.0, bias.0), rg)
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let value = relu(self.value(x));
+        let rg = self.rg(x);
+        self.push(value, Op::Relu(x.0), rg)
+    }
+
+    /// `alpha · x`.
+    pub fn scale(&mut self, x: Var, alpha: f32) -> Var {
+        let value = fedomd_tensor::ops::scale(self.value(x), alpha);
+        let rg = self.rg(x);
+        self.push(value, Op::Scale(x.0, alpha), rg)
+    }
+
+    /// Element-wise product with a fixed 0/`1/keep` mask (inverted dropout).
+    /// The caller supplies the mask so that randomness stays seeded.
+    pub fn mask_mul(&mut self, x: Var, mask: Matrix) -> Var {
+        assert_eq!(self.value(x).shape(), mask.shape(), "mask_mul: shape mismatch");
+        let value = fedomd_tensor::ops::hadamard(self.value(x), &mask);
+        let rg = self.rg(x);
+        self.push(value, Op::MaskMul(x.0, mask), rg)
+    }
+
+    /// Mean softmax cross-entropy of `logits` rows listed in `mask` against
+    /// integer `labels` (`labels.len() == logits.rows()`). Returns a scalar
+    /// node. This is the `CE(Z^l, Y)` of the paper's Eq. 12, restricted to
+    /// the training mask.
+    ///
+    /// # Panics
+    /// Panics when `mask` is empty or an index/label is out of range.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize], mask: &[usize]) -> Var {
+        let lm = self.value(logits);
+        let (n, k) = lm.shape();
+        assert_eq!(labels.len(), n, "softmax_cross_entropy: labels length mismatch");
+        assert!(!mask.is_empty(), "softmax_cross_entropy: empty mask");
+        let probs = softmax_rows(lm);
+        let mut loss = 0.0f64;
+        for &r in mask {
+            assert!(r < n, "mask row {r} out of bounds");
+            let y = labels[r];
+            assert!(y < k, "label {y} out of bounds for {k} classes");
+            loss -= (probs[(r, y)].max(1e-12) as f64).ln();
+        }
+        let value = Matrix::from_vec(1, 1, vec![(loss / mask.len() as f64) as f32]);
+        let rg = self.rg(logits);
+        self.push(
+            value,
+            Op::SoftmaxCrossEntropy {
+                logits: logits.0,
+                probs,
+                labels: labels.to_vec(),
+                mask: mask.to_vec(),
+            },
+            rg,
+        )
+    }
+
+    /// Orthogonality penalty `‖WWᵀ − I‖_F` (one term of paper Eq. 6).
+    pub fn ortho_penalty(&mut self, w: Var) -> Var {
+        let wm = self.value(w);
+        let a = residual_wwt_minus_i(wm);
+        let value = Matrix::from_vec(1, 1, vec![a.frobenius_norm()]);
+        let rg = self.rg(w);
+        self.push(value, Op::OrthoPenalty(w.0), rg)
+    }
+
+    /// CMD distance of activations `z` to server `targets` (paper Eq. 11).
+    pub fn cmd_loss(&mut self, z: Var, targets: &CmdTargets, width: f32) -> Var {
+        self.cmd_loss_weighted(z, targets, width, 1.0)
+    }
+
+    /// [`Tape::cmd_loss`] with the mean-alignment term scaled by
+    /// `mean_scale` (component ablation; 1.0 reproduces Eq. 11).
+    pub fn cmd_loss_weighted(
+        &mut self,
+        z: Var,
+        targets: &CmdTargets,
+        width: f32,
+        mean_scale: f32,
+    ) -> Var {
+        let value = Matrix::from_vec(
+            1,
+            1,
+            vec![cmd_value_weighted(self.value(z), targets, width, mean_scale)],
+        );
+        let rg = self.rg(z);
+        self.push(value, Op::Cmd { z: z.0, targets: targets.clone(), width, mean_scale }, rg)
+    }
+
+    /// Proximal penalty `0.5‖W − T‖_F²` against a constant target (FedProx).
+    pub fn sq_diff(&mut self, w: Var, target: &Matrix) -> Var {
+        assert_eq!(self.value(w).shape(), target.shape(), "sq_diff: shape mismatch");
+        let d = fedomd_tensor::ops::sq_distance(self.value(w), target);
+        let value = Matrix::from_vec(1, 1, vec![0.5 * d]);
+        let rg = self.rg(w);
+        self.push(value, Op::SqDiff(w.0, target.clone()), rg)
+    }
+
+    /// Runs reverse-mode accumulation from the scalar node `loss`.
+    ///
+    /// Gradients of earlier backward calls are cleared. May be called on any
+    /// `1 × 1` node.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward: loss must be a scalar node"
+        );
+        for g in &mut self.grads {
+            *g = None;
+        }
+        self.grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for i in (0..self.nodes.len()).rev() {
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            let Some(g) = self.grads[i].take() else { continue };
+            self.propagate(i, &g);
+            self.grads[i] = Some(g);
+        }
+    }
+
+    fn accumulate(&mut self, idx: usize, delta: Matrix) {
+        if !self.nodes[idx].requires_grad {
+            return;
+        }
+        match &mut self.grads[idx] {
+            Some(g) => axpy(g, 1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn propagate(&mut self, i: usize, g: &Matrix) {
+        // Taking op details by value/borrow split: compute deltas first,
+        // then accumulate.
+        match &self.nodes[i].op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                let (a, b) = (*a, *b);
+                let da = if self.nodes[a].requires_grad {
+                    Some(matmul_nt(g, &self.nodes[b].value))
+                } else {
+                    None
+                };
+                let db = if self.nodes[b].requires_grad {
+                    Some(matmul_tn(&self.nodes[a].value, g))
+                } else {
+                    None
+                };
+                if let Some(d) = da {
+                    self.accumulate(a, d);
+                }
+                if let Some(d) = db {
+                    self.accumulate(b, d);
+                }
+            }
+            Op::SpMM(s, x) => {
+                let x = *x;
+                if self.nodes[x].requires_grad {
+                    let d = s.transpose().spmm(g);
+                    self.accumulate(x, d);
+                }
+            }
+            Op::AddScaled(a, b, alpha) => {
+                let (a, b, alpha) = (*a, *b, *alpha);
+                self.accumulate(a, g.clone());
+                self.accumulate(b, fedomd_tensor::ops::scale(g, alpha));
+            }
+            Op::AddBias(x, bias) => {
+                let (x, bias) = (*x, *bias);
+                self.accumulate(x, g.clone());
+                if self.nodes[bias].requires_grad {
+                    let cols = g.cols();
+                    let mut db = Matrix::zeros(1, cols);
+                    for row in g.as_slice().chunks(cols) {
+                        for (d, &v) in db.as_mut_slice().iter_mut().zip(row) {
+                            *d += v;
+                        }
+                    }
+                    self.accumulate(bias, db);
+                }
+            }
+            Op::Relu(x) => {
+                let x = *x;
+                let d = relu_backward(&self.nodes[x].value, g);
+                self.accumulate(x, d);
+            }
+            Op::Scale(x, alpha) => {
+                let (x, alpha) = (*x, *alpha);
+                self.accumulate(x, fedomd_tensor::ops::scale(g, alpha));
+            }
+            Op::MaskMul(x, mask) => {
+                let x = *x;
+                let d = fedomd_tensor::ops::hadamard(g, mask);
+                self.accumulate(x, d);
+            }
+            Op::SoftmaxCrossEntropy { logits, probs, labels, mask } => {
+                let logits = *logits;
+                let gout = g[(0, 0)];
+                let scale = gout / mask.len() as f32;
+                let mut d = Matrix::zeros(probs.rows(), probs.cols());
+                for &r in mask {
+                    let y = labels[r];
+                    let drow = d.row_mut(r);
+                    for (c, dv) in drow.iter_mut().enumerate() {
+                        let p = probs[(r, c)];
+                        *dv = scale * (p - if c == y { 1.0 } else { 0.0 });
+                    }
+                }
+                self.accumulate(logits, d);
+            }
+            Op::OrthoPenalty(w) => {
+                let w = *w;
+                let gout = g[(0, 0)];
+                let wm = &self.nodes[w].value;
+                let a = residual_wwt_minus_i(wm);
+                let norm = a.frobenius_norm();
+                if norm > 1e-12 {
+                    // d‖A‖_F/dW = 2 A W / ‖A‖_F with A = WWᵀ − I (symmetric).
+                    let mut d = matmul(&a, wm);
+                    d.map_inplace(|v| v * 2.0 * gout / norm);
+                    self.accumulate(w, d);
+                }
+            }
+            Op::Cmd { z, targets, width, mean_scale } => {
+                let z = *z;
+                let gout = g[(0, 0)];
+                let d = cmd_grad_weighted(&self.nodes[z].value, targets, *width, gout, *mean_scale);
+                self.accumulate(z, d);
+            }
+            Op::SqDiff(w, target) => {
+                let w = *w;
+                let gout = g[(0, 0)];
+                let mut d = fedomd_tensor::ops::sub(&self.nodes[w].value, target);
+                d.map_inplace(|v| v * gout);
+                self.accumulate(w, d);
+            }
+        }
+    }
+}
+
+/// `A = WWᵀ − I` for the orthogonality penalty.
+fn residual_wwt_minus_i(w: &Matrix) -> Matrix {
+    let mut a = matmul_nt(w, w);
+    let n = a.rows();
+    for i in 0..n {
+        a[(i, i)] -= 1.0;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::finite_diff_check;
+    use crate::cmd::{cmd_grad, cmd_value};
+    use fedomd_tensor::rng::seeded;
+
+    fn randm(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = seeded(seed);
+        fedomd_tensor::init::standard_normal(rows, cols, &mut rng).map(|v| v * 0.4)
+    }
+
+    /// Builds a scalar loss as sum of all elements via matmul with ones.
+    fn sum_to_scalar(t: &mut Tape, v: Var) -> Var {
+        let (r, c) = t.value(v).shape();
+        let left = t.constant(Matrix::full(1, r, 1.0));
+        let right = t.constant(Matrix::full(c, 1, 1.0));
+        let tmp = t.matmul(left, v);
+        t.matmul(tmp, right)
+    }
+
+    #[test]
+    fn matmul_gradients_match_fd() {
+        let a0 = randm(4, 3, 1);
+        let b0 = randm(3, 5, 2);
+        let mut t = Tape::new();
+        let a = t.param(a0.clone());
+        let b = t.param(b0.clone());
+        let c = t.matmul(a, b);
+        let loss = sum_to_scalar(&mut t, c);
+        t.backward(loss);
+        let ga = t.grad(a).unwrap().clone();
+        let gb = t.grad(b).unwrap().clone();
+
+        finite_diff_check(
+            |m| {
+                let mut t = Tape::new();
+                let a = t.param(m.clone());
+                let b = t.constant(b0.clone());
+                let c = t.matmul(a, b);
+                let l = sum_to_scalar(&mut t, c);
+                t.scalar(l)
+            },
+            &a0,
+            &ga,
+            1e-3,
+            1e-2,
+        );
+        finite_diff_check(
+            |m| {
+                let mut t = Tape::new();
+                let a = t.constant(a0.clone());
+                let b = t.param(m.clone());
+                let c = t.matmul(a, b);
+                let l = sum_to_scalar(&mut t, c);
+                t.scalar(l)
+            },
+            &b0,
+            &gb,
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn relu_and_bias_gradients_match_fd() {
+        let x0 = randm(5, 4, 3);
+        let b0 = randm(1, 4, 4);
+        let run = |xm: &Matrix, bm: &Matrix, grads: bool| -> (f32, Option<(Matrix, Matrix)>) {
+            let mut t = Tape::new();
+            let x = t.param(xm.clone());
+            let b = t.param(bm.clone());
+            let h = t.add_bias(x, b);
+            let h = t.relu(h);
+            let l = sum_to_scalar(&mut t, h);
+            if grads {
+                t.backward(l);
+                let gx = t.grad(x).unwrap().clone();
+                let gb = t.grad(b).unwrap().clone();
+                (t.scalar(l), Some((gx, gb)))
+            } else {
+                (t.scalar(l), None)
+            }
+        };
+        let (_, g) = run(&x0, &b0, true);
+        let (gx, gb) = g.unwrap();
+        finite_diff_check(|m| run(m, &b0, false).0, &x0, &gx, 1e-3, 2e-2);
+        finite_diff_check(|m| run(&x0, m, false).0, &b0, &gb, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn spmm_gradient_matches_fd() {
+        let s = Arc::new(fedomd_sparse::normalized_adjacency(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]));
+        let x0 = randm(5, 3, 5);
+        let run = |xm: &Matrix| {
+            let mut t = Tape::new();
+            let x = t.param(xm.clone());
+            let y = t.spmm(s.clone(), x);
+            let l = sum_to_scalar(&mut t, y);
+            (t, x, l)
+        };
+        let (mut t, x, l) = run(&x0);
+        t.backward(l);
+        let gx = t.grad(x).unwrap().clone();
+        finite_diff_check(
+            |m| {
+                let (t, _, l) = run(m);
+                t.scalar(l)
+            },
+            &x0,
+            &gx,
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_fd() {
+        let logits0 = randm(6, 3, 7);
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let mask = vec![0, 2, 4, 5];
+        let run = |m: &Matrix| {
+            let mut t = Tape::new();
+            let lg = t.param(m.clone());
+            let l = t.softmax_cross_entropy(lg, &labels, &mask);
+            (t, lg, l)
+        };
+        let (mut t, lg, l) = run(&logits0);
+        t.backward(l);
+        let g = t.grad(lg).unwrap().clone();
+        finite_diff_check(
+            |m| {
+                let (t, _, l) = run(m);
+                t.scalar(l)
+            },
+            &logits0,
+            &g,
+            1e-3,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn cross_entropy_value_is_log_k_at_uniform_logits() {
+        let mut t = Tape::new();
+        let lg = t.param(Matrix::zeros(4, 5));
+        let labels = vec![0, 1, 2, 3];
+        let l = t.softmax_cross_entropy(lg, &labels, &[0, 1, 2, 3]);
+        assert!((t.scalar(l) - (5.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ortho_penalty_gradient_matches_fd() {
+        let w0 = randm(4, 6, 8);
+        let run = |m: &Matrix| {
+            let mut t = Tape::new();
+            let w = t.param(m.clone());
+            let l = t.ortho_penalty(w);
+            (t, w, l)
+        };
+        let (mut t, w, l) = run(&w0);
+        t.backward(l);
+        let g = t.grad(w).unwrap().clone();
+        finite_diff_check(
+            |m| {
+                let (t, _, l) = run(m);
+                t.scalar(l)
+            },
+            &w0,
+            &g,
+            1e-3,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn ortho_penalty_is_zero_for_orthonormal_rows() {
+        // Rows of the identity are orthonormal: WWᵀ = I.
+        let mut t = Tape::new();
+        let w = t.param(Matrix::identity(3));
+        let l = t.ortho_penalty(w);
+        assert!(t.scalar(l) < 1e-6);
+        t.backward(l);
+        // Zero-norm residual: subgradient is zero (no grad accumulated or zero).
+        if let Some(g) = t.grad(w) {
+            assert!(g.max_abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sq_diff_gradient_is_w_minus_target() {
+        let w0 = randm(3, 3, 9);
+        let target = randm(3, 3, 10);
+        let mut t = Tape::new();
+        let w = t.param(w0.clone());
+        let l = t.sq_diff(w, &target);
+        t.backward(l);
+        let g = t.grad(w).unwrap();
+        g.assert_close(&fedomd_tensor::ops::sub(&w0, &target), 1e-5);
+    }
+
+    #[test]
+    fn cmd_loss_through_tape_matches_direct() {
+        let z0 = randm(8, 4, 11);
+        let targets = CmdTargets::from_matrix(&randm(10, 4, 12), 5);
+        let mut t = Tape::new();
+        let z = t.param(z0.clone());
+        let l = t.cmd_loss(z, &targets, 1.0);
+        assert!((t.scalar(l) - cmd_value(&z0, &targets, 1.0)).abs() < 1e-6);
+        t.backward(l);
+        t.grad(z)
+            .unwrap()
+            .assert_close(&cmd_grad(&z0, &targets, 1.0, 1.0), 1e-5);
+    }
+
+    #[test]
+    fn fan_out_accumulates_gradients() {
+        // y = x + x  =>  dy/dx = 2.
+        let mut t = Tape::new();
+        let x = t.param(Matrix::from_vec(1, 1, vec![3.0]));
+        let y = t.add(x, x);
+        t.backward(y);
+        assert_eq!(t.grad(x).unwrap()[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn constants_get_no_gradient() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_vec(1, 1, vec![2.0]));
+        let w = t.param(Matrix::from_vec(1, 1, vec![4.0]));
+        let y = t.matmul(x, w);
+        t.backward(y);
+        assert!(t.grad(x).is_none());
+        assert!(t.grad(w).is_some());
+    }
+
+    #[test]
+    fn mask_mul_routes_gradient_through_mask() {
+        let mut t = Tape::new();
+        let x = t.param(Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let mask = Matrix::from_vec(1, 3, vec![2.0, 0.0, 2.0]);
+        let y = t.mask_mul(x, mask);
+        let l = sum_to_scalar(&mut t, y);
+        t.backward(l);
+        assert_eq!(t.grad(x).unwrap().as_slice(), &[2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_chain_rule() {
+        let mut t = Tape::new();
+        let x = t.param(Matrix::from_vec(1, 1, vec![5.0]));
+        let y = t.scale(x, -3.0);
+        t.backward(y);
+        assert_eq!(t.grad(x).unwrap()[(0, 0)], -3.0);
+    }
+
+    #[test]
+    fn two_layer_gcn_like_graph_end_to_end_fd() {
+        // ReLU(Ŝ X W0) W1 -> CE: the exact shape of the paper's local model.
+        let s = Arc::new(fedomd_sparse::normalized_adjacency(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        ));
+        let x0 = randm(6, 4, 20);
+        let w0 = randm(4, 5, 21);
+        let w1 = randm(5, 3, 22);
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let mask = vec![0, 1, 3, 5];
+
+        let run = |w0m: &Matrix, w1m: &Matrix| {
+            let mut t = Tape::new();
+            let x = t.constant(x0.clone());
+            let w0v = t.param(w0m.clone());
+            let w1v = t.param(w1m.clone());
+            let h = t.spmm(s.clone(), x);
+            let h = t.matmul(h, w0v);
+            let h = t.relu(h);
+            let h = t.spmm(s.clone(), h);
+            let logits = t.matmul(h, w1v);
+            let l = t.softmax_cross_entropy(logits, &labels, &mask);
+            (t, w0v, w1v, l)
+        };
+        let (mut t, w0v, w1v, l) = run(&w0, &w1);
+        t.backward(l);
+        let g0 = t.grad(w0v).unwrap().clone();
+        let g1 = t.grad(w1v).unwrap().clone();
+        finite_diff_check(
+            |m| {
+                let (t, _, _, l) = run(m, &w1);
+                t.scalar(l)
+            },
+            &w0,
+            &g0,
+            1e-3,
+            3e-2,
+        );
+        finite_diff_check(
+            |m| {
+                let (t, _, _, l) = run(&w0, m);
+                t.scalar(l)
+            },
+            &w1,
+            &g1,
+            1e-3,
+            3e-2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be a scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut t = Tape::new();
+        let x = t.param(Matrix::zeros(2, 2));
+        t.backward(x);
+    }
+}

@@ -1,0 +1,40 @@
+//! Microbenchmark of the CMD distance and its gradient (paper Eq. 11) and
+//! of the moment computations behind the two-round protocol — the
+//! `n²f`-ish extra client term in FedOMD's Table 3 row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedomd_autograd::cmd::{cmd_grad, cmd_value, CmdTargets};
+use fedomd_tensor::rng::seeded;
+use fedomd_tensor::stats::central_moments_upto;
+use fedomd_tensor::{column_means, Matrix};
+
+fn activations(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = seeded(seed);
+    fedomd_tensor::init::standard_normal(n, d, &mut rng).map(|v| v.abs() * 0.3)
+}
+
+fn bench_cmd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cmd");
+    for &(n, d) in &[(560usize, 64usize), (2708, 64), (2708, 256)] {
+        let z = activations(n, d, 1);
+        let targets = CmdTargets::from_matrix(&activations(n, d, 2), 5);
+        group.bench_with_input(BenchmarkId::new("value", format!("{n}x{d}")), &z, |b, z| {
+            b.iter(|| cmd_value(z, &targets, 1.0))
+        });
+        group.bench_with_input(BenchmarkId::new("grad", format!("{n}x{d}")), &z, |b, z| {
+            b.iter(|| cmd_grad(z, &targets, 1.0, 1.0))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("moments_upto5", format!("{n}x{d}")),
+            &z,
+            |b, z| {
+                let means = column_means(z);
+                b.iter(|| central_moments_upto(z, &means, 5))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cmd);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! End-to-end cost of one communication round per algorithm — the measured
+//! counterpart of the paper's Table 3, under Criterion statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedomd_bench::{table4_rows, Algo};
+use fedomd_core::FedOmdConfig;
+use fedomd_data::{generate, spec, DatasetName};
+use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
+
+fn bench_round(c: &mut Criterion) {
+    let ds = generate(&spec(DatasetName::CoraMini), 0);
+    let clients = setup_federation(&ds, &FederationConfig::mini(3, 0));
+    // Exactly two rounds, no early stopping, sparse eval: the measured body
+    // is dominated by the per-round client/server work.
+    let cfg = TrainConfig { rounds: 2, patience: 2, eval_every: 2, ..TrainConfig::mini(0) };
+
+    let mut group = c.benchmark_group("fed_round");
+    group.sample_size(10);
+    for algo in table4_rows() {
+        group.bench_with_input(
+            BenchmarkId::new("two_rounds", algo.name()),
+            &algo,
+            |b, algo| b.iter(|| algo.run(&clients, ds.n_classes, &cfg)),
+        );
+    }
+    // FedOMD's stat exchange in isolation (CMD on, 5 orders) vs off.
+    let on = Algo::FedOmd(FedOmdConfig::paper());
+    let off = Algo::FedOmd(FedOmdConfig { use_cmd: false, ..FedOmdConfig::paper() });
+    group.bench_function("fedomd_cmd_on", |b| b.iter(|| on.run(&clients, ds.n_classes, &cfg)));
+    group.bench_function("fedomd_cmd_off", |b| b.iter(|| off.run(&clients, ds.n_classes, &cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

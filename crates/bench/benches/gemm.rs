@@ -1,0 +1,42 @@
+//! Microbenchmark of the dense GEMM kernels — the `nf²` factor in every
+//! client-time row of the paper's Table 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedomd_tensor::gemm::{matmul, matmul_nt, matmul_tn};
+use fedomd_tensor::rng::seeded;
+use fedomd_tensor::Matrix;
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = seeded(seed);
+    fedomd_tensor::init::standard_normal(rows, cols, &mut rng)
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    // Shapes drawn from the actual workloads: (nodes × features) · (features × hidden).
+    for &(m, k, n) in &[(560usize, 96usize, 64usize), (2708, 256, 64), (1024, 1024, 64)] {
+        let a = rand_matrix(m, k, 1);
+        let b = rand_matrix(k, n, 2);
+        group.bench_with_input(
+            BenchmarkId::new("nn", format!("{m}x{k}x{n}")),
+            &(&a, &b),
+            |bch, (a, b)| bch.iter(|| matmul(a, b)),
+        );
+        // Backward shapes.
+        let g = rand_matrix(m, n, 3);
+        group.bench_with_input(
+            BenchmarkId::new("tn_weight_grad", format!("{m}x{k}x{n}")),
+            &(&a, &g),
+            |bch, (a, g)| bch.iter(|| matmul_tn(a, g)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("nt_input_grad", format!("{m}x{k}x{n}")),
+            &(&g, &b),
+            |bch, (g, b)| bch.iter(|| matmul_nt(g, b)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Microbenchmark of the Louvain cut (paper §5.1 / Fig. 7) across
+//! resolutions and dataset sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedomd_data::{generate, spec, DatasetName};
+use fedomd_graph::{louvain, louvain_cut, LouvainConfig};
+
+fn bench_louvain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("louvain");
+    group.sample_size(20);
+    for name in [DatasetName::CoraMini, DatasetName::CoauthorCsMini] {
+        let ds = generate(&spec(name), 0);
+        for &resolution in &[1.0f64, 20.0] {
+            let cfg = LouvainConfig { resolution, ..Default::default() };
+            group.bench_with_input(
+                BenchmarkId::new(ds.name.clone(), format!("res{resolution}")),
+                &ds,
+                |b, ds| b.iter(|| louvain(&ds.graph, &cfg)),
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new(format!("{}-full-cut", ds.name), "m5"),
+            &ds,
+            |b, ds| b.iter(|| louvain_cut(&ds.graph, 5, &Default::default())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_louvain);
+criterion_main!(benches);

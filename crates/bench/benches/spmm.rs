@@ -1,0 +1,28 @@
+//! Microbenchmark of sparse propagation `Ŝ·X` — the `kmf` factor in the
+//! graph-model rows of the paper's Table 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedomd_data::{generate, spec, DatasetName};
+use fedomd_sparse::normalized_adjacency;
+use fedomd_tensor::rng::seeded;
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    for name in [DatasetName::CoraMini, DatasetName::ComputerMini] {
+        let ds = generate(&spec(name), 0);
+        let s = normalized_adjacency(ds.n_nodes(), ds.graph.edges());
+        for &hidden in &[32usize, 64, 128] {
+            let mut rng = seeded(1);
+            let x = fedomd_tensor::init::standard_normal(ds.n_nodes(), hidden, &mut rng);
+            group.bench_with_input(
+                BenchmarkId::new(ds.name.clone(), hidden),
+                &(&s, &x),
+                |b, (s, x)| b.iter(|| s.spmm(x)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

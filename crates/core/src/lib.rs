@@ -1,0 +1,38 @@
+//! **FedOMD** — the paper's contribution: graph federated learning with
+//! center moment constraints (ICPP Workshops '24).
+//!
+//! Each client trains an orthogonal GCN ([`fedomd_nn::OrthoGcn`], the
+//! paper's Table 1) whose objective (Eq. 12) combines
+//!
+//! * the local cross-entropy,
+//! * `α ·` the orthogonality penalty `Σ_k ‖W_k W_kᵀ − I‖_F` (Eq. 6), and
+//! * `β ·` the CMD distance (Eq. 11) between the client's hidden feature
+//!   distribution and the global i.i.d. distribution the server assembles,
+//!
+//! where the global distribution is obtained *implicitly* through the
+//! 2-round statistics exchange of Algorithm 1 ([`protocol`]): round one
+//! ships per-layer activation means, round two ships central moments of
+//! orders 2..=5 computed about the returned global mean. Weights are then
+//! aggregated with FedAvg.
+//!
+//! ```no_run
+//! use fedomd_core::{run_fedomd, FedOmdConfig};
+//! use fedomd_data::{generate, spec, DatasetName};
+//! use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
+//!
+//! let ds = generate(&spec(DatasetName::CoraMini), 0);
+//! let clients = setup_federation(&ds, &FederationConfig::mini(3, 0));
+//! let result = run_fedomd(&clients, ds.n_classes, &TrainConfig::mini(0), &FedOmdConfig::paper());
+//! println!("test accuracy: {:.2}%", 100.0 * result.test_acc);
+//! ```
+
+pub mod config;
+pub mod protocol;
+pub mod trainer;
+
+pub use config::FedOmdConfig;
+pub use protocol::{
+    aggregate_means, aggregate_moments, build_targets, client_means, client_moments_about,
+    GlobalStats,
+};
+pub use trainer::run_fedomd;

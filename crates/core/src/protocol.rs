@@ -1,0 +1,241 @@
+//! The 2-round statistics exchange of Algorithm 1 (lines 4–18, 25).
+//!
+//! Round 1: every client uploads its per-layer activation means `M_i^l`
+//! and sample count `n_i`; the server returns the weighted global means
+//! `M^l = Σ n_i M_i^l / Σ n_i` (Eq. 10).
+//!
+//! Round 2: every client re-centres its activations on the *global* mean
+//! and uploads the central moments `[S_i^l]_j` for `j = 2..=J`; the server
+//! returns their weighted averages `[S^l]_j`.
+//!
+//! Because the weighted average of client moments about a common centre is
+//! exactly the pooled moment, the pair `(M^l, [S^l]_j)` equals what a
+//! centralised computation over the union of all activations would give —
+//! the "implicitly calculate the IID distribution by only 2-round
+//! interaction" claim of the paper — which
+//! `distributed_protocol_matches_centralized` below verifies.
+
+use fedomd_autograd::CmdTargets;
+use fedomd_tensor::stats::{central_moments, column_means};
+use fedomd_tensor::Matrix;
+
+/// Server-side result of the exchange: per hidden layer, the global mean
+/// and the global central moments (orders `2..=max`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GlobalStats {
+    /// `means[layer][dim]`.
+    pub means: Vec<Vec<f32>>,
+    /// `moments[layer][order - 2][dim]`.
+    pub moments: Vec<Vec<Vec<f32>>>,
+}
+
+impl GlobalStats {
+    /// Total scalars a single client uploads across both rounds (means +
+    /// moments), for communication accounting.
+    pub fn uplink_scalars(&self) -> usize {
+        let mean_scalars: usize = self.means.iter().map(|m| m.len()).sum();
+        let moment_scalars: usize =
+            self.moments.iter().map(|layer| layer.iter().map(|o| o.len()).sum::<usize>()).sum();
+        mean_scalars + moment_scalars
+    }
+}
+
+/// Client side of round 1: per-layer column means of the hidden
+/// activations (Algorithm 1 line 4).
+pub fn client_means(hidden: &[&Matrix]) -> Vec<Vec<f32>> {
+    hidden.iter().map(|z| column_means(z)).collect()
+}
+
+/// Server side of round 1 (Eq. 10): sample-weighted average of client
+/// means, per layer.
+///
+/// # Panics
+/// Panics on empty input or inconsistent layer arity/dimensions.
+pub fn aggregate_means(client_stats: &[(Vec<Vec<f32>>, usize)]) -> Vec<Vec<f32>> {
+    assert!(!client_stats.is_empty(), "aggregate_means: no clients");
+    let n_layers = client_stats[0].0.len();
+    let total: f64 = client_stats.iter().map(|(_, n)| *n as f64).sum();
+    assert!(total > 0.0, "aggregate_means: zero total samples");
+
+    (0..n_layers)
+        .map(|l| {
+            let dim = client_stats[0].0[l].len();
+            let mut acc = vec![0.0f64; dim];
+            for (means, n) in client_stats {
+                assert_eq!(means.len(), n_layers, "aggregate_means: layer arity mismatch");
+                assert_eq!(means[l].len(), dim, "aggregate_means: dimension mismatch");
+                let w = *n as f64 / total;
+                for (a, &m) in acc.iter_mut().zip(&means[l]) {
+                    *a += w * m as f64;
+                }
+            }
+            acc.into_iter().map(|v| v as f32).collect()
+        })
+        .collect()
+}
+
+/// Client side of round 2 (Algorithm 1 lines 12-13): central moments of
+/// orders `2..=max_order` about the *global* means.
+pub fn client_moments_about(
+    hidden: &[&Matrix],
+    global_means: &[Vec<f32>],
+    max_order: u32,
+) -> Vec<Vec<Vec<f32>>> {
+    assert_eq!(hidden.len(), global_means.len(), "client_moments_about: layer arity mismatch");
+    hidden
+        .iter()
+        .zip(global_means)
+        .map(|(z, m)| (2..=max_order).map(|j| central_moments(z, m, j)).collect())
+        .collect()
+}
+
+/// Server side of round 2: sample-weighted average of client moments.
+pub fn aggregate_moments(client_stats: &[(Vec<Vec<Vec<f32>>>, usize)]) -> Vec<Vec<Vec<f32>>> {
+    assert!(!client_stats.is_empty(), "aggregate_moments: no clients");
+    let n_layers = client_stats[0].0.len();
+    let total: f64 = client_stats.iter().map(|(_, n)| *n as f64).sum();
+    assert!(total > 0.0, "aggregate_moments: zero total samples");
+
+    (0..n_layers)
+        .map(|l| {
+            let n_orders = client_stats[0].0[l].len();
+            (0..n_orders)
+                .map(|o| {
+                    let dim = client_stats[0].0[l][o].len();
+                    let mut acc = vec![0.0f64; dim];
+                    for (moments, n) in client_stats {
+                        let w = *n as f64 / total;
+                        assert_eq!(moments[l][o].len(), dim, "aggregate_moments: dim mismatch");
+                        for (a, &m) in acc.iter_mut().zip(&moments[l][o]) {
+                            *a += w * m as f64;
+                        }
+                    }
+                    acc.into_iter().map(|v| v as f32).collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the full 2-round protocol over per-client hidden activations and
+/// returns the global stats.
+pub fn exchange(per_client_hidden: &[Vec<&Matrix>], max_order: u32) -> GlobalStats {
+    assert!(!per_client_hidden.is_empty(), "exchange: no clients");
+    // Round 1.
+    let round1: Vec<(Vec<Vec<f32>>, usize)> = per_client_hidden
+        .iter()
+        .map(|h| (client_means(h), h.first().map_or(0, |z| z.rows())))
+        .collect();
+    let means = aggregate_means(&round1);
+    // Round 2.
+    let round2: Vec<(Vec<Vec<Vec<f32>>>, usize)> = per_client_hidden
+        .iter()
+        .map(|h| {
+            (client_moments_about(h, &means, max_order), h.first().map_or(0, |z| z.rows()))
+        })
+        .collect();
+    let moments = aggregate_moments(&round2);
+    GlobalStats { means, moments }
+}
+
+/// Converts global stats into per-layer CMD targets for the loss.
+pub fn build_targets(stats: &GlobalStats) -> Vec<CmdTargets> {
+    stats
+        .means
+        .iter()
+        .zip(&stats.moments)
+        .map(|(mean, moments)| CmdTargets { mean: mean.clone(), moments: moments.clone() })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedomd_tensor::rng::seeded;
+
+    fn act(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = seeded(seed);
+        fedomd_tensor::init::standard_normal(rows, cols, &mut rng).map(|v| v.abs() * 0.3)
+    }
+
+    #[test]
+    fn aggregate_means_is_weighted() {
+        let a = (vec![vec![0.0f32, 0.0]], 1usize);
+        let b = (vec![vec![3.0f32, 6.0]], 2usize);
+        let m = aggregate_means(&[a, b]);
+        assert!((m[0][0] - 2.0).abs() < 1e-6);
+        assert!((m[0][1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distributed_protocol_matches_centralized() {
+        // Three clients with different sizes and distributions; pooled
+        // statistics must equal the protocol's output exactly.
+        let z1 = act(13, 5, 1);
+        let z2 = act(29, 5, 2).map(|v| v + 0.2);
+        let z3 = act(7, 5, 3).map(|v| v * 2.0);
+
+        let stats = exchange(&[vec![&z1], vec![&z2], vec![&z3]], 5);
+
+        // Centralised: stack all rows.
+        let mut pooled = Vec::new();
+        pooled.extend_from_slice(z1.as_slice());
+        pooled.extend_from_slice(z2.as_slice());
+        pooled.extend_from_slice(z3.as_slice());
+        let pooled = Matrix::from_vec(13 + 29 + 7, 5, pooled);
+        let c_mean = column_means(&pooled);
+        for (a, b) in stats.means[0].iter().zip(&c_mean) {
+            assert!((a - b).abs() < 1e-5, "mean mismatch: {a} vs {b}");
+        }
+        for (o, j) in (2u32..=5).enumerate() {
+            let c_mom = central_moments(&pooled, &c_mean, j);
+            for (a, b) in stats.moments[0][o].iter().zip(&c_mom) {
+                assert!((a - b).abs() < 1e-4, "order {j} mismatch: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_layer_stats_keep_layers_separate() {
+        let l1 = act(10, 3, 4);
+        let l2 = act(10, 3, 5).map(|v| v + 5.0);
+        let stats = exchange(&[vec![&l1, &l2]], 3);
+        assert_eq!(stats.means.len(), 2);
+        // Layer 2 was shifted by +5, its mean must reflect that.
+        assert!(stats.means[1][0] > stats.means[0][0] + 3.0);
+    }
+
+    #[test]
+    fn identical_clients_reproduce_their_own_stats() {
+        let z = act(20, 4, 6);
+        let stats = exchange(&[vec![&z], vec![&z]], 4);
+        let own_mean = column_means(&z);
+        for (a, b) in stats.means[0].iter().zip(&own_mean) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn targets_align_with_stats() {
+        let z = act(15, 4, 7);
+        let stats = exchange(&[vec![&z]], 5);
+        let targets = build_targets(&stats);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(targets[0].max_order(), 5);
+        assert_eq!(targets[0].mean, stats.means[0]);
+    }
+
+    #[test]
+    fn uplink_scalar_accounting() {
+        let z = act(9, 4, 8);
+        let stats = exchange(&[vec![&z, &z]], 5);
+        // 2 layers × 4 dims means + 2 layers × 4 orders × 4 dims moments.
+        assert_eq!(stats.uplink_scalars(), 2 * 4 + 2 * 4 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no clients")]
+    fn empty_exchange_rejected() {
+        let _ = exchange(&[], 5);
+    }
+}

@@ -1,0 +1,106 @@
+//! The attributed-graph dataset type.
+
+use fedomd_graph::Graph;
+use fedomd_tensor::Matrix;
+
+/// A node-classification dataset: topology, features, labels.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Human-readable name (e.g. `"cora"`, `"cora-mini"`).
+    pub name: String,
+    /// Undirected topology.
+    pub graph: Graph,
+    /// Node features, `n × f`.
+    pub features: Matrix,
+    /// Class label per node.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl Dataset {
+    /// Checks internal consistency, returning the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.features.rows() != self.graph.n_nodes() {
+            return Err(format!(
+                "feature rows {} != nodes {}",
+                self.features.rows(),
+                self.graph.n_nodes()
+            ));
+        }
+        if self.labels.len() != self.graph.n_nodes() {
+            return Err(format!(
+                "labels {} != nodes {}",
+                self.labels.len(),
+                self.graph.n_nodes()
+            ));
+        }
+        if let Some(&bad) = self.labels.iter().find(|&&l| l >= self.n_classes) {
+            return Err(format!("label {bad} out of range (classes {})", self.n_classes));
+        }
+        if !self.features.all_finite() {
+            return Err("non-finite feature values".into());
+        }
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.graph.n_nodes()
+    }
+
+    /// Number of undirected edges.
+    pub fn n_edges(&self) -> usize {
+        self.graph.n_edges()
+    }
+
+    /// Feature dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Per-class node counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset {
+            name: "tiny".into(),
+            graph: Graph::new(3, &[(0, 1), (1, 2)]),
+            features: Matrix::from_fn(3, 2, |r, c| (r + c) as f32),
+            labels: vec![0, 1, 0],
+            n_classes: 2,
+        }
+    }
+
+    #[test]
+    fn valid_dataset_passes() {
+        tiny().validate().expect("valid");
+        assert_eq!(tiny().class_counts(), vec![2, 1]);
+        assert_eq!(tiny().n_features(), 2);
+    }
+
+    #[test]
+    fn label_out_of_range_detected() {
+        let mut d = tiny();
+        d.labels[0] = 5;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn row_count_mismatch_detected() {
+        let mut d = tiny();
+        d.features = Matrix::zeros(4, 2);
+        assert!(d.validate().is_err());
+    }
+}

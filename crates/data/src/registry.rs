@@ -1,0 +1,264 @@
+//! Named dataset specifications matched to the paper's Table 2, plus the
+//! `*-mini` fast variants used by default in the bench harness.
+
+use crate::synth::SynthParams;
+
+/// The datasets of the paper's Table 2 (synthetic counterparts) and their
+/// mini variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetName {
+    Cora,
+    Citeseer,
+    Computer,
+    Photo,
+    CoauthorCs,
+    CoraMini,
+    CiteseerMini,
+    ComputerMini,
+    PhotoMini,
+    CoauthorCsMini,
+}
+
+/// All full-size (paper-scale) datasets, Table 2 order.
+pub const ALL_PAPER: [DatasetName; 5] = [
+    DatasetName::Cora,
+    DatasetName::Citeseer,
+    DatasetName::Computer,
+    DatasetName::Photo,
+    DatasetName::CoauthorCs,
+];
+
+/// All mini datasets, same order.
+pub const ALL_MINI: [DatasetName; 5] = [
+    DatasetName::CoraMini,
+    DatasetName::CiteseerMini,
+    DatasetName::ComputerMini,
+    DatasetName::PhotoMini,
+    DatasetName::CoauthorCsMini,
+];
+
+impl DatasetName {
+    /// The mini counterpart of a paper-scale dataset (identity on minis).
+    pub fn mini(self) -> DatasetName {
+        match self {
+            DatasetName::Cora => DatasetName::CoraMini,
+            DatasetName::Citeseer => DatasetName::CiteseerMini,
+            DatasetName::Computer => DatasetName::ComputerMini,
+            DatasetName::Photo => DatasetName::PhotoMini,
+            DatasetName::CoauthorCs => DatasetName::CoauthorCsMini,
+            other => other,
+        }
+    }
+
+    /// Parses `"cora"`, `"cora-mini"`, etc.
+    pub fn parse(s: &str) -> Option<DatasetName> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "cora" => DatasetName::Cora,
+            "citeseer" => DatasetName::Citeseer,
+            "computer" | "computers" => DatasetName::Computer,
+            "photo" => DatasetName::Photo,
+            "coauthor-cs" | "coauthorcs" | "cs" => DatasetName::CoauthorCs,
+            "cora-mini" => DatasetName::CoraMini,
+            "citeseer-mini" => DatasetName::CiteseerMini,
+            "computer-mini" => DatasetName::ComputerMini,
+            "photo-mini" => DatasetName::PhotoMini,
+            "coauthor-cs-mini" | "cs-mini" => DatasetName::CoauthorCsMini,
+            _ => return None,
+        })
+    }
+}
+
+/// The generator parameters of a named dataset.
+///
+/// Paper-scale variants match Table 2 exactly on nodes/edges/classes/
+/// features; density-dependent knobs (communities, sparsity) are set so
+/// mean degree and homophily land near the real datasets'.
+pub fn spec(name: DatasetName) -> SynthParams {
+    match name {
+        // Cora: 2708 nodes, 5429 edges, 7 classes, 1433 features.
+        DatasetName::Cora => SynthParams {
+            name: "cora".into(),
+            n_nodes: 2708,
+            n_edges: 5429,
+            n_classes: 7,
+            n_features: 1433,
+            n_communities: 28,
+            intra_ratio: 0.92,
+            label_purity: 0.80,
+            class_signature_dims: 60,
+            nnz_per_node: 18,
+        },
+        // Citeseer: 3312 / 4732 / 6 / 3703.
+        DatasetName::Citeseer => SynthParams {
+            name: "citeseer".into(),
+            n_nodes: 3312,
+            n_edges: 4732,
+            n_classes: 6,
+            n_features: 3703,
+            n_communities: 30,
+            intra_ratio: 0.92,
+            label_purity: 0.78,
+            class_signature_dims: 120,
+            nnz_per_node: 20,
+        },
+        // Computer: 13381 / 245778 / 10 / 767 (dense co-purchase graph).
+        DatasetName::Computer => SynthParams {
+            name: "computer".into(),
+            n_nodes: 13381,
+            n_edges: 245_778,
+            n_classes: 10,
+            n_features: 767,
+            n_communities: 60,
+            intra_ratio: 0.9,
+            label_purity: 0.82,
+            class_signature_dims: 40,
+            nnz_per_node: 30,
+        },
+        // Photo: 7487 / 119043 / 8 / 745.
+        DatasetName::Photo => SynthParams {
+            name: "photo".into(),
+            n_nodes: 7487,
+            n_edges: 119_043,
+            n_classes: 8,
+            n_features: 745,
+            n_communities: 40,
+            intra_ratio: 0.9,
+            label_purity: 0.84,
+            class_signature_dims: 40,
+            nnz_per_node: 30,
+        },
+        // Coauthor-CS: 18333 / 182121 / 15 / 6805.
+        DatasetName::CoauthorCs => SynthParams {
+            name: "coauthor-cs".into(),
+            n_nodes: 18_333,
+            n_edges: 182_121,
+            n_classes: 15,
+            n_features: 6805,
+            n_communities: 120,
+            intra_ratio: 0.93,
+            label_purity: 0.84,
+            class_signature_dims: 150,
+            nnz_per_node: 25,
+        },
+        // Mini variants: ~10x fewer nodes/edges, compressed feature dims,
+        // same class counts and qualitative structure.
+        DatasetName::CoraMini => SynthParams {
+            name: "cora-mini".into(),
+            n_nodes: 560,
+            n_edges: 1300,
+            n_classes: 7,
+            n_features: 96,
+            n_communities: 28,
+            intra_ratio: 0.85,
+            label_purity: 0.82,
+            class_signature_dims: 10,
+            nnz_per_node: 8,
+        },
+        DatasetName::CiteseerMini => SynthParams {
+            name: "citeseer-mini".into(),
+            n_nodes: 660,
+            n_edges: 1100,
+            n_classes: 6,
+            n_features: 128,
+            n_communities: 30,
+            intra_ratio: 0.85,
+            label_purity: 0.78,
+            class_signature_dims: 14,
+            nnz_per_node: 8,
+        },
+        DatasetName::ComputerMini => SynthParams {
+            name: "computer-mini".into(),
+            n_nodes: 1200,
+            n_edges: 12000,
+            n_classes: 10,
+            n_features: 96,
+            n_communities: 48,
+            intra_ratio: 0.85,
+            label_purity: 0.82,
+            class_signature_dims: 8,
+            nnz_per_node: 10,
+        },
+        DatasetName::PhotoMini => SynthParams {
+            name: "photo-mini".into(),
+            n_nodes: 1000,
+            n_edges: 8000,
+            n_classes: 8,
+            n_features: 96,
+            n_communities: 36,
+            intra_ratio: 0.85,
+            label_purity: 0.84,
+            class_signature_dims: 10,
+            nnz_per_node: 10,
+        },
+        DatasetName::CoauthorCsMini => SynthParams {
+            name: "coauthor-cs-mini".into(),
+            n_nodes: 1600,
+            n_edges: 8000,
+            n_classes: 15,
+            n_features: 160,
+            n_communities: 100,
+            intra_ratio: 0.87,
+            label_purity: 0.84,
+            class_signature_dims: 10,
+            nnz_per_node: 8,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::generate;
+
+    #[test]
+    fn paper_specs_match_table2_counts() {
+        let expect = [
+            (DatasetName::Cora, 2708, 5429, 7, 1433),
+            (DatasetName::Citeseer, 3312, 4732, 6, 3703),
+            (DatasetName::Computer, 13_381, 245_778, 10, 767),
+            (DatasetName::Photo, 7487, 119_043, 8, 745),
+            (DatasetName::CoauthorCs, 18_333, 182_121, 15, 6805),
+        ];
+        for (name, n, m, c, f) in expect {
+            let s = spec(name);
+            assert_eq!(s.n_nodes, n);
+            assert_eq!(s.n_edges, m);
+            assert_eq!(s.n_classes, c);
+            assert_eq!(s.n_features, f);
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        assert_eq!(DatasetName::parse("cora"), Some(DatasetName::Cora));
+        assert_eq!(DatasetName::parse("Coauthor-CS"), Some(DatasetName::CoauthorCs));
+        assert_eq!(DatasetName::parse("photo-mini"), Some(DatasetName::PhotoMini));
+        assert_eq!(DatasetName::parse("imagenet"), None);
+    }
+
+    #[test]
+    fn mini_mapping() {
+        assert_eq!(DatasetName::Cora.mini(), DatasetName::CoraMini);
+        assert_eq!(DatasetName::CoraMini.mini(), DatasetName::CoraMini);
+    }
+
+    #[test]
+    fn all_minis_generate_and_validate() {
+        for name in ALL_MINI {
+            let ds = generate(&spec(name), 0);
+            ds.validate().unwrap_or_else(|e| panic!("{name:?}: {e}"));
+            assert!(ds.n_nodes() >= 200, "{name:?} too small");
+            let mut communities =
+                fedomd_graph::louvain(&ds.graph, &Default::default());
+            communities.dedup();
+            // Must have enough communities to split across 9 parties.
+            let k = fedomd_graph::louvain(&ds.graph, &Default::default())
+                .iter()
+                .copied()
+                .max()
+                .unwrap()
+                + 1;
+            assert!(k >= 9, "{name:?}: only {k} communities");
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! The degree-corrected SBM generator behind every synthetic dataset.
+
+use fedomd_graph::Graph;
+use fedomd_tensor::rng::{derive, seeded};
+use fedomd_tensor::Matrix;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// Parameters of the synthetic attributed-graph generator.
+#[derive(Clone, Debug)]
+pub struct SynthParams {
+    /// Dataset name to stamp on the output.
+    pub name: String,
+    /// Node count (Table 2 `#Nodes`).
+    pub n_nodes: usize,
+    /// Target undirected edge count (Table 2 `#Edges`; achieved ±dedup).
+    pub n_edges: usize,
+    /// Class count (Table 2 `#Classes`).
+    pub n_classes: usize,
+    /// Feature dimension (Table 2 `#Features`).
+    pub n_features: usize,
+    /// Number of planted communities (what Louvain will discover). Should
+    /// comfortably exceed the largest party count used in experiments.
+    pub n_communities: usize,
+    /// Fraction of edges that stay inside a community (0..1). High values
+    /// give the Louvain cut clean separations.
+    pub intra_ratio: f64,
+    /// Probability that a node adopts its community's dominant class
+    /// (controls label homophily / the Fig. 4 skew).
+    pub label_purity: f64,
+    /// Active (signature) feature dimensions per class.
+    pub class_signature_dims: usize,
+    /// Non-zero feature entries per node (bag-of-words sparsity).
+    pub nnz_per_node: usize,
+}
+
+/// Generates a dataset from the block model.
+///
+/// Construction:
+/// 1. Communities get power-law-ish sizes and a dominant class each.
+/// 2. Node labels: dominant class with probability `label_purity`, else
+///    uniform — so parties cut along communities inherit skewed labels.
+/// 3. Edges: `intra_ratio` of the budget joins random pairs inside one
+///    community (picked ∝ size²), the rest joins random cross pairs.
+/// 4. Features: each class owns `class_signature_dims` signature dims and
+///    each community a smaller bias set; every node activates
+///    `nnz_per_node` dims, mostly from its class signature, some from its
+///    community bias, some uniform noise — giving the class-conditional
+///    *and* party-conditional feature shift of the paper's Fig. 1.
+pub fn generate(params: &SynthParams, seed: u64) -> Dataset {
+    assert!(params.n_nodes > 0 && params.n_classes > 0 && params.n_features > 0);
+    assert!(params.n_communities > 0 && params.n_communities <= params.n_nodes);
+    assert!((0.0..=1.0).contains(&params.intra_ratio));
+    assert!((0.0..=1.0).contains(&params.label_purity));
+
+    let mut rng = seeded(derive(seed, 0xD5EA));
+
+    // --- 1. community sizes (power-lawish via squared uniforms) ---
+    let k = params.n_communities;
+    let mut raw: Vec<f64> = (0..k).map(|_| rng.gen::<f64>().powi(2) + 0.15).collect();
+    let total: f64 = raw.iter().sum();
+    for r in &mut raw {
+        *r /= total;
+    }
+    let mut comm_of: Vec<usize> = Vec::with_capacity(params.n_nodes);
+    for (c, &frac) in raw.iter().enumerate() {
+        let cnt = (frac * params.n_nodes as f64).round() as usize;
+        comm_of.extend(std::iter::repeat_n(c, cnt));
+    }
+    // Fix rounding drift.
+    while comm_of.len() > params.n_nodes {
+        comm_of.pop();
+    }
+    while comm_of.len() < params.n_nodes {
+        comm_of.push(rng.gen_range(0..k));
+    }
+
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (node, &c) in comm_of.iter().enumerate() {
+        members[c].push(node);
+    }
+    // Guarantee every community is non-empty (tiny fractions may round to 0).
+    for c in 0..k {
+        if members[c].is_empty() {
+            let donor = (0..k).max_by_key(|&d| members[d].len()).expect("k >= 1");
+            let node = members[donor].pop().expect("donor non-empty");
+            comm_of[node] = c;
+            members[c].push(node);
+        }
+    }
+
+    // --- 2. labels ---
+    let dominant: Vec<usize> = (0..k).map(|c| c % params.n_classes).collect();
+    let labels: Vec<usize> = comm_of
+        .iter()
+        .map(|&c| {
+            if rng.gen_bool(params.label_purity) {
+                dominant[c]
+            } else {
+                rng.gen_range(0..params.n_classes)
+            }
+        })
+        .collect();
+
+    // --- 3. edges ---
+    let sq_sizes: Vec<f64> = members.iter().map(|m| (m.len() as f64).powi(2)).collect();
+    let sq_total: f64 = sq_sizes.iter().sum();
+    let n_intra = (params.n_edges as f64 * params.intra_ratio) as usize;
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(params.n_edges + params.n_nodes);
+
+    // Spanning chain inside each community keeps parties internally
+    // connected, mirroring the "large connected subgraphs" the paper gets
+    // at small resolution.
+    for m in &members {
+        for w in m.windows(2) {
+            edges.push((w[0], w[1]));
+        }
+    }
+
+    for _ in 0..n_intra {
+        // Community ∝ size² (uniform pair sampling within).
+        let mut t = rng.gen::<f64>() * sq_total;
+        let mut c = 0;
+        while c + 1 < k && t > sq_sizes[c] {
+            t -= sq_sizes[c];
+            c += 1;
+        }
+        let m = &members[c];
+        if m.len() < 2 {
+            continue;
+        }
+        let a = m[rng.gen_range(0..m.len())];
+        let b = m[rng.gen_range(0..m.len())];
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    let n_inter = params.n_edges.saturating_sub(n_intra);
+    for _ in 0..n_inter {
+        let a = rng.gen_range(0..params.n_nodes);
+        let b = rng.gen_range(0..params.n_nodes);
+        if a != b && comm_of[a] != comm_of[b] {
+            edges.push((a, b));
+        }
+    }
+    let graph = Graph::new(params.n_nodes, &edges);
+
+    // --- 4. features ---
+    let sig_dims = params.class_signature_dims.min(params.n_features);
+    let class_sig: Vec<Vec<usize>> = (0..params.n_classes)
+        .map(|cls| {
+            let mut r = seeded(derive(seed, 0xC1A5 + cls as u64));
+            (0..sig_dims).map(|_| r.gen_range(0..params.n_features)).collect()
+        })
+        .collect();
+    let comm_bias_dims = (sig_dims / 2).max(1);
+    let comm_bias: Vec<Vec<usize>> = (0..k)
+        .map(|c| {
+            let mut r = seeded(derive(seed, 0xB1A5 + c as u64));
+            (0..comm_bias_dims).map(|_| r.gen_range(0..params.n_features)).collect()
+        })
+        .collect();
+    // Per-community "document length" factor: communities write shorter or
+    // longer token bags, so after row normalisation their feature vectors
+    // live at visibly different scales per dimension — the Fig. 1 feature
+    // shift that the CMD constraint is designed to cancel.
+    let comm_len_factor: Vec<f64> = (0..k)
+        .map(|c| {
+            let mut r = seeded(derive(seed, 0xF00D + c as u64));
+            0.5 + 1.2 * r.gen::<f64>()
+        })
+        .collect();
+
+    let mut features = Matrix::zeros(params.n_nodes, params.n_features);
+    for node in 0..params.n_nodes {
+        let sig = &class_sig[labels[node]];
+        let bias = &comm_bias[comm_of[node]];
+        let nnz =
+            ((params.nnz_per_node as f64 * comm_len_factor[comm_of[node]]).round() as usize).max(2);
+        for _ in 0..nnz {
+            let dim = match rng.gen_range(0..20u32) {
+                0..=8 => sig[rng.gen_range(0..sig.len())],          // 45% class signal
+                9..=15 => bias[rng.gen_range(0..bias.len())],       // 35% community shift
+                _ => rng.gen_range(0..params.n_features),           // 20% noise
+            };
+            features[(node, dim)] = 1.0;
+        }
+    }
+    // Row-normalise (standard Planetoid preprocessing) so activations stay
+    // in a narrow range — the `[a, b]` boundedness CMD assumes.
+    for r in 0..params.n_nodes {
+        let row = features.row_mut(r);
+        let sum: f32 = row.iter().sum();
+        if sum > 0.0 {
+            for v in row {
+                *v /= sum;
+            }
+        }
+    }
+
+    let ds = Dataset {
+        name: params.name.clone(),
+        graph,
+        features,
+        labels,
+        n_classes: params.n_classes,
+    };
+    debug_assert!(ds.validate().is_ok());
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> SynthParams {
+        SynthParams {
+            name: "test".into(),
+            n_nodes: 400,
+            n_edges: 1200,
+            n_classes: 5,
+            n_features: 64,
+            n_communities: 12,
+            intra_ratio: 0.9,
+            label_purity: 0.8,
+            class_signature_dims: 12,
+            nnz_per_node: 8,
+        }
+    }
+
+    #[test]
+    fn generates_valid_dataset_with_matched_counts() {
+        let ds = generate(&small_params(), 0);
+        ds.validate().expect("valid");
+        assert_eq!(ds.n_nodes(), 400);
+        assert_eq!(ds.n_features(), 64);
+        assert_eq!(ds.n_classes, 5);
+        // Edge count within 40% of target (dedup + rejection losses).
+        let m = ds.n_edges() as f64;
+        assert!(m > 1200.0 * 0.6 && m < 1200.0 * 1.5, "edges {m}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&small_params(), 42);
+        let b = generate(&small_params(), 42);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.graph.edges(), b.graph.edges());
+        assert_eq!(a.features, b.features);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&small_params(), 1);
+        let b = generate(&small_params(), 2);
+        assert_ne!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn labels_are_homophilous() {
+        let ds = generate(&small_params(), 3);
+        let h = ds.graph.edge_homophily(&ds.labels);
+        // label_purity 0.8 and intra_ratio 0.9 must yield clearly
+        // homophilous edges (random would be 1/5 = 0.2).
+        assert!(h > 0.45, "homophily {h} too low");
+    }
+
+    #[test]
+    fn louvain_finds_the_planted_communities() {
+        let ds = generate(&small_params(), 4);
+        let labels = fedomd_graph::louvain(&ds.graph, &Default::default());
+        let k = labels.iter().copied().max().unwrap() + 1;
+        assert!(k >= 3, "Louvain found only {k} communities");
+        let q = fedomd_graph::louvain::modularity(&ds.graph, &labels, 1.0);
+        assert!(q > 0.3, "modularity {q} too low for a planted partition");
+    }
+
+    #[test]
+    fn every_class_is_represented() {
+        let ds = generate(&small_params(), 5);
+        let counts = ds.class_counts();
+        assert!(counts.iter().all(|&c| c > 0), "class missing: {counts:?}");
+    }
+
+    #[test]
+    fn features_are_row_normalised_and_sparse() {
+        let ds = generate(&small_params(), 6);
+        for r in 0..ds.n_nodes() {
+            let row = ds.features.row(r);
+            let sum: f32 = row.iter().sum();
+            let nnz = row.iter().filter(|&&v| v > 0.0).count();
+            assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-5, "row {r} sum {sum}");
+            // nnz_per_node = 8 scaled by the community length factor (≤ 1.7).
+            assert!(nnz <= 14, "row {r} has {nnz} nonzeros");
+        }
+    }
+
+    #[test]
+    fn feature_distribution_differs_across_communities() {
+        // The Fig. 1 premise: per-community feature means must differ.
+        let ds = generate(&small_params(), 7);
+        let parts = fedomd_graph::louvain_cut(&ds.graph, 3, &Default::default());
+        let means: Vec<Vec<f32>> = parts
+            .iter()
+            .map(|p| {
+                let sub = ds.features.select_rows(&p.global_ids);
+                fedomd_tensor::column_means(&sub)
+            })
+            .collect();
+        let d01 = fedomd_tensor::stats::l2_distance(&means[0], &means[1]);
+        let d02 = fedomd_tensor::stats::l2_distance(&means[0], &means[2]);
+        assert!(d01 > 1e-3 && d02 > 1e-3, "parties have identical feature means");
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+
+    #[test]
+    fn single_class_dataset_generates() {
+        let p = SynthParams {
+            name: "mono".into(),
+            n_nodes: 60,
+            n_edges: 120,
+            n_classes: 1,
+            n_features: 16,
+            n_communities: 4,
+            intra_ratio: 0.9,
+            label_purity: 1.0,
+            class_signature_dims: 4,
+            nnz_per_node: 4,
+        };
+        let ds = generate(&p, 0);
+        ds.validate().expect("valid");
+        assert!(ds.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn one_community_per_node_is_allowed() {
+        let p = SynthParams {
+            name: "atomised".into(),
+            n_nodes: 30,
+            n_edges: 60,
+            n_classes: 3,
+            n_features: 8,
+            n_communities: 30,
+            intra_ratio: 0.5,
+            label_purity: 0.8,
+            class_signature_dims: 3,
+            nnz_per_node: 3,
+        };
+        let ds = generate(&p, 1);
+        ds.validate().expect("valid");
+        assert_eq!(ds.n_nodes(), 30);
+    }
+
+    #[test]
+    fn zero_intra_ratio_gives_only_cross_edges_plus_chains() {
+        let p = SynthParams {
+            name: "cross".into(),
+            n_nodes: 80,
+            n_edges: 200,
+            n_classes: 2,
+            n_features: 8,
+            n_communities: 4,
+            intra_ratio: 0.0,
+            label_purity: 0.9,
+            class_signature_dims: 3,
+            nnz_per_node: 3,
+        };
+        let ds = generate(&p, 2);
+        ds.validate().expect("valid");
+        // With intra_ratio 0 the only intra edges are the spanning chains.
+        assert!(ds.n_edges() > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_nodes_rejected() {
+        let p = SynthParams {
+            name: "empty".into(),
+            n_nodes: 0,
+            n_edges: 0,
+            n_classes: 1,
+            n_features: 1,
+            n_communities: 1,
+            intra_ratio: 0.5,
+            label_purity: 0.5,
+            class_signature_dims: 1,
+            nnz_per_node: 1,
+        };
+        let _ = generate(&p, 0);
+    }
+}

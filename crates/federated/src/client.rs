@@ -1,0 +1,176 @@
+//! Per-party data and the federation setup (Louvain cut → client bundles).
+
+use std::sync::Arc;
+
+use fedomd_data::Dataset;
+use fedomd_graph::{louvain_cut, split_nodes, LouvainConfig, SplitRatios, Splits};
+use fedomd_nn::GraphInput;
+use fedomd_sparse::normalized_adjacency;
+use fedomd_tensor::rng::derive;
+
+/// Everything one party owns: its local subgraph, features, labels, and
+/// train/val/test split (local node ids throughout).
+#[derive(Clone)]
+pub struct ClientData {
+    /// Graph input: local `Ŝ`, `X`, cached `Ŝ·X`.
+    pub input: GraphInput,
+    /// Local labels.
+    pub labels: Vec<usize>,
+    /// Local train/val/test node indices.
+    pub splits: Splits,
+    /// Mapping `local id → global id` in the original dataset.
+    pub global_ids: Vec<usize>,
+    /// Local undirected edge list (for baselines that re-derive operators).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl ClientData {
+    /// Number of local nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+/// How to cut the global dataset into parties.
+#[derive(Clone, Copy, Debug)]
+pub struct FederationConfig {
+    /// Number of parties `M`.
+    pub n_parties: usize,
+    /// Louvain resolution (paper Fig. 7 sweeps this).
+    pub resolution: f64,
+    /// Split ratios (paper: 1 % / 20 % / 20 %).
+    pub ratios: SplitRatios,
+    /// Seed controlling Louvain tie-breaking and splits.
+    pub seed: u64,
+}
+
+impl FederationConfig {
+    /// The paper's default setup for `m` parties.
+    pub fn paper(m: usize, seed: u64) -> Self {
+        Self { n_parties: m, resolution: 1.0, ratios: SplitRatios::paper(), seed }
+    }
+
+    /// The mini-scale setup: same cut, scale-adjusted label rate (see
+    /// [`SplitRatios::mini`]).
+    pub fn mini(m: usize, seed: u64) -> Self {
+        Self { ratios: SplitRatios::mini(), ..Self::paper(m, seed) }
+    }
+}
+
+/// Cuts `dataset` into `cfg.n_parties` clients: Louvain at the configured
+/// resolution, greedy community→party packing, induced subgraphs, per-party
+/// stratified splits.
+pub fn setup_federation(dataset: &Dataset, cfg: &FederationConfig) -> Vec<ClientData> {
+    let louvain_cfg = LouvainConfig {
+        resolution: cfg.resolution,
+        seed: derive(cfg.seed, 0x10),
+        ..Default::default()
+    };
+    let parties = louvain_cut(&dataset.graph, cfg.n_parties, &louvain_cfg);
+
+    parties
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let labels: Vec<usize> =
+                p.global_ids.iter().map(|&g| dataset.labels[g]).collect();
+            let features = dataset.features.select_rows(&p.global_ids);
+            let edges = p.graph.edges().to_vec();
+            let s = Arc::new(normalized_adjacency(p.graph.n_nodes(), &edges));
+            let input = GraphInput::new(s, features);
+            let splits = split_nodes(&labels, cfg.ratios, derive(cfg.seed, 0x20 + i as u64));
+            ClientData { input, labels, splits, global_ids: p.global_ids, edges }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedomd_data::{generate, spec, DatasetName};
+
+    fn mini() -> Dataset {
+        generate(&spec(DatasetName::CoraMini), 0)
+    }
+
+    #[test]
+    fn setup_produces_m_nonempty_clients() {
+        let ds = mini();
+        let clients = setup_federation(&ds, &FederationConfig::mini(3, 0));
+        assert_eq!(clients.len(), 3);
+        for c in &clients {
+            assert!(c.n_nodes() > 0);
+            assert_eq!(c.input.n_nodes(), c.n_nodes());
+            assert!(!c.splits.train.is_empty(), "client has no train nodes");
+            assert!(!c.splits.test.is_empty(), "client has no test nodes");
+        }
+    }
+
+    #[test]
+    fn clients_partition_the_node_set() {
+        let ds = mini();
+        let clients = setup_federation(&ds, &FederationConfig::mini(5, 1));
+        let mut seen = vec![false; ds.n_nodes()];
+        for c in &clients {
+            for &g in &c.global_ids {
+                assert!(!seen[g]);
+                seen[g] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn labels_and_features_are_consistent_with_global() {
+        let ds = mini();
+        let clients = setup_federation(&ds, &FederationConfig::mini(3, 2));
+        for c in &clients {
+            for (local, &global) in c.global_ids.iter().enumerate() {
+                assert_eq!(c.labels[local], ds.labels[global]);
+                assert_eq!(c.input.x.row(local), ds.features.row(global));
+            }
+        }
+    }
+
+    #[test]
+    fn label_distribution_is_non_iid() {
+        // The paper's Fig. 4 premise: party label histograms differ.
+        let ds = mini();
+        let clients = setup_federation(&ds, &FederationConfig::mini(3, 3));
+        let hist = |c: &ClientData| {
+            let mut h = vec![0f64; ds.n_classes];
+            for &l in &c.labels {
+                h[l] += 1.0;
+            }
+            let total: f64 = h.iter().sum();
+            h.into_iter().map(|v| v / total).collect::<Vec<_>>()
+        };
+        let h0 = hist(&clients[0]);
+        let h1 = hist(&clients[1]);
+        let tv: f64 = h0.iter().zip(&h1).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
+        assert!(tv > 0.1, "total-variation distance {tv} too small to be non-i.i.d.");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = mini();
+        let a = setup_federation(&ds, &FederationConfig::mini(4, 9));
+        let b = setup_federation(&ds, &FederationConfig::mini(4, 9));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.global_ids, y.global_ids);
+            assert_eq!(x.splits.train, y.splits.train);
+        }
+    }
+
+    #[test]
+    fn higher_resolution_gives_more_fragmented_parties() {
+        let ds = mini();
+        let lo = FederationConfig { resolution: 0.5, ..FederationConfig::mini(3, 4) };
+        let hi = FederationConfig { resolution: 20.0, ..FederationConfig::mini(3, 4) };
+        let edges = |cfg: &FederationConfig| -> usize {
+            setup_federation(&ds, cfg).iter().map(|c| c.edges.len()).sum()
+        };
+        // More, smaller communities ⇒ more cross-party edges dropped.
+        assert!(edges(&hi) <= edges(&lo));
+    }
+}

@@ -1,0 +1,124 @@
+//! Byte-level communication accounting.
+//!
+//! The paper's Table 3 argues that FedOMD's statistics exchange is
+//! negligible next to the weight exchange ("only a few statistical data of
+//! local features are required..., causing negligible communication
+//! costs"); this log measures exactly that. Scalars are `f32`, 4 bytes.
+
+/// Accumulated traffic of one federated run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommsLog {
+    /// Client → server bytes.
+    pub uplink_bytes: u64,
+    /// Server → client bytes.
+    pub downlink_bytes: u64,
+    /// Client → server bytes spent on *statistics* (FedOMD's means and
+    /// central moments) — a sub-bucket of `uplink_bytes`.
+    pub stats_uplink_bytes: u64,
+    /// Communication rounds completed.
+    pub rounds: u64,
+}
+
+const SCALAR_BYTES: u64 = 4;
+
+impl CommsLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a client uploading `n_scalars` model weights.
+    pub fn upload_weights(&mut self, n_scalars: usize) {
+        self.uplink_bytes += n_scalars as u64 * SCALAR_BYTES;
+    }
+
+    /// Records a client downloading `n_scalars` model weights.
+    pub fn download_weights(&mut self, n_scalars: usize) {
+        self.downlink_bytes += n_scalars as u64 * SCALAR_BYTES;
+    }
+
+    /// Records a client uploading `n_scalars` of statistics (counted both
+    /// in the uplink total and the stats sub-bucket).
+    pub fn upload_stats(&mut self, n_scalars: usize) {
+        let b = n_scalars as u64 * SCALAR_BYTES;
+        self.uplink_bytes += b;
+        self.stats_uplink_bytes += b;
+    }
+
+    /// Records server → client statistics broadcast.
+    pub fn download_stats(&mut self, n_scalars: usize) {
+        self.downlink_bytes += n_scalars as u64 * SCALAR_BYTES;
+    }
+
+    /// Marks one communication round finished.
+    pub fn end_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Total traffic in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.uplink_bytes + self.downlink_bytes
+    }
+
+    /// Fraction of uplink spent on statistics (0 when no uplink).
+    pub fn stats_fraction(&self) -> f64 {
+        if self.uplink_bytes == 0 {
+            0.0
+        } else {
+            self.stats_uplink_bytes as f64 / self.uplink_bytes as f64
+        }
+    }
+
+    /// Merges another log (e.g. per-client partial logs).
+    pub fn merge(&mut self, other: &CommsLog) {
+        self.uplink_bytes += other.uplink_bytes;
+        self.downlink_bytes += other.downlink_bytes;
+        self.stats_uplink_bytes += other.stats_uplink_bytes;
+        self.rounds = self.rounds.max(other.rounds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_traffic_counts_four_bytes_per_scalar() {
+        let mut log = CommsLog::new();
+        log.upload_weights(100);
+        log.download_weights(50);
+        assert_eq!(log.uplink_bytes, 400);
+        assert_eq!(log.downlink_bytes, 200);
+        assert_eq!(log.total_bytes(), 600);
+        assert_eq!(log.stats_uplink_bytes, 0);
+    }
+
+    #[test]
+    fn stats_are_a_sub_bucket_of_uplink() {
+        let mut log = CommsLog::new();
+        log.upload_weights(1000);
+        log.upload_stats(10);
+        assert_eq!(log.uplink_bytes, 4040);
+        assert_eq!(log.stats_uplink_bytes, 40);
+        assert!((log.stats_fraction() - 40.0 / 4040.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_rounds() {
+        let mut a = CommsLog::new();
+        a.upload_weights(1);
+        a.end_round();
+        a.end_round();
+        let mut b = CommsLog::new();
+        b.upload_stats(2);
+        b.end_round();
+        a.merge(&b);
+        assert_eq!(a.uplink_bytes, 4 + 8);
+        assert_eq!(a.rounds, 2);
+    }
+
+    #[test]
+    fn empty_log_fraction_is_zero() {
+        assert_eq!(CommsLog::new().stats_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Training configuration and run results shared by every algorithm.
+
+use crate::comms::CommsLog;
+use fedomd_metrics::Timer;
+
+/// Federated training hyper-parameters (paper §5.1 defaults via
+/// [`TrainConfig::paper`], fast defaults via [`TrainConfig::mini`]).
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Maximum communication rounds (paper: 1000 epochs, interval 1 — one
+    /// local epoch per round).
+    pub rounds: usize,
+    /// Local epochs per round (paper communication interval = 1).
+    pub local_epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Weight decay (paper: 1e-4).
+    pub weight_decay: f32,
+    /// Early-stopping patience in rounds on validation accuracy
+    /// (paper: 200).
+    pub patience: usize,
+    /// Hidden width for all models (paper: 64).
+    pub hidden_dim: usize,
+    /// Run seed; drives init, scheduling, and any stochastic baseline step.
+    pub seed: u64,
+    /// Evaluate every this many rounds (1 reproduces the paper's per-round
+    /// convergence curves).
+    pub eval_every: usize,
+}
+
+impl TrainConfig {
+    /// Paper-faithful settings (1000 rounds, patience 200).
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            rounds: 1000,
+            local_epochs: 1,
+            lr: 0.01,
+            weight_decay: 1e-4,
+            patience: 200,
+            hidden_dim: 64,
+            seed,
+            eval_every: 1,
+        }
+    }
+
+    /// Fast settings for the mini datasets (same shape, fewer rounds).
+    pub fn mini(seed: u64) -> Self {
+        Self {
+            rounds: 120,
+            local_epochs: 1,
+            lr: 0.03,
+            weight_decay: 1e-4,
+            patience: 40,
+            hidden_dim: 32,
+            seed,
+            eval_every: 2,
+        }
+    }
+}
+
+/// Accuracy snapshot at one evaluated round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoundStats {
+    /// Communication round index (0-based).
+    pub round: usize,
+    /// Mean training loss across clients.
+    pub train_loss: f64,
+    /// Test-size-weighted validation accuracy across clients.
+    pub val_acc: f64,
+    /// Test-size-weighted test accuracy across clients.
+    pub test_acc: f64,
+}
+
+/// Outcome of one federated run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Test accuracy at the best-validation round (the number the paper
+    /// tables report).
+    pub test_acc: f64,
+    /// Best validation accuracy.
+    pub val_acc: f64,
+    /// Round at which the best validation accuracy occurred.
+    pub best_round: usize,
+    /// Per-evaluation history (the paper's Fig. 5 curves).
+    pub history: Vec<RoundStats>,
+    /// Total traffic.
+    pub comms: CommsLog,
+    /// Wall-clock buckets: `"client"`, `"server"`, `"inference"`.
+    pub timing: Timer,
+}
+
+impl RunResult {
+    /// True when validation accuracy improved at some point beyond the
+    /// first evaluation (a cheap convergence sanity check).
+    pub fn improved(&self) -> bool {
+        self.history
+            .first()
+            .map(|first| self.val_acc > first.val_acc + 1e-9)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_5_1() {
+        let c = TrainConfig::paper(0);
+        assert_eq!(c.rounds, 1000);
+        assert_eq!(c.patience, 200);
+        assert!((c.weight_decay - 1e-4).abs() < 1e-12);
+        assert_eq!(c.hidden_dim, 64);
+        assert_eq!(c.local_epochs, 1);
+    }
+
+    #[test]
+    fn improved_detection() {
+        let base = RunResult {
+            algorithm: "x".into(),
+            test_acc: 0.5,
+            val_acc: 0.6,
+            best_round: 10,
+            history: vec![
+                RoundStats { round: 0, train_loss: 2.0, val_acc: 0.2, test_acc: 0.2 },
+                RoundStats { round: 1, train_loss: 1.0, val_acc: 0.6, test_acc: 0.5 },
+            ],
+            comms: CommsLog::new(),
+            timing: Timer::new(),
+        };
+        assert!(base.improved());
+        let mut flat = base.clone();
+        flat.val_acc = 0.2;
+        assert!(!flat.improved());
+    }
+}

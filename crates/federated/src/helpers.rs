@@ -1,0 +1,181 @@
+//! Shared machinery for every federated algorithm: prediction, weighted
+//! evaluation, the FedAvg reduction, and the single-client training step.
+
+use fedomd_autograd::{Tape, Var};
+use fedomd_metrics::accuracy::argmax_row;
+use fedomd_nn::{ForwardOut, Model, Optimizer};
+use fedomd_tensor::Matrix;
+
+use crate::client::ClientData;
+
+/// Forward pass without gradient bookkeeping; returns the logits matrix.
+pub fn predict(model: &dyn Model, client: &ClientData) -> Matrix {
+    let mut tape = Tape::new();
+    let out = model.forward(&mut tape, &client.input);
+    tape.value(out.logits).clone()
+}
+
+/// `(correct, total)` over the given local node indices.
+pub fn count_correct(logits: &Matrix, labels: &[usize], mask: &[usize]) -> (usize, usize) {
+    let correct = mask.iter().filter(|&&r| argmax_row(logits.row(r)) == labels[r]).count();
+    (correct, mask.len())
+}
+
+/// Pooled (node-weighted) validation and test accuracy across all clients.
+///
+/// This realises the paper's "average accuracy across parties" as the
+/// pooled accuracy over every party's val/test nodes, which is the stable
+/// variant under heavily skewed party sizes.
+pub fn evaluate(models: &[Box<dyn Model>], clients: &[ClientData]) -> (f64, f64) {
+    assert_eq!(models.len(), clients.len(), "evaluate: arity mismatch");
+    let mut val = (0usize, 0usize);
+    let mut test = (0usize, 0usize);
+    for (model, client) in models.iter().zip(clients) {
+        let logits = predict(model.as_ref(), client);
+        let (c, t) = count_correct(&logits, &client.labels, &client.splits.val);
+        val.0 += c;
+        val.1 += t;
+        let (c, t) = count_correct(&logits, &client.labels, &client.splits.test);
+        test.0 += c;
+        test.1 += t;
+    }
+    let frac = |(c, t): (usize, usize)| if t == 0 { 0.0 } else { c as f64 / t as f64 };
+    (frac(val), frac(test))
+}
+
+/// Weighted FedAvg: `W̄ = Σ_i λ_i W_i` with `λ` normalised to sum to 1
+/// (paper Eq. 2 / Algorithm 1 line 27).
+///
+/// # Panics
+/// Panics on empty input, arity/shape mismatch, or non-positive total
+/// weight.
+pub fn fedavg(param_sets: &[Vec<Matrix>], weights: &[f64]) -> Vec<Matrix> {
+    assert!(!param_sets.is_empty(), "fedavg: no clients");
+    assert_eq!(param_sets.len(), weights.len(), "fedavg: weights arity mismatch");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "fedavg: total weight must be positive");
+    let arity = param_sets[0].len();
+    let mut out: Vec<Matrix> = param_sets[0]
+        .iter()
+        .map(|p| Matrix::zeros(p.rows(), p.cols()))
+        .collect();
+    for (set, &w) in param_sets.iter().zip(weights) {
+        assert_eq!(set.len(), arity, "fedavg: param arity mismatch");
+        let lambda = (w / total) as f32;
+        for (acc, p) in out.iter_mut().zip(set) {
+            assert_eq!(acc.shape(), p.shape(), "fedavg: shape mismatch");
+            fedomd_tensor::ops::axpy(acc, lambda, p);
+        }
+    }
+    out
+}
+
+/// One local training step: forward, CE over the train mask, optional
+/// extra loss terms, backward, gradient adjustment hook, optimiser step.
+/// Returns the total scalar loss.
+///
+/// `extra_loss` may append additional scalar nodes (already weighted) that
+/// are summed into the objective. `adjust_grads` can rewrite the gradient
+/// list (SCAFFOLD's control variates).
+pub fn local_step(
+    model: &mut Box<dyn Model>,
+    client: &ClientData,
+    opt: &mut dyn Optimizer,
+    extra_loss: impl FnOnce(&mut Tape, &ForwardOut) -> Vec<Var>,
+    adjust_grads: impl FnOnce(&mut [Matrix]),
+) -> f32 {
+    let mut tape = Tape::new();
+    let out = model.forward(&mut tape, &client.input);
+    let mut loss = tape.softmax_cross_entropy(out.logits, &client.labels, &client.splits.train);
+    for term in extra_loss(&mut tape, &out) {
+        loss = tape.add(loss, term);
+    }
+    tape.backward(loss);
+
+    let mut grads: Vec<Matrix> = out
+        .param_vars
+        .iter()
+        .map(|&v| {
+            tape.grad(v).cloned().unwrap_or_else(|| {
+                let val = tape.value(v);
+                Matrix::zeros(val.rows(), val.cols())
+            })
+        })
+        .collect();
+    adjust_grads(&mut grads);
+
+    let mut params = model.params();
+    opt.step(&mut params, &grads);
+    model.set_params(&params);
+    model.post_step();
+    tape.scalar(loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{setup_federation, FederationConfig};
+    use fedomd_data::{generate, spec, DatasetName};
+    use fedomd_nn::{Mlp, Sgd};
+    use fedomd_tensor::rng::seeded;
+
+    fn one_client() -> ClientData {
+        let ds = generate(&spec(DatasetName::CoraMini), 0);
+        setup_federation(&ds, &FederationConfig::mini(1, 0)).remove(0)
+    }
+
+    #[test]
+    fn fedavg_of_identical_sets_is_identity() {
+        let p = vec![Matrix::from_vec(1, 2, vec![1.0, 2.0])];
+        let avg = fedavg(&[p.clone(), p.clone()], &[1.0, 1.0]);
+        avg[0].assert_close(&p[0], 1e-6);
+    }
+
+    #[test]
+    fn fedavg_weighted_mean() {
+        let a = vec![Matrix::from_vec(1, 1, vec![0.0])];
+        let b = vec![Matrix::from_vec(1, 1, vec![10.0])];
+        let avg = fedavg(&[a, b], &[3.0, 1.0]);
+        assert!((avg[0][(0, 0)] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no clients")]
+    fn fedavg_rejects_empty() {
+        let _ = fedavg(&[], &[]);
+    }
+
+    #[test]
+    fn local_step_reduces_loss() {
+        let client = one_client();
+        let mut rng = seeded(1);
+        let mut model: Box<dyn Model> =
+            Box::new(Mlp::new(client.input.n_features(), 16, 7, &mut rng));
+        let mut opt = Sgd::new(0.1, 0.0);
+        let first = local_step(&mut model, &client, &mut opt, |_, _| vec![], |_| {});
+        let mut last = first;
+        for _ in 0..30 {
+            last = local_step(&mut model, &client, &mut opt, |_, _| vec![], |_| {});
+        }
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn evaluate_returns_fractions_in_unit_interval() {
+        let client = one_client();
+        let mut rng = seeded(2);
+        let models: Vec<Box<dyn Model>> =
+            vec![Box::new(Mlp::new(client.input.n_features(), 8, 7, &mut rng))];
+        let (val, test) = evaluate(&models, std::slice::from_ref(&client));
+        assert!((0.0..=1.0).contains(&val));
+        assert!((0.0..=1.0).contains(&test));
+    }
+
+    #[test]
+    fn count_correct_basics() {
+        let logits = Matrix::from_vec(2, 2, vec![2.0, 1.0, 0.0, 5.0]);
+        let labels = vec![0, 0];
+        let (c, t) = count_correct(&logits, &labels, &[0, 1]);
+        assert_eq!((c, t), (1, 2));
+    }
+}

@@ -1,0 +1,27 @@
+//! The federated-learning substrate of the FedOMD reproduction.
+//!
+//! Provides the in-process federation simulator — per-party [`ClientData`]
+//! built by the Louvain cut, byte-accounted [`CommsLog`], the shared
+//! round-loop machinery ([`engine`]) — plus the seven baselines the paper
+//! compares against (its Table 4/5): FedMLP, FedProx, SCAFFOLD, LocGCN,
+//! FedGCN, FedSage+, and FedLIT. FedOMD itself lives in `fedomd-core`,
+//! built on the same machinery.
+//!
+//! Clients train in parallel on rayon workers inside every communication
+//! round; all randomness is derived from the run seed, so a full federated
+//! run is reproducible bit-for-bit.
+
+pub mod baselines;
+pub mod client;
+pub mod comms;
+pub mod config;
+pub mod engine;
+pub mod helpers;
+pub mod heterogeneity;
+pub mod secure_agg;
+
+pub use client::{setup_federation, ClientData, FederationConfig};
+pub use comms::CommsLog;
+pub use config::{RoundStats, RunResult, TrainConfig};
+pub use engine::{run_generic, GenericOpts, ModelKind};
+pub use secure_agg::{aggregate_masked, secure_weighted_sum, MaskingContext};

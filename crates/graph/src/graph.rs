@@ -1,0 +1,206 @@
+//! Undirected graph topology.
+
+/// An undirected, unweighted graph stored as both an edge list and an
+/// adjacency list.
+///
+/// Self-loops are rejected at construction; parallel edges are collapsed.
+/// Node ids are dense `0..n`.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Builds a graph on `n` nodes from an edge list. Edges are normalised
+    /// to `(min, max)` order; duplicates and self-loops are dropped.
+    ///
+    /// # Panics
+    /// Panics when an endpoint is out of bounds.
+    pub fn new(n: usize, raw_edges: &[(usize, usize)]) -> Self {
+        let mut edges: Vec<(usize, usize)> = raw_edges
+            .iter()
+            .filter(|&&(u, v)| u != v)
+            .map(|&(u, v)| {
+                assert!(u < n && v < n, "edge ({u},{v}) out of bounds for n={n}");
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in &edges {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        for nb in &mut adj {
+            nb.sort_unstable();
+        }
+        Self { n, edges, adj }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The normalised undirected edge list.
+    #[inline]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Neighbours of `u` in ascending order.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Mean degree, 0 for the empty graph.
+    pub fn mean_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.n_edges() as f64 / self.n as f64
+        }
+    }
+
+    /// Whether edge `{u, v}` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// The subgraph induced by `nodes`, plus the mapping
+    /// `local id -> global id` (which is just `nodes` deduplicated, sorted).
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> (Graph, Vec<usize>) {
+        let mut sorted: Vec<usize> = nodes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut global_to_local = vec![usize::MAX; self.n];
+        for (local, &g) in sorted.iter().enumerate() {
+            global_to_local[g] = local;
+        }
+        let mut edges = Vec::new();
+        for &(u, v) in &self.edges {
+            let (lu, lv) = (global_to_local[u], global_to_local[v]);
+            if lu != usize::MAX && lv != usize::MAX {
+                edges.push((lu, lv));
+            }
+        }
+        (Graph::new(sorted.len(), &edges), sorted)
+    }
+
+    /// Connected components as a label per node, labels dense `0..k`.
+    pub fn connected_components(&self) -> Vec<usize> {
+        let mut comp = vec![usize::MAX; self.n];
+        let mut next = 0;
+        let mut stack = Vec::new();
+        for start in 0..self.n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = next;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                for &v in self.neighbors(u) {
+                    if comp[v] == usize::MAX {
+                        comp[v] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// Fraction of edges whose endpoints share a label (edge homophily).
+    pub fn edge_homophily(&self, labels: &[usize]) -> f64 {
+        assert_eq!(labels.len(), self.n, "edge_homophily: label length mismatch");
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        let same = self.edges.iter().filter(|&&(u, v)| labels[u] == labels[v]).count();
+        same as f64 / self.edges.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Graph {
+        Graph::new(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn construction_normalises_edges() {
+        let g = Graph::new(3, &[(1, 0), (0, 1), (2, 2), (1, 2)]);
+        assert_eq!(g.n_edges(), 2); // duplicate collapsed, self-loop dropped
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn adjacency_and_degree() {
+        let g = square();
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.degree(2), 2);
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!((g.mean_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_ids() {
+        let g = square();
+        let (sub, mapping) = g.induced_subgraph(&[3, 1, 2]);
+        assert_eq!(mapping, vec![1, 2, 3]);
+        assert_eq!(sub.n_nodes(), 3);
+        // Global edges (1,2) and (2,3) survive; (3,0) and (0,1) do not.
+        assert_eq!(sub.n_edges(), 2);
+        assert!(sub.has_edge(0, 1)); // global (1,2)
+        assert!(sub.has_edge(1, 2)); // global (2,3)
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = Graph::new(5, &[(0, 1), (2, 3)]);
+        let comp = g.connected_components();
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+        assert_ne!(comp[4], comp[2]);
+        assert_eq!(comp.iter().copied().max().unwrap(), 2);
+    }
+
+    #[test]
+    fn homophily_counts_same_label_edges() {
+        let g = square();
+        let labels = vec![0, 0, 1, 1];
+        // Edges: (0,1) same, (1,2) diff, (2,3) same, (0,3) diff.
+        assert!((g.edge_homophily(&labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0, &[]);
+        assert_eq!(g.n_nodes(), 0);
+        assert_eq!(g.connected_components(), Vec::<usize>::new());
+    }
+}

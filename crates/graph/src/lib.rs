@@ -1,0 +1,20 @@
+//! Graph substrate for the FedOMD reproduction.
+//!
+//! Provides the undirected [`Graph`] topology type, the Louvain community
+//! detector with the `resolution` hyper-parameter (the paper partitions its
+//! global graphs into party subgraphs with "the Louvain-cut algorithm",
+//! §5.1 and Fig. 7), the community→party assignment, induced-subgraph
+//! extraction, and the 1 % / 20 % / 20 % train/val/test splits.
+
+pub mod graph;
+pub mod louvain;
+pub mod partition;
+pub mod split;
+
+pub use graph::Graph;
+pub use louvain::{louvain, LouvainConfig};
+pub use partition::{assign_parties, label_histograms, louvain_cut, PartySubgraph};
+pub use split::{split_nodes, SplitRatios, Splits};
+
+#[cfg(test)]
+mod proptests;

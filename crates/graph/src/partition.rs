@@ -1,0 +1,210 @@
+//! Community → party assignment: the paper's "Louvain-cut" (§5.1).
+//!
+//! The paper partitions each global graph into `M` party subgraphs by
+//! running Louvain and distributing the resulting communities across
+//! parties. We use the standard greedy bin-packing used by the FedSage
+//! line of work: communities sorted by size, each assigned to the currently
+//! smallest party, which yields the strongly non-i.i.d. label distributions
+//! visualised in the paper's Fig. 4.
+
+use crate::graph::Graph;
+use crate::louvain::{louvain, LouvainConfig};
+
+/// One party's local subgraph, with the local→global node mapping.
+#[derive(Clone, Debug)]
+pub struct PartySubgraph {
+    /// The induced local topology (node ids are local, dense).
+    pub graph: Graph,
+    /// `global_ids[local] == global node id` in the original graph.
+    pub global_ids: Vec<usize>,
+}
+
+/// Assigns `k` communities to `m` parties by greedy balanced bin-packing.
+/// Returns `party[community] = party id`.
+///
+/// Communities are processed largest-first; each goes to the party with the
+/// fewest nodes so far. When there are fewer communities than parties, the
+/// largest communities are split round-robin so every party is non-empty.
+pub fn assign_parties(community: &[usize], m: usize) -> Vec<usize> {
+    assert!(m >= 1, "need at least one party");
+    let k = community.iter().copied().max().map_or(0, |c| c + 1);
+    let mut sizes = vec![0usize; k];
+    for &c in community {
+        sizes[c] += 1;
+    }
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_unstable_by_key(|&c| std::cmp::Reverse(sizes[c]));
+
+    let mut party_of_comm = vec![0usize; k];
+    let mut load = vec![0usize; m];
+    for &c in &order {
+        let p = (0..m).min_by_key(|&p| load[p]).expect("m >= 1");
+        party_of_comm[c] = p;
+        load[p] += sizes[c];
+    }
+    party_of_comm
+}
+
+/// Runs the full Louvain-cut: Louvain at the given resolution, then greedy
+/// assignment to `m` parties, then induced-subgraph extraction.
+///
+/// Parties that end up empty (possible when the graph has fewer communities
+/// than parties and some community is huge) are filled by stealing nodes
+/// round-robin from the largest party so every client has data to train on.
+pub fn louvain_cut(g: &Graph, m: usize, cfg: &LouvainConfig) -> Vec<PartySubgraph> {
+    assert!(m >= 1, "need at least one party");
+    let community = louvain(g, cfg);
+    let party_of_comm = assign_parties(&community, m);
+    let mut node_party: Vec<usize> =
+        community.iter().map(|&c| party_of_comm[c]).collect();
+
+    rebalance_empty_parties(&mut node_party, m);
+
+    (0..m)
+        .map(|p| {
+            let nodes: Vec<usize> =
+                (0..g.n_nodes()).filter(|&u| node_party[u] == p).collect();
+            let (graph, global_ids) = g.induced_subgraph(&nodes);
+            PartySubgraph { graph, global_ids }
+        })
+        .collect()
+}
+
+/// Ensures every party id in `0..m` owns at least one node by moving nodes
+/// out of the largest party. Deterministic (takes highest-indexed nodes).
+fn rebalance_empty_parties(node_party: &mut [usize], m: usize) {
+    if node_party.len() < m {
+        // Cannot make every party non-empty; leave as is.
+        return;
+    }
+    loop {
+        let mut counts = vec![0usize; m];
+        for &p in node_party.iter() {
+            counts[p] += 1;
+        }
+        let Some(empty) = (0..m).find(|&p| counts[p] == 0) else {
+            return;
+        };
+        let donor = (0..m).max_by_key(|&p| counts[p]).expect("m >= 1");
+        let node = (0..node_party.len())
+            .rev()
+            .find(|&u| node_party[u] == donor)
+            .expect("donor party non-empty");
+        node_party[node] = empty;
+    }
+}
+
+/// Per-party label histograms: `hist[party][class] = count`. This is the
+/// data behind the paper's Fig. 4 bubble plot.
+pub fn label_histograms(
+    parties: &[PartySubgraph],
+    labels: &[usize],
+    n_classes: usize,
+) -> Vec<Vec<usize>> {
+    parties
+        .iter()
+        .map(|p| {
+            let mut h = vec![0usize; n_classes];
+            for &g in &p.global_ids {
+                assert!(labels[g] < n_classes, "label {} out of range", labels[g]);
+                h[labels[g]] += 1;
+            }
+            h
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique_chain(k: usize, size: usize) -> Graph {
+        // k cliques of `size` nodes, chained by single bridges.
+        let mut edges = Vec::new();
+        for c in 0..k {
+            let base = c * size;
+            for a in 0..size {
+                for b in (a + 1)..size {
+                    edges.push((base + a, base + b));
+                }
+            }
+            if c + 1 < k {
+                edges.push((base + size - 1, base + size));
+            }
+        }
+        Graph::new(k * size, &edges)
+    }
+
+    #[test]
+    fn assign_parties_balances_sizes() {
+        // Communities of sizes 6, 4, 3, 3 over 2 parties -> 8 vs 8 split.
+        let mut community = Vec::new();
+        for (c, &s) in [6usize, 4, 3, 3].iter().enumerate() {
+            community.extend(std::iter::repeat_n(c, s));
+        }
+        let assign = assign_parties(&community, 2);
+        let mut load = [0usize; 2];
+        for (&c, &s) in assign.iter().zip(&[6usize, 4, 3, 3]) {
+            load[c] += s;
+        }
+        assert_eq!(load[0] + load[1], 16);
+        assert!(load[0].abs_diff(load[1]) <= 2, "loads {load:?} unbalanced");
+    }
+
+    #[test]
+    fn louvain_cut_covers_all_nodes_exactly_once() {
+        let g = clique_chain(6, 5);
+        let parties = louvain_cut(&g, 3, &LouvainConfig::default());
+        assert_eq!(parties.len(), 3);
+        let mut seen = vec![false; g.n_nodes()];
+        for p in &parties {
+            assert_eq!(p.graph.n_nodes(), p.global_ids.len());
+            for &gid in &p.global_ids {
+                assert!(!seen[gid], "node {gid} in two parties");
+                seen[gid] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some node unassigned");
+    }
+
+    #[test]
+    fn every_party_nonempty() {
+        let g = clique_chain(2, 4); // only ~2 communities
+        let parties = louvain_cut(&g, 5, &LouvainConfig::default());
+        for (i, p) in parties.iter().enumerate() {
+            assert!(p.graph.n_nodes() > 0, "party {i} empty");
+        }
+    }
+
+    #[test]
+    fn subgraph_edges_are_internal_only() {
+        let g = clique_chain(4, 5);
+        let parties = louvain_cut(&g, 2, &LouvainConfig::default());
+        let total_local_edges: usize = parties.iter().map(|p| p.graph.n_edges()).sum();
+        // Cross-party edges are dropped, so local edges cannot exceed global.
+        assert!(total_local_edges <= g.n_edges());
+        // With a clique-structured graph, Louvain should keep most edges local.
+        assert!(total_local_edges >= g.n_edges() / 2);
+    }
+
+    #[test]
+    fn label_histograms_count_correctly() {
+        let g = clique_chain(2, 3);
+        let parties = louvain_cut(&g, 2, &LouvainConfig::default());
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let hists = label_histograms(&parties, &labels, 2);
+        let total: usize = hists.iter().flatten().sum();
+        assert_eq!(total, 6);
+        // Louvain-cut puts each clique on its own party, so the label
+        // distribution should be strongly skewed (the Fig. 4 effect).
+        for h in &hists {
+            assert!(h.contains(&0), "expected a non-i.i.d. histogram, got {h:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_rejected() {
+        let _ = assign_parties(&[0, 1], 0);
+    }
+}

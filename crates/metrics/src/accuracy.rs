@@ -1,0 +1,72 @@
+//! Classification accuracy over masked node sets.
+
+/// Index of the maximum element of a row (first on ties).
+///
+/// # Panics
+/// Panics on an empty row or non-finite values.
+pub fn argmax_row(row: &[f32]) -> usize {
+    assert!(!row.is_empty(), "argmax_row: empty row");
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        assert!(v.is_finite(), "argmax_row: non-finite logit {v}");
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Fraction of `mask` rows whose argmax prediction matches `labels`.
+/// `logits_rows` yields one logits slice per node (in node order).
+///
+/// Returns 0 for an empty mask.
+pub fn accuracy<'a>(
+    logits: impl Fn(usize) -> &'a [f32],
+    labels: &[usize],
+    mask: &[usize],
+) -> f64 {
+    if mask.is_empty() {
+        return 0.0;
+    }
+    let correct = mask.iter().filter(|&&r| argmax_row(logits(r)) == labels[r]).count();
+    correct as f64 / mask.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_basic_and_ties() {
+        assert_eq!(argmax_row(&[0.1, 0.9, 0.5]), 1);
+        assert_eq!(argmax_row(&[1.0, 1.0]), 0); // first wins ties
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn argmax_rejects_nan() {
+        let _ = argmax_row(&[0.0, f32::NAN]);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = [vec![1.0f32, 0.0], vec![0.0, 1.0], vec![1.0, 0.0]];
+        let labels = [0usize, 1, 1];
+        let acc = accuracy(|r| logits[r].as_slice(), &labels, &[0, 1, 2]);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_respects_mask() {
+        let logits = [vec![1.0f32, 0.0], vec![1.0, 0.0]];
+        let labels = [0usize, 1];
+        assert_eq!(accuracy(|r| logits[r].as_slice(), &labels, &[0]), 1.0);
+        assert_eq!(accuracy(|r| logits[r].as_slice(), &labels, &[1]), 0.0);
+    }
+
+    #[test]
+    fn empty_mask_is_zero() {
+        let logits = [vec![1.0f32]];
+        assert_eq!(accuracy(|r| logits[r].as_slice(), &[0], &[]), 0.0);
+    }
+}

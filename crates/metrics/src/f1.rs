@@ -1,0 +1,109 @@
+//! Macro-F1 (extension metric): under the heavily skewed per-party label
+//! distributions of the Louvain cut, accuracy rewards majority-class
+//! prediction; macro-F1 exposes that failure mode.
+
+/// Per-class precision/recall/F1 and the macro average.
+#[derive(Clone, Debug, PartialEq)]
+pub struct F1Report {
+    /// Per-class F1 (0 when the class never appears in labels or
+    /// predictions).
+    pub per_class: Vec<f64>,
+    /// Unweighted mean over classes that appear in the ground truth.
+    pub macro_f1: f64,
+}
+
+/// Computes macro-F1 over `(prediction, label)` pairs restricted to `mask`.
+///
+/// # Panics
+/// Panics when a prediction or label is `>= n_classes`.
+pub fn macro_f1(
+    predictions: &[usize],
+    labels: &[usize],
+    mask: &[usize],
+    n_classes: usize,
+) -> F1Report {
+    assert_eq!(predictions.len(), labels.len(), "macro_f1: length mismatch");
+    let mut tp = vec![0usize; n_classes];
+    let mut fp = vec![0usize; n_classes];
+    let mut fneg = vec![0usize; n_classes];
+    for &i in mask {
+        let (p, y) = (predictions[i], labels[i]);
+        assert!(p < n_classes && y < n_classes, "macro_f1: class out of range");
+        if p == y {
+            tp[y] += 1;
+        } else {
+            fp[p] += 1;
+            fneg[y] += 1;
+        }
+    }
+    let per_class: Vec<f64> = (0..n_classes)
+        .map(|c| {
+            let denom = 2 * tp[c] + fp[c] + fneg[c];
+            if denom == 0 {
+                0.0
+            } else {
+                2.0 * tp[c] as f64 / denom as f64
+            }
+        })
+        .collect();
+    let present: Vec<usize> =
+        (0..n_classes).filter(|&c| mask.iter().any(|&i| labels[i] == c)).collect();
+    let macro_f1 = if present.is_empty() {
+        0.0
+    } else {
+        present.iter().map(|&c| per_class[c]).sum::<f64>() / present.len() as f64
+    };
+    F1Report { per_class, macro_f1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_give_unit_f1() {
+        let labels = vec![0, 1, 2, 0, 1];
+        let mask: Vec<usize> = (0..5).collect();
+        let r = macro_f1(&labels, &labels, &mask, 3);
+        assert!((r.macro_f1 - 1.0).abs() < 1e-12);
+        assert!(r.per_class.iter().all(|&f| (f - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn majority_class_trick_scores_low_macro_f1() {
+        // 8 of class 0, 2 of class 1; predicting all-0 gives 80% accuracy
+        // but macro-F1 well below it.
+        let labels = vec![0, 0, 0, 0, 0, 0, 0, 0, 1, 1];
+        let preds = vec![0; 10];
+        let mask: Vec<usize> = (0..10).collect();
+        let r = macro_f1(&preds, &labels, &mask, 2);
+        // class 0: F1 = 2*8/(16+2) = 0.888..; class 1: 0. macro = 0.444..
+        assert!((r.macro_f1 - 0.4444).abs() < 1e-3, "macro {}", r.macro_f1);
+    }
+
+    #[test]
+    fn known_confusion_values() {
+        // labels: [0,0,1,1], preds: [0,1,1,0].
+        let labels = vec![0, 0, 1, 1];
+        let preds = vec![0, 1, 1, 0];
+        let r = macro_f1(&preds, &labels, &[0, 1, 2, 3], 2);
+        // Both classes: tp=1, fp=1, fn=1 -> F1 = 2/(2+1+1) = 0.5.
+        assert!((r.per_class[0] - 0.5).abs() < 1e-12);
+        assert!((r.per_class[1] - 0.5).abs() < 1e-12);
+        assert!((r.macro_f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_classes_do_not_dilute_macro() {
+        let labels = vec![0, 0];
+        let preds = vec![0, 0];
+        let r = macro_f1(&preds, &labels, &[0, 1], 5);
+        assert!((r.macro_f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mask_yields_zero() {
+        let r = macro_f1(&[0], &[0], &[], 2);
+        assert_eq!(r.macro_f1, 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Machine-readable experiment records: each bench binary serialises one
+//! of these per regenerated table/figure so EXPERIMENTS.md numbers can be
+//! traced to a JSON artifact.
+
+use serde::{Deserialize, Serialize};
+
+/// One cell of a results table (a model × setting accuracy).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct CellRecord {
+    /// Row label, e.g. model name.
+    pub row: String,
+    /// Column label, e.g. `"cora/M=3"`.
+    pub col: String,
+    /// Mean value (accuracy in percent, time in ms, ...).
+    pub mean: f64,
+    /// Standard deviation across seeds.
+    pub std: f64,
+}
+
+/// A full regenerated experiment (one paper table or figure).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ExperimentRecord {
+    /// Paper artifact id, e.g. `"table4"`, `"fig5"`.
+    pub experiment: String,
+    /// `"mini"` or `"paper"`.
+    pub scale: String,
+    /// Seeds used.
+    pub seeds: Vec<u64>,
+    /// All cells.
+    pub cells: Vec<CellRecord>,
+}
+
+impl ExperimentRecord {
+    /// Creates an empty record.
+    pub fn new(experiment: &str, scale: &str, seeds: &[u64]) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            scale: scale.to_string(),
+            seeds: seeds.to_vec(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Appends a cell.
+    pub fn push(&mut self, row: &str, col: &str, mean: f64, std: f64) {
+        self.cells.push(CellRecord { row: row.into(), col: col.into(), mean, std });
+    }
+
+    /// Looks up a cell mean by row/col labels.
+    pub fn mean_of(&self, row: &str, col: &str) -> Option<f64> {
+        self.cells.iter().find(|c| c.row == row && c.col == col).map(|c| c.mean)
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ExperimentRecord serialises")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let mut r = ExperimentRecord::new("table4", "mini", &[0, 1, 2]);
+        r.push("FedOMD", "cora/M=3", 54.35, 5.86);
+        let back = ExperimentRecord::from_json(&r.to_json()).expect("parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn mean_lookup() {
+        let mut r = ExperimentRecord::new("table4", "mini", &[0]);
+        r.push("FedOMD", "cora/M=3", 54.35, 5.86);
+        r.push("FedGCN", "cora/M=3", 47.12, 7.07);
+        assert_eq!(r.mean_of("FedOMD", "cora/M=3"), Some(54.35));
+        assert_eq!(r.mean_of("FedOMD", "cora/M=5"), None);
+    }
+}

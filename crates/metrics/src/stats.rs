@@ -1,0 +1,64 @@
+//! Seed statistics: the "accuracy ± std" cells of the paper's tables.
+
+/// Mean and sample standard deviation of a run set.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    pub mean: f64,
+    pub std: f64,
+    pub n: usize,
+}
+
+impl Summary {
+    /// Formats as the paper does: `54.35 (±5.86)` given values in percent.
+    pub fn paper_cell(&self) -> String {
+        format!("{:.2} (±{:.2})", self.mean, self.std)
+    }
+}
+
+/// Computes mean and *sample* std (`n − 1` denominator; std 0 when `n < 2`).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn mean_std(values: &[f64]) -> Summary {
+    assert!(!values.is_empty(), "mean_std: empty input");
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let std = if n < 2 {
+        0.0
+    } else {
+        (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+    };
+    Summary { mean, std, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let s = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn single_value_has_zero_std() {
+        let s = mean_std(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn paper_cell_format() {
+        let s = Summary { mean: 54.349, std: 5.856, n: 5 };
+        assert_eq!(s.paper_cell(), "54.35 (±5.86)");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn empty_rejected() {
+        let _ = mean_std(&[]);
+    }
+}

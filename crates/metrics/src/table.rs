@@ -1,0 +1,100 @@
+//! Plain-text table rendering for the bench binaries (markdown pipe style,
+//! so EXPERIMENTS.md can embed the output verbatim).
+
+/// A simple column-aligned markdown table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "Table::row: expected {} cells, got {}",
+            self.header.len(),
+            cells.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders as a markdown pipe table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = width[i]))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let sep: Vec<String> = width.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|", sep.join("-|-")));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(&["Model", "M=3"]);
+        t.row(vec!["FedOMD".into(), "54.35 (±5.86)".into()]);
+        t.row(vec!["FedGCN".into(), "47.12".into()]);
+        let s = t.render();
+        assert!(s.contains("| Model  | M=3"));
+        assert!(s.lines().count() == 4);
+        assert!(s.lines().nth(1).expect("separator").starts_with("|-"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 cells")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(&["only"]);
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Model checkpointing: save and restore parameter snapshots as JSON.
+//!
+//! A downstream deployment trains the federation once (hours at paper
+//! scale) and then serves the global model; this module provides the
+//! persistence layer — shape-validated on load so a checkpoint from a
+//! differently-configured model fails loudly instead of silently
+//! mis-assigning weights.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::Model;
+use fedomd_tensor::Matrix;
+
+/// A serialisable parameter snapshot with provenance metadata.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Checkpoint {
+    /// Free-form architecture tag (e.g. `"ortho-gcn/2-hidden/64"`); checked
+    /// on [`Checkpoint::restore`] when provided.
+    pub architecture: String,
+    /// Parameter matrices in the model's aggregation order.
+    pub params: Vec<Matrix>,
+}
+
+impl Checkpoint {
+    /// Captures a model's current parameters.
+    pub fn capture(model: &dyn Model, architecture: &str) -> Self {
+        Self { architecture: architecture.to_string(), params: model.params() }
+    }
+
+    /// Restores into `model` after verifying arity, shapes, and (when
+    /// `expect_architecture` is non-empty) the architecture tag.
+    pub fn restore(&self, model: &mut dyn Model, expect_architecture: &str) -> Result<(), String> {
+        if !expect_architecture.is_empty() && self.architecture != expect_architecture {
+            return Err(format!(
+                "architecture mismatch: checkpoint is {:?}, expected {:?}",
+                self.architecture, expect_architecture
+            ));
+        }
+        let current = model.params();
+        if current.len() != self.params.len() {
+            return Err(format!(
+                "parameter arity mismatch: checkpoint has {}, model has {}",
+                self.params.len(),
+                current.len()
+            ));
+        }
+        for (i, (a, b)) in self.params.iter().zip(&current).enumerate() {
+            if a.shape() != b.shape() {
+                return Err(format!(
+                    "parameter {i} shape mismatch: checkpoint {:?}, model {:?}",
+                    a.shape(),
+                    b.shape()
+                ));
+            }
+        }
+        model.set_params(&self.params);
+        Ok(())
+    }
+
+    /// Serialises to a JSON writer.
+    pub fn write_to(&self, w: impl Write) -> Result<(), String> {
+        serde_json::to_writer(w, self).map_err(|e| format!("checkpoint write: {e}"))
+    }
+
+    /// Deserialises from a JSON reader (shape invariants re-validated by
+    /// the `Matrix` wire format).
+    pub fn read_from(r: impl Read) -> Result<Self, String> {
+        serde_json::from_reader(r).map_err(|e| format!("checkpoint read: {e}"))
+    }
+
+    /// Saves to a file path.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        let f = std::fs::File::create(path.as_ref())
+            .map_err(|e| format!("checkpoint create {:?}: {e}", path.as_ref()))?;
+        self.write_to(std::io::BufWriter::new(f))
+    }
+
+    /// Loads from a file path.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let f = std::fs::File::open(path.as_ref())
+            .map_err(|e| format!("checkpoint open {:?}: {e}", path.as_ref()))?;
+        Self::read_from(std::io::BufReader::new(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::gcn::Gcn;
+    use crate::models::mlp::Mlp;
+    use fedomd_tensor::rng::seeded;
+
+    #[test]
+    fn roundtrip_through_json_bytes() {
+        let model = Gcn::new(5, 8, 3, &mut seeded(1));
+        let ckpt = Checkpoint::capture(&model, "gcn/8");
+        let mut buf = Vec::new();
+        ckpt.write_to(&mut buf).expect("write");
+        let back = Checkpoint::read_from(buf.as_slice()).expect("read");
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn restore_replaces_parameters() {
+        let source = Gcn::new(5, 8, 3, &mut seeded(2));
+        let mut target = Gcn::new(5, 8, 3, &mut seeded(99));
+        let ckpt = Checkpoint::capture(&source, "gcn/8");
+        ckpt.restore(&mut target, "gcn/8").expect("restore");
+        for (a, b) in target.params().iter().zip(source.params().iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn architecture_tag_is_checked() {
+        let model = Gcn::new(5, 8, 3, &mut seeded(3));
+        let ckpt = Checkpoint::capture(&model, "gcn/8");
+        let mut other = Gcn::new(5, 8, 3, &mut seeded(4));
+        let err = ckpt.restore(&mut other, "gcn/16").expect_err("must fail");
+        assert!(err.contains("architecture mismatch"));
+        // Empty expectation skips the tag check.
+        ckpt.restore(&mut other, "").expect("unchecked restore");
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let small = Gcn::new(5, 8, 3, &mut seeded(5));
+        let ckpt = Checkpoint::capture(&small, "gcn");
+        let mut wide = Gcn::new(5, 16, 3, &mut seeded(6));
+        let err = ckpt.restore(&mut wide, "").expect_err("must fail");
+        assert!(err.contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let gcn = Gcn::new(5, 8, 3, &mut seeded(7));
+        let ckpt = Checkpoint::capture(&gcn, "gcn");
+        let mut mlp = Mlp::new(5, 8, 3, &mut seeded(8));
+        let err = ckpt.restore(&mut mlp, "").expect_err("must fail");
+        assert!(err.contains("arity mismatch"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_payload_fails_to_parse() {
+        let model = Gcn::new(3, 4, 2, &mut seeded(9));
+        let ckpt = Checkpoint::capture(&model, "gcn");
+        let mut json = serde_json::to_string(&ckpt).expect("serialise");
+        // Break the matrix length invariant.
+        json = json.replacen("\"rows\":3", "\"rows\":7", 1);
+        let err = Checkpoint::read_from(json.as_bytes()).expect_err("must fail");
+        assert!(err.contains("does not match shape"), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("fedomd-ckpt-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("model.json");
+        let model = Gcn::new(4, 6, 2, &mut seeded(10));
+        let ckpt = Checkpoint::capture(&model, "gcn/6");
+        ckpt.save(&path).expect("save");
+        let back = Checkpoint::load(&path).expect("load");
+        assert_eq!(back, ckpt);
+        let _ = std::fs::remove_file(&path);
+    }
+}

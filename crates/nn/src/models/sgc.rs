@@ -1,0 +1,136 @@
+//! Simple Graph Convolution (Wu et al. 2019, the paper's reference 32).
+//!
+//! §4.3 derives its orthogonality argument "without considering the
+//! activation function ... as SGC did": the `k`-hop propagation collapses
+//! to a single linear map `logits = Ŝᵏ · X · W`. SGC is both the
+//! linearised analysis model behind the paper's Eq. 5 derivation and a
+//! strong cheap baseline, so it is provided as a first-class model.
+
+use std::sync::Arc;
+
+use fedomd_autograd::Tape;
+use fedomd_tensor::{xavier_uniform, Matrix};
+use rand_chacha::ChaCha8Rng;
+
+use crate::model::{ForwardOut, GraphInput, Model};
+
+/// `logits = Ŝᵏ·X·W` with the propagation `Ŝᵏ·X` precomputed per client.
+pub struct Sgc {
+    w: Matrix,
+    hops: usize,
+    /// Cache of `Ŝᵏ·X` keyed by the input's feature matrix pointer; rebuilt
+    /// when the client input changes.
+    cache: std::sync::Mutex<Option<(usize, Arc<Matrix>)>>,
+}
+
+impl Sgc {
+    /// Xavier-initialised SGC with `hops` propagation steps (k ≥ 1).
+    pub fn new(in_dim: usize, out_dim: usize, hops: usize, rng: &mut ChaCha8Rng) -> Self {
+        assert!(hops >= 1, "Sgc: hops must be >= 1");
+        Self { w: xavier_uniform(in_dim, out_dim, rng), hops, cache: std::sync::Mutex::new(None) }
+    }
+
+    /// Number of propagation hops `k`.
+    pub fn hops(&self) -> usize {
+        self.hops
+    }
+
+    fn propagated(&self, input: &GraphInput) -> Arc<Matrix> {
+        let key = Arc::as_ptr(&input.x) as usize;
+        let mut cache = self.cache.lock().expect("sgc cache lock");
+        if let Some((k, m)) = cache.as_ref() {
+            if *k == key {
+                return m.clone();
+            }
+        }
+        // Ŝᵏ·X, reusing the cached Ŝ·X for the first hop.
+        let mut sx = (*input.sx).clone();
+        for _ in 1..self.hops {
+            sx = input.s.spmm(&sx);
+        }
+        let out = Arc::new(sx);
+        *cache = Some((key, out.clone()));
+        out
+    }
+}
+
+impl Model for Sgc {
+    fn forward(&self, tape: &mut Tape, input: &GraphInput) -> ForwardOut {
+        let skx = tape.constant((*self.propagated(input)).clone());
+        let w = tape.param(self.w.clone());
+        let logits = tape.matmul(skx, w);
+        ForwardOut {
+            logits,
+            // SGC has no nonlinear hidden layer; expose the propagated
+            // features (what the CMD constraint would see) as "hidden".
+            hidden: vec![skx],
+            param_vars: vec![w],
+            ortho_weight_vars: Vec::new(),
+        }
+    }
+
+    fn params(&self) -> Vec<Matrix> {
+        vec![self.w.clone()]
+    }
+
+    fn set_params(&mut self, params: &[Matrix]) {
+        assert_eq!(params.len(), 1, "Sgc::set_params: expected 1 matrix");
+        assert_eq!(params[0].shape(), self.w.shape(), "Sgc::set_params: shape mismatch");
+        self.w = params[0].clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests_support::{ring_input, train_to_fit};
+    use fedomd_tensor::rng::seeded;
+
+    #[test]
+    fn forward_is_linear_in_propagated_features() {
+        let mut rng = seeded(0);
+        let m = Sgc::new(4, 3, 2, &mut rng);
+        let input = ring_input(6, 4);
+        let mut tape = Tape::new();
+        let out = m.forward(&mut tape, &input);
+        // Hand-rolled Ŝ²·X·W.
+        let s2x = input.s.spmm(&input.sx);
+        let expected = fedomd_tensor::gemm::matmul(&s2x, &m.w);
+        tape.value(out.logits).assert_close(&expected, 1e-5);
+    }
+
+    #[test]
+    fn one_hop_equals_cached_sx() {
+        let mut rng = seeded(1);
+        let m = Sgc::new(4, 2, 1, &mut rng);
+        let input = ring_input(5, 4);
+        let mut tape = Tape::new();
+        let out = m.forward(&mut tape, &input);
+        let expected = fedomd_tensor::gemm::matmul(&input.sx, &m.w);
+        tape.value(out.logits).assert_close(&expected, 1e-6);
+    }
+
+    #[test]
+    fn cache_is_reused_across_forwards() {
+        let mut rng = seeded(2);
+        let m = Sgc::new(4, 2, 3, &mut rng);
+        let input = ring_input(5, 4);
+        let a = m.propagated(&input);
+        let b = m.propagated(&input);
+        assert!(Arc::ptr_eq(&a, &b), "cache missed on identical input");
+    }
+
+    #[test]
+    fn sgc_learns_separable_labels() {
+        let mut rng = seeded(3);
+        let m = Sgc::new(4, 2, 2, &mut rng);
+        let acc = train_to_fit(Box::new(m), 4, 2, 200, 0.2);
+        assert!(acc > 0.85, "SGC failed to fit: acc {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "hops must be >= 1")]
+    fn zero_hops_rejected() {
+        let _ = Sgc::new(2, 2, 0, &mut seeded(4));
+    }
+}

@@ -1,0 +1,132 @@
+//! Orthogonalisation utilities for the Ortho-GCN hidden weights.
+//!
+//! The paper (§4.3) derives its propagation operator `Q̃ = Q/‖Q‖_F` from a
+//! Newton-iteration solve lifted from Ortho-GCN (paper reference 11). We realise the same
+//! two requirements — near-orthogonal hidden weights and a spectrally
+//! bounded propagation — with (a) the soft penalty `‖WWᵀ − I‖_F` inside the
+//! loss (Eq. 6), (b) periodic Newton–Schulz projection of the weights onto
+//! the (approximate) Stiefel manifold, and (c) Frobenius re-scaling at
+//! forward time so `‖W̃‖_F = √d` exactly matches an orthonormal `d × d`
+//! matrix. See DESIGN.md §3 for the substitution note.
+
+use fedomd_tensor::gemm::{matmul, matmul_nt};
+use fedomd_tensor::Matrix;
+
+/// One Newton–Schulz iteration: `W ← 1.5·W − 0.5·W·Wᵀ·W`.
+///
+/// Converges quadratically to the nearest (semi-)orthogonal matrix when the
+/// spectral norm of `W` is below √3; callers should pre-scale (see
+/// [`newton_schulz`]).
+pub fn newton_schulz_step(w: &Matrix) -> Matrix {
+    let wwt = matmul_nt(w, w);
+    let wwtw = matmul(&wwt, w);
+    let mut out = w.clone();
+    for (o, &c) in out.as_mut_slice().iter_mut().zip(wwtw.as_slice()) {
+        *o = 1.5 * *o - 0.5 * c;
+    }
+    out
+}
+
+/// Projects `w` toward the nearest orthogonal matrix with `iters`
+/// Newton–Schulz iterations, pre-scaling by `1/‖W‖_F` so convergence is
+/// guaranteed, then restoring the `√min(r,c)` Frobenius norm of an
+/// orthonormal rectangle.
+pub fn newton_schulz(w: &Matrix, iters: usize) -> Matrix {
+    let norm = w.frobenius_norm();
+    if norm <= 1e-12 {
+        return w.clone();
+    }
+    let mut cur = fedomd_tensor::ops::scale(w, 1.0 / norm);
+    for _ in 0..iters {
+        cur = newton_schulz_step(&cur);
+    }
+    cur
+}
+
+/// Rescales `w` so its Frobenius norm equals that of an orthonormal matrix
+/// of the same shape (`√min(rows, cols)`); identity on the zero matrix.
+/// This is the `Q̃ = Q/‖Q‖_F` "spectral bounding normalization" of §4.3, up
+/// to the √d factor that keeps activation magnitude depth-stable.
+pub fn frobenius_rescale(w: &Matrix) -> Matrix {
+    let norm = w.frobenius_norm();
+    if norm <= 1e-12 {
+        return w.clone();
+    }
+    let target = (w.rows().min(w.cols()) as f32).sqrt();
+    fedomd_tensor::ops::scale(w, target / norm)
+}
+
+/// `‖WWᵀ − I‖_F`: how far `w` is from having orthonormal rows.
+pub fn orthogonality_residual(w: &Matrix) -> f32 {
+    let mut a = matmul_nt(w, w);
+    for i in 0..a.rows() {
+        a[(i, i)] -= 1.0;
+    }
+    a.frobenius_norm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedomd_tensor::rng::seeded;
+
+    fn randw(n: usize, seed: u64) -> Matrix {
+        let mut rng = seeded(seed);
+        fedomd_tensor::init::xavier_uniform(n, n, &mut rng)
+    }
+
+    #[test]
+    fn newton_schulz_reduces_residual() {
+        let w = randw(8, 1);
+        let before = orthogonality_residual(&frobenius_rescale(&w));
+        let after = orthogonality_residual(&newton_schulz(&w, 12));
+        assert!(after < before * 0.1, "residual {before} -> {after}");
+        assert!(after < 0.1);
+    }
+
+    #[test]
+    fn newton_schulz_fixes_orthogonal_input() {
+        let w = Matrix::identity(5);
+        let out = newton_schulz(&w, 5);
+        out.assert_close(&w, 1e-4);
+    }
+
+    #[test]
+    fn newton_schulz_handles_zero_matrix() {
+        let w = Matrix::zeros(4, 4);
+        assert_eq!(newton_schulz(&w, 3), w);
+    }
+
+    #[test]
+    fn frobenius_rescale_hits_target_norm() {
+        let w = randw(6, 2);
+        let r = frobenius_rescale(&w);
+        assert!((r.frobenius_norm() - (6.0f32).sqrt()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rescale_of_rectangular_uses_min_dim() {
+        let mut rng = seeded(3);
+        let w = fedomd_tensor::init::xavier_uniform(4, 9, &mut rng);
+        let r = frobenius_rescale(&w);
+        assert!((r.frobenius_norm() - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn residual_zero_for_identity() {
+        assert!(orthogonality_residual(&Matrix::identity(7)) < 1e-6);
+    }
+
+    #[test]
+    fn projected_weight_preserves_signal_norm() {
+        // Propagating a vector through an orthogonalised weight should
+        // roughly preserve its scale — the property that lets Ortho-GCN
+        // stay trainable at 10 hidden layers (paper Table 7).
+        let w = newton_schulz(&randw(16, 4), 12);
+        let mut rng = seeded(5);
+        let x = fedomd_tensor::init::standard_normal(1, 16, &mut rng);
+        let y = matmul(&x, &w);
+        let ratio = y.frobenius_norm() / x.frobenius_norm();
+        assert!((0.7..1.3).contains(&ratio), "signal ratio {ratio}");
+    }
+}

@@ -1,0 +1,368 @@
+//! Compressed-sparse-row matrices and the parallel SpMM kernel.
+
+use fedomd_tensor::Matrix;
+use rayon::prelude::*;
+
+/// A sparse `f32` matrix in CSR form.
+///
+/// Invariants (checked by [`Csr::validate`], maintained by all
+/// constructors): `indptr.len() == rows + 1`, `indptr` is non-decreasing,
+/// `indptr[rows] == indices.len() == values.len()`, and within each row the
+/// column indices are strictly increasing (no duplicates).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from COO triplets `(row, col, value)`.
+    ///
+    /// Triplets may arrive in any order; duplicates are summed. Entries that
+    /// sum to exactly zero are kept (callers that care can [`Csr::prune`]).
+    ///
+    /// # Panics
+    /// Panics when an index is out of bounds.
+    pub fn from_coo(rows: usize, cols: usize, mut entries: Vec<(usize, usize, f32)>) -> Self {
+        for &(r, c, _) in &entries {
+            assert!(r < rows && c < cols, "from_coo: entry ({r},{c}) out of bounds for {rows}x{cols}");
+        }
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut indptr = vec![0usize; rows + 1];
+        let mut indices = Vec::with_capacity(entries.len());
+        let mut values: Vec<f32> = Vec::with_capacity(entries.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in entries {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("values nonempty when last is set") += v;
+            } else {
+                indptr[r + 1] += 1;
+                indices.push(c as u32);
+                values.push(v);
+                last = Some((r, c));
+            }
+        }
+        for r in 0..rows {
+            indptr[r + 1] += indptr[r];
+        }
+        let out = Self { rows, cols, indptr, indices, values };
+        debug_assert!(out.validate().is_ok());
+        out
+    }
+
+    /// An all-zero sparse matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// The sparse identity.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(column indices, values)` of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Checks the CSR invariants, returning a description of the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.indptr.len() != self.rows + 1 {
+            return Err(format!("indptr length {} != rows+1 {}", self.indptr.len(), self.rows + 1));
+        }
+        if self.indptr[self.rows] != self.indices.len() || self.indices.len() != self.values.len()
+        {
+            return Err("indptr tail / indices / values lengths disagree".into());
+        }
+        for r in 0..self.rows {
+            if self.indptr[r] > self.indptr[r + 1] {
+                return Err(format!("indptr decreases at row {r}"));
+            }
+            let (idx, _) = self.row(r);
+            for w in idx.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {r}: indices not strictly increasing"));
+                }
+            }
+            if let Some(&last) = idx.last() {
+                if last as usize >= self.cols {
+                    return Err(format!("row {r}: column {last} out of bounds"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sparse-dense product `C = S · X` (the graph-propagation kernel),
+    /// parallelised over output rows.
+    ///
+    /// # Panics
+    /// Panics when `self.cols() != x.rows()`.
+    pub fn spmm(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            x.rows(),
+            "spmm: inner dimensions disagree ({}x{} · {}x{})",
+            self.rows,
+            self.cols,
+            x.rows(),
+            x.cols()
+        );
+        let n = x.cols();
+        let x_data = x.as_slice();
+        let mut out = Matrix::zeros(self.rows, n);
+        out.as_mut_slice()
+            .par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(r, out_row)| {
+                let (idx, vals) = self.row(r);
+                for (&c, &v) in idx.iter().zip(vals) {
+                    let x_row = &x_data[c as usize * n..(c as usize + 1) * n];
+                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                        *o += v * xv;
+                    }
+                }
+            });
+        out
+    }
+
+    /// Sparse-vector product `y = S · x`.
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(self.cols, x.len(), "spmv: dimension mismatch");
+        (0..self.rows)
+            .map(|r| {
+                let (idx, vals) = self.row(r);
+                idx.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum()
+            })
+            .collect()
+    }
+
+    /// The transposed matrix (counting sort over columns).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for c in 0..self.cols {
+            counts[c + 1] += counts[c];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.rows {
+            let (idx, vals) = self.row(r);
+            for (&c, &v) in idx.iter().zip(vals) {
+                let pos = cursor[c as usize];
+                indices[pos] = r as u32;
+                values[pos] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        Csr { rows: self.cols, cols: self.rows, indptr, indices, values }
+    }
+
+    /// True when the matrix equals its transpose (within `tol`).
+    pub fn is_symmetric(&self, tol: f32) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.indptr != self.indptr || t.indices != self.indices {
+            return false;
+        }
+        self.values.iter().zip(&t.values).all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Removes explicitly stored zeros.
+    pub fn prune(&self) -> Csr {
+        let mut entries = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            let (idx, vals) = self.row(r);
+            for (&c, &v) in idx.iter().zip(vals) {
+                if v != 0.0 {
+                    entries.push((r, c as usize, v));
+                }
+            }
+        }
+        Csr::from_coo(self.rows, self.cols, entries)
+    }
+
+    /// Densifies (tests / small matrices only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (idx, vals) = self.row(r);
+            for (&c, &v) in idx.iter().zip(vals) {
+                m[(r, c as usize)] += v;
+            }
+        }
+        m
+    }
+
+    /// Sum of absolute values in each row (used for spectral bounds).
+    pub fn row_abs_sums(&self) -> Vec<f32> {
+        (0..self.rows)
+            .map(|r| self.row(r).1.iter().map(|v| v.abs()).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small() -> Csr {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0]]
+        Csr::from_coo(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+    }
+
+    #[test]
+    fn from_coo_builds_valid_csr() {
+        let s = small();
+        assert_eq!(s.nnz(), 4);
+        s.validate().expect("valid");
+        assert_eq!(s.row(0), (&[0u32, 2][..], &[1.0f32, 2.0][..]));
+        assert_eq!(s.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn from_coo_merges_duplicates() {
+        let s = Csr::from_coo(2, 2, vec![(0, 1, 1.0), (0, 1, 2.5), (1, 0, -1.0)]);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.row(0), (&[1u32][..], &[3.5f32][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_coo_rejects_out_of_bounds() {
+        let _ = Csr::from_coo(2, 2, vec![(0, 5, 1.0)]);
+    }
+
+    #[test]
+    fn spmm_matches_dense_product() {
+        let s = small();
+        let x = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        let got = s.spmm(&x);
+        let expected = fedomd_tensor::gemm::matmul_naive(&s.to_dense(), &x);
+        got.assert_close(&expected, 1e-5);
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let x = Matrix::from_fn(5, 3, |r, c| (r + c) as f32);
+        Csr::identity(5).spmm(&x).assert_close(&x, 1e-6);
+    }
+
+    #[test]
+    fn spmv_matches_spmm_single_column() {
+        let s = small();
+        let x = vec![1.0, -1.0, 2.0];
+        let y = s.spmv(&x);
+        let xm = Matrix::from_vec(3, 1, x);
+        let ym = s.spmm(&xm);
+        for r in 0..3 {
+            assert!((y[r] - ym[(r, 0)]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let s = small();
+        let tt = s.transpose().transpose();
+        assert_eq!(s, tt);
+        s.transpose().to_dense().assert_close(&s.to_dense().transpose(), 1e-6);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = Csr::from_coo(2, 2, vec![(0, 1, 2.0), (1, 0, 2.0), (0, 0, 1.0)]);
+        assert!(sym.is_symmetric(1e-6));
+        assert!(!small().is_symmetric(1e-6));
+        assert!(!Csr::zeros(2, 3).is_symmetric(1e-6));
+    }
+
+    #[test]
+    fn prune_drops_stored_zeros() {
+        let s = Csr::from_coo(2, 2, vec![(0, 0, 1.0), (0, 1, -1.0), (0, 1, 1.0)]);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.prune().nnz(), 1);
+    }
+
+    #[test]
+    fn empty_matrix_operations() {
+        let s = Csr::zeros(3, 4);
+        let x = Matrix::zeros(4, 2);
+        assert_eq!(s.spmm(&x), Matrix::zeros(3, 2));
+        assert_eq!(s.transpose().rows(), 4);
+        s.validate().expect("valid empty");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spmm_matches_dense(
+            rows in 1usize..12, cols in 1usize..12, n in 1usize..6,
+            entries in proptest::collection::vec((0usize..12, 0usize..12, -2.0f32..2.0), 0..40)
+        ) {
+            let entries: Vec<_> = entries
+                .into_iter()
+                .filter(|&(r, c, _)| r < rows && c < cols)
+                .collect();
+            let s = Csr::from_coo(rows, cols, entries);
+            prop_assert!(s.validate().is_ok());
+            let x = Matrix::from_fn(cols, n, |r, c| ((r * 3 + c * 7) % 5) as f32 - 2.0);
+            let got = s.spmm(&x);
+            let want = fedomd_tensor::gemm::matmul_naive(&s.to_dense(), &x);
+            got.assert_close(&want, 1e-3);
+        }
+
+        #[test]
+        fn prop_transpose_involution(
+            entries in proptest::collection::vec((0usize..10, 0usize..10, -1.0f32..1.0), 0..30)
+        ) {
+            let s = Csr::from_coo(10, 10, entries);
+            prop_assert_eq!(s.transpose().transpose(), s);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Adjacency normalisation: the `Ŝ = D^{-1/2}(A + I)D^{-1/2}` operator of
+//! the paper (§4.1/§4.3), plus the row-stochastic variant used by the
+//! GraphSAGE-style mean aggregator in the FedSage+ baseline.
+
+use crate::csr::Csr;
+
+/// Builds the symmetrically normalised adjacency with self-loops,
+/// `Ŝ = D^{-1/2}(A + I)D^{-1/2}` with `D_ii = Σ_j (A + I)_ij`.
+///
+/// `edges` are undirected pairs; both directions are inserted. Duplicate
+/// edges are collapsed to weight 1 (graphs here are unweighted, matching
+/// the paper's datasets). Self-loop duplicates in the input are ignored.
+pub fn normalized_adjacency(n: usize, edges: &[(usize, usize)]) -> Csr {
+    let a = undirected_with_self_loops(n, edges);
+    let deg: Vec<f32> = a.row_abs_sums();
+    let inv_sqrt: Vec<f32> =
+        deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    scale_sym(&a, &inv_sqrt)
+}
+
+/// Row-stochastic normalisation `D^{-1}(A + I)` — every row sums to 1.
+/// This is the "mean over neighbours plus self" aggregator.
+pub fn row_normalized_adjacency(n: usize, edges: &[(usize, usize)]) -> Csr {
+    let a = undirected_with_self_loops(n, edges);
+    let deg = a.row_abs_sums();
+    let mut entries = Vec::with_capacity(a.nnz());
+    for (r, &d) in deg.iter().enumerate() {
+        let (idx, vals) = a.row(r);
+        let inv = if d > 0.0 { 1.0 / d } else { 0.0 };
+        for (&c, &v) in idx.iter().zip(vals) {
+            entries.push((r, c as usize, v * inv));
+        }
+    }
+    Csr::from_coo(n, n, entries)
+}
+
+/// The binary undirected adjacency `A + I` (weights 1, duplicates collapsed).
+pub fn undirected_with_self_loops(n: usize, edges: &[(usize, usize)]) -> Csr {
+    let mut set = std::collections::BTreeSet::new();
+    for &(u, v) in edges {
+        assert!(u < n && v < n, "edge ({u},{v}) out of bounds for n={n}");
+        set.insert((u, v));
+        set.insert((v, u));
+    }
+    for i in 0..n {
+        set.insert((i, i));
+    }
+    let entries: Vec<_> = set.into_iter().map(|(u, v)| (u, v, 1.0f32)).collect();
+    Csr::from_coo(n, n, entries)
+}
+
+fn scale_sym(a: &Csr, inv_sqrt: &[f32]) -> Csr {
+    let n = a.rows();
+    let mut entries = Vec::with_capacity(a.nnz());
+    for r in 0..n {
+        let (idx, vals) = a.row(r);
+        for (&c, &v) in idx.iter().zip(vals) {
+            entries.push((r, c as usize, v * inv_sqrt[r] * inv_sqrt[c as usize]));
+        }
+    }
+    Csr::from_coo(n, n, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A path graph 0-1-2.
+    fn path3() -> Vec<(usize, usize)> {
+        vec![(0, 1), (1, 2)]
+    }
+
+    #[test]
+    fn normalized_adjacency_is_symmetric() {
+        let s = normalized_adjacency(3, &path3());
+        assert!(s.is_symmetric(1e-6));
+    }
+
+    #[test]
+    fn normalized_adjacency_known_values() {
+        // Node degrees with self-loops: d0 = 2, d1 = 3, d2 = 2.
+        let s = normalized_adjacency(3, &path3());
+        let d = s.to_dense();
+        assert!((d[(0, 0)] - 0.5).abs() < 1e-6);
+        assert!((d[(0, 1)] - 1.0 / (2.0f32 * 3.0).sqrt()).abs() < 1e-6);
+        assert!((d[(1, 1)] - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(d[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn spectral_norm_at_most_one() {
+        // Power iteration on Ŝ of a random-ish graph: the top eigenvalue of
+        // the self-looped symmetric normalisation is exactly 1.
+        let edges: Vec<_> = (0..30).map(|i| (i, (i * 7 + 3) % 31)).collect();
+        let s = normalized_adjacency(31, &edges);
+        let mut v = vec![1.0f32; 31];
+        for _ in 0..100 {
+            let w = s.spmv(&v);
+            let norm = w.iter().map(|x| x * x).sum::<f32>().sqrt();
+            v = w.into_iter().map(|x| x / norm).collect();
+        }
+        let sv = s.spmv(&v);
+        let lambda: f32 = v.iter().zip(&sv).map(|(a, b)| a * b).sum();
+        assert!(lambda <= 1.0 + 1e-4, "spectral norm {lambda} exceeds 1");
+        assert!(lambda > 0.9, "top eigenvalue {lambda} suspiciously small");
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one() {
+        let s = row_normalized_adjacency(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        for r in 0..4 {
+            let sum: f32 = s.row(r).1.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_get_self_loop_only() {
+        let s = normalized_adjacency(3, &[(0, 1)]);
+        // Node 2 is isolated: with the self-loop its degree is 1 and
+        // Ŝ[2,2] = 1.
+        let d = s.to_dense();
+        assert!((d[(2, 2)] - 1.0).abs() < 1e-6);
+        assert_eq!(d[(2, 0)], 0.0);
+    }
+
+    #[test]
+    fn duplicate_and_reversed_edges_collapse() {
+        let a = normalized_adjacency(3, &[(0, 1), (1, 0), (0, 1)]);
+        let b = normalized_adjacency(3, &[(0, 1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph_is_identity() {
+        let s = normalized_adjacency(4, &[]);
+        s.to_dense().assert_close(&fedomd_tensor::Matrix::identity(4), 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Ŝ is always symmetric with unit diagonal bound and nonnegative
+        /// entries, for any random edge set.
+        #[test]
+        fn normalized_adjacency_invariants(
+            n in 1usize..25,
+            raw in proptest::collection::vec((0usize..25, 0usize..25), 0..60)
+        ) {
+            let edges: Vec<_> =
+                raw.into_iter().filter(|&(u, v)| u < n && v < n && u != v).collect();
+            let s = normalized_adjacency(n, &edges);
+            prop_assert!(s.is_symmetric(1e-6));
+            prop_assert!(s.validate().is_ok());
+            for r in 0..n {
+                for &v in s.row(r).1 {
+                    prop_assert!((0.0..=1.0 + 1e-6).contains(&v));
+                }
+            }
+        }
+
+        /// Row-stochastic normalisation always yields rows summing to 1.
+        #[test]
+        fn row_normalized_rows_always_sum_to_one(
+            n in 1usize..25,
+            raw in proptest::collection::vec((0usize..25, 0usize..25), 0..60)
+        ) {
+            let edges: Vec<_> =
+                raw.into_iter().filter(|&(u, v)| u < n && v < n && u != v).collect();
+            let s = row_normalized_adjacency(n, &edges);
+            for r in 0..n {
+                let sum: f32 = s.row(r).1.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-5, "row {} sums to {}", r, sum);
+            }
+        }
+
+        /// Ŝ has spectral norm ≤ 1: propagation never expands the ℓ2 norm
+        /// of any vector (the depth-stability property Ortho-GCN builds on).
+        #[test]
+        fn propagation_is_l2_nonexpansive(
+            n in 1usize..20,
+            raw in proptest::collection::vec((0usize..20, 0usize..20), 0..40),
+            xs in proptest::collection::vec(-2.0f32..2.0, 20)
+        ) {
+            let edges: Vec<_> =
+                raw.into_iter().filter(|&(u, v)| u < n && v < n && u != v).collect();
+            let s = normalized_adjacency(n, &edges);
+            let x: Vec<f32> = xs.into_iter().take(n).collect();
+            let out = s.spmv(&x);
+            let norm_in: f32 = x.iter().map(|v| v * v).sum::<f32>().sqrt();
+            let norm_out: f32 = out.iter().map(|v| v * v).sum::<f32>().sqrt();
+            prop_assert!(
+                norm_out <= norm_in * (1.0 + 1e-4) + 1e-6,
+                "ℓ2 norm expanded: {} -> {}", norm_in, norm_out
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Activation functions and their backward rules.
+
+use crate::matrix::Matrix;
+
+/// Rectified linear unit, `max(0, x)`, element-wise.
+pub fn relu(x: &Matrix) -> Matrix {
+    x.map(|v| v.max(0.0))
+}
+
+/// Backward pass of ReLU: passes `grad` where the *forward input* was
+/// positive, zero elsewhere.
+pub fn relu_backward(input: &Matrix, grad: &Matrix) -> Matrix {
+    assert_eq!(input.shape(), grad.shape(), "relu_backward: shape mismatch");
+    let mut out = grad.clone();
+    for (g, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+        if x <= 0.0 {
+            *g = 0.0;
+        }
+    }
+    out
+}
+
+/// Logistic sigmoid, element-wise.
+pub fn sigmoid(x: &Matrix) -> Matrix {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Hyperbolic tangent, element-wise.
+pub fn tanh(x: &Matrix) -> Matrix {
+    x.map(|v| v.tanh())
+}
+
+/// Row-wise softmax with the max-subtraction trick for numerical stability.
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    let cols = out.cols();
+    for row in out.as_mut_slice().chunks_mut(cols) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// Row-wise log-softmax (stable).
+pub fn log_softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    let cols = out.cols();
+    for row in out.as_mut_slice().chunks_mut(cols) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clips_negatives() {
+        let x = Matrix::from_vec(1, 4, vec![-2.0, -0.1, 0.0, 3.0]);
+        assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_by_forward_input() {
+        let x = Matrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]);
+        let g = Matrix::from_vec(1, 3, vec![5.0, 5.0, 5.0]);
+        assert_eq!(relu_backward(&x, &g).as_slice(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax_rows(&x);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(s.row(r).iter().all(|&v| v >= 0.0));
+        }
+        // Largest logit gets the largest probability.
+        assert!(s[(0, 2)] > s[(0, 1)] && s[(0, 1)] > s[(0, 0)]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let y = Matrix::from_vec(1, 3, vec![101.0, 102.0, 103.0]);
+        softmax_rows(&x).assert_close(&softmax_rows(&y), 1e-6);
+    }
+
+    #[test]
+    fn softmax_survives_large_logits() {
+        let x = Matrix::from_vec(1, 2, vec![1000.0, 0.0]);
+        let s = softmax_rows(&x);
+        assert!(s.all_finite());
+        assert!((s[(0, 0)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = Matrix::from_vec(1, 4, vec![0.3, -1.2, 2.0, 0.0]);
+        let ls = log_softmax_rows(&x);
+        let s = softmax_rows(&x);
+        for c in 0..4 {
+            assert!((ls[(0, c)] - s[(0, c)].ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sigmoid_bounds_and_midpoint() {
+        let x = Matrix::from_vec(1, 3, vec![-100.0, 0.0, 100.0]);
+        let s = sigmoid(&x);
+        assert!(s[(0, 0)] < 1e-6);
+        assert!((s[(0, 1)] - 0.5).abs() < 1e-6);
+        assert!(s[(0, 2)] > 1.0 - 1e-6);
+    }
+}

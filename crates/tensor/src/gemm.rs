@@ -1,0 +1,272 @@
+//! Parallel dense matrix multiplication kernels.
+//!
+//! Three product shapes cover everything the forward and backward passes
+//! need without ever materialising a transpose:
+//!
+//! * [`matmul`]      — `C = A · B`
+//! * [`matmul_tn`]   — `C = Aᵀ · B` (weight gradients)
+//! * [`matmul_nt`]   — `C = A · Bᵀ` (input gradients)
+//!
+//! All kernels parallelise over row blocks of the output with rayon and use
+//! an `i-k-j` loop order so the innermost loop is a contiguous
+//! multiply-accumulate the compiler can vectorise.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Row-block size for parallel splitting. Small enough to load-balance,
+/// large enough that per-task overhead is negligible.
+const BLOCK: usize = 32;
+
+/// `C = A · B` where `A` is `m x k` and `B` is `k x n`.
+///
+/// # Panics
+/// Panics when the inner dimensions disagree.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions disagree ({}x{} · {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+
+    c.as_mut_slice()
+        .par_chunks_mut(BLOCK * n.max(1))
+        .enumerate()
+        .for_each(|(blk, c_chunk)| {
+            let row0 = blk * BLOCK;
+            let rows_here = c_chunk.len() / n.max(1);
+            for i in 0..rows_here {
+                let a_row = &a_data[(row0 + i) * k..(row0 + i + 1) * k];
+                let c_row = &mut c_chunk[i * n..(i + 1) * n];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_data[kk * n..(kk + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        });
+    c
+}
+
+/// `C = Aᵀ · B` where `A` is `m x k` and `B` is `m x n`; the result is `k x n`.
+///
+/// Used for weight gradients (`∂L/∂W = Xᵀ · ∂L/∂Y`).
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn: row counts disagree ({}x{} vs {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+
+    // Each task owns a block of output rows (i.e. a block of A's columns).
+    let mut c = Matrix::zeros(k, n);
+    c.as_mut_slice()
+        .par_chunks_mut(BLOCK * n.max(1))
+        .enumerate()
+        .for_each(|(blk, c_chunk)| {
+            let col0 = blk * BLOCK;
+            let cols_here = c_chunk.len() / n.max(1);
+            for row in 0..m {
+                let a_row = &a_data[row * k..(row + 1) * k];
+                let b_row = &b_data[row * n..(row + 1) * n];
+                for j in 0..cols_here {
+                    let av = a_row[col0 + j];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let c_row = &mut c_chunk[j * n..(j + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        });
+    c
+}
+
+/// `C = A · Bᵀ` where `A` is `m x k` and `B` is `n x k`; the result is `m x n`.
+///
+/// Used for input gradients (`∂L/∂X = ∂L/∂Y · Wᵀ`). The inner loop is a dot
+/// product over contiguous rows of both operands.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt: column counts disagree ({}x{} vs {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+
+    let mut c = Matrix::zeros(m, n);
+    c.as_mut_slice()
+        .par_chunks_mut(BLOCK * n.max(1))
+        .enumerate()
+        .for_each(|(blk, c_chunk)| {
+            let row0 = blk * BLOCK;
+            let rows_here = c_chunk.len() / n.max(1);
+            for i in 0..rows_here {
+                let a_row = &a_data[(row0 + i) * k..(row0 + i + 1) * k];
+                let c_row = &mut c_chunk[i * n..(i + 1) * n];
+                for (j, cv) in c_row.iter_mut().enumerate() {
+                    let b_row = &b_data[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in a_row.iter().zip(b_row) {
+                        acc += av * bv;
+                    }
+                    *cv += acc;
+                }
+            }
+        });
+    c
+}
+
+/// Reference scalar implementation used by tests and property checks.
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows());
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for kk in 0..k {
+                acc += a[(i, kk)] as f64 * b[(kk, j)] as f64;
+            }
+            c[(i, j)] = acc as f32;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x % 2000) as f32 - 1000.0) / 500.0
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = mat(17, 23, 1);
+        let b = mat(23, 9, 2);
+        matmul(&a, &b).assert_close(&matmul_naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = mat(8, 8, 3);
+        matmul(&a, &Matrix::identity(8)).assert_close(&a, 1e-6);
+        matmul(&Matrix::identity(8), &a).assert_close(&a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_then_mul() {
+        let a = mat(19, 7, 4);
+        let b = mat(19, 11, 5);
+        matmul_tn(&a, &b).assert_close(&matmul_naive(&a.transpose(), &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_nt_equals_mul_with_transpose() {
+        let a = mat(13, 21, 6);
+        let b = mat(10, 21, 7);
+        matmul_nt(&a, &b).assert_close(&matmul_naive(&a, &b.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn large_block_boundary_shapes() {
+        // Cross the BLOCK=32 boundary on every dimension.
+        let a = mat(65, 33, 8);
+        let b = mat(33, 34, 9);
+        matmul(&a, &b).assert_close(&matmul_naive(&a, &b), 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn matmul_rejects_mismatched_shapes() {
+        let _ = matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn zero_dimension_edge_cases() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 4);
+        assert_eq!(matmul(&a, &b).shape(), (0, 4));
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (3, 2));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_matches_naive(m in 1usize..20, k in 1usize..20, n in 1usize..20, seed in 0u64..1000) {
+            let a = mat(m, k, seed);
+            let b = mat(k, n, seed.wrapping_add(1));
+            matmul(&a, &b).assert_close(&matmul_naive(&a, &b), 1e-3);
+        }
+
+        #[test]
+        fn prop_tn_nt_consistency(m in 1usize..16, k in 1usize..16, n in 1usize..16, seed in 0u64..1000) {
+            let a = mat(m, k, seed);
+            let b = mat(m, n, seed.wrapping_add(2));
+            let tn = matmul_tn(&a, &b);
+            // Aᵀ B = Aᵀ (Bᵀ)ᵀ, computed the nt way on explicit transposes.
+            let nt = matmul_nt(&a.transpose(), &b.transpose());
+            prop_assert_eq!(tn.shape(), (k, n));
+            tn.assert_close(&nt, 1e-3);
+        }
+
+        #[test]
+        fn prop_distributivity(m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..500) {
+            // A(B + C) == AB + AC
+            let a = mat(m, k, seed);
+            let b = mat(k, n, seed + 10);
+            let c = mat(k, n, seed + 20);
+            let mut bc = b.clone();
+            for (x, y) in bc.as_mut_slice().iter_mut().zip(c.as_slice()) { *x += *y; }
+            let lhs = matmul(&a, &bc);
+            let ab = matmul(&a, &b);
+            let ac = matmul(&a, &c);
+            let mut rhs = ab.clone();
+            for (x, y) in rhs.as_mut_slice().iter_mut().zip(ac.as_slice()) { *x += *y; }
+            lhs.assert_close(&rhs, 1e-2);
+        }
+    }
+}

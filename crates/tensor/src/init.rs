@@ -1,0 +1,100 @@
+//! Weight initialisers.
+//!
+//! §4.3 of the paper leans on the fact that "the weights of neural networks
+//! are generally initial\[ised\] with Gaussian distribution, e.g., Xavier and
+//! He initialization", which via the CLT makes layer-wise features
+//! approximately Gaussian — the premise of the whole CMD construction. Both
+//! initialisers referenced there are provided.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-a..=a);
+    }
+    m
+}
+
+/// He normal initialisation: `N(0, 2 / fan_in)`, suited to ReLU networks.
+pub fn he_normal(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Matrix {
+    let std = (2.0 / rows as f32).sqrt();
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = gaussian(rng) * std;
+    }
+    m
+}
+
+/// Standard normal matrix (Box–Muller).
+pub fn standard_normal(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = gaussian(rng);
+    }
+    m
+}
+
+/// One standard-normal sample via Box–Muller.
+pub fn gaussian(rng: &mut ChaCha8Rng) -> f32 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = seeded(0);
+        let m = xavier_uniform(100, 50, &mut rng);
+        let a = (6.0 / 150.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= a + 1e-6));
+    }
+
+    #[test]
+    fn xavier_is_roughly_zero_mean() {
+        let mut rng = seeded(1);
+        let m = xavier_uniform(200, 200, &mut rng);
+        assert!(m.mean().abs() < 0.01);
+    }
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = seeded(2);
+        let m = he_normal(400, 100, &mut rng);
+        let var: f32 =
+            m.as_slice().iter().map(|v| v * v).sum::<f32>() / m.len() as f32;
+        let expected = 2.0 / 400.0;
+        assert!(
+            (var - expected).abs() < expected * 0.2,
+            "variance {var} far from expected {expected}"
+        );
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = seeded(3);
+        let m = standard_normal(500, 100, &mut rng);
+        assert!(m.mean().abs() < 0.02);
+        let var: f32 =
+            m.as_slice().iter().map(|v| v * v).sum::<f32>() / m.len() as f32;
+        assert!((var - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let a = xavier_uniform(4, 4, &mut seeded(9));
+        let b = xavier_uniform(4, 4, &mut seeded(9));
+        assert_eq!(a, b);
+    }
+}

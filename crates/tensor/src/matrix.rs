@@ -1,0 +1,374 @@
+//! The core dense matrix type: row-major, `f32`, heap-backed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f32`.
+///
+/// The invariant `data.len() == rows * cols` always holds; element `(r, c)`
+/// lives at `data[r * cols + c]`. Most numerical kernels live in the sibling
+/// modules ([`crate::gemm`], [`crate::ops`], [`crate::stats`]) and operate on
+/// this type; the methods here are structural (construction, shape, views).
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "MatrixSerde", into = "MatrixSerde")]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A `rows x cols` matrix with every element set to `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major element vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Builds a single-row matrix from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the backing storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a fresh vector.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "column {} out of bounds for {} cols", c, self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// A new matrix containing the rows selected by `indices` (in order).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new matrix with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Frobenius norm, `sqrt(sum of squares)`.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32
+    }
+
+    /// Maximum absolute element, 0 for the empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Sum of all elements (f64 accumulator for stability).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|v| *v as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements; 0 for the empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// True when all elements are finite (no NaN / infinity).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Asserts element-wise closeness against `other` within `tol`.
+    ///
+    /// Intended for tests; panics with a located message on mismatch.
+    pub fn assert_close(&self, other: &Matrix, tol: f32) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in assert_close");
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let a = self[(r, c)];
+                let b = other[(r, c)];
+                assert!(
+                    (a - b).abs() <= tol + tol * a.abs().max(b.abs()),
+                    "mismatch at ({r},{c}): {a} vs {b} (tol {tol})"
+                );
+            }
+        }
+    }
+}
+
+/// Wire format for [`Matrix`] (validates the length invariant on load).
+#[derive(Serialize, Deserialize)]
+struct MatrixSerde {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl From<Matrix> for MatrixSerde {
+    fn from(m: Matrix) -> Self {
+        Self { rows: m.rows, cols: m.cols, data: m.data }
+    }
+}
+
+impl TryFrom<MatrixSerde> for Matrix {
+    type Error = String;
+
+    fn try_from(w: MatrixSerde) -> Result<Self, String> {
+        if w.data.len() != w.rows * w.cols {
+            return Err(format!(
+                "matrix payload length {} does not match shape {}x{}",
+                w.data.len(),
+                w.rows,
+                w.cols
+            ));
+        }
+        Ok(Self { rows: w.rows, cols: w.cols, data: w.data })
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 6;
+        for r in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>9.4}", self[(r, c)])?;
+                if c + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_is_diagonal() {
+        let m = Matrix::identity(4);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(m[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_roundtrips() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 10 + c) as f32);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t[(4, 2)], m[(2, 4)]);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn select_rows_picks_in_order() {
+        let m = Matrix::from_fn(4, 2, |r, _| r as f32);
+        let s = m.select_rows(&[3, 1]);
+        assert_eq!(s.row(0), &[3.0, 3.0]);
+        assert_eq!(s.row(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_hand_computation() {
+        let m = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn map_and_reductions() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.sum(), 10.0);
+        assert_eq!(m.mean(), 2.5);
+        let doubled = m.map(|v| v * 2.0);
+        assert_eq!(doubled.sum(), 20.0);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn col_extraction() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(m.all_finite());
+        m[(0, 1)] = f32::NAN;
+        assert!(!m.all_finite());
+    }
+}

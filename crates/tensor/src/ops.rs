@@ -1,0 +1,154 @@
+//! Element-wise operations and broadcast helpers.
+
+use crate::matrix::Matrix;
+
+/// `out = a + b`, element-wise.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "add: shape mismatch");
+    let mut out = a.clone();
+    add_assign(&mut out, b);
+    out
+}
+
+/// `a += b`, element-wise.
+pub fn add_assign(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "add_assign: shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += *y;
+    }
+}
+
+/// `a += alpha * b` (axpy), element-wise.
+pub fn axpy(a: &mut Matrix, alpha: f32, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "axpy: shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += alpha * *y;
+    }
+}
+
+/// `out = a - b`, element-wise.
+pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "sub: shape mismatch");
+    let mut out = a.clone();
+    for (x, y) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x -= *y;
+    }
+    out
+}
+
+/// `out = a ⊙ b` (Hadamard product).
+pub fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "hadamard: shape mismatch");
+    let mut out = a.clone();
+    for (x, y) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x *= *y;
+    }
+    out
+}
+
+/// `out = alpha * a`.
+pub fn scale(a: &Matrix, alpha: f32) -> Matrix {
+    a.map(|v| v * alpha)
+}
+
+/// Adds a length-`cols` row vector to every row of `a` (bias broadcast).
+pub fn add_row_broadcast(a: &mut Matrix, bias: &[f32]) {
+    assert_eq!(a.cols(), bias.len(), "add_row_broadcast: bias length mismatch");
+    let cols = a.cols();
+    for row in a.as_mut_slice().chunks_mut(cols) {
+        for (x, b) in row.iter_mut().zip(bias) {
+            *x += *b;
+        }
+    }
+}
+
+/// Squared Frobenius distance `‖a − b‖_F²`.
+pub fn sq_distance(a: &Matrix, b: &Matrix) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "sq_distance: shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| {
+            let d = (*x - *y) as f64;
+            d * d
+        })
+        .sum::<f64>() as f32
+}
+
+/// Dot product of the flattened matrices.
+pub fn dot(a: &Matrix, b: &Matrix) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "dot: shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (*x as f64) * (*y as f64))
+        .sum::<f64>() as f32
+}
+
+/// Clamps every element into `[lo, hi]` in place.
+pub fn clamp_inplace(a: &mut Matrix, lo: f32, hi: f32) {
+    a.map_inplace(|v| v.clamp(lo, hi));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: Vec<f32>) -> Matrix {
+        Matrix::from_vec(2, 2, v)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = m(vec![1.0, 2.0, 3.0, 4.0]);
+        let b = m(vec![0.5, -1.0, 2.0, 0.0]);
+        let s = add(&a, &b);
+        assert_eq!(sub(&s, &b), a);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = m(vec![1.0, 1.0, 1.0, 1.0]);
+        let b = m(vec![1.0, 2.0, 3.0, 4.0]);
+        axpy(&mut a, 0.5, &b);
+        assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let a = m(vec![1.0, 2.0, 3.0, 4.0]);
+        let b = m(vec![2.0, 0.5, -1.0, 0.0]);
+        assert_eq!(hadamard(&a, &b).as_slice(), &[2.0, 1.0, -3.0, 0.0]);
+    }
+
+    #[test]
+    fn broadcast_adds_bias_to_each_row() {
+        let mut a = Matrix::zeros(3, 2);
+        add_row_broadcast(&mut a, &[1.0, -2.0]);
+        for r in 0..3 {
+            assert_eq!(a.row(r), &[1.0, -2.0]);
+        }
+    }
+
+    #[test]
+    fn distance_and_dot() {
+        let a = m(vec![1.0, 0.0, 0.0, 0.0]);
+        let b = m(vec![0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(sq_distance(&a, &b), 2.0);
+        assert_eq!(dot(&a, &b), 0.0);
+        assert_eq!(dot(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn clamp_limits_range() {
+        let mut a = m(vec![-5.0, 0.5, 7.0, 1.0]);
+        clamp_inplace(&mut a, 0.0, 1.0);
+        assert_eq!(a.as_slice(), &[0.0, 0.5, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_rejects_shape_mismatch() {
+        let _ = add(&Matrix::zeros(2, 2), &Matrix::zeros(2, 3));
+    }
+}

@@ -1,0 +1,238 @@
+//! Column statistics: means and higher-order central moments.
+//!
+//! These are the primitives of Algorithm 1 in the paper — each client
+//! computes per-column (i.e. per-hidden-unit) means of its layer activations
+//! (line 4) and central moments of orders 2..=5 about a given centre
+//! (lines 5-7 and 12-13). Both the "centre = local mean" and
+//! "centre = global mean" variants reduce to [`central_moments`] with a
+//! different `center` argument.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Per-column means, `E(Z)` in the paper (a length-`cols` vector).
+pub fn column_means(z: &Matrix) -> Vec<f32> {
+    let (rows, cols) = z.shape();
+    if rows == 0 {
+        return vec![0.0; cols];
+    }
+    let mut acc = vec![0.0f64; cols];
+    for row in z.as_slice().chunks(cols) {
+        for (a, &v) in acc.iter_mut().zip(row) {
+            *a += v as f64;
+        }
+    }
+    acc.into_iter().map(|a| (a / rows as f64) as f32).collect()
+}
+
+/// Per-column `j`-th central moment about `center`:
+/// `(1/n) Σ_m (Z(m) − center)^j`, one value per column.
+///
+/// # Panics
+/// Panics when `center.len() != z.cols()` or `order == 0`.
+pub fn central_moments(z: &Matrix, center: &[f32], order: u32) -> Vec<f32> {
+    assert_eq!(center.len(), z.cols(), "central_moments: center length mismatch");
+    assert!(order >= 1, "central_moments: order must be >= 1");
+    let (rows, cols) = z.shape();
+    if rows == 0 {
+        return vec![0.0; cols];
+    }
+    let mut acc = vec![0.0f64; cols];
+    for row in z.as_slice().chunks(cols) {
+        for ((a, &v), &c) in acc.iter_mut().zip(row).zip(center) {
+            *a += powi_f64((v - c) as f64, order);
+        }
+    }
+    acc.into_iter().map(|a| (a / rows as f64) as f32).collect()
+}
+
+/// All central moments of orders `2..=max_order` about `center`, computed in
+/// a single pass over the data. Returns `moments[j-2]` = order-`j` vector.
+///
+/// This is the hot path of the FedOMD round (orders 2..=5 for every hidden
+/// layer), so the pass is parallelised over column blocks.
+pub fn central_moments_upto(z: &Matrix, center: &[f32], max_order: u32) -> Vec<Vec<f32>> {
+    assert!(max_order >= 2, "central_moments_upto: max_order must be >= 2");
+    assert_eq!(center.len(), z.cols(), "central_moments_upto: center length mismatch");
+    let (rows, cols) = z.shape();
+    let orders = (max_order - 1) as usize;
+    if rows == 0 {
+        return vec![vec![0.0; cols]; orders];
+    }
+    let data = z.as_slice();
+    const COL_BLOCK: usize = 64;
+    let n_blocks = cols.div_ceil(COL_BLOCK);
+
+    let per_block: Vec<Vec<Vec<f64>>> = (0..n_blocks)
+        .into_par_iter()
+        .map(|blk| {
+            let c0 = blk * COL_BLOCK;
+            let c1 = (c0 + COL_BLOCK).min(cols);
+            let width = c1 - c0;
+            let mut acc = vec![vec![0.0f64; width]; orders];
+            for r in 0..rows {
+                let row = &data[r * cols + c0..r * cols + c1];
+                for (i, (&v, &c)) in row.iter().zip(&center[c0..c1]).enumerate() {
+                    let d = (v - c) as f64;
+                    let mut p = d * d;
+                    acc[0][i] += p;
+                    for slot in acc.iter_mut().skip(1) {
+                        p *= d;
+                        slot[i] += p;
+                    }
+                }
+            }
+            acc
+        })
+        .collect();
+
+    let mut out = vec![vec![0.0f32; cols]; orders];
+    for (blk, acc) in per_block.into_iter().enumerate() {
+        let c0 = blk * COL_BLOCK;
+        for (ord, vals) in acc.into_iter().enumerate() {
+            for (i, v) in vals.into_iter().enumerate() {
+                out[ord][c0 + i] = (v / rows as f64) as f32;
+            }
+        }
+    }
+    out
+}
+
+/// Per-column variance (the order-2 central moment about the column mean).
+pub fn column_variances(z: &Matrix) -> Vec<f32> {
+    let means = column_means(z);
+    central_moments(z, &means, 2)
+}
+
+/// Euclidean norm of the difference between two equal-length vectors.
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "l2_distance: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (*x - *y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt() as f32
+}
+
+#[inline]
+fn powi_f64(base: f64, exp: u32) -> f64 {
+    let mut out = 1.0;
+    for _ in 0..exp {
+        out *= base;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn means_of_constant_matrix() {
+        let z = Matrix::full(5, 3, 2.5);
+        assert_eq!(column_means(&z), vec![2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn means_match_hand_computation() {
+        let z = Matrix::from_vec(2, 2, vec![1.0, 10.0, 3.0, 20.0]);
+        assert_eq!(column_means(&z), vec![2.0, 15.0]);
+    }
+
+    #[test]
+    fn first_central_moment_about_mean_is_zero() {
+        let z = Matrix::from_vec(4, 2, vec![1.0, 5.0, 2.0, 6.0, 3.0, 7.0, 4.0, 8.0]);
+        let means = column_means(&z);
+        let m1 = central_moments(&z, &means, 1);
+        assert!(m1.iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn variance_of_known_data() {
+        // Column [1,2,3,4]: mean 2.5, population variance 1.25.
+        let z = Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]);
+        let var = column_variances(&z);
+        assert!((var[0] - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn odd_moments_of_symmetric_data_vanish() {
+        let z = Matrix::from_vec(4, 1, vec![-2.0, -1.0, 1.0, 2.0]);
+        let m3 = central_moments(&z, &[0.0], 3);
+        let m5 = central_moments(&z, &[0.0], 5);
+        assert!(m3[0].abs() < 1e-6);
+        assert!(m5[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn upto_matches_individual_orders() {
+        let z = Matrix::from_fn(37, 130, |r, c| ((r * 7 + c * 13) % 11) as f32 / 11.0 - 0.5);
+        let means = column_means(&z);
+        let all = central_moments_upto(&z, &means, 5);
+        for (idx, order) in (2u32..=5).enumerate() {
+            let single = central_moments(&z, &means, order);
+            for (a, b) in all[idx].iter().zip(&single) {
+                assert!((a - b).abs() < 1e-5, "order {order}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_yields_zeros() {
+        let z = Matrix::zeros(0, 3);
+        assert_eq!(column_means(&z), vec![0.0; 3]);
+        assert_eq!(central_moments(&z, &[0.0; 3], 2), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn l2_distance_basic() {
+        assert_eq!(l2_distance(&[0.0, 3.0], &[4.0, 0.0]), 5.0);
+        assert_eq!(l2_distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_weighted_mean_decomposition(
+            rows_a in 1usize..20, rows_b in 1usize..20, cols in 1usize..8, seed in 0u64..500
+        ) {
+            // Pooled mean == weighted combination of group means — the exact
+            // identity Eq. 10 of the paper relies on.
+            let gen = |rows: usize, salt: u64| {
+                Matrix::from_fn(rows, cols, |r, c| {
+                    let h = (r as u64 + 31 * c as u64 + 1009 * (seed + salt)) % 997;
+                    h as f32 / 997.0 - 0.5
+                })
+            };
+            let a = gen(rows_a, 0);
+            let b = gen(rows_b, 1);
+            let mut pooled = Vec::with_capacity((rows_a + rows_b) * cols);
+            pooled.extend_from_slice(a.as_slice());
+            pooled.extend_from_slice(b.as_slice());
+            let pooled = Matrix::from_vec(rows_a + rows_b, cols, pooled);
+
+            let ma = column_means(&a);
+            let mb = column_means(&b);
+            let mp = column_means(&pooled);
+            let (na, nb) = (rows_a as f32, rows_b as f32);
+            for c in 0..cols {
+                let weighted = (na * ma[c] + nb * mb[c]) / (na + nb);
+                prop_assert!((weighted - mp[c]).abs() < 1e-5);
+            }
+        }
+
+        #[test]
+        fn prop_moments_shift_with_center(rows in 2usize..30, seed in 0u64..500) {
+            // Second moment about c equals variance + (mean - c)^2.
+            let z = Matrix::from_fn(rows, 1, |r, _| ((r as u64 * 37 + seed) % 23) as f32 / 23.0);
+            let mean = column_means(&z)[0];
+            let var = central_moments(&z, &[mean], 2)[0];
+            let c = 0.123f32;
+            let m2 = central_moments(&z, &[c], 2)[0];
+            prop_assert!((m2 - (var + (mean - c) * (mean - c))).abs() < 1e-5);
+        }
+    }
+}

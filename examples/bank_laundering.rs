@@ -1,0 +1,70 @@
+//! The paper's second motivating application (§1): "bank money laundering
+//! detection" across institutions that cannot share transaction graphs.
+//!
+//! Each bank holds a transaction subgraph; account features (transaction
+//! statistics) are bank-conditional because products and customer bases
+//! differ. This example focuses on the *operational* questions a bank
+//! consortium would ask of FedOMD: what does each mechanism contribute
+//! (the paper's Table 6 ablation), and what does the exchange cost on the
+//! wire (Table 3's argument)?
+//!
+//! ```text
+//! cargo run --release --example bank_laundering
+//! ```
+
+use fedomd_core::{run_fedomd, FedOmdConfig};
+use fedomd_data::{generate, SynthParams};
+use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
+
+fn main() {
+    // Account graph: 1500 accounts, classes {retail, business, mule}.
+    let params = SynthParams {
+        name: "interbank-accounts".into(),
+        n_nodes: 1500,
+        n_edges: 7000,
+        n_classes: 3,
+        n_features: 48, // transaction statistics
+        n_communities: 24,
+        intra_ratio: 0.88, // most transfers stay within a bank's book
+        label_purity: 0.75,
+        class_signature_dims: 8,
+        nnz_per_node: 8,
+    };
+    let dataset = generate(&params, 7);
+    let clients = setup_federation(&dataset, &FederationConfig::mini(4, 7));
+    println!(
+        "consortium of {} banks over {} accounts / {} transfers\n",
+        clients.len(),
+        dataset.n_nodes(),
+        dataset.n_edges()
+    );
+
+    let cfg = TrainConfig::mini(7);
+    let variants = [
+        ("neither (plain fed Ortho-GCN)", FedOmdConfig {
+            use_ortho: false,
+            use_cmd: false,
+            ..FedOmdConfig::paper()
+        }),
+        ("orthogonality only", FedOmdConfig::ortho_only()),
+        ("CMD only", FedOmdConfig::cmd_only()),
+        ("full FedOMD", FedOmdConfig::paper()),
+    ];
+
+    println!("{:<32} {:>9} {:>11} {:>12}", "variant", "accuracy", "uplink MB", "stats share");
+    for (label, omd) in variants {
+        let r = run_fedomd(&clients, dataset.n_classes, &cfg, &omd);
+        println!(
+            "{:<32} {:>8.2}% {:>10.2} {:>11.3}%",
+            label,
+            100.0 * r.test_acc,
+            r.comms.uplink_bytes as f64 / 1e6,
+            100.0 * r.comms.stats_fraction()
+        );
+    }
+    println!(
+        "\nThe CMD statistics ride along at a fraction of a percent of the \
+         weight traffic — the paper's 'negligible communication cost' claim, \
+         here measured on the wire."
+    );
+}

@@ -1,0 +1,71 @@
+//! The paper's Table 7 phenomenon as a runnable demo: stacking OrthoConv
+//! layers degrades gracefully where deep plain GCNs collapse from
+//! over-smoothing. Trains FedOMD at depths 2..10 on one federation and
+//! prints accuracy plus a hidden-representation diversity measure (mean
+//! pairwise distance of final-layer activations — over-smoothed networks
+//! drive it to zero).
+//!
+//! ```text
+//! cargo run --release --example depth_oversmoothing
+//! ```
+
+use fedomd_autograd::Tape;
+use fedomd_core::{run_fedomd, FedOmdConfig};
+use fedomd_data::{generate, spec, DatasetName};
+use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
+use fedomd_nn::{Model, OrthoGcn, OrthoGcnConfig};
+use fedomd_tensor::rng::seeded;
+
+fn main() {
+    let dataset = generate(&spec(DatasetName::PhotoMini), 3);
+    let clients = setup_federation(&dataset, &FederationConfig::mini(3, 3));
+    let cfg = TrainConfig::mini(3);
+
+    println!("{:>6} {:>10} {:>22}", "depth", "accuracy", "hidden diversity");
+    for depth in [2usize, 4, 6, 8, 10] {
+        let omd = FedOmdConfig { hidden_layers: depth, ..FedOmdConfig::paper() };
+        let r = run_fedomd(&clients, dataset.n_classes, &cfg, &omd);
+
+        // Diversity of the deepest hidden layer on client 0 with a fresh
+        // (untrained) stack of the same depth: how much signal survives
+        // pure propagation.
+        let ocfg = OrthoGcnConfig {
+            in_dim: dataset.n_features(),
+            hidden_dim: cfg.hidden_dim,
+            out_dim: dataset.n_classes,
+            hidden_layers: depth,
+            ns_interval: 0,
+            ns_iters: 0,
+        };
+        let model = OrthoGcn::new(ocfg, &mut seeded(3));
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &clients[0].input);
+        let z = tape.value(*out.hidden.last().expect("hidden layers"));
+        let diversity = mean_pairwise_distance(z);
+
+        println!("{:>6} {:>9.2}% {:>22.4}", depth, 100.0 * r.test_acc, diversity);
+    }
+    println!(
+        "\nAccuracy decays gently with depth (the paper's Table 7) while the \
+         orthogonalised propagation keeps row representations distinguishable."
+    );
+}
+
+/// Mean pairwise L2 distance over a sample of rows.
+fn mean_pairwise_distance(z: &fedomd_tensor::Matrix) -> f64 {
+    let n = z.rows().min(64);
+    let mut total = 0.0;
+    let mut count = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total +=
+                fedomd_tensor::stats::l2_distance(z.row(i), z.row(j)) as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's motivating scenario (§1): regional health authorities want
+//! to detect an epidemic whose *symptoms present differently by region*
+//! ("the features of coronavirus appear the non-i.i.d phenomenon in
+//! different regions"), but cannot pool patient contact graphs.
+//!
+//! We synthesise a patient-contact graph whose communities are regions,
+//! with region-conditional symptom features (the non-i.i.d. shift), cut it
+//! across five health authorities, and compare isolated local models,
+//! plain federated GCN, and FedOMD — whose CMD constraint aligns the
+//! regional feature distributions exactly as the paper argues.
+//!
+//! ```text
+//! cargo run --release --example epidemic_surveillance
+//! ```
+
+use fedomd_core::{run_fedomd, FedOmdConfig};
+use fedomd_data::{generate, SynthParams};
+use fedomd_federated::baselines::{run_baseline, Baseline};
+use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
+
+fn main() {
+    // Patient contact network: 1200 patients, 3 diagnosis classes
+    // (healthy / influenza-like / target pathogen), region-structured.
+    let params = SynthParams {
+        name: "patient-contacts".into(),
+        n_nodes: 1200,
+        n_edges: 4800,
+        n_classes: 3,
+        n_features: 64, // symptom indicators
+        n_communities: 30,
+        intra_ratio: 0.9,   // contacts are overwhelmingly regional
+        label_purity: 0.7,  // outbreaks cluster by region but leak
+        class_signature_dims: 10,
+        nnz_per_node: 9,
+    };
+    let dataset = generate(&params, 42);
+    println!(
+        "patient-contact graph: {} patients, {} contacts, homophily {:.2}",
+        dataset.n_nodes(),
+        dataset.n_edges(),
+        dataset.graph.edge_homophily(&dataset.labels)
+    );
+
+    let clients = setup_federation(&dataset, &FederationConfig::mini(5, 42));
+    println!("{} health authorities participate\n", clients.len());
+
+    let cfg = TrainConfig::mini(42);
+    let mut rows = Vec::new();
+    for b in [Baseline::LocGcn, Baseline::FedGcn] {
+        let r = run_baseline(b, &clients, dataset.n_classes, &cfg);
+        rows.push((r.algorithm.clone(), r.test_acc, r.comms.total_bytes()));
+    }
+    let r = run_fedomd(&clients, dataset.n_classes, &cfg, &FedOmdConfig::paper());
+    rows.push((r.algorithm.clone(), r.test_acc, r.comms.total_bytes()));
+
+    println!("{:<10} {:>10} {:>12}", "model", "accuracy", "traffic");
+    for (name, acc, bytes) in rows {
+        println!("{:<10} {:>9.2}% {:>9.2} MB", name, 100.0 * acc, bytes as f64 / 1e6);
+    }
+    println!(
+        "\nFedOMD aligns each authority's hidden symptom distribution to the \
+         federation-wide one via the two-round moment exchange, so the shared \
+         detector works in regions whose presentation differs."
+    );
+}

@@ -1,0 +1,62 @@
+//! Reproducibility: every stage of the pipeline is a pure function of its
+//! seed, so entire federated runs are bit-for-bit repeatable — the property
+//! that makes the experiment records in EXPERIMENTS.md regenerable.
+
+use fedomd_core::{run_fedomd, FedOmdConfig};
+use fedomd_data::{generate, spec, DatasetName};
+use fedomd_federated::baselines::{run_baseline, Baseline};
+use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
+
+#[test]
+fn whole_fedomd_run_is_bit_reproducible() {
+    let run = || {
+        let ds = generate(&spec(DatasetName::CiteseerMini), 11);
+        let clients = setup_federation(&ds, &FederationConfig::mini(3, 11));
+        let cfg = TrainConfig { rounds: 15, ..TrainConfig::mini(11) };
+        run_fedomd(&clients, ds.n_classes, &cfg, &FedOmdConfig::paper())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.test_acc, b.test_acc);
+    assert_eq!(a.val_acc, b.val_acc);
+    assert_eq!(a.best_round, b.best_round);
+    assert_eq!(a.history.len(), b.history.len());
+    for (x, y) in a.history.iter().zip(&b.history) {
+        assert_eq!(x.val_acc, y.val_acc);
+        assert_eq!(x.train_loss, y.train_loss);
+    }
+    assert_eq!(a.comms, b.comms);
+}
+
+#[test]
+fn stochastic_baselines_are_reproducible_too() {
+    // FedSage+ (random impairment + generated noise) and FedLIT (k-means)
+    // are the most randomness-heavy baselines.
+    for b in [Baseline::FedSagePlus, Baseline::FedLit] {
+        let run = || {
+            let ds = generate(&spec(DatasetName::CoraMini), 7);
+            let clients = setup_federation(&ds, &FederationConfig::mini(3, 7));
+            let cfg = TrainConfig { rounds: 8, ..TrainConfig::mini(7) };
+            run_baseline(b, &clients, ds.n_classes, &cfg)
+        };
+        let x = run();
+        let y = run();
+        assert_eq!(x.test_acc, y.test_acc, "{:?} not reproducible", b);
+    }
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let acc = |seed: u64| {
+        let ds = generate(&spec(DatasetName::CoraMini), seed);
+        let clients = setup_federation(&ds, &FederationConfig::mini(3, seed));
+        let cfg = TrainConfig { rounds: 15, ..TrainConfig::mini(seed) };
+        run_fedomd(&clients, ds.n_classes, &cfg, &FedOmdConfig::paper())
+    };
+    let a = acc(1);
+    let b = acc(2);
+    // Histories of independent seeds should not coincide point-for-point.
+    let identical = a.history.len() == b.history.len()
+        && a.history.iter().zip(&b.history).all(|(x, y)| x.val_acc == y.val_acc);
+    assert!(!identical, "two different seeds produced identical histories");
+}

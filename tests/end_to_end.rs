@@ -1,0 +1,75 @@
+//! End-to-end integration: dataset generation → Louvain federation →
+//! FedOMD training → evaluation, across crate boundaries.
+
+use fedomd_core::{run_fedomd, FedOmdConfig};
+use fedomd_data::{generate, spec, DatasetName};
+use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
+
+fn cfg(seed: u64) -> TrainConfig {
+    TrainConfig { rounds: 60, patience: 40, ..TrainConfig::mini(seed) }
+}
+
+#[test]
+fn fedomd_full_pipeline_learns() {
+    let ds = generate(&spec(DatasetName::CoraMini), 0);
+    ds.validate().expect("dataset valid");
+    let clients = setup_federation(&ds, &FederationConfig::mini(3, 0));
+    let r = run_fedomd(&clients, ds.n_classes, &cfg(0), &FedOmdConfig::paper());
+    assert!(r.test_acc.is_finite());
+    assert!(
+        r.test_acc > 1.2 / ds.n_classes as f64,
+        "accuracy {} not above chance",
+        r.test_acc
+    );
+    assert!(r.improved(), "validation accuracy never improved over init");
+    assert!(!r.history.is_empty());
+    assert!(r.comms.rounds > 0);
+}
+
+#[test]
+fn cmd_constraint_helps_on_average() {
+    // The headline of the paper's Table 6: the CMD term improves over the
+    // bare federated Ortho-GCN. Averaged over seeds to dampen the small-
+    // scale noise; asserted with a margin that tolerates one bad seed.
+    let seeds = [0u64, 1, 2];
+    let mut with_cmd = 0.0;
+    let mut without = 0.0;
+    for &seed in &seeds {
+        let ds = generate(&spec(DatasetName::CoraMini), seed);
+        let clients = setup_federation(&ds, &FederationConfig::mini(5, seed));
+        with_cmd +=
+            run_fedomd(&clients, ds.n_classes, &cfg(seed), &FedOmdConfig::paper()).test_acc;
+        let none = FedOmdConfig { use_ortho: false, use_cmd: false, ..FedOmdConfig::paper() };
+        without += run_fedomd(&clients, ds.n_classes, &cfg(seed), &none).test_acc;
+    }
+    assert!(
+        with_cmd > without - 0.02 * seeds.len() as f64,
+        "CMD made things materially worse: {:.3} vs {:.3}",
+        with_cmd / seeds.len() as f64,
+        without / seeds.len() as f64
+    );
+}
+
+#[test]
+fn party_count_scales_without_crashing() {
+    // Table 5's regime: many parties on the coauthor graph.
+    let ds = generate(&spec(DatasetName::CoauthorCsMini), 0);
+    let clients = setup_federation(&ds, &FederationConfig::mini(20, 0));
+    assert_eq!(clients.len(), 20);
+    let mut fast = cfg(0);
+    fast.rounds = 10;
+    let r = run_fedomd(&clients, ds.n_classes, &fast, &FedOmdConfig::paper());
+    assert!(r.test_acc.is_finite());
+}
+
+#[test]
+fn resolution_changes_the_cut() {
+    // Fig. 7's lever: resolution controls subgraph fragmentation, which
+    // shows up as fewer surviving local edges at higher resolution.
+    let ds = generate(&spec(DatasetName::CoraMini), 1);
+    let edges_at = |res: f64| -> usize {
+        let fed = FederationConfig { resolution: res, ..FederationConfig::mini(3, 1) };
+        setup_federation(&ds, &fed).iter().map(|c| c.edges.len()).sum()
+    };
+    assert!(edges_at(20.0) <= edges_at(0.5));
+}

@@ -1,0 +1,186 @@
+//! Cross-crate gradient validation of the *complete* FedOMD objective
+//! (Eq. 12 — cross-entropy + α·orthogonality + β·CMD) through a full
+//! multi-layer graph network.
+//!
+//! Two complementary checks:
+//!
+//! * finite differences on a kink-free configuration (all-positive inputs
+//!   and weights keep every ReLU strictly in its linear region, and the
+//!   propagation weights are tape parameters with no stop-gradient paths),
+//! * a descent check on the realistic Ortho-GCN (whose forward contains
+//!   ReLU kinks and the weight-norm stop-gradient, where raw finite
+//!   differences are not meaningful).
+
+use std::sync::Arc;
+
+use fedomd_autograd::check::finite_diff_check;
+use fedomd_autograd::{CmdTargets, Tape, Var};
+use fedomd_nn::{GraphInput, Model, OrthoGcn, OrthoGcnConfig};
+use fedomd_sparse::normalized_adjacency;
+use fedomd_tensor::rng::seeded;
+use fedomd_tensor::Matrix;
+
+fn tiny_input(n: usize, f: usize) -> GraphInput {
+    let edges: Vec<_> = (0..n).map(|i| (i, (i + 3) % n)).collect();
+    let s = Arc::new(normalized_adjacency(n, &edges));
+    // Strictly positive features.
+    let x = Matrix::from_fn(n, f, |r, c| 0.1 + ((r * 13 + c * 5) % 7) as f32 / 7.0);
+    GraphInput::new(s, x)
+}
+
+/// Eq. 12 on a hand-rolled 3-layer graph net with positive weights:
+/// CE + α·‖W₁W₁ᵀ − I‖_F + β·Σ_l d_CMD(Z^l).
+fn eq12_positive_net(
+    input: &GraphInput,
+    w0m: &Matrix,
+    w1m: &Matrix,
+    w2m: &Matrix,
+    labels: &[usize],
+    mask: &[usize],
+    targets: &[CmdTargets; 2],
+) -> (Tape, [Var; 3], f32) {
+    let mut tape = Tape::new();
+    let x = tape.constant((*input.x).clone());
+    let w0 = tape.param(w0m.clone());
+    let w1 = tape.param(w1m.clone());
+    let w2 = tape.param(w2m.clone());
+
+    let z1 = tape.matmul(x, w0);
+    let z1 = tape.spmm(input.s.clone(), z1);
+    let z1 = tape.relu(z1);
+    let z2 = tape.matmul(z1, w1);
+    let z2 = tape.spmm(input.s.clone(), z2);
+    let z2 = tape.relu(z2);
+    let logits = tape.matmul(z2, w2);
+
+    let mut loss = tape.softmax_cross_entropy(logits, labels, mask);
+    let pen = tape.ortho_penalty(w1);
+    let pen = tape.scale(pen, 5e-4);
+    loss = tape.add(loss, pen);
+    for (z, t) in [(z1, &targets[0]), (z2, &targets[1])] {
+        let cmd = tape.cmd_loss_weighted(z, t, 1.0, 0.1);
+        let cmd = tape.scale(cmd, 10.0);
+        loss = tape.add(loss, cmd);
+    }
+    tape.backward(loss);
+    let v = tape.scalar(loss);
+    (tape, [w0, w1, w2], v)
+}
+
+#[test]
+fn eq12_gradients_match_finite_differences_on_kink_free_net() {
+    let n = 10;
+    let (f, h, k) = (4, 5, 3);
+    let input = tiny_input(n, f);
+    let labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+    let mask: Vec<usize> = (0..n).step_by(2).collect();
+
+    let mut rng = seeded(21);
+    // Positive weights keep all pre-activations strictly positive.
+    let w0 = fedomd_tensor::init::xavier_uniform(f, h, &mut rng).map(|v| v.abs() + 0.05);
+    let w1 = fedomd_tensor::init::xavier_uniform(h, h, &mut rng).map(|v| v.abs() + 0.05);
+    let w2 = fedomd_tensor::init::xavier_uniform(h, k, &mut rng).map(|v| v.abs() + 0.05);
+
+    let targets = {
+        let mk = |seed: u64| {
+            CmdTargets::from_matrix(
+                &fedomd_tensor::init::standard_normal(12, h, &mut seeded(seed))
+                    .map(|v| v.abs() * 0.4 + 0.2),
+                5,
+            )
+        };
+        [mk(31), mk(32)]
+    };
+
+    let (tape, vars, _) = eq12_positive_net(&input, &w0, &w1, &w2, &labels, &mask, &targets);
+    let ws = [w0.clone(), w1.clone(), w2.clone()];
+    for (idx, var) in vars.iter().enumerate() {
+        let analytic = tape.grad(*var).cloned().expect("param gradient exists");
+        finite_diff_check(
+            |m| {
+                let mut sub = ws.clone();
+                sub[idx] = m.clone();
+                eq12_positive_net(&input, &sub[0], &sub[1], &sub[2], &labels, &mask, &targets).2
+            },
+            &ws[idx],
+            &analytic,
+            1e-3,
+            3e-2,
+        );
+    }
+}
+
+#[test]
+fn eq12_gradient_step_descends_on_real_ortho_gcn() {
+    // On the realistic Ortho-GCN (ReLU kinks + weight-norm stop-gradient)
+    // the analytic gradient must still be a descent direction for the full
+    // Eq. 12 objective.
+    let n = 12;
+    let (f, k) = (5, 3);
+    let input = tiny_input(n, f);
+    let labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+    let mask: Vec<usize> = (0..n).collect();
+
+    let ocfg = OrthoGcnConfig {
+        in_dim: f,
+        hidden_dim: 6,
+        out_dim: k,
+        hidden_layers: 3,
+        ns_interval: 0,
+        ns_iters: 0,
+    };
+    let mut model = OrthoGcn::new(ocfg, &mut seeded(40));
+
+    let targets: Vec<CmdTargets> = {
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &input);
+        out.hidden
+            .iter()
+            .map(|&hv| CmdTargets::from_matrix(&tape.value(hv).map(|v| v * 1.2 + 0.05), 5))
+            .collect()
+    };
+
+    let objective = |model: &OrthoGcn, want_grads: bool| -> (f32, Option<Vec<Matrix>>) {
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &input);
+        let mut loss = tape.softmax_cross_entropy(out.logits, &labels, &mask);
+        for &w in &out.ortho_weight_vars {
+            let pen = tape.ortho_penalty(w);
+            let pen = tape.scale(pen, 5e-4);
+            loss = tape.add(loss, pen);
+        }
+        for (&hv, t) in out.hidden.iter().zip(&targets) {
+            let cmd = tape.cmd_loss_weighted(hv, t, 1.0, 0.1);
+            let cmd = tape.scale(cmd, 10.0);
+            loss = tape.add(loss, cmd);
+        }
+        if !want_grads {
+            return (tape.scalar(loss), None);
+        }
+        tape.backward(loss);
+        let grads = out
+            .param_vars
+            .iter()
+            .map(|&v| {
+                tape.grad(v).cloned().unwrap_or_else(|| {
+                    let val = tape.value(v);
+                    Matrix::zeros(val.rows(), val.cols())
+                })
+            })
+            .collect();
+        (tape.scalar(loss), Some(grads))
+    };
+
+    let (before, grads) = objective(&model, true);
+    let grads = grads.expect("grads");
+    let mut params = model.params();
+    for (p, g) in params.iter_mut().zip(&grads) {
+        fedomd_tensor::ops::axpy(p, -0.02, g);
+    }
+    model.set_params(&params);
+    let (after, _) = objective(&model, false);
+    assert!(
+        after < before,
+        "analytic gradient was not a descent direction: {before} -> {after}"
+    );
+}
