@@ -15,7 +15,11 @@ pub fn finite_diff_check(
     eps: f32,
     tol: f32,
 ) {
-    assert_eq!(x.shape(), analytic.shape(), "finite_diff_check: shape mismatch");
+    assert_eq!(
+        x.shape(),
+        analytic.shape(),
+        "finite_diff_check: shape mismatch"
+    );
     let (rows, cols) = x.shape();
     for r in 0..rows {
         for c in 0..cols {
@@ -43,7 +47,13 @@ mod tests {
         // f(x) = Σ x², ∂f/∂x = 2x.
         let x = Matrix::from_vec(2, 2, vec![1.0, -2.0, 0.5, 3.0]);
         let grad = x.map(|v| 2.0 * v);
-        finite_diff_check(|m| m.as_slice().iter().map(|v| v * v).sum(), &x, &grad, 1e-3, 1e-3);
+        finite_diff_check(
+            |m| m.as_slice().iter().map(|v| v * v).sum(),
+            &x,
+            &grad,
+            1e-3,
+            1e-3,
+        );
     }
 
     #[test]
@@ -51,6 +61,12 @@ mod tests {
     fn rejects_wrong_gradient() {
         let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
         let wrong = x.map(|v| 3.0 * v);
-        finite_diff_check(|m| m.as_slice().iter().map(|v| v * v).sum(), &x, &wrong, 1e-3, 1e-3);
+        finite_diff_check(
+            |m| m.as_slice().iter().map(|v| v * v).sum(),
+            &x,
+            &wrong,
+            1e-3,
+            1e-3,
+        );
     }
 }

@@ -45,8 +45,9 @@ impl CmdTargets {
     pub fn from_matrix(z: &Matrix, max_order: u32) -> Self {
         assert!(max_order >= 2);
         let mean = column_means(z);
-        let moments =
-            (2..=max_order).map(|j| central_moments(z, &mean, j)).collect();
+        let moments = (2..=max_order)
+            .map(|j| central_moments(z, &mean, j))
+            .collect();
         Self { mean, moments }
     }
 }
@@ -65,7 +66,11 @@ pub fn cmd_value(z: &Matrix, targets: &CmdTargets, width: f32) -> f32 {
 /// constraint's effect comes from.
 pub fn cmd_value_weighted(z: &Matrix, targets: &CmdTargets, width: f32, mean_scale: f32) -> f32 {
     assert!(width > 0.0, "cmd_value: width must be positive");
-    assert_eq!(targets.mean.len(), z.cols(), "cmd_value: dimension mismatch");
+    assert_eq!(
+        targets.mean.len(),
+        z.cols(),
+        "cmd_value: dimension mismatch"
+    );
     let m = column_means(z);
     let mut total = mean_scale * l2_distance(&m, &targets.mean) / width;
     let mut wj = width;
@@ -111,7 +116,10 @@ pub fn cmd_grad_weighted(
     // Unit direction for the mean term.
     let mean_norm = l2_distance(&m, &targets.mean);
     let u: Vec<f32> = if mean_norm > 0.0 {
-        m.iter().zip(&targets.mean).map(|(a, b)| (a - b) / mean_norm).collect()
+        m.iter()
+            .zip(&targets.mean)
+            .map(|(a, b)| (a - b) / mean_norm)
+            .collect()
     } else {
         vec![0.0; d]
     };
@@ -212,7 +220,13 @@ mod tests {
         let gout = 2.5;
         let width = 2.0;
         let analytic = cmd_grad(&a, &t, width, gout);
-        finite_diff_check(|m| gout * cmd_value(m, &t, width), &a, &analytic, 1e-3, 2e-2);
+        finite_diff_check(
+            |m| gout * cmd_value(m, &t, width),
+            &a,
+            &analytic,
+            1e-3,
+            2e-2,
+        );
     }
 
     #[test]

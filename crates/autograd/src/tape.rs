@@ -33,12 +33,22 @@ enum Op {
     /// Element-wise product with a constant mask (dropout).
     MaskMul(usize, Matrix),
     /// Mean softmax cross-entropy over `mask` rows of the logits.
-    SoftmaxCrossEntropy { logits: usize, probs: Matrix, labels: Vec<usize>, mask: Vec<usize> },
+    SoftmaxCrossEntropy {
+        logits: usize,
+        probs: Matrix,
+        labels: Vec<usize>,
+        mask: Vec<usize>,
+    },
     /// `‖WWᵀ − I‖_F` (paper Eq. 6, one layer's term).
     OrthoPenalty(usize),
     /// CMD distance of the activations against server targets (Eq. 11);
     /// `mean_scale` scales the first (mean) term (1 = the paper's Eq. 11).
-    Cmd { z: usize, targets: CmdTargets, width: f32, mean_scale: f32 },
+    Cmd {
+        z: usize,
+        targets: CmdTargets,
+        width: f32,
+        mean_scale: f32,
+    },
     /// `0.5 ‖W − T‖_F²` against a constant target (FedProx proximal term).
     SqDiff(usize, Matrix),
 }
@@ -75,7 +85,11 @@ impl Tape {
     }
 
     fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
-        self.nodes.push(Node { value, op, requires_grad });
+        self.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
         self.grads.push(None);
         Var(self.nodes.len() - 1)
     }
@@ -149,7 +163,11 @@ impl Tape {
 
     /// Adds a `1 × cols` bias row to every row of `x`.
     pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
-        assert_eq!(self.value(bias).rows(), 1, "add_bias: bias must be 1 x cols");
+        assert_eq!(
+            self.value(bias).rows(),
+            1,
+            "add_bias: bias must be 1 x cols"
+        );
         assert_eq!(
             self.value(x).cols(),
             self.value(bias).cols(),
@@ -178,7 +196,11 @@ impl Tape {
     /// Element-wise product with a fixed 0/`1/keep` mask (inverted dropout).
     /// The caller supplies the mask so that randomness stays seeded.
     pub fn mask_mul(&mut self, x: Var, mask: Matrix) -> Var {
-        assert_eq!(self.value(x).shape(), mask.shape(), "mask_mul: shape mismatch");
+        assert_eq!(
+            self.value(x).shape(),
+            mask.shape(),
+            "mask_mul: shape mismatch"
+        );
         let value = fedomd_tensor::ops::hadamard(self.value(x), &mask);
         let rg = self.rg(x);
         self.push(value, Op::MaskMul(x.0, mask), rg)
@@ -194,7 +216,11 @@ impl Tape {
     pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize], mask: &[usize]) -> Var {
         let lm = self.value(logits);
         let (n, k) = lm.shape();
-        assert_eq!(labels.len(), n, "softmax_cross_entropy: labels length mismatch");
+        assert_eq!(
+            labels.len(),
+            n,
+            "softmax_cross_entropy: labels length mismatch"
+        );
         assert!(!mask.is_empty(), "softmax_cross_entropy: empty mask");
         let probs = softmax_rows(lm);
         let mut loss = 0.0f64;
@@ -244,15 +270,33 @@ impl Tape {
         let value = Matrix::from_vec(
             1,
             1,
-            vec![cmd_value_weighted(self.value(z), targets, width, mean_scale)],
+            vec![cmd_value_weighted(
+                self.value(z),
+                targets,
+                width,
+                mean_scale,
+            )],
         );
         let rg = self.rg(z);
-        self.push(value, Op::Cmd { z: z.0, targets: targets.clone(), width, mean_scale }, rg)
+        self.push(
+            value,
+            Op::Cmd {
+                z: z.0,
+                targets: targets.clone(),
+                width,
+                mean_scale,
+            },
+            rg,
+        )
     }
 
     /// Proximal penalty `0.5‖W − T‖_F²` against a constant target (FedProx).
     pub fn sq_diff(&mut self, w: Var, target: &Matrix) -> Var {
-        assert_eq!(self.value(w).shape(), target.shape(), "sq_diff: shape mismatch");
+        assert_eq!(
+            self.value(w).shape(),
+            target.shape(),
+            "sq_diff: shape mismatch"
+        );
         let d = fedomd_tensor::ops::sq_distance(self.value(w), target);
         let value = Matrix::from_vec(1, 1, vec![0.5 * d]);
         let rg = self.rg(w);
@@ -278,7 +322,9 @@ impl Tape {
             if !self.nodes[i].requires_grad {
                 continue;
             }
-            let Some(g) = self.grads[i].take() else { continue };
+            let Some(g) = self.grads[i].take() else {
+                continue;
+            };
             self.propagate(i, &g);
             self.grads[i] = Some(g);
         }
@@ -358,7 +404,12 @@ impl Tape {
                 let d = fedomd_tensor::ops::hadamard(g, mask);
                 self.accumulate(x, d);
             }
-            Op::SoftmaxCrossEntropy { logits, probs, labels, mask } => {
+            Op::SoftmaxCrossEntropy {
+                logits,
+                probs,
+                labels,
+                mask,
+            } => {
                 let logits = *logits;
                 let gout = g[(0, 0)];
                 let scale = gout / mask.len() as f32;
@@ -386,7 +437,12 @@ impl Tape {
                     self.accumulate(w, d);
                 }
             }
-            Op::Cmd { z, targets, width, mean_scale } => {
+            Op::Cmd {
+                z,
+                targets,
+                width,
+                mean_scale,
+            } => {
                 let z = *z;
                 let gout = g[(0, 0)];
                 let d = cmd_grad_weighted(&self.nodes[z].value, targets, *width, gout, *mean_scale);
@@ -505,7 +561,10 @@ mod tests {
 
     #[test]
     fn spmm_gradient_matches_fd() {
-        let s = Arc::new(fedomd_sparse::normalized_adjacency(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]));
+        let s = Arc::new(fedomd_sparse::normalized_adjacency(
+            5,
+            &[(0, 1), (1, 2), (2, 3), (3, 4)],
+        ));
         let x0 = randm(5, 3, 5);
         let run = |xm: &Matrix| {
             let mut t = Tape::new();

@@ -12,7 +12,12 @@ fn bench_round(c: &mut Criterion) {
     let clients = setup_federation(&ds, &FederationConfig::mini(3, 0));
     // Exactly two rounds, no early stopping, sparse eval: the measured body
     // is dominated by the per-round client/server work.
-    let cfg = TrainConfig { rounds: 2, patience: 2, eval_every: 2, ..TrainConfig::mini(0) };
+    let cfg = TrainConfig {
+        rounds: 2,
+        patience: 2,
+        eval_every: 2,
+        ..TrainConfig::mini(0)
+    };
 
     let mut group = c.benchmark_group("fed_round");
     group.sample_size(10);
@@ -25,9 +30,16 @@ fn bench_round(c: &mut Criterion) {
     }
     // FedOMD's stat exchange in isolation (CMD on, 5 orders) vs off.
     let on = Algo::FedOmd(FedOmdConfig::paper());
-    let off = Algo::FedOmd(FedOmdConfig { use_cmd: false, ..FedOmdConfig::paper() });
-    group.bench_function("fedomd_cmd_on", |b| b.iter(|| on.run(&clients, ds.n_classes, &cfg)));
-    group.bench_function("fedomd_cmd_off", |b| b.iter(|| off.run(&clients, ds.n_classes, &cfg)));
+    let off = Algo::FedOmd(FedOmdConfig {
+        use_cmd: false,
+        ..FedOmdConfig::paper()
+    });
+    group.bench_function("fedomd_cmd_on", |b| {
+        b.iter(|| on.run(&clients, ds.n_classes, &cfg))
+    });
+    group.bench_function("fedomd_cmd_off", |b| {
+        b.iter(|| off.run(&clients, ds.n_classes, &cfg))
+    });
     group.finish();
 }
 

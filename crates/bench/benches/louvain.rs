@@ -11,7 +11,10 @@ fn bench_louvain(c: &mut Criterion) {
     for name in [DatasetName::CoraMini, DatasetName::CoauthorCsMini] {
         let ds = generate(&spec(name), 0);
         for &resolution in &[1.0f64, 20.0] {
-            let cfg = LouvainConfig { resolution, ..Default::default() };
+            let cfg = LouvainConfig {
+                resolution,
+                ..Default::default()
+            };
             group.bench_with_input(
                 BenchmarkId::new(ds.name.clone(), format!("res{resolution}")),
                 &ds,

@@ -1,0 +1,65 @@
+//! Encode/decode throughput of the transport frame codec — the serialisation
+//! cost a real deployment would pay on top of the arithmetic each round:
+//! `WeightUpdate` frames carrying 2-layer GCN weight tensors, and
+//! `GlobalStats` frames carrying the per-layer mean and central-moment
+//! vectors of the 2-round protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedomd_tensor::rng::seeded;
+use fedomd_transport::{Envelope, Payload, Tensor, SERVER_SENDER};
+
+fn weight_update(f: usize, d: usize, k: usize) -> Envelope {
+    let mut rng = seeded(1);
+    // The two layers of a GCN: input->hidden and hidden->output.
+    let params = [(f, d), (d, k)]
+        .iter()
+        .map(|&(r, c)| Tensor::from(&fedomd_tensor::init::xavier_uniform(r, c, &mut rng)))
+        .collect();
+    Envelope {
+        round: 7,
+        sender: 0,
+        payload: Payload::WeightUpdate { params },
+    }
+}
+
+fn global_stats(layers: usize, d: usize, orders: usize) -> Envelope {
+    let mut rng = seeded(2);
+    let mut vector = |d: usize| -> Vec<f32> {
+        Tensor::from(&fedomd_tensor::init::standard_normal(1, d, &mut rng)).data
+    };
+    let means: Vec<Vec<f32>> = (0..layers).map(|_| vector(d)).collect();
+    let moments: Vec<Vec<Vec<f32>>> = (0..layers)
+        .map(|_| (0..orders).map(|_| vector(d)).collect())
+        .collect();
+    Envelope {
+        round: 7,
+        sender: SERVER_SENDER,
+        payload: Payload::GlobalStats { means, moments },
+    }
+}
+
+fn bench_codec(c: &mut Criterion, label: &str, env: Envelope) {
+    let bytes = env.encode();
+    let mut group = c.benchmark_group("transport");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_with_input(BenchmarkId::new("encode", label), &env, |b, env| {
+        b.iter(|| env.encode())
+    });
+    group.bench_with_input(BenchmarkId::new("decode", label), &bytes, |b, bytes| {
+        b.iter(|| Envelope::decode(bytes).expect("valid frame"))
+    });
+    group.finish();
+}
+
+fn bench_transport(c: &mut Criterion) {
+    // Cora-scale 2-layer GCN weights (1433 features, 64 hidden, 7 classes)
+    // and a mini-scale model.
+    bench_codec(c, "weights_1433x64x7", weight_update(1433, 64, 7));
+    bench_codec(c, "weights_64x16x4", weight_update(64, 16, 4));
+    // Per-layer statistics: mean + orders 2..=5 for 2 hidden layers.
+    bench_codec(c, "stats_2layx64d", global_stats(2, 64, 4));
+    bench_codec(c, "stats_4layx256d", global_stats(4, 256, 4));
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

@@ -15,16 +15,55 @@ fn main() {
     let opts = HarnessOpts::parse();
     let base = FedOmdConfig::paper();
     let variants: Vec<(String, FedOmdConfig)> = vec![
-        ("no CMD at all".into(), FedOmdConfig { use_cmd: false, ..base }),
-        ("mean_scale = 0 (shape only)".into(), FedOmdConfig { cmd_mean_scale: 0.0, ..base }),
+        (
+            "no CMD at all".into(),
+            FedOmdConfig {
+                use_cmd: false,
+                ..base
+            },
+        ),
+        (
+            "mean_scale = 0 (shape only)".into(),
+            FedOmdConfig {
+                cmd_mean_scale: 0.0,
+                ..base
+            },
+        ),
         ("mean_scale = 0.1 (default)".into(), base),
-        ("mean_scale = 1 (strict Eq. 11)".into(), FedOmdConfig::strict_paper()),
-        ("first hidden layer only".into(), FedOmdConfig { cmd_first_layer_only: true, ..base }),
-        ("moments up to order 2".into(), FedOmdConfig { max_moment: 2, ..base }),
-        ("moments up to order 3".into(), FedOmdConfig { max_moment: 3, ..base }),
+        (
+            "mean_scale = 1 (strict Eq. 11)".into(),
+            FedOmdConfig::strict_paper(),
+        ),
+        (
+            "first hidden layer only".into(),
+            FedOmdConfig {
+                cmd_first_layer_only: true,
+                ..base
+            },
+        ),
+        (
+            "moments up to order 2".into(),
+            FedOmdConfig {
+                max_moment: 2,
+                ..base
+            },
+        ),
+        (
+            "moments up to order 3".into(),
+            FedOmdConfig {
+                max_moment: 3,
+                ..base
+            },
+        ),
         ("moments up to order 5 (default)".into(), base),
         ("β = 1".into(), FedOmdConfig { beta: 1.0, ..base }),
-        ("β = 100".into(), FedOmdConfig { beta: 100.0, ..base }),
+        (
+            "β = 100".into(),
+            FedOmdConfig {
+                beta: 100.0,
+                ..base
+            },
+        ),
     ];
 
     let mut record = ExperimentRecord::new("ablation_cmd", opts.scale.name(), &opts.seeds);

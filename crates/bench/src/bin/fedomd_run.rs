@@ -55,7 +55,14 @@ fn parse_args() -> Args {
             _ => usage(),
         }
     }
-    Args { algo, dataset, parties, seed, rounds, resolution }
+    Args {
+        algo,
+        dataset,
+        parties,
+        seed,
+        rounds,
+        resolution,
+    }
 }
 
 fn main() {
@@ -69,8 +76,11 @@ fn main() {
     };
     fed.resolution = args.resolution;
     let clients = setup_federation(&ds, &fed);
-    let mut cfg =
-        if is_mini { TrainConfig::mini(args.seed) } else { TrainConfig::paper(args.seed) };
+    let mut cfg = if is_mini {
+        TrainConfig::mini(args.seed)
+    } else {
+        TrainConfig::paper(args.seed)
+    };
     if let Some(r) = args.rounds {
         cfg.rounds = r;
         cfg.patience = r;
@@ -99,7 +109,12 @@ fn main() {
             counts[c.labels[i]] += 1;
         }
         let majority = argmax_row(&counts.iter().map(|&x| x as f32).collect::<Vec<_>>());
-        majority_correct += c.splits.test.iter().filter(|&&i| c.labels[i] == majority).count();
+        majority_correct += c
+            .splits
+            .test
+            .iter()
+            .filter(|&&i| c.labels[i] == majority)
+            .count();
         test_total += c.splits.test.len();
     }
     let _ = predict; // re-exported for downstream scripting via this crate
@@ -111,8 +126,14 @@ fn main() {
         100.0 * majority_correct as f64 / test_total.max(1) as f64
     );
     println!("  rounds run           : {}", result.comms.rounds);
-    println!("  uplink               : {:.2} MB", result.comms.uplink_bytes as f64 / 1e6);
-    println!("  stats share          : {:.3}%", 100.0 * result.comms.stats_fraction());
+    println!(
+        "  uplink               : {:.2} MB",
+        result.comms.uplink_bytes as f64 / 1e6
+    );
+    println!(
+        "  stats share          : {:.3}%",
+        100.0 * result.comms.stats_fraction()
+    );
     for (bucket, d) in result.timing.buckets() {
         println!("  time[{bucket}]         : {:.1} ms", d.as_secs_f64() * 1e3);
     }

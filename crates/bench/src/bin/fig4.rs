@@ -38,7 +38,12 @@ fn main() {
             cells.push(client.n_nodes().to_string());
             table.row(cells);
             for (c, &h) in hist.iter().enumerate() {
-                record.push(&format!("{}/P{p}", ds.name), &format!("c{c}"), h as f64, 0.0);
+                record.push(
+                    &format!("{}/P{p}", ds.name),
+                    &format!("c{c}"),
+                    h as f64,
+                    0.0,
+                );
             }
             // Feature non-i.i.d.: distance of party feature mean from global.
             let pm = fedomd_tensor::column_means(&client.input.x);
@@ -49,8 +54,7 @@ fn main() {
 
         let skew = fedomd_federated::heterogeneity::label_skew(&clients, ds.n_classes);
         let shift = fedomd_federated::heterogeneity::feature_shift(&clients, 5);
-        let edge_loss =
-            fedomd_federated::heterogeneity::cross_edge_loss(&clients, ds.n_edges());
+        let edge_loss = fedomd_federated::heterogeneity::cross_edge_loss(&clients, ds.n_edges());
         println!(
             "label skew (TV) {skew:.3} · feature shift (CMD) {shift:.4} · edges lost to cut {:.1}%\n",
             100.0 * edge_loss

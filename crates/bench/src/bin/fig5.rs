@@ -25,7 +25,12 @@ fn main() {
         let r = algo.run(&clients, ds.n_classes, &cfg);
         for h in &r.history {
             println!("{},{},{:.2}", algo.name(), h.round, 100.0 * h.test_acc);
-            record.push(&algo.name(), &format!("round{}", h.round), 100.0 * h.test_acc, 0.0);
+            record.push(
+                &algo.name(),
+                &format!("round{}", h.round),
+                100.0 * h.test_acc,
+                0.0,
+            );
         }
         eprintln!(
             "  {}: best {:.2}% @ round {}",

@@ -24,9 +24,18 @@ fn main() {
         for &alpha in &ALPHAS {
             let mut cells = vec![format!("α={alpha}")];
             for &beta in &BETAS {
-                let cfg = FedOmdConfig { alpha, beta, ..FedOmdConfig::paper() };
+                let cfg = FedOmdConfig {
+                    alpha,
+                    beta,
+                    ..FedOmdConfig::paper()
+                };
                 let s = seeded_cell(&Algo::FedOmd(cfg), ds_name, M, 1.0, &opts);
-                record.push(&format!("alpha={alpha}"), &format!("{ds_name:?}/beta={beta}"), s.mean, s.std);
+                record.push(
+                    &format!("alpha={alpha}"),
+                    &format!("{ds_name:?}/beta={beta}"),
+                    s.mean,
+                    s.std,
+                );
                 cells.push(format!("{:.2}", s.mean));
                 eprintln!("  [{ds_name:?}] α={alpha} β={beta}: {:.2}%", s.mean);
             }

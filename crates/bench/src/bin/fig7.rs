@@ -21,13 +21,21 @@ fn main() {
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(&header_refs);
 
-    for ds_name in
-        [DatasetName::Cora, DatasetName::Citeseer, DatasetName::Computer, DatasetName::Photo]
-    {
+    for ds_name in [
+        DatasetName::Cora,
+        DatasetName::Citeseer,
+        DatasetName::Computer,
+        DatasetName::Photo,
+    ] {
         let mut cells = vec![format!("{ds_name:?}")];
         for &res in &RESOLUTIONS {
             let s = seeded_cell(&algo, ds_name, M, res, &opts);
-            record.push(&format!("{ds_name:?}"), &format!("res={res}"), s.mean, s.std);
+            record.push(
+                &format!("{ds_name:?}"),
+                &format!("res={res}"),
+                s.mean,
+                s.std,
+            );
             cells.push(format!("{:.2}", s.mean));
             eprintln!("  [{ds_name:?}] res={res}: {:.2}%", s.mean);
         }

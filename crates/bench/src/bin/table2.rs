@@ -9,7 +9,13 @@ use fedomd_metrics::{ExperimentRecord, Table};
 fn main() {
     let opts = HarnessOpts::parse();
     let mut table = Table::new(&[
-        "Dataset", "#Nodes", "#Edges", "#Classes", "#Features", "target edges", "homophily",
+        "Dataset",
+        "#Nodes",
+        "#Edges",
+        "#Classes",
+        "#Features",
+        "target edges",
+        "homophily",
     ]);
     let mut record = ExperimentRecord::new("table2", opts.scale.name(), &opts.seeds);
 

@@ -17,7 +17,11 @@ fn asymptotic(name: &str) -> (&'static str, &'static str, &'static str) {
         "FedGCN" | "LocGCN" => ("O(kmf + nf²)", "O(N)", "O(kmf + nf²)"),
         "FedLIT" => ("O(kmf + nf²)", "O(N + Nf² + f)", "O(kmf + nf²)"),
         "FedSage+" => ("O(L(m+sg)f + L(n+sg)f²)", "O(N)", "O(L(m+sg)f + L(n+sg)f²)"),
-        "FedOMD" => ("O(kmf + nf² + f² + n²f)", "O(N + N²f² + Nf)", "O(kmf + nf²)"),
+        "FedOMD" => (
+            "O(kmf + nf² + f² + n²f)",
+            "O(N + N²f² + Nf)",
+            "O(kmf + nf²)",
+        ),
         _ => ("-", "-", "-"),
     }
 }

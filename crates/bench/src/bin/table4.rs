@@ -7,8 +7,12 @@ use fedomd_data::DatasetName;
 use fedomd_metrics::{ExperimentRecord, Table};
 
 const PARTIES: [usize; 4] = [3, 5, 7, 9];
-const DATASETS: [DatasetName; 4] =
-    [DatasetName::Cora, DatasetName::Citeseer, DatasetName::Computer, DatasetName::Photo];
+const DATASETS: [DatasetName; 4] = [
+    DatasetName::Cora,
+    DatasetName::Citeseer,
+    DatasetName::Computer,
+    DatasetName::Photo,
+];
 
 fn main() {
     let opts = HarnessOpts::parse();

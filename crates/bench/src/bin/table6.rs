@@ -17,7 +17,10 @@ fn main() {
     ];
     let mut record = ExperimentRecord::new("table6", opts.scale.name(), &opts.seeds);
 
-    println!("Table 6 — ablation, accuracy ±std (%), {} scale\n", opts.scale.name());
+    println!(
+        "Table 6 — ablation, accuracy ±std (%), {} scale\n",
+        opts.scale.name()
+    );
     for ds_name in [DatasetName::Cora, DatasetName::Citeseer] {
         let mut header = vec!["Variant".to_string()];
         header.extend(PARTIES.iter().map(|m| format!("M={m}")));

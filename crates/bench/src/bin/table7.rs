@@ -15,7 +15,10 @@ fn main() {
     let opts = HarnessOpts::parse();
     let mut record = ExperimentRecord::new("table7", opts.scale.name(), &opts.seeds);
 
-    println!("Table 7 — depth sweep, accuracy ±std (%), {} scale\n", opts.scale.name());
+    println!(
+        "Table 7 — depth sweep, accuracy ±std (%), {} scale\n",
+        opts.scale.name()
+    );
     for ds_name in [DatasetName::Computer, DatasetName::Photo] {
         let mut header = vec!["Model / depth".to_string()];
         header.extend(PARTIES.iter().map(|m| format!("M={m}")));
@@ -23,7 +26,10 @@ fn main() {
         let mut table = Table::new(&header_refs);
 
         for &depth in &DEPTHS {
-            let cfg = FedOmdConfig { hidden_layers: depth, ..FedOmdConfig::paper() };
+            let cfg = FedOmdConfig {
+                hidden_layers: depth,
+                ..FedOmdConfig::paper()
+            };
             let algo = Algo::FedOmd(cfg);
             let label = format!("FedOMD {depth}-hidden");
             let mut cells = vec![label.clone()];
@@ -40,7 +46,12 @@ fn main() {
         let mut cells = vec!["FedGCN 2-GCNConv".to_string()];
         for &m in &PARTIES {
             let s = seeded_cell(&algo, ds_name, m, 1.0, &opts);
-            record.push("FedGCN 2-GCNConv", &format!("{ds_name:?}/M={m}"), s.mean, s.std);
+            record.push(
+                "FedGCN 2-GCNConv",
+                &format!("{ds_name:?}/M={m}"),
+                s.mean,
+                s.std,
+            );
             cells.push(s.paper_cell());
         }
         table.row(cells);

@@ -86,7 +86,12 @@ impl HarnessOpts {
             Scale::Paper => 5, // the paper averages 5 runs
         };
         let seeds: Vec<u64> = (0..n_seeds.unwrap_or(default_seeds) as u64).collect();
-        Self { scale, seeds, json, quick }
+        Self {
+            scale,
+            seeds,
+            json,
+            quick,
+        }
     }
 }
 
@@ -160,7 +165,12 @@ pub fn fed_cfg(opts: &HarnessOpts, m: usize, resolution: f64, seed: u64) -> Fede
         Scale::Mini => fedomd_graph::SplitRatios::mini(),
         Scale::Paper => fedomd_graph::SplitRatios::paper(),
     };
-    FederationConfig { n_parties: m, resolution, ratios, seed }
+    FederationConfig {
+        n_parties: m,
+        resolution,
+        ratios,
+        seed,
+    }
 }
 
 /// Runs `algo` across all seeds on `(dataset, m, resolution)` and returns

@@ -59,17 +59,27 @@ impl FedOmdConfig {
 
     /// Eq. 11/12 exactly as printed (`β = 10`, mean term at full weight).
     pub fn strict_paper() -> Self {
-        Self { beta: 10.0, cmd_mean_scale: 1.0, ..Self::paper() }
+        Self {
+            beta: 10.0,
+            cmd_mean_scale: 1.0,
+            ..Self::paper()
+        }
     }
 
     /// Ablation variant: orthogonality only (Table 6 row ✓/✗).
     pub fn ortho_only() -> Self {
-        Self { use_cmd: false, ..Self::paper() }
+        Self {
+            use_cmd: false,
+            ..Self::paper()
+        }
     }
 
     /// Ablation variant: CMD only (Table 6 row ✗/✓).
     pub fn cmd_only() -> Self {
-        Self { use_ortho: false, ..Self::paper() }
+        Self {
+            use_ortho: false,
+            ..Self::paper()
+        }
     }
 }
 

@@ -35,4 +35,4 @@ pub use protocol::{
     aggregate_means, aggregate_moments, build_targets, client_means, client_moments_about,
     GlobalStats,
 };
-pub use trainer::run_fedomd;
+pub use trainer::{run_fedomd, run_fedomd_with};

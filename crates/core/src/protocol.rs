@@ -34,8 +34,11 @@ impl GlobalStats {
     /// moments), for communication accounting.
     pub fn uplink_scalars(&self) -> usize {
         let mean_scalars: usize = self.means.iter().map(|m| m.len()).sum();
-        let moment_scalars: usize =
-            self.moments.iter().map(|layer| layer.iter().map(|o| o.len()).sum::<usize>()).sum();
+        let moment_scalars: usize = self
+            .moments
+            .iter()
+            .map(|layer| layer.iter().map(|o| o.len()).sum::<usize>())
+            .sum();
         mean_scalars + moment_scalars
     }
 }
@@ -62,7 +65,11 @@ pub fn aggregate_means(client_stats: &[(Vec<Vec<f32>>, usize)]) -> Vec<Vec<f32>>
             let dim = client_stats[0].0[l].len();
             let mut acc = vec![0.0f64; dim];
             for (means, n) in client_stats {
-                assert_eq!(means.len(), n_layers, "aggregate_means: layer arity mismatch");
+                assert_eq!(
+                    means.len(),
+                    n_layers,
+                    "aggregate_means: layer arity mismatch"
+                );
                 assert_eq!(means[l].len(), dim, "aggregate_means: dimension mismatch");
                 let w = *n as f64 / total;
                 for (a, &m) in acc.iter_mut().zip(&means[l]) {
@@ -81,7 +88,11 @@ pub fn client_moments_about(
     global_means: &[Vec<f32>],
     max_order: u32,
 ) -> Vec<Vec<Vec<f32>>> {
-    assert_eq!(hidden.len(), global_means.len(), "client_moments_about: layer arity mismatch");
+    assert_eq!(
+        hidden.len(),
+        global_means.len(),
+        "client_moments_about: layer arity mismatch"
+    );
     hidden
         .iter()
         .zip(global_means)
@@ -131,7 +142,10 @@ pub fn exchange(per_client_hidden: &[Vec<&Matrix>], max_order: u32) -> GlobalSta
     let round2: Vec<(Vec<Vec<Vec<f32>>>, usize)> = per_client_hidden
         .iter()
         .map(|h| {
-            (client_moments_about(h, &means, max_order), h.first().map_or(0, |z| z.rows()))
+            (
+                client_moments_about(h, &means, max_order),
+                h.first().map_or(0, |z| z.rows()),
+            )
         })
         .collect();
     let moments = aggregate_moments(&round2);
@@ -144,7 +158,10 @@ pub fn build_targets(stats: &GlobalStats) -> Vec<CmdTargets> {
         .means
         .iter()
         .zip(&stats.moments)
-        .map(|(mean, moments)| CmdTargets { mean: mean.clone(), moments: moments.clone() })
+        .map(|(mean, moments)| CmdTargets {
+            mean: mean.clone(),
+            moments: moments.clone(),
+        })
         .collect()
 }
 

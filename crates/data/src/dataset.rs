@@ -36,7 +36,10 @@ impl Dataset {
             ));
         }
         if let Some(&bad) = self.labels.iter().find(|&&l| l >= self.n_classes) {
-            return Err(format!("label {bad} out of range (classes {})", self.n_classes));
+            return Err(format!(
+                "label {bad} out of range (classes {})",
+                self.n_classes
+            ));
         }
         if !self.features.all_finite() {
             return Err("non-finite feature values".into());

@@ -231,8 +231,14 @@ mod tests {
     #[test]
     fn parse_roundtrip() {
         assert_eq!(DatasetName::parse("cora"), Some(DatasetName::Cora));
-        assert_eq!(DatasetName::parse("Coauthor-CS"), Some(DatasetName::CoauthorCs));
-        assert_eq!(DatasetName::parse("photo-mini"), Some(DatasetName::PhotoMini));
+        assert_eq!(
+            DatasetName::parse("Coauthor-CS"),
+            Some(DatasetName::CoauthorCs)
+        );
+        assert_eq!(
+            DatasetName::parse("photo-mini"),
+            Some(DatasetName::PhotoMini)
+        );
         assert_eq!(DatasetName::parse("imagenet"), None);
     }
 
@@ -248,8 +254,7 @@ mod tests {
             let ds = generate(&spec(name), 0);
             ds.validate().unwrap_or_else(|e| panic!("{name:?}: {e}"));
             assert!(ds.n_nodes() >= 200, "{name:?} too small");
-            let mut communities =
-                fedomd_graph::louvain(&ds.graph, &Default::default());
+            let mut communities = fedomd_graph::louvain(&ds.graph, &Default::default());
             communities.dedup();
             // Must have enough communities to split across 9 parties.
             let k = fedomd_graph::louvain(&ds.graph, &Default::default())

@@ -151,14 +151,18 @@ pub fn generate(params: &SynthParams, seed: u64) -> Dataset {
     let class_sig: Vec<Vec<usize>> = (0..params.n_classes)
         .map(|cls| {
             let mut r = seeded(derive(seed, 0xC1A5 + cls as u64));
-            (0..sig_dims).map(|_| r.gen_range(0..params.n_features)).collect()
+            (0..sig_dims)
+                .map(|_| r.gen_range(0..params.n_features))
+                .collect()
         })
         .collect();
     let comm_bias_dims = (sig_dims / 2).max(1);
     let comm_bias: Vec<Vec<usize>> = (0..k)
         .map(|c| {
             let mut r = seeded(derive(seed, 0xB1A5 + c as u64));
-            (0..comm_bias_dims).map(|_| r.gen_range(0..params.n_features)).collect()
+            (0..comm_bias_dims)
+                .map(|_| r.gen_range(0..params.n_features))
+                .collect()
         })
         .collect();
     // Per-community "document length" factor: communities write shorter or
@@ -180,9 +184,9 @@ pub fn generate(params: &SynthParams, seed: u64) -> Dataset {
             ((params.nnz_per_node as f64 * comm_len_factor[comm_of[node]]).round() as usize).max(2);
         for _ in 0..nnz {
             let dim = match rng.gen_range(0..20u32) {
-                0..=8 => sig[rng.gen_range(0..sig.len())],          // 45% class signal
-                9..=15 => bias[rng.gen_range(0..bias.len())],       // 35% community shift
-                _ => rng.gen_range(0..params.n_features),           // 20% noise
+                0..=8 => sig[rng.gen_range(0..sig.len())], // 45% class signal
+                9..=15 => bias[rng.gen_range(0..bias.len())], // 35% community shift
+                _ => rng.gen_range(0..params.n_features),  // 20% noise
             };
             features[(node, dim)] = 1.0;
         }
@@ -310,7 +314,10 @@ mod tests {
             .collect();
         let d01 = fedomd_tensor::stats::l2_distance(&means[0], &means[1]);
         let d02 = fedomd_tensor::stats::l2_distance(&means[0], &means[2]);
-        assert!(d01 > 1e-3 && d02 > 1e-3, "parties have identical feature means");
+        assert!(
+            d01 > 1e-3 && d02 > 1e-3,
+            "parties have identical feature means"
+        );
     }
 }
 

@@ -37,7 +37,11 @@ const KMEANS_ITERS: usize = 4;
 
 /// Edge embedding `|x_u − x_v|`.
 fn edge_embedding(x: &Matrix, u: usize, v: usize) -> Vec<f32> {
-    x.row(u).iter().zip(x.row(v)).map(|(a, b)| (a - b).abs()).collect()
+    x.row(u)
+        .iter()
+        .zip(x.row(v))
+        .map(|(a, b)| (a - b).abs())
+        .collect()
 }
 
 fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
@@ -56,12 +60,13 @@ fn federated_edge_kmeans(clients: &[ClientData], seed: u64) -> Vec<Vec<usize>> {
     let mut rng = seeded(derive(seed, 0xE000));
     let mut centroids: Vec<Vec<f32>> = (0..N_TYPES)
         .map(|_| {
-            (0..f).map(|_| 0.05 * fedomd_tensor::init::gaussian(&mut rng).abs()).collect()
+            (0..f)
+                .map(|_| 0.05 * fedomd_tensor::init::gaussian(&mut rng).abs())
+                .collect()
         })
         .collect();
 
-    let mut assignments: Vec<Vec<usize>> =
-        clients.iter().map(|c| vec![0; c.edges.len()]).collect();
+    let mut assignments: Vec<Vec<usize>> = clients.iter().map(|c| vec![0; c.edges.len()]).collect();
 
     for _ in 0..KMEANS_ITERS {
         // Local assignment + local sums.
@@ -101,7 +106,10 @@ fn federated_edge_kmeans(clients: &[ClientData], seed: u64) -> Vec<Vec<usize>> {
                 }
             }
             if count > 0 {
-                centroids[t] = total.into_iter().map(|v| (v / count as f64) as f32).collect();
+                centroids[t] = total
+                    .into_iter()
+                    .map(|v| (v / count as f64) as f32)
+                    .collect();
             }
         }
         assignments = locals.into_iter().map(|(a, _)| a).collect();
@@ -137,8 +145,12 @@ struct FedLitModel {
 impl FedLitModel {
     fn new(ops: Vec<Arc<Csr>>, f: usize, hidden: usize, classes: usize, seed: u64) -> Self {
         let mut rng = seeded(seed);
-        let w0 = (0..ops.len()).map(|_| xavier_uniform(f, hidden, &mut rng)).collect();
-        let w1 = (0..ops.len()).map(|_| xavier_uniform(hidden, classes, &mut rng)).collect();
+        let w0 = (0..ops.len())
+            .map(|_| xavier_uniform(f, hidden, &mut rng))
+            .collect();
+        let w1 = (0..ops.len())
+            .map(|_| xavier_uniform(hidden, classes, &mut rng))
+            .collect();
         Self { ops, w0, w1 }
     }
 }
@@ -178,7 +190,12 @@ impl Model for FedLitModel {
 
         param_vars.extend(w0_vars);
         param_vars.extend(w1_vars);
-        ForwardOut { logits, hidden: vec![h], param_vars, ortho_weight_vars: Vec::new() }
+        ForwardOut {
+            logits,
+            hidden: vec![h],
+            param_vars,
+            ortho_weight_vars: Vec::new(),
+        }
     }
 
     fn params(&self) -> Vec<Matrix> {
@@ -187,13 +204,26 @@ impl Model for FedLitModel {
 
     fn set_params(&mut self, params: &[Matrix]) {
         let t = self.ops.len();
-        assert_eq!(params.len(), 2 * t, "FedLitModel::set_params: expected {} matrices", 2 * t);
+        assert_eq!(
+            params.len(),
+            2 * t,
+            "FedLitModel::set_params: expected {} matrices",
+            2 * t
+        );
         for (i, w) in self.w0.iter_mut().enumerate() {
-            assert_eq!(params[i].shape(), w.shape(), "FedLitModel::set_params: w0 shape");
+            assert_eq!(
+                params[i].shape(),
+                w.shape(),
+                "FedLitModel::set_params: w0 shape"
+            );
             *w = params[i].clone();
         }
         for (i, w) in self.w1.iter_mut().enumerate() {
-            assert_eq!(params[t + i].shape(), w.shape(), "FedLitModel::set_params: w1 shape");
+            assert_eq!(
+                params[t + i].shape(),
+                w.shape(),
+                "FedLitModel::set_params: w1 shape"
+            );
             *w = params[t + i].clone();
         }
     }
@@ -231,8 +261,10 @@ pub fn run_fedlit(clients: &[ClientData], n_classes: usize, cfg: &TrainConfig) -
             )) as Box<dyn Model>
         })
         .collect();
-    let mut optimizers: Vec<Adam> =
-        models.iter().map(|_| Adam::new(cfg.lr, cfg.weight_decay)).collect();
+    let mut optimizers: Vec<Adam> = models
+        .iter()
+        .map(|_| Adam::new(cfg.lr, cfg.weight_decay))
+        .collect();
     let n_scalars = models[0].n_scalars();
 
     for round in 0..cfg.rounds {
@@ -280,7 +312,10 @@ mod tests {
 
     fn mini_clients() -> (Vec<ClientData>, usize) {
         let ds = generate(&spec(DatasetName::CoraMini), 0);
-        (setup_federation(&ds, &FederationConfig::mini(3, 0)), ds.n_classes)
+        (
+            setup_federation(&ds, &FederationConfig::mini(3, 0)),
+            ds.n_classes,
+        )
     }
 
     #[test]
@@ -323,10 +358,21 @@ mod tests {
     #[test]
     fn fedlit_runs_and_learns_something() {
         let (clients, k) = mini_clients();
-        let cfg = TrainConfig { rounds: 30, patience: 25, ..TrainConfig::mini(0) };
+        let cfg = TrainConfig {
+            rounds: 30,
+            patience: 25,
+            ..TrainConfig::mini(0)
+        };
         let r = run_fedlit(&clients, k, &cfg);
         assert!(r.test_acc.is_finite());
-        assert!(r.test_acc > 1.0 / k as f64, "acc {} at or below chance", r.test_acc);
-        assert!(r.comms.stats_uplink_bytes > 0, "centroid traffic not accounted");
+        assert!(
+            r.test_acc > 1.0 / k as f64,
+            "acc {} at or below chance",
+            r.test_acc
+        );
+        assert!(
+            r.comms.stats_uplink_bytes > 0,
+            "centroid traffic not accounted"
+        );
     }
 }

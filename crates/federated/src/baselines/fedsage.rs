@@ -53,7 +53,10 @@ struct NeighGen {
 impl NeighGen {
     fn new(f: usize, seed: u64) -> Self {
         let mut rng = seeded(seed);
-        Self { w_count: xavier_uniform(f, 1, &mut rng), w_feat: xavier_uniform(f, f, &mut rng) }
+        Self {
+            w_count: xavier_uniform(f, 1, &mut rng),
+            w_feat: xavier_uniform(f, f, &mut rng),
+        }
     }
 
     fn params(&self) -> Vec<Matrix> {
@@ -215,15 +218,17 @@ pub fn run_fedsage_plus(clients: &[ClientData], n_classes: usize, cfg: &TrainCon
         .enumerate()
         .map(|(i, c)| impair(c, derive(cfg.seed, 0xC100 + i as u64)))
         .collect();
-    let mut gens: Vec<NeighGen> =
-        (0..m).map(|_| NeighGen::new(f, derive(cfg.seed, 0xC200))).collect();
+    let mut gens: Vec<NeighGen> = (0..m)
+        .map(|_| NeighGen::new(f, derive(cfg.seed, 0xC200)))
+        .collect();
     let mut gen_opts: Vec<Adam> = (0..m).map(|_| Adam::new(cfg.lr, 0.0)).collect();
     for _ in 0..GEN_EPOCHS {
-        gens.par_iter_mut().zip(gen_opts.par_iter_mut()).zip(supervision.par_iter()).for_each(
-            |((g, opt), (x, tc, tf))| {
+        gens.par_iter_mut()
+            .zip(gen_opts.par_iter_mut())
+            .zip(supervision.par_iter())
+            .for_each(|((g, opt), (x, tc, tf))| {
                 g.train_step(opt, x, tc, tf);
-            },
-        );
+            });
         // The "+": federate the generator itself.
         let sets: Vec<Vec<Matrix>> = gens.iter().map(|g| g.params()).collect();
         let global = fedavg(&sets, &vec![1.0; m]);
@@ -258,8 +263,10 @@ pub fn run_fedsage_plus(clients: &[ClientData], n_classes: usize, cfg: &TrainCon
             ) as Box<dyn Model>
         })
         .collect();
-    let mut optimizers: Vec<Adam> =
-        models.iter().map(|_| Adam::new(cfg.lr, cfg.weight_decay)).collect();
+    let mut optimizers: Vec<Adam> = models
+        .iter()
+        .map(|_| Adam::new(cfg.lr, cfg.weight_decay))
+        .collect();
     let n_scalars = models[0].n_scalars();
 
     for round in 0..cfg.rounds {
@@ -307,7 +314,10 @@ mod tests {
 
     fn mini_clients() -> (Vec<ClientData>, usize) {
         let ds = generate(&spec(DatasetName::CoraMini), 0);
-        (setup_federation(&ds, &FederationConfig::mini(3, 0)), ds.n_classes)
+        (
+            setup_federation(&ds, &FederationConfig::mini(3, 0)),
+            ds.n_classes,
+        )
     }
 
     #[test]
@@ -321,7 +331,10 @@ mod tests {
         // Some nodes should have hidden neighbours.
         assert!(counts.sum() > 0.0, "no supervision generated");
         // Counts are non-negative integers.
-        assert!(counts.as_slice().iter().all(|&c| c >= 0.0 && c.fract() == 0.0));
+        assert!(counts
+            .as_slice()
+            .iter()
+            .all(|&c| c >= 0.0 && c.fract() == 0.0));
     }
 
     #[test]
@@ -342,10 +355,18 @@ mod tests {
     #[test]
     fn fedsage_runs_and_learns_something() {
         let (clients, k) = mini_clients();
-        let cfg = TrainConfig { rounds: 30, patience: 25, ..TrainConfig::mini(0) };
+        let cfg = TrainConfig {
+            rounds: 30,
+            patience: 25,
+            ..TrainConfig::mini(0)
+        };
         let r = run_fedsage_plus(&clients, k, &cfg);
         assert!(r.test_acc.is_finite());
-        assert!(r.test_acc > 1.0 / k as f64, "acc {} at or below chance", r.test_acc);
+        assert!(
+            r.test_acc > 1.0 / k as f64,
+            "acc {} at or below chance",
+            r.test_acc
+        );
         assert!(r.comms.uplink_bytes > 0);
     }
 }

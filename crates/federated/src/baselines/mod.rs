@@ -80,14 +80,22 @@ pub fn run_baseline(
             clients,
             n_classes,
             cfg,
-            &GenericOpts { name: "FedMLP", model: ModelKind::Mlp, aggregate: true, prox_mu: 0.0 },
+            &GenericOpts {
+                name: "FedMLP",
+                model: ModelKind::Mlp,
+                aggregate: true,
+                prox_mu: 0.0,
+            },
         ),
         Baseline::FedProx => {
             // The proximal term only acts once local weights drift from the
             // round's global snapshot; at one local epoch per round it is
             // identically zero. FedProx's own recipe (Li et al.) runs
             // multiple local epochs, so give it at least two.
-            let cfg = TrainConfig { local_epochs: cfg.local_epochs.max(2), ..cfg.clone() };
+            let cfg = TrainConfig {
+                local_epochs: cfg.local_epochs.max(2),
+                ..cfg.clone()
+            };
             run_generic(
                 clients,
                 n_classes,
@@ -104,13 +112,23 @@ pub fn run_baseline(
             clients,
             n_classes,
             cfg,
-            &GenericOpts { name: "LocGCN", model: ModelKind::Gcn, aggregate: false, prox_mu: 0.0 },
+            &GenericOpts {
+                name: "LocGCN",
+                model: ModelKind::Gcn,
+                aggregate: false,
+                prox_mu: 0.0,
+            },
         ),
         Baseline::FedGcn => run_generic(
             clients,
             n_classes,
             cfg,
-            &GenericOpts { name: "FedGCN", model: ModelKind::Gcn, aggregate: true, prox_mu: 0.0 },
+            &GenericOpts {
+                name: "FedGCN",
+                model: ModelKind::Gcn,
+                aggregate: true,
+                prox_mu: 0.0,
+            },
         ),
         Baseline::Scaffold => scaffold::run_scaffold(clients, n_classes, cfg),
         Baseline::FedSagePlus => fedsage::run_fedsage_plus(clients, n_classes, cfg),

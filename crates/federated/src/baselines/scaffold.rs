@@ -28,7 +28,15 @@ pub fn run_scaffold(clients: &[ClientData], n_classes: usize, cfg: &TrainConfig)
     let m = clients.len();
     let mut models: Vec<Box<dyn Model>> = clients
         .iter()
-        .map(|c| build_model(ModelKind::Mlp, c, n_classes, cfg.hidden_dim, derive(cfg.seed, 0xB000)))
+        .map(|c| {
+            build_model(
+                ModelKind::Mlp,
+                c,
+                n_classes,
+                cfg.hidden_dim,
+                derive(cfg.seed, 0xB000),
+            )
+        })
         .collect();
     // SCAFFOLD's control-variate refresh (option II) assumes SGD-style
     // local steps — `c_i⁺ = c_i − c + (w_global − w_i)/(K·η)` reads the
@@ -44,7 +52,10 @@ pub fn run_scaffold(clients: &[ClientData], n_classes: usize, cfg: &TrainConfig)
         .collect();
 
     let zeros_like = |params: &[Matrix]| -> Vec<Matrix> {
-        params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect()
+        params
+            .iter()
+            .map(|p| Matrix::zeros(p.rows(), p.cols()))
+            .collect()
     };
     let template = models[0].params();
     // Server control variate c and per-client c_i.
@@ -77,8 +88,7 @@ pub fn run_scaffold(clients: &[ClientData], n_classes: usize, cfg: &TrainConfig)
                         opt,
                         |_, _| Vec::new(),
                         |grads| {
-                            for ((g, c_i), c) in grads.iter_mut().zip(ci.iter()).zip(server_c_ref)
-                            {
+                            for ((g, c_i), c) in grads.iter_mut().zip(ci.iter()).zip(server_c_ref) {
                                 for ((gv, &cv_i), &cv) in g
                                     .as_mut_slice()
                                     .iter_mut()
@@ -95,8 +105,10 @@ pub fn run_scaffold(clients: &[ClientData], n_classes: usize, cfg: &TrainConfig)
                 let inv = 1.0 / (k_steps as f32 * opt.learning_rate());
                 let params = model.params();
                 let mut delta = Vec::with_capacity(ci.len());
-                for ((c_i, c), (g, w)) in
-                    ci.iter_mut().zip(server_c_ref).zip(global_ref.iter().zip(&params))
+                for ((c_i, c), (g, w)) in ci
+                    .iter_mut()
+                    .zip(server_c_ref)
+                    .zip(global_ref.iter().zip(&params))
                 {
                     let mut d = Matrix::zeros(c_i.rows(), c_i.cols());
                     let ci_s = c_i.as_mut_slice();
@@ -152,7 +164,11 @@ mod tests {
     fn scaffold_learns_above_chance() {
         let ds = generate(&spec(DatasetName::CoraMini), 0);
         let clients = setup_federation(&ds, &FederationConfig::mini(3, 0));
-        let cfg = TrainConfig { rounds: 40, patience: 30, ..TrainConfig::mini(0) };
+        let cfg = TrainConfig {
+            rounds: 40,
+            patience: 30,
+            ..TrainConfig::mini(0)
+        };
         let r = run_scaffold(&clients, ds.n_classes, &cfg);
         assert!(r.test_acc > 1.0 / ds.n_classes as f64, "acc {}", r.test_acc);
         assert!(r.test_acc.is_finite());
@@ -164,7 +180,10 @@ mod tests {
     fn scaffold_is_deterministic() {
         let ds = generate(&spec(DatasetName::CoraMini), 1);
         let clients = setup_federation(&ds, &FederationConfig::mini(2, 1));
-        let cfg = TrainConfig { rounds: 8, ..TrainConfig::mini(1) };
+        let cfg = TrainConfig {
+            rounds: 8,
+            ..TrainConfig::mini(1)
+        };
         let a = run_scaffold(&clients, ds.n_classes, &cfg);
         let b = run_scaffold(&clients, ds.n_classes, &cfg);
         assert_eq!(a.test_acc, b.test_acc);

@@ -47,13 +47,21 @@ pub struct FederationConfig {
 impl FederationConfig {
     /// The paper's default setup for `m` parties.
     pub fn paper(m: usize, seed: u64) -> Self {
-        Self { n_parties: m, resolution: 1.0, ratios: SplitRatios::paper(), seed }
+        Self {
+            n_parties: m,
+            resolution: 1.0,
+            ratios: SplitRatios::paper(),
+            seed,
+        }
     }
 
     /// The mini-scale setup: same cut, scale-adjusted label rate (see
     /// [`SplitRatios::mini`]).
     pub fn mini(m: usize, seed: u64) -> Self {
-        Self { ratios: SplitRatios::mini(), ..Self::paper(m, seed) }
+        Self {
+            ratios: SplitRatios::mini(),
+            ..Self::paper(m, seed)
+        }
     }
 }
 
@@ -72,14 +80,19 @@ pub fn setup_federation(dataset: &Dataset, cfg: &FederationConfig) -> Vec<Client
         .into_iter()
         .enumerate()
         .map(|(i, p)| {
-            let labels: Vec<usize> =
-                p.global_ids.iter().map(|&g| dataset.labels[g]).collect();
+            let labels: Vec<usize> = p.global_ids.iter().map(|&g| dataset.labels[g]).collect();
             let features = dataset.features.select_rows(&p.global_ids);
             let edges = p.graph.edges().to_vec();
             let s = Arc::new(normalized_adjacency(p.graph.n_nodes(), &edges));
             let input = GraphInput::new(s, features);
             let splits = split_nodes(&labels, cfg.ratios, derive(cfg.seed, 0x20 + i as u64));
-            ClientData { input, labels, splits, global_ids: p.global_ids, edges }
+            ClientData {
+                input,
+                labels,
+                splits,
+                global_ids: p.global_ids,
+                edges,
+            }
         })
         .collect()
 }
@@ -148,7 +161,10 @@ mod tests {
         let h0 = hist(&clients[0]);
         let h1 = hist(&clients[1]);
         let tv: f64 = h0.iter().zip(&h1).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
-        assert!(tv > 0.1, "total-variation distance {tv} too small to be non-i.i.d.");
+        assert!(
+            tv > 0.1,
+            "total-variation distance {tv} too small to be non-i.i.d."
+        );
     }
 
     #[test]
@@ -165,10 +181,19 @@ mod tests {
     #[test]
     fn higher_resolution_gives_more_fragmented_parties() {
         let ds = mini();
-        let lo = FederationConfig { resolution: 0.5, ..FederationConfig::mini(3, 4) };
-        let hi = FederationConfig { resolution: 20.0, ..FederationConfig::mini(3, 4) };
+        let lo = FederationConfig {
+            resolution: 0.5,
+            ..FederationConfig::mini(3, 4)
+        };
+        let hi = FederationConfig {
+            resolution: 20.0,
+            ..FederationConfig::mini(3, 4)
+        };
         let edges = |cfg: &FederationConfig| -> usize {
-            setup_federation(&ds, cfg).iter().map(|c| c.edges.len()).sum()
+            setup_federation(&ds, cfg)
+                .iter()
+                .map(|c| c.edges.len())
+                .sum()
         };
         // More, smaller communities ⇒ more cross-party edges dropped.
         assert!(edges(&hi) <= edges(&lo));

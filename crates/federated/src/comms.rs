@@ -3,7 +3,16 @@
 //! The paper's Table 3 argues that FedOMD's statistics exchange is
 //! negligible next to the weight exchange ("only a few statistical data of
 //! local features are required..., causing negligible communication
-//! costs"); this log measures exactly that. Scalars are `f32`, 4 bytes.
+//! costs"); this log measures exactly that.
+//!
+//! Two ways to feed it:
+//!
+//! * the `*_frame` methods record the size of an actual encoded transport
+//!   frame (header + payload + checksum) as produced by
+//!   `fedomd-transport` — this is what the transported training loops use,
+//!   and is always ≥ the scalar estimate for the same message;
+//! * the scalar methods (`upload_weights` etc.) estimate `4 × n_scalars`
+//!   bytes — kept for baselines that have not moved onto a channel.
 
 /// Accumulated traffic of one federated run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -17,6 +26,10 @@ pub struct CommsLog {
     pub stats_uplink_bytes: u64,
     /// Communication rounds completed.
     pub rounds: u64,
+    /// Messages lost in transit (dropped, or late past the round
+    /// deadline). Always 0 on the in-process channel; fed from the
+    /// simulated network's fault counters.
+    pub dropped_messages: u64,
 }
 
 const SCALAR_BYTES: u64 = 4;
@@ -27,7 +40,8 @@ impl CommsLog {
         Self::default()
     }
 
-    /// Records a client uploading `n_scalars` model weights.
+    /// Records a client uploading `n_scalars` model weights (scalar
+    /// estimate: 4 bytes each).
     pub fn upload_weights(&mut self, n_scalars: usize) {
         self.uplink_bytes += n_scalars as u64 * SCALAR_BYTES;
     }
@@ -50,6 +64,34 @@ impl CommsLog {
         self.downlink_bytes += n_scalars as u64 * SCALAR_BYTES;
     }
 
+    /// Records an encoded weight-update frame leaving a client.
+    pub fn upload_weights_frame(&mut self, frame_bytes: usize) {
+        self.uplink_bytes += frame_bytes as u64;
+    }
+
+    /// Records an encoded model frame reaching a client.
+    pub fn download_weights_frame(&mut self, frame_bytes: usize) {
+        self.downlink_bytes += frame_bytes as u64;
+    }
+
+    /// Records an encoded statistics frame leaving a client (uplink total
+    /// and stats sub-bucket).
+    pub fn upload_stats_frame(&mut self, frame_bytes: usize) {
+        self.uplink_bytes += frame_bytes as u64;
+        self.stats_uplink_bytes += frame_bytes as u64;
+    }
+
+    /// Records an encoded statistics frame reaching a client.
+    pub fn download_stats_frame(&mut self, frame_bytes: usize) {
+        self.downlink_bytes += frame_bytes as u64;
+    }
+
+    /// Overwrites the dropped-message count with the transport's current
+    /// cumulative fault counter (idempotent; called once per round).
+    pub fn sync_dropped(&mut self, transport_dropped_frames: u64) {
+        self.dropped_messages = transport_dropped_frames;
+    }
+
     /// Marks one communication round finished.
     pub fn end_round(&mut self) {
         self.rounds += 1;
@@ -69,12 +111,16 @@ impl CommsLog {
         }
     }
 
-    /// Merges another log (e.g. per-client partial logs).
+    /// Merges another log, e.g. per-client partial logs of the *same* run:
+    /// byte and drop counters add up (each log saw disjoint traffic), while
+    /// `rounds` takes the max (the logs describe the same round sequence,
+    /// not consecutive ones).
     pub fn merge(&mut self, other: &CommsLog) {
         self.uplink_bytes += other.uplink_bytes;
         self.downlink_bytes += other.downlink_bytes;
         self.stats_uplink_bytes += other.stats_uplink_bytes;
         self.rounds = self.rounds.max(other.rounds);
+        self.dropped_messages += other.dropped_messages;
     }
 }
 
@@ -104,21 +150,63 @@ mod tests {
     }
 
     #[test]
-    fn merge_and_rounds() {
+    fn frame_methods_count_whole_frames() {
+        let mut log = CommsLog::new();
+        log.upload_weights_frame(426); // e.g. 100 scalars + framing overhead
+        log.upload_stats_frame(66);
+        log.download_weights_frame(426);
+        log.download_stats_frame(66);
+        assert_eq!(log.uplink_bytes, 492);
+        assert_eq!(log.stats_uplink_bytes, 66);
+        assert_eq!(log.downlink_bytes, 492);
+        // A frame is never smaller than the scalar estimate of its payload.
+        assert!(426 > 100 * SCALAR_BYTES);
+    }
+
+    #[test]
+    fn merge_sums_bytes_and_drops_but_maxes_rounds() {
         let mut a = CommsLog::new();
         a.upload_weights(1);
         a.end_round();
         a.end_round();
+        a.sync_dropped(3);
         let mut b = CommsLog::new();
         b.upload_stats(2);
         b.end_round();
+        b.sync_dropped(2);
         a.merge(&b);
+        // Bytes sum: the two logs measured disjoint traffic of one run.
         assert_eq!(a.uplink_bytes, 4 + 8);
+        assert_eq!(a.stats_uplink_bytes, 8);
+        // Rounds max: both logs watched the same round sequence.
         assert_eq!(a.rounds, 2);
+        // Drops sum, like bytes.
+        assert_eq!(a.dropped_messages, 5);
+    }
+
+    #[test]
+    fn sync_dropped_is_idempotent_per_cumulative_counter() {
+        let mut log = CommsLog::new();
+        log.sync_dropped(4);
+        log.sync_dropped(4); // same cumulative value: no double count
+        assert_eq!(log.dropped_messages, 4);
+        log.sync_dropped(7);
+        assert_eq!(log.dropped_messages, 7);
     }
 
     #[test]
     fn empty_log_fraction_is_zero() {
         assert_eq!(CommsLog::new().stats_fraction(), 0.0);
+    }
+
+    #[test]
+    fn zero_uplink_with_stats_bucket_untouched() {
+        // A purely local run (no aggregation) must report a 0/0 stats
+        // fraction as 0, not NaN.
+        let mut log = CommsLog::new();
+        log.end_round();
+        assert_eq!(log.uplink_bytes, 0);
+        assert_eq!(log.stats_fraction(), 0.0);
+        assert!(log.stats_fraction().is_finite());
     }
 }

@@ -124,8 +124,18 @@ mod tests {
             val_acc: 0.6,
             best_round: 10,
             history: vec![
-                RoundStats { round: 0, train_loss: 2.0, val_acc: 0.2, test_acc: 0.2 },
-                RoundStats { round: 1, train_loss: 1.0, val_acc: 0.6, test_acc: 0.5 },
+                RoundStats {
+                    round: 0,
+                    train_loss: 2.0,
+                    val_acc: 0.2,
+                    test_acc: 0.2,
+                },
+                RoundStats {
+                    round: 1,
+                    train_loss: 1.0,
+                    val_acc: 0.6,
+                    test_acc: 0.5,
+                },
             ],
             comms: CommsLog::new(),
             timing: Timer::new(),

@@ -17,7 +17,10 @@ pub fn predict(model: &dyn Model, client: &ClientData) -> Matrix {
 
 /// `(correct, total)` over the given local node indices.
 pub fn count_correct(logits: &Matrix, labels: &[usize], mask: &[usize]) -> (usize, usize) {
-    let correct = mask.iter().filter(|&&r| argmax_row(logits.row(r)) == labels[r]).count();
+    let correct = mask
+        .iter()
+        .filter(|&&r| argmax_row(logits.row(r)) == labels[r])
+        .count();
     (correct, mask.len())
 }
 
@@ -51,7 +54,11 @@ pub fn evaluate(models: &[Box<dyn Model>], clients: &[ClientData]) -> (f64, f64)
 /// weight.
 pub fn fedavg(param_sets: &[Vec<Matrix>], weights: &[f64]) -> Vec<Matrix> {
     assert!(!param_sets.is_empty(), "fedavg: no clients");
-    assert_eq!(param_sets.len(), weights.len(), "fedavg: weights arity mismatch");
+    assert_eq!(
+        param_sets.len(),
+        weights.len(),
+        "fedavg: weights arity mismatch"
+    );
     let total: f64 = weights.iter().sum();
     assert!(total > 0.0, "fedavg: total weight must be positive");
     let arity = param_sets[0].len();
@@ -164,8 +171,12 @@ mod tests {
     fn evaluate_returns_fractions_in_unit_interval() {
         let client = one_client();
         let mut rng = seeded(2);
-        let models: Vec<Box<dyn Model>> =
-            vec![Box::new(Mlp::new(client.input.n_features(), 8, 7, &mut rng))];
+        let models: Vec<Box<dyn Model>> = vec![Box::new(Mlp::new(
+            client.input.n_features(),
+            8,
+            7,
+            &mut rng,
+        ))];
         let (val, test) = evaluate(&models, std::slice::from_ref(&client));
         assert!((0.0..=1.0).contains(&val));
         assert!((0.0..=1.0).contains(&test));

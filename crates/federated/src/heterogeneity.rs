@@ -35,16 +35,26 @@ pub fn label_skew(clients: &[ClientData], n_classes: usize) -> f64 {
         })
         .collect();
     pairwise_mean(dists.len(), |i, j| {
-        dists[i].iter().zip(&dists[j]).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0
+        dists[i]
+            .iter()
+            .zip(&dists[j])
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 2.0
     })
 }
 
 /// Mean pairwise CMD distance (orders ≤ `max_order`, width 1) between the
 /// parties' raw feature matrices.
 pub fn feature_shift(clients: &[ClientData], max_order: u32) -> f64 {
-    assert!(clients.len() >= 2, "feature_shift: need at least two clients");
-    let targets: Vec<CmdTargets> =
-        clients.iter().map(|c| CmdTargets::from_matrix(&c.input.x, max_order)).collect();
+    assert!(
+        clients.len() >= 2,
+        "feature_shift: need at least two clients"
+    );
+    let targets: Vec<CmdTargets> = clients
+        .iter()
+        .map(|c| CmdTargets::from_matrix(&c.input.x, max_order))
+        .collect();
     pairwise_mean(clients.len(), |i, j| {
         // CMD of party i's features against party j's statistics.
         cmd_value(&clients[i].input.x, &targets[j], 1.0) as f64
@@ -93,8 +103,7 @@ mod tests {
         let ds = generate(&spec(DatasetName::CoraMini), 0);
         let clients = (0..m)
             .map(|p| {
-                let nodes: Vec<usize> =
-                    (0..ds.n_nodes()).filter(|&u| u % m == p).collect();
+                let nodes: Vec<usize> = (0..ds.n_nodes()).filter(|&u| u % m == p).collect();
                 let (g, ids) = ds.graph.induced_subgraph(&nodes);
                 let labels: Vec<usize> = ids.iter().map(|&i| ds.labels[i]).collect();
                 let x = ds.features.select_rows(&ids);

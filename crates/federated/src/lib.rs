@@ -23,5 +23,7 @@ pub mod secure_agg;
 pub use client::{setup_federation, ClientData, FederationConfig};
 pub use comms::CommsLog;
 pub use config::{RoundStats, RunResult, TrainConfig};
-pub use engine::{run_generic, GenericOpts, ModelKind};
-pub use secure_agg::{aggregate_masked, secure_weighted_sum, MaskingContext};
+pub use engine::{run_generic, run_generic_with, GenericOpts, ModelKind};
+pub use secure_agg::{
+    aggregate_masked, secure_weighted_sum, secure_weighted_sum_frames, MaskingContext,
+};

@@ -131,11 +131,19 @@ impl Graph {
 
     /// Fraction of edges whose endpoints share a label (edge homophily).
     pub fn edge_homophily(&self, labels: &[usize]) -> f64 {
-        assert_eq!(labels.len(), self.n, "edge_homophily: label length mismatch");
+        assert_eq!(
+            labels.len(),
+            self.n,
+            "edge_homophily: label length mismatch"
+        );
         if self.edges.is_empty() {
             return 0.0;
         }
-        let same = self.edges.iter().filter(|&&(u, v)| labels[u] == labels[v]).count();
+        let same = self
+            .edges
+            .iter()
+            .filter(|&&(u, v)| labels[u] == labels[v])
+            .count();
         same as f64 / self.edges.len() as f64
     }
 }

@@ -27,7 +27,11 @@ pub struct LouvainConfig {
 
 impl Default for LouvainConfig {
     fn default() -> Self {
-        Self { resolution: 1.0, seed: 0, max_levels: 32 }
+        Self {
+            resolution: 1.0,
+            seed: 0,
+            max_levels: 32,
+        }
     }
 }
 
@@ -51,9 +55,17 @@ impl WGraph {
             adj[u].push((v, 1.0));
             adj[v].push((u, 1.0));
         }
-        let degree: Vec<f64> = adj.iter().map(|nb| nb.iter().map(|&(_, w)| w).sum()).collect();
+        let degree: Vec<f64> = adj
+            .iter()
+            .map(|nb| nb.iter().map(|&(_, w)| w).sum())
+            .collect();
         let total_weight = g.n_edges() as f64;
-        Self { n, adj, total_weight, degree }
+        Self {
+            n,
+            adj,
+            total_weight,
+            degree,
+        }
     }
 }
 
@@ -180,8 +192,11 @@ fn renumber(labels: &[usize]) -> Vec<usize> {
 /// Builds the aggregated weighted graph where each community becomes one
 /// super-node; intra-community weight becomes a self-loop.
 fn aggregate(wg: &WGraph, assign: &[usize], n_comms: usize) -> WGraph {
-    let mut weights: std::collections::HashMap<(usize, usize), f64> =
-        std::collections::HashMap::new();
+    // BTreeMap, not HashMap: the iteration below fixes the super-graph's
+    // adjacency order, and through it float summation order and move
+    // tie-breaking, so partitions are reproducible across runs.
+    let mut weights: std::collections::BTreeMap<(usize, usize), f64> =
+        std::collections::BTreeMap::new();
     for u in 0..wg.n {
         let cu = assign[u];
         for &(v, w) in &wg.adj[u] {
@@ -206,8 +221,16 @@ fn aggregate(wg: &WGraph, assign: &[usize], n_comms: usize) -> WGraph {
             adj[b].push((a, w));
         }
     }
-    let degree: Vec<f64> = adj.iter().map(|nb| nb.iter().map(|&(_, w)| w).sum()).collect();
-    WGraph { n: n_comms, adj, total_weight, degree }
+    let degree: Vec<f64> = adj
+        .iter()
+        .map(|nb| nb.iter().map(|&(_, w)| w).sum())
+        .collect();
+    WGraph {
+        n: n_comms,
+        adj,
+        total_weight,
+        degree,
+    }
 }
 
 /// Modularity of a partition at a given resolution (for tests/diagnostics).
@@ -265,7 +288,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = two_cliques();
-        let cfg = LouvainConfig { seed: 7, ..Default::default() };
+        let cfg = LouvainConfig {
+            seed: 7,
+            ..Default::default()
+        };
         assert_eq!(louvain(&g, &cfg), louvain(&g, &cfg));
     }
 
@@ -281,8 +307,20 @@ mod tests {
             edges.push((base + 2, (base + 3) % 12));
         }
         let g = Graph::new(12, &edges);
-        let low = louvain(&g, &LouvainConfig { resolution: 0.1, ..Default::default() });
-        let high = louvain(&g, &LouvainConfig { resolution: 8.0, ..Default::default() });
+        let low = louvain(
+            &g,
+            &LouvainConfig {
+                resolution: 0.1,
+                ..Default::default()
+            },
+        );
+        let high = louvain(
+            &g,
+            &LouvainConfig {
+                resolution: 8.0,
+                ..Default::default()
+            },
+        );
         let n_low = low.iter().copied().max().unwrap() + 1;
         let n_high = high.iter().copied().max().unwrap() + 1;
         assert!(

@@ -55,15 +55,13 @@ pub fn louvain_cut(g: &Graph, m: usize, cfg: &LouvainConfig) -> Vec<PartySubgrap
     assert!(m >= 1, "need at least one party");
     let community = louvain(g, cfg);
     let party_of_comm = assign_parties(&community, m);
-    let mut node_party: Vec<usize> =
-        community.iter().map(|&c| party_of_comm[c]).collect();
+    let mut node_party: Vec<usize> = community.iter().map(|&c| party_of_comm[c]).collect();
 
     rebalance_empty_parties(&mut node_party, m);
 
     (0..m)
         .map(|p| {
-            let nodes: Vec<usize> =
-                (0..g.n_nodes()).filter(|&u| node_party[u] == p).collect();
+            let nodes: Vec<usize> = (0..g.n_nodes()).filter(|&u| node_party[u] == p).collect();
             let (graph, global_ids) = g.induced_subgraph(&nodes);
             PartySubgraph { graph, global_ids }
         })

@@ -20,7 +20,11 @@ pub struct SplitRatios {
 impl SplitRatios {
     /// The paper's 1% / 20% / 20% setting.
     pub fn paper() -> Self {
-        Self { train: 0.01, val: 0.20, test: 0.20 }
+        Self {
+            train: 0.01,
+            val: 0.20,
+            test: 0.20,
+        }
     }
 
     /// The mini-scale setting: datasets are ~5× smaller than the paper's,
@@ -28,7 +32,11 @@ impl SplitRatios {
     /// training nodes per party (a handful), which is what the learning
     /// regime actually depends on.
     pub fn mini() -> Self {
-        Self { train: 0.05, val: 0.20, test: 0.20 }
+        Self {
+            train: 0.05,
+            val: 0.20,
+            test: 0.20,
+        }
     }
 }
 
@@ -77,12 +85,12 @@ pub fn split_nodes(labels: &[usize], ratios: SplitRatios, seed: u64) -> Splits {
         }
         let n_train = ((ratios.train * cnt as f64).floor() as usize).min(cnt);
         let n_val = ((ratios.val * cnt as f64).round() as usize).min(cnt - n_train);
-        let n_test =
-            ((ratios.test * cnt as f64).round() as usize).min(cnt - n_train - n_val);
+        let n_test = ((ratios.test * cnt as f64).round() as usize).min(cnt - n_train - n_val);
 
         out.train.extend(&nodes[..n_train]);
         out.val.extend(&nodes[n_train..n_train + n_val]);
-        out.test.extend(&nodes[n_train + n_val..n_train + n_val + n_test]);
+        out.test
+            .extend(&nodes[n_train + n_val..n_train + n_val + n_test]);
         // A node beyond every quota is promotable to train if needed.
         if n_train + n_val + n_test < cnt && cnt > largest {
             largest = cnt;
@@ -127,17 +135,28 @@ mod tests {
     fn paper_ratios_approximately_hold() {
         let l = labels(10_000, 10);
         let s = split_nodes(&l, SplitRatios::paper(), 0);
-        assert!((s.train.len() as f64 - 100.0).abs() <= 10.0, "train {}", s.train.len());
-        assert!((s.val.len() as f64 - 2000.0).abs() <= 50.0, "val {}", s.val.len());
-        assert!((s.test.len() as f64 - 2000.0).abs() <= 50.0, "test {}", s.test.len());
+        assert!(
+            (s.train.len() as f64 - 100.0).abs() <= 10.0,
+            "train {}",
+            s.train.len()
+        );
+        assert!(
+            (s.val.len() as f64 - 2000.0).abs() <= 50.0,
+            "val {}",
+            s.val.len()
+        );
+        assert!(
+            (s.test.len() as f64 - 2000.0).abs() <= 50.0,
+            "test {}",
+            s.test.len()
+        );
     }
 
     #[test]
     fn every_class_reaches_train_when_possible() {
         let l = labels(700, 7);
         let s = split_nodes(&l, SplitRatios::paper(), 1);
-        let classes: std::collections::HashSet<usize> =
-            s.train.iter().map(|&i| l[i]).collect();
+        let classes: std::collections::HashSet<usize> = s.train.iter().map(|&i| l[i]).collect();
         assert_eq!(classes.len(), 7);
     }
 
@@ -164,7 +183,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "more than 1")]
     fn over_unity_ratios_rejected() {
-        let _ = split_nodes(&[0, 1], SplitRatios { train: 0.5, val: 0.5, test: 0.5 }, 0);
+        let _ = split_nodes(
+            &[0, 1],
+            SplitRatios {
+                train: 0.5,
+                val: 0.5,
+                test: 0.5,
+            },
+            0,
+        );
     }
 
     #[test]

@@ -20,15 +20,14 @@ pub fn argmax_row(row: &[f32]) -> usize {
 /// `logits_rows` yields one logits slice per node (in node order).
 ///
 /// Returns 0 for an empty mask.
-pub fn accuracy<'a>(
-    logits: impl Fn(usize) -> &'a [f32],
-    labels: &[usize],
-    mask: &[usize],
-) -> f64 {
+pub fn accuracy<'a>(logits: impl Fn(usize) -> &'a [f32], labels: &[usize], mask: &[usize]) -> f64 {
     if mask.is_empty() {
         return 0.0;
     }
-    let correct = mask.iter().filter(|&&r| argmax_row(logits(r)) == labels[r]).count();
+    let correct = mask
+        .iter()
+        .filter(|&&r| argmax_row(logits(r)) == labels[r])
+        .count();
     correct as f64 / mask.len() as f64
 }
 

@@ -28,7 +28,10 @@ pub fn macro_f1(
     let mut fneg = vec![0usize; n_classes];
     for &i in mask {
         let (p, y) = (predictions[i], labels[i]);
-        assert!(p < n_classes && y < n_classes, "macro_f1: class out of range");
+        assert!(
+            p < n_classes && y < n_classes,
+            "macro_f1: class out of range"
+        );
         if p == y {
             tp[y] += 1;
         } else {
@@ -46,14 +49,18 @@ pub fn macro_f1(
             }
         })
         .collect();
-    let present: Vec<usize> =
-        (0..n_classes).filter(|&c| mask.iter().any(|&i| labels[i] == c)).collect();
+    let present: Vec<usize> = (0..n_classes)
+        .filter(|&c| mask.iter().any(|&i| labels[i] == c))
+        .collect();
     let macro_f1 = if present.is_empty() {
         0.0
     } else {
         present.iter().map(|&c| per_class[c]).sum::<f64>() / present.len() as f64
     };
-    F1Report { per_class, macro_f1 }
+    F1Report {
+        per_class,
+        macro_f1,
+    }
 }
 
 #[cfg(test)]

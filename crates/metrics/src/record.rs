@@ -2,10 +2,10 @@
 //! of these per regenerated table/figure so EXPERIMENTS.md numbers can be
 //! traced to a JSON artifact.
 
-use serde::{Deserialize, Serialize};
+use fedomd_jsonio::{obj, Json};
 
 /// One cell of a results table (a model × setting accuracy).
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CellRecord {
     /// Row label, e.g. model name.
     pub row: String,
@@ -18,7 +18,7 @@ pub struct CellRecord {
 }
 
 /// A full regenerated experiment (one paper table or figure).
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentRecord {
     /// Paper artifact id, e.g. `"table4"`, `"fig5"`.
     pub experiment: String,
@@ -43,22 +43,101 @@ impl ExperimentRecord {
 
     /// Appends a cell.
     pub fn push(&mut self, row: &str, col: &str, mean: f64, std: f64) {
-        self.cells.push(CellRecord { row: row.into(), col: col.into(), mean, std });
+        self.cells.push(CellRecord {
+            row: row.into(),
+            col: col.into(),
+            mean,
+            std,
+        });
     }
 
     /// Looks up a cell mean by row/col labels.
     pub fn mean_of(&self, row: &str, col: &str) -> Option<f64> {
-        self.cells.iter().find(|c| c.row == row && c.col == col).map(|c| c.mean)
+        self.cells
+            .iter()
+            .find(|c| c.row == row && c.col == col)
+            .map(|c| c.mean)
     }
 
     /// Serialises to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("ExperimentRecord serialises")
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                obj([
+                    ("row", Json::from(c.row.as_str())),
+                    ("col", Json::from(c.col.as_str())),
+                    ("mean", Json::from(c.mean)),
+                    ("std", Json::from(c.std)),
+                ])
+            })
+            .collect();
+        obj([
+            ("experiment", Json::from(self.experiment.as_str())),
+            ("scale", Json::from(self.scale.as_str())),
+            (
+                "seeds",
+                Json::Arr(self.seeds.iter().map(|&s| Json::from(s)).collect()),
+            ),
+            ("cells", Json::Arr(cells)),
+        ])
+        .to_pretty()
     }
 
     /// Parses from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let doc = Json::parse(s)?;
+        let field = |key: &str| {
+            doc.get(key)
+                .ok_or_else(|| format!("experiment record: missing field `{key}`"))
+        };
+        let experiment = field("experiment")?
+            .as_str()
+            .ok_or("experiment record: `experiment` must be a string")?
+            .to_string();
+        let scale = field("scale")?
+            .as_str()
+            .ok_or("experiment record: `scale` must be a string")?
+            .to_string();
+        let seeds = field("seeds")?
+            .as_array()
+            .ok_or("experiment record: `seeds` must be an array")?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .ok_or("experiment record: seeds must be non-negative integers")
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut cells = Vec::new();
+        for cell in field("cells")?
+            .as_array()
+            .ok_or("experiment record: `cells` must be an array")?
+        {
+            let get_str = |key: &str| {
+                cell.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("experiment record: cell missing string `{key}`"))
+            };
+            let get_num = |key: &str| {
+                cell.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("experiment record: cell missing number `{key}`"))
+            };
+            cells.push(CellRecord {
+                row: get_str("row")?,
+                col: get_str("col")?,
+                mean: get_num("mean")?,
+                std: get_num("std")?,
+            });
+        }
+        Ok(Self {
+            experiment,
+            scale,
+            seeds,
+            cells,
+        })
     }
 }
 

@@ -1,7 +1,7 @@
 //! Seed statistics: the "accuracy ± std" cells of the paper's tables.
 
 /// Mean and sample standard deviation of a run set.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Summary {
     pub mean: f64,
     pub std: f64,
@@ -52,7 +52,11 @@ mod tests {
 
     #[test]
     fn paper_cell_format() {
-        let s = Summary { mean: 54.349, std: 5.856, n: 5 };
+        let s = Summary {
+            mean: 54.349,
+            std: 5.856,
+            n: 5,
+        };
         assert_eq!(s.paper_cell(), "54.35 (±5.86)");
     }
 

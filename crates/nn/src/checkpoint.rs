@@ -9,13 +9,13 @@
 use std::io::{Read, Write};
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use fedomd_jsonio::{obj, Json};
 
 use crate::model::Model;
 use fedomd_tensor::Matrix;
 
 /// A serialisable parameter snapshot with provenance metadata.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Checkpoint {
     /// Free-form architecture tag (e.g. `"ortho-gcn/2-hidden/64"`); checked
     /// on [`Checkpoint::restore`] when provided.
@@ -27,7 +27,10 @@ pub struct Checkpoint {
 impl Checkpoint {
     /// Captures a model's current parameters.
     pub fn capture(model: &dyn Model, architecture: &str) -> Self {
-        Self { architecture: architecture.to_string(), params: model.params() }
+        Self {
+            architecture: architecture.to_string(),
+            params: model.params(),
+        }
     }
 
     /// Restores into `model` after verifying arity, shapes, and (when
@@ -60,15 +63,52 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Serialises to a JSON writer.
-    pub fn write_to(&self, w: impl Write) -> Result<(), String> {
-        serde_json::to_writer(w, self).map_err(|e| format!("checkpoint write: {e}"))
+    /// The JSON document form.
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("architecture", Json::from(self.architecture.as_str())),
+            (
+                "params",
+                Json::Arr(self.params.iter().map(Matrix::to_json).collect()),
+            ),
+        ])
     }
 
-    /// Deserialises from a JSON reader (shape invariants re-validated by
+    /// Parses the JSON document form (shape invariants re-validated by
     /// the `Matrix` wire format).
-    pub fn read_from(r: impl Read) -> Result<Self, String> {
-        serde_json::from_reader(r).map_err(|e| format!("checkpoint read: {e}"))
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let architecture = doc
+            .get("architecture")
+            .and_then(Json::as_str)
+            .ok_or("checkpoint json: missing or invalid field `architecture`")?
+            .to_string();
+        let items = doc
+            .get("params")
+            .and_then(Json::as_array)
+            .ok_or("checkpoint json: missing or invalid field `params`")?;
+        let params = items
+            .iter()
+            .map(Matrix::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            architecture,
+            params,
+        })
+    }
+
+    /// Serialises to a JSON writer.
+    pub fn write_to(&self, mut w: impl Write) -> Result<(), String> {
+        w.write_all(self.to_json().to_compact().as_bytes())
+            .map_err(|e| format!("checkpoint write: {e}"))
+    }
+
+    /// Deserialises from a JSON reader.
+    pub fn read_from(mut r: impl Read) -> Result<Self, String> {
+        let mut text = String::new();
+        r.read_to_string(&mut text)
+            .map_err(|e| format!("checkpoint read: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("checkpoint read: {e}"))?;
+        Self::from_json(&doc)
     }
 
     /// Saves to a file path.
@@ -147,7 +187,7 @@ mod tests {
     fn corrupted_payload_fails_to_parse() {
         let model = Gcn::new(3, 4, 2, &mut seeded(9));
         let ckpt = Checkpoint::capture(&model, "gcn");
-        let mut json = serde_json::to_string(&ckpt).expect("serialise");
+        let mut json = ckpt.to_json().to_compact();
         // Break the matrix length invariant.
         json = json.replacen("\"rows\":3", "\"rows\":7", 1);
         let err = Checkpoint::read_from(json.as_bytes()).expect_err("must fail");

@@ -21,9 +21,17 @@ pub struct GraphInput {
 impl GraphInput {
     /// Builds the input, precomputing `Ŝ·X`.
     pub fn new(s: Arc<Csr>, x: Matrix) -> Self {
-        assert_eq!(s.rows(), x.rows(), "GraphInput: S and X row counts disagree");
+        assert_eq!(
+            s.rows(),
+            x.rows(),
+            "GraphInput: S and X row counts disagree"
+        );
         let sx = Arc::new(s.spmm(&x));
-        Self { s, x: Arc::new(x), sx }
+        Self {
+            s,
+            x: Arc::new(x),
+            sx,
+        }
     }
 
     /// Number of nodes.

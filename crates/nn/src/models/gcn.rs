@@ -17,7 +17,10 @@ pub struct Gcn {
 impl Gcn {
     /// Xavier-initialised GCN.
     pub fn new(in_dim: usize, hidden: usize, out_dim: usize, rng: &mut ChaCha8Rng) -> Self {
-        Self { w0: xavier_uniform(in_dim, hidden, rng), w1: xavier_uniform(hidden, out_dim, rng) }
+        Self {
+            w0: xavier_uniform(in_dim, hidden, rng),
+            w1: xavier_uniform(hidden, out_dim, rng),
+        }
     }
 
     /// Hidden width.
@@ -52,8 +55,16 @@ impl Model for Gcn {
 
     fn set_params(&mut self, params: &[Matrix]) {
         assert_eq!(params.len(), 2, "Gcn::set_params: expected 2 matrices");
-        assert_eq!(params[0].shape(), self.w0.shape(), "Gcn::set_params: w0 shape");
-        assert_eq!(params[1].shape(), self.w1.shape(), "Gcn::set_params: w1 shape");
+        assert_eq!(
+            params[0].shape(),
+            self.w0.shape(),
+            "Gcn::set_params: w0 shape"
+        );
+        assert_eq!(
+            params[1].shape(),
+            self.w1.shape(),
+            "Gcn::set_params: w1 shape"
+        );
         self.w0 = params[0].clone();
         self.w1 = params[1].clone();
     }

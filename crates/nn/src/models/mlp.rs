@@ -51,15 +51,36 @@ impl Model for Mlp {
     }
 
     fn params(&self) -> Vec<Matrix> {
-        vec![self.w1.clone(), self.b1.clone(), self.w2.clone(), self.b2.clone()]
+        vec![
+            self.w1.clone(),
+            self.b1.clone(),
+            self.w2.clone(),
+            self.b2.clone(),
+        ]
     }
 
     fn set_params(&mut self, params: &[Matrix]) {
         assert_eq!(params.len(), 4, "Mlp::set_params: expected 4 matrices");
-        assert_eq!(params[0].shape(), self.w1.shape(), "Mlp::set_params: w1 shape");
-        assert_eq!(params[1].shape(), self.b1.shape(), "Mlp::set_params: b1 shape");
-        assert_eq!(params[2].shape(), self.w2.shape(), "Mlp::set_params: w2 shape");
-        assert_eq!(params[3].shape(), self.b2.shape(), "Mlp::set_params: b2 shape");
+        assert_eq!(
+            params[0].shape(),
+            self.w1.shape(),
+            "Mlp::set_params: w1 shape"
+        );
+        assert_eq!(
+            params[1].shape(),
+            self.b1.shape(),
+            "Mlp::set_params: b1 shape"
+        );
+        assert_eq!(
+            params[2].shape(),
+            self.w2.shape(),
+            "Mlp::set_params: w2 shape"
+        );
+        assert_eq!(
+            params[3].shape(),
+            self.b2.shape(),
+            "Mlp::set_params: b2 shape"
+        );
         self.w1 = params[0].clone();
         self.b1 = params[1].clone();
         self.w2 = params[2].clone();

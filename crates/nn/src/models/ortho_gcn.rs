@@ -38,7 +38,14 @@ pub struct OrthoGcnConfig {
 impl OrthoGcnConfig {
     /// The paper's defaults: 64 hidden units, 2 OrthoConv layers.
     pub fn paper(in_dim: usize, out_dim: usize) -> Self {
-        Self { in_dim, hidden_dim: 64, out_dim, hidden_layers: 2, ns_interval: 10, ns_iters: 3 }
+        Self {
+            in_dim,
+            hidden_dim: 64,
+            out_dim,
+            hidden_layers: 2,
+            ns_interval: 10,
+            ns_iters: 3,
+        }
     }
 }
 
@@ -55,13 +62,22 @@ impl OrthoGcn {
     /// Xavier-initialised Ortho-GCN; hidden weights start Newton–Schulz
     /// orthogonalised so the Eq. 6 penalty begins near its minimum.
     pub fn new(cfg: OrthoGcnConfig, rng: &mut ChaCha8Rng) -> Self {
-        assert!(cfg.hidden_layers >= 1, "OrthoGcn: need at least one hidden layer");
+        assert!(
+            cfg.hidden_layers >= 1,
+            "OrthoGcn: need at least one hidden layer"
+        );
         let w_in = xavier_uniform(cfg.in_dim, cfg.hidden_dim, rng);
         let hidden_ws = (1..cfg.hidden_layers)
             .map(|_| newton_schulz(&xavier_uniform(cfg.hidden_dim, cfg.hidden_dim, rng), 20))
             .collect();
         let w_out = xavier_uniform(cfg.hidden_dim, cfg.out_dim, rng);
-        Self { cfg, w_in, hidden_ws, w_out, steps: 0 }
+        Self {
+            cfg,
+            w_in,
+            hidden_ws,
+            w_out,
+            steps: 0,
+        }
     }
 
     /// The configuration this model was built with.
@@ -110,7 +126,12 @@ impl Model for OrthoGcn {
         let zw = tape.matmul(z, w_out);
         let logits = tape.spmm(input.s.clone(), zw);
 
-        ForwardOut { logits, hidden, param_vars, ortho_weight_vars }
+        ForwardOut {
+            logits,
+            hidden,
+            param_vars,
+            ortho_weight_vars,
+        }
     }
 
     fn params(&self) -> Vec<Matrix> {
@@ -128,14 +149,26 @@ impl Model for OrthoGcn {
             "OrthoGcn::set_params: expected {} matrices",
             self.hidden_ws.len() + 2
         );
-        assert_eq!(params[0].shape(), self.w_in.shape(), "OrthoGcn::set_params: w_in shape");
+        assert_eq!(
+            params[0].shape(),
+            self.w_in.shape(),
+            "OrthoGcn::set_params: w_in shape"
+        );
         self.w_in = params[0].clone();
         for (i, wk) in self.hidden_ws.iter_mut().enumerate() {
-            assert_eq!(params[i + 1].shape(), wk.shape(), "OrthoGcn::set_params: hidden shape");
+            assert_eq!(
+                params[i + 1].shape(),
+                wk.shape(),
+                "OrthoGcn::set_params: hidden shape"
+            );
             *wk = params[i + 1].clone();
         }
         let last = params.len() - 1;
-        assert_eq!(params[last].shape(), self.w_out.shape(), "OrthoGcn::set_params: w_out shape");
+        assert_eq!(
+            params[last].shape(),
+            self.w_out.shape(),
+            "OrthoGcn::set_params: w_out shape"
+        );
         self.w_out = params[last].clone();
     }
 
@@ -218,7 +251,10 @@ mod tests {
             m.post_step();
         }
         let after = orthogonality_residual(&m.hidden_ws[0]);
-        assert!(after < before, "NS projection did not improve: {before} -> {after}");
+        assert!(
+            after < before,
+            "NS projection did not improve: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -261,8 +297,16 @@ mod tests {
         let out = m.forward(&mut tape, &input);
         let last = tape.value(*out.hidden.last().expect("has hidden"));
         assert!(last.all_finite());
-        assert!(last.max_abs() > 1e-4, "activations collapsed: {}", last.max_abs());
-        assert!(last.max_abs() < 1e4, "activations exploded: {}", last.max_abs());
+        assert!(
+            last.max_abs() > 1e-4,
+            "activations collapsed: {}",
+            last.max_abs()
+        );
+        assert!(
+            last.max_abs() < 1e4,
+            "activations exploded: {}",
+            last.max_abs()
+        );
     }
 
     #[test]

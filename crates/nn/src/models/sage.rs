@@ -85,7 +85,11 @@ impl Model for GraphSage {
     }
 
     fn set_params(&mut self, params: &[Matrix]) {
-        assert_eq!(params.len(), 4, "GraphSage::set_params: expected 4 matrices");
+        assert_eq!(
+            params.len(),
+            4,
+            "GraphSage::set_params: expected 4 matrices"
+        );
         let shapes = [
             self.w_self0.shape(),
             self.w_neigh0.shape(),
@@ -126,7 +130,10 @@ mod tests {
         let input = ring_input(6, 4);
         // A path (not the ring): degrees differ, so the row-stochastic
         // aggregator genuinely differs from the input's symmetric Ŝ.
-        let agg = Arc::new(row_normalized_adjacency(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]));
+        let agg = Arc::new(row_normalized_adjacency(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+        ));
         let base = GraphSage::new(4, 8, 3, &mut rng);
         let snap = base.params();
         let mut with_agg = GraphSage::new(4, 8, 3, &mut seeded(1)).with_mean_aggregator(agg);

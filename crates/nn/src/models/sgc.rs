@@ -27,7 +27,11 @@ impl Sgc {
     /// Xavier-initialised SGC with `hops` propagation steps (k ≥ 1).
     pub fn new(in_dim: usize, out_dim: usize, hops: usize, rng: &mut ChaCha8Rng) -> Self {
         assert!(hops >= 1, "Sgc: hops must be >= 1");
-        Self { w: xavier_uniform(in_dim, out_dim, rng), hops, cache: std::sync::Mutex::new(None) }
+        Self {
+            w: xavier_uniform(in_dim, out_dim, rng),
+            hops,
+            cache: std::sync::Mutex::new(None),
+        }
     }
 
     /// Number of propagation hops `k`.
@@ -75,7 +79,11 @@ impl Model for Sgc {
 
     fn set_params(&mut self, params: &[Matrix]) {
         assert_eq!(params.len(), 1, "Sgc::set_params: expected 1 matrix");
-        assert_eq!(params[0].shape(), self.w.shape(), "Sgc::set_params: shape mismatch");
+        assert_eq!(
+            params[0].shape(),
+            self.w.shape(),
+            "Sgc::set_params: shape mismatch"
+        );
         self.w = params[0].clone();
     }
 }

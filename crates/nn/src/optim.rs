@@ -34,7 +34,12 @@ impl Sgd {
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0, "Sgd: learning rate must be positive");
-        Self { lr, momentum, weight_decay, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -42,12 +47,18 @@ impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [Matrix], grads: &[Matrix]) {
         assert_eq!(params.len(), grads.len(), "Sgd::step: arity mismatch");
         if self.velocity.len() != params.len() {
-            self.velocity = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
         }
         for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
             assert_eq!(p.shape(), g.shape(), "Sgd::step: shape mismatch");
-            for ((pv, &gv), vv) in
-                p.as_mut_slice().iter_mut().zip(g.as_slice()).zip(v.as_mut_slice())
+            for ((pv, &gv), vv) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(v.as_mut_slice())
             {
                 let eff = gv + self.weight_decay * *pv;
                 *vv = self.momentum * *vv + eff;
@@ -81,7 +92,16 @@ impl Adam {
     /// Adam with the standard `β₁ = 0.9, β₂ = 0.999, ε = 1e-8`.
     pub fn new(lr: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0, "Adam: learning rate must be positive");
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -89,15 +109,24 @@ impl Optimizer for Adam {
     fn step(&mut self, params: &mut [Matrix], grads: &[Matrix]) {
         assert_eq!(params.len(), grads.len(), "Adam::step: arity mismatch");
         if self.m.len() != params.len() {
-            self.m = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
-            self.v = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
             self.t = 0;
         }
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for (((p, g), m), v) in
-            params.iter_mut().zip(grads).zip(&mut self.m).zip(&mut self.v)
+        for (((p, g), m), v) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(&mut self.m)
+            .zip(&mut self.v)
         {
             assert_eq!(p.shape(), g.shape(), "Adam::step: shape mismatch");
             for (((pv, &gv), mv), vv) in p

@@ -28,7 +28,10 @@ impl Csr {
     /// Panics when an index is out of bounds.
     pub fn from_coo(rows: usize, cols: usize, mut entries: Vec<(usize, usize, f32)>) -> Self {
         for &(r, c, _) in &entries {
-            assert!(r < rows && c < cols, "from_coo: entry ({r},{c}) out of bounds for {rows}x{cols}");
+            assert!(
+                r < rows && c < cols,
+                "from_coo: entry ({r},{c}) out of bounds for {rows}x{cols}"
+            );
         }
         entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
 
@@ -49,14 +52,26 @@ impl Csr {
         for r in 0..rows {
             indptr[r + 1] += indptr[r];
         }
-        let out = Self { rows, cols, indptr, indices, values };
+        let out = Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        };
         debug_assert!(out.validate().is_ok());
         out
     }
 
     /// An all-zero sparse matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+        Self {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// The sparse identity.
@@ -106,10 +121,13 @@ impl Csr {
     /// violation.
     pub fn validate(&self) -> Result<(), String> {
         if self.indptr.len() != self.rows + 1 {
-            return Err(format!("indptr length {} != rows+1 {}", self.indptr.len(), self.rows + 1));
+            return Err(format!(
+                "indptr length {} != rows+1 {}",
+                self.indptr.len(),
+                self.rows + 1
+            ));
         }
-        if self.indptr[self.rows] != self.indices.len() || self.indices.len() != self.values.len()
-        {
+        if self.indptr[self.rows] != self.indices.len() || self.indices.len() != self.values.len() {
             return Err("indptr tail / indices / values lengths disagree".into());
         }
         for r in 0..self.rows {
@@ -197,7 +215,13 @@ impl Csr {
                 cursor[c as usize] += 1;
             }
         }
-        Csr { rows: self.cols, cols: self.rows, indptr, indices, values }
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// True when the matrix equals its transpose (within `tol`).
@@ -209,7 +233,10 @@ impl Csr {
         if t.indptr != self.indptr || t.indices != self.indices {
             return false;
         }
-        self.values.iter().zip(&t.values).all(|(a, b)| (a - b).abs() <= tol)
+        self.values
+            .iter()
+            .zip(&t.values)
+            .all(|(a, b)| (a - b).abs() <= tol)
     }
 
     /// Removes explicitly stored zeros.
@@ -255,7 +282,11 @@ mod tests {
         // [[1, 0, 2],
         //  [0, 0, 0],
         //  [3, 4, 0]]
-        Csr::from_coo(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+        Csr::from_coo(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        )
     }
 
     #[test]
@@ -312,7 +343,9 @@ mod tests {
         let s = small();
         let tt = s.transpose().transpose();
         assert_eq!(s, tt);
-        s.transpose().to_dense().assert_close(&s.to_dense().transpose(), 1e-6);
+        s.transpose()
+            .to_dense()
+            .assert_close(&s.to_dense().transpose(), 1e-6);
     }
 
     #[test]

@@ -13,8 +13,10 @@ use crate::csr::Csr;
 pub fn normalized_adjacency(n: usize, edges: &[(usize, usize)]) -> Csr {
     let a = undirected_with_self_loops(n, edges);
     let deg: Vec<f32> = a.row_abs_sums();
-    let inv_sqrt: Vec<f32> =
-        deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    let inv_sqrt: Vec<f32> = deg
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
     scale_sym(&a, &inv_sqrt)
 }
 
@@ -134,7 +136,8 @@ mod tests {
     #[test]
     fn empty_graph_is_identity() {
         let s = normalized_adjacency(4, &[]);
-        s.to_dense().assert_close(&fedomd_tensor::Matrix::identity(4), 1e-6);
+        s.to_dense()
+            .assert_close(&fedomd_tensor::Matrix::identity(4), 1e-6);
     }
 }
 

@@ -72,8 +72,7 @@ mod tests {
     fn he_normal_has_expected_scale() {
         let mut rng = seeded(2);
         let m = he_normal(400, 100, &mut rng);
-        let var: f32 =
-            m.as_slice().iter().map(|v| v * v).sum::<f32>() / m.len() as f32;
+        let var: f32 = m.as_slice().iter().map(|v| v * v).sum::<f32>() / m.len() as f32;
         let expected = 2.0 / 400.0;
         assert!(
             (var - expected).abs() < expected * 0.2,
@@ -86,8 +85,7 @@ mod tests {
         let mut rng = seeded(3);
         let m = standard_normal(500, 100, &mut rng);
         assert!(m.mean().abs() < 0.02);
-        let var: f32 =
-            m.as_slice().iter().map(|v| v * v).sum::<f32>() / m.len() as f32;
+        let var: f32 = m.as_slice().iter().map(|v| v * v).sum::<f32>() / m.len() as f32;
         assert!((var - 1.0).abs() < 0.05);
     }
 

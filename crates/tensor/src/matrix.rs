@@ -1,6 +1,6 @@
 //! The core dense matrix type: row-major, `f32`, heap-backed.
 
-use serde::{Deserialize, Serialize};
+use fedomd_jsonio::{obj, Json};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -10,8 +10,7 @@ use std::ops::{Index, IndexMut};
 /// lives at `data[r * cols + c]`. Most numerical kernels live in the sibling
 /// modules ([`crate::gemm`], [`crate::ops`], [`crate::stats`]) and operate on
 /// this type; the methods here are structural (construction, shape, views).
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
-#[serde(try_from = "MatrixSerde", into = "MatrixSerde")]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -21,12 +20,20 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A `rows x cols` matrix with every element set to `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// The `n x n` identity matrix.
@@ -67,7 +74,11 @@ impl Matrix {
 
     /// Builds a single-row matrix from a slice.
     pub fn row_vector(values: &[f32]) -> Self {
-        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -133,7 +144,12 @@ impl Matrix {
 
     /// Copies column `c` into a fresh vector.
     pub fn col(&self, c: usize) -> Vec<f32> {
-        assert!(c < self.cols, "column {} out of bounds for {} cols", c, self.cols);
+        assert!(
+            c < self.cols,
+            "column {} out of bounds for {} cols",
+            c,
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -173,7 +189,11 @@ impl Matrix {
 
     /// Frobenius norm, `sqrt(sum of squares)`.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|v| (*v as f64) * (*v as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Maximum absolute element, 0 for the empty matrix.
@@ -204,7 +224,11 @@ impl Matrix {
     ///
     /// Intended for tests; panics with a located message on mismatch.
     pub fn assert_close(&self, other: &Matrix, tol: f32) {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in assert_close");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in assert_close"
+        );
         for r in 0..self.rows {
             for c in 0..self.cols {
                 let a = self[(r, c)];
@@ -218,33 +242,51 @@ impl Matrix {
     }
 }
 
-/// Wire format for [`Matrix`] (validates the length invariant on load).
-#[derive(Serialize, Deserialize)]
-struct MatrixSerde {
-    rows: usize,
-    cols: usize,
-    data: Vec<f32>,
-}
-
-impl From<Matrix> for MatrixSerde {
-    fn from(m: Matrix) -> Self {
-        Self { rows: m.rows, cols: m.cols, data: m.data }
+impl Matrix {
+    /// The JSON wire format: `{"rows":R,"cols":C,"data":[...]}`.
+    ///
+    /// Elements are widened to `f64` for printing, which is exact, so a
+    /// [`Matrix::from_json`] roundtrip reproduces every `f32` bit-for-bit
+    /// (sign of zero excepted).
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("rows", Json::from(self.rows)),
+            ("cols", Json::from(self.cols)),
+            (
+                "data",
+                Json::Arr(self.data.iter().map(|&v| Json::from(v)).collect()),
+            ),
+        ])
     }
-}
 
-impl TryFrom<MatrixSerde> for Matrix {
-    type Error = String;
-
-    fn try_from(w: MatrixSerde) -> Result<Self, String> {
-        if w.data.len() != w.rows * w.cols {
+    /// Parses the wire format, validating the length invariant.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let rows = v
+            .get("rows")
+            .and_then(Json::as_usize)
+            .ok_or("matrix json: missing or invalid field `rows`")?;
+        let cols = v
+            .get("cols")
+            .and_then(Json::as_usize)
+            .ok_or("matrix json: missing or invalid field `cols`")?;
+        let items = v
+            .get("data")
+            .and_then(Json::as_array)
+            .ok_or("matrix json: missing or invalid field `data`")?;
+        let mut data = Vec::with_capacity(items.len());
+        for item in items {
+            let x = item
+                .as_f64()
+                .ok_or("matrix json: non-numeric element in `data`")?;
+            data.push(x as f32);
+        }
+        if data.len() != rows * cols {
             return Err(format!(
-                "matrix payload length {} does not match shape {}x{}",
-                w.data.len(),
-                w.rows,
-                w.cols
+                "matrix payload length {} does not match shape {rows}x{cols}",
+                data.len(),
             ));
         }
-        Ok(Self { rows: w.rows, cols: w.cols, data: w.data })
+        Ok(Self { rows, cols, data })
     }
 }
 
@@ -362,6 +404,23 @@ mod tests {
     fn col_extraction() {
         let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let m = Matrix::from_vec(2, 3, vec![1.5, -0.25, 3.0, 1.0e-7, -2.5e6, 0.1]);
+        let back = Matrix::from_json(&m.to_json()).expect("parses");
+        assert_eq!(back.shape(), m.shape());
+        for (a, b) in back.as_slice().iter().zip(m.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn json_length_invariant_is_validated() {
+        let doc = fedomd_jsonio::Json::parse(r#"{"rows":2,"cols":2,"data":[1,2,3]}"#).unwrap();
+        let err = Matrix::from_json(&doc).expect_err("must fail");
+        assert!(err.contains("does not match shape"), "{err}");
     }
 
     #[test]

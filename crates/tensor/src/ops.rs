@@ -53,7 +53,11 @@ pub fn scale(a: &Matrix, alpha: f32) -> Matrix {
 
 /// Adds a length-`cols` row vector to every row of `a` (bias broadcast).
 pub fn add_row_broadcast(a: &mut Matrix, bias: &[f32]) {
-    assert_eq!(a.cols(), bias.len(), "add_row_broadcast: bias length mismatch");
+    assert_eq!(
+        a.cols(),
+        bias.len(),
+        "add_row_broadcast: bias length mismatch"
+    );
     let cols = a.cols();
     for row in a.as_mut_slice().chunks_mut(cols) {
         for (x, b) in row.iter_mut().zip(bias) {

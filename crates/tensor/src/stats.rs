@@ -31,7 +31,11 @@ pub fn column_means(z: &Matrix) -> Vec<f32> {
 /// # Panics
 /// Panics when `center.len() != z.cols()` or `order == 0`.
 pub fn central_moments(z: &Matrix, center: &[f32], order: u32) -> Vec<f32> {
-    assert_eq!(center.len(), z.cols(), "central_moments: center length mismatch");
+    assert_eq!(
+        center.len(),
+        z.cols(),
+        "central_moments: center length mismatch"
+    );
     assert!(order >= 1, "central_moments: order must be >= 1");
     let (rows, cols) = z.shape();
     if rows == 0 {
@@ -52,8 +56,15 @@ pub fn central_moments(z: &Matrix, center: &[f32], order: u32) -> Vec<f32> {
 /// This is the hot path of the FedOMD round (orders 2..=5 for every hidden
 /// layer), so the pass is parallelised over column blocks.
 pub fn central_moments_upto(z: &Matrix, center: &[f32], max_order: u32) -> Vec<Vec<f32>> {
-    assert!(max_order >= 2, "central_moments_upto: max_order must be >= 2");
-    assert_eq!(center.len(), z.cols(), "central_moments_upto: center length mismatch");
+    assert!(
+        max_order >= 2,
+        "central_moments_upto: max_order must be >= 2"
+    );
+    assert_eq!(
+        center.len(),
+        z.cols(),
+        "central_moments_upto: center length mismatch"
+    );
     let (rows, cols) = z.shape();
     let orders = (max_order - 1) as usize;
     if rows == 0 {

@@ -1,0 +1,72 @@
+//! The [`Channel`] abstraction: how envelopes move between the federated
+//! server and its clients.
+//!
+//! The training loops are lockstep simulations (all clients advance one
+//! round per iteration), so the channel API mirrors that shape: clients
+//! [`upload`](Channel::upload), the server
+//! [`server_collect`](Channel::server_collect)s whatever actually arrived,
+//! the server [`download`](Channel::download)s, and each client
+//! [`client_collect`](Channel::client_collect)s. Every message crosses the
+//! boundary as encoded frame bytes — the byte counts the comms accounting
+//! reports are the sizes of real serialised frames, not hand-counted
+//! scalars — and faults surface as *missing envelopes* plus counters in
+//! [`NetStats`], never as panics, so the round logic can degrade to
+//! partial aggregation.
+
+use crate::frame::Envelope;
+
+/// Transport-level counters accumulated over a channel's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames handed to the channel for transmission, counting each
+    /// retransmission attempt separately.
+    pub sent_frames: u64,
+    /// Bytes across all transmission attempts.
+    pub sent_bytes: u64,
+    /// Frames that reached their destination in time.
+    pub delivered_frames: u64,
+    /// Bytes of delivered frames.
+    pub delivered_bytes: u64,
+    /// Frames lost for good: every retry dropped, or the frame arrived
+    /// after the receiver's round deadline.
+    pub dropped_frames: u64,
+    /// Retransmission attempts beyond each frame's first send.
+    pub retries: u64,
+}
+
+/// A bidirectional star topology between one server and `n` clients.
+pub trait Channel {
+    /// Client `env.sender` uploads to the server. Returns the encoded
+    /// frame size in bytes (what the client actually put on the wire).
+    fn upload(&mut self, env: Envelope) -> usize;
+
+    /// Server gathers this round's uploads. Under faults a subset of
+    /// clients may be missing; the result is sorted by sender id so
+    /// downstream aggregation order is deterministic.
+    fn server_collect(&mut self, round: u64) -> Vec<Envelope>;
+
+    /// Server sends `env` to client `to`. Returns the encoded frame size.
+    fn download(&mut self, to: u32, env: Envelope) -> usize;
+
+    /// Client `id` gathers the frames addressed to it for `round`; empty
+    /// when everything addressed to it was dropped.
+    fn client_collect(&mut self, id: u32, round: u64) -> Vec<Envelope>;
+
+    /// Counters so far.
+    fn stats(&self) -> NetStats;
+}
+
+/// Decodes raw frames, keeps those stamped with `round`, sorted by sender.
+///
+/// Frames are produced by [`Envelope::encode`] inside the same process, so
+/// a decode failure is a codec bug, not a network fault — it panics rather
+/// than being silently dropped.
+pub(crate) fn decode_round(frames: &[Vec<u8>], round: u64) -> Vec<Envelope> {
+    let mut out: Vec<Envelope> = frames
+        .iter()
+        .map(|bytes| Envelope::decode(bytes).expect("in-process frame must decode"))
+        .filter(|env| env.round == round)
+        .collect();
+    out.sort_by_key(|env| env.sender);
+    out
+}

@@ -1,0 +1,532 @@
+//! The FedOMD frame format: what one federated message looks like as bytes.
+//!
+//! ```text
+//! ┌───────┬─────────┬──────────┬────────┬───────┬─────────────┬─────────┬───────┐
+//! │ magic │ version │ msg_type │ sender │ round │ payload_len │ payload │ crc32 │
+//! │  u32  │   u8    │    u8    │  u32   │  u64  │     u32     │  bytes  │  u32  │
+//! └───────┴─────────┴──────────┴────────┴───────┴─────────────┴─────────┴───────┘
+//! ```
+//!
+//! All integers and floats are little-endian ([`crate::wire`]). The
+//! checksum covers every preceding byte (header *and* payload), so any
+//! single-byte corruption anywhere in the frame is rejected at decode.
+//! `f32` tensors travel as raw IEEE-754 bits, so an encode → decode cycle
+//! is bit-exact — the property that lets the in-process channel reproduce
+//! direct-function-call training runs bit for bit.
+
+use crate::wire::{crc32, ByteReader, ByteWriter, WireError};
+use fedomd_tensor::Matrix;
+
+/// First four bytes of every frame (`"FOMD"` read as a LE `u32`).
+pub const MAGIC: u32 = 0x444D_4F46;
+
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// `sender` value used by the server (clients use their index).
+pub const SERVER_SENDER: u32 = u32::MAX;
+
+/// Fixed bytes before the payload (magic + version + msg_type + sender +
+/// round + payload_len).
+pub const HEADER_BYTES: usize = 4 + 1 + 1 + 4 + 8 + 4;
+
+/// Fixed bytes after the payload (the checksum).
+pub const TRAILER_BYTES: usize = 4;
+
+/// A dense tensor on the wire: shape plus row-major `f32` data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    /// Number of rows.
+    pub rows: u32,
+    /// Number of columns.
+    pub cols: u32,
+    /// Row-major elements; `data.len() == rows * cols`.
+    pub data: Vec<f32>,
+}
+
+impl From<&Matrix> for Tensor {
+    fn from(m: &Matrix) -> Self {
+        Self {
+            rows: m.rows() as u32,
+            cols: m.cols() as u32,
+            data: m.as_slice().to_vec(),
+        }
+    }
+}
+
+impl Tensor {
+    /// Converts back to a [`Matrix`].
+    pub fn into_matrix(self) -> Matrix {
+        Matrix::from_vec(self.rows as usize, self.cols as usize, self.data)
+    }
+
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.rows);
+        w.put_u32(self.cols);
+        for &v in &self.data {
+            w.put_f32(v);
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        let rows = r.get_u32()?;
+        let cols = r.get_u32()?;
+        let n = rows as usize * cols as usize;
+        if r.remaining() < n * 4 {
+            return Err(WireError::Truncated {
+                needed: n * 4,
+                available: r.remaining(),
+            });
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(r.get_f32()?);
+        }
+        Ok(Self { rows, cols, data })
+    }
+}
+
+/// Converts a model's parameter list to wire tensors.
+pub fn to_tensors(params: &[Matrix]) -> Vec<Tensor> {
+    params.iter().map(Tensor::from).collect()
+}
+
+/// Converts wire tensors back to matrices.
+pub fn from_tensors(tensors: Vec<Tensor>) -> Vec<Matrix> {
+    tensors.into_iter().map(Tensor::into_matrix).collect()
+}
+
+/// Control signals that carry no model data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Server announces a round is starting.
+    BeginRound,
+    /// Server announces a round is complete.
+    EndRound,
+    /// Generic acknowledgement.
+    Ack,
+    /// Abort with a reason.
+    Abort(String),
+}
+
+/// Every message kind a federated round can put on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// Client → server: locally-trained (possibly masked) parameters.
+    WeightUpdate {
+        /// Parameter matrices in aggregation order.
+        params: Vec<Tensor>,
+    },
+    /// Client → server, stats round 1: per-layer activation means and the
+    /// local sample count (Algorithm 1 line 4).
+    StatsRound1 {
+        /// `means[layer][dim]`.
+        means: Vec<Vec<f32>>,
+        /// Rows of this client's activation matrix (`n_i`).
+        n_samples: u64,
+    },
+    /// Client → server, stats round 2: per-layer central moments about the
+    /// global mean (Algorithm 1 lines 12–13).
+    StatsRound2 {
+        /// `moments[layer][order - 2][dim]`.
+        moments: Vec<Vec<Vec<f32>>>,
+    },
+    /// Server → client: the aggregated global model.
+    GlobalModel {
+        /// Parameter matrices in aggregation order.
+        params: Vec<Tensor>,
+    },
+    /// Server → client: global statistics (means after round 1; means and
+    /// moments after round 2).
+    GlobalStats {
+        /// `means[layer][dim]`.
+        means: Vec<Vec<f32>>,
+        /// `moments[layer][order - 2][dim]`; empty after round 1.
+        moments: Vec<Vec<Vec<f32>>>,
+    },
+    /// Round orchestration signal.
+    Control(Control),
+}
+
+impl Payload {
+    /// Wire discriminant.
+    fn msg_type(&self) -> u8 {
+        match self {
+            Payload::WeightUpdate { .. } => 1,
+            Payload::StatsRound1 { .. } => 2,
+            Payload::StatsRound2 { .. } => 3,
+            Payload::GlobalModel { .. } => 4,
+            Payload::GlobalStats { .. } => 5,
+            Payload::Control(_) => 6,
+        }
+    }
+
+    /// Human-readable kind (for logs and assertions).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::WeightUpdate { .. } => "WeightUpdate",
+            Payload::StatsRound1 { .. } => "StatsRound1",
+            Payload::StatsRound2 { .. } => "StatsRound2",
+            Payload::GlobalModel { .. } => "GlobalModel",
+            Payload::GlobalStats { .. } => "GlobalStats",
+            Payload::Control(_) => "Control",
+        }
+    }
+
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Payload::WeightUpdate { params } | Payload::GlobalModel { params } => {
+                w.put_u32(params.len() as u32);
+                for t in params {
+                    t.encode(w);
+                }
+            }
+            Payload::StatsRound1 { means, n_samples } => {
+                encode_layers(w, means);
+                w.put_u64(*n_samples);
+            }
+            Payload::StatsRound2 { moments } => encode_moments(w, moments),
+            Payload::GlobalStats { means, moments } => {
+                encode_layers(w, means);
+                encode_moments(w, moments);
+            }
+            Payload::Control(c) => match c {
+                Control::BeginRound => w.put_u8(0),
+                Control::EndRound => w.put_u8(1),
+                Control::Ack => w.put_u8(2),
+                Control::Abort(reason) => {
+                    w.put_u8(3);
+                    w.put_str(reason);
+                }
+            },
+        }
+    }
+
+    fn decode(msg_type: u8, r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match msg_type {
+            1 | 4 => {
+                let n = r.get_u32()? as usize;
+                let mut params = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    params.push(Tensor::decode(r)?);
+                }
+                Ok(if msg_type == 1 {
+                    Payload::WeightUpdate { params }
+                } else {
+                    Payload::GlobalModel { params }
+                })
+            }
+            2 => {
+                let means = decode_layers(r)?;
+                let n_samples = r.get_u64()?;
+                Ok(Payload::StatsRound1 { means, n_samples })
+            }
+            3 => Ok(Payload::StatsRound2 {
+                moments: decode_moments(r)?,
+            }),
+            5 => {
+                let means = decode_layers(r)?;
+                let moments = decode_moments(r)?;
+                Ok(Payload::GlobalStats { means, moments })
+            }
+            6 => {
+                let code = r.get_u8()?;
+                Ok(Payload::Control(match code {
+                    0 => Control::BeginRound,
+                    1 => Control::EndRound,
+                    2 => Control::Ack,
+                    3 => Control::Abort(r.get_str()?),
+                    other => {
+                        return Err(WireError::Malformed(format!("control code {other}")));
+                    }
+                }))
+            }
+            other => Err(WireError::UnknownMsgType(other)),
+        }
+    }
+}
+
+fn encode_layers(w: &mut ByteWriter, layers: &[Vec<f32>]) {
+    w.put_u32(layers.len() as u32);
+    for layer in layers {
+        w.put_f32_slice(layer);
+    }
+}
+
+fn decode_layers(r: &mut ByteReader<'_>) -> Result<Vec<Vec<f32>>, WireError> {
+    let n = r.get_u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(r.get_f32_vec()?);
+    }
+    Ok(out)
+}
+
+fn encode_moments(w: &mut ByteWriter, moments: &[Vec<Vec<f32>>]) {
+    w.put_u32(moments.len() as u32);
+    for layer in moments {
+        encode_layers(w, layer);
+    }
+}
+
+fn decode_moments(r: &mut ByteReader<'_>) -> Result<Vec<Vec<Vec<f32>>>, WireError> {
+    let n = r.get_u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(decode_layers(r)?);
+    }
+    Ok(out)
+}
+
+/// One addressed, round-stamped message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Communication round this message belongs to.
+    pub round: u64,
+    /// Originator: a client index, or [`SERVER_SENDER`].
+    pub sender: u32,
+    /// The message body.
+    pub payload: Payload,
+}
+
+impl Envelope {
+    /// Serialises to a complete checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = ByteWriter::new();
+        self.payload.encode(&mut body);
+        let body = body.into_bytes();
+
+        let mut w = ByteWriter::with_capacity(HEADER_BYTES + body.len() + TRAILER_BYTES);
+        w.put_u32(MAGIC);
+        w.put_u8(VERSION);
+        w.put_u8(self.payload.msg_type());
+        w.put_u32(self.sender);
+        w.put_u64(self.round);
+        w.put_u32(body.len() as u32);
+        w.put_raw(&body);
+        let crc = crc32(w.as_slice());
+        w.put_u32(crc);
+        w.into_bytes()
+    }
+
+    /// Parses a complete frame, verifying magic, version, declared payload
+    /// length, and checksum; rejects trailing bytes.
+    pub fn decode(frame: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(frame);
+        let magic = r.get_u32()?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = r.get_u8()?;
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let msg_type = r.get_u8()?;
+        let sender = r.get_u32()?;
+        let round = r.get_u64()?;
+        let payload_len = r.get_u32()? as usize;
+        if r.remaining() != payload_len + TRAILER_BYTES {
+            return Err(WireError::Malformed(format!(
+                "declared payload length {payload_len} disagrees with frame size {}",
+                frame.len()
+            )));
+        }
+        // Verify the checksum before trusting any payload structure.
+        let checksummed = frame.len() - TRAILER_BYTES;
+        let stored = u32::from_le_bytes(frame[checksummed..].try_into().expect("4 bytes"));
+        let computed = crc32(&frame[..checksummed]);
+        if stored != computed {
+            return Err(WireError::BadChecksum { stored, computed });
+        }
+        let payload = Payload::decode(msg_type, &mut r)?;
+        if r.remaining() != TRAILER_BYTES {
+            return Err(WireError::Malformed(format!(
+                "{} payload bytes left undecoded",
+                r.remaining() - TRAILER_BYTES
+            )));
+        }
+        Ok(Self {
+            round,
+            sender,
+            payload,
+        })
+    }
+
+    /// Encoded size in bytes without materialising the frame twice.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_envelopes() -> Vec<Envelope> {
+        vec![
+            Envelope {
+                round: 3,
+                sender: 1,
+                payload: Payload::WeightUpdate {
+                    params: vec![
+                        Tensor {
+                            rows: 2,
+                            cols: 3,
+                            data: vec![1.0, -2.5, 0.0, 1e-7, 3.5, -0.125],
+                        },
+                        Tensor {
+                            rows: 1,
+                            cols: 1,
+                            data: vec![42.0],
+                        },
+                    ],
+                },
+            },
+            Envelope {
+                round: 0,
+                sender: 0,
+                payload: Payload::StatsRound1 {
+                    means: vec![vec![0.5, -0.5], vec![1.5]],
+                    n_samples: 37,
+                },
+            },
+            Envelope {
+                round: 9,
+                sender: 2,
+                payload: Payload::StatsRound2 {
+                    moments: vec![vec![vec![0.1, 0.2], vec![0.3, 0.4]], vec![vec![-1.0]]],
+                },
+            },
+            Envelope {
+                round: 5,
+                sender: SERVER_SENDER,
+                payload: Payload::GlobalModel {
+                    params: vec![Tensor {
+                        rows: 0,
+                        cols: 4,
+                        data: vec![],
+                    }],
+                },
+            },
+            Envelope {
+                round: 5,
+                sender: SERVER_SENDER,
+                payload: Payload::GlobalStats {
+                    means: vec![vec![2.0]],
+                    moments: vec![vec![vec![0.25, 0.75]]],
+                },
+            },
+            Envelope {
+                round: 1,
+                sender: 0,
+                payload: Payload::Control(Control::BeginRound),
+            },
+            Envelope {
+                round: 1,
+                sender: 4,
+                payload: Payload::Control(Control::Abort("client lost".into())),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_payload_kind_roundtrips() {
+        for env in sample_envelopes() {
+            let bytes = env.encode();
+            let back = Envelope::decode(&bytes).expect(env.payload.kind());
+            assert_eq!(back, env);
+        }
+    }
+
+    #[test]
+    fn floats_survive_bit_exactly() {
+        let weird = vec![f32::MIN_POSITIVE, -0.0, 1.0e38, f32::EPSILON, -3.1415927];
+        let env = Envelope {
+            round: 0,
+            sender: 0,
+            payload: Payload::WeightUpdate {
+                params: vec![Tensor {
+                    rows: 1,
+                    cols: 5,
+                    data: weird.clone(),
+                }],
+            },
+        };
+        let back = Envelope::decode(&env.encode()).unwrap();
+        match back.payload {
+            Payload::WeightUpdate { params } => {
+                for (a, b) in params[0].data.iter().zip(&weird) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("wrong payload {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_checksum_rejected() {
+        let env = sample_envelopes().remove(0);
+        let good = env.encode();
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            Envelope::decode(&bad),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = VERSION + 1;
+        assert!(matches!(
+            Envelope::decode(&bad),
+            Err(WireError::BadVersion(_))
+        ));
+
+        let mut bad = good.clone();
+        let mid = good.len() / 2;
+        bad[mid] ^= 0x01;
+        // A mid-frame flip lands in header or payload; either way the frame
+        // must not decode to a different envelope.
+        match Envelope::decode(&bad) {
+            Err(_) => {}
+            Ok(e) => panic!("corrupted frame decoded as {:?}", e.payload.kind()),
+        }
+    }
+
+    #[test]
+    fn truncated_and_padded_frames_rejected() {
+        let good = sample_envelopes().remove(0).encode();
+        assert!(Envelope::decode(&good[..good.len() - 1]).is_err());
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(Envelope::decode(&padded).is_err());
+        assert!(Envelope::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn tensor_matrix_conversion_roundtrips() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 7 + c) as f32 * 0.5);
+        let t = Tensor::from(&m);
+        assert_eq!(t.into_matrix(), m);
+    }
+
+    #[test]
+    fn encoded_len_matches_closed_form() {
+        // A WeightUpdate's size must be exactly predictable from its shape:
+        // header + n_params prefix + per-tensor (rows + cols + data) + crc.
+        let env = Envelope {
+            round: 2,
+            sender: 1,
+            payload: Payload::WeightUpdate {
+                params: vec![Tensor {
+                    rows: 4,
+                    cols: 6,
+                    data: vec![0.0; 24],
+                }],
+            },
+        };
+        let expected = HEADER_BYTES + 4 + (4 + 4 + 24 * 4) + TRAILER_BYTES;
+        assert_eq!(env.encode().len(), expected);
+        assert_eq!(env.encoded_len(), expected);
+    }
+}

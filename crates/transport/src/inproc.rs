@@ -1,0 +1,184 @@
+//! [`InProcChannel`]: the default, fault-free transport.
+//!
+//! Frames travel as encoded bytes through crossbeam MPMC queues — one
+//! uplink queue shared by all clients, one downlink queue per client — and
+//! are decoded on arrival. Because the `f32` wire format is bit-exact and
+//! [`server_collect`](crate::Channel::server_collect) returns envelopes in
+//! sender order (the order the lockstep loop uploaded them in), a training
+//! run over this channel is bit-identical to one passing values by direct
+//! function call. Nothing is ever dropped, reordered, or delayed.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::channel::{decode_round, Channel, NetStats};
+use crate::frame::Envelope;
+
+/// Fault-free in-process channel over crossbeam queues.
+pub struct InProcChannel {
+    up_tx: Sender<Vec<u8>>,
+    up_rx: Receiver<Vec<u8>>,
+    /// Downlink queue per client, grown on first use.
+    down: Vec<(Sender<Vec<u8>>, Receiver<Vec<u8>>)>,
+    stats: NetStats,
+}
+
+impl InProcChannel {
+    /// Creates a channel; client queues are allocated lazily.
+    pub fn new() -> Self {
+        let (up_tx, up_rx) = unbounded();
+        Self {
+            up_tx,
+            up_rx,
+            down: Vec::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    fn down_queue(&mut self, client: u32) -> &(Sender<Vec<u8>>, Receiver<Vec<u8>>) {
+        let idx = client as usize;
+        while self.down.len() <= idx {
+            self.down.push(unbounded());
+        }
+        &self.down[idx]
+    }
+
+    fn record_send(&mut self, bytes: usize) {
+        self.stats.sent_frames += 1;
+        self.stats.sent_bytes += bytes as u64;
+        self.stats.delivered_frames += 1;
+        self.stats.delivered_bytes += bytes as u64;
+    }
+}
+
+impl Default for InProcChannel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Channel for InProcChannel {
+    fn upload(&mut self, env: Envelope) -> usize {
+        let frame = env.encode();
+        let n = frame.len();
+        self.up_tx
+            .send(frame)
+            .expect("uplink receiver held by self");
+        self.record_send(n);
+        n
+    }
+
+    fn server_collect(&mut self, round: u64) -> Vec<Envelope> {
+        let mut frames = Vec::new();
+        while let Ok(f) = self.up_rx.try_recv() {
+            frames.push(f);
+        }
+        decode_round(&frames, round)
+    }
+
+    fn download(&mut self, to: u32, env: Envelope) -> usize {
+        let frame = env.encode();
+        let n = frame.len();
+        self.down_queue(to)
+            .0
+            .send(frame)
+            .expect("downlink receiver held by self");
+        self.record_send(n);
+        n
+    }
+
+    fn client_collect(&mut self, id: u32, round: u64) -> Vec<Envelope> {
+        let mut frames = Vec::new();
+        if let Some((_, rx)) = self.down.get(id as usize) {
+            while let Ok(f) = rx.try_recv() {
+                frames.push(f);
+            }
+        }
+        decode_round(&frames, round)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Control, Payload, Tensor, SERVER_SENDER};
+
+    fn weight_env(round: u64, sender: u32, v: f32) -> Envelope {
+        Envelope {
+            round,
+            sender,
+            payload: Payload::WeightUpdate {
+                params: vec![Tensor {
+                    rows: 1,
+                    cols: 2,
+                    data: vec![v, -v],
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn uploads_arrive_sender_sorted_and_intact() {
+        let mut ch = InProcChannel::new();
+        // Upload out of order; collection must sort by sender.
+        for &s in &[2u32, 0, 1] {
+            ch.upload(weight_env(4, s, s as f32 + 0.5));
+        }
+        let got = ch.server_collect(4);
+        assert_eq!(got.len(), 3);
+        for (i, env) in got.iter().enumerate() {
+            assert_eq!(env.sender, i as u32);
+            assert_eq!(env.round, 4);
+            match &env.payload {
+                Payload::WeightUpdate { params } => {
+                    assert_eq!(params[0].data[0], i as f32 + 0.5);
+                }
+                other => panic!("unexpected {}", other.kind()),
+            }
+        }
+        // Queue drained: a second collect sees nothing.
+        assert!(ch.server_collect(4).is_empty());
+    }
+
+    #[test]
+    fn downlinks_are_per_client() {
+        let mut ch = InProcChannel::new();
+        ch.download(0, weight_env(1, SERVER_SENDER, 1.0));
+        ch.download(2, weight_env(1, SERVER_SENDER, 3.0));
+        assert_eq!(ch.client_collect(0, 1).len(), 1);
+        assert!(ch.client_collect(1, 1).is_empty());
+        assert_eq!(ch.client_collect(2, 1).len(), 1);
+    }
+
+    #[test]
+    fn byte_counts_match_encoded_frames() {
+        let mut ch = InProcChannel::new();
+        let env = weight_env(0, 0, 1.0);
+        let expect = env.encode().len();
+        let n = ch.upload(env.clone());
+        assert_eq!(n, expect);
+        let m = ch.download(
+            0,
+            Envelope {
+                payload: Payload::Control(Control::Ack),
+                ..env
+            },
+        );
+        let s = ch.stats();
+        assert_eq!(s.sent_frames, 2);
+        assert_eq!(s.sent_bytes, (n + m) as u64);
+        assert_eq!(s.delivered_bytes, s.sent_bytes);
+        assert_eq!(s.dropped_frames, 0);
+        assert_eq!(s.retries, 0);
+    }
+
+    #[test]
+    fn collect_for_unknown_client_is_empty() {
+        let mut ch = InProcChannel::new();
+        assert!(ch.client_collect(9, 0).is_empty());
+        assert!(ch.server_collect(0).is_empty());
+    }
+}

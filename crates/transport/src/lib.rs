@@ -1,0 +1,30 @@
+//! `fedomd-transport`: the wire protocol and channel layer that federated
+//! rounds run over.
+//!
+//! Three layers, bottom up:
+//!
+//! * [`wire`] — little-endian primitive codec ([`wire::ByteWriter`],
+//!   [`wire::ByteReader`]) and the CRC-32 checksum.
+//! * [`frame`] — the message layer: [`frame::Envelope`] (round + sender +
+//!   [`frame::Payload`]) and its checksummed frame encoding. Payloads
+//!   cover the whole FedOMD round vocabulary: `WeightUpdate`,
+//!   `StatsRound1`, `StatsRound2`, `GlobalModel`, `GlobalStats`, and
+//!   `Control`.
+//! * [`channel`] — the [`Channel`] trait moving envelopes between server
+//!   and clients, with two implementations: [`InProcChannel`] (crossbeam
+//!   queues, fault-free, bit-identical to direct calls) and
+//!   [`SimNetChannel`] (virtual-time fault simulation: drops, latency,
+//!   jitter, stragglers, retry with exponential backoff, and a per-round
+//!   deadline that degrades rounds to partial aggregation).
+
+pub mod channel;
+pub mod frame;
+pub mod inproc;
+pub mod simnet;
+pub mod wire;
+
+pub use channel::{Channel, NetStats};
+pub use frame::{from_tensors, to_tensors, Control, Envelope, Payload, Tensor, SERVER_SENDER};
+pub use inproc::InProcChannel;
+pub use simnet::{FaultConfig, SimNetChannel};
+pub use wire::WireError;

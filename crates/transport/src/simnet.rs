@@ -1,0 +1,375 @@
+//! [`SimNetChannel`]: a deterministic simulated network.
+//!
+//! The simulation runs on *virtual* time — no wall-clock sleeps — so tests
+//! are fast and exactly reproducible. Each lockstep communication phase
+//! restarts the virtual clock at zero: all sends in the phase depart
+//! simultaneously, each frame accrues per-link latency, jitter, and
+//! exponential-backoff retransmission delays, and the receiver's collect
+//! call admits only frames whose accumulated arrival time beats the round
+//! deadline. Faults therefore surface exactly as they do on a real
+//! network: as frames that never show up.
+//!
+//! Every random decision (drop, jitter) draws from a ChaCha stream keyed
+//! by the config seed and a per-frame sequence number, so a given seed
+//! replays the identical fault pattern — the property the partial
+//! aggregation tests rely on.
+
+use rand::Rng;
+
+use crate::channel::{decode_round, Channel, NetStats};
+use crate::frame::Envelope;
+use fedomd_tensor::rng::{derive, seeded};
+
+/// Knobs of the simulated fault model. All times are virtual milliseconds.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Seed of the fault stream; same seed ⇒ same drops and latencies.
+    pub seed: u64,
+    /// Probability that any single transmission attempt is lost.
+    pub drop_prob: f64,
+    /// Deterministic per-link one-way latency.
+    pub base_latency_ms: f64,
+    /// Uniform extra latency in `[0, jitter_ms)` per attempt.
+    pub jitter_ms: f64,
+    /// Clients whose links run `straggler_factor` times slower.
+    pub straggler_ids: Vec<u32>,
+    /// Latency multiplier applied to straggler links.
+    pub straggler_factor: f64,
+    /// Retransmissions after a dropped attempt before giving up.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub backoff_ms: f64,
+    /// Server/client deadline per communication phase: frames arriving
+    /// later are counted dropped and never delivered (the hook that
+    /// degrades a round to partial aggregation).
+    pub round_timeout_ms: f64,
+}
+
+impl Default for FaultConfig {
+    /// A healthy network: nothing drops, 1 ms links, effectively no
+    /// deadline. Useful as a base for `FaultConfig { drop_prob: 0.2,
+    /// ..Default::default() }`-style overrides.
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            drop_prob: 0.0,
+            base_latency_ms: 1.0,
+            jitter_ms: 0.0,
+            straggler_ids: Vec::new(),
+            straggler_factor: 10.0,
+            max_retries: 2,
+            backoff_ms: 5.0,
+            round_timeout_ms: 1e12,
+        }
+    }
+}
+
+/// A frame in flight: virtual arrival time plus its bytes.
+type InFlight = (f64, Vec<u8>);
+
+/// Simulated lossy star network between a server and its clients.
+pub struct SimNetChannel {
+    cfg: FaultConfig,
+    /// Per-frame sequence number keying the fault RNG stream.
+    seq: u64,
+    up_pending: Vec<InFlight>,
+    down_pending: Vec<Vec<InFlight>>,
+    stats: NetStats,
+}
+
+impl SimNetChannel {
+    /// Creates a channel with the given fault model.
+    ///
+    /// # Panics
+    /// Panics when `drop_prob` is outside `[0, 1]` or a latency knob is
+    /// negative.
+    pub fn new(cfg: FaultConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.drop_prob),
+            "drop_prob must be in [0,1]"
+        );
+        assert!(cfg.base_latency_ms >= 0.0 && cfg.jitter_ms >= 0.0 && cfg.backoff_ms >= 0.0);
+        Self {
+            cfg,
+            seq: 0,
+            up_pending: Vec::new(),
+            down_pending: Vec::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The fault model actually in force (for logging/tests).
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Simulates transmitting `frame` over the link of client `endpoint`
+    /// (the client end of the link, whichever direction the frame moves).
+    /// Returns the virtual arrival time, or `None` when every attempt
+    /// dropped.
+    fn transmit(&mut self, endpoint: u32, frame_len: usize) -> Option<f64> {
+        let mut rng = seeded(derive(self.cfg.seed, self.seq));
+        self.seq += 1;
+
+        let factor = if self.cfg.straggler_ids.contains(&endpoint) {
+            self.cfg.straggler_factor
+        } else {
+            1.0
+        };
+
+        let mut depart = 0.0f64; // backoff accumulates departure time
+        let mut backoff = self.cfg.backoff_ms;
+        for attempt in 0..=self.cfg.max_retries {
+            self.stats.sent_frames += 1;
+            self.stats.sent_bytes += frame_len as u64;
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            let jitter = if self.cfg.jitter_ms > 0.0 {
+                rng.gen_range(0.0..self.cfg.jitter_ms)
+            } else {
+                0.0
+            };
+            let latency = self.cfg.base_latency_ms * factor + jitter;
+            let lost = self.cfg.drop_prob > 0.0 && rng.gen_bool(self.cfg.drop_prob);
+            if !lost {
+                return Some(depart + latency);
+            }
+            depart += backoff;
+            backoff *= 2.0;
+        }
+        self.stats.dropped_frames += 1;
+        None
+    }
+
+    /// Splits `pending` at the phase deadline: in-time frames are
+    /// delivered, late ones are counted dropped (stragglers that missed
+    /// the round).
+    fn drain_by_deadline(&mut self, pending: Vec<InFlight>, round: u64) -> Vec<Envelope> {
+        let mut in_time = Vec::new();
+        for (arrival, frame) in pending {
+            if arrival <= self.cfg.round_timeout_ms {
+                self.stats.delivered_frames += 1;
+                self.stats.delivered_bytes += frame.len() as u64;
+                in_time.push(frame);
+            } else {
+                self.stats.dropped_frames += 1;
+            }
+        }
+        decode_round(&in_time, round)
+    }
+}
+
+impl Channel for SimNetChannel {
+    fn upload(&mut self, env: Envelope) -> usize {
+        let frame = env.encode();
+        let n = frame.len();
+        if let Some(arrival) = self.transmit(env.sender, n) {
+            self.up_pending.push((arrival, frame));
+        }
+        n
+    }
+
+    fn server_collect(&mut self, round: u64) -> Vec<Envelope> {
+        let pending = std::mem::take(&mut self.up_pending);
+        self.drain_by_deadline(pending, round)
+    }
+
+    fn download(&mut self, to: u32, env: Envelope) -> usize {
+        let frame = env.encode();
+        let n = frame.len();
+        if let Some(arrival) = self.transmit(to, n) {
+            let idx = to as usize;
+            while self.down_pending.len() <= idx {
+                self.down_pending.push(Vec::new());
+            }
+            self.down_pending[idx].push((arrival, frame));
+        }
+        n
+    }
+
+    fn client_collect(&mut self, id: u32, round: u64) -> Vec<Envelope> {
+        let pending = match self.down_pending.get_mut(id as usize) {
+            Some(q) => std::mem::take(q),
+            None => Vec::new(),
+        };
+        self.drain_by_deadline(pending, round)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Payload, Tensor};
+
+    fn env(round: u64, sender: u32) -> Envelope {
+        Envelope {
+            round,
+            sender,
+            payload: Payload::WeightUpdate {
+                params: vec![Tensor {
+                    rows: 1,
+                    cols: 3,
+                    data: vec![1.0, 2.0, 3.0],
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn healthy_network_delivers_everything() {
+        let mut ch = SimNetChannel::new(FaultConfig::default());
+        for s in 0..5 {
+            ch.upload(env(0, s));
+        }
+        let got = ch.server_collect(0);
+        assert_eq!(got.len(), 5);
+        assert_eq!(
+            got.iter().map(|e| e.sender).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        let s = ch.stats();
+        assert_eq!(s.dropped_frames, 0);
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.delivered_frames, 5);
+    }
+
+    #[test]
+    fn certain_loss_exhausts_retries_and_drops() {
+        let cfg = FaultConfig {
+            drop_prob: 1.0,
+            max_retries: 2,
+            ..Default::default()
+        };
+        let mut ch = SimNetChannel::new(cfg);
+        ch.upload(env(0, 0));
+        assert!(ch.server_collect(0).is_empty());
+        let s = ch.stats();
+        assert_eq!(s.dropped_frames, 1);
+        assert_eq!(s.sent_frames, 3, "1 original + 2 retries");
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.delivered_frames, 0);
+    }
+
+    #[test]
+    fn lossy_network_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let cfg = FaultConfig {
+                seed,
+                drop_prob: 0.4,
+                jitter_ms: 2.0,
+                ..Default::default()
+            };
+            let mut ch = SimNetChannel::new(cfg);
+            for round in 0..10u64 {
+                for s in 0..4 {
+                    ch.upload(env(round, s));
+                }
+                let got: Vec<u32> = ch.server_collect(round).iter().map(|e| e.sender).collect();
+                // consume got into a fingerprint via stats below
+                let _ = got;
+            }
+            ch.stats()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(
+            run(7),
+            run(8),
+            "different seeds should give different fault patterns"
+        );
+    }
+
+    #[test]
+    fn lossy_network_recovers_some_frames_via_retry() {
+        let cfg = FaultConfig {
+            seed: 3,
+            drop_prob: 0.5,
+            max_retries: 3,
+            ..Default::default()
+        };
+        let mut ch = SimNetChannel::new(cfg);
+        let total = 40u64;
+        for i in 0..total {
+            ch.upload(env(0, i as u32));
+        }
+        let delivered = ch.server_collect(0).len() as u64;
+        let s = ch.stats();
+        assert_eq!(delivered + s.dropped_frames, total);
+        assert!(
+            s.retries > 0,
+            "with 50% loss some first attempts must have failed"
+        );
+        // P(all 4 attempts lost) = 1/16, so most frames should make it.
+        assert!(delivered > total / 2, "only {delivered}/{total} delivered");
+    }
+
+    #[test]
+    fn straggler_misses_the_round_deadline() {
+        let cfg = FaultConfig {
+            straggler_ids: vec![1],
+            straggler_factor: 100.0,
+            base_latency_ms: 1.0,
+            round_timeout_ms: 50.0,
+            ..Default::default()
+        };
+        let mut ch = SimNetChannel::new(cfg);
+        for s in 0..3 {
+            ch.upload(env(2, s));
+        }
+        let got: Vec<u32> = ch.server_collect(2).iter().map(|e| e.sender).collect();
+        assert_eq!(
+            got,
+            vec![0, 2],
+            "client 1 (latency 100ms) must miss the 50ms deadline"
+        );
+        assert_eq!(ch.stats().dropped_frames, 1);
+    }
+
+    #[test]
+    fn downlink_faults_are_per_client() {
+        let cfg = FaultConfig {
+            drop_prob: 1.0,
+            max_retries: 0,
+            ..Default::default()
+        };
+        let mut ch = SimNetChannel::new(cfg);
+        ch.download(0, env(0, crate::frame::SERVER_SENDER));
+        assert!(ch.client_collect(0, 0).is_empty());
+        assert_eq!(ch.stats().dropped_frames, 1);
+    }
+
+    #[test]
+    fn backoff_delay_can_push_a_retry_past_the_deadline() {
+        // Attempt 1 at t=0 drops; retry departs at t=backoff. With a
+        // deadline tighter than backoff + latency, even a successful
+        // retry is late. drop_prob=1 forces the first drop; retries also
+        // drop, so the frame dies either way — here we check the timing
+        // path with a seed where the retry succeeds.
+        let cfg = FaultConfig {
+            seed: 1,
+            drop_prob: 0.5,
+            max_retries: 5,
+            backoff_ms: 100.0,
+            base_latency_ms: 1.0,
+            round_timeout_ms: 10.0,
+            ..Default::default()
+        };
+        let mut ch = SimNetChannel::new(cfg);
+        for s in 0..20 {
+            ch.upload(env(0, s));
+        }
+        let got = ch.server_collect(0);
+        let s = ch.stats();
+        // Every delivered frame must have succeeded on its FIRST attempt:
+        // any retry arrives at >= 100ms + 1ms > 10ms deadline.
+        assert_eq!(got.len() as u64 + s.dropped_frames, 20);
+        assert!(
+            s.dropped_frames > 0,
+            "some first attempts must drop at p=0.5"
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! Little-endian byte codec primitives and the frame checksum.
+//!
+//! Everything on the wire is written through [`ByteWriter`] and read back
+//! through [`ByteReader`]; both are deliberately dumb (no varints, no
+//! alignment) so the encoded size of a message is a closed-form function
+//! of its shape — the property the communication accounting relies on.
+
+use std::fmt;
+
+/// Decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the declared structure did.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that remained.
+        available: usize,
+    },
+    /// First frame bytes are not the protocol magic.
+    BadMagic(u32),
+    /// Frame speaks a protocol version this build does not.
+    BadVersion(u8),
+    /// Checksum over header + payload does not match the trailer.
+    BadChecksum {
+        /// Checksum carried by the frame.
+        stored: u32,
+        /// Checksum recomputed from the received bytes.
+        computed: u32,
+    },
+    /// Unknown message-type discriminant.
+    UnknownMsgType(u8),
+    /// Structurally invalid payload (bad length fields, non-UTF-8, ...).
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated frame: needed {needed} bytes, {available} available"
+                )
+            }
+            WireError::BadMagic(got) => write!(f, "bad magic {got:#010x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadChecksum { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame says {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            WireError::UnknownMsgType(t) => write!(f, "unknown message type {t}"),
+            WireError::Malformed(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Appends little-endian primitives to a growable buffer.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// An empty writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f32` as its IEEE-754 bits, little-endian (lossless).
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a length-prefixed (`u32`) run of `f32`s.
+    pub fn put_f32_slice(&mut self, vs: &[f32]) {
+        self.put_u32(vs.len() as u32);
+        for &v in vs {
+            self.put_f32(v);
+        }
+    }
+
+    /// Writes a length-prefixed (`u32`) UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes raw bytes with no prefix.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Overwrites 4 bytes at `at` with a little-endian `u32` (for
+    /// back-patching length fields).
+    pub fn patch_u32(&mut self, at: usize, v: u32) {
+        self.buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Reads little-endian primitives from a byte slice, tracking position.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current offset from the start of the slice.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`, little-endian.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a `u32`, little-endian.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a `u64`, little-endian.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads an `f32` from its IEEE-754 bits, little-endian.
+    pub fn get_f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a length-prefixed run of `f32`s.
+    pub fn get_f32_vec(&mut self) -> Result<Vec<f32>, WireError> {
+        let n = self.get_u32()? as usize;
+        // Bound check up front so a corrupt length can't trigger a huge
+        // allocation before the truncation is noticed.
+        if self.remaining() < n * 4 {
+            return Err(WireError::Truncated {
+                needed: n * 4,
+                available: self.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_f32()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let n = self.get_u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("string field is not UTF-8".into()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Fails unless every byte has been consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Malformed(format!(
+                "{} unexpected trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over `bytes`.
+///
+/// Detects any single-bit or single-byte corruption of a frame, which the
+/// codec property tests exercise directly.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        w.put_f32(-1.5e-7);
+        w.put_str("naïve");
+        w.put_f32_slice(&[1.0, -2.5, 3.25]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u16().unwrap(), 0x1234);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f32().unwrap().to_bits(), (-1.5e-7f32).to_bits());
+        assert_eq!(r.get_str().unwrap(), "naïve");
+        assert_eq!(r.get_f32_vec().unwrap(), vec![1.0, -2.5, 3.25]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(7);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..2]);
+        assert_eq!(
+            r.get_u32(),
+            Err(WireError::Truncated {
+                needed: 4,
+                available: 2
+            })
+        );
+    }
+
+    #[test]
+    fn corrupt_vec_length_is_not_a_huge_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.get_f32_vec(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_single_byte_flips() {
+        let data = b"federated moment constraints".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            let mut corrupted = data.clone();
+            corrupted[i] ^= 0x40;
+            assert_ne!(crc32(&corrupted), base, "flip at byte {i} undetected");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the frame codec: every well-formed envelope
+//! roundtrips bit-exactly, and no corrupted frame ever decodes — the
+//! CRC-32 (which detects all single-byte errors) makes the second
+//! property exact rather than probabilistic.
+
+use fedomd_transport::frame::{Control, Envelope, Payload, Tensor};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Deterministically builds one of the six payload kinds from generated raw
+/// material (`data` is chunked into layers for the stats shapes).
+fn build_payload(kind: u8, data: Vec<f32>, layers: usize, n: u64, text: String) -> Payload {
+    let chunk = (data.len() / layers.max(1)).max(1);
+    let split: Vec<Vec<f32>> = data.chunks(chunk).map(|c| c.to_vec()).collect();
+    match kind {
+        0 => Payload::WeightUpdate {
+            params: vec![Tensor {
+                rows: data.len() as u32,
+                cols: 1,
+                data,
+            }],
+        },
+        1 => Payload::StatsRound1 {
+            means: split,
+            n_samples: n,
+        },
+        2 => Payload::StatsRound2 {
+            moments: vec![split],
+        },
+        3 => Payload::GlobalModel {
+            params: vec![Tensor {
+                rows: 1,
+                cols: data.len() as u32,
+                data,
+            }],
+        },
+        4 => Payload::GlobalStats {
+            means: split.clone(),
+            moments: vec![split],
+        },
+        _ => Payload::Control(if n % 2 == 0 {
+            Control::Ack
+        } else {
+            Control::Abort(text)
+        }),
+    }
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrips_exactly(
+        kind in 0u8..6,
+        round in 0u64..=u64::MAX,
+        sender in 0u32..=u32::MAX,
+        data in vec(-1.0e6f32..1.0e6, 0..32),
+        layers in 1usize..4,
+        n in 0u64..1_000_000,
+        text_bytes in vec(32u8..127, 0..12),
+    ) {
+        let text = String::from_utf8(text_bytes).expect("printable ascii");
+        let env = Envelope { round, sender, payload: build_payload(kind, data, layers, n, text) };
+        let bytes = env.encode();
+        let back = Envelope::decode(&bytes);
+        prop_assert!(back.is_ok(), "decode failed: {:?}", back.err());
+        prop_assert_eq!(back.unwrap(), env);
+    }
+
+    #[test]
+    fn single_byte_corruption_is_always_rejected(
+        kind in 0u8..6,
+        data in vec(-100.0f32..100.0, 1..24),
+        layers in 1usize..3,
+        pos in 0usize..=usize::MAX,
+        mask in 1u8..=255,
+    ) {
+        let env = Envelope {
+            round: 11,
+            sender: 3,
+            payload: build_payload(kind, data, layers, 9, "x".into()),
+        };
+        let mut bytes = env.encode();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= mask;
+        // A flipped byte may land in magic, version, type, ids, lengths,
+        // payload, or the checksum itself; in every case the frame must be
+        // rejected — never silently mis-decoded.
+        let got = Envelope::decode(&bytes);
+        prop_assert!(
+            got.is_err(),
+            "byte {} of {} flipped by {:#04x} still decoded as {:?}",
+            idx, bytes.len(), mask, got.unwrap().payload.kind()
+        );
+    }
+
+    #[test]
+    fn truncated_frames_are_always_rejected(
+        data in vec(-10.0f32..10.0, 1..16),
+        cut in 0usize..=usize::MAX,
+    ) {
+        let env = Envelope {
+            round: 2,
+            sender: 1,
+            payload: Payload::WeightUpdate {
+                params: vec![Tensor { rows: data.len() as u32, cols: 1, data }],
+            },
+        };
+        let bytes = env.encode();
+        let keep = cut % bytes.len(); // strictly shorter than the frame
+        prop_assert!(Envelope::decode(&bytes[..keep]).is_err());
+    }
+}

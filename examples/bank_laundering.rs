@@ -41,17 +41,23 @@ fn main() {
 
     let cfg = TrainConfig::mini(7);
     let variants = [
-        ("neither (plain fed Ortho-GCN)", FedOmdConfig {
-            use_ortho: false,
-            use_cmd: false,
-            ..FedOmdConfig::paper()
-        }),
+        (
+            "neither (plain fed Ortho-GCN)",
+            FedOmdConfig {
+                use_ortho: false,
+                use_cmd: false,
+                ..FedOmdConfig::paper()
+            },
+        ),
         ("orthogonality only", FedOmdConfig::ortho_only()),
         ("CMD only", FedOmdConfig::cmd_only()),
         ("full FedOMD", FedOmdConfig::paper()),
     ];
 
-    println!("{:<32} {:>9} {:>11} {:>12}", "variant", "accuracy", "uplink MB", "stats share");
+    println!(
+        "{:<32} {:>9} {:>11} {:>12}",
+        "variant", "accuracy", "uplink MB", "stats share"
+    );
     for (label, omd) in variants {
         let r = run_fedomd(&clients, dataset.n_classes, &cfg, &omd);
         println!(

@@ -21,9 +21,15 @@ fn main() {
     let clients = setup_federation(&dataset, &FederationConfig::mini(3, 3));
     let cfg = TrainConfig::mini(3);
 
-    println!("{:>6} {:>10} {:>22}", "depth", "accuracy", "hidden diversity");
+    println!(
+        "{:>6} {:>10} {:>22}",
+        "depth", "accuracy", "hidden diversity"
+    );
     for depth in [2usize, 4, 6, 8, 10] {
-        let omd = FedOmdConfig { hidden_layers: depth, ..FedOmdConfig::paper() };
+        let omd = FedOmdConfig {
+            hidden_layers: depth,
+            ..FedOmdConfig::paper()
+        };
         let r = run_fedomd(&clients, dataset.n_classes, &cfg, &omd);
 
         // Diversity of the deepest hidden layer on client 0 with a fresh
@@ -43,7 +49,12 @@ fn main() {
         let z = tape.value(*out.hidden.last().expect("hidden layers"));
         let diversity = mean_pairwise_distance(z);
 
-        println!("{:>6} {:>9.2}% {:>22.4}", depth, 100.0 * r.test_acc, diversity);
+        println!(
+            "{:>6} {:>9.2}% {:>22.4}",
+            depth,
+            100.0 * r.test_acc,
+            diversity
+        );
     }
     println!(
         "\nAccuracy decays gently with depth (the paper's Table 7) while the \
@@ -58,8 +69,7 @@ fn mean_pairwise_distance(z: &fedomd_tensor::Matrix) -> f64 {
     let mut count = 0u64;
     for i in 0..n {
         for j in (i + 1)..n {
-            total +=
-                fedomd_tensor::stats::l2_distance(z.row(i), z.row(j)) as f64;
+            total += fedomd_tensor::stats::l2_distance(z.row(i), z.row(j)) as f64;
             count += 1;
         }
     }

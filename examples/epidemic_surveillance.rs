@@ -28,8 +28,8 @@ fn main() {
         n_classes: 3,
         n_features: 64, // symptom indicators
         n_communities: 30,
-        intra_ratio: 0.9,   // contacts are overwhelmingly regional
-        label_purity: 0.7,  // outbreaks cluster by region but leak
+        intra_ratio: 0.9,  // contacts are overwhelmingly regional
+        label_purity: 0.7, // outbreaks cluster by region but leak
         class_signature_dims: 10,
         nnz_per_node: 9,
     };
@@ -55,7 +55,12 @@ fn main() {
 
     println!("{:<10} {:>10} {:>12}", "model", "accuracy", "traffic");
     for (name, acc, bytes) in rows {
-        println!("{:<10} {:>9.2}% {:>9.2} MB", name, 100.0 * acc, bytes as f64 / 1e6);
+        println!(
+            "{:<10} {:>9.2}% {:>9.2} MB",
+            name,
+            100.0 * acc,
+            bytes as f64 / 1e6
+        );
     }
     println!(
         "\nFedOMD aligns each authority's hidden symptom distribution to the \

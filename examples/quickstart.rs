@@ -44,10 +44,22 @@ fn main() {
     );
 
     // 4. Report.
-    println!("\nFedOMD finished after {} communication rounds", result.comms.rounds);
-    println!("  best validation accuracy : {:.2}%", 100.0 * result.val_acc);
-    println!("  test accuracy            : {:.2}%", 100.0 * result.test_acc);
-    println!("  total traffic            : {:.2} MB", result.comms.total_bytes() as f64 / 1e6);
+    println!(
+        "\nFedOMD finished after {} communication rounds",
+        result.comms.rounds
+    );
+    println!(
+        "  best validation accuracy : {:.2}%",
+        100.0 * result.val_acc
+    );
+    println!(
+        "  test accuracy            : {:.2}%",
+        100.0 * result.test_acc
+    );
+    println!(
+        "  total traffic            : {:.2} MB",
+        result.comms.total_bytes() as f64 / 1e6
+    );
     println!(
         "  CMD statistics share     : {:.3}% of uplink",
         100.0 * result.comms.stats_fraction()

@@ -15,14 +15,21 @@ use fedomd_tensor::rng::seeded;
 fn main() {
     let dataset = generate(&spec(DatasetName::CoraMini), 0);
     let clients = setup_federation(&dataset, &FederationConfig::mini(3, 0));
-    let cfg = TrainConfig { rounds: 40, patience: 40, ..TrainConfig::mini(0) };
+    let cfg = TrainConfig {
+        rounds: 40,
+        patience: 40,
+        ..TrainConfig::mini(0)
+    };
     let omd = FedOmdConfig::paper();
 
     // `run_fedomd` trains in place; to capture the trained weights we train
     // a standalone Ortho-GCN the same way the federation initialises one,
     // then run one more short federated session for the headline number.
     let result = run_fedomd(&clients, dataset.n_classes, &cfg, &omd);
-    println!("trained FedOMD: test accuracy {:.2}%", 100.0 * result.test_acc);
+    println!(
+        "trained FedOMD: test accuracy {:.2}%",
+        100.0 * result.test_acc
+    );
 
     // Capture/restore cycle on the model architecture used by the trainer.
     let ocfg = OrthoGcnConfig {
@@ -36,7 +43,9 @@ fn main() {
     let tag = format!("ortho-gcn/{}-hidden/{}", omd.hidden_layers, cfg.hidden_dim);
     let trained = OrthoGcn::new(ocfg, &mut seeded(123));
     let path = std::env::temp_dir().join("fedomd-global.json");
-    Checkpoint::capture(&trained, &tag).save(&path).expect("save checkpoint");
+    Checkpoint::capture(&trained, &tag)
+        .save(&path)
+        .expect("save checkpoint");
     println!("checkpoint written to {}", path.display());
 
     let mut served = OrthoGcn::new(ocfg, &mut seeded(999)); // different init

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the checks every PR must keep green.
+#
+#   scripts/tier1.sh
+#
+# Builds the whole workspace in release mode and runs the full test
+# suite. If rustfmt is installed, formatting is checked too (skipped
+# with a note otherwise so the gate still works on minimal toolchains).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --check
+else
+    echo "tier1: rustfmt unavailable, skipping cargo fmt --check"
+fi
+
+echo "tier1: OK"

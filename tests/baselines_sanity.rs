@@ -9,7 +9,12 @@ use fedomd_federated::{setup_federation, ClientData, FederationConfig, TrainConf
 fn quick() -> (Vec<ClientData>, usize, TrainConfig) {
     let ds = generate(&spec(DatasetName::CoraMini), 0);
     let clients = setup_federation(&ds, &FederationConfig::mini(3, 0));
-    let cfg = TrainConfig { rounds: 12, patience: 12, eval_every: 2, ..TrainConfig::mini(0) };
+    let cfg = TrainConfig {
+        rounds: 12,
+        patience: 12,
+        eval_every: 2,
+        ..TrainConfig::mini(0)
+    };
     (clients, ds.n_classes, cfg)
 }
 
@@ -24,8 +29,16 @@ fn all_eight_algorithms_run_and_report_sane_metrics() {
 
     assert_eq!(results.len(), 8);
     for r in &results {
-        assert!(r.test_acc.is_finite(), "{}: non-finite accuracy", r.algorithm);
-        assert!((0.0..=1.0).contains(&r.test_acc), "{}: accuracy out of range", r.algorithm);
+        assert!(
+            r.test_acc.is_finite(),
+            "{}: non-finite accuracy",
+            r.algorithm
+        );
+        assert!(
+            (0.0..=1.0).contains(&r.test_acc),
+            "{}: accuracy out of range",
+            r.algorithm
+        );
         assert!(!r.history.is_empty(), "{}: empty history", r.algorithm);
         for h in &r.history {
             assert!(h.train_loss.is_finite(), "{}: non-finite loss", r.algorithm);
@@ -52,12 +65,19 @@ fn traffic_profile_matches_algorithm_class() {
     let per_round_mlp = mlp.comms.uplink_bytes as f64 / mlp.comms.rounds as f64;
     let per_round_sca = sca.comms.uplink_bytes as f64 / sca.comms.rounds as f64;
     let ratio = per_round_sca / per_round_mlp;
-    assert!((1.8..=2.2).contains(&ratio), "SCAFFOLD/FedMLP uplink ratio {ratio}");
+    assert!(
+        (1.8..=2.2).contains(&ratio),
+        "SCAFFOLD/FedMLP uplink ratio {ratio}"
+    );
 
     // FedOMD ships weights + statistics; statistics must be a small slice.
     let omd = run_fedomd(&clients, k, &cfg, &FedOmdConfig::paper());
     assert!(omd.comms.stats_uplink_bytes > 0);
-    assert!(omd.comms.stats_fraction() < 0.2, "stats fraction {}", omd.comms.stats_fraction());
+    assert!(
+        omd.comms.stats_fraction() < 0.2,
+        "stats fraction {}",
+        omd.comms.stats_fraction()
+    );
 }
 
 #[test]
@@ -67,7 +87,11 @@ fn graph_models_beat_the_mlp_family_on_homophilous_data() {
     // best-of-both to keep the assertion robust at mini scale.
     let ds = generate(&spec(DatasetName::PhotoMini), 0);
     let clients = setup_federation(&ds, &FederationConfig::mini(3, 0));
-    let cfg = TrainConfig { rounds: 60, patience: 40, ..TrainConfig::mini(0) };
+    let cfg = TrainConfig {
+        rounds: 60,
+        patience: 40,
+        ..TrainConfig::mini(0)
+    };
     let gcn = run_baseline(Baseline::FedGcn, &clients, ds.n_classes, &cfg).test_acc;
     let loc = run_baseline(Baseline::LocGcn, &clients, ds.n_classes, &cfg).test_acc;
     let mlp = run_baseline(Baseline::FedMlp, &clients, ds.n_classes, &cfg).test_acc;

@@ -12,7 +12,10 @@ fn whole_fedomd_run_is_bit_reproducible() {
     let run = || {
         let ds = generate(&spec(DatasetName::CiteseerMini), 11);
         let clients = setup_federation(&ds, &FederationConfig::mini(3, 11));
-        let cfg = TrainConfig { rounds: 15, ..TrainConfig::mini(11) };
+        let cfg = TrainConfig {
+            rounds: 15,
+            ..TrainConfig::mini(11)
+        };
         run_fedomd(&clients, ds.n_classes, &cfg, &FedOmdConfig::paper())
     };
     let a = run();
@@ -36,7 +39,10 @@ fn stochastic_baselines_are_reproducible_too() {
         let run = || {
             let ds = generate(&spec(DatasetName::CoraMini), 7);
             let clients = setup_federation(&ds, &FederationConfig::mini(3, 7));
-            let cfg = TrainConfig { rounds: 8, ..TrainConfig::mini(7) };
+            let cfg = TrainConfig {
+                rounds: 8,
+                ..TrainConfig::mini(7)
+            };
             run_baseline(b, &clients, ds.n_classes, &cfg)
         };
         let x = run();
@@ -50,13 +56,22 @@ fn different_seeds_give_different_runs() {
     let acc = |seed: u64| {
         let ds = generate(&spec(DatasetName::CoraMini), seed);
         let clients = setup_federation(&ds, &FederationConfig::mini(3, seed));
-        let cfg = TrainConfig { rounds: 15, ..TrainConfig::mini(seed) };
+        let cfg = TrainConfig {
+            rounds: 15,
+            ..TrainConfig::mini(seed)
+        };
         run_fedomd(&clients, ds.n_classes, &cfg, &FedOmdConfig::paper())
     };
     let a = acc(1);
     let b = acc(2);
     // Histories of independent seeds should not coincide point-for-point.
     let identical = a.history.len() == b.history.len()
-        && a.history.iter().zip(&b.history).all(|(x, y)| x.val_acc == y.val_acc);
-    assert!(!identical, "two different seeds produced identical histories");
+        && a.history
+            .iter()
+            .zip(&b.history)
+            .all(|(x, y)| x.val_acc == y.val_acc);
+    assert!(
+        !identical,
+        "two different seeds produced identical histories"
+    );
 }

@@ -6,7 +6,11 @@ use fedomd_data::{generate, spec, DatasetName};
 use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
 
 fn cfg(seed: u64) -> TrainConfig {
-    TrainConfig { rounds: 60, patience: 40, ..TrainConfig::mini(seed) }
+    TrainConfig {
+        rounds: 60,
+        patience: 40,
+        ..TrainConfig::mini(seed)
+    }
 }
 
 #[test]
@@ -37,9 +41,12 @@ fn cmd_constraint_helps_on_average() {
     for &seed in &seeds {
         let ds = generate(&spec(DatasetName::CoraMini), seed);
         let clients = setup_federation(&ds, &FederationConfig::mini(5, seed));
-        with_cmd +=
-            run_fedomd(&clients, ds.n_classes, &cfg(seed), &FedOmdConfig::paper()).test_acc;
-        let none = FedOmdConfig { use_ortho: false, use_cmd: false, ..FedOmdConfig::paper() };
+        with_cmd += run_fedomd(&clients, ds.n_classes, &cfg(seed), &FedOmdConfig::paper()).test_acc;
+        let none = FedOmdConfig {
+            use_ortho: false,
+            use_cmd: false,
+            ..FedOmdConfig::paper()
+        };
         without += run_fedomd(&clients, ds.n_classes, &cfg(seed), &none).test_acc;
     }
     assert!(
@@ -68,8 +75,14 @@ fn resolution_changes_the_cut() {
     // shows up as fewer surviving local edges at higher resolution.
     let ds = generate(&spec(DatasetName::CoraMini), 1);
     let edges_at = |res: f64| -> usize {
-        let fed = FederationConfig { resolution: res, ..FederationConfig::mini(3, 1) };
-        setup_federation(&ds, &fed).iter().map(|c| c.edges.len()).sum()
+        let fed = FederationConfig {
+            resolution: res,
+            ..FederationConfig::mini(3, 1)
+        };
+        setup_federation(&ds, &fed)
+            .iter()
+            .map(|c| c.edges.len())
+            .sum()
     };
     assert!(edges_at(20.0) <= edges_at(0.5));
 }

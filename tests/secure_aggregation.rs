@@ -12,7 +12,9 @@ use fedomd_tensor::Matrix;
 #[test]
 fn secure_fedavg_matches_plaintext_fedavg_on_model_params() {
     let m = 4;
-    let models: Vec<Gcn> = (0..m).map(|i| Gcn::new(12, 8, 3, &mut seeded(i as u64))).collect();
+    let models: Vec<Gcn> = (0..m)
+        .map(|i| Gcn::new(12, 8, 3, &mut seeded(i as u64)))
+        .collect();
     let sets: Vec<Vec<Matrix>> = models.iter().map(|mo| mo.params()).collect();
 
     let plain = fedavg(&sets, &vec![1.0; m]);
@@ -31,7 +33,13 @@ fn masked_weight_upload_hides_the_local_model() {
     let model = Gcn::new(12, 8, 3, &mut seeded(42));
     let w = model.params().remove(0);
     let mut masked = w.clone();
-    MaskingContext { client: 1, n_parties: 5, session_seed: 7, round: 0 }.mask(&mut masked);
+    MaskingContext {
+        client: 1,
+        n_parties: 5,
+        session_seed: 7,
+        round: 0,
+    }
+    .mask(&mut masked);
 
     // The masked upload must be dominated by mask energy, not signal: the
     // relative perturbation is large.
@@ -62,7 +70,13 @@ fn dropped_client_breaks_cancellation_detectably() {
         .enumerate()
         .map(|(i, v)| {
             let mut m = fedomd_tensor::ops::scale(v, 1.0 / n as f32);
-            MaskingContext { client: i, n_parties: n, session_seed: 5, round: 0 }.mask(&mut m);
+            MaskingContext {
+                client: i,
+                n_parties: n,
+                session_seed: 5,
+                round: 0,
+            }
+            .mask(&mut m);
             m
         })
         .collect();
@@ -76,8 +90,7 @@ fn dropped_client_breaks_cancellation_detectably() {
     full.assert_close(&mean, 1e-4);
 
     // Partial sum (client 2 dropped) is far from the partial plaintext mean.
-    let partial =
-        fedomd_federated::secure_agg::aggregate_masked(&masked[..2], &vec![1.0; 2]);
+    let partial = fedomd_federated::secure_agg::aggregate_masked(&masked[..2], &vec![1.0; 2]);
     let mut partial_mean = Matrix::zeros(4, 4);
     for v in &values[..2] {
         fedomd_tensor::ops::axpy(&mut partial_mean, 1.0 / n as f32, v);

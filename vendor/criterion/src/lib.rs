@@ -1,0 +1,242 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides `criterion_group!` / `criterion_main!`, `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Bencher::iter`, and `black_box`, so
+//! the workspace's benches compile and run offline. Measurement is a
+//! plain wall-clock loop (short warm-up, then a fixed time budget) and
+//! reports mean/min per iteration — adequate for relative comparisons,
+//! with none of criterion's statistics. Env `CRITERION_BUDGET_MS`
+//! adjusts the per-benchmark budget (default 300 ms).
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser value wrapper.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Runs timing loops for one benchmark.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the measured closure.
+    mean_ns: f64,
+    /// Fastest observed iteration.
+    min_ns: f64,
+    /// Iterations measured.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly: 3 warm-up calls, then as many calls as fit
+    /// the time budget (at least 5).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let budget = budget();
+        let started = Instant::now();
+        let mut iters = 0u64;
+        let mut min_ns = f64::INFINITY;
+        while iters < 5 || (started.elapsed() < budget && iters < 1_000_000) {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed().as_nanos() as f64;
+            min_ns = min_ns.min(dt);
+            iters += 1;
+        }
+        self.mean_ns = started.elapsed().as_nanos() as f64 / iters as f64;
+        self.min_ns = min_ns;
+        self.iters = iters;
+    }
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mean_ns: 0.0,
+        min_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "{label:<52} mean {:>12}   min {:>12}   ({} iters)",
+        human(b.mean_ns),
+        human(b.min_ns),
+        b.iters
+    );
+}
+
+/// Identifies one parameterised benchmark (`function_name/parameter`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Builds from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Declared throughput of one benchmark (printed, not analysed).
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Standard configuration.
+    pub fn default() -> Self {
+        Self {}
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares throughput for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}{}", self.name, id, self.throughput_suffix());
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark without input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}{}", self.name, id, self.throughput_suffix());
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn throughput_suffix(&self) -> String {
+        match &self.throughput {
+            Some(Throughput::Bytes(n)) => format!("  [{n} B/iter]"),
+            Some(Throughput::Elements(n)) => format!("  [{n} elem/iter]"),
+            None => String::new(),
+        }
+    }
+}
+
+/// Groups benchmark functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        std::env::set_var("CRITERION_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The registry is offline, so the real work-stealing runtime cannot be
+//! fetched. This shim provides the `par_iter` / `par_iter_mut` /
+//! `par_chunks_mut` entry points the workspace uses, returning ordinary
+//! sequential iterators. Everything downstream (`zip`, `map`, `collect`,
+//! `sum`, `enumerate`, ...) is then the standard `Iterator` machinery, so
+//! call sites compile unchanged and produce identical results — they just
+//! run on one thread. Swapping the real rayon back in is a one-line
+//! `Cargo.toml` change; no call site needs to move.
+
+/// `.par_iter()` on slices and anything that derefs to one.
+pub trait IntoParallelRefIterator<T> {
+    /// Sequential stand-in for rayon's borrowing parallel iterator.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// `.par_iter_mut()` on slices and anything that derefs to one.
+pub trait IntoParallelRefMutIterator<T> {
+    /// Sequential stand-in for rayon's mutably-borrowing parallel iterator.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+}
+
+impl<T> IntoParallelRefMutIterator<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+/// `.par_chunks_mut()` on slices.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for rayon's parallel mutable chunks.
+    ///
+    /// # Panics
+    /// Panics when `chunk_size` is zero (same contract as `chunks_mut`).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// `.par_chunks()` on slices.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for rayon's parallel chunks.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `.into_par_iter()` on owned iterables (ranges, vectors).
+pub trait IntoParallelIterator {
+    /// The sequential iterator standing in for the parallel one.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+    /// Sequential stand-in for rayon's consuming parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<Idx> IntoParallelIterator for std::ops::Range<Idx>
+where
+    std::ops::Range<Idx>: Iterator<Item = Idx>,
+{
+    type Iter = std::ops::Range<Idx>;
+    type Item = Idx;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    //! The import surface call sites use (`use rayon::prelude::*`).
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let s: i32 = v.par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn par_iter_mut_zip() {
+        let mut a = vec![1, 2, 3];
+        let b = vec![10, 20, 30];
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(x, y)| *x += *y);
+        assert_eq!(a, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all() {
+        let mut v = vec![0u32; 10];
+        for (i, chunk) in v.par_chunks_mut(3).enumerate() {
+            for x in chunk {
+                *x = i as u32;
+            }
+        }
+        assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+}
