@@ -3,9 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedomd_bench::{table4_rows, Algo};
-use fedomd_core::FedOmdConfig;
+use fedomd_core::{run_fedomd_observed, FedOmdConfig};
 use fedomd_data::{generate, spec, DatasetName};
 use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
+use fedomd_telemetry::{JsonlObserver, NullObserver};
+use fedomd_transport::InProcChannel;
 
 fn bench_round(c: &mut Criterion) {
     let ds = generate(&spec(DatasetName::CoraMini), 0);
@@ -39,6 +41,34 @@ fn bench_round(c: &mut Criterion) {
     });
     group.bench_function("fedomd_cmd_off", |b| {
         b.iter(|| off.run(&clients, ds.n_classes, &cfg))
+    });
+    // Telemetry overhead: the same two FedOMD rounds with the zero-cost
+    // NullObserver vs a JsonlObserver serialising every event to a sink
+    // (DESIGN.md §10 budgets the gap at <1% of round wall-clock).
+    group.bench_function("fedomd_telemetry_off", |b| {
+        b.iter(|| {
+            run_fedomd_observed(
+                &clients,
+                ds.n_classes,
+                &cfg,
+                &FedOmdConfig::paper(),
+                &mut InProcChannel::new(),
+                &mut NullObserver,
+            )
+        })
+    });
+    group.bench_function("fedomd_telemetry_jsonl", |b| {
+        b.iter(|| {
+            let mut sink = JsonlObserver::new(std::io::sink());
+            run_fedomd_observed(
+                &clients,
+                ds.n_classes,
+                &cfg,
+                &FedOmdConfig::paper(),
+                &mut InProcChannel::new(),
+                &mut sink,
+            )
+        })
     });
     group.finish();
 }

@@ -5,14 +5,22 @@
 //! cargo run --release -p fedomd-bench --bin fedomd_run -- \
 //!     --algo fedomd --dataset cora-mini --parties 5 --seed 0
 //! cargo run --release -p fedomd-bench --bin fedomd_run -- --algo fedgcn --dataset photo-mini
+//! cargo run --release -p fedomd-bench --bin fedomd_run -- \
+//!     --algo fedomd --telemetry trace.jsonl --verbose
 //! ```
+//!
+//! `--telemetry <path>` writes the full round-event stream as JSONL (one
+//! event per line, see DESIGN.md §10); `--verbose` prints per-evaluation
+//! round lines to stderr. Both are pure observers: attaching them does not
+//! change any reported number.
 
-use fedomd_core::{run_fedomd, FedOmdConfig};
+use fedomd_core::{FedOmdConfig, FedRun, RunConfig};
 use fedomd_data::{generate, spec, DatasetName};
-use fedomd_federated::baselines::{run_baseline, Baseline};
+use fedomd_federated::baselines::{run_baseline_observed, Baseline};
 use fedomd_federated::helpers::predict;
 use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
 use fedomd_metrics::argmax_row;
+use fedomd_telemetry::{ConsoleObserver, JsonlObserver, RoundObserver, TeeObserver};
 
 struct Args {
     algo: String,
@@ -21,13 +29,16 @@ struct Args {
     seed: u64,
     rounds: Option<usize>,
     resolution: f64,
+    telemetry: Option<String>,
+    verbose: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: fedomd_run --algo <fedomd|fedmlp|fedprox|scaffold|locgcn|fedgcn|fedsage+|fedlit>\n\
          \x20                --dataset <name[-mini]> [--parties M] [--seed S]\n\
-         \x20                [--rounds R] [--resolution RES]"
+         \x20                [--rounds R] [--resolution RES]\n\
+         \x20                [--telemetry PATH.jsonl] [--verbose]"
     );
     std::process::exit(2)
 }
@@ -39,6 +50,8 @@ fn parse_args() -> Args {
     let mut seed = 0u64;
     let mut rounds = None;
     let mut resolution = 1.0f64;
+    let mut telemetry = None;
+    let mut verbose = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = || it.next().unwrap_or_else(|| usage());
@@ -51,6 +64,8 @@ fn parse_args() -> Args {
             "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
             "--rounds" => rounds = Some(value().parse().unwrap_or_else(|_| usage())),
             "--resolution" => resolution = value().parse().unwrap_or_else(|_| usage()),
+            "--telemetry" => telemetry = Some(value()),
+            "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -62,6 +77,8 @@ fn parse_args() -> Args {
         seed,
         rounds,
         resolution,
+        telemetry,
+        verbose,
     }
 }
 
@@ -90,12 +107,37 @@ fn main() {
         "{} on {} · M={} · resolution {} · seed {}",
         args.algo, ds.name, args.parties, args.resolution, args.seed
     );
-    let result = if args.algo.eq_ignore_ascii_case("fedomd") {
-        run_fedomd(&clients, ds.n_classes, &cfg, &FedOmdConfig::paper())
-    } else {
-        let b = Baseline::parse(&args.algo).unwrap_or_else(|| usage());
-        run_baseline(b, &clients, ds.n_classes, &cfg)
+    let mut jsonl = args.telemetry.as_deref().map(|path| {
+        JsonlObserver::create(path).unwrap_or_else(|e| {
+            eprintln!("fedomd_run: cannot open telemetry file {path}: {e}");
+            std::process::exit(2)
+        })
+    });
+    let mut console = args.verbose.then(ConsoleObserver::stderr);
+    let run = |obs: &mut dyn RoundObserver| {
+        if args.algo.eq_ignore_ascii_case("fedomd") {
+            FedRun::new(&clients, ds.n_classes)
+                .config(RunConfig {
+                    train: cfg.clone(),
+                    omd: FedOmdConfig::paper(),
+                })
+                .observer(obs)
+                .run()
+        } else {
+            let b = Baseline::parse(&args.algo).unwrap_or_else(|| usage());
+            run_baseline_observed(b, &clients, ds.n_classes, &cfg, obs)
+        }
     };
+    let result = match (&mut jsonl, &mut console) {
+        (Some(j), Some(c)) => run(&mut TeeObserver::new(j, c)),
+        (Some(j), None) => run(j),
+        (None, Some(c)) => run(c),
+        (None, None) => run(&mut fedomd_telemetry::NullObserver),
+    };
+    drop(jsonl); // flush the JSONL buffer before reporting
+    if let Some(path) = &args.telemetry {
+        eprintln!("telemetry trace written to {path}");
+    }
 
     // Macro-F1 of the *final* models is not retained by RunResult (it keeps
     // the best-val checkpoint accuracy); report the label-skew context via

@@ -28,6 +28,7 @@
 
 pub mod config;
 pub mod protocol;
+pub mod run;
 pub mod trainer;
 
 pub use config::FedOmdConfig;
@@ -35,4 +36,5 @@ pub use protocol::{
     aggregate_means, aggregate_moments, build_targets, client_means, client_moments_about,
     GlobalStats,
 };
-pub use trainer::{run_fedomd, run_fedomd_with};
+pub use run::{FedRun, RunConfig};
+pub use trainer::{run_fedomd, run_fedomd_observed, run_fedomd_with};

@@ -1,0 +1,266 @@
+//! The unified run entry point: one builder for every algorithm, channel,
+//! and telemetry sink.
+//!
+//! Historically each loop grew a `run_*` / `run_*_with` / `run_*_observed`
+//! triple; [`FedRun`] folds those axes into one builder so call sites
+//! compose exactly the pieces they need:
+//!
+//! ```no_run
+//! use fedomd_core::{FedRun, RunConfig};
+//! use fedomd_data::{generate, spec, DatasetName};
+//! use fedomd_federated::{setup_federation, FederationConfig};
+//! use fedomd_telemetry::ConsoleObserver;
+//!
+//! let ds = generate(&spec(DatasetName::CoraMini), 0);
+//! let clients = setup_federation(&ds, &FederationConfig::mini(3, 0));
+//! let mut console = ConsoleObserver::stderr();
+//! let result = FedRun::new(&clients, ds.n_classes)
+//!     .config(RunConfig::mini(0))
+//!     .observer(&mut console)
+//!     .run();
+//! println!("test accuracy: {:.2}%", 100.0 * result.test_acc);
+//! ```
+//!
+//! Omitted pieces default to the fault-free [`InProcChannel`] and the
+//! zero-cost [`fedomd_telemetry::NullObserver`]; observers are pure sinks,
+//! so attaching one never changes the numbers (golden-tested in
+//! `tests/telemetry_golden.rs`).
+
+use fedomd_federated::{ClientData, GenericOpts, RunResult, TrainConfig};
+use fedomd_telemetry::{NullObserver, RoundObserver};
+use fedomd_transport::{Channel, InProcChannel};
+
+use crate::config::FedOmdConfig;
+use crate::trainer::run_fedomd_observed;
+
+/// The complete configuration of one federated run: the training schedule
+/// shared by every algorithm plus FedOMD's objective hyper-parameters.
+///
+/// The split mirrors the crate boundary — [`TrainConfig`] lives in
+/// `fedomd-federated` because baselines share it, [`FedOmdConfig`] lives
+/// here because only FedOMD reads it — but call sites should not have to
+/// care, so this type carries both and forwards the common presets.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Rounds, learning rate, patience, hidden width, seed (all
+    /// algorithms).
+    pub train: TrainConfig,
+    /// α/β weights, moment order, ablation switches (FedOMD only; ignored
+    /// by baselines).
+    pub omd: FedOmdConfig,
+}
+
+impl RunConfig {
+    /// Paper-faithful settings (1000 rounds, patience 200, calibrated
+    /// FedOMD objective).
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            train: TrainConfig::paper(seed),
+            omd: FedOmdConfig::paper(),
+        }
+    }
+
+    /// Fast settings for the mini datasets.
+    pub fn mini(seed: u64) -> Self {
+        Self {
+            train: TrainConfig::mini(seed),
+            omd: FedOmdConfig::paper(),
+        }
+    }
+
+    /// Replaces the training schedule.
+    pub fn with_train(mut self, train: TrainConfig) -> Self {
+        self.train = train;
+        self
+    }
+
+    /// Replaces the FedOMD objective parameters.
+    pub fn with_omd(mut self, omd: FedOmdConfig) -> Self {
+        self.omd = omd;
+        self
+    }
+
+    /// Caps the number of communication rounds.
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.train.rounds = rounds;
+        self
+    }
+
+    /// Sets the early-stopping patience in rounds.
+    pub fn with_patience(mut self, patience: usize) -> Self {
+        self.train.patience = patience;
+        self
+    }
+
+    /// Sets the run seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.train.seed = seed;
+        self
+    }
+}
+
+/// What a [`FedRun`] actually executes.
+enum RunKind {
+    /// FedOMD (Algorithm 1) — the default.
+    FedOmd,
+    /// The generic FedAvg-family loop with the given options (FedMLP,
+    /// FedProx, LocGCN, FedGCN).
+    Generic(GenericOpts),
+}
+
+/// Builder for one federated run.
+///
+/// Composes the four independent axes — algorithm, configuration,
+/// transport channel, telemetry observer — that the legacy
+/// `run_fedomd` / `run_fedomd_with` / `run_generic` / `run_generic_with`
+/// quartet hard-wired into separate entry points. Construct with
+/// [`FedRun::new`], chain setters, finish with [`FedRun::run`].
+pub struct FedRun<'a> {
+    clients: &'a [ClientData],
+    n_classes: usize,
+    config: RunConfig,
+    kind: RunKind,
+    channel: Option<&'a mut dyn Channel>,
+    observer: Option<&'a mut dyn RoundObserver>,
+}
+
+impl<'a> FedRun<'a> {
+    /// Starts a FedOMD run over `clients` with [`RunConfig::paper`]
+    /// defaults (seed 0), the in-process channel, and no telemetry.
+    pub fn new(clients: &'a [ClientData], n_classes: usize) -> Self {
+        Self {
+            clients,
+            n_classes,
+            config: RunConfig::paper(0),
+            kind: RunKind::FedOmd,
+            channel: None,
+            observer: None,
+        }
+    }
+
+    /// Replaces the full configuration.
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces only the training schedule.
+    pub fn train(mut self, train: TrainConfig) -> Self {
+        self.config.train = train;
+        self
+    }
+
+    /// Replaces only the FedOMD objective parameters.
+    pub fn omd(mut self, omd: FedOmdConfig) -> Self {
+        self.config.omd = omd;
+        self
+    }
+
+    /// Runs the generic FedAvg-family loop instead of FedOMD.
+    pub fn generic(mut self, opts: GenericOpts) -> Self {
+        self.kind = RunKind::Generic(opts);
+        self
+    }
+
+    /// Routes all exchanges over `chan` (default: fault-free
+    /// [`InProcChannel`]).
+    pub fn channel(mut self, chan: &'a mut dyn Channel) -> Self {
+        self.channel = Some(chan);
+        self
+    }
+
+    /// Reports every round milestone to `obs` (default: the zero-cost
+    /// [`NullObserver`]).
+    pub fn observer(mut self, obs: &'a mut dyn RoundObserver) -> Self {
+        self.observer = Some(obs);
+        self
+    }
+
+    /// Executes the run to completion.
+    pub fn run(self) -> RunResult {
+        let mut default_chan = InProcChannel::new();
+        let mut default_obs = NullObserver;
+        let chan: &mut dyn Channel = self.channel.unwrap_or(&mut default_chan);
+        let obs: &mut dyn RoundObserver = self.observer.unwrap_or(&mut default_obs);
+        match self.kind {
+            RunKind::FedOmd => run_fedomd_observed(
+                self.clients,
+                self.n_classes,
+                &self.config.train,
+                &self.config.omd,
+                chan,
+                obs,
+            ),
+            RunKind::Generic(opts) => fedomd_federated::run_generic_observed(
+                self.clients,
+                self.n_classes,
+                &self.config.train,
+                &opts,
+                chan,
+                obs,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::run_fedomd;
+    use fedomd_federated::engine::ModelKind;
+    use fedomd_federated::{setup_federation, FederationConfig};
+    use fedomd_telemetry::MemoryObserver;
+
+    use fedomd_data::{generate, spec, DatasetName};
+
+    fn mini_setup() -> (Vec<ClientData>, usize) {
+        let ds = generate(&spec(DatasetName::CoraMini), 7);
+        let clients = setup_federation(&ds, &FederationConfig::mini(2, 7));
+        (clients, ds.n_classes)
+    }
+
+    #[test]
+    fn builder_matches_legacy_entry_point() {
+        let (clients, n_classes) = mini_setup();
+        let cfg = RunConfig::mini(7).with_rounds(6);
+        let a = FedRun::new(&clients, n_classes).config(cfg.clone()).run();
+        let b = run_fedomd(&clients, n_classes, &cfg.train, &cfg.omd);
+        assert_eq!(a.test_acc, b.test_acc);
+        assert_eq!(a.val_acc, b.val_acc);
+        assert_eq!(a.comms.uplink_bytes, b.comms.uplink_bytes);
+        assert_eq!(a.comms.downlink_bytes, b.comms.downlink_bytes);
+    }
+
+    #[test]
+    fn builder_runs_generic_with_observer() {
+        let (clients, n_classes) = mini_setup();
+        let mut mem = MemoryObserver::new();
+        let r = FedRun::new(&clients, n_classes)
+            .config(RunConfig::mini(7).with_rounds(4))
+            .generic(GenericOpts {
+                name: "FedMLP",
+                model: ModelKind::Mlp,
+                aggregate: true,
+                prox_mu: 0.0,
+            })
+            .observer(&mut mem)
+            .run();
+        assert_eq!(r.algorithm, "FedMLP");
+        assert_eq!(mem.count("run_started"), 1);
+        assert_eq!(mem.count("round_started"), 4);
+        assert_eq!(mem.count("run_finished"), 1);
+    }
+
+    #[test]
+    fn run_config_setters_compose() {
+        let c = RunConfig::mini(3)
+            .with_rounds(9)
+            .with_patience(5)
+            .with_seed(11)
+            .with_omd(FedOmdConfig::cmd_only());
+        assert_eq!(c.train.rounds, 9);
+        assert_eq!(c.train.patience, 5);
+        assert_eq!(c.train.seed, 11);
+        assert!(!c.omd.use_ortho);
+    }
+}

@@ -18,6 +18,14 @@
 //! channel degrades gracefully: a round aggregates over whichever clients
 //! actually arrived, and a client that misses the global statistics simply
 //! trains without the CMD term that round.
+//!
+//! Every milestone — round starts, per-client local steps with the CE /
+//! ortho / CMD loss decomposition, frame sends and drops, both statistics
+//! rounds, aggregation, evaluation — is reported to a
+//! [`RoundObserver`] (`fedomd-telemetry`). Observers are pure sinks, so
+//! any observer yields the exact same `RunResult` as [`NullObserver`]
+//! (golden-tested). Prefer the [`crate::FedRun`] builder; `run_fedomd` /
+//! `run_fedomd_with` remain as thin wrappers.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -27,8 +35,11 @@ use rayon::prelude::*;
 use fedomd_autograd::{CmdTargets, Tape, Var};
 use fedomd_federated::engine::RoundDriver;
 use fedomd_federated::helpers::fedavg;
-use fedomd_federated::{ClientData, RunResult, TrainConfig};
+use fedomd_federated::{ClientData, Direction, RunResult, TrafficClass, TrainConfig};
 use fedomd_nn::{Adam, ForwardOut, Model, Optimizer, OrthoGcn, OrthoGcnConfig};
+use fedomd_telemetry::{
+    NullObserver, ObservedChannel, Phase, PhaseStopwatch, RoundEvent, RoundObserver,
+};
 use fedomd_tensor::rng::{derive, seeded};
 use fedomd_tensor::Matrix;
 use fedomd_transport::{
@@ -42,7 +53,7 @@ use crate::protocol::{
 };
 
 /// Runs FedOMD to completion over the default fault-free in-process
-/// channel.
+/// channel, without telemetry.
 pub fn run_fedomd(
     clients: &[ClientData],
     n_classes: usize,
@@ -52,14 +63,26 @@ pub fn run_fedomd(
     run_fedomd_with(clients, n_classes, cfg, omd, &mut InProcChannel::new())
 }
 
-/// Runs FedOMD with every statistics and weight exchange travelling as
-/// encoded frames over `chan`.
+/// Runs FedOMD over `chan`, without telemetry.
 pub fn run_fedomd_with(
     clients: &[ClientData],
     n_classes: usize,
     cfg: &TrainConfig,
     omd: &FedOmdConfig,
     chan: &mut dyn Channel,
+) -> RunResult {
+    run_fedomd_observed(clients, n_classes, cfg, omd, chan, &mut NullObserver)
+}
+
+/// Runs FedOMD with every statistics and weight exchange travelling as
+/// encoded frames over `chan` and every round milestone reported to `obs`.
+pub fn run_fedomd_observed(
+    clients: &[ClientData],
+    n_classes: usize,
+    cfg: &TrainConfig,
+    omd: &FedOmdConfig,
+    chan: &mut dyn Channel,
+    obs: &mut dyn RoundObserver,
 ) -> RunResult {
     assert!(!clients.is_empty(), "run_fedomd: no clients");
     let f = clients[0].input.n_features();
@@ -85,9 +108,15 @@ pub fn run_fedomd_with(
 
     let mut driver = RoundDriver::new(cfg);
     let m = clients.len();
+    driver.announce("FedOMD", m, obs);
+    let mut chan = ObservedChannel::new(chan);
 
     for round in 0..cfg.rounds {
+        obs.on_event(&RoundEvent::RoundStarted {
+            round: round as u64,
+        });
         // --- Phase 1: forward passes (parallel) ---
+        let sw = PhaseStopwatch::start(Phase::LocalTrain);
         let start = Instant::now();
         let mut sessions: Vec<(Tape, ForwardOut)> = models
             .par_iter()
@@ -99,9 +128,11 @@ pub fn run_fedomd_with(
             })
             .collect();
         driver.timer.add("client", start.elapsed());
+        sw.finish(obs);
 
         // --- Phase 2: the 2-round statistics exchange, over the channel ---
         let targets: Vec<Option<Vec<CmdTargets>>> = if omd.use_cmd {
+            let sw = PhaseStopwatch::start(Phase::Comms);
             let start = Instant::now();
             let per_client_hidden: Vec<Vec<&Matrix>> = sessions
                 .iter()
@@ -119,7 +150,9 @@ pub fn run_fedomd_with(
                         n_samples: h.first().map_or(0, |z| z.rows()) as u64,
                     },
                 });
-                driver.comms.upload_stats_frame(bytes);
+                driver
+                    .comms
+                    .record(Direction::Uplink, TrafficClass::Stats, bytes as u64);
             }
             // The server remembers each reporter's sample count: round-2
             // moments are weighted by the n_i announced in round 1.
@@ -131,6 +164,10 @@ pub fn run_fedomd_with(
                     round1.push((means, n_samples as usize));
                 }
             }
+            chan.flush_into(obs);
+            obs.on_event(&RoundEvent::StatsRound1Done {
+                participants: round1.len(),
+            });
             let global_means = if round1.is_empty() {
                 None
             } else {
@@ -153,7 +190,9 @@ pub fn run_fedomd_with(
                             },
                         },
                     );
-                    driver.comms.download_stats_frame(bytes);
+                    driver
+                        .comms
+                        .record(Direction::Downlink, TrafficClass::Stats, bytes as u64);
                     for env in chan.client_collect(i as u32, r) {
                         if let Payload::GlobalStats { means, .. } = env.payload {
                             *slot = Some(means);
@@ -161,6 +200,7 @@ pub fn run_fedomd_with(
                     }
                 }
             }
+            chan.flush_into(obs);
 
             // Round 2 up: central moments about the global mean. A client
             // that never received the means sits this round out.
@@ -173,7 +213,9 @@ pub fn run_fedomd_with(
                             moments: client_moments_about(h, means, omd.max_moment),
                         },
                     });
-                    driver.comms.upload_stats_frame(bytes);
+                    driver
+                        .comms
+                        .record(Direction::Uplink, TrafficClass::Stats, bytes as u64);
                 }
             }
             let mut round2: Vec<(Vec<Vec<Vec<f32>>>, usize)> = Vec::new();
@@ -184,6 +226,10 @@ pub fn run_fedomd_with(
                     }
                 }
             }
+            chan.flush_into(obs);
+            obs.on_event(&RoundEvent::StatsRound2Done {
+                participants: round2.len(),
+            });
 
             // Round 2 down: the full global stats; each client that receives
             // them builds its CMD targets, the rest train without the term.
@@ -203,7 +249,9 @@ pub fn run_fedomd_with(
                                 },
                             },
                         );
-                        driver.comms.download_stats_frame(bytes);
+                        driver
+                            .comms
+                            .record(Direction::Downlink, TrafficClass::Stats, bytes as u64);
                         for env in chan.client_collect(i as u32, r) {
                             if let Payload::GlobalStats { means, moments } = env.payload {
                                 *slot = Some(build_targets(&GlobalStats { means, moments }));
@@ -212,31 +260,39 @@ pub fn run_fedomd_with(
                     }
                 }
             }
+            chan.flush_into(obs);
             driver.timer.add("server", start.elapsed());
+            sw.finish(obs);
             per_client
         } else {
             (0..m).map(|_| None).collect()
         };
 
         // --- Phase 3: losses, backward, local steps (parallel) ---
+        let sw = PhaseStopwatch::start(Phase::LocalTrain);
         let start = Instant::now();
-        let losses: Vec<f32> = sessions
+        // Per client: (total, ce, scaled ortho, scaled cmd) loss readings.
+        let losses: Vec<(f32, f32, f32, f32)> = sessions
             .par_iter_mut()
             .zip(models.par_iter_mut())
             .zip(optimizers.par_iter_mut())
             .zip(clients.par_iter())
             .zip(targets.par_iter())
             .map(|(((((tape, out), model), opt), client), targets_ref)| {
-                let mut loss =
+                let ce =
                     tape.softmax_cross_entropy(out.logits, &client.labels, &client.splits.train);
+                let mut loss = ce;
+                let mut ortho_term: Option<Var> = None;
                 if omd.use_ortho {
                     if let Some(pen) = sum_terms(tape, out.ortho_weight_vars.to_vec(), |t, w| {
                         t.ortho_penalty(w)
                     }) {
                         let scaled = tape.scale(pen, omd.alpha);
+                        ortho_term = Some(scaled);
                         loss = tape.add(loss, scaled);
                     }
                 }
+                let mut cmd_term: Option<Var> = None;
                 if let Some(targets) = targets_ref {
                     let n_constrained = if omd.cmd_first_layer_only {
                         1
@@ -251,6 +307,7 @@ pub fn run_fedomd_with(
                         omd.cmd_mean_scale,
                     ) {
                         let scaled = tape.scale(cmd, omd.beta);
+                        cmd_term = Some(scaled);
                         loss = tape.add(loss, scaled);
                     }
                 }
@@ -270,13 +327,30 @@ pub fn run_fedomd_with(
                 opt.step(&mut params, &grads);
                 model.set_params(&params);
                 model.post_step();
-                tape.scalar(loss)
+                (
+                    tape.scalar(loss),
+                    tape.scalar(ce),
+                    ortho_term.map_or(0.0, |v| tape.scalar(v)),
+                    cmd_term.map_or(0.0, |v| tape.scalar(v)),
+                )
             })
             .collect();
         driver.timer.add("client", start.elapsed());
+        for (client, &(loss, ce, ortho, cmd)) in losses.iter().enumerate() {
+            obs.on_event(&RoundEvent::LocalStepDone {
+                client: client as u32,
+                epoch: 0,
+                loss: loss as f64,
+                ce: ce as f64,
+                ortho: ortho as f64,
+                cmd: cmd as f64,
+            });
+        }
+        sw.finish(obs);
 
         // --- Phase 4: FedAvg over the channel (partial under faults) ---
         let start = Instant::now();
+        let sw = PhaseStopwatch::start(Phase::Comms);
         for (i, mo) in models.iter().enumerate() {
             let bytes = chan.upload(Envelope {
                 round: round as u64,
@@ -285,9 +359,13 @@ pub fn run_fedomd_with(
                     params: to_tensors(&mo.params()),
                 },
             });
-            driver.comms.upload_weights_frame(bytes);
+            driver
+                .comms
+                .record(Direction::Uplink, TrafficClass::Weights, bytes as u64);
         }
         let received = chan.server_collect(round as u64);
+        chan.flush_into(obs);
+        sw.finish(obs);
         if !received.is_empty() {
             let sets: Vec<Vec<Matrix>> = received
                 .into_iter()
@@ -296,8 +374,13 @@ pub fn run_fedomd_with(
                     other => panic!("server expected WeightUpdate, got {}", other.kind()),
                 })
                 .collect();
-            let weights = vec![1.0; sets.len()];
+            let participants = sets.len();
+            let sw = PhaseStopwatch::start(Phase::Aggregation);
+            let weights = vec![1.0; participants];
             let global = fedavg(&sets, &weights);
+            sw.finish(obs);
+            obs.on_event(&RoundEvent::AggregationDone { participants });
+            let sw = PhaseStopwatch::start(Phase::Comms);
             for (i, mo) in models.iter_mut().enumerate() {
                 let bytes = chan.download(
                     i as u32,
@@ -309,24 +392,30 @@ pub fn run_fedomd_with(
                         },
                     },
                 );
-                driver.comms.download_weights_frame(bytes);
+                driver
+                    .comms
+                    .record(Direction::Downlink, TrafficClass::Weights, bytes as u64);
                 for env in chan.client_collect(i as u32, round as u64) {
                     if let Payload::GlobalModel { params } = env.payload {
                         mo.set_params(&from_tensors(params));
                     }
                 }
             }
+            chan.flush_into(obs);
+            sw.finish(obs);
+        } else {
+            obs.on_event(&RoundEvent::AggregationDone { participants: 0 });
         }
         driver.comms.sync_dropped(chan.stats().dropped_frames);
         driver.timer.add("server", start.elapsed());
 
-        let mean_loss = losses.iter().map(|&l| l as f64).sum::<f64>() / losses.len() as f64;
-        driver.end_round(round, mean_loss, &models, clients);
+        let mean_loss = losses.iter().map(|&(l, ..)| l as f64).sum::<f64>() / losses.len() as f64;
+        driver.end_round_observed(round, mean_loss, &models, clients, obs);
         if driver.stopped() {
             break;
         }
     }
-    driver.finish("FedOMD")
+    driver.finish_observed("FedOMD", obs)
 }
 
 /// Sums `make(tape, v)` over `vars` on the tape (None when empty).
@@ -361,7 +450,6 @@ fn sum_cmd(
     }
     acc
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

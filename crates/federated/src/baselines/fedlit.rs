@@ -26,9 +26,11 @@ use fedomd_tensor::rng::{derive, seeded};
 use fedomd_tensor::{xavier_uniform, Matrix};
 
 use crate::client::ClientData;
+use crate::comms::{Direction, TrafficClass};
 use crate::config::{RunResult, TrainConfig};
 use crate::engine::RoundDriver;
 use crate::helpers::{fedavg, local_step};
+use fedomd_telemetry::{NullObserver, Phase, PhaseStopwatch, RoundEvent, RoundObserver};
 
 /// Number of latent link types.
 const N_TYPES: usize = 3;
@@ -229,21 +231,42 @@ impl Model for FedLitModel {
     }
 }
 
-/// Runs FedLIT to completion.
+/// Runs FedLIT to completion, without telemetry.
 pub fn run_fedlit(clients: &[ClientData], n_classes: usize, cfg: &TrainConfig) -> RunResult {
+    run_fedlit_observed(clients, n_classes, cfg, &mut NullObserver)
+}
+
+/// Runs FedLIT to completion, reporting round milestones to `obs`.
+pub fn run_fedlit_observed(
+    clients: &[ClientData],
+    n_classes: usize,
+    cfg: &TrainConfig,
+    obs: &mut dyn RoundObserver,
+) -> RunResult {
     assert!(!clients.is_empty(), "run_fedlit: no clients");
     let m = clients.len();
     let f = clients[0].input.n_features();
     let mut driver = RoundDriver::new(cfg);
+    driver.announce("FedLIT", m, obs);
 
     // Federated link-type clustering.
+    let sw = PhaseStopwatch::start(Phase::Aggregation);
     let start = Instant::now();
     let assignments = federated_edge_kmeans(clients, cfg.seed);
     driver.timer.add("server", start.elapsed());
+    sw.finish(obs);
     for (c, _) in clients.iter().zip(&assignments) {
         // Each k-means iteration ships N_TYPES centroid sums (f floats each).
-        driver.comms.upload_stats(KMEANS_ITERS * N_TYPES * f);
-        driver.comms.download_stats(KMEANS_ITERS * N_TYPES * f);
+        driver.comms.record_scalars(
+            Direction::Uplink,
+            TrafficClass::Stats,
+            KMEANS_ITERS * N_TYPES * f,
+        );
+        driver.comms.record_scalars(
+            Direction::Downlink,
+            TrafficClass::Stats,
+            KMEANS_ITERS * N_TYPES * f,
+        );
         let _ = c;
     }
 
@@ -268,6 +291,10 @@ pub fn run_fedlit(clients: &[ClientData], n_classes: usize, cfg: &TrainConfig) -
     let n_scalars = models[0].n_scalars();
 
     for round in 0..cfg.rounds {
+        obs.on_event(&RoundEvent::RoundStarted {
+            round: round as u64,
+        });
+        let sw = PhaseStopwatch::start(Phase::LocalTrain);
         let start = Instant::now();
         let losses: Vec<f32> = models
             .par_iter_mut()
@@ -282,7 +309,19 @@ pub fn run_fedlit(clients: &[ClientData], n_classes: usize, cfg: &TrainConfig) -
             })
             .collect();
         driver.timer.add("client", start.elapsed());
+        for (client, &loss) in losses.iter().enumerate() {
+            obs.on_event(&RoundEvent::LocalStepDone {
+                client: client as u32,
+                epoch: (cfg.local_epochs.max(1) - 1) as u32,
+                loss: loss as f64,
+                ce: loss as f64,
+                ortho: 0.0,
+                cmd: 0.0,
+            });
+        }
+        sw.finish(obs);
 
+        let sw = PhaseStopwatch::start(Phase::Aggregation);
         let start = Instant::now();
         let sets: Vec<Vec<Matrix>> = models.iter().map(|mo| mo.params()).collect();
         let global = fedavg(&sets, &vec![1.0; m]);
@@ -290,18 +329,24 @@ pub fn run_fedlit(clients: &[ClientData], n_classes: usize, cfg: &TrainConfig) -
             mo.set_params(&global);
         }
         driver.timer.add("server", start.elapsed());
+        sw.finish(obs);
+        obs.on_event(&RoundEvent::AggregationDone { participants: m });
         for _ in 0..m {
-            driver.comms.upload_weights(n_scalars);
-            driver.comms.download_weights(n_scalars);
+            driver
+                .comms
+                .record_scalars(Direction::Uplink, TrafficClass::Weights, n_scalars);
+            driver
+                .comms
+                .record_scalars(Direction::Downlink, TrafficClass::Weights, n_scalars);
         }
 
         let mean_loss = losses.iter().map(|&l| l as f64).sum::<f64>() / losses.len() as f64;
-        driver.end_round(round, mean_loss, &models, clients);
+        driver.end_round_observed(round, mean_loss, &models, clients, obs);
         if driver.stopped() {
             break;
         }
     }
-    driver.finish("FedLIT")
+    driver.finish_observed("FedLIT", obs)
 }
 
 #[cfg(test)]

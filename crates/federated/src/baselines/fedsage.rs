@@ -32,9 +32,11 @@ use fedomd_tensor::rng::{derive, seeded};
 use fedomd_tensor::{xavier_uniform, Matrix};
 
 use crate::client::ClientData;
+use crate::comms::{Direction, TrafficClass};
 use crate::config::{RunResult, TrainConfig};
 use crate::engine::RoundDriver;
 use crate::helpers::{fedavg, local_step};
+use fedomd_telemetry::{NullObserver, Phase, PhaseStopwatch, RoundEvent, RoundObserver};
 
 /// Fraction of nodes hidden to create generator supervision.
 const HIDE_FRACTION: f64 = 0.25;
@@ -204,12 +206,23 @@ fn mend(client: &ClientData, gen: &NeighGen, seed: u64) -> (ClientData, Arc<fedo
     )
 }
 
-/// Runs FedSage+ to completion.
+/// Runs FedSage+ to completion, without telemetry.
 pub fn run_fedsage_plus(clients: &[ClientData], n_classes: usize, cfg: &TrainConfig) -> RunResult {
+    run_fedsage_plus_observed(clients, n_classes, cfg, &mut NullObserver)
+}
+
+/// Runs FedSage+ to completion, reporting round milestones to `obs`.
+pub fn run_fedsage_plus_observed(
+    clients: &[ClientData],
+    n_classes: usize,
+    cfg: &TrainConfig,
+    obs: &mut dyn RoundObserver,
+) -> RunResult {
     assert!(!clients.is_empty(), "run_fedsage_plus: no clients");
     let m = clients.len();
     let f = clients[0].input.n_features();
     let mut driver = RoundDriver::new(cfg);
+    driver.announce("FedSage+", m, obs);
 
     // --- Phase 1+2: federated NeighGen training ---
     let gen_start = Instant::now();
@@ -237,8 +250,12 @@ pub fn run_fedsage_plus(clients: &[ClientData], n_classes: usize, cfg: &TrainCon
         }
         let gen_scalars = f + f * f;
         for _ in 0..m {
-            driver.comms.upload_weights(gen_scalars);
-            driver.comms.download_weights(gen_scalars);
+            driver
+                .comms
+                .record_scalars(Direction::Uplink, TrafficClass::Weights, gen_scalars);
+            driver
+                .comms
+                .record_scalars(Direction::Downlink, TrafficClass::Weights, gen_scalars);
         }
     }
     driver.timer.add("client", gen_start.elapsed());
@@ -270,6 +287,10 @@ pub fn run_fedsage_plus(clients: &[ClientData], n_classes: usize, cfg: &TrainCon
     let n_scalars = models[0].n_scalars();
 
     for round in 0..cfg.rounds {
+        obs.on_event(&RoundEvent::RoundStarted {
+            round: round as u64,
+        });
+        let sw = PhaseStopwatch::start(Phase::LocalTrain);
         let start = Instant::now();
         let losses: Vec<f32> = models
             .par_iter_mut()
@@ -284,7 +305,19 @@ pub fn run_fedsage_plus(clients: &[ClientData], n_classes: usize, cfg: &TrainCon
             })
             .collect();
         driver.timer.add("client", start.elapsed());
+        for (client, &loss) in losses.iter().enumerate() {
+            obs.on_event(&RoundEvent::LocalStepDone {
+                client: client as u32,
+                epoch: (cfg.local_epochs.max(1) - 1) as u32,
+                loss: loss as f64,
+                ce: loss as f64,
+                ortho: 0.0,
+                cmd: 0.0,
+            });
+        }
+        sw.finish(obs);
 
+        let sw = PhaseStopwatch::start(Phase::Aggregation);
         let start = Instant::now();
         let sets: Vec<Vec<Matrix>> = models.iter().map(|mo| mo.params()).collect();
         let global = fedavg(&sets, &vec![1.0; m]);
@@ -292,18 +325,24 @@ pub fn run_fedsage_plus(clients: &[ClientData], n_classes: usize, cfg: &TrainCon
             mo.set_params(&global);
         }
         driver.timer.add("server", start.elapsed());
+        sw.finish(obs);
+        obs.on_event(&RoundEvent::AggregationDone { participants: m });
         for _ in 0..m {
-            driver.comms.upload_weights(n_scalars);
-            driver.comms.download_weights(n_scalars);
+            driver
+                .comms
+                .record_scalars(Direction::Uplink, TrafficClass::Weights, n_scalars);
+            driver
+                .comms
+                .record_scalars(Direction::Downlink, TrafficClass::Weights, n_scalars);
         }
 
         let mean_loss = losses.iter().map(|&l| l as f64).sum::<f64>() / losses.len() as f64;
-        driver.end_round(round, mean_loss, &models, &mended_clients);
+        driver.end_round_observed(round, mean_loss, &models, &mended_clients, obs);
         if driver.stopped() {
             break;
         }
     }
-    driver.finish("FedSage+")
+    driver.finish_observed("FedSage+", obs)
 }
 
 #[cfg(test)]

@@ -7,7 +7,9 @@ pub mod scaffold;
 
 use crate::client::ClientData;
 use crate::config::{RunResult, TrainConfig};
-use crate::engine::{run_generic, GenericOpts, ModelKind};
+use crate::engine::{run_generic_observed, GenericOpts, ModelKind};
+use fedomd_telemetry::{NullObserver, RoundObserver};
+use fedomd_transport::InProcChannel;
 
 /// Every baseline algorithm (FedOMD itself lives in `fedomd-core`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -68,17 +70,41 @@ impl Baseline {
     }
 }
 
-/// Runs one baseline end to end.
+/// Runs one baseline end to end, without telemetry.
 pub fn run_baseline(
     which: Baseline,
     clients: &[ClientData],
     n_classes: usize,
     cfg: &TrainConfig,
 ) -> RunResult {
-    match which {
-        Baseline::FedMlp => run_generic(
+    run_baseline_observed(which, clients, n_classes, cfg, &mut NullObserver)
+}
+
+/// Runs one baseline end to end, reporting round milestones to `obs`.
+///
+/// The FedAvg-family baselines run over the default in-process channel and
+/// report full frame-level telemetry; the bespoke loops (SCAFFOLD,
+/// FedSage+, FedLIT) report the round lifecycle, local steps, phases, and
+/// aggregation milestones.
+pub fn run_baseline_observed(
+    which: Baseline,
+    clients: &[ClientData],
+    n_classes: usize,
+    cfg: &TrainConfig,
+    obs: &mut dyn RoundObserver,
+) -> RunResult {
+    let generic = |cfg: &TrainConfig, opts: &GenericOpts, obs: &mut dyn RoundObserver| {
+        run_generic_observed(
             clients,
             n_classes,
+            cfg,
+            opts,
+            &mut InProcChannel::new(),
+            obs,
+        )
+    };
+    match which {
+        Baseline::FedMlp => generic(
             cfg,
             &GenericOpts {
                 name: "FedMLP",
@@ -86,6 +112,7 @@ pub fn run_baseline(
                 aggregate: true,
                 prox_mu: 0.0,
             },
+            obs,
         ),
         Baseline::FedProx => {
             // The proximal term only acts once local weights drift from the
@@ -96,9 +123,7 @@ pub fn run_baseline(
                 local_epochs: cfg.local_epochs.max(2),
                 ..cfg.clone()
             };
-            run_generic(
-                clients,
-                n_classes,
+            generic(
                 &cfg,
                 &GenericOpts {
                     name: "FedProx",
@@ -106,11 +131,10 @@ pub fn run_baseline(
                     aggregate: true,
                     prox_mu: 0.01,
                 },
+                obs,
             )
         }
-        Baseline::LocGcn => run_generic(
-            clients,
-            n_classes,
+        Baseline::LocGcn => generic(
             cfg,
             &GenericOpts {
                 name: "LocGCN",
@@ -118,10 +142,9 @@ pub fn run_baseline(
                 aggregate: false,
                 prox_mu: 0.0,
             },
+            obs,
         ),
-        Baseline::FedGcn => run_generic(
-            clients,
-            n_classes,
+        Baseline::FedGcn => generic(
             cfg,
             &GenericOpts {
                 name: "FedGCN",
@@ -129,10 +152,11 @@ pub fn run_baseline(
                 aggregate: true,
                 prox_mu: 0.0,
             },
+            obs,
         ),
-        Baseline::Scaffold => scaffold::run_scaffold(clients, n_classes, cfg),
-        Baseline::FedSagePlus => fedsage::run_fedsage_plus(clients, n_classes, cfg),
-        Baseline::FedLit => fedlit::run_fedlit(clients, n_classes, cfg),
+        Baseline::Scaffold => scaffold::run_scaffold_observed(clients, n_classes, cfg, obs),
+        Baseline::FedSagePlus => fedsage::run_fedsage_plus_observed(clients, n_classes, cfg, obs),
+        Baseline::FedLit => fedlit::run_fedlit_observed(clients, n_classes, cfg, obs),
     }
 }
 

@@ -18,12 +18,24 @@ use fedomd_tensor::rng::derive;
 use fedomd_tensor::Matrix;
 
 use crate::client::ClientData;
+use crate::comms::{Direction, TrafficClass};
 use crate::config::{RunResult, TrainConfig};
 use crate::engine::{build_model, ModelKind, RoundDriver};
 use crate::helpers::{fedavg, local_step};
+use fedomd_telemetry::{NullObserver, Phase, PhaseStopwatch, RoundEvent, RoundObserver};
 
-/// Runs SCAFFOLD to completion.
+/// Runs SCAFFOLD to completion, without telemetry.
 pub fn run_scaffold(clients: &[ClientData], n_classes: usize, cfg: &TrainConfig) -> RunResult {
+    run_scaffold_observed(clients, n_classes, cfg, &mut NullObserver)
+}
+
+/// Runs SCAFFOLD to completion, reporting round milestones to `obs`.
+pub fn run_scaffold_observed(
+    clients: &[ClientData],
+    n_classes: usize,
+    cfg: &TrainConfig,
+    obs: &mut dyn RoundObserver,
+) -> RunResult {
     assert!(!clients.is_empty(), "run_scaffold: no clients");
     let m = clients.len();
     let mut models: Vec<Box<dyn Model>> = clients
@@ -63,11 +75,16 @@ pub fn run_scaffold(clients: &[ClientData], n_classes: usize, cfg: &TrainConfig)
     let mut client_c: Vec<Vec<Matrix>> = (0..m).map(|_| zeros_like(&template)).collect();
 
     let mut driver = RoundDriver::new(cfg);
+    driver.announce("SCAFFOLD", m, obs);
     let n_scalars = models[0].n_scalars();
     let k_steps = cfg.local_epochs.max(1);
 
     for round in 0..cfg.rounds {
+        obs.on_event(&RoundEvent::RoundStarted {
+            round: round as u64,
+        });
         let global = models[0].params();
+        let sw = PhaseStopwatch::start(Phase::LocalTrain);
         let start = Instant::now();
         let server_c_ref = &server_c;
         let global_ref = &global;
@@ -124,8 +141,20 @@ pub fn run_scaffold(clients: &[ClientData], n_classes: usize, cfg: &TrainConfig)
             })
             .collect();
         driver.timer.add("client", start.elapsed());
+        for (client, (loss, _)) in outcomes.iter().enumerate() {
+            obs.on_event(&RoundEvent::LocalStepDone {
+                client: client as u32,
+                epoch: (k_steps - 1) as u32,
+                loss: *loss as f64,
+                ce: *loss as f64,
+                ortho: 0.0,
+                cmd: 0.0,
+            });
+        }
+        sw.finish(obs);
 
         // Server: aggregate weights and control deltas.
+        let sw = PhaseStopwatch::start(Phase::Aggregation);
         let start = Instant::now();
         let param_sets: Vec<Vec<Matrix>> = models.iter().map(|mo| mo.params()).collect();
         let new_global = fedavg(&param_sets, &vec![1.0; m]);
@@ -138,20 +167,26 @@ pub fn run_scaffold(clients: &[ClientData], n_classes: usize, cfg: &TrainConfig)
             model.set_params(&new_global);
         }
         driver.timer.add("server", start.elapsed());
+        sw.finish(obs);
+        obs.on_event(&RoundEvent::AggregationDone { participants: m });
         for _ in 0..m {
             // Weights up/down plus control-variate deltas up and c down.
-            driver.comms.upload_weights(2 * n_scalars);
-            driver.comms.download_weights(2 * n_scalars);
+            driver
+                .comms
+                .record_scalars(Direction::Uplink, TrafficClass::Weights, 2 * n_scalars);
+            driver
+                .comms
+                .record_scalars(Direction::Downlink, TrafficClass::Weights, 2 * n_scalars);
         }
 
         let mean_loss =
             outcomes.iter().map(|(l, _)| *l as f64).sum::<f64>() / outcomes.len() as f64;
-        driver.end_round(round, mean_loss, &models, clients);
+        driver.end_round_observed(round, mean_loss, &models, clients, obs);
         if driver.stopped() {
             break;
         }
     }
-    driver.finish("SCAFFOLD")
+    driver.finish_observed("SCAFFOLD", obs)
 }
 
 #[cfg(test)]

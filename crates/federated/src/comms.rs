@@ -5,14 +5,39 @@
 //! local features are required..., causing negligible communication
 //! costs"); this log measures exactly that.
 //!
-//! Two ways to feed it:
+//! All recording funnels through one entry point, [`CommsLog::record`]:
+//! a [`Direction`] (which way the bytes flew), a [`TrafficClass`] (model
+//! weights vs. distribution statistics — the split Table 3 is about), and
+//! a byte count. Two byte sources exist:
 //!
-//! * the `*_frame` methods record the size of an actual encoded transport
-//!   frame (header + payload + checksum) as produced by
-//!   `fedomd-transport` — this is what the transported training loops use,
-//!   and is always ≥ the scalar estimate for the same message;
-//! * the scalar methods (`upload_weights` etc.) estimate `4 × n_scalars`
-//!   bytes — kept for baselines that have not moved onto a channel.
+//! * the size of an actual encoded transport frame (header + payload +
+//!   checksum) as produced by `fedomd-transport` — what the transported
+//!   training loops record, always ≥ the scalar estimate;
+//! * the scalar estimate [`CommsLog::record_scalars`] (`4 × n_scalars`) —
+//!   for baselines that have not moved onto a channel.
+//!
+//! The eight historical `upload_*`/`download_*` methods remain as thin
+//! deprecated wrappers over `record`.
+
+/// Which way bytes crossed the star topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → server.
+    Uplink,
+    /// Server → client.
+    Downlink,
+}
+
+/// What the bytes carried, at the granularity the paper's Table 3 cares
+/// about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Model parameters (weight updates, global model broadcasts).
+    Weights,
+    /// Distribution statistics (FedOMD's means and central moments,
+    /// FedLIT's centroids, ...).
+    Stats,
+}
 
 /// Accumulated traffic of one federated run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,50 +65,81 @@ impl CommsLog {
         Self::default()
     }
 
+    /// Records `bytes` of traffic — the single entry point every recorder
+    /// funnels through. Statistics uplink is additionally counted in the
+    /// `stats_uplink_bytes` sub-bucket (downlink statistics are not
+    /// sub-bucketed: Table 3's claim is about client upload cost).
+    pub fn record(&mut self, dir: Direction, class: TrafficClass, bytes: u64) {
+        match dir {
+            Direction::Uplink => {
+                self.uplink_bytes += bytes;
+                if class == TrafficClass::Stats {
+                    self.stats_uplink_bytes += bytes;
+                }
+            }
+            Direction::Downlink => self.downlink_bytes += bytes,
+        }
+    }
+
+    /// Records `n_scalars` values at the scalar estimate of 4 bytes each
+    /// (for paths that do not ship real encoded frames).
+    pub fn record_scalars(&mut self, dir: Direction, class: TrafficClass, n_scalars: usize) {
+        self.record(dir, class, n_scalars as u64 * SCALAR_BYTES);
+    }
+
     /// Records a client uploading `n_scalars` model weights (scalar
     /// estimate: 4 bytes each).
+    #[deprecated(note = "use record_scalars(Direction::Uplink, TrafficClass::Weights, _)")]
     pub fn upload_weights(&mut self, n_scalars: usize) {
-        self.uplink_bytes += n_scalars as u64 * SCALAR_BYTES;
+        self.record_scalars(Direction::Uplink, TrafficClass::Weights, n_scalars);
     }
 
     /// Records a client downloading `n_scalars` model weights.
+    #[deprecated(note = "use record_scalars(Direction::Downlink, TrafficClass::Weights, _)")]
     pub fn download_weights(&mut self, n_scalars: usize) {
-        self.downlink_bytes += n_scalars as u64 * SCALAR_BYTES;
+        self.record_scalars(Direction::Downlink, TrafficClass::Weights, n_scalars);
     }
 
     /// Records a client uploading `n_scalars` of statistics (counted both
     /// in the uplink total and the stats sub-bucket).
+    #[deprecated(note = "use record_scalars(Direction::Uplink, TrafficClass::Stats, _)")]
     pub fn upload_stats(&mut self, n_scalars: usize) {
-        let b = n_scalars as u64 * SCALAR_BYTES;
-        self.uplink_bytes += b;
-        self.stats_uplink_bytes += b;
+        self.record_scalars(Direction::Uplink, TrafficClass::Stats, n_scalars);
     }
 
     /// Records server → client statistics broadcast.
+    #[deprecated(note = "use record_scalars(Direction::Downlink, TrafficClass::Stats, _)")]
     pub fn download_stats(&mut self, n_scalars: usize) {
-        self.downlink_bytes += n_scalars as u64 * SCALAR_BYTES;
+        self.record_scalars(Direction::Downlink, TrafficClass::Stats, n_scalars);
     }
 
     /// Records an encoded weight-update frame leaving a client.
+    #[deprecated(note = "use record(Direction::Uplink, TrafficClass::Weights, _)")]
     pub fn upload_weights_frame(&mut self, frame_bytes: usize) {
-        self.uplink_bytes += frame_bytes as u64;
+        self.record(Direction::Uplink, TrafficClass::Weights, frame_bytes as u64);
     }
 
     /// Records an encoded model frame reaching a client.
+    #[deprecated(note = "use record(Direction::Downlink, TrafficClass::Weights, _)")]
     pub fn download_weights_frame(&mut self, frame_bytes: usize) {
-        self.downlink_bytes += frame_bytes as u64;
+        self.record(
+            Direction::Downlink,
+            TrafficClass::Weights,
+            frame_bytes as u64,
+        );
     }
 
     /// Records an encoded statistics frame leaving a client (uplink total
     /// and stats sub-bucket).
+    #[deprecated(note = "use record(Direction::Uplink, TrafficClass::Stats, _)")]
     pub fn upload_stats_frame(&mut self, frame_bytes: usize) {
-        self.uplink_bytes += frame_bytes as u64;
-        self.stats_uplink_bytes += frame_bytes as u64;
+        self.record(Direction::Uplink, TrafficClass::Stats, frame_bytes as u64);
     }
 
     /// Records an encoded statistics frame reaching a client.
+    #[deprecated(note = "use record(Direction::Downlink, TrafficClass::Stats, _)")]
     pub fn download_stats_frame(&mut self, frame_bytes: usize) {
-        self.downlink_bytes += frame_bytes as u64;
+        self.record(Direction::Downlink, TrafficClass::Stats, frame_bytes as u64);
     }
 
     /// Overwrites the dropped-message count with the transport's current
@@ -129,10 +185,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn weight_traffic_counts_four_bytes_per_scalar() {
+    fn scalar_recording_counts_four_bytes_per_scalar() {
         let mut log = CommsLog::new();
-        log.upload_weights(100);
-        log.download_weights(50);
+        log.record_scalars(Direction::Uplink, TrafficClass::Weights, 100);
+        log.record_scalars(Direction::Downlink, TrafficClass::Weights, 50);
         assert_eq!(log.uplink_bytes, 400);
         assert_eq!(log.downlink_bytes, 200);
         assert_eq!(log.total_bytes(), 600);
@@ -142,20 +198,29 @@ mod tests {
     #[test]
     fn stats_are_a_sub_bucket_of_uplink() {
         let mut log = CommsLog::new();
-        log.upload_weights(1000);
-        log.upload_stats(10);
+        log.record_scalars(Direction::Uplink, TrafficClass::Weights, 1000);
+        log.record_scalars(Direction::Uplink, TrafficClass::Stats, 10);
         assert_eq!(log.uplink_bytes, 4040);
         assert_eq!(log.stats_uplink_bytes, 40);
         assert!((log.stats_fraction() - 40.0 / 4040.0).abs() < 1e-12);
     }
 
     #[test]
-    fn frame_methods_count_whole_frames() {
+    fn downlink_stats_do_not_touch_the_uplink_sub_bucket() {
         let mut log = CommsLog::new();
-        log.upload_weights_frame(426); // e.g. 100 scalars + framing overhead
-        log.upload_stats_frame(66);
-        log.download_weights_frame(426);
-        log.download_stats_frame(66);
+        log.record(Direction::Downlink, TrafficClass::Stats, 66);
+        assert_eq!(log.downlink_bytes, 66);
+        assert_eq!(log.uplink_bytes, 0);
+        assert_eq!(log.stats_uplink_bytes, 0);
+    }
+
+    #[test]
+    fn record_counts_whole_frames() {
+        let mut log = CommsLog::new();
+        log.record(Direction::Uplink, TrafficClass::Weights, 426); // 100 scalars + framing
+        log.record(Direction::Uplink, TrafficClass::Stats, 66);
+        log.record(Direction::Downlink, TrafficClass::Weights, 426);
+        log.record(Direction::Downlink, TrafficClass::Stats, 66);
         assert_eq!(log.uplink_bytes, 492);
         assert_eq!(log.stats_uplink_bytes, 66);
         assert_eq!(log.downlink_bytes, 492);
@@ -164,14 +229,40 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_record() {
+        let mut old = CommsLog::new();
+        old.upload_weights(100);
+        old.download_weights(50);
+        old.upload_stats(10);
+        old.download_stats(5);
+        old.upload_weights_frame(426);
+        old.download_weights_frame(426);
+        old.upload_stats_frame(66);
+        old.download_stats_frame(66);
+
+        let mut new = CommsLog::new();
+        new.record_scalars(Direction::Uplink, TrafficClass::Weights, 100);
+        new.record_scalars(Direction::Downlink, TrafficClass::Weights, 50);
+        new.record_scalars(Direction::Uplink, TrafficClass::Stats, 10);
+        new.record_scalars(Direction::Downlink, TrafficClass::Stats, 5);
+        new.record(Direction::Uplink, TrafficClass::Weights, 426);
+        new.record(Direction::Downlink, TrafficClass::Weights, 426);
+        new.record(Direction::Uplink, TrafficClass::Stats, 66);
+        new.record(Direction::Downlink, TrafficClass::Stats, 66);
+
+        assert_eq!(old, new);
+    }
+
+    #[test]
     fn merge_sums_bytes_and_drops_but_maxes_rounds() {
         let mut a = CommsLog::new();
-        a.upload_weights(1);
+        a.record_scalars(Direction::Uplink, TrafficClass::Weights, 1);
         a.end_round();
         a.end_round();
         a.sync_dropped(3);
         let mut b = CommsLog::new();
-        b.upload_stats(2);
+        b.record_scalars(Direction::Uplink, TrafficClass::Stats, 2);
         b.end_round();
         b.sync_dropped(2);
         a.merge(&b);

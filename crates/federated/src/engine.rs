@@ -4,9 +4,18 @@
 //! evaluation, early stopping on validation accuracy, history for the
 //! convergence curves (paper Fig. 5), communication and wall-clock
 //! accounting — so each algorithm implements only its round body.
-//! [`run_generic`] is the complete runner for the FedAvg family
+//! [`run_generic_observed`] is the complete runner for the FedAvg family
 //! (FedMLP, FedProx, LocGCN, FedGCN); SCAFFOLD, FedSage+, FedLIT, and
 //! FedOMD build their own bodies on the same driver.
+//!
+//! Every milestone of a run — round starts, per-client local steps, frame
+//! sends and drops, aggregation, evaluation, early stopping — is reported
+//! to a [`RoundObserver`] (`fedomd-telemetry`). Observers are pure sinks:
+//! a run with any observer is bit-identical to the same run with
+//! [`NullObserver`], which the golden tests pin. The historical
+//! `run_generic` / `run_generic_with` entry points remain as thin
+//! wrappers; new call sites should prefer the `FedRun` builder in
+//! `fedomd-core`.
 
 use std::time::Instant;
 
@@ -17,9 +26,12 @@ use fedomd_tensor::rng::{derive, seeded};
 use fedomd_tensor::Matrix;
 
 use crate::client::ClientData;
-use crate::comms::CommsLog;
+use crate::comms::{CommsLog, Direction, TrafficClass};
 use crate::config::{RoundStats, RunResult, TrainConfig};
 use crate::helpers::{evaluate, fedavg, local_step};
+use fedomd_telemetry::{
+    NullObserver, ObservedChannel, Phase, PhaseStopwatch, RoundEvent, RoundObserver,
+};
 use fedomd_transport::{
     from_tensors, to_tensors, Channel, Envelope, InProcChannel, Payload, SERVER_SENDER,
 };
@@ -83,8 +95,68 @@ impl RoundDriver {
         self.stopped
     }
 
+    /// Emits the run-start event for an algorithm driving this round loop.
+    pub fn announce(&self, algorithm: &str, n_clients: usize, obs: &mut dyn RoundObserver) {
+        obs.on_event(&RoundEvent::RunStarted {
+            algorithm: algorithm.to_string(),
+            n_clients,
+            max_rounds: self.cfg.rounds,
+        });
+    }
+
     /// Ends a round: evaluates on schedule, updates the early-stopping
-    /// state, and records history. Call once per communication round.
+    /// state, records history, and reports `EvalDone` / `EarlyStopped` /
+    /// `RoundFinished` to `obs`. Call once per communication round.
+    pub fn end_round_observed(
+        &mut self,
+        round: usize,
+        mean_train_loss: f64,
+        models: &[Box<dyn Model>],
+        clients: &[ClientData],
+        obs: &mut dyn RoundObserver,
+    ) {
+        self.comms.end_round();
+        if round.is_multiple_of(self.cfg.eval_every) {
+            let sw = PhaseStopwatch::start(Phase::Eval);
+            let start = Instant::now();
+            let (val, test) = evaluate(models, clients);
+            self.timer.add("inference", start.elapsed());
+            sw.finish(obs);
+            obs.on_event(&RoundEvent::EvalDone {
+                round: round as u64,
+                val_acc: val,
+                test_acc: test,
+            });
+            self.history.push(RoundStats {
+                round,
+                train_loss: mean_train_loss,
+                val_acc: val,
+                test_acc: test,
+            });
+            if val > self.best_val + 1e-12 {
+                self.best_val = val;
+                self.best_test = test;
+                self.best_round = round;
+                self.rounds_since_improve = 0;
+            } else {
+                self.rounds_since_improve += self.cfg.eval_every;
+                if self.rounds_since_improve >= self.cfg.patience {
+                    self.stopped = true;
+                    obs.on_event(&RoundEvent::EarlyStopped {
+                        round: round as u64,
+                    });
+                }
+            }
+        }
+        obs.on_event(&RoundEvent::RoundFinished {
+            round: round as u64,
+            uplink_bytes: self.comms.uplink_bytes,
+            downlink_bytes: self.comms.downlink_bytes,
+            dropped_messages: self.comms.dropped_messages,
+        });
+    }
+
+    /// [`Self::end_round_observed`] without telemetry.
     pub fn end_round(
         &mut self,
         round: usize,
@@ -92,34 +164,18 @@ impl RoundDriver {
         models: &[Box<dyn Model>],
         clients: &[ClientData],
     ) {
-        self.comms.end_round();
-        if !round.is_multiple_of(self.cfg.eval_every) {
-            return;
-        }
-        let start = Instant::now();
-        let (val, test) = evaluate(models, clients);
-        self.timer.add("inference", start.elapsed());
-        self.history.push(RoundStats {
-            round,
-            train_loss: mean_train_loss,
-            val_acc: val,
-            test_acc: test,
-        });
-        if val > self.best_val + 1e-12 {
-            self.best_val = val;
-            self.best_test = test;
-            self.best_round = round;
-            self.rounds_since_improve = 0;
-        } else {
-            self.rounds_since_improve += self.cfg.eval_every;
-            if self.rounds_since_improve >= self.cfg.patience {
-                self.stopped = true;
-            }
-        }
+        self.end_round_observed(round, mean_train_loss, models, clients, &mut NullObserver);
     }
 
-    /// Finalises into a [`RunResult`].
-    pub fn finish(self, algorithm: &str) -> RunResult {
+    /// Finalises into a [`RunResult`], reporting `RunFinished` to `obs`.
+    pub fn finish_observed(self, algorithm: &str, obs: &mut dyn RoundObserver) -> RunResult {
+        obs.on_event(&RoundEvent::RunFinished {
+            algorithm: algorithm.to_string(),
+            test_acc: self.best_test,
+            val_acc: self.best_val.max(0.0),
+            best_round: self.best_round as u64,
+            rounds: self.comms.rounds,
+        });
         RunResult {
             algorithm: algorithm.to_string(),
             test_acc: self.best_test,
@@ -129,6 +185,11 @@ impl RoundDriver {
             comms: self.comms,
             timing: self.timer,
         }
+    }
+
+    /// [`Self::finish_observed`] without telemetry.
+    pub fn finish(self, algorithm: &str) -> RunResult {
+        self.finish_observed(algorithm, &mut NullObserver)
     }
 }
 
@@ -149,7 +210,7 @@ pub fn build_model(
 }
 
 /// Runs a FedAvg-family algorithm to completion over the default
-/// fault-free in-process channel.
+/// fault-free in-process channel, without telemetry.
 pub fn run_generic(
     clients: &[ClientData],
     n_classes: usize,
@@ -159,8 +220,19 @@ pub fn run_generic(
     run_generic_with(clients, n_classes, cfg, opts, &mut InProcChannel::new())
 }
 
+/// Runs a FedAvg-family algorithm over `chan`, without telemetry.
+pub fn run_generic_with(
+    clients: &[ClientData],
+    n_classes: usize,
+    cfg: &TrainConfig,
+    opts: &GenericOpts,
+    chan: &mut dyn Channel,
+) -> RunResult {
+    run_generic_observed(clients, n_classes, cfg, opts, chan, &mut NullObserver)
+}
+
 /// Runs a FedAvg-family algorithm with every weight exchange travelling as
-/// encoded frames over `chan`.
+/// encoded frames over `chan` and every milestone reported to `obs`.
 ///
 /// Each aggregation round: all clients upload `WeightUpdate` frames, the
 /// server aggregates **whatever arrived** (partial aggregation when the
@@ -169,12 +241,13 @@ pub fn run_generic(
 /// An entirely-lost round (no uploads arrive) leaves every model local.
 /// Byte accounting in [`CommsLog`] is the size of the actual encoded
 /// frames.
-pub fn run_generic_with(
+pub fn run_generic_observed(
     clients: &[ClientData],
     n_classes: usize,
     cfg: &TrainConfig,
     opts: &GenericOpts,
     chan: &mut dyn Channel,
+    obs: &mut dyn RoundObserver,
 ) -> RunResult {
     assert!(!clients.is_empty(), "run_generic: no clients");
     let mut models: Vec<Box<dyn Model>> = clients
@@ -198,26 +271,32 @@ pub fn run_generic_with(
         .collect();
 
     let mut driver = RoundDriver::new(cfg);
+    driver.announce(opts.name, clients.len(), obs);
+    let mut chan = ObservedChannel::new(chan);
 
     for round in 0..cfg.rounds {
+        obs.on_event(&RoundEvent::RoundStarted {
+            round: round as u64,
+        });
         let global_snapshot: Vec<Matrix> = if opts.prox_mu > 0.0 {
             models[0].params()
         } else {
             Vec::new()
         };
 
+        let sw = PhaseStopwatch::start(Phase::LocalTrain);
         let start = Instant::now();
         let prox_mu = opts.prox_mu;
         let local_epochs = cfg.local_epochs;
         let global_ref = &global_snapshot;
-        let losses: Vec<f32> = models
+        let epoch_losses: Vec<Vec<f32>> = models
             .par_iter_mut()
             .zip(optimizers.par_iter_mut())
             .zip(clients.par_iter())
             .map(|((model, opt), client)| {
-                let mut loss = 0.0;
+                let mut losses = Vec::with_capacity(local_epochs);
                 for _ in 0..local_epochs {
-                    loss = local_step(
+                    losses.push(local_step(
                         model,
                         client,
                         opt,
@@ -235,15 +314,29 @@ pub fn run_generic_with(
                                 .collect()
                         },
                         |_| {},
-                    );
+                    ));
                 }
-                loss
+                losses
             })
             .collect();
         driver.timer.add("client", start.elapsed());
+        for (client, losses) in epoch_losses.iter().enumerate() {
+            for (epoch, &loss) in losses.iter().enumerate() {
+                obs.on_event(&RoundEvent::LocalStepDone {
+                    client: client as u32,
+                    epoch: epoch as u32,
+                    loss: loss as f64,
+                    ce: loss as f64,
+                    ortho: 0.0,
+                    cmd: 0.0,
+                });
+            }
+        }
+        sw.finish(obs);
 
         if opts.aggregate {
             let start = Instant::now();
+            let sw = PhaseStopwatch::start(Phase::Comms);
             for (i, m) in models.iter().enumerate() {
                 let bytes = chan.upload(Envelope {
                     round: round as u64,
@@ -252,12 +345,16 @@ pub fn run_generic_with(
                         params: to_tensors(&m.params()),
                     },
                 });
-                driver.comms.upload_weights_frame(bytes);
+                driver
+                    .comms
+                    .record(Direction::Uplink, TrafficClass::Weights, bytes as u64);
             }
             // Partial aggregation: average over whichever clients the
             // channel delivered (sender-sorted, so the float summation
             // order is deterministic).
             let received = chan.server_collect(round as u64);
+            chan.flush_into(obs);
+            sw.finish(obs);
             if !received.is_empty() {
                 let param_sets: Vec<Vec<Matrix>> = received
                     .into_iter()
@@ -266,8 +363,13 @@ pub fn run_generic_with(
                         other => panic!("server expected WeightUpdate, got {}", other.kind()),
                     })
                     .collect();
-                let weights = vec![1.0; param_sets.len()];
+                let participants = param_sets.len();
+                let sw = PhaseStopwatch::start(Phase::Aggregation);
+                let weights = vec![1.0; participants];
                 let global = fedavg(&param_sets, &weights);
+                sw.finish(obs);
+                obs.on_event(&RoundEvent::AggregationDone { participants });
+                let sw = PhaseStopwatch::start(Phase::Comms);
                 for (i, m) in models.iter_mut().enumerate() {
                     let bytes = chan.download(
                         i as u32,
@@ -279,27 +381,36 @@ pub fn run_generic_with(
                             },
                         },
                     );
-                    driver.comms.download_weights_frame(bytes);
+                    driver
+                        .comms
+                        .record(Direction::Downlink, TrafficClass::Weights, bytes as u64);
                     for env in chan.client_collect(i as u32, round as u64) {
                         if let Payload::GlobalModel { params } = env.payload {
                             m.set_params(&from_tensors(params));
                         }
                     }
                 }
+                chan.flush_into(obs);
+                sw.finish(obs);
+            } else {
+                obs.on_event(&RoundEvent::AggregationDone { participants: 0 });
             }
             driver.comms.sync_dropped(chan.stats().dropped_frames);
             driver.timer.add("server", start.elapsed());
         }
 
-        let mean_loss = losses.iter().map(|&l| l as f64).sum::<f64>() / losses.len() as f64;
-        driver.end_round(round, mean_loss, &models, clients);
+        let mean_loss = epoch_losses
+            .iter()
+            .map(|l| *l.last().expect("≥1 local epoch") as f64)
+            .sum::<f64>()
+            / epoch_losses.len() as f64;
+        driver.end_round_observed(round, mean_loss, &models, clients, obs);
         if driver.stopped() {
             break;
         }
     }
-    driver.finish(opts.name)
+    driver.finish_observed(opts.name, obs)
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +431,42 @@ mod tests {
             patience: 40,
             ..TrainConfig::mini(0)
         }
+    }
+
+    #[test]
+    fn driver_reports_early_stop_and_evals_to_the_observer() {
+        use fedomd_telemetry::MemoryObserver;
+        let (cl, k) = clients(2);
+        // Tiny patience against a generous cap: the run must stop early,
+        // and the driver must say so through the observer.
+        let cfg = TrainConfig {
+            rounds: 80,
+            patience: 2,
+            eval_every: 1,
+            ..TrainConfig::mini(0)
+        };
+        let mut mem = MemoryObserver::new();
+        let r = run_generic_observed(
+            &cl,
+            k,
+            &cfg,
+            &GenericOpts {
+                name: "FedMLP",
+                model: ModelKind::Mlp,
+                aggregate: true,
+                prox_mu: 0.0,
+            },
+            &mut InProcChannel::new(),
+            &mut mem,
+        );
+        assert!(
+            (r.comms.rounds as usize) < cfg.rounds,
+            "run must stop early"
+        );
+        assert_eq!(mem.count("early_stopped"), 1);
+        assert_eq!(mem.count("eval_done"), r.history.len());
+        assert_eq!(mem.count("round_started") as u64, r.comms.rounds);
+        assert_eq!(mem.count("run_finished"), 1);
     }
 
     #[test]

@@ -21,9 +21,9 @@ pub mod heterogeneity;
 pub mod secure_agg;
 
 pub use client::{setup_federation, ClientData, FederationConfig};
-pub use comms::CommsLog;
+pub use comms::{CommsLog, Direction, TrafficClass};
 pub use config::{RoundStats, RunResult, TrainConfig};
-pub use engine::{run_generic, run_generic_with, GenericOpts, ModelKind};
+pub use engine::{run_generic, run_generic_observed, run_generic_with, GenericOpts, ModelKind};
 pub use secure_agg::{
     aggregate_masked, secure_weighted_sum, secure_weighted_sum_frames, MaskingContext,
 };

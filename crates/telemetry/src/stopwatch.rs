@@ -1,0 +1,63 @@
+//! [`PhaseStopwatch`]: measure a phase segment, emit one
+//! [`RoundEvent::PhaseDone`].
+
+use std::time::Instant;
+
+use crate::event::{Phase, RoundEvent};
+use crate::observer::RoundObserver;
+
+/// A started wall-clock measurement for one phase segment.
+///
+/// ```
+/// use fedomd_telemetry::{MemoryObserver, Phase, PhaseStopwatch};
+/// let mut obs = MemoryObserver::new();
+/// let sw = PhaseStopwatch::start(Phase::LocalTrain);
+/// // ... the measured work ...
+/// sw.finish(&mut obs);
+/// assert_eq!(obs.count("phase_done"), 1);
+/// ```
+pub struct PhaseStopwatch {
+    phase: Phase,
+    started: Instant,
+}
+
+impl PhaseStopwatch {
+    /// Starts timing `phase` now.
+    pub fn start(phase: Phase) -> Self {
+        Self {
+            phase,
+            started: Instant::now(),
+        }
+    }
+
+    /// Stops and emits `PhaseDone`, returning the elapsed duration so the
+    /// caller can also feed legacy [`fedomd_metrics`]-style buckets.
+    pub fn finish(self, obs: &mut dyn RoundObserver) -> std::time::Duration {
+        let elapsed = self.started.elapsed();
+        obs.on_event(&RoundEvent::PhaseDone {
+            phase: self.phase,
+            micros: elapsed.as_micros() as u64,
+        });
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::MemoryObserver;
+
+    #[test]
+    fn finish_emits_exactly_one_phase_event() {
+        let mut obs = MemoryObserver::new();
+        let d = PhaseStopwatch::start(Phase::Eval).finish(&mut obs);
+        assert_eq!(obs.events.len(), 1);
+        match &obs.events[0] {
+            RoundEvent::PhaseDone { phase, micros } => {
+                assert_eq!(*phase, Phase::Eval);
+                assert!(*micros <= d.as_micros() as u64 + 1);
+            }
+            other => panic!("expected PhaseDone, got {other:?}"),
+        }
+    }
+}

@@ -6,9 +6,12 @@
 //! cargo run --release --example lossy_network
 //! ```
 
-use fedomd_core::{run_fedomd_with, FedOmdConfig};
+use std::collections::BTreeMap;
+
+use fedomd_core::{run_fedomd_observed, run_fedomd_with, FedOmdConfig};
 use fedomd_data::{generate, spec, DatasetName};
 use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
+use fedomd_telemetry::{MemoryObserver, RoundEvent};
 use fedomd_transport::{Channel, FaultConfig, InProcChannel, SimNetChannel};
 
 fn main() {
@@ -35,7 +38,18 @@ fn main() {
         ..Default::default()
     };
     let mut simnet = SimNetChannel::new(faults);
-    let lossy = run_fedomd_with(&clients, dataset.n_classes, &cfg, &omd, &mut simnet);
+    // A telemetry observer rides along and attributes every lost frame to
+    // its payload kind — something the transport's aggregate counters
+    // cannot tell you.
+    let mut mem = MemoryObserver::new();
+    let lossy = run_fedomd_observed(
+        &clients,
+        dataset.n_classes,
+        &cfg,
+        &omd,
+        &mut simnet,
+        &mut mem,
+    );
     let net = simnet.stats();
 
     println!("channel    test acc   uplink MB   dropped frames   retries");
@@ -58,4 +72,32 @@ fn main() {
         net.sent_frames, net.delivered_frames
     );
     println!("arrives by the deadline; missing parties just sit a round out.");
+
+    let mut lost: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for e in &mem.events {
+        if let RoundEvent::FrameDropped { kind, bytes } = e {
+            let slot = lost.entry(kind).or_default();
+            slot.0 += 1;
+            slot.1 += bytes;
+        }
+    }
+    println!("\nlost frames by payload kind (from the telemetry trace):");
+    for (kind, (count, bytes)) in &lost {
+        println!(
+            "  {kind:12} {count:4} frames, {:.1} kB",
+            *bytes as f64 / 1e3
+        );
+    }
+    println!(
+        "partial rounds: {} of {} aggregations ran with fewer than {} parties",
+        mem.events
+            .iter()
+            .filter(|e| matches!(
+                e,
+                RoundEvent::AggregationDone { participants } if *participants < clients.len()
+            ))
+            .count(),
+        mem.count("aggregation_done"),
+        clients.len()
+    );
 }

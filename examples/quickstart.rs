@@ -5,9 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use fedomd_core::{run_fedomd, FedOmdConfig};
+use fedomd_core::{FedRun, RunConfig};
 use fedomd_data::{generate, spec, DatasetName};
-use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
+use fedomd_federated::{setup_federation, FederationConfig};
+use fedomd_telemetry::ConsoleObserver;
 
 fn main() {
     // 1. A Cora-like synthetic dataset (2708-node scale is `DatasetName::Cora`;
@@ -35,13 +36,15 @@ fn main() {
         );
     }
 
-    // 3. Train FedOMD with the paper's hyper-parameters.
-    let result = run_fedomd(
-        &clients,
-        dataset.n_classes,
-        &TrainConfig::mini(0),
-        &FedOmdConfig::paper(),
-    );
+    // 3. Train FedOMD with the paper's hyper-parameters, watching the
+    //    per-evaluation round lines on stderr as it goes. Drop the
+    //    `.observer(...)` line for a silent run — observers never change
+    //    the numbers.
+    let mut console = ConsoleObserver::stderr();
+    let result = FedRun::new(&clients, dataset.n_classes)
+        .config(RunConfig::mini(0))
+        .observer(&mut console)
+        .run();
 
     // 4. Report.
     println!(
