@@ -13,6 +13,13 @@
 //! event per line, see DESIGN.md §10); `--verbose` prints per-evaluation
 //! round lines to stderr. Both are pure observers: attaching them does not
 //! change any reported number.
+//!
+//! `--checkpoint <path>` snapshots the full run state to `path` every
+//! `--checkpoint-every N` rounds (default 1); `--resume <path>` picks a
+//! killed run back up from its latest snapshot, bit-identical to the
+//! uninterrupted run (DESIGN.md §11). Supported for FedOMD and the
+//! FedAvg-family baselines (fedmlp, fedprox, locgcn, fedgcn); the bespoke
+//! loops (scaffold, fedsage+, fedlit) reject the flags.
 
 use fedomd_core::{FedOmdConfig, FedRun, RunConfig};
 use fedomd_data::{generate, spec, DatasetName};
@@ -31,6 +38,9 @@ struct Args {
     resolution: f64,
     telemetry: Option<String>,
     verbose: bool,
+    checkpoint: Option<String>,
+    checkpoint_every: usize,
+    resume: Option<String>,
 }
 
 fn usage() -> ! {
@@ -38,7 +48,8 @@ fn usage() -> ! {
         "usage: fedomd_run --algo <fedomd|fedmlp|fedprox|scaffold|locgcn|fedgcn|fedsage+|fedlit>\n\
          \x20                --dataset <name[-mini]> [--parties M] [--seed S]\n\
          \x20                [--rounds R] [--resolution RES]\n\
-         \x20                [--telemetry PATH.jsonl] [--verbose]"
+         \x20                [--telemetry PATH.jsonl] [--verbose]\n\
+         \x20                [--checkpoint PATH.json] [--checkpoint-every N] [--resume PATH.json]"
     );
     std::process::exit(2)
 }
@@ -52,6 +63,9 @@ fn parse_args() -> Args {
     let mut resolution = 1.0f64;
     let mut telemetry = None;
     let mut verbose = false;
+    let mut checkpoint = None;
+    let mut checkpoint_every = 1usize;
+    let mut resume = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = || it.next().unwrap_or_else(|| usage());
@@ -66,6 +80,11 @@ fn parse_args() -> Args {
             "--resolution" => resolution = value().parse().unwrap_or_else(|_| usage()),
             "--telemetry" => telemetry = Some(value()),
             "--verbose" | "-v" => verbose = true,
+            "--checkpoint" => checkpoint = Some(value()),
+            "--checkpoint-every" => {
+                checkpoint_every = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--resume" => resume = Some(value()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -79,6 +98,9 @@ fn parse_args() -> Args {
         resolution,
         telemetry,
         verbose,
+        checkpoint,
+        checkpoint_every,
+        resume,
     }
 }
 
@@ -114,19 +136,50 @@ fn main() {
         })
     });
     let mut console = args.verbose.then(ConsoleObserver::stderr);
+    let baseline = if args.algo.eq_ignore_ascii_case("fedomd") {
+        None
+    } else {
+        Some(Baseline::parse(&args.algo).unwrap_or_else(|| usage()))
+    };
+    let generic = baseline.and_then(Baseline::generic_opts);
+    if (args.checkpoint.is_some() || args.resume.is_some())
+        && baseline.is_some()
+        && generic.is_none()
+    {
+        eprintln!(
+            "fedomd_run: --checkpoint/--resume are not supported for {}: its bespoke \
+             loop keeps state the run checkpoint does not capture",
+            args.algo
+        );
+        std::process::exit(2);
+    }
     let run = |obs: &mut dyn RoundObserver| {
-        if args.algo.eq_ignore_ascii_case("fedomd") {
-            FedRun::new(&clients, ds.n_classes)
-                .config(RunConfig {
-                    train: cfg.clone(),
-                    omd: FedOmdConfig::paper(),
-                })
-                .observer(obs)
-                .run()
-        } else {
-            let b = Baseline::parse(&args.algo).unwrap_or_else(|| usage());
-            run_baseline_observed(b, &clients, ds.n_classes, &cfg, obs)
+        // The bespoke loops (SCAFFOLD, FedSage+, FedLIT) do not run on the
+        // shared engine; everything else routes through FedRun so the
+        // checkpoint flags apply uniformly.
+        if let (Some(b), None) = (baseline, generic) {
+            return run_baseline_observed(b, &clients, ds.n_classes, &cfg, obs);
         }
+        let train = baseline.map_or_else(|| cfg.clone(), |b| b.adjust_config(&cfg));
+        let mut fed_run = FedRun::new(&clients, ds.n_classes)
+            .config(RunConfig {
+                train,
+                omd: FedOmdConfig::paper(),
+            })
+            .observer(obs);
+        if let Some(opts) = generic {
+            fed_run = fed_run.generic(opts);
+        }
+        if let Some(path) = &args.checkpoint {
+            fed_run = fed_run.checkpoint_every(args.checkpoint_every, path);
+        }
+        if let Some(path) = &args.resume {
+            fed_run = fed_run.resume_from(path).unwrap_or_else(|e| {
+                eprintln!("fedomd_run: cannot resume from {path}: {e}");
+                std::process::exit(2)
+            });
+        }
+        fed_run.run()
     };
     let result = match (&mut jsonl, &mut console) {
         (Some(j), Some(c)) => run(&mut TeeObserver::new(j, c)),

@@ -29,12 +29,15 @@
 pub mod config;
 pub mod protocol;
 pub mod run;
+pub mod run_checkpoint;
 pub mod trainer;
 
 pub use config::FedOmdConfig;
+pub use fedomd_nn::CheckpointError;
 pub use protocol::{
     aggregate_means, aggregate_moments, build_targets, client_means, client_moments_about,
     GlobalStats,
 };
 pub use run::{FedRun, RunConfig};
-pub use trainer::{run_fedomd, run_fedomd_observed, run_fedomd_with};
+pub use run_checkpoint::{FileCheckpointer, RunCheckpoint};
+pub use trainer::{run_fedomd, run_fedomd_observed, run_fedomd_resumable, run_fedomd_with};

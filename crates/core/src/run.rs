@@ -25,13 +25,23 @@
 //! zero-cost [`fedomd_telemetry::NullObserver`]; observers are pure sinks,
 //! so attaching one never changes the numbers (golden-tested in
 //! `tests/telemetry_golden.rs`).
+//!
+//! Runs can additionally be made crash-safe: [`FedRun::checkpoint_every`]
+//! snapshots the full run state every `n` rounds (atomically, via
+//! [`FileCheckpointer`]), and [`FedRun::resume_from`] picks a killed run
+//! back up from its latest snapshot — bit-identical to the uninterrupted
+//! run (golden-tested in `tests/checkpoint_golden.rs`).
 
-use fedomd_federated::{ClientData, GenericOpts, RunResult, TrainConfig};
+use std::path::{Path, PathBuf};
+
+use fedomd_federated::{ClientData, GenericOpts, Persistence, RunResult, TrainConfig};
+use fedomd_nn::CheckpointError;
 use fedomd_telemetry::{NullObserver, RoundObserver};
 use fedomd_transport::{Channel, InProcChannel};
 
 use crate::config::FedOmdConfig;
-use crate::trainer::run_fedomd_observed;
+use crate::run_checkpoint::{FileCheckpointer, RunCheckpoint};
+use crate::trainer::run_fedomd_resumable;
 
 /// The complete configuration of one federated run: the training schedule
 /// shared by every algorithm plus FedOMD's objective hyper-parameters.
@@ -108,6 +118,17 @@ enum RunKind {
     Generic(GenericOpts),
 }
 
+impl RunKind {
+    /// The algorithm name stamped into checkpoints and validated on
+    /// resume.
+    fn algorithm(&self) -> &str {
+        match self {
+            RunKind::FedOmd => "FedOMD",
+            RunKind::Generic(opts) => opts.name,
+        }
+    }
+}
+
 /// Builder for one federated run.
 ///
 /// Composes the four independent axes — algorithm, configuration,
@@ -122,6 +143,9 @@ pub struct FedRun<'a> {
     kind: RunKind,
     channel: Option<&'a mut dyn Channel>,
     observer: Option<&'a mut dyn RoundObserver>,
+    ckpt_every: usize,
+    ckpt_path: Option<PathBuf>,
+    resume: Option<RunCheckpoint>,
 }
 
 impl<'a> FedRun<'a> {
@@ -135,6 +159,9 @@ impl<'a> FedRun<'a> {
             kind: RunKind::FedOmd,
             channel: None,
             observer: None,
+            ckpt_every: 0,
+            ckpt_path: None,
+            resume: None,
         }
     }
 
@@ -176,28 +203,77 @@ impl<'a> FedRun<'a> {
         self
     }
 
+    /// Snapshots the full run state to `path` every `every` rounds
+    /// (atomic overwrite of the same file). `every == 0` disables
+    /// checkpointing.
+    pub fn checkpoint_every(mut self, every: usize, path: impl Into<PathBuf>) -> Self {
+        self.ckpt_every = every;
+        self.ckpt_path = Some(path.into());
+        self
+    }
+
+    /// Resumes from the snapshot at `path`. A missing file is
+    /// [`CheckpointError::Io`]; a truncated or corrupt one is
+    /// [`CheckpointError::Parse`] — a half-written checkpoint is never
+    /// silently restored.
+    pub fn resume_from(self, path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        Ok(self.resume(RunCheckpoint::load(path)?))
+    }
+
+    /// Resumes from an already-loaded checkpoint.
+    pub fn resume(mut self, ckpt: RunCheckpoint) -> Self {
+        self.resume = Some(ckpt);
+        self
+    }
+
     /// Executes the run to completion.
+    ///
+    /// # Panics
+    /// Panics when a resume checkpoint's algorithm or seed does not match
+    /// this run's configuration — restoring foreign state would produce
+    /// silently wrong results.
     pub fn run(self) -> RunResult {
         let mut default_chan = InProcChannel::new();
         let mut default_obs = NullObserver;
         let chan: &mut dyn Channel = self.channel.unwrap_or(&mut default_chan);
         let obs: &mut dyn RoundObserver = self.observer.unwrap_or(&mut default_obs);
+        let algorithm = self.kind.algorithm();
+        let resume = self.resume.map(|ckpt| {
+            assert_eq!(
+                ckpt.algorithm, algorithm,
+                "resume: checkpoint was taken by a different algorithm"
+            );
+            assert_eq!(
+                ckpt.seed, self.config.train.seed,
+                "resume: checkpoint was taken under a different seed"
+            );
+            ckpt.state
+        });
+        let mut sink = self.ckpt_path.filter(|_| self.ckpt_every > 0).map(|path| {
+            FileCheckpointer::new(path, self.ckpt_every, algorithm, self.config.train.seed)
+        });
+        let persist = Persistence {
+            resume,
+            sink: sink.as_mut().map(|s| s as _),
+        };
         match self.kind {
-            RunKind::FedOmd => run_fedomd_observed(
+            RunKind::FedOmd => run_fedomd_resumable(
                 self.clients,
                 self.n_classes,
                 &self.config.train,
                 &self.config.omd,
                 chan,
                 obs,
+                persist,
             ),
-            RunKind::Generic(opts) => fedomd_federated::run_generic_observed(
+            RunKind::Generic(opts) => fedomd_federated::run_generic_resumable(
                 self.clients,
                 self.n_classes,
                 &self.config.train,
                 &opts,
                 chan,
                 obs,
+                persist,
             ),
         }
     }

@@ -35,7 +35,10 @@ use rayon::prelude::*;
 use fedomd_autograd::{CmdTargets, Tape, Var};
 use fedomd_federated::engine::RoundDriver;
 use fedomd_federated::helpers::fedavg;
-use fedomd_federated::{ClientData, Direction, RunResult, TrafficClass, TrainConfig};
+use fedomd_federated::{
+    ClientData, Direction, Persistence, ResumeState, RunResult, StatsCache, TrafficClass,
+    TrainConfig,
+};
 use fedomd_nn::{Adam, ForwardOut, Model, Optimizer, OrthoGcn, OrthoGcnConfig};
 use fedomd_telemetry::{
     NullObserver, ObservedChannel, Phase, PhaseStopwatch, RoundEvent, RoundObserver,
@@ -84,6 +87,36 @@ pub fn run_fedomd_observed(
     chan: &mut dyn Channel,
     obs: &mut dyn RoundObserver,
 ) -> RunResult {
+    run_fedomd_resumable(
+        clients,
+        n_classes,
+        cfg,
+        omd,
+        chan,
+        obs,
+        Persistence::default(),
+    )
+}
+
+/// [`run_fedomd_observed`] with checkpoint/resume wiring: restores
+/// `persist.resume` (per-client parameters, Adam moments, driver
+/// bookkeeping, channel fault-stream cursor) before the loop, enters at
+/// the restored round, and hands `persist.sink` a [`ResumeState`] snapshot
+/// every `sink.every()` rounds — including the last aggregated global
+/// model and global statistics, so a served checkpoint carries the full
+/// round outcome. A resumed run is bit-identical to the same run left
+/// uninterrupted: every RNG stream is derived from `(seed, round)` or a
+/// checkpointed cursor, and snapshots land on round boundaries where the
+/// channel has no frames in flight.
+pub fn run_fedomd_resumable(
+    clients: &[ClientData],
+    n_classes: usize,
+    cfg: &TrainConfig,
+    omd: &FedOmdConfig,
+    chan: &mut dyn Channel,
+    obs: &mut dyn RoundObserver,
+    mut persist: Persistence<'_>,
+) -> RunResult {
     assert!(!clients.is_empty(), "run_fedomd: no clients");
     let f = clients[0].input.n_features();
     let ocfg = OrthoGcnConfig {
@@ -106,12 +139,56 @@ pub fn run_fedomd_observed(
         .map(|_| Adam::new(cfg.lr, cfg.weight_decay))
         .collect();
 
-    let mut driver = RoundDriver::new(cfg);
+    // The last aggregated global model / statistics, tracked only when a
+    // sink wants snapshots (pure bookkeeping: never read by the loop).
+    let track = persist.sink.is_some();
+    let mut last_global: Option<Vec<Matrix>> = None;
+    let mut last_stats: Option<StatsCache> = None;
+
+    let mut driver;
+    let start_round;
+    if let Some(resume) = persist.resume.take() {
+        assert_eq!(
+            resume.params.len(),
+            models.len(),
+            "resume: checkpoint has {} clients, federation has {}",
+            resume.params.len(),
+            models.len()
+        );
+        for (mo, p) in models.iter_mut().zip(&resume.params) {
+            mo.set_params(p);
+        }
+        // The Newton–Schulz cadence counts optimiser steps; restoring the
+        // parameters without the counter would shift every later NS pass.
+        for (mo, &steps) in models.iter_mut().zip(&resume.model_steps) {
+            mo.set_steps(steps as usize);
+        }
+        for (opt, st) in optimizers.iter_mut().zip(resume.optim) {
+            opt.set_state(st);
+        }
+        chan.restore_state(&resume.channel);
+        last_global = resume.global;
+        last_stats = resume.stats;
+        driver = RoundDriver::resume(cfg, resume.driver);
+        start_round = resume.next_round;
+    } else {
+        driver = RoundDriver::new(cfg);
+        start_round = 0;
+    }
     let m = clients.len();
     driver.announce("FedOMD", m, obs);
+    if start_round > 0 {
+        obs.on_event(&RoundEvent::Resumed {
+            round: start_round as u64,
+        });
+    }
     let mut chan = ObservedChannel::new(chan);
 
-    for round in 0..cfg.rounds {
+    for round in start_round..cfg.rounds {
+        // A checkpoint taken after early stopping resumes already-stopped.
+        if driver.stopped() {
+            break;
+        }
         obs.on_event(&RoundEvent::RoundStarted {
             round: round as u64,
         });
@@ -237,6 +314,12 @@ pub fn run_fedomd_observed(
             if let Some(means) = &global_means {
                 if !round2.is_empty() {
                     let moments = aggregate_moments(&round2);
+                    if track {
+                        last_stats = Some(StatsCache {
+                            means: means.clone(),
+                            moments: moments.clone(),
+                        });
+                    }
                     for (i, slot) in per_client.iter_mut().enumerate() {
                         let bytes = chan.download(
                             i as u32,
@@ -379,6 +462,9 @@ pub fn run_fedomd_observed(
             let weights = vec![1.0; participants];
             let global = fedavg(&sets, &weights);
             sw.finish(obs);
+            if track {
+                last_global = Some(global.clone());
+            }
             obs.on_event(&RoundEvent::AggregationDone { participants });
             let sw = PhaseStopwatch::start(Phase::Comms);
             for (i, mo) in models.iter_mut().enumerate() {
@@ -411,6 +497,21 @@ pub fn run_fedomd_observed(
 
         let mean_loss = losses.iter().map(|&(l, ..)| l as f64).sum::<f64>() / losses.len() as f64;
         driver.end_round_observed(round, mean_loss, &models, clients, obs);
+        if let Some(sink) = persist.sink.as_mut() {
+            if sink.every() > 0 && (round + 1).is_multiple_of(sink.every()) {
+                let state = ResumeState {
+                    next_round: round + 1,
+                    params: models.iter().map(|mo| mo.params()).collect(),
+                    optim: optimizers.iter().map(Adam::state).collect(),
+                    model_steps: models.iter().map(|mo| mo.steps() as u64).collect(),
+                    driver: driver.snapshot(),
+                    channel: chan.export_state(),
+                    global: last_global.clone(),
+                    stats: last_stats.clone(),
+                };
+                sink.save(state, obs);
+            }
+        }
         if driver.stopped() {
             break;
         }

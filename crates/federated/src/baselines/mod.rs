@@ -68,6 +68,54 @@ impl Baseline {
             _ => return None,
         })
     }
+
+    /// The generic-engine options for the FedAvg-family baselines, `None`
+    /// for the bespoke loops (SCAFFOLD, FedSage+, FedLIT). Baselines with
+    /// options run on the shared engine and therefore support run
+    /// checkpoint/resume.
+    pub fn generic_opts(self) -> Option<GenericOpts> {
+        Some(match self {
+            Baseline::FedMlp => GenericOpts {
+                name: "FedMLP",
+                model: ModelKind::Mlp,
+                aggregate: true,
+                prox_mu: 0.0,
+            },
+            Baseline::FedProx => GenericOpts {
+                name: "FedProx",
+                model: ModelKind::Mlp,
+                aggregate: true,
+                prox_mu: 0.01,
+            },
+            Baseline::LocGcn => GenericOpts {
+                name: "LocGCN",
+                model: ModelKind::Gcn,
+                aggregate: false,
+                prox_mu: 0.0,
+            },
+            Baseline::FedGcn => GenericOpts {
+                name: "FedGCN",
+                model: ModelKind::Gcn,
+                aggregate: true,
+                prox_mu: 0.0,
+            },
+            Baseline::Scaffold | Baseline::FedSagePlus | Baseline::FedLit => return None,
+        })
+    }
+
+    /// The baseline-specific training-schedule adjustment. FedProx's
+    /// proximal term only acts once local weights drift from the round's
+    /// global snapshot; at one local epoch per round it is identically
+    /// zero, so FedProx's own recipe (Li et al.) gets at least two.
+    pub fn adjust_config(self, cfg: &TrainConfig) -> TrainConfig {
+        match self {
+            Baseline::FedProx => TrainConfig {
+                local_epochs: cfg.local_epochs.max(2),
+                ..cfg.clone()
+            },
+            _ => cfg.clone(),
+        }
+    }
 }
 
 /// Runs one baseline end to end, without telemetry.
@@ -93,70 +141,21 @@ pub fn run_baseline_observed(
     cfg: &TrainConfig,
     obs: &mut dyn RoundObserver,
 ) -> RunResult {
-    let generic = |cfg: &TrainConfig, opts: &GenericOpts, obs: &mut dyn RoundObserver| {
-        run_generic_observed(
+    if let Some(opts) = which.generic_opts() {
+        return run_generic_observed(
             clients,
             n_classes,
-            cfg,
-            opts,
+            &which.adjust_config(cfg),
+            &opts,
             &mut InProcChannel::new(),
             obs,
-        )
-    };
+        );
+    }
     match which {
-        Baseline::FedMlp => generic(
-            cfg,
-            &GenericOpts {
-                name: "FedMLP",
-                model: ModelKind::Mlp,
-                aggregate: true,
-                prox_mu: 0.0,
-            },
-            obs,
-        ),
-        Baseline::FedProx => {
-            // The proximal term only acts once local weights drift from the
-            // round's global snapshot; at one local epoch per round it is
-            // identically zero. FedProx's own recipe (Li et al.) runs
-            // multiple local epochs, so give it at least two.
-            let cfg = TrainConfig {
-                local_epochs: cfg.local_epochs.max(2),
-                ..cfg.clone()
-            };
-            generic(
-                &cfg,
-                &GenericOpts {
-                    name: "FedProx",
-                    model: ModelKind::Mlp,
-                    aggregate: true,
-                    prox_mu: 0.01,
-                },
-                obs,
-            )
-        }
-        Baseline::LocGcn => generic(
-            cfg,
-            &GenericOpts {
-                name: "LocGCN",
-                model: ModelKind::Gcn,
-                aggregate: false,
-                prox_mu: 0.0,
-            },
-            obs,
-        ),
-        Baseline::FedGcn => generic(
-            cfg,
-            &GenericOpts {
-                name: "FedGCN",
-                model: ModelKind::Gcn,
-                aggregate: true,
-                prox_mu: 0.0,
-            },
-            obs,
-        ),
         Baseline::Scaffold => scaffold::run_scaffold_observed(clients, n_classes, cfg, obs),
         Baseline::FedSagePlus => fedsage::run_fedsage_plus_observed(clients, n_classes, cfg, obs),
         Baseline::FedLit => fedlit::run_fedlit_observed(clients, n_classes, cfg, obs),
+        _ => unreachable!("generic baselines handled above"),
     }
 }
 
@@ -177,5 +176,27 @@ mod tests {
             assert_eq!(Baseline::parse(b.name()), Some(b), "{:?}", b);
         }
         assert_eq!(Baseline::parse("nope"), None);
+    }
+
+    #[test]
+    fn generic_opts_cover_exactly_the_fedavg_family() {
+        for b in ALL_BASELINES {
+            match b {
+                Baseline::Scaffold | Baseline::FedSagePlus | Baseline::FedLit => {
+                    assert!(b.generic_opts().is_none(), "{:?} is bespoke", b)
+                }
+                _ => assert_eq!(b.generic_opts().expect("generic").name, b.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn only_fedprox_adjusts_the_schedule() {
+        let cfg = TrainConfig::mini(0);
+        assert_eq!(Baseline::FedProx.adjust_config(&cfg).local_epochs, 2);
+        assert_eq!(
+            Baseline::FedGcn.adjust_config(&cfg).local_epochs,
+            cfg.local_epochs
+        );
     }
 }

@@ -15,9 +15,6 @@
 //!   training loops record, always ≥ the scalar estimate;
 //! * the scalar estimate [`CommsLog::record_scalars`] (`4 × n_scalars`) —
 //!   for baselines that have not moved onto a channel.
-//!
-//! The eight historical `upload_*`/`download_*` methods remain as thin
-//! deprecated wrappers over `record`.
 
 /// Which way bytes crossed the star topology.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,61 +82,6 @@ impl CommsLog {
     /// (for paths that do not ship real encoded frames).
     pub fn record_scalars(&mut self, dir: Direction, class: TrafficClass, n_scalars: usize) {
         self.record(dir, class, n_scalars as u64 * SCALAR_BYTES);
-    }
-
-    /// Records a client uploading `n_scalars` model weights (scalar
-    /// estimate: 4 bytes each).
-    #[deprecated(note = "use record_scalars(Direction::Uplink, TrafficClass::Weights, _)")]
-    pub fn upload_weights(&mut self, n_scalars: usize) {
-        self.record_scalars(Direction::Uplink, TrafficClass::Weights, n_scalars);
-    }
-
-    /// Records a client downloading `n_scalars` model weights.
-    #[deprecated(note = "use record_scalars(Direction::Downlink, TrafficClass::Weights, _)")]
-    pub fn download_weights(&mut self, n_scalars: usize) {
-        self.record_scalars(Direction::Downlink, TrafficClass::Weights, n_scalars);
-    }
-
-    /// Records a client uploading `n_scalars` of statistics (counted both
-    /// in the uplink total and the stats sub-bucket).
-    #[deprecated(note = "use record_scalars(Direction::Uplink, TrafficClass::Stats, _)")]
-    pub fn upload_stats(&mut self, n_scalars: usize) {
-        self.record_scalars(Direction::Uplink, TrafficClass::Stats, n_scalars);
-    }
-
-    /// Records server → client statistics broadcast.
-    #[deprecated(note = "use record_scalars(Direction::Downlink, TrafficClass::Stats, _)")]
-    pub fn download_stats(&mut self, n_scalars: usize) {
-        self.record_scalars(Direction::Downlink, TrafficClass::Stats, n_scalars);
-    }
-
-    /// Records an encoded weight-update frame leaving a client.
-    #[deprecated(note = "use record(Direction::Uplink, TrafficClass::Weights, _)")]
-    pub fn upload_weights_frame(&mut self, frame_bytes: usize) {
-        self.record(Direction::Uplink, TrafficClass::Weights, frame_bytes as u64);
-    }
-
-    /// Records an encoded model frame reaching a client.
-    #[deprecated(note = "use record(Direction::Downlink, TrafficClass::Weights, _)")]
-    pub fn download_weights_frame(&mut self, frame_bytes: usize) {
-        self.record(
-            Direction::Downlink,
-            TrafficClass::Weights,
-            frame_bytes as u64,
-        );
-    }
-
-    /// Records an encoded statistics frame leaving a client (uplink total
-    /// and stats sub-bucket).
-    #[deprecated(note = "use record(Direction::Uplink, TrafficClass::Stats, _)")]
-    pub fn upload_stats_frame(&mut self, frame_bytes: usize) {
-        self.record(Direction::Uplink, TrafficClass::Stats, frame_bytes as u64);
-    }
-
-    /// Records an encoded statistics frame reaching a client.
-    #[deprecated(note = "use record(Direction::Downlink, TrafficClass::Stats, _)")]
-    pub fn download_stats_frame(&mut self, frame_bytes: usize) {
-        self.record(Direction::Downlink, TrafficClass::Stats, frame_bytes as u64);
     }
 
     /// Overwrites the dropped-message count with the transport's current
@@ -216,42 +158,18 @@ mod tests {
 
     #[test]
     fn record_counts_whole_frames() {
+        // 100 scalars plus framing (header, shapes, checksum).
+        let frame_bytes = 426u64;
         let mut log = CommsLog::new();
-        log.record(Direction::Uplink, TrafficClass::Weights, 426); // 100 scalars + framing
+        log.record(Direction::Uplink, TrafficClass::Weights, frame_bytes);
         log.record(Direction::Uplink, TrafficClass::Stats, 66);
-        log.record(Direction::Downlink, TrafficClass::Weights, 426);
+        log.record(Direction::Downlink, TrafficClass::Weights, frame_bytes);
         log.record(Direction::Downlink, TrafficClass::Stats, 66);
         assert_eq!(log.uplink_bytes, 492);
         assert_eq!(log.stats_uplink_bytes, 66);
         assert_eq!(log.downlink_bytes, 492);
         // A frame is never smaller than the scalar estimate of its payload.
-        assert!(426 > 100 * SCALAR_BYTES);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_to_record() {
-        let mut old = CommsLog::new();
-        old.upload_weights(100);
-        old.download_weights(50);
-        old.upload_stats(10);
-        old.download_stats(5);
-        old.upload_weights_frame(426);
-        old.download_weights_frame(426);
-        old.upload_stats_frame(66);
-        old.download_stats_frame(66);
-
-        let mut new = CommsLog::new();
-        new.record_scalars(Direction::Uplink, TrafficClass::Weights, 100);
-        new.record_scalars(Direction::Downlink, TrafficClass::Weights, 50);
-        new.record_scalars(Direction::Uplink, TrafficClass::Stats, 10);
-        new.record_scalars(Direction::Downlink, TrafficClass::Stats, 5);
-        new.record(Direction::Uplink, TrafficClass::Weights, 426);
-        new.record(Direction::Downlink, TrafficClass::Weights, 426);
-        new.record(Direction::Uplink, TrafficClass::Stats, 66);
-        new.record(Direction::Downlink, TrafficClass::Stats, 66);
-
-        assert_eq!(old, new);
+        assert!(frame_bytes > 100 * SCALAR_BYTES);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 
-use fedomd_nn::{Adam, Gcn, Mlp, Model};
+use fedomd_nn::{Adam, AdamState, Gcn, Mlp, Model};
 use fedomd_tensor::rng::{derive, seeded};
 use fedomd_tensor::Matrix;
 
@@ -33,7 +33,8 @@ use fedomd_telemetry::{
     NullObserver, ObservedChannel, Phase, PhaseStopwatch, RoundEvent, RoundObserver,
 };
 use fedomd_transport::{
-    from_tensors, to_tensors, Channel, Envelope, InProcChannel, Payload, SERVER_SENDER,
+    from_tensors, to_tensors, Channel, ChannelState, Envelope, InProcChannel, Payload,
+    SERVER_SENDER,
 };
 
 /// Which local architecture the generic runner instantiates.
@@ -57,6 +58,90 @@ pub struct GenericOpts {
     pub aggregate: bool,
     /// FedProx proximal coefficient `μ` (0 disables the term).
     pub prox_mu: f32,
+}
+
+/// The [`RoundDriver`]'s persistent bookkeeping, exportable for run
+/// checkpoints. The wall-clock timer is deliberately excluded — elapsed
+/// time is not reproducible, and the bit-identity guarantee covers
+/// everything else.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriverState {
+    /// Accuracy/loss history of the evaluated rounds so far.
+    pub history: Vec<RoundStats>,
+    /// Best validation accuracy seen (`-inf` before the first eval).
+    pub best_val: f64,
+    /// Test accuracy at the best-validation round.
+    pub best_test: f64,
+    /// Round of the best validation accuracy.
+    pub best_round: usize,
+    /// Eval-rounds elapsed since the last improvement (early stopping).
+    pub rounds_since_improve: usize,
+    /// Whether early stopping has already triggered.
+    pub stopped: bool,
+    /// Communication accounting so far.
+    pub comms: CommsLog,
+}
+
+/// FedOMD's cached global statistics (means + central moments per hidden
+/// layer), in plain vector form so a checkpoint can carry them without
+/// this crate knowing the trainer's own types.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsCache {
+    /// Per hidden layer: the global feature means.
+    pub means: Vec<Vec<f32>>,
+    /// Per hidden layer, per order (2..=K): the global central moments.
+    pub moments: Vec<Vec<Vec<f32>>>,
+}
+
+/// Everything a run needs to continue from a round boundary exactly as if
+/// it had never stopped. Captured after round `next_round - 1` completed
+/// (history recorded, comms synced, no frames in flight).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResumeState {
+    /// The round the resumed loop enters first.
+    pub next_round: usize,
+    /// Per-client model parameters.
+    pub params: Vec<Vec<Matrix>>,
+    /// Per-client Adam state, aligned with `params`.
+    pub optim: Vec<AdamState>,
+    /// Per-client optimiser step counters, for models whose behaviour
+    /// depends on the step index beyond their parameters (OrthoGcn's
+    /// periodic Newton–Schulz). Always zero for the stateless generic
+    /// models (MLP, GCN).
+    pub model_steps: Vec<u64>,
+    /// Driver bookkeeping (history, early stopping, comms).
+    pub driver: DriverState,
+    /// Transport state (fault-stream cursor + cumulative counters).
+    pub channel: ChannelState,
+    /// Last aggregated global model, when the algorithm tracks one
+    /// separately from the per-client copies (FedOMD Phase 4).
+    pub global: Option<Vec<Matrix>>,
+    /// Last global statistics exchange (FedOMD Phases 2–3).
+    pub stats: Option<StatsCache>,
+}
+
+/// Where periodic [`ResumeState`] snapshots go. Implemented by
+/// `fedomd-core`'s file checkpointer; kept as a trait here so the round
+/// loops stay ignorant of serialisation and paths.
+pub trait CheckpointSink {
+    /// Snapshot period in rounds (0 disables saving).
+    fn every(&self) -> usize;
+
+    /// Persists one snapshot. Implementations report
+    /// `RoundEvent::CheckpointSaved` through `obs` once the snapshot is
+    /// durable.
+    fn save(&mut self, state: ResumeState, obs: &mut dyn RoundObserver);
+}
+
+/// Checkpoint/resume wiring of a resumable run; `Default` is a plain
+/// one-shot run (nothing restored, nothing saved).
+#[derive(Default)]
+pub struct Persistence<'a> {
+    /// Snapshot to restore before the first round (the loop then enters at
+    /// [`ResumeState::next_round`]).
+    pub resume: Option<ResumeState>,
+    /// Periodic snapshot destination.
+    pub sink: Option<&'a mut dyn CheckpointSink>,
 }
 
 /// Round-loop bookkeeping shared by every algorithm.
@@ -87,6 +172,36 @@ impl RoundDriver {
             stopped: false,
             comms: CommsLog::new(),
             timer: fedomd_metrics::Timer::new(),
+        }
+    }
+
+    /// A driver continuing from a checkpointed [`DriverState`]. The timer
+    /// restarts from zero: wall-clock is the one run artefact that cannot
+    /// be (and is not promised to be) bit-identical across a resume.
+    pub fn resume(cfg: &TrainConfig, state: DriverState) -> Self {
+        Self {
+            cfg: cfg.clone(),
+            history: state.history,
+            best_val: state.best_val,
+            best_test: state.best_test,
+            best_round: state.best_round,
+            rounds_since_improve: state.rounds_since_improve,
+            stopped: state.stopped,
+            comms: state.comms,
+            timer: fedomd_metrics::Timer::new(),
+        }
+    }
+
+    /// Snapshots the persistent bookkeeping for a run checkpoint.
+    pub fn snapshot(&self) -> DriverState {
+        DriverState {
+            history: self.history.clone(),
+            best_val: self.best_val,
+            best_test: self.best_test,
+            best_round: self.best_round,
+            rounds_since_improve: self.rounds_since_improve,
+            stopped: self.stopped,
+            comms: self.comms,
         }
     }
 
@@ -249,6 +364,32 @@ pub fn run_generic_observed(
     chan: &mut dyn Channel,
     obs: &mut dyn RoundObserver,
 ) -> RunResult {
+    run_generic_resumable(
+        clients,
+        n_classes,
+        cfg,
+        opts,
+        chan,
+        obs,
+        Persistence::default(),
+    )
+}
+
+/// [`run_generic_observed`] with checkpoint/resume wiring: restores
+/// `persist.resume` (model parameters, Adam moments, driver bookkeeping,
+/// channel fault-stream cursor) before the loop, enters at the restored
+/// round, and hands `persist.sink` a [`ResumeState`] snapshot every
+/// `sink.every()` rounds. A resumed run is bit-identical to the same run
+/// left uninterrupted.
+pub fn run_generic_resumable(
+    clients: &[ClientData],
+    n_classes: usize,
+    cfg: &TrainConfig,
+    opts: &GenericOpts,
+    chan: &mut dyn Channel,
+    obs: &mut dyn RoundObserver,
+    mut persist: Persistence<'_>,
+) -> RunResult {
     assert!(!clients.is_empty(), "run_generic: no clients");
     let mut models: Vec<Box<dyn Model>> = clients
         .iter()
@@ -270,11 +411,45 @@ pub fn run_generic_observed(
         .map(|_| Adam::new(cfg.lr, cfg.weight_decay))
         .collect();
 
-    let mut driver = RoundDriver::new(cfg);
+    let mut driver;
+    let start_round;
+    if let Some(resume) = persist.resume.take() {
+        assert_eq!(
+            resume.params.len(),
+            models.len(),
+            "resume: checkpoint has {} clients, federation has {}",
+            resume.params.len(),
+            models.len()
+        );
+        for (m, p) in models.iter_mut().zip(&resume.params) {
+            m.set_params(p);
+        }
+        for (m, &steps) in models.iter_mut().zip(&resume.model_steps) {
+            m.set_steps(steps as usize);
+        }
+        for (opt, st) in optimizers.iter_mut().zip(resume.optim) {
+            opt.set_state(st);
+        }
+        chan.restore_state(&resume.channel);
+        driver = RoundDriver::resume(cfg, resume.driver);
+        start_round = resume.next_round;
+    } else {
+        driver = RoundDriver::new(cfg);
+        start_round = 0;
+    }
     driver.announce(opts.name, clients.len(), obs);
+    if start_round > 0 {
+        obs.on_event(&RoundEvent::Resumed {
+            round: start_round as u64,
+        });
+    }
     let mut chan = ObservedChannel::new(chan);
 
-    for round in 0..cfg.rounds {
+    for round in start_round..cfg.rounds {
+        // A checkpoint taken after early stopping resumes already-stopped.
+        if driver.stopped() {
+            break;
+        }
         obs.on_event(&RoundEvent::RoundStarted {
             round: round as u64,
         });
@@ -405,6 +580,21 @@ pub fn run_generic_observed(
             .sum::<f64>()
             / epoch_losses.len() as f64;
         driver.end_round_observed(round, mean_loss, &models, clients, obs);
+        if let Some(sink) = persist.sink.as_mut() {
+            if sink.every() > 0 && (round + 1).is_multiple_of(sink.every()) {
+                let state = ResumeState {
+                    next_round: round + 1,
+                    params: models.iter().map(|m| m.params()).collect(),
+                    optim: optimizers.iter().map(Adam::state).collect(),
+                    model_steps: models.iter().map(|m| m.steps() as u64).collect(),
+                    driver: driver.snapshot(),
+                    channel: chan.export_state(),
+                    global: None,
+                    stats: None,
+                };
+                sink.save(state, obs);
+            }
+        }
         if driver.stopped() {
             break;
         }

@@ -23,7 +23,10 @@ pub mod secure_agg;
 pub use client::{setup_federation, ClientData, FederationConfig};
 pub use comms::{CommsLog, Direction, TrafficClass};
 pub use config::{RoundStats, RunResult, TrainConfig};
-pub use engine::{run_generic, run_generic_observed, run_generic_with, GenericOpts, ModelKind};
+pub use engine::{
+    run_generic, run_generic_observed, run_generic_resumable, run_generic_with, CheckpointSink,
+    DriverState, GenericOpts, ModelKind, Persistence, ResumeState, StatsCache,
+};
 pub use secure_agg::{
     aggregate_masked, secure_weighted_sum, secure_weighted_sum_frames, MaskingContext,
 };

@@ -234,6 +234,28 @@ pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
     )
 }
 
+/// Writes `text` to `path` atomically: the bytes go to a `.tmp` sibling,
+/// are synced to disk, and only then renamed over `path`. A crash at any
+/// point leaves either the previous file or the complete new one — never a
+/// truncated hybrid. Returns the number of bytes written.
+pub fn write_atomic(path: impl AsRef<std::path::Path>, text: &str) -> std::io::Result<u64> {
+    use std::io::Write;
+
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(text.as_bytes())?;
+    // The data must be durable before the rename publishes it; otherwise a
+    // power cut could leave a fully-renamed but empty file.
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    Ok(text.len() as u64)
+}
+
 fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
     if let Some(width) = indent {
         out.push('\n');
@@ -571,6 +593,26 @@ mod tests {
     fn duplicate_keys_resolve_to_first() {
         let v = Json::parse(r#"{"k": 1, "k": 2}"#).unwrap();
         assert_eq!(v.get("k").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join("fedomd-jsonio-atomic-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("doc.json");
+        let tmp = dir.join("doc.json.tmp");
+
+        let n = write_atomic(&path, "{\"v\":1}").expect("first write");
+        assert_eq!(n, 7);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        assert!(!tmp.exists(), "tmp file must be renamed away");
+
+        // Overwrite: the new content fully replaces the old.
+        write_atomic(&path, "{\"v\":2}").expect("second write");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        assert!(!tmp.exists());
+
+        let _ = std::fs::remove_file(&path);
     }
 
     proptest! {

@@ -4,8 +4,12 @@
 //! scale) and then serves the global model; this module provides the
 //! persistence layer — shape-validated on load so a checkpoint from a
 //! differently-configured model fails loudly instead of silently
-//! mis-assigning weights.
+//! mis-assigning weights. Failures are typed ([`CheckpointError`]) so
+//! callers — including the run-level checkpoint loader built on top of
+//! this module — can distinguish a missing file from a truncated one from
+//! a shape clash.
 
+use std::fmt;
 use std::io::{Read, Write};
 use std::path::Path;
 
@@ -13,6 +17,87 @@ use fedomd_jsonio::{obj, Json};
 
 use crate::model::Model;
 use fedomd_tensor::Matrix;
+
+/// Why a checkpoint could not be saved, loaded, or restored.
+///
+/// The variants partition the failure space along the axis a caller acts
+/// on: [`Io`](CheckpointError::Io) is retryable/environmental,
+/// [`Parse`](CheckpointError::Parse) means the bytes are not a valid
+/// snapshot (e.g. a file truncated by a crash mid-write), and the three
+/// mismatch variants mean the snapshot is valid but belongs to a
+/// differently-configured run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckpointError {
+    /// Filesystem failure: open, create, read, write, or rename.
+    Io(String),
+    /// The bytes are not a valid checkpoint document: malformed or
+    /// truncated JSON, missing fields, or inconsistent matrix data.
+    Parse(String),
+    /// A metadata tag disagrees (architecture, algorithm, seed, ...).
+    Mismatch {
+        /// Which tag disagreed (e.g. `"architecture"`).
+        what: String,
+        /// Value carried by the checkpoint.
+        found: String,
+        /// Value the caller expected.
+        expected: String,
+    },
+    /// The checkpoint carries a different number of parameter matrices
+    /// than the target model exposes.
+    ArityMismatch {
+        /// Parameter count in the checkpoint.
+        found: usize,
+        /// Parameter count of the target model.
+        expected: usize,
+    },
+    /// One parameter matrix has the wrong shape.
+    ShapeMismatch {
+        /// Position in the parameter list.
+        index: usize,
+        /// `(rows, cols)` in the checkpoint.
+        found: (usize, usize),
+        /// `(rows, cols)` of the target model.
+        expected: (usize, usize),
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "checkpoint io: {msg}"),
+            CheckpointError::Parse(msg) => write!(f, "checkpoint parse: {msg}"),
+            CheckpointError::Mismatch {
+                what,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint {what} mismatch: found {found:?}, expected {expected:?}"
+            ),
+            CheckpointError::ArityMismatch { found, expected } => write!(
+                f,
+                "checkpoint parameter arity mismatch: checkpoint has {found}, model has {expected}"
+            ),
+            CheckpointError::ShapeMismatch {
+                index,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint parameter {index} shape mismatch: checkpoint {found:?}, model {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl CheckpointError {
+    /// Wraps an I/O error with the path it concerned.
+    fn io(path: &Path, e: std::io::Error) -> Self {
+        CheckpointError::Io(format!("{path:?}: {e}"))
+    }
+}
 
 /// A serialisable parameter snapshot with provenance metadata.
 #[derive(Clone, Debug, PartialEq)]
@@ -35,28 +120,32 @@ impl Checkpoint {
 
     /// Restores into `model` after verifying arity, shapes, and (when
     /// `expect_architecture` is non-empty) the architecture tag.
-    pub fn restore(&self, model: &mut dyn Model, expect_architecture: &str) -> Result<(), String> {
+    pub fn restore(
+        &self,
+        model: &mut dyn Model,
+        expect_architecture: &str,
+    ) -> Result<(), CheckpointError> {
         if !expect_architecture.is_empty() && self.architecture != expect_architecture {
-            return Err(format!(
-                "architecture mismatch: checkpoint is {:?}, expected {:?}",
-                self.architecture, expect_architecture
-            ));
+            return Err(CheckpointError::Mismatch {
+                what: "architecture".into(),
+                found: self.architecture.clone(),
+                expected: expect_architecture.into(),
+            });
         }
         let current = model.params();
         if current.len() != self.params.len() {
-            return Err(format!(
-                "parameter arity mismatch: checkpoint has {}, model has {}",
-                self.params.len(),
-                current.len()
-            ));
+            return Err(CheckpointError::ArityMismatch {
+                found: self.params.len(),
+                expected: current.len(),
+            });
         }
         for (i, (a, b)) in self.params.iter().zip(&current).enumerate() {
             if a.shape() != b.shape() {
-                return Err(format!(
-                    "parameter {i} shape mismatch: checkpoint {:?}, model {:?}",
-                    a.shape(),
-                    b.shape()
-                ));
+                return Err(CheckpointError::ShapeMismatch {
+                    index: i,
+                    found: a.shape(),
+                    expected: b.shape(),
+                });
             }
         }
         model.set_params(&self.params);
@@ -76,20 +165,23 @@ impl Checkpoint {
 
     /// Parses the JSON document form (shape invariants re-validated by
     /// the `Matrix` wire format).
-    pub fn from_json(doc: &Json) -> Result<Self, String> {
+    pub fn from_json(doc: &Json) -> Result<Self, CheckpointError> {
         let architecture = doc
             .get("architecture")
             .and_then(Json::as_str)
-            .ok_or("checkpoint json: missing or invalid field `architecture`")?
+            .ok_or_else(|| {
+                CheckpointError::Parse("missing or invalid field `architecture`".into())
+            })?
             .to_string();
         let items = doc
             .get("params")
             .and_then(Json::as_array)
-            .ok_or("checkpoint json: missing or invalid field `params`")?;
+            .ok_or_else(|| CheckpointError::Parse("missing or invalid field `params`".into()))?;
         let params = items
             .iter()
             .map(Matrix::from_json)
-            .collect::<Result<Vec<_>, _>>()?;
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(CheckpointError::Parse)?;
         Ok(Self {
             architecture,
             params,
@@ -97,31 +189,33 @@ impl Checkpoint {
     }
 
     /// Serialises to a JSON writer.
-    pub fn write_to(&self, mut w: impl Write) -> Result<(), String> {
+    pub fn write_to(&self, mut w: impl Write) -> Result<(), CheckpointError> {
         w.write_all(self.to_json().to_compact().as_bytes())
-            .map_err(|e| format!("checkpoint write: {e}"))
+            .map_err(|e| CheckpointError::Io(format!("write: {e}")))
     }
 
     /// Deserialises from a JSON reader.
-    pub fn read_from(mut r: impl Read) -> Result<Self, String> {
+    pub fn read_from(mut r: impl Read) -> Result<Self, CheckpointError> {
         let mut text = String::new();
         r.read_to_string(&mut text)
-            .map_err(|e| format!("checkpoint read: {e}"))?;
-        let doc = Json::parse(&text).map_err(|e| format!("checkpoint read: {e}"))?;
+            .map_err(|e| CheckpointError::Io(format!("read: {e}")))?;
+        let doc = Json::parse(&text).map_err(CheckpointError::Parse)?;
         Self::from_json(&doc)
     }
 
-    /// Saves to a file path.
-    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
-        let f = std::fs::File::create(path.as_ref())
-            .map_err(|e| format!("checkpoint create {:?}: {e}", path.as_ref()))?;
-        self.write_to(std::io::BufWriter::new(f))
+    /// Saves to a file path atomically (tmp-file + rename), so a crash
+    /// mid-save leaves any previous snapshot at `path` intact.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        fedomd_jsonio::write_atomic(path, &self.to_json().to_compact())
+            .map_err(|e| CheckpointError::io(path, e))?;
+        Ok(())
     }
 
     /// Loads from a file path.
-    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
-        let f = std::fs::File::open(path.as_ref())
-            .map_err(|e| format!("checkpoint open {:?}: {e}", path.as_ref()))?;
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let path = path.as_ref();
+        let f = std::fs::File::open(path).map_err(|e| CheckpointError::io(path, e))?;
         Self::read_from(std::io::BufReader::new(f))
     }
 }
@@ -160,7 +254,14 @@ mod tests {
         let ckpt = Checkpoint::capture(&model, "gcn/8");
         let mut other = Gcn::new(5, 8, 3, &mut seeded(4));
         let err = ckpt.restore(&mut other, "gcn/16").expect_err("must fail");
-        assert!(err.contains("architecture mismatch"));
+        assert_eq!(
+            err,
+            CheckpointError::Mismatch {
+                what: "architecture".into(),
+                found: "gcn/8".into(),
+                expected: "gcn/16".into(),
+            }
+        );
         // Empty expectation skips the tag check.
         ckpt.restore(&mut other, "").expect("unchecked restore");
     }
@@ -171,7 +272,10 @@ mod tests {
         let ckpt = Checkpoint::capture(&small, "gcn");
         let mut wide = Gcn::new(5, 16, 3, &mut seeded(6));
         let err = ckpt.restore(&mut wide, "").expect_err("must fail");
-        assert!(err.contains("shape mismatch"), "{err}");
+        assert!(
+            matches!(err, CheckpointError::ShapeMismatch { index: 0, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -180,7 +284,10 @@ mod tests {
         let ckpt = Checkpoint::capture(&gcn, "gcn");
         let mut mlp = Mlp::new(5, 8, 3, &mut seeded(8));
         let err = ckpt.restore(&mut mlp, "").expect_err("must fail");
-        assert!(err.contains("arity mismatch"), "{err}");
+        assert!(
+            matches!(err, CheckpointError::ArityMismatch { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -191,7 +298,26 @@ mod tests {
         // Break the matrix length invariant.
         json = json.replacen("\"rows\":3", "\"rows\":7", 1);
         let err = Checkpoint::read_from(json.as_bytes()).expect_err("must fail");
-        assert!(err.contains("does not match shape"), "{err}");
+        match err {
+            CheckpointError::Parse(msg) => assert!(msg.contains("does not match shape"), "{msg}"),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_json_is_a_parse_error() {
+        let model = Gcn::new(3, 4, 2, &mut seeded(11));
+        let ckpt = Checkpoint::capture(&model, "gcn");
+        let json = ckpt.to_json().to_compact();
+        let cut = &json[..json.len() / 2];
+        let err = Checkpoint::read_from(cut.as_bytes()).expect_err("must fail");
+        assert!(matches!(err, CheckpointError::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = Checkpoint::load("/nonexistent/fedomd/model.json").expect_err("must fail");
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
     }
 
     #[test]

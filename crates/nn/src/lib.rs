@@ -14,11 +14,11 @@ pub mod models;
 pub mod optim;
 pub mod ortho;
 
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use model::{ForwardOut, GraphInput, Model};
 pub use models::gcn::Gcn;
 pub use models::mlp::Mlp;
 pub use models::ortho_gcn::{OrthoGcn, OrthoGcnConfig};
 pub use models::sage::GraphSage;
 pub use models::sgc::Sgc;
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, AdamState, Optimizer, Sgd};

@@ -80,6 +80,18 @@ pub trait Model: Send + Sync {
     /// re-orthogonalisation of Ortho-GCN's hidden weights).
     fn post_step(&mut self) {}
 
+    /// Optimiser steps taken so far, for models whose [`Model::post_step`]
+    /// behaviour depends on the step index. Stateless models report 0;
+    /// together with [`Model::set_steps`] this makes step-indexed state
+    /// checkpointable.
+    fn steps(&self) -> usize {
+        0
+    }
+
+    /// Restores the step counter saved by [`Model::steps`] (no-op for
+    /// stateless models).
+    fn set_steps(&mut self, _steps: usize) {}
+
     /// Total scalar parameter count (for communication accounting).
     fn n_scalars(&self) -> usize {
         self.params().iter().map(|p| p.len()).sum()

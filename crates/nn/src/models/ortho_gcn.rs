@@ -180,6 +180,17 @@ impl Model for OrthoGcn {
             }
         }
     }
+
+    // The step counter drives the periodic Newton–Schulz pass above, so it
+    // is part of the model's resumable state: restoring parameters without
+    // it would shift the NS cadence of a resumed run.
+    fn steps(&self) -> usize {
+        self.steps
+    }
+
+    fn set_steps(&mut self, steps: usize) {
+        self.steps = steps;
+    }
 }
 
 #[cfg(test)]

@@ -123,6 +123,21 @@ pub enum RoundEvent {
         /// Round at which patience ran out.
         round: u64,
     },
+    /// A run checkpoint was durably written (atomic rename completed).
+    CheckpointSaved {
+        /// Last round covered by the snapshot (a resume re-enters at
+        /// `round + 1`).
+        round: u64,
+        /// Destination path of the checkpoint file.
+        path: String,
+        /// Size of the serialised checkpoint in bytes.
+        bytes: u64,
+    },
+    /// The run resumed from a checkpoint instead of starting fresh.
+    Resumed {
+        /// First round the resumed run will execute.
+        round: u64,
+    },
     /// A communication round finished; counters are cumulative.
     RoundFinished {
         /// 0-based round index.
@@ -164,6 +179,8 @@ impl RoundEvent {
             RoundEvent::PhaseDone { .. } => "phase_done",
             RoundEvent::EvalDone { .. } => "eval_done",
             RoundEvent::EarlyStopped { .. } => "early_stopped",
+            RoundEvent::CheckpointSaved { .. } => "checkpoint_saved",
+            RoundEvent::Resumed { .. } => "resumed",
             RoundEvent::RoundFinished { .. } => "round_finished",
             RoundEvent::RunFinished { .. } => "run_finished",
         }
@@ -232,6 +249,13 @@ impl RoundEvent {
                 ("test_acc", Json::Num(*test_acc)),
             ]),
             RoundEvent::EarlyStopped { round } => obj([tag, ("round", (*round).into())]),
+            RoundEvent::CheckpointSaved { round, path, bytes } => obj([
+                tag,
+                ("round", (*round).into()),
+                ("path", path.as_str().into()),
+                ("bytes", (*bytes).into()),
+            ]),
+            RoundEvent::Resumed { round } => obj([tag, ("round", (*round).into())]),
             RoundEvent::RoundFinished {
                 round,
                 uplink_bytes,
@@ -331,6 +355,12 @@ mod tests {
                 test_acc: 0.5,
             },
             RoundEvent::EarlyStopped { round: 7 },
+            RoundEvent::CheckpointSaved {
+                round: 4,
+                path: "run.ckpt.json".into(),
+                bytes: 2048,
+            },
+            RoundEvent::Resumed { round: 5 },
             RoundEvent::RoundFinished {
                 round: 0,
                 uplink_bytes: 100,

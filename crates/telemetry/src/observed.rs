@@ -15,7 +15,7 @@
 //! impl (in-process or simulated) without the transport layer knowing
 //! telemetry exists.
 
-use fedomd_transport::{Channel, Envelope, NetStats};
+use fedomd_transport::{Channel, ChannelState, Envelope, NetStats};
 
 use crate::event::RoundEvent;
 use crate::observer::RoundObserver;
@@ -110,6 +110,17 @@ impl Channel for ObservedChannel<'_> {
 
     fn stats(&self) -> NetStats {
         self.inner.stats()
+    }
+
+    // Checkpoint state belongs to the wrapped transport: forwarding (rather
+    // than taking the trait defaults) is what keeps a lossy channel's fault
+    // stream resumable when the run is observed.
+    fn export_state(&self) -> ChannelState {
+        self.inner.export_state()
+    }
+
+    fn restore_state(&mut self, state: &ChannelState) {
+        self.inner.restore_state(state);
     }
 }
 

@@ -37,6 +37,11 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     let mut c = Matrix::zeros(m, n);
     let a_data = a.as_slice();
     let b_data = b.as_slice();
+    // The `aik == 0` fast path silently turns `0·NaN` / `0·∞` into `0`.
+    // IEEE semantics only permit the skip when B is free of non-finite
+    // values; one O(kn) scan keeps the fast path for the (overwhelmingly
+    // common) finite case.
+    let b_finite = b_data.iter().all(|v| v.is_finite());
 
     c.as_mut_slice()
         .par_chunks_mut(BLOCK * n.max(1))
@@ -48,7 +53,7 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
                 let a_row = &a_data[(row0 + i) * k..(row0 + i + 1) * k];
                 let c_row = &mut c_chunk[i * n..(i + 1) * n];
                 for (kk, &aik) in a_row.iter().enumerate() {
-                    if aik == 0.0 {
+                    if aik == 0.0 && b_finite {
                         continue;
                     }
                     let b_row = &b_data[kk * n..(kk + 1) * n];
@@ -78,6 +83,8 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     let n = b.cols();
     let a_data = a.as_slice();
     let b_data = b.as_slice();
+    // Same IEEE gate as `matmul`: skipping `av == 0` would hide NaN/∞ in B.
+    let b_finite = b_data.iter().all(|v| v.is_finite());
 
     // Each task owns a block of output rows (i.e. a block of A's columns).
     let mut c = Matrix::zeros(k, n);
@@ -92,7 +99,7 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
                 let b_row = &b_data[row * n..(row + 1) * n];
                 for j in 0..cols_here {
                     let av = a_row[col0 + j];
-                    if av == 0.0 {
+                    if av == 0.0 && b_finite {
                         continue;
                     }
                     let c_row = &mut c_chunk[j * n..(j + 1) * n];
@@ -234,7 +241,106 @@ mod tests {
         assert!(c.as_slice().iter().all(|&v| v == 0.0));
     }
 
+    #[test]
+    fn zero_times_nonfinite_is_nan_not_zero() {
+        // Regression: the `aik == 0` fast path used to skip the product
+        // entirely, reporting 0 where IEEE arithmetic says 0·NaN = NaN.
+        let zero = Matrix::from_fn(1, 1, |_, _| 0.0);
+        let nan = Matrix::from_fn(1, 1, |_, _| f32::NAN);
+        let inf = Matrix::from_fn(1, 1, |_, _| f32::INFINITY);
+        assert!(matmul(&zero, &nan)[(0, 0)].is_nan());
+        assert!(matmul(&zero, &inf)[(0, 0)].is_nan());
+        assert!(matmul_tn(&zero, &nan)[(0, 0)].is_nan());
+        assert!(matmul_tn(&zero, &inf)[(0, 0)].is_nan());
+        assert!(matmul_nt(&zero, &nan)[(0, 0)].is_nan());
+    }
+
+    #[test]
+    fn finite_b_keeps_the_zero_skip_exact() {
+        // With a finite B the skip must stay active (and exact): a fully
+        // zero A row yields an exactly zero C row, never -0.0 noise.
+        let mut a = mat(4, 6, 11);
+        for j in 0..6 {
+            a[(2, j)] = 0.0;
+        }
+        let b = mat(6, 5, 12);
+        let c = matmul(&a, &b);
+        for j in 0..5 {
+            assert_eq!(c[(2, j)], 0.0);
+        }
+    }
+
+    /// Elementwise comparison that treats non-finite values by class:
+    /// NaN matches NaN, ±∞ matches the same signed ∞, finite values match
+    /// approximately. Both kernels and the naive reference accumulate over
+    /// `kk` in ascending order, so the non-finite class of every output
+    /// element is deterministic.
+    fn assert_same_class(c: &Matrix, r: &Matrix, tol: f32) {
+        assert_eq!(c.shape(), r.shape());
+        for (i, (&cv, &rv)) in c.as_slice().iter().zip(r.as_slice()).enumerate() {
+            if rv.is_nan() {
+                assert!(cv.is_nan(), "element {i}: expected NaN, got {cv}");
+            } else if rv.is_infinite() {
+                assert_eq!(cv, rv, "element {i}: expected {rv}, got {cv}");
+            } else {
+                assert!((cv - rv).abs() <= tol, "element {i}: {cv} vs {rv}");
+            }
+        }
+    }
+
+    /// Plants NaN / +∞ / -∞ at seed-derived positions.
+    fn inject_nonfinite(m: &mut Matrix, seed: u64, count: usize) {
+        let (rows, cols) = m.shape();
+        if rows * cols == 0 {
+            return;
+        }
+        let mut x = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+        for _ in 0..count {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let idx = (x as usize) % (rows * cols);
+            m.as_mut_slice()[idx] = match x % 3 {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                _ => f32::NEG_INFINITY,
+            };
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_kernels_match_naive_on_nonfinite_inputs(
+            m in 1usize..12, k in 1usize..12, n in 1usize..12,
+            seed in 0u64..500, inj_a in 0usize..4, inj_b in 0usize..4,
+        ) {
+            let mut a = mat(m, k, seed);
+            let mut b = mat(k, n, seed.wrapping_add(1));
+            inject_nonfinite(&mut a, seed.wrapping_add(2), inj_a);
+            inject_nonfinite(&mut b, seed.wrapping_add(3), inj_b);
+            assert_same_class(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-2);
+
+            // Aᵀ·B via matmul_tn on (m x k, m x n) operands.
+            let mut a_tn = mat(m, k, seed.wrapping_add(4));
+            let mut b_tn = mat(m, n, seed.wrapping_add(5));
+            inject_nonfinite(&mut a_tn, seed.wrapping_add(6), inj_a);
+            inject_nonfinite(&mut b_tn, seed.wrapping_add(7), inj_b);
+            assert_same_class(
+                &matmul_tn(&a_tn, &b_tn),
+                &matmul_naive(&a_tn.transpose(), &b_tn),
+                1e-2,
+            );
+
+            // A·Bᵀ via matmul_nt on (m x k, n x k) operands.
+            let mut b_nt = mat(n, k, seed.wrapping_add(8));
+            inject_nonfinite(&mut b_nt, seed.wrapping_add(9), inj_b);
+            assert_same_class(
+                &matmul_nt(&a, &b_nt),
+                &matmul_naive(&a, &b_nt.transpose()),
+                1e-2,
+            );
+        }
+
         #[test]
         fn prop_matmul_matches_naive(m in 1usize..20, k in 1usize..20, n in 1usize..20, seed in 0u64..1000) {
             let a = mat(m, k, seed);

@@ -200,6 +200,13 @@ mod tests {
     }
 
     #[test]
+    fn upto_of_empty_matrix_yields_zero_vectors_per_order() {
+        let z = Matrix::zeros(0, 3);
+        let all = central_moments_upto(&z, &[0.0; 3], 5);
+        assert_eq!(all, vec![vec![0.0; 3]; 4]);
+    }
+
+    #[test]
     fn l2_distance_basic() {
         assert_eq!(l2_distance(&[0.0, 3.0], &[4.0, 0.0]), 5.0);
         assert_eq!(l2_distance(&[1.0], &[1.0]), 0.0);
@@ -232,6 +239,31 @@ mod tests {
             for c in 0..cols {
                 let weighted = (na * ma[c] + nb * mb[c]) / (na + nb);
                 prop_assert!((weighted - mp[c]).abs() < 1e-5);
+            }
+        }
+
+        #[test]
+        fn prop_upto_is_bit_identical_to_individual_orders(
+            rows in 0usize..40, cols in 1usize..200, max_order in 2u32..6, seed in 0u64..500
+        ) {
+            // The single-pass kernel and the order-by-order reference share
+            // the same accumulation structure (rows in ascending order,
+            // f64 accumulators, left-associated power chains), so they must
+            // agree *bit-for-bit* — including `rows == 0` and a ragged
+            // final column block (cols up to 200 crosses the 64-column
+            // blocking with a partial tail).
+            let z = Matrix::from_fn(rows, cols, |r, c| {
+                let h = (r as u64 * 131 + c as u64 * 31 + seed * 1009) % 1997;
+                h as f32 / 1997.0 - 0.5
+            });
+            let center: Vec<f32> = (0..cols)
+                .map(|c| ((c as u64 * 53 + seed) % 101) as f32 / 101.0 - 0.5)
+                .collect();
+            let all = central_moments_upto(&z, &center, max_order);
+            prop_assert_eq!(all.len(), (max_order - 1) as usize);
+            for (idx, order) in (2..=max_order).enumerate() {
+                let single = central_moments(&z, &center, order);
+                prop_assert_eq!(&all[idx], &single, "order {}", order);
             }
         }
 

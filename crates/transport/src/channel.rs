@@ -34,6 +34,23 @@ pub struct NetStats {
     pub retries: u64,
 }
 
+/// Persistent channel state carried across a checkpoint/resume cycle.
+///
+/// This is everything a resumed run needs to replay the *remaining* rounds
+/// exactly: the fault-stream cursor (so a simulated network draws the same
+/// drop/jitter decisions it would have drawn uninterrupted) and the
+/// cumulative counters (so drop accounting keeps counting from where it
+/// was). In-flight frames are deliberately absent — snapshots are taken at
+/// round boundaries, where every pending queue has been drained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelState {
+    /// Per-frame sequence number of the fault RNG stream
+    /// ([`crate::SimNetChannel`]); 0 for channels without one.
+    pub seq: u64,
+    /// Cumulative transport counters at the snapshot.
+    pub stats: NetStats,
+}
+
 /// A bidirectional star topology between one server and `n` clients.
 pub trait Channel {
     /// Client `env.sender` uploads to the server. Returns the encoded
@@ -54,6 +71,23 @@ pub trait Channel {
 
     /// Counters so far.
     fn stats(&self) -> NetStats;
+
+    /// Snapshots the state a run checkpoint must carry so the resumed run
+    /// replays the remaining rounds exactly. Call only at a round
+    /// boundary, when no frames are in flight.
+    fn export_state(&self) -> ChannelState {
+        ChannelState {
+            seq: 0,
+            stats: self.stats(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`Channel::export_state`] into an
+    /// equivalently configured, freshly constructed channel. The default
+    /// is a no-op for stateless channels.
+    fn restore_state(&mut self, state: &ChannelState) {
+        let _ = state;
+    }
 }
 
 /// Decodes raw frames, keeps those stamped with `round`, sorted by sender.

@@ -433,14 +433,21 @@ mod tests {
     fn every_payload_kind_roundtrips() {
         for env in sample_envelopes() {
             let bytes = env.encode();
-            let back = Envelope::decode(&bytes).expect(env.payload.kind());
+            let back = Envelope::decode(&bytes)
+                .unwrap_or_else(|e| panic!("{} failed to decode: {e:?}", env.payload.kind()));
             assert_eq!(back, env);
         }
     }
 
     #[test]
     fn floats_survive_bit_exactly() {
-        let weird = vec![f32::MIN_POSITIVE, -0.0, 1.0e38, f32::EPSILON, -3.1415927];
+        let weird = vec![
+            f32::MIN_POSITIVE,
+            -0.0,
+            1.0e38,
+            f32::EPSILON,
+            -std::f32::consts::PI,
+        ];
         let env = Envelope {
             round: 0,
             sender: 0,

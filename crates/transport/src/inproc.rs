@@ -10,15 +10,18 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use crate::channel::{decode_round, Channel, NetStats};
+use crate::channel::{decode_round, Channel, ChannelState, NetStats};
 use crate::frame::Envelope;
+
+/// Both ends of one client's downlink queue.
+type DownQueue = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
 
 /// Fault-free in-process channel over crossbeam queues.
 pub struct InProcChannel {
     up_tx: Sender<Vec<u8>>,
     up_rx: Receiver<Vec<u8>>,
     /// Downlink queue per client, grown on first use.
-    down: Vec<(Sender<Vec<u8>>, Receiver<Vec<u8>>)>,
+    down: Vec<DownQueue>,
     stats: NetStats,
 }
 
@@ -34,7 +37,7 @@ impl InProcChannel {
         }
     }
 
-    fn down_queue(&mut self, client: u32) -> &(Sender<Vec<u8>>, Receiver<Vec<u8>>) {
+    fn down_queue(&mut self, client: u32) -> &DownQueue {
         let idx = client as usize;
         while self.down.len() <= idx {
             self.down.push(unbounded());
@@ -98,6 +101,12 @@ impl Channel for InProcChannel {
 
     fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// The channel draws no randomness, so only the cumulative counters
+    /// need restoring for resumed accounting to continue exactly.
+    fn restore_state(&mut self, state: &ChannelState) {
+        self.stats = state.stats;
     }
 }
 

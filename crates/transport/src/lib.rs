@@ -23,7 +23,7 @@ pub mod inproc;
 pub mod simnet;
 pub mod wire;
 
-pub use channel::{Channel, NetStats};
+pub use channel::{Channel, ChannelState, NetStats};
 pub use frame::{from_tensors, to_tensors, Control, Envelope, Payload, Tensor, SERVER_SENDER};
 pub use inproc::InProcChannel;
 pub use simnet::{FaultConfig, SimNetChannel};

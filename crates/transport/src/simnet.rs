@@ -16,7 +16,7 @@
 
 use rand::Rng;
 
-use crate::channel::{decode_round, Channel, NetStats};
+use crate::channel::{decode_round, Channel, ChannelState, NetStats};
 use crate::frame::Envelope;
 use fedomd_tensor::rng::{derive, seeded};
 
@@ -199,6 +199,21 @@ impl Channel for SimNetChannel {
     fn stats(&self) -> NetStats {
         self.stats
     }
+
+    fn export_state(&self) -> ChannelState {
+        ChannelState {
+            seq: self.seq,
+            stats: self.stats,
+        }
+    }
+
+    /// Restoring `seq` realigns the per-frame fault RNG stream, so the
+    /// resumed channel draws exactly the drop/jitter decisions the
+    /// uninterrupted one would have drawn from this point on.
+    fn restore_state(&mut self, state: &ChannelState) {
+        self.seq = state.seq;
+        self.stats = state.stats;
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +355,49 @@ mod tests {
         ch.download(0, env(0, crate::frame::SERVER_SENDER));
         assert!(ch.client_collect(0, 0).is_empty());
         assert_eq!(ch.stats().dropped_frames, 1);
+    }
+
+    #[test]
+    fn restored_channel_continues_the_fault_stream_exactly() {
+        let cfg = FaultConfig {
+            seed: 11,
+            drop_prob: 0.4,
+            jitter_ms: 2.0,
+            ..Default::default()
+        };
+        let drive = |ch: &mut SimNetChannel, rounds: std::ops::Range<u64>| {
+            let mut delivered = Vec::new();
+            for round in rounds {
+                for s in 0..4 {
+                    ch.upload(env(round, s));
+                }
+                delivered.push(
+                    ch.server_collect(round)
+                        .iter()
+                        .map(|e| e.sender)
+                        .collect::<Vec<_>>(),
+                );
+            }
+            delivered
+        };
+
+        // Uninterrupted reference run: 10 rounds straight through.
+        let mut full = SimNetChannel::new(cfg.clone());
+        let reference = drive(&mut full, 0..10);
+
+        // Interrupted run: 5 rounds, snapshot, "crash", restore into a
+        // fresh channel, 5 more rounds.
+        let mut first = SimNetChannel::new(cfg.clone());
+        let head = drive(&mut first, 0..5);
+        let snap = first.export_state();
+        let mut resumed = SimNetChannel::new(cfg);
+        resumed.restore_state(&snap);
+        let tail = drive(&mut resumed, 5..10);
+
+        let stitched: Vec<_> = head.into_iter().chain(tail).collect();
+        assert_eq!(stitched, reference, "fault pattern must continue exactly");
+        assert_eq!(resumed.stats(), full.stats(), "counters must be cumulative");
+        assert_eq!(resumed.export_state(), full.export_state());
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn build_payload(kind: u8, data: Vec<f32>, layers: usize, n: u64, text: String) 
             means: split.clone(),
             moments: vec![split],
         },
-        _ => Payload::Control(if n % 2 == 0 {
+        _ => Payload::Control(if n.is_multiple_of(2) {
             Control::Ack
         } else {
             Control::Abort(text)

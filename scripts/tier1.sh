@@ -4,8 +4,9 @@
 #   scripts/tier1.sh
 #
 # Builds the whole workspace in release mode and runs the full test
-# suite. If rustfmt is installed, formatting is checked too (skipped
-# with a note otherwise so the gate still works on minimal toolchains).
+# suite. If rustfmt / clippy are installed, formatting and lints are
+# checked too (skipped with a note otherwise so the gate still works on
+# minimal toolchains).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +17,12 @@ if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --check
 else
     echo "tier1: rustfmt unavailable, skipping cargo fmt --check"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "tier1: clippy unavailable, skipping cargo clippy"
 fi
 
 echo "tier1: OK"

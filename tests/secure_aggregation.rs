@@ -90,7 +90,7 @@ fn dropped_client_breaks_cancellation_detectably() {
     full.assert_close(&mean, 1e-4);
 
     // Partial sum (client 2 dropped) is far from the partial plaintext mean.
-    let partial = fedomd_federated::secure_agg::aggregate_masked(&masked[..2], &vec![1.0; 2]);
+    let partial = fedomd_federated::secure_agg::aggregate_masked(&masked[..2], &[1.0; 2]);
     let mut partial_mean = Matrix::zeros(4, 4);
     for v in &values[..2] {
         fedomd_tensor::ops::axpy(&mut partial_mean, 1.0 / n as f32, v);

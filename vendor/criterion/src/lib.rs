@@ -126,11 +126,6 @@ pub enum Throughput {
 pub struct Criterion {}
 
 impl Criterion {
-    /// Standard configuration.
-    pub fn default() -> Self {
-        Self {}
-    }
-
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();

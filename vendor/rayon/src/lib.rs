@@ -114,7 +114,7 @@ mod tests {
 
     #[test]
     fn par_iter_matches_iter() {
-        let v = vec![1, 2, 3, 4];
+        let v = [1, 2, 3, 4];
         let s: i32 = v.par_iter().map(|x| x * 2).sum();
         assert_eq!(s, 20);
     }
@@ -122,7 +122,7 @@ mod tests {
     #[test]
     fn par_iter_mut_zip() {
         let mut a = vec![1, 2, 3];
-        let b = vec![10, 20, 30];
+        let b = [10, 20, 30];
         a.par_iter_mut()
             .zip(b.par_iter())
             .for_each(|(x, y)| *x += *y);
