@@ -15,13 +15,22 @@
 //! Design notes: nodes are addressed by index ([`Var`] is `Copy`), so the
 //! tape is `Send` and each simulated client can differentiate on its own
 //! rayon worker with zero shared state.
+//!
+//! Every intermediate a tape produces is drawn from a [`Workspace`] — a
+//! size-keyed buffer pool carried across steps via
+//! [`Tape::with_workspace`] / [`Tape::recycle`] — so a steady-state
+//! training loop reuses the same allocations round after round. Pooled
+//! and unpooled execution are bit-identical (see the `workspace` module
+//! docs for the argument).
 
 pub mod check;
 pub mod cmd;
 pub mod tape;
+pub mod workspace;
 
 pub use cmd::CmdTargets;
 pub use tape::{Tape, Var};
+pub use workspace::Workspace;
 
 #[cfg(test)]
 mod proptests;

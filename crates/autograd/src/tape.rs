@@ -3,12 +3,13 @@
 use std::sync::Arc;
 
 use fedomd_sparse::Csr;
-use fedomd_tensor::activation::{relu, relu_backward, softmax_rows};
-use fedomd_tensor::gemm::{matmul, matmul_nt, matmul_tn};
+use fedomd_tensor::activation::{relu_backward_inplace, softmax_rows_inplace};
+use fedomd_tensor::gemm::{matmul_into, matmul_nt_into, matmul_tn_into};
 use fedomd_tensor::ops::{add_row_broadcast, axpy};
 use fedomd_tensor::Matrix;
 
 use crate::cmd::{cmd_grad_weighted, cmd_value_weighted, CmdTargets};
+use crate::workspace::Workspace;
 
 /// Handle to a node on a [`Tape`]. Cheap to copy; only meaningful for the
 /// tape that produced it.
@@ -62,16 +63,59 @@ struct Node {
 /// A gradient tape. Create one per optimisation step, record the forward
 /// computation through its methods, call [`Tape::backward`], then read
 /// parameter gradients with [`Tape::grad`].
+///
+/// Every matrix the tape produces — forward values, backward deltas,
+/// gradient accumulators — is drawn from its [`Workspace`]. A fresh tape
+/// starts with an empty pool; a training loop that threads one workspace
+/// through consecutive tapes ([`Tape::with_workspace`] →
+/// [`Tape::recycle`]) reuses the previous step's buffers instead of
+/// allocating. Pooled and unpooled execution produce bit-identical
+/// results: every taken buffer is fully overwritten before it is read.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
     grads: Vec<Option<Matrix>>,
+    ws: Workspace,
 }
 
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty tape drawing its buffers from `ws` (typically the pool
+    /// recycled from the previous step's tape).
+    pub fn with_workspace(ws: Workspace) -> Self {
+        Self {
+            nodes: Vec::new(),
+            grads: Vec::new(),
+            ws,
+        }
+    }
+
+    /// Tears the tape down, returning every node value, gradient, and op
+    /// scratch buffer to the workspace for the next step's tape.
+    pub fn recycle(mut self) -> Workspace {
+        for g in self.grads.drain(..).flatten() {
+            self.ws.recycle(g);
+        }
+        for node in self.nodes.drain(..) {
+            self.ws.recycle(node.value);
+            match node.op {
+                Op::MaskMul(_, mask) => self.ws.recycle(mask),
+                Op::SoftmaxCrossEntropy { probs, .. } => self.ws.recycle(probs),
+                Op::SqDiff(_, target) => self.ws.recycle(target),
+                _ => {}
+            }
+        }
+        self.ws
+    }
+
+    /// Returns a caller-owned matrix (e.g. a gradient taken off the tape)
+    /// to this tape's buffer pool.
+    pub fn recycle_matrix(&mut self, m: Matrix) {
+        self.ws.recycle(m);
     }
 
     /// Number of recorded nodes.
@@ -98,14 +142,34 @@ impl Tape {
         self.nodes[v.0].requires_grad
     }
 
+    /// A pooled `1 × 1` matrix holding `v` (loss nodes, backward seed).
+    fn scalar_value(&mut self, v: f32) -> Matrix {
+        let mut m = self.ws.take_uninit(1, 1);
+        m.as_mut_slice()[0] = v;
+        m
+    }
+
     /// Records a constant (no gradient tracked).
     pub fn constant(&mut self, value: Matrix) -> Var {
         self.push(value, Op::Leaf, false)
     }
 
+    /// Records a constant copied into a pooled buffer — the allocation-free
+    /// way to put a borrowed matrix (e.g. a cached `Ŝ·X`) on the tape.
+    pub fn constant_copied(&mut self, value: &Matrix) -> Var {
+        let v = self.ws.take_copy(value);
+        self.push(v, Op::Leaf, false)
+    }
+
     /// Records a trainable parameter (gradient accumulated on backward).
     pub fn param(&mut self, value: Matrix) -> Var {
         self.push(value, Op::Leaf, true)
+    }
+
+    /// [`Tape::param`] copying from a borrowed matrix into a pooled buffer.
+    pub fn param_copied(&mut self, value: &Matrix) -> Var {
+        let v = self.ws.take_copy(value);
+        self.push(v, Op::Leaf, true)
     }
 
     /// The forward value of a node.
@@ -128,16 +192,35 @@ impl Tape {
         self.grads[v.0].as_ref()
     }
 
+    /// Moves the gradient of `v` off the tape, or returns a pooled zero
+    /// matrix of the node's shape when none was propagated. The clone-free
+    /// way for a trainer to collect parameter gradients; return the
+    /// buffers with [`Tape::recycle_matrix`] after the optimiser step.
+    pub fn grad_or_zeros(&mut self, v: Var) -> Matrix {
+        match self.grads[v.0].take() {
+            Some(g) => g,
+            None => {
+                let (r, c) = self.nodes[v.0].value.shape();
+                self.ws.take_zeroed(r, c)
+            }
+        }
+    }
+
     /// `C = A · B`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = matmul(self.value(a), self.value(b));
+        let va = &self.nodes[a.0].value;
+        let vb = &self.nodes[b.0].value;
+        let mut value = self.ws.take_uninit(va.rows(), vb.cols());
+        matmul_into(va, vb, &mut value);
         let rg = self.rg(a) || self.rg(b);
         self.push(value, Op::MatMul(a.0, b.0), rg)
     }
 
     /// `Y = S · X` with a constant sparse operator (graph propagation).
     pub fn spmm(&mut self, s: Arc<Csr>, x: Var) -> Var {
-        let value = s.spmm(self.value(x));
+        let vx = &self.nodes[x.0].value;
+        let mut value = self.ws.take_uninit(s.rows(), vx.cols());
+        s.spmm_into(vx, &mut value);
         let rg = self.rg(x);
         self.push(value, Op::SpMM(s, x.0), rg)
     }
@@ -150,45 +233,39 @@ impl Tape {
     /// `a + alpha · b` (shapes must match). The workhorse for combining the
     /// paper's three loss terms (Eq. 12).
     pub fn add_scaled(&mut self, a: Var, b: Var, alpha: f32) -> Var {
-        assert_eq!(
-            self.value(a).shape(),
-            self.value(b).shape(),
-            "add_scaled: shape mismatch"
-        );
-        let mut value = self.value(a).clone();
-        axpy(&mut value, alpha, self.value(b));
+        let va = &self.nodes[a.0].value;
+        let vb = &self.nodes[b.0].value;
+        assert_eq!(va.shape(), vb.shape(), "add_scaled: shape mismatch");
+        let mut value = self.ws.take_copy(va);
+        axpy(&mut value, alpha, vb);
         let rg = self.rg(a) || self.rg(b);
         self.push(value, Op::AddScaled(a.0, b.0, alpha), rg)
     }
 
     /// Adds a `1 × cols` bias row to every row of `x`.
     pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
-        assert_eq!(
-            self.value(bias).rows(),
-            1,
-            "add_bias: bias must be 1 x cols"
-        );
-        assert_eq!(
-            self.value(x).cols(),
-            self.value(bias).cols(),
-            "add_bias: width mismatch"
-        );
-        let mut value = self.value(x).clone();
-        add_row_broadcast(&mut value, self.value(bias).row(0));
+        let vx = &self.nodes[x.0].value;
+        let vb = &self.nodes[bias.0].value;
+        assert_eq!(vb.rows(), 1, "add_bias: bias must be 1 x cols");
+        assert_eq!(vx.cols(), vb.cols(), "add_bias: width mismatch");
+        let mut value = self.ws.take_copy(vx);
+        add_row_broadcast(&mut value, self.nodes[bias.0].value.row(0));
         let rg = self.rg(x) || self.rg(bias);
         self.push(value, Op::AddBias(x.0, bias.0), rg)
     }
 
     /// Element-wise ReLU.
     pub fn relu(&mut self, x: Var) -> Var {
-        let value = relu(self.value(x));
+        let mut value = self.ws.take_copy(&self.nodes[x.0].value);
+        value.map_inplace(|v| v.max(0.0));
         let rg = self.rg(x);
         self.push(value, Op::Relu(x.0), rg)
     }
 
     /// `alpha · x`.
     pub fn scale(&mut self, x: Var, alpha: f32) -> Var {
-        let value = fedomd_tensor::ops::scale(self.value(x), alpha);
+        let mut value = self.ws.take_copy(&self.nodes[x.0].value);
+        value.map_inplace(|v| v * alpha);
         let rg = self.rg(x);
         self.push(value, Op::Scale(x.0, alpha), rg)
     }
@@ -196,12 +273,12 @@ impl Tape {
     /// Element-wise product with a fixed 0/`1/keep` mask (inverted dropout).
     /// The caller supplies the mask so that randomness stays seeded.
     pub fn mask_mul(&mut self, x: Var, mask: Matrix) -> Var {
-        assert_eq!(
-            self.value(x).shape(),
-            mask.shape(),
-            "mask_mul: shape mismatch"
-        );
-        let value = fedomd_tensor::ops::hadamard(self.value(x), &mask);
+        let vx = &self.nodes[x.0].value;
+        assert_eq!(vx.shape(), mask.shape(), "mask_mul: shape mismatch");
+        let mut value = self.ws.take_copy(vx);
+        for (v, &m) in value.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+            *v *= m;
+        }
         let rg = self.rg(x);
         self.push(value, Op::MaskMul(x.0, mask), rg)
     }
@@ -214,7 +291,7 @@ impl Tape {
     /// # Panics
     /// Panics when `mask` is empty or an index/label is out of range.
     pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize], mask: &[usize]) -> Var {
-        let lm = self.value(logits);
+        let lm = &self.nodes[logits.0].value;
         let (n, k) = lm.shape();
         assert_eq!(
             labels.len(),
@@ -222,7 +299,8 @@ impl Tape {
             "softmax_cross_entropy: labels length mismatch"
         );
         assert!(!mask.is_empty(), "softmax_cross_entropy: empty mask");
-        let probs = softmax_rows(lm);
+        let mut probs = self.ws.take_copy(lm);
+        softmax_rows_inplace(&mut probs);
         let mut loss = 0.0f64;
         for &r in mask {
             assert!(r < n, "mask row {r} out of bounds");
@@ -230,7 +308,7 @@ impl Tape {
             assert!(y < k, "label {y} out of bounds for {k} classes");
             loss -= (probs[(r, y)].max(1e-12) as f64).ln();
         }
-        let value = Matrix::from_vec(1, 1, vec![(loss / mask.len() as f64) as f32]);
+        let value = self.scalar_value((loss / mask.len() as f64) as f32);
         let rg = self.rg(logits);
         self.push(
             value,
@@ -246,9 +324,10 @@ impl Tape {
 
     /// Orthogonality penalty `‖WWᵀ − I‖_F` (one term of paper Eq. 6).
     pub fn ortho_penalty(&mut self, w: Var) -> Var {
-        let wm = self.value(w);
-        let a = residual_wwt_minus_i(wm);
-        let value = Matrix::from_vec(1, 1, vec![a.frobenius_norm()]);
+        let a = residual_wwt_minus_i(&mut self.ws, &self.nodes[w.0].value);
+        let norm = a.frobenius_norm();
+        self.ws.recycle(a);
+        let value = self.scalar_value(norm);
         let rg = self.rg(w);
         self.push(value, Op::OrthoPenalty(w.0), rg)
     }
@@ -267,16 +346,8 @@ impl Tape {
         width: f32,
         mean_scale: f32,
     ) -> Var {
-        let value = Matrix::from_vec(
-            1,
-            1,
-            vec![cmd_value_weighted(
-                self.value(z),
-                targets,
-                width,
-                mean_scale,
-            )],
-        );
+        let v = cmd_value_weighted(self.value(z), targets, width, mean_scale);
+        let value = self.scalar_value(v);
         let rg = self.rg(z);
         self.push(
             value,
@@ -298,9 +369,10 @@ impl Tape {
             "sq_diff: shape mismatch"
         );
         let d = fedomd_tensor::ops::sq_distance(self.value(w), target);
-        let value = Matrix::from_vec(1, 1, vec![0.5 * d]);
+        let target = self.ws.take_copy(target);
+        let value = self.scalar_value(0.5 * d);
         let rg = self.rg(w);
-        self.push(value, Op::SqDiff(w.0, target.clone()), rg)
+        self.push(value, Op::SqDiff(w.0, target), rg)
     }
 
     /// Runs reverse-mode accumulation from the scalar node `loss`.
@@ -313,10 +385,13 @@ impl Tape {
             (1, 1),
             "backward: loss must be a scalar node"
         );
-        for g in &mut self.grads {
-            *g = None;
+        for i in 0..self.grads.len() {
+            if let Some(g) = self.grads[i].take() {
+                self.ws.recycle(g);
+            }
         }
-        self.grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        let seed = self.scalar_value(1.0);
+        self.grads[loss.0] = Some(seed);
 
         for i in (0..self.nodes.len()).rev() {
             if !self.nodes[i].requires_grad {
@@ -332,12 +407,17 @@ impl Tape {
 
     fn accumulate(&mut self, idx: usize, delta: Matrix) {
         if !self.nodes[idx].requires_grad {
+            self.ws.recycle(delta);
             return;
         }
         match &mut self.grads[idx] {
             Some(g) => axpy(g, 1.0, &delta),
-            slot @ None => *slot = Some(delta),
+            slot @ None => {
+                *slot = Some(delta);
+                return;
+            }
         }
+        self.ws.recycle(delta);
     }
 
     fn propagate(&mut self, i: usize, g: &Matrix) {
@@ -348,12 +428,18 @@ impl Tape {
             Op::MatMul(a, b) => {
                 let (a, b) = (*a, *b);
                 let da = if self.nodes[a].requires_grad {
-                    Some(matmul_nt(g, &self.nodes[b].value))
+                    let vb = &self.nodes[b].value;
+                    let mut d = self.ws.take_uninit(g.rows(), vb.rows());
+                    matmul_nt_into(g, vb, &mut d);
+                    Some(d)
                 } else {
                     None
                 };
                 let db = if self.nodes[b].requires_grad {
-                    Some(matmul_tn(&self.nodes[a].value, g))
+                    let va = &self.nodes[a].value;
+                    let mut d = self.ws.take_uninit(va.cols(), g.cols());
+                    matmul_tn_into(va, g, &mut d);
+                    Some(d)
                 } else {
                     None
                 };
@@ -367,21 +453,27 @@ impl Tape {
             Op::SpMM(s, x) => {
                 let x = *x;
                 if self.nodes[x].requires_grad {
-                    let d = s.transpose().spmm(g);
+                    let st = self.ws.transposed(s);
+                    let mut d = self.ws.take_uninit(st.rows(), g.cols());
+                    st.spmm_into(g, &mut d);
                     self.accumulate(x, d);
                 }
             }
             Op::AddScaled(a, b, alpha) => {
                 let (a, b, alpha) = (*a, *b, *alpha);
-                self.accumulate(a, g.clone());
-                self.accumulate(b, fedomd_tensor::ops::scale(g, alpha));
+                let da = self.ws.take_copy(g);
+                let mut db = self.ws.take_copy(g);
+                db.map_inplace(|v| v * alpha);
+                self.accumulate(a, da);
+                self.accumulate(b, db);
             }
             Op::AddBias(x, bias) => {
                 let (x, bias) = (*x, *bias);
-                self.accumulate(x, g.clone());
+                let dx = self.ws.take_copy(g);
+                self.accumulate(x, dx);
                 if self.nodes[bias].requires_grad {
                     let cols = g.cols();
-                    let mut db = Matrix::zeros(1, cols);
+                    let mut db = self.ws.take_zeroed(1, cols);
                     for row in g.as_slice().chunks(cols) {
                         for (d, &v) in db.as_mut_slice().iter_mut().zip(row) {
                             *d += v;
@@ -392,16 +484,22 @@ impl Tape {
             }
             Op::Relu(x) => {
                 let x = *x;
-                let d = relu_backward(&self.nodes[x].value, g);
+                let mut d = self.ws.take_copy(g);
+                relu_backward_inplace(&self.nodes[x].value, &mut d);
                 self.accumulate(x, d);
             }
             Op::Scale(x, alpha) => {
                 let (x, alpha) = (*x, *alpha);
-                self.accumulate(x, fedomd_tensor::ops::scale(g, alpha));
+                let mut d = self.ws.take_copy(g);
+                d.map_inplace(|v| v * alpha);
+                self.accumulate(x, d);
             }
             Op::MaskMul(x, mask) => {
                 let x = *x;
-                let d = fedomd_tensor::ops::hadamard(g, mask);
+                let mut d = self.ws.take_copy(g);
+                for (dv, &m) in d.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                    *dv *= m;
+                }
                 self.accumulate(x, d);
             }
             Op::SoftmaxCrossEntropy {
@@ -413,7 +511,7 @@ impl Tape {
                 let logits = *logits;
                 let gout = g[(0, 0)];
                 let scale = gout / mask.len() as f32;
-                let mut d = Matrix::zeros(probs.rows(), probs.cols());
+                let mut d = self.ws.take_zeroed(probs.rows(), probs.cols());
                 for &r in mask {
                     let y = labels[r];
                     let drow = d.row_mut(r);
@@ -427,14 +525,18 @@ impl Tape {
             Op::OrthoPenalty(w) => {
                 let w = *w;
                 let gout = g[(0, 0)];
-                let wm = &self.nodes[w].value;
-                let a = residual_wwt_minus_i(wm);
+                let a = residual_wwt_minus_i(&mut self.ws, &self.nodes[w].value);
                 let norm = a.frobenius_norm();
                 if norm > 1e-12 {
                     // d‖A‖_F/dW = 2 A W / ‖A‖_F with A = WWᵀ − I (symmetric).
-                    let mut d = matmul(&a, wm);
+                    let wm = &self.nodes[w].value;
+                    let mut d = self.ws.take_uninit(a.rows(), wm.cols());
+                    matmul_into(&a, wm, &mut d);
                     d.map_inplace(|v| v * 2.0 * gout / norm);
+                    self.ws.recycle(a);
                     self.accumulate(w, d);
+                } else {
+                    self.ws.recycle(a);
                 }
             }
             Op::Cmd {
@@ -451,7 +553,10 @@ impl Tape {
             Op::SqDiff(w, target) => {
                 let w = *w;
                 let gout = g[(0, 0)];
-                let mut d = fedomd_tensor::ops::sub(&self.nodes[w].value, target);
+                let mut d = self.ws.take_copy(&self.nodes[w].value);
+                for (dv, &t) in d.as_mut_slice().iter_mut().zip(target.as_slice()) {
+                    *dv -= t;
+                }
                 d.map_inplace(|v| v * gout);
                 self.accumulate(w, d);
             }
@@ -459,9 +564,10 @@ impl Tape {
     }
 }
 
-/// `A = WWᵀ − I` for the orthogonality penalty.
-fn residual_wwt_minus_i(w: &Matrix) -> Matrix {
-    let mut a = matmul_nt(w, w);
+/// `A = WWᵀ − I` for the orthogonality penalty, in a pooled buffer.
+fn residual_wwt_minus_i(ws: &mut Workspace, w: &Matrix) -> Matrix {
+    let mut a = ws.take_uninit(w.rows(), w.rows());
+    matmul_nt_into(w, w, &mut a);
     let n = a.rows();
     for i in 0..n {
         a[(i, i)] -= 1.0;
@@ -786,5 +892,77 @@ mod tests {
         let mut t = Tape::new();
         let x = t.param(Matrix::zeros(2, 2));
         t.backward(x);
+    }
+
+    /// Four SGD steps through a graph touching every op, once with a fresh
+    /// tape per step and once threading a single workspace through
+    /// [`Tape::with_workspace`] / [`Tape::recycle`]. Losses and parameters
+    /// must agree to the bit: reused buffers never change a result.
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let s = Arc::new(fedomd_sparse::normalized_adjacency(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        ));
+        let x0 = randm(6, 4, 30);
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let mask_rows = vec![0, 1, 3, 5];
+        let drop_mask = randm(6, 5, 31).map(|v| if v > 0.0 { 2.0 } else { 0.0 });
+        let targets = CmdTargets::from_matrix(&randm(8, 3, 32), 3);
+        let prox_target = randm(4, 5, 33);
+
+        // One step: forward through every op, backward, SGD update.
+        // Returns the loss; mutates the parameters in place.
+        let step = |t: &mut Tape, w0: &mut Matrix, w1: &mut Matrix, b: &mut Matrix| -> f32 {
+            let x = t.constant_copied(&x0);
+            let w0v = t.param_copied(w0);
+            let w1v = t.param_copied(w1);
+            let bv = t.param_copied(b);
+            let h = t.spmm(s.clone(), x);
+            let h = t.matmul(h, w0v);
+            let h = t.add_bias(h, bv);
+            let h = t.relu(h);
+            let h = t.mask_mul(h, drop_mask.clone());
+            let h2 = t.scale(h, 0.5);
+            let h = t.add_scaled(h, h2, 1.0);
+            let logits = t.matmul(h, w1v);
+            let ce = t.softmax_cross_entropy(logits, &labels, &mask_rows);
+            let ortho = t.ortho_penalty(w0v);
+            let cmd = t.cmd_loss(logits, &targets, 1.0);
+            let prox = t.sq_diff(w0v, &prox_target);
+            let l = t.add_scaled(ce, ortho, 0.1);
+            let l = t.add_scaled(l, cmd, 0.3);
+            let l = t.add_scaled(l, prox, 0.05);
+            t.backward(l);
+            for (p, v) in [(w0v, &mut *w0), (w1v, &mut *w1), (bv, &mut *b)] {
+                let g = t.grad_or_zeros(p);
+                axpy(v, -0.05, &g);
+                t.recycle_matrix(g);
+            }
+            t.scalar(l)
+        };
+
+        let (mut aw0, mut aw1, mut ab) = (randm(4, 5, 34), randm(5, 3, 35), randm(1, 5, 36));
+        let (mut bw0, mut bw1, mut bb) = (aw0.clone(), aw1.clone(), ab.clone());
+
+        let mut ws = Workspace::new();
+        for i in 0..4 {
+            let mut fresh = Tape::new();
+            let la = step(&mut fresh, &mut aw0, &mut aw1, &mut ab);
+
+            let mut pooled = Tape::with_workspace(std::mem::take(&mut ws));
+            let lb = step(&mut pooled, &mut bw0, &mut bw1, &mut bb);
+            ws = pooled.recycle();
+
+            assert_eq!(la.to_bits(), lb.to_bits(), "loss diverged at step {i}");
+            if i > 0 {
+                assert!(ws.pooled_buffers() > 0, "workspace never pooled anything");
+            }
+        }
+        for (u, v) in [(&aw0, &bw0), (&aw1, &bw1), (&ab, &bb)] {
+            for (x, y) in u.as_slice().iter().zip(v.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 }

@@ -14,10 +14,12 @@ fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
     // Shapes drawn from the actual workloads: (nodes × features) · (features × hidden).
+    // 2708×1433×16 is the paper-scale Cora first layer (Table 3's dominant cost).
     for &(m, k, n) in &[
         (560usize, 96usize, 64usize),
         (2708, 256, 64),
         (1024, 1024, 64),
+        (2708, 1433, 16),
     ] {
         let a = rand_matrix(m, k, 1);
         let b = rand_matrix(k, n, 2);

@@ -1,0 +1,142 @@
+//! Aggregates criterion-stub JSONL output into the repo-level perf
+//! trajectory file `BENCH_kernels.json`.
+//!
+//! The vendored criterion stub appends one JSON object per benchmark
+//! (`{"label":…,"mean_ns":…,"min_ns":…,"iters":…}`) to the file named by
+//! `CRITERION_JSON`. `scripts/bench.sh` runs the bench suites with that
+//! set, then invokes this binary to fold the lines into a labelled run:
+//!
+//! ```text
+//! bench_report --label pr4-after --jsonl /tmp/bench.jsonl \
+//!     [--out BENCH_kernels.json] [--notes "free text"]
+//! ```
+//!
+//! Runs are keyed by label: re-running with the same label replaces the
+//! run in place, so the trajectory stays one entry per labelled state of
+//! the kernels rather than an append-only log of every invocation.
+
+use std::process::ExitCode;
+
+use fedomd_jsonio::Json;
+
+struct Args {
+    label: String,
+    jsonl: String,
+    out: String,
+    notes: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut label = None;
+    let mut jsonl = None;
+    let mut out = "BENCH_kernels.json".to_string();
+    let mut notes = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--label" => label = Some(grab("--label")?),
+            "--jsonl" => jsonl = Some(grab("--jsonl")?),
+            "--out" => out = grab("--out")?,
+            "--notes" => notes = Some(grab("--notes")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        label: label.ok_or("--label is required")?,
+        jsonl: jsonl.ok_or("--jsonl is required")?,
+        out,
+        notes,
+    })
+}
+
+/// Parses the stub's JSONL into `(bench_label, record)` pairs. Later
+/// duplicates win, so re-run suites within one collection overwrite.
+fn parse_jsonl(text: &str) -> Result<Vec<(String, Json)>, String> {
+    let mut benches: Vec<(String, Json)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let label = doc
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing label", lineno + 1))?
+            .to_string();
+        let mut rec = Vec::new();
+        for key in ["mean_ns", "min_ns", "iters"] {
+            let v = doc
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("line {}: missing {key}", lineno + 1))?;
+            rec.push((key.to_string(), Json::Num(v)));
+        }
+        benches.retain(|(l, _)| *l != label);
+        benches.push((label, Json::Obj(rec)));
+    }
+    if benches.is_empty() {
+        return Err("no benchmark records found in JSONL input".into());
+    }
+    Ok(benches)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let text = std::fs::read_to_string(&args.jsonl)
+        .map_err(|e| format!("cannot read {}: {e}", args.jsonl))?;
+    let benches = parse_jsonl(&text)?;
+
+    let mut runs: Vec<Json> = match std::fs::read_to_string(&args.out) {
+        Ok(existing) => Json::parse(&existing)
+            .map_err(|e| format!("cannot parse existing {}: {e}", args.out))?
+            .get("runs")
+            .and_then(Json::as_array)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default(),
+        Err(_) => Vec::new(),
+    };
+
+    let mut run = vec![("label".to_string(), Json::Str(args.label.clone()))];
+    if let Some(notes) = &args.notes {
+        run.push(("notes".to_string(), Json::Str(notes.clone())));
+    }
+    run.push((
+        "benches".to_string(),
+        Json::Obj(benches.into_iter().collect()),
+    ));
+    let run = Json::Obj(run);
+
+    match runs
+        .iter_mut()
+        .find(|r| r.get("label").and_then(Json::as_str) == Some(args.label.as_str()))
+    {
+        Some(slot) => *slot = run,
+        None => runs.push(run),
+    }
+
+    let doc = Json::Obj(vec![
+        (
+            "schema".to_string(),
+            Json::Str("fedomd-bench-trajectory/v1".to_string()),
+        ),
+        ("unit".to_string(), Json::Str("ns/iter".to_string())),
+        ("runs".to_string(), Json::Arr(runs)),
+    ]);
+    let mut body = doc.to_pretty();
+    body.push('\n');
+    std::fs::write(&args.out, body).map_err(|e| format!("cannot write {}: {e}", args.out))?;
+    println!("bench_report: wrote run '{}' to {}", args.label, args.out);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

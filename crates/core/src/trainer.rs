@@ -32,7 +32,7 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 
-use fedomd_autograd::{CmdTargets, Tape, Var};
+use fedomd_autograd::{CmdTargets, Tape, Var, Workspace};
 use fedomd_federated::engine::RoundDriver;
 use fedomd_federated::helpers::fedavg;
 use fedomd_federated::{
@@ -183,6 +183,9 @@ pub fn run_fedomd_resumable(
         });
     }
     let mut chan = ObservedChannel::new(chan);
+    // One buffer pool per client, threaded through the forward tape (Phase
+    // 1) and the backward/step tape (Phase 3) of every round.
+    let mut workspaces: Vec<Workspace> = models.iter().map(|_| Workspace::new()).collect();
 
     for round in start_round..cfg.rounds {
         // A checkpoint taken after early stopping resumes already-stopped.
@@ -195,11 +198,12 @@ pub fn run_fedomd_resumable(
         // --- Phase 1: forward passes (parallel) ---
         let sw = PhaseStopwatch::start(Phase::LocalTrain);
         let start = Instant::now();
-        let mut sessions: Vec<(Tape, ForwardOut)> = models
+        let sessions: Vec<(Tape, ForwardOut)> = models
             .par_iter()
             .zip(clients.par_iter())
-            .map(|(model, client)| {
-                let mut tape = Tape::new();
+            .zip(workspaces.par_iter_mut())
+            .map(|((model, client), ws)| {
+                let mut tape = Tape::with_workspace(std::mem::take(ws));
                 let out = model.forward(&mut tape, &client.input);
                 (tape, out)
             })
@@ -356,67 +360,78 @@ pub fn run_fedomd_resumable(
         let start = Instant::now();
         // Per client: (total, ce, scaled ortho, scaled cmd) loss readings.
         let losses: Vec<(f32, f32, f32, f32)> = sessions
-            .par_iter_mut()
+            .into_par_iter()
             .zip(models.par_iter_mut())
             .zip(optimizers.par_iter_mut())
             .zip(clients.par_iter())
             .zip(targets.par_iter())
-            .map(|(((((tape, out), model), opt), client), targets_ref)| {
-                let ce =
-                    tape.softmax_cross_entropy(out.logits, &client.labels, &client.splits.train);
-                let mut loss = ce;
-                let mut ortho_term: Option<Var> = None;
-                if omd.use_ortho {
-                    if let Some(pen) = sum_terms(tape, out.ortho_weight_vars.to_vec(), |t, w| {
-                        t.ortho_penalty(w)
-                    }) {
-                        let scaled = tape.scale(pen, omd.alpha);
-                        ortho_term = Some(scaled);
-                        loss = tape.add(loss, scaled);
+            .zip(workspaces.par_iter_mut())
+            .map(
+                |((((((mut tape, out), model), opt), client), targets_ref), ws)| {
+                    let ce = tape.softmax_cross_entropy(
+                        out.logits,
+                        &client.labels,
+                        &client.splits.train,
+                    );
+                    let mut loss = ce;
+                    let mut ortho_term: Option<Var> = None;
+                    if omd.use_ortho {
+                        if let Some(pen) =
+                            sum_terms(&mut tape, out.ortho_weight_vars.to_vec(), |t, w| {
+                                t.ortho_penalty(w)
+                            })
+                        {
+                            let scaled = tape.scale(pen, omd.alpha);
+                            ortho_term = Some(scaled);
+                            loss = tape.add(loss, scaled);
+                        }
                     }
-                }
-                let mut cmd_term: Option<Var> = None;
-                if let Some(targets) = targets_ref {
-                    let n_constrained = if omd.cmd_first_layer_only {
-                        1
-                    } else {
-                        out.hidden.len()
-                    };
-                    if let Some(cmd) = sum_cmd(
-                        tape,
-                        &out.hidden[..n_constrained],
-                        &targets[..n_constrained],
-                        omd.width,
-                        omd.cmd_mean_scale,
-                    ) {
-                        let scaled = tape.scale(cmd, omd.beta);
-                        cmd_term = Some(scaled);
-                        loss = tape.add(loss, scaled);
+                    let mut cmd_term: Option<Var> = None;
+                    if let Some(targets) = targets_ref {
+                        let n_constrained = if omd.cmd_first_layer_only {
+                            1
+                        } else {
+                            out.hidden.len()
+                        };
+                        if let Some(cmd) = sum_cmd(
+                            &mut tape,
+                            &out.hidden[..n_constrained],
+                            &targets[..n_constrained],
+                            omd.width,
+                            omd.cmd_mean_scale,
+                        ) {
+                            let scaled = tape.scale(cmd, omd.beta);
+                            cmd_term = Some(scaled);
+                            loss = tape.add(loss, scaled);
+                        }
                     }
-                }
-                tape.backward(loss);
+                    tape.backward(loss);
 
-                let grads: Vec<Matrix> = out
-                    .param_vars
-                    .iter()
-                    .map(|&v| {
-                        tape.grad(v).cloned().unwrap_or_else(|| {
-                            let val = tape.value(v);
-                            Matrix::zeros(val.rows(), val.cols())
-                        })
-                    })
-                    .collect();
-                let mut params = model.params();
-                opt.step(&mut params, &grads);
-                model.set_params(&params);
-                model.post_step();
-                (
-                    tape.scalar(loss),
-                    tape.scalar(ce),
-                    ortho_term.map_or(0.0, |v| tape.scalar(v)),
-                    cmd_term.map_or(0.0, |v| tape.scalar(v)),
-                )
-            })
+                    let grads: Vec<Matrix> = out
+                        .param_vars
+                        .iter()
+                        .map(|&v| tape.grad_or_zeros(v))
+                        .collect();
+                    let mut params = model.params();
+                    opt.step(&mut params, &grads);
+                    model.set_params(&params);
+                    model.post_step();
+                    for g in grads {
+                        tape.recycle_matrix(g);
+                    }
+                    for p in params {
+                        tape.recycle_matrix(p);
+                    }
+                    let scalars = (
+                        tape.scalar(loss),
+                        tape.scalar(ce),
+                        ortho_term.map_or(0.0, |v| tape.scalar(v)),
+                        cmd_term.map_or(0.0, |v| tape.scalar(v)),
+                    );
+                    *ws = tape.recycle();
+                    scalars
+                },
+            )
             .collect();
         driver.timer.add("client", start.elapsed());
         for (client, &(loss, ce, ortho, cmd)) in losses.iter().enumerate() {

@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 
-use fedomd_autograd::Tape;
+use fedomd_autograd::{Tape, Workspace};
 use fedomd_nn::{Adam, ForwardOut, GraphInput, Model};
 use fedomd_sparse::{normalized_adjacency, Csr};
 use fedomd_tensor::rng::{derive, seeded};
@@ -159,13 +159,13 @@ impl FedLitModel {
 
 impl Model for FedLitModel {
     fn forward(&self, tape: &mut Tape, input: &GraphInput) -> ForwardOut {
-        let x = tape.constant((*input.x).clone());
+        let x = tape.constant_copied(&input.x);
         let mut param_vars = Vec::with_capacity(2 * self.ops.len());
 
         let mut h_sum = None;
         let mut w0_vars = Vec::with_capacity(self.ops.len());
         for (op, w0) in self.ops.iter().zip(&self.w0) {
-            let w = tape.param(w0.clone());
+            let w = tape.param_copied(w0);
             w0_vars.push(w);
             let sx = tape.spmm(op.clone(), x);
             let term = tape.matmul(sx, w);
@@ -179,7 +179,7 @@ impl Model for FedLitModel {
         let mut logit_sum = None;
         let mut w1_vars = Vec::with_capacity(self.ops.len());
         for (op, w1) in self.ops.iter().zip(&self.w1) {
-            let w = tape.param(w1.clone());
+            let w = tape.param_copied(w1);
             w1_vars.push(w);
             let sh = tape.spmm(op.clone(), h);
             let term = tape.matmul(sh, w);
@@ -289,6 +289,7 @@ pub fn run_fedlit_observed(
         .map(|_| Adam::new(cfg.lr, cfg.weight_decay))
         .collect();
     let n_scalars = models[0].n_scalars();
+    let mut workspaces: Vec<Workspace> = models.iter().map(|_| Workspace::new()).collect();
 
     for round in 0..cfg.rounds {
         obs.on_event(&RoundEvent::RoundStarted {
@@ -300,10 +301,11 @@ pub fn run_fedlit_observed(
             .par_iter_mut()
             .zip(optimizers.par_iter_mut())
             .zip(clients.par_iter())
-            .map(|((model, opt), client)| {
+            .zip(workspaces.par_iter_mut())
+            .map(|(((model, opt), client), ws)| {
                 let mut loss = 0.0;
                 for _ in 0..cfg.local_epochs {
-                    loss = local_step(model, client, opt, |_, _| Vec::new(), |_| {});
+                    loss = local_step(model, client, opt, ws, |_, _| Vec::new(), |_| {});
                 }
                 loss
             })

@@ -25,7 +25,7 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 
-use fedomd_autograd::Tape;
+use fedomd_autograd::{Tape, Workspace};
 use fedomd_nn::{Adam, GraphSage, Model, Optimizer};
 use fedomd_sparse::row_normalized_adjacency;
 use fedomd_tensor::rng::{derive, seeded};
@@ -285,6 +285,7 @@ pub fn run_fedsage_plus_observed(
         .map(|_| Adam::new(cfg.lr, cfg.weight_decay))
         .collect();
     let n_scalars = models[0].n_scalars();
+    let mut workspaces: Vec<Workspace> = models.iter().map(|_| Workspace::new()).collect();
 
     for round in 0..cfg.rounds {
         obs.on_event(&RoundEvent::RoundStarted {
@@ -296,10 +297,11 @@ pub fn run_fedsage_plus_observed(
             .par_iter_mut()
             .zip(optimizers.par_iter_mut())
             .zip(mended_clients.par_iter())
-            .map(|((model, opt), client)| {
+            .zip(workspaces.par_iter_mut())
+            .map(|(((model, opt), client), ws)| {
                 let mut loss = 0.0;
                 for _ in 0..cfg.local_epochs {
-                    loss = local_step(model, client, opt, |_, _| Vec::new(), |_| {});
+                    loss = local_step(model, client, opt, ws, |_, _| Vec::new(), |_| {});
                 }
                 loss
             })

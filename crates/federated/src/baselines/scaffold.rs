@@ -13,6 +13,7 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 
+use fedomd_autograd::Workspace;
 use fedomd_nn::{Model, Optimizer, Sgd};
 use fedomd_tensor::rng::derive;
 use fedomd_tensor::Matrix;
@@ -78,6 +79,7 @@ pub fn run_scaffold_observed(
     driver.announce("SCAFFOLD", m, obs);
     let n_scalars = models[0].n_scalars();
     let k_steps = cfg.local_epochs.max(1);
+    let mut workspaces: Vec<Workspace> = models.iter().map(|_| Workspace::new()).collect();
 
     for round in 0..cfg.rounds {
         obs.on_event(&RoundEvent::RoundStarted {
@@ -96,13 +98,15 @@ pub fn run_scaffold_observed(
             .zip(optimizers.par_iter_mut())
             .zip(clients.par_iter())
             .zip(client_c.par_iter_mut())
-            .map(|(((model, opt), client), ci)| {
+            .zip(workspaces.par_iter_mut())
+            .map(|((((model, opt), client), ci), ws)| {
                 let mut loss = 0.0;
                 for _ in 0..k_steps {
                     loss = local_step(
                         model,
                         client,
                         opt,
+                        ws,
                         |_, _| Vec::new(),
                         |grads| {
                             for ((g, c_i), c) in grads.iter_mut().zip(ci.iter()).zip(server_c_ref) {

@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 
+use fedomd_autograd::Workspace;
 use fedomd_nn::{Adam, AdamState, Gcn, Mlp, Model};
 use fedomd_tensor::rng::{derive, seeded};
 use fedomd_tensor::Matrix;
@@ -410,6 +411,8 @@ pub fn run_generic_resumable(
         .iter()
         .map(|_| Adam::new(cfg.lr, cfg.weight_decay))
         .collect();
+    // One buffer pool per client, reused across every epoch of every round.
+    let mut workspaces: Vec<Workspace> = models.iter().map(|_| Workspace::new()).collect();
 
     let mut driver;
     let start_round;
@@ -468,13 +471,15 @@ pub fn run_generic_resumable(
             .par_iter_mut()
             .zip(optimizers.par_iter_mut())
             .zip(clients.par_iter())
-            .map(|((model, opt), client)| {
+            .zip(workspaces.par_iter_mut())
+            .map(|(((model, opt), client), ws)| {
                 let mut losses = Vec::with_capacity(local_epochs);
                 for _ in 0..local_epochs {
                     losses.push(local_step(
                         model,
                         client,
                         opt,
+                        ws,
                         |tape, out| {
                             if prox_mu <= 0.0 {
                                 return Vec::new();

@@ -1,7 +1,7 @@
 //! Shared machinery for every federated algorithm: prediction, weighted
 //! evaluation, the FedAvg reduction, and the single-client training step.
 
-use fedomd_autograd::{Tape, Var};
+use fedomd_autograd::{Tape, Var, Workspace};
 use fedomd_metrics::accuracy::argmax_row;
 use fedomd_nn::{ForwardOut, Model, Optimizer};
 use fedomd_tensor::Matrix;
@@ -83,15 +83,18 @@ pub fn fedavg(param_sets: &[Vec<Matrix>], weights: &[f64]) -> Vec<Matrix> {
 ///
 /// `extra_loss` may append additional scalar nodes (already weighted) that
 /// are summed into the objective. `adjust_grads` can rewrite the gradient
-/// list (SCAFFOLD's control variates).
+/// list (SCAFFOLD's control variates). `ws` is the client's buffer pool:
+/// the step's tape draws every intermediate from it and recycles them back
+/// on return, so consecutive steps reuse the same allocations.
 pub fn local_step(
     model: &mut Box<dyn Model>,
     client: &ClientData,
     opt: &mut dyn Optimizer,
+    ws: &mut Workspace,
     extra_loss: impl FnOnce(&mut Tape, &ForwardOut) -> Vec<Var>,
     adjust_grads: impl FnOnce(&mut [Matrix]),
 ) -> f32 {
-    let mut tape = Tape::new();
+    let mut tape = Tape::with_workspace(std::mem::take(ws));
     let out = model.forward(&mut tape, &client.input);
     let mut loss = tape.softmax_cross_entropy(out.logits, &client.labels, &client.splits.train);
     for term in extra_loss(&mut tape, &out) {
@@ -102,12 +105,7 @@ pub fn local_step(
     let mut grads: Vec<Matrix> = out
         .param_vars
         .iter()
-        .map(|&v| {
-            tape.grad(v).cloned().unwrap_or_else(|| {
-                let val = tape.value(v);
-                Matrix::zeros(val.rows(), val.cols())
-            })
-        })
+        .map(|&v| tape.grad_or_zeros(v))
         .collect();
     adjust_grads(&mut grads);
 
@@ -115,7 +113,15 @@ pub fn local_step(
     opt.step(&mut params, &grads);
     model.set_params(&params);
     model.post_step();
-    tape.scalar(loss)
+    for g in grads {
+        tape.recycle_matrix(g);
+    }
+    for p in params {
+        tape.recycle_matrix(p);
+    }
+    let scalar = tape.scalar(loss);
+    *ws = tape.recycle();
+    scalar
 }
 
 #[cfg(test)]
@@ -159,12 +165,28 @@ mod tests {
         let mut model: Box<dyn Model> =
             Box::new(Mlp::new(client.input.n_features(), 16, 7, &mut rng));
         let mut opt = Sgd::new(0.1, 0.0);
-        let first = local_step(&mut model, &client, &mut opt, |_, _| vec![], |_| {});
+        let mut ws = Workspace::new();
+        let first = local_step(
+            &mut model,
+            &client,
+            &mut opt,
+            &mut ws,
+            |_, _| vec![],
+            |_| {},
+        );
         let mut last = first;
         for _ in 0..30 {
-            last = local_step(&mut model, &client, &mut opt, |_, _| vec![], |_| {});
+            last = local_step(
+                &mut model,
+                &client,
+                &mut opt,
+                &mut ws,
+                |_, _| vec![],
+                |_| {},
+            );
         }
         assert!(last < first, "loss did not decrease: {first} -> {last}");
+        assert!(ws.pooled_buffers() > 0, "steps should recycle buffers");
     }
 
     #[test]

@@ -32,9 +32,9 @@ impl Gcn {
 impl Model for Gcn {
     fn forward(&self, tape: &mut Tape, input: &GraphInput) -> ForwardOut {
         // First propagation Ŝ·X is cached in the input.
-        let sx = tape.constant((*input.sx).clone());
-        let w0 = tape.param(self.w0.clone());
-        let w1 = tape.param(self.w1.clone());
+        let sx = tape.constant_copied(&input.sx);
+        let w0 = tape.param_copied(&self.w0);
+        let w1 = tape.param_copied(&self.w1);
 
         let h = tape.matmul(sx, w0);
         let h = tape.relu(h);

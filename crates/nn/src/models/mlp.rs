@@ -30,11 +30,11 @@ impl Mlp {
 
 impl Model for Mlp {
     fn forward(&self, tape: &mut Tape, input: &GraphInput) -> ForwardOut {
-        let x = tape.constant((*input.x).clone());
-        let w1 = tape.param(self.w1.clone());
-        let b1 = tape.param(self.b1.clone());
-        let w2 = tape.param(self.w2.clone());
-        let b2 = tape.param(self.b2.clone());
+        let x = tape.constant_copied(&input.x);
+        let w1 = tape.param_copied(&self.w1);
+        let b1 = tape.param_copied(&self.b1);
+        let w2 = tape.param_copied(&self.w2);
+        let b2 = tape.param_copied(&self.b2);
 
         let h = tape.matmul(x, w1);
         let h = tape.add_bias(h, b1);

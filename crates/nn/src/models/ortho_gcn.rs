@@ -93,8 +93,8 @@ impl OrthoGcn {
 
 impl Model for OrthoGcn {
     fn forward(&self, tape: &mut Tape, input: &GraphInput) -> ForwardOut {
-        let sx = tape.constant((*input.sx).clone());
-        let w_in = tape.param(self.w_in.clone());
+        let sx = tape.constant_copied(&input.sx);
+        let w_in = tape.param_copied(&self.w_in);
 
         // Layer 1 (GCNConv): Z¹ = ReLU(Ŝ·X·W⁰); Ŝ·X is cached.
         let mut z = tape.matmul(sx, w_in);
@@ -108,7 +108,7 @@ impl Model for OrthoGcn {
         let target = (self.cfg.hidden_dim as f32).sqrt();
         for wk in &self.hidden_ws {
             let norm = wk.frobenius_norm().max(1e-12);
-            let wv = tape.param(wk.clone());
+            let wv = tape.param_copied(wk);
             param_vars.push(wv);
             ortho_weight_vars.push(wv);
 
@@ -121,7 +121,7 @@ impl Model for OrthoGcn {
 
         // Output layer (GCNConv): logits = Ŝ·Z^{l-1}·W^{l-1}. Softmax is
         // folded into the cross-entropy loss op.
-        let w_out = tape.param(self.w_out.clone());
+        let w_out = tape.param_copied(&self.w_out);
         param_vars.push(w_out);
         let zw = tape.matmul(z, w_out);
         let logits = tape.spmm(input.s.clone(), zw);

@@ -50,11 +50,11 @@ impl GraphSage {
 impl Model for GraphSage {
     fn forward(&self, tape: &mut Tape, input: &GraphInput) -> ForwardOut {
         let agg = self.aggregator(input);
-        let x = tape.constant((*input.x).clone());
-        let ws0 = tape.param(self.w_self0.clone());
-        let wn0 = tape.param(self.w_neigh0.clone());
-        let ws1 = tape.param(self.w_self1.clone());
-        let wn1 = tape.param(self.w_neigh1.clone());
+        let x = tape.constant_copied(&input.x);
+        let ws0 = tape.param_copied(&self.w_self0);
+        let wn0 = tape.param_copied(&self.w_neigh0);
+        let ws1 = tape.param_copied(&self.w_self1);
+        let wn1 = tape.param_copied(&self.w_neigh1);
 
         let ax = tape.spmm(agg.clone(), x);
         let h_self = tape.matmul(x, ws0);

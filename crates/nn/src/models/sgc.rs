@@ -60,8 +60,8 @@ impl Sgc {
 
 impl Model for Sgc {
     fn forward(&self, tape: &mut Tape, input: &GraphInput) -> ForwardOut {
-        let skx = tape.constant((*self.propagated(input)).clone());
-        let w = tape.param(self.w.clone());
+        let skx = tape.constant_copied(&self.propagated(input));
+        let w = tape.param_copied(&self.w);
         let logits = tape.matmul(skx, w);
         ForwardOut {
             logits,

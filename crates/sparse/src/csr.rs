@@ -3,6 +3,18 @@
 use fedomd_tensor::Matrix;
 use rayon::prelude::*;
 
+/// Ceiling on stored entries per parallel SpMM task: large enough that
+/// task overhead amortises over thousands of multiply-adds. The actual
+/// target also divides the matrix's nnz across the rayon pool (with 4×
+/// oversubscription for work stealing) so small graphs still fan out
+/// instead of collapsing into one serial block; see
+/// [`Csr::spmm`]. Scheduling never affects results — every output row is
+/// accumulated independently in its own task.
+const SPMM_TARGET_NNZ: usize = 4096;
+/// Floor on stored entries per parallel SpMM task, so the thread-scaled
+/// target can't shatter tiny graphs into tasks dominated by overhead.
+const SPMM_MIN_TARGET_NNZ: usize = 256;
+
 /// A sparse `f32` matrix in CSR form.
 ///
 /// Invariants (checked by [`Csr::validate`], maintained by all
@@ -149,12 +161,40 @@ impl Csr {
         Ok(())
     }
 
-    /// Sparse-dense product `C = S · X` (the graph-propagation kernel),
-    /// parallelised over output rows.
+    /// Sparse-dense product `C = S · X` (the graph-propagation kernel).
+    ///
+    /// Parallelised over nnz-balanced row blocks: the `indptr` array *is*
+    /// the prefix sum of per-row nnz, so [`Csr::balanced_row_blocks`] cuts
+    /// the rows into blocks of roughly equal stored-entry counts (scaled
+    /// to the rayon pool, bounded by [`SPMM_MIN_TARGET_NNZ`] and
+    /// [`SPMM_TARGET_NNZ`]) by binary-searching it. One task per block
+    /// fixes both the task-per-row overhead on small rows and the load
+    /// imbalance on power-law degree graphs; a one-thread pool takes the
+    /// plain row sweep instead, since partitioning cannot pay off there.
+    /// Per-row accumulation order is unchanged on every path, so results
+    /// are bit-identical to [`Csr::spmm_ref`].
     ///
     /// # Panics
     /// Panics when `self.cols() != x.rows()`.
     pub fn spmm(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, x.cols());
+        self.spmm_body(x, &mut out);
+        out
+    }
+
+    /// [`Csr::spmm`] into a caller-provided output (overwritten, any prior
+    /// contents ignored). Lets the autograd workspace recycle buffers.
+    ///
+    /// # Panics
+    /// Panics when the inner dimensions or the output shape disagree.
+    pub fn spmm_into(&self, x: &Matrix, out: &mut Matrix) {
+        out.as_mut_slice().fill(0.0);
+        self.spmm_body(x, out);
+    }
+
+    /// Accumulating kernel shared by [`Csr::spmm`] / [`Csr::spmm_into`];
+    /// `out` must be zeroed on entry.
+    fn spmm_body(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             x.rows(),
@@ -165,12 +205,29 @@ impl Csr {
             x.cols()
         );
         let n = x.cols();
-        let x_data = x.as_slice();
-        let mut out = Matrix::zeros(self.rows, n);
-        out.as_mut_slice()
-            .par_chunks_mut(n.max(1))
-            .enumerate()
-            .for_each(|(r, out_row)| {
+        assert_eq!(
+            out.shape(),
+            (self.rows, n),
+            "spmm_into: output shape mismatch"
+        );
+        if self.rows == 0 || n == 0 {
+            // Explicit `n == 0` handling: the result is the (empty)
+            // all-zero matrix. The previous kernel's `n.max(1)` chunking
+            // degenerated into one bogus task per output element here.
+            return;
+        }
+        // Aim for ~4 blocks per thread (work-stealing slack) but keep each
+        // block big enough to amortise its task, and never bigger than the
+        // ceiling that bounds load imbalance on power-law graphs. On a
+        // one-thread pool (the vendored sequential rayon shim) the plain
+        // row sweep is optimal and partitioning is pure overhead, so skip
+        // it — likewise when the whole matrix fits one block anyway.
+        let threads = rayon::current_num_threads();
+        let per_thread = self.nnz() / (4 * threads).max(1);
+        let target = per_thread.clamp(SPMM_MIN_TARGET_NNZ, SPMM_TARGET_NNZ);
+        if threads <= 1 || self.nnz() <= target {
+            let x_data = x.as_slice();
+            for (r, out_row) in out.as_mut_slice().chunks_mut(n).enumerate() {
                 let (idx, vals) = self.row(r);
                 for (&c, &v) in idx.iter().zip(vals) {
                     let x_row = &x_data[c as usize * n..(c as usize + 1) * n];
@@ -178,8 +235,81 @@ impl Csr {
                         *o += v * xv;
                     }
                 }
-            });
+            }
+        } else {
+            self.spmm_blocked(x, out, target);
+        }
+    }
+
+    /// The nnz-balanced blocked kernel behind [`Csr::spmm`]: one rayon
+    /// task per ≈`target`-entry row block. Per-row accumulation is
+    /// identical to the plain sweep — partitioning only changes which
+    /// task computes a row, never the arithmetic inside it.
+    fn spmm_blocked(&self, x: &Matrix, out: &mut Matrix, target: usize) {
+        let n = x.cols();
+        let x_data = x.as_slice();
+        let blocks = self.balanced_row_blocks(target);
+
+        // Carve the output into one contiguous mutable slice per block.
+        let mut tasks = Vec::with_capacity(blocks.len());
+        let mut rest = out.as_mut_slice();
+        for &(r0, r1) in &blocks {
+            let (head, tail) = rest.split_at_mut((r1 - r0) * n);
+            tasks.push((r0, head));
+            rest = tail;
+        }
+        tasks.into_par_iter().for_each(|(r0, chunk)| {
+            for (i, out_row) in chunk.chunks_mut(n).enumerate() {
+                let (idx, vals) = self.row(r0 + i);
+                for (&c, &v) in idx.iter().zip(vals) {
+                    let x_row = &x_data[c as usize * n..(c as usize + 1) * n];
+                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                        *o += v * xv;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Serial reference SpMM (the pre-PR4 per-row kernel, minus the
+    /// per-row rayon task). Oracle for the bit-identity proptests.
+    pub fn spmm_ref(&self, x: &Matrix) -> Matrix {
+        assert_eq!(self.cols, x.rows(), "spmm_ref: inner dimensions disagree");
+        let n = x.cols();
+        let x_data = x.as_slice();
+        let mut out = Matrix::zeros(self.rows, n);
+        for (r, out_row) in out.as_mut_slice().chunks_mut(n.max(1)).enumerate() {
+            if n == 0 {
+                break;
+            }
+            let (idx, vals) = self.row(r);
+            for (&c, &v) in idx.iter().zip(vals) {
+                let x_row = &x_data[c as usize * n..(c as usize + 1) * n];
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
         out
+    }
+
+    /// Partitions `[0, rows)` into contiguous blocks of ≈`target` stored
+    /// entries (each at least one row): each block is the shortest row
+    /// range from its start whose nnz reaches `target`, found by binary
+    /// search over the `indptr` prefix sums. Rows heavier than `target`
+    /// become single-row blocks; trailing light rows pool into one block.
+    fn balanced_row_blocks(&self, target: usize) -> Vec<(usize, usize)> {
+        let mut blocks = Vec::new();
+        let mut r0 = 0;
+        while r0 < self.rows {
+            let goal = self.indptr[r0] + target;
+            let boundaries = &self.indptr[r0 + 1..self.rows + 1];
+            let i = boundaries.partition_point(|&v| v < goal);
+            let r1 = (r0 + 1 + i).min(self.rows);
+            blocks.push((r0, r1));
+            r0 = r1;
+        }
+        blocks
     }
 
     /// Sparse-vector product `y = S · x`.
@@ -372,6 +502,77 @@ mod tests {
         s.validate().expect("valid empty");
     }
 
+    #[test]
+    fn spmm_with_zero_columns_yields_empty_result() {
+        // Regression for the `n == 0` degenerate case of the old
+        // `n.max(1)` chunking: must return a well-formed `rows × 0`
+        // matrix, not panic or mis-chunk.
+        let s = small();
+        let x = Matrix::zeros(3, 0);
+        let out = s.spmm(&x);
+        assert_eq!(out.shape(), (3, 0));
+        assert_eq!(s.spmm_ref(&x).shape(), (3, 0));
+        let mut pre = Matrix::zeros(3, 0);
+        s.spmm_into(&x, &mut pre);
+        assert_eq!(pre.shape(), (3, 0));
+    }
+
+    #[test]
+    fn spmm_into_overwrites_stale_contents() {
+        let s = small();
+        let x = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 - 5.0);
+        let mut out = Matrix::from_fn(3, 4, |_, _| f32::NAN);
+        s.spmm_into(&x, &mut out);
+        let want = s.spmm_ref(&x);
+        for (a, b) in out.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn balanced_blocks_partition_and_balance() {
+        // Power-law-ish degrees: one hub row, many light rows.
+        let mut entries = Vec::new();
+        for c in 0..200 {
+            entries.push((0, c, 1.0)); // hub
+        }
+        for r in 1..50 {
+            entries.push((r, r % 7, 1.0));
+        }
+        let s = Csr::from_coo(50, 200, entries);
+        let target = 16;
+        let blocks = s.balanced_row_blocks(target);
+        // Contiguous cover of [0, rows).
+        assert_eq!(blocks.first().expect("nonempty").0, 0);
+        assert_eq!(blocks.last().expect("nonempty").1, 50);
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        for &(r0, r1) in &blocks {
+            assert!(r1 > r0);
+            let nnz: usize = (r0..r1).map(|r| s.row_nnz(r)).sum();
+            // Every block is the *shortest* prefix reaching the target:
+            // dropping its last row must fall below target (or the block
+            // is the tail).
+            if r1 < 50 {
+                assert!(nnz >= target);
+            }
+            if r1 - r0 > 1 {
+                let without_last: usize = (r0..r1 - 1).map(|r| s.row_nnz(r)).sum();
+                assert!(without_last < target);
+            }
+        }
+        // The hub row starts a block and is heavier than the target, so
+        // it sits alone instead of dragging light rows into its task.
+        assert_eq!(blocks[0], (0, 1));
+    }
+
+    #[test]
+    fn balanced_blocks_of_all_empty_rows_is_single_block() {
+        let s = Csr::zeros(17, 5);
+        assert_eq!(s.balanced_row_blocks(64), vec![(0, 17)]);
+    }
+
     proptest! {
         #[test]
         fn prop_spmm_matches_dense(
@@ -396,6 +597,49 @@ mod tests {
         ) {
             let s = Csr::from_coo(10, 10, entries);
             prop_assert_eq!(s.transpose().transpose(), s);
+        }
+
+        /// The tentpole invariant: nnz-balanced SpMM is bit-identical to
+        /// the retained per-row reference, including empty rows, all-zero
+        /// stored values, and non-finite features.
+        #[test]
+        fn prop_spmm_bitwise_matches_ref(
+            rows in 1usize..60, cols in 1usize..20, n in 0usize..8,
+            entries in proptest::collection::vec((0usize..60, 0usize..20, -2.0f32..2.0), 0..200),
+            nonfinite in 0usize..3, target in 1usize..32,
+        ) {
+            let entries: Vec<_> = entries
+                .into_iter()
+                .filter(|&(r, c, _)| r < rows && c < cols)
+                .collect();
+            let s = Csr::from_coo(rows, cols, entries);
+            let mut x = Matrix::from_fn(cols, n, |r, c| ((r * 3 + c * 7) % 5) as f32 - 2.0);
+            let total = cols * n;
+            for i in 0..nonfinite.min(total) {
+                let idx = (i * 13 + 5) % total;
+                x.as_mut_slice()[idx] = if i % 2 == 0 { f32::NAN } else { f32::INFINITY };
+            }
+            let got = s.spmm(&x);
+            let want = s.spmm_ref(&x);
+            prop_assert_eq!(got.shape(), want.shape());
+            for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // The blocked kernel (which a one-thread pool skips) stays
+            // bit-identical at every block granularity.
+            if n > 0 {
+                let mut blocked = Matrix::zeros(rows, n);
+                s.spmm_blocked(&x, &mut blocked, target);
+                for (a, b) in blocked.as_slice().iter().zip(want.as_slice()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            // The partition is a contiguous cover regardless of target.
+            let blocks = s.balanced_row_blocks(target);
+            prop_assert_eq!(blocks.iter().map(|&(r0, r1)| r1 - r0).sum::<usize>(), rows);
+            for w in blocks.windows(2) {
+                prop_assert_eq!(w[0].1, w[1].0);
+            }
         }
     }
 }

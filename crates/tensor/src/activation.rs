@@ -10,14 +10,20 @@ pub fn relu(x: &Matrix) -> Matrix {
 /// Backward pass of ReLU: passes `grad` where the *forward input* was
 /// positive, zero elsewhere.
 pub fn relu_backward(input: &Matrix, grad: &Matrix) -> Matrix {
-    assert_eq!(input.shape(), grad.shape(), "relu_backward: shape mismatch");
     let mut out = grad.clone();
-    for (g, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+    relu_backward_inplace(input, &mut out);
+    out
+}
+
+/// [`relu_backward`] writing into a gradient buffer in place: zeroes the
+/// entries of `grad` where the forward input was non-positive.
+pub fn relu_backward_inplace(input: &Matrix, grad: &mut Matrix) {
+    assert_eq!(input.shape(), grad.shape(), "relu_backward: shape mismatch");
+    for (g, &x) in grad.as_mut_slice().iter_mut().zip(input.as_slice()) {
         if x <= 0.0 {
             *g = 0.0;
         }
     }
-    out
 }
 
 /// Logistic sigmoid, element-wise.
@@ -33,6 +39,12 @@ pub fn tanh(x: &Matrix) -> Matrix {
 /// Row-wise softmax with the max-subtraction trick for numerical stability.
 pub fn softmax_rows(x: &Matrix) -> Matrix {
     let mut out = x.clone();
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// [`softmax_rows`] overwriting the logits in place.
+pub fn softmax_rows_inplace(out: &mut Matrix) {
     let cols = out.cols();
     for row in out.as_mut_slice().chunks_mut(cols) {
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -47,7 +59,6 @@ pub fn softmax_rows(x: &Matrix) -> Matrix {
             }
         }
     }
-    out
 }
 
 /// Row-wise log-softmax (stable).

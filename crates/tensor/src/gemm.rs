@@ -1,4 +1,4 @@
-//! Parallel dense matrix multiplication kernels.
+//! Cache-blocked, panel-packed dense matrix multiplication kernels.
 //!
 //! Three product shapes cover everything the forward and backward passes
 //! need without ever materialising a transpose:
@@ -7,48 +7,489 @@
 //! * [`matmul_tn`]   — `C = Aᵀ · B` (weight gradients)
 //! * [`matmul_nt`]   — `C = A · Bᵀ` (input gradients)
 //!
-//! All kernels parallelise over row blocks of the output with rayon and use
-//! an `i-k-j` loop order so the innermost loop is a contiguous
-//! multiply-accumulate the compiler can vectorise.
+//! # Kernel architecture
+//!
+//! All three shapes funnel into one BLIS-style blocked driver
+//! ([`gemm_packed`]): the output is split into `MC`-row blocks
+//! (parallelised with rayon), the summation dimension into `KC`-deep
+//! panels, and the columns into `NC`-wide panels. Each task packs the
+//! operands into thread-local scratch buffers — `A` micro-panels
+//! interleaved `MR` rows at a time, `B` micro-panels `NR` columns at a
+//! time — so the register-tiled microkernel reads both operands
+//! contiguously regardless of the logical transpose. The packing buffers
+//! live in `thread_local` storage and are reused across calls: steady
+//! state does no allocation.
+//!
+//! The `MR × NR` microkernel keeps the whole output tile in registers
+//! across a full `KC` sweep, eliminating the per-`k` store/reload of the
+//! previous i-k-j kernels. When the CPU supports AVX2 a
+//! runtime-dispatched copy of the *same* Rust code is compiled with
+//! `#[target_feature(enable = "avx2")]`, doubling SIMD width over the
+//! baseline x86-64 codegen.
+//!
+//! # Bit-for-bit determinism
+//!
+//! Checkpoint/golden tests pin training output at the bit level, so these
+//! kernels must reproduce the previous implementation exactly:
+//!
+//! * Every output element is accumulated **k-sequentially in ascending
+//!   order** — blocking over `KC` only partitions the sum, each partial
+//!   continues on the stored running value, and edge tiles load the
+//!   existing output into the register tile before accumulating.
+//! * No `f32::mul_add`: rustc never contracts `a * b + c` into an FMA, and
+//!   auto-vectorisation is lane-wise IEEE, so scalar, SSE2 and AVX2 paths
+//!   all round identically.
+//! * The old kernels skipped `a == 0` terms when `B` was entirely finite
+//!   (guarded by an `O(kn)` scan). The packed kernels drop both the
+//!   skip and the scan: with finite `B` each skipped term is `±0.0`, and a
+//!   running sum that starts at `+0.0` can never become `-0.0` (IEEE
+//!   round-to-nearest returns `+0.0` for `x + (-x)` and `+0.0 + -0.0`), so
+//!   adding the term is bitwise invisible. With non-finite `B` the old
+//!   kernels never skipped. Both cases therefore produce identical bits,
+//!   NaN propagation included — and the pre-scan disappears from the
+//!   dense hot path entirely.
+//!
+//! # Zero-heavy left operands
+//!
+//! The skip-invisibility argument cuts both ways: because skipping a
+//! `0 · finite` term never changes a single output bit, the dispatcher is
+//! free to pick whichever kernel is *faster* for the operands at hand.
+//! Raw bag-of-words feature matrices (a few percent non-zero) are the one
+//! case where the old skip was a genuine algorithmic win — the naive
+//! kernel degrades to `O(nnz · n)` while the packed kernel grinds through
+//! every zero at full SIMD width. [`matmul`] and [`matmul_tn`] therefore
+//! count `A`'s zeros (a parallel `O(mk)` scan, amortised by `n ≥ 1`
+//! columns of downstream work) and route products whose left operand is
+//! less than [`SPARSE_MAX_DENSITY`] non-zero to the pre-PR4 row-parallel
+//! skip kernels, retained verbatim as [`gemm_nn_skip_par`] /
+//! [`gemm_tn_skip_par`]. `matmul_nt` keeps no such path: its dot-product
+//! inner loop never had a skip to lose.
+//!
+//! The pre-PR4 kernels are additionally retained serially as
+//! [`matmul_ref`] / [`matmul_tn_ref`] / [`matmul_nt_ref`]: they serve as
+//! the oracle for the bit-identity proptests below and as the dispatch
+//! target for tiny products where packing overhead dominates.
 
 use crate::matrix::Matrix;
 use rayon::prelude::*;
+use std::cell::RefCell;
 
-/// Row-block size for parallel splitting. Small enough to load-balance,
-/// large enough that per-task overhead is negligible.
+/// Microkernel register-tile height (output rows held in registers).
+const MR: usize = 4;
+/// Microkernel register-tile width (output columns held in registers).
+/// `MR × NR` accumulators fill 8 YMM registers under AVX2.
+const NR: usize = 16;
+/// Output rows per parallel task / packed `A` block (multiple of `MR`).
+const MC: usize = 128;
+/// Summation depth per packed panel; `KC × MR` and `KC × NR` micro-panels
+/// stay L1-resident.
+const KC: usize = 256;
+/// Output columns per packed `B` panel (multiple of `NR`).
+const NC: usize = 512;
+/// Products with `m·k·n` at or below this run on the serial reference
+/// kernels: packing setup would cost more than it saves.
+const SMALL_FLOPS: usize = 32 * 32 * 32;
+/// Non-zero fraction of the left operand below which `nn`/`tn` products
+/// dispatch to the zero-skip kernels instead of the packed one. The packed
+/// kernel is ~3× faster per MAC, so the skip (which eliminates MACs
+/// outright) wins once fewer than roughly a third of the terms survive;
+/// ¼ keeps a safety margin for the skip kernel's poorer vectorisation.
+const SPARSE_MAX_DENSITY: f64 = 0.25;
+/// Row-block size of the zero-skip kernels' parallel splitting (the
+/// pre-PR4 kernels' blocking, kept verbatim).
 const BLOCK: usize = 32;
 
-/// `C = A · B` where `A` is `m x k` and `B` is `k x n`.
-///
-/// # Panics
-/// Panics when the inner dimensions disagree.
-pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(
-        a.cols(),
-        b.rows(),
-        "matmul: inner dimensions disagree ({}x{} · {}x{})",
-        a.rows(),
-        a.cols(),
-        b.rows(),
-        b.cols()
-    );
-    let (m, k) = a.shape();
-    let n = b.cols();
-    let mut c = Matrix::zeros(m, n);
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    // The `aik == 0` fast path silently turns `0·NaN` / `0·∞` into `0`.
-    // IEEE semantics only permit the skip when B is free of non-finite
-    // values; one O(kn) scan keeps the fast path for the (overwhelmingly
-    // common) finite case.
-    let b_finite = b_data.iter().all(|v| v.is_finite());
+thread_local! {
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
-    c.as_mut_slice()
-        .par_chunks_mut(BLOCK * n.max(1))
+/// A strided read-only view of an operand, so one packing routine serves
+/// plain, transposed-left and transposed-right products.
+#[derive(Clone, Copy)]
+struct View<'a> {
+    data: &'a [f32],
+    rs: usize,
+    cs: usize,
+}
+
+/// Packs `mc` rows × `kc` cols of `a` (from `(i0, p0)`) into MR-interleaved
+/// micro-panels: element `(ir·MR + r, kk)` lands at `ir·kc·MR + kk·MR + r`.
+/// Rows past `mc` are zero-padded so the microkernel never branches.
+///
+/// The two loop orders below read the source contiguously for row-major
+/// (`cs == 1`) and transposed (`rs == 1`) views respectively; they fill
+/// identical bytes, only the memory access order differs.
+fn pack_a(a: View<'_>, i0: usize, mc: usize, p0: usize, kc: usize, buf: &mut Vec<f32>) {
+    let panels = mc.div_ceil(MR);
+    buf.clear();
+    buf.resize(panels * kc * MR, 0.0);
+    if a.cs == 1 {
+        for ir in 0..panels {
+            let rows = MR.min(mc - ir * MR);
+            let base = ir * kc * MR;
+            for r in 0..rows {
+                let src = &a.data[(i0 + ir * MR + r) * a.rs + p0..];
+                for kk in 0..kc {
+                    buf[base + kk * MR + r] = src[kk];
+                }
+            }
+        }
+    } else {
+        // Transposed source: each logical column (p0 + kk) is a contiguous
+        // run of the underlying row-major data, so sweep it once and
+        // scatter into the (L2-resident) panel buffer.
+        for kk in 0..kc {
+            let src = &a.data[(p0 + kk) * a.cs + i0..];
+            for ir in 0..panels {
+                let rows = MR.min(mc - ir * MR);
+                let base = ir * kc * MR + kk * MR;
+                for r in 0..rows {
+                    buf[base + r] = src[ir * MR + r];
+                }
+            }
+        }
+    }
+}
+
+/// Packs `kc` rows × `nc` cols of `b` (from `(p0, j0)`) into NR-interleaved
+/// micro-panels: element `(kk, jr·NR + j)` lands at `jr·kc·NR + kk·NR + j`.
+/// Columns past `nc` are zero-padded. Loop orders mirror [`pack_a`].
+fn pack_b(b: View<'_>, p0: usize, kc: usize, j0: usize, nc: usize, buf: &mut Vec<f32>) {
+    let panels = nc.div_ceil(NR);
+    buf.clear();
+    buf.resize(panels * kc * NR, 0.0);
+    if b.cs == 1 {
+        for jr in 0..panels {
+            let cols = NR.min(nc - jr * NR);
+            let base = jr * kc * NR;
+            for kk in 0..kc {
+                let src = &b.data[(p0 + kk) * b.rs + j0 + jr * NR..];
+                for j in 0..cols {
+                    buf[base + kk * NR + j] = src[j];
+                }
+            }
+        }
+    } else {
+        // Transposed source: logical column (j0 + …) is contiguous.
+        for jr in 0..panels {
+            let cols = NR.min(nc - jr * NR);
+            let base = jr * kc * NR;
+            for j in 0..cols {
+                let src = &b.data[(j0 + jr * NR + j) * b.cs + p0..];
+                for kk in 0..kc {
+                    buf[base + kk * NR + j] = src[kk];
+                }
+            }
+        }
+    }
+}
+
+/// The register-tiled inner kernel: loads the `MR × NR` output tile,
+/// accumulates `kc` rank-1 updates in ascending `k` order, stores it back.
+/// Plain `mul` + `add` only — see the module docs on determinism.
+#[inline(always)]
+fn microkernel_body(kc: usize, a: &[f32], b: &[f32], c: &mut [f32], ldc: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, acc_row) in acc.iter_mut().enumerate() {
+        acc_row.copy_from_slice(&c[r * ldc..r * ldc + NR]);
+    }
+    for kk in 0..kc {
+        let av = &a[kk * MR..kk * MR + MR];
+        let bv = &b[kk * NR..kk * NR + NR];
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let ar = av[r];
+            for (j, accv) in acc_row.iter_mut().enumerate() {
+                *accv += ar * bv[j];
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        c[r * ldc..r * ldc + NR].copy_from_slice(acc_row);
+    }
+}
+
+/// Baseline-ISA instantiation of the microkernel.
+fn microkernel_generic(kc: usize, a: &[f32], b: &[f32], c: &mut [f32], ldc: usize) {
+    microkernel_body(kc, a, b, c, ldc);
+}
+
+/// AVX2 instantiation: identical Rust code, wider auto-vectorisation.
+/// Lane-wise IEEE arithmetic without contraction keeps it bit-identical
+/// to [`microkernel_generic`].
+///
+/// # Safety
+/// Callers must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn microkernel_avx2(kc: usize, a: &[f32], b: &[f32], c: &mut [f32], ldc: usize) {
+    microkernel_body(kc, a, b, c, ldc);
+}
+
+#[inline(always)]
+fn run_microkernel(avx2: bool, kc: usize, a: &[f32], b: &[f32], c: &mut [f32], ldc: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2 {
+        // SAFETY: `avx2` is only true when `is_x86_feature_detected!`
+        // confirmed support in `gemm_packed`.
+        unsafe { microkernel_avx2(kc, a, b, c, ldc) };
+        return;
+    }
+    let _ = avx2;
+    microkernel_generic(kc, a, b, c, ldc);
+}
+
+/// Direct-A microkernel: reads `MRE` rows of a row-major `A` straight from
+/// the source (`a[r·lda..]` contiguous in `k`) instead of a packed panel.
+/// Used when the `B` panel is a single micro-panel wide, where a packed
+/// `A` panel would be written and read exactly once — pure overhead.
+/// The accumulation sequence per output element is identical to
+/// [`microkernel_body`].
+#[inline(always)]
+fn microkernel_direct_body<const MRE: usize>(
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MRE];
+    for (r, acc_row) in acc.iter_mut().enumerate() {
+        acc_row.copy_from_slice(&c[r * ldc..r * ldc + NR]);
+    }
+    for kk in 0..kc {
+        let bv = &b[kk * NR..kk * NR + NR];
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let ar = a[r * lda + kk];
+            for (j, accv) in acc_row.iter_mut().enumerate() {
+                *accv += ar * bv[j];
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        c[r * ldc..r * ldc + NR].copy_from_slice(acc_row);
+    }
+}
+
+/// AVX2 instantiation of the direct-A microkernel (see
+/// [`microkernel_avx2`] for the bit-identity argument).
+///
+/// # Safety
+/// Callers must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn microkernel_direct_avx2<const MRE: usize>(
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+) {
+    microkernel_direct_body::<MRE>(kc, a, lda, b, c, ldc);
+}
+
+#[inline(always)]
+fn run_microkernel_direct<const MRE: usize>(
+    avx2: bool,
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2 {
+        // SAFETY: `avx2` is only true when `is_x86_feature_detected!`
+        // confirmed support in `gemm_packed`.
+        unsafe { microkernel_direct_avx2::<MRE>(kc, a, lda, b, c, ldc) };
+        return;
+    }
+    let _ = avx2;
+    microkernel_direct_body::<MRE>(kc, a, lda, b, c, ldc);
+}
+
+/// Direct-A tile runner: dispatches `mr_eff` to a monomorphised
+/// microkernel (the match arms must cover `1..=MR`) and stages through a
+/// scratch tile when the column edge is ragged.
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn run_tile_direct(
+    avx2: bool,
+    kc: usize,
+    a: &[f32],
+    lda: usize,
+    mr_eff: usize,
+    b_panel: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    nr_eff: usize,
+) {
+    let dispatch = |c: &mut [f32], ldc: usize| match mr_eff {
+        4 => run_microkernel_direct::<4>(avx2, kc, a, lda, b_panel, c, ldc),
+        3 => run_microkernel_direct::<3>(avx2, kc, a, lda, b_panel, c, ldc),
+        2 => run_microkernel_direct::<2>(avx2, kc, a, lda, b_panel, c, ldc),
+        1 => run_microkernel_direct::<1>(avx2, kc, a, lda, b_panel, c, ldc),
+        _ => unreachable!("mr_eff bounded by MR"),
+    };
+    if nr_eff == NR {
+        dispatch(c, ldc);
+    } else {
+        let mut tile = [0.0f32; MR * NR];
+        for r in 0..mr_eff {
+            for j in 0..nr_eff {
+                tile[r * NR + j] = c[r * ldc + j];
+            }
+        }
+        dispatch(&mut tile, NR);
+        for r in 0..mr_eff {
+            for j in 0..nr_eff {
+                c[r * ldc + j] = tile[r * NR + j];
+            }
+        }
+    }
+}
+
+/// Runs one `mr_eff × nr_eff` output tile. Full tiles accumulate straight
+/// into `c`; edge tiles stage through an on-stack scratch tile that is
+/// *loaded from* `c` first, so partial sums keep accumulating in place and
+/// the addition sequence per element is unchanged.
+#[inline(always)]
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+fn run_tile(
+    avx2: bool,
+    kc: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    if mr_eff == MR && nr_eff == NR {
+        run_microkernel(avx2, kc, a_panel, b_panel, c, ldc);
+    } else {
+        let mut tile = [0.0f32; MR * NR];
+        for r in 0..mr_eff {
+            for j in 0..nr_eff {
+                tile[r * NR + j] = c[r * ldc + j];
+            }
+        }
+        run_microkernel(avx2, kc, a_panel, b_panel, &mut tile, NR);
+        for r in 0..mr_eff {
+            for j in 0..nr_eff {
+                c[r * ldc + j] = tile[r * NR + j];
+            }
+        }
+    }
+}
+
+/// Blocked, packed driver: `c += a · b` on an `m × n` output with
+/// summation depth `kdim`, where `c` starts zeroed (or holds a partial
+/// result with the same accumulation history as the reference kernels).
+fn gemm_packed(m: usize, n: usize, kdim: usize, a: View<'_>, b: View<'_>, c: &mut [f32]) {
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || kdim == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    let avx2 = std::arch::is_x86_feature_detected!("avx2");
+    #[cfg(not(target_arch = "x86_64"))]
+    let avx2 = false;
+
+    // With at most one B micro-panel per KC block, a packed A panel would
+    // be written and read exactly once; read A in place instead (only
+    // possible when its rows are contiguous).
+    let direct_a = a.cs == 1 && n <= NR;
+
+    c.par_chunks_mut(MC * n)
+        .enumerate()
+        .for_each(|(blk, c_chunk)| {
+            let i0 = blk * MC;
+            let mc = c_chunk.len() / n;
+            PACK_A.with(|pa_cell| {
+                PACK_B.with(|pb_cell| {
+                    let pa = &mut *pa_cell.borrow_mut();
+                    let pb = &mut *pb_cell.borrow_mut();
+                    for p0 in (0..kdim).step_by(KC) {
+                        let kc = KC.min(kdim - p0);
+                        if !direct_a {
+                            pack_a(a, i0, mc, p0, kc, pa);
+                        }
+                        for j0 in (0..n).step_by(NC) {
+                            let nc = NC.min(n - j0);
+                            pack_b(b, p0, kc, j0, nc, pb);
+                            for jr in 0..nc.div_ceil(NR) {
+                                let nr_eff = NR.min(nc - jr * NR);
+                                let b_panel = &pb[jr * kc * NR..(jr + 1) * kc * NR];
+                                for ir in 0..mc.div_ceil(MR) {
+                                    let mr_eff = MR.min(mc - ir * MR);
+                                    let c_off = ir * MR * n + j0 + jr * NR;
+                                    if direct_a {
+                                        let a_sub = &a.data[(i0 + ir * MR) * a.rs + p0..];
+                                        run_tile_direct(
+                                            avx2,
+                                            kc,
+                                            a_sub,
+                                            a.rs,
+                                            mr_eff,
+                                            b_panel,
+                                            &mut c_chunk[c_off..],
+                                            n,
+                                            nr_eff,
+                                        );
+                                    } else {
+                                        let a_panel = &pa[ir * kc * MR..(ir + 1) * kc * MR];
+                                        run_tile(
+                                            avx2,
+                                            kc,
+                                            a_panel,
+                                            b_panel,
+                                            &mut c_chunk[c_off..],
+                                            n,
+                                            mr_eff,
+                                            nr_eff,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                })
+            });
+        });
+}
+
+// `run_tile_direct`'s monomorphised dispatch enumerates 1..=MR.
+const _: () = assert!(MR == 4, "update run_tile_direct's dispatch arms with MR");
+
+/// True when fewer than [`SPARSE_MAX_DENSITY`] of `a`'s entries are
+/// non-zero. Exact parallel count — integer summation, so the answer (and
+/// therefore the dispatch) is deterministic regardless of thread count.
+fn is_zero_heavy(a: &[f32]) -> bool {
+    let nnz: usize = a
+        .par_chunks(1 << 14)
+        .map(|chunk| chunk.iter().filter(|&&v| v != 0.0).count())
+        .sum();
+    (nnz as f64) < SPARSE_MAX_DENSITY * a.len() as f64
+}
+
+/// The pre-PR4 parallel `C = A · B` kernel, verbatim: row-blocked over the
+/// output, `i-k-j` loop order, `aik == 0` terms skipped when `B` is
+/// entirely finite. Each output element is accumulated k-sequentially
+/// within a single task, so the result is bit-identical to
+/// [`gemm_nn_ref`] (and, by the skip-invisibility argument in the module
+/// docs, to the packed kernel). `c` must be zeroed on entry.
+fn gemm_nn_skip_par(a_data: &[f32], b_data: &[f32], n: usize, k: usize, c: &mut [f32]) {
+    let b_finite = b_data
+        .par_chunks(1 << 14)
+        .all(|ch| ch.iter().all(|v| v.is_finite()));
+    c.par_chunks_mut(BLOCK * n)
         .enumerate()
         .for_each(|(blk, c_chunk)| {
             let row0 = blk * BLOCK;
-            let rows_here = c_chunk.len() / n.max(1);
+            let rows_here = c_chunk.len() / n;
             for i in 0..rows_here {
                 let a_row = &a_data[(row0 + i) * k..(row0 + i + 1) * k];
                 let c_row = &mut c_chunk[i * n..(i + 1) * n];
@@ -63,37 +504,21 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
                 }
             }
         });
-    c
 }
 
-/// `C = Aᵀ · B` where `A` is `m x k` and `B` is `m x n`; the result is `k x n`.
-///
-/// Used for weight gradients (`∂L/∂W = Xᵀ · ∂L/∂Y`).
-pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(
-        a.rows(),
-        b.rows(),
-        "matmul_tn: row counts disagree ({}x{} vs {}x{})",
-        a.rows(),
-        a.cols(),
-        b.rows(),
-        b.cols()
-    );
-    let (m, k) = a.shape();
-    let n = b.cols();
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    // Same IEEE gate as `matmul`: skipping `av == 0` would hide NaN/∞ in B.
-    let b_finite = b_data.iter().all(|v| v.is_finite());
-
-    // Each task owns a block of output rows (i.e. a block of A's columns).
-    let mut c = Matrix::zeros(k, n);
-    c.as_mut_slice()
-        .par_chunks_mut(BLOCK * n.max(1))
+/// The pre-PR4 parallel `C = Aᵀ · B` kernel, verbatim: each task owns a
+/// block of output rows (a block of `A`'s columns) and sweeps all `m`
+/// summation rows in ascending order, skipping `av == 0` terms when `B`
+/// is finite. Bit-identical to [`gemm_tn_ref`]. `c` must be zeroed.
+fn gemm_tn_skip_par(a_data: &[f32], b_data: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+    let b_finite = b_data
+        .par_chunks(1 << 14)
+        .all(|ch| ch.iter().all(|v| v.is_finite()));
+    c.par_chunks_mut(BLOCK * n)
         .enumerate()
         .for_each(|(blk, c_chunk)| {
             let col0 = blk * BLOCK;
-            let cols_here = c_chunk.len() / n.max(1);
+            let cols_here = c_chunk.len() / n;
             for row in 0..m {
                 let a_row = &a_data[row * k..(row + 1) * k];
                 let b_row = &b_data[row * n..(row + 1) * n];
@@ -109,14 +534,126 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
                 }
             }
         });
+}
+
+/// `C = A · B` where `A` is `m x k` and `B` is `k x n`.
+///
+/// # Panics
+/// Panics when the inner dimensions disagree.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    matmul_body(a, b, &mut c);
     c
+}
+
+/// [`matmul`] into a caller-provided output (overwritten, any prior
+/// contents ignored). Lets the autograd workspace recycle buffers.
+///
+/// # Panics
+/// Panics when the inner dimensions or the output shape disagree.
+pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    c.as_mut_slice().fill(0.0);
+    matmul_body(a, b, c);
+}
+
+/// Accumulating driver shared by [`matmul`] / [`matmul_into`]; `c` must be
+/// zeroed on entry.
+fn matmul_body(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions disagree ({}x{} · {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(c.shape(), (m, n), "matmul_into: output shape mismatch");
+    if m * k * n <= SMALL_FLOPS {
+        gemm_nn_ref(a.as_slice(), b.as_slice(), m, k, n, c.as_mut_slice());
+    } else if is_zero_heavy(a.as_slice()) {
+        gemm_nn_skip_par(a.as_slice(), b.as_slice(), n, k, c.as_mut_slice());
+    } else {
+        let av = View {
+            data: a.as_slice(),
+            rs: k,
+            cs: 1,
+        };
+        let bv = View {
+            data: b.as_slice(),
+            rs: n,
+            cs: 1,
+        };
+        gemm_packed(m, n, k, av, bv, c.as_mut_slice());
+    }
+}
+
+/// `C = Aᵀ · B` where `A` is `m x k` and `B` is `m x n`; the result is `k x n`.
+///
+/// Used for weight gradients (`∂L/∂W = Xᵀ · ∂L/∂Y`).
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.cols(), b.cols());
+    matmul_tn_body(a, b, &mut c);
+    c
+}
+
+/// [`matmul_tn`] into a caller-provided output (overwritten).
+pub fn matmul_tn_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    c.as_mut_slice().fill(0.0);
+    matmul_tn_body(a, b, c);
+}
+
+fn matmul_tn_body(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn: row counts disagree ({}x{} vs {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(c.shape(), (k, n), "matmul_tn_into: output shape mismatch");
+    if m * k * n <= SMALL_FLOPS {
+        gemm_tn_ref(a.as_slice(), b.as_slice(), m, k, n, c.as_mut_slice());
+    } else if is_zero_heavy(a.as_slice()) {
+        gemm_tn_skip_par(a.as_slice(), b.as_slice(), m, k, n, c.as_mut_slice());
+    } else {
+        // Logical left operand is Aᵀ (`k × m`): element (i, l) = A[l, i].
+        let av = View {
+            data: a.as_slice(),
+            rs: 1,
+            cs: k,
+        };
+        let bv = View {
+            data: b.as_slice(),
+            rs: n,
+            cs: 1,
+        };
+        gemm_packed(k, n, m, av, bv, c.as_mut_slice());
+    }
 }
 
 /// `C = A · Bᵀ` where `A` is `m x k` and `B` is `n x k`; the result is `m x n`.
 ///
-/// Used for input gradients (`∂L/∂X = ∂L/∂Y · Wᵀ`). The inner loop is a dot
-/// product over contiguous rows of both operands.
+/// Used for input gradients (`∂L/∂X = ∂L/∂Y · Wᵀ`).
 pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    matmul_nt_body(a, b, &mut c);
+    c
+}
+
+/// [`matmul_nt`] into a caller-provided output (overwritten).
+pub fn matmul_nt_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    c.as_mut_slice().fill(0.0);
+    matmul_nt_body(a, b, c);
+}
+
+fn matmul_nt_body(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     assert_eq!(
         a.cols(),
         b.cols(),
@@ -128,29 +665,111 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     );
     let (m, k) = a.shape();
     let n = b.rows();
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
+    assert_eq!(c.shape(), (m, n), "matmul_nt_into: output shape mismatch");
+    if m * k * n <= SMALL_FLOPS {
+        gemm_nt_ref(a.as_slice(), b.as_slice(), m, k, n, c.as_mut_slice());
+    } else {
+        let av = View {
+            data: a.as_slice(),
+            rs: k,
+            cs: 1,
+        };
+        // Logical right operand is Bᵀ (`k × n`): element (l, j) = B[j, l].
+        let bv = View {
+            data: b.as_slice(),
+            rs: 1,
+            cs: k,
+        };
+        gemm_packed(m, n, k, av, bv, c.as_mut_slice());
+    }
+}
 
-    let mut c = Matrix::zeros(m, n);
-    c.as_mut_slice()
-        .par_chunks_mut(BLOCK * n.max(1))
-        .enumerate()
-        .for_each(|(blk, c_chunk)| {
-            let row0 = blk * BLOCK;
-            let rows_here = c_chunk.len() / n.max(1);
-            for i in 0..rows_here {
-                let a_row = &a_data[(row0 + i) * k..(row0 + i + 1) * k];
-                let c_row = &mut c_chunk[i * n..(i + 1) * n];
-                for (j, cv) in c_row.iter_mut().enumerate() {
-                    let b_row = &b_data[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&av, &bv) in a_row.iter().zip(b_row) {
-                        acc += av * bv;
-                    }
-                    *cv += acc;
-                }
+// ---------------------------------------------------------------------------
+// Reference kernels: the pre-PR4 implementations, kept serial and verbatim.
+// They are the bit-level oracle for the packed kernels and the dispatch
+// target for tiny shapes.
+// ---------------------------------------------------------------------------
+
+fn gemm_nn_ref(a_data: &[f32], b_data: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+    // The `aik == 0` fast path silently turns `0·NaN` / `0·∞` into `0`.
+    // IEEE semantics only permit the skip when B is free of non-finite
+    // values, hence the scan.
+    let b_finite = b_data.iter().all(|v| v.is_finite());
+    for i in 0..m {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 && b_finite {
+                continue;
             }
-        });
+            let b_row = &b_data[kk * n..(kk + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+fn gemm_tn_ref(a_data: &[f32], b_data: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+    let b_finite = b_data.iter().all(|v| v.is_finite());
+    for row in 0..m {
+        let a_row = &a_data[row * k..(row + 1) * k];
+        let b_row = &b_data[row * n..(row + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 && b_finite {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+fn gemm_nt_ref(a_data: &[f32], b_data: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+    for i in 0..m {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b_data[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    }
+}
+
+/// Serial reference `C = A · B` with the original zero-skip/`b_finite`
+/// semantics. Oracle for bit-identity tests.
+pub fn matmul_ref(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul_ref: inner dimensions disagree");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    gemm_nn_ref(a.as_slice(), b.as_slice(), m, k, n, c.as_mut_slice());
+    c
+}
+
+/// Serial reference `C = Aᵀ · B`. Oracle for bit-identity tests.
+pub fn matmul_tn_ref(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn_ref: row counts disagree");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(k, n);
+    gemm_tn_ref(a.as_slice(), b.as_slice(), m, k, n, c.as_mut_slice());
+    c
+}
+
+/// Serial reference `C = A · Bᵀ`. Oracle for bit-identity tests.
+pub fn matmul_nt_ref(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt_ref: column counts disagree");
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut c = Matrix::zeros(m, n);
+    gemm_nt_ref(a.as_slice(), b.as_slice(), m, k, n, c.as_mut_slice());
     c
 }
 
@@ -187,6 +806,69 @@ mod tests {
         })
     }
 
+    /// Forces the packed path regardless of the small-shape cutoff.
+    fn packed_nn(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut c = Matrix::zeros(m, n);
+        let av = View {
+            data: a.as_slice(),
+            rs: k,
+            cs: 1,
+        };
+        let bv = View {
+            data: b.as_slice(),
+            rs: n,
+            cs: 1,
+        };
+        gemm_packed(m, n, k, av, bv, c.as_mut_slice());
+        c
+    }
+
+    fn packed_tn(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut c = Matrix::zeros(k, n);
+        let av = View {
+            data: a.as_slice(),
+            rs: 1,
+            cs: k,
+        };
+        let bv = View {
+            data: b.as_slice(),
+            rs: n,
+            cs: 1,
+        };
+        gemm_packed(k, n, m, av, bv, c.as_mut_slice());
+        c
+    }
+
+    fn packed_nt(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k) = a.shape();
+        let n = b.rows();
+        let mut c = Matrix::zeros(m, n);
+        let av = View {
+            data: a.as_slice(),
+            rs: k,
+            cs: 1,
+        };
+        let bv = View {
+            data: b.as_slice(),
+            rs: 1,
+            cs: k,
+        };
+        gemm_packed(m, n, k, av, bv, c.as_mut_slice());
+        c
+    }
+
+    /// Exact bitwise equality, NaN patterns included.
+    fn assert_bits_eq(c: &Matrix, r: &Matrix) {
+        assert_eq!(c.shape(), r.shape());
+        for (i, (&cv, &rv)) in c.as_slice().iter().zip(r.as_slice()).enumerate() {
+            assert_eq!(cv.to_bits(), rv.to_bits(), "element {i}: {cv:?} vs {rv:?}");
+        }
+    }
+
     #[test]
     fn matmul_matches_naive() {
         let a = mat(17, 23, 1);
@@ -217,7 +899,7 @@ mod tests {
 
     #[test]
     fn large_block_boundary_shapes() {
-        // Cross the BLOCK=32 boundary on every dimension.
+        // Cross the MR/NR/MC boundaries on every dimension.
         let a = mat(65, 33, 8);
         let b = mat(33, 34, 9);
         matmul(&a, &b).assert_close(&matmul_naive(&a, &b), 1e-3);
@@ -257,17 +939,105 @@ mod tests {
 
     #[test]
     fn finite_b_keeps_the_zero_skip_exact() {
-        // With a finite B the skip must stay active (and exact): a fully
-        // zero A row yields an exactly zero C row, never -0.0 noise.
+        // A fully zero A row yields an exactly zero C row, never -0.0
+        // noise — on both the reference and the packed path.
         let mut a = mat(4, 6, 11);
         for j in 0..6 {
             a[(2, j)] = 0.0;
         }
         let b = mat(6, 5, 12);
-        let c = matmul(&a, &b);
-        for j in 0..5 {
-            assert_eq!(c[(2, j)], 0.0);
+        for c in [matmul(&a, &b), packed_nn(&a, &b)] {
+            for j in 0..5 {
+                assert_eq!(c[(2, j)].to_bits(), 0.0f32.to_bits());
+            }
         }
+    }
+
+    #[test]
+    fn packed_bitwise_matches_ref_on_ragged_large_shapes() {
+        // Cross every blocking boundary: MR=4, NR=16, MC=128, KC=256.
+        for &(m, k, n) in &[
+            (129usize, 300usize, 17usize),
+            (257, 70, 33),
+            (130, 260, 15),
+            (4, 513, 16),
+            (541, 97, 3),
+        ] {
+            let a = mat(m, k, m as u64 * 31 + n as u64);
+            let b = mat(k, n, k as u64 * 17 + 5);
+            assert_bits_eq(&packed_nn(&a, &b), &matmul_ref(&a, &b));
+
+            let a_tn = mat(m, k, 77);
+            let b_tn = mat(m, n, 78);
+            assert_bits_eq(&packed_tn(&a_tn, &b_tn), &matmul_tn_ref(&a_tn, &b_tn));
+
+            let b_nt = mat(n, k, 79);
+            assert_bits_eq(&packed_nt(&a, &b_nt), &matmul_nt_ref(&a, &b_nt));
+        }
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_contents() {
+        let a = mat(37, 41, 21);
+        let b = mat(41, 19, 22);
+        let mut c = Matrix::from_fn(37, 19, |_, _| f32::NAN);
+        matmul_into(&a, &b, &mut c);
+        assert_bits_eq(&c, &matmul(&a, &b));
+
+        let g = mat(37, 19, 23);
+        let mut dw = Matrix::from_fn(41, 19, |_, _| 123.0);
+        matmul_tn_into(&a, &g, &mut dw);
+        assert_bits_eq(&dw, &matmul_tn(&a, &g));
+
+        let mut dx = Matrix::from_fn(37, 41, |_, _| -7.5);
+        matmul_nt_into(&g, &b, &mut dx);
+        assert_bits_eq(&dx, &matmul_nt(&g, &b));
+    }
+
+    /// Zeroes all but `keep` of every `span` entries, pushing the matrix
+    /// under the sparse-dispatch density cutoff.
+    fn sparsify(m: &mut Matrix, keep: usize, span: usize) {
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            if i % span >= keep {
+                *v = 0.0;
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_dispatch_bitwise_matches_ref() {
+        // Large enough to clear SMALL_FLOPS, left operand ~6 % non-zero:
+        // the zero-heavy dispatch kicks in and must not change a bit.
+        let mut a = mat(130, 70, 51);
+        sparsify(&mut a, 1, 16);
+        let b = mat(70, 40, 52);
+        assert_bits_eq(&matmul(&a, &b), &matmul_ref(&a, &b));
+
+        let b_tn = mat(130, 40, 53);
+        assert_bits_eq(&matmul_tn(&a, &b_tn), &matmul_tn_ref(&a, &b_tn));
+    }
+
+    #[test]
+    fn sparse_dispatch_keeps_nonfinite_b_semantics() {
+        // With NaN/∞ in B the skip must stay disabled: 0·NaN = NaN.
+        let mut a = mat(130, 70, 54);
+        sparsify(&mut a, 1, 16);
+        let mut b = mat(70, 40, 55);
+        inject_nonfinite(&mut b, 56, 3);
+        assert_bits_eq(&matmul(&a, &b), &matmul_ref(&a, &b));
+
+        let mut b_tn = mat(130, 40, 57);
+        inject_nonfinite(&mut b_tn, 58, 3);
+        assert_bits_eq(&matmul_tn(&a, &b_tn), &matmul_tn_ref(&a, &b_tn));
+    }
+
+    #[test]
+    fn packed_paper_scale_shape_matches_ref() {
+        // A scaled-down version of the paper-scale 2708×1433×16 product
+        // that still spans multiple MC and KC blocks.
+        let a = mat(300, 520, 41);
+        let b = mat(520, 16, 42);
+        assert_bits_eq(&packed_nn(&a, &b), &matmul_ref(&a, &b));
     }
 
     /// Elementwise comparison that treats non-finite values by class:
@@ -308,7 +1078,64 @@ mod tests {
         }
     }
 
+    /// Zeroes out seed-derived rows entirely (exercises the reference
+    /// kernels' zero-skip against the packed kernels' always-add).
+    fn zero_rows(m: &mut Matrix, seed: u64, count: usize) {
+        let rows = m.rows();
+        if rows == 0 {
+            return;
+        }
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for _ in 0..count {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let r = (x as usize) % rows;
+            for v in m.row_mut(r) {
+                *v = 0.0;
+            }
+        }
+    }
+
     proptest! {
+        /// The tentpole invariant: the packed kernels reproduce the
+        /// reference kernels bit-for-bit across ragged shapes, zeroed
+        /// rows, and non-finite contamination of either operand.
+        #[test]
+        fn prop_packed_bitwise_matches_ref(
+            m in 1usize..40, k in 1usize..40, n in 1usize..40,
+            seed in 0u64..1000,
+            inj_a in 0usize..3, inj_b in 0usize..3, zr in 0usize..3,
+        ) {
+            let mut a = mat(m, k, seed);
+            let mut b = mat(k, n, seed.wrapping_add(1));
+            inject_nonfinite(&mut a, seed.wrapping_add(2), inj_a);
+            inject_nonfinite(&mut b, seed.wrapping_add(3), inj_b);
+            zero_rows(&mut a, seed.wrapping_add(4), zr);
+            assert_bits_eq(&packed_nn(&a, &b), &matmul_ref(&a, &b));
+
+            let mut a_tn = mat(m, k, seed.wrapping_add(5));
+            let mut b_tn = mat(m, n, seed.wrapping_add(6));
+            inject_nonfinite(&mut a_tn, seed.wrapping_add(7), inj_a);
+            inject_nonfinite(&mut b_tn, seed.wrapping_add(8), inj_b);
+            assert_bits_eq(&packed_tn(&a_tn, &b_tn), &matmul_tn_ref(&a_tn, &b_tn));
+
+            let mut b_nt = mat(n, k, seed.wrapping_add(9));
+            inject_nonfinite(&mut b_nt, seed.wrapping_add(10), inj_b);
+            assert_bits_eq(&packed_nt(&a, &b_nt), &matmul_nt_ref(&a, &b_nt));
+        }
+
+        /// The public entry points (which dispatch small shapes to the
+        /// reference kernels) agree with the refs bitwise too.
+        #[test]
+        fn prop_public_matches_ref_bitwise(
+            m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..500,
+        ) {
+            let a = mat(m, k, seed);
+            let b = mat(k, n, seed.wrapping_add(1));
+            assert_bits_eq(&matmul(&a, &b), &matmul_ref(&a, &b));
+        }
+
         #[test]
         fn prop_kernels_match_naive_on_nonfinite_inputs(
             m in 1usize..12, k in 1usize..12, n in 1usize..12,

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Kernel benchmark runner: executes the hot-path Criterion benches with a
+# fixed per-benchmark time budget and folds the results into the
+# machine-readable perf trajectory at BENCH_kernels.json.
+#
+#   scripts/bench.sh <run-label> [notes]
+#
+# e.g.  scripts/bench.sh pr4-before "seed kernels"
+#       scripts/bench.sh pr4-after  "packed GEMM + nnz-balanced SpMM"
+#
+# Runs are keyed by label; re-running a label replaces that run in place.
+# BENCH_BUDGET_MS overrides the per-benchmark budget (default 500 ms —
+# fixed here so runs are comparable across invocations).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:?usage: scripts/bench.sh <run-label> [notes]}"
+NOTES="${2:-}"
+SUITES=(gemm spmm fed_round cmd)
+
+export CRITERION_BUDGET_MS="${BENCH_BUDGET_MS:-500}"
+JSONL="$(mktemp /tmp/fedomd_bench.XXXXXX.jsonl)"
+trap 'rm -f "$JSONL"' EXIT
+export CRITERION_JSON="$JSONL"
+
+cargo build --release --workspace
+for suite in "${SUITES[@]}"; do
+    echo "== bench suite: $suite (budget ${CRITERION_BUDGET_MS} ms/bench)"
+    cargo bench -q -p fedomd-bench --bench "$suite"
+done
+
+unset CRITERION_JSON
+if [[ -n "$NOTES" ]]; then
+    cargo run -q --release -p fedomd-bench --bin bench_report -- \
+        --label "$LABEL" --jsonl "$JSONL" --out BENCH_kernels.json --notes "$NOTES"
+else
+    cargo run -q --release -p fedomd-bench --bin bench_report -- \
+        --label "$LABEL" --jsonl "$JSONL" --out BENCH_kernels.json
+fi

@@ -12,6 +12,9 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
+# Benches are tier-1 compile targets: a PR must not break them even if it
+# never runs them (perf runs go through scripts/bench.sh).
+cargo bench --workspace --no-run
 
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --check

@@ -6,10 +6,14 @@
 //! plain wall-clock loop (short warm-up, then a fixed time budget) and
 //! reports mean/min per iteration — adequate for relative comparisons,
 //! with none of criterion's statistics. Env `CRITERION_BUDGET_MS`
-//! adjusts the per-benchmark budget (default 300 ms).
+//! adjusts the per-benchmark budget (default 300 ms). When
+//! `CRITERION_JSON` names a file, one JSON object per benchmark
+//! (`{"label":…,"mean_ns":…,"min_ns":…,"iters":…}`) is appended to it,
+//! which is what `scripts/bench.sh` aggregates into `BENCH_kernels.json`.
 
 use std::fmt::Display;
 use std::hint;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimiser value wrapper.
@@ -71,19 +75,44 @@ fn human(ns: f64) -> String {
     }
 }
 
-fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(label: &str, suffix: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher {
         mean_ns: 0.0,
         min_ns: 0.0,
         iters: 0,
     };
     f(&mut b);
+    let printed = format!("{label}{suffix}");
     println!(
-        "{label:<52} mean {:>12}   min {:>12}   ({} iters)",
+        "{printed:<52} mean {:>12}   min {:>12}   ({} iters)",
         human(b.mean_ns),
         human(b.min_ns),
         b.iters
     );
+    record_json(label, &b);
+}
+
+/// Appends one JSON line per benchmark to `$CRITERION_JSON`, if set. The
+/// label is JSON-escaped via `{:?}` (bench labels are plain ASCII).
+fn record_json(label: &str, b: &Bencher) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"label\":{label:?},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"iters\":{}}}\n",
+        b.mean_ns, b.min_ns, b.iters
+    );
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("criterion stub: cannot append to {path}: {e}");
+    }
 }
 
 /// Identifies one parameterised benchmark (`function_name/parameter`).
@@ -139,7 +168,7 @@ impl Criterion {
 
     /// Runs one stand-alone benchmark.
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        run_one(name, &mut f);
+        run_one(name, "", &mut f);
         self
     }
 }
@@ -170,8 +199,8 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        let label = format!("{}/{}{}", self.name, id, self.throughput_suffix());
-        run_one(&label, &mut |b| f(b, input));
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &self.throughput_suffix(), &mut |b| f(b, input));
         self
     }
 
@@ -181,8 +210,8 @@ impl BenchmarkGroup<'_> {
         id: impl Display,
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        let label = format!("{}/{}{}", self.name, id, self.throughput_suffix());
-        run_one(&label, &mut f);
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &self.throughput_suffix(), &mut f);
         self
     }
 
@@ -233,5 +262,27 @@ mod tests {
             b.iter(|| (0..n).sum::<u64>())
         });
         g.finish();
+    }
+
+    #[test]
+    fn json_emission_appends_one_line_per_bench() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_json_test_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_BUDGET_MS", "5");
+        std::env::set_var("CRITERION_JSON", &path);
+        let mut c = Criterion::default();
+        c.bench_function("json_probe", |b| b.iter(|| black_box(2 + 2)));
+        std::env::remove_var("CRITERION_JSON");
+        let text = std::fs::read_to_string(&path).expect("json file written");
+        let _ = std::fs::remove_file(&path);
+        // Other tests may run concurrently while CRITERION_JSON is set, so
+        // only assert on this test's own label.
+        let mine: Vec<_> = text
+            .lines()
+            .filter(|l| l.starts_with("{\"label\":\"json_probe\",\"mean_ns\":"))
+            .collect();
+        assert_eq!(mine.len(), 1);
+        assert!(mine[0].contains("\"iters\":"));
     }
 }

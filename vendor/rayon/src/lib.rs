@@ -91,6 +91,15 @@ impl<T> IntoParallelIterator for Vec<T> {
     }
 }
 
+/// Stand-in for `rayon::current_num_threads`: the sequential shim is a
+/// one-thread pool. Kernels that tune task granularity to the pool size
+/// read this so they skip partitioning work entirely when it cannot pay
+/// off — and pick up real fan-out automatically if the genuine rayon is
+/// ever swapped back in.
+pub fn current_num_threads() -> usize {
+    1
+}
+
 /// Sequential stand-in for `rayon::join`: runs both closures in order.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
