@@ -26,6 +26,8 @@
 //! println!("test accuracy: {:.2}%", 100.0 * result.test_acc);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod protocol;
 pub mod run;

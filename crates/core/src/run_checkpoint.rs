@@ -469,6 +469,10 @@ impl CheckpointSink for FileCheckpointer {
         let ckpt = RunCheckpoint::new(self.algorithm.clone(), self.seed, state);
         let bytes = ckpt
             .save(&self.path)
+            // LINT: allow(panic) documented contract (see `# Panics`):
+            // silently losing snapshots would defeat the crash-safety the
+            // caller asked for, and `CheckpointSink::save` has no error
+            // channel by design — round loops stay ignorant of I/O.
             .unwrap_or_else(|e| panic!("run checkpoint save failed: {e}"));
         obs.on_event(&RoundEvent::CheckpointSaved {
             round,
@@ -549,6 +553,29 @@ mod tests {
     }
 
     #[test]
+    fn serialization_is_byte_identical_across_runs() {
+        // Determinism regression guard: two independent serializations of
+        // equal checkpoints must produce the exact same bytes. Field order
+        // is fixed by construction (ordered `obj` tuples, never map
+        // iteration order), so any unordered container sneaking into the
+        // emission path shows up here as byte drift.
+        let a = RunCheckpoint::new("FedOMD", 7, sample_state())
+            .to_json()
+            .to_compact();
+        let b = RunCheckpoint::new("FedOMD", 7, sample_state())
+            .to_json()
+            .to_compact();
+        assert_eq!(a.as_bytes(), b.as_bytes());
+
+        // A decode → re-encode cycle must also reproduce the bytes.
+        let re = RunCheckpoint::from_json(&Json::parse(&a).expect("valid json"))
+            .expect("decode")
+            .to_json()
+            .to_compact();
+        assert_eq!(re.as_bytes(), a.as_bytes());
+    }
+
+    #[test]
     fn neg_infinity_best_val_survives_the_sentinel_encoding() {
         // A checkpoint taken before the first eval carries -inf.
         let mut state = sample_state();
@@ -572,9 +599,15 @@ mod tests {
         assert_eq!(back.state.stats, None);
     }
 
+    /// Per-process scratch dir: concurrent `cargo test` invocations must
+    /// not race each other on a shared fixed path.
+    fn scratch_dir() -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("fedomd-run-ckpt-test-{}", std::process::id()))
+    }
+
     #[test]
     fn file_roundtrip_and_overwrite() {
-        let dir = std::env::temp_dir().join("fedomd-run-ckpt-test");
+        let dir = scratch_dir();
         std::fs::create_dir_all(&dir).expect("mkdir");
         let path = dir.join("run.ckpt.json");
         let a = RunCheckpoint::new("FedOMD", 7, sample_state());
@@ -591,7 +624,7 @@ mod tests {
 
     #[test]
     fn truncated_file_is_a_typed_parse_error() {
-        let dir = std::env::temp_dir().join("fedomd-run-ckpt-test");
+        let dir = scratch_dir();
         std::fs::create_dir_all(&dir).expect("mkdir");
         let path = dir.join("truncated.ckpt.json");
         let text = RunCheckpoint::new("FedOMD", 7, sample_state())
@@ -632,7 +665,7 @@ mod tests {
 
     #[test]
     fn file_checkpointer_emits_checkpoint_saved() {
-        let dir = std::env::temp_dir().join("fedomd-run-ckpt-test");
+        let dir = scratch_dir();
         std::fs::create_dir_all(&dir).expect("mkdir");
         let path = dir.join("sink.ckpt.json");
         let mut sink = FileCheckpointer::new(&path, 2, "FedOMD", 7);

@@ -27,8 +27,8 @@
 //! (golden-tested). Prefer the [`crate::FedRun`] builder; `run_fedomd` /
 //! `run_fedomd_with` remain as thin wrappers.
 
+use fedomd_metrics::Stopwatch;
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 use rayon::prelude::*;
 
@@ -197,7 +197,7 @@ pub fn run_fedomd_resumable(
         });
         // --- Phase 1: forward passes (parallel) ---
         let sw = PhaseStopwatch::start(Phase::LocalTrain);
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let sessions: Vec<(Tape, ForwardOut)> = models
             .par_iter()
             .zip(clients.par_iter())
@@ -214,7 +214,7 @@ pub fn run_fedomd_resumable(
         // --- Phase 2: the 2-round statistics exchange, over the channel ---
         let targets: Vec<Option<Vec<CmdTargets>>> = if omd.use_cmd {
             let sw = PhaseStopwatch::start(Phase::Comms);
-            let start = Instant::now();
+            let start = Stopwatch::start();
             let per_client_hidden: Vec<Vec<&Matrix>> = sessions
                 .iter()
                 .map(|(tape, out)| out.hidden.iter().map(|&h| tape.value(h)).collect())
@@ -357,7 +357,7 @@ pub fn run_fedomd_resumable(
 
         // --- Phase 3: losses, backward, local steps (parallel) ---
         let sw = PhaseStopwatch::start(Phase::LocalTrain);
-        let start = Instant::now();
+        let start = Stopwatch::start();
         // Per client: (total, ce, scaled ortho, scaled cmd) loss readings.
         let losses: Vec<(f32, f32, f32, f32)> = sessions
             .into_par_iter()
@@ -447,7 +447,7 @@ pub fn run_fedomd_resumable(
         sw.finish(obs);
 
         // --- Phase 4: FedAvg over the channel (partial under faults) ---
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let sw = PhaseStopwatch::start(Phase::Comms);
         for (i, mo) in models.iter().enumerate() {
             let bytes = chan.upload(Envelope {
@@ -469,6 +469,11 @@ pub fn run_fedomd_resumable(
                 .into_iter()
                 .map(|env| match env.payload {
                     Payload::WeightUpdate { params } => from_tensors(params),
+                    // LINT: allow(panic) protocol invariant: every channel
+                    // impl routes only client uplink frames to
+                    // `server_collect`, and FedOMD clients upload nothing
+                    // but `WeightUpdate` in Phase 4 — any other payload
+                    // here is a routing bug that must fail loudly.
                     other => panic!("server expected WeightUpdate, got {}", other.kind()),
                 })
                 .collect();

@@ -14,6 +14,8 @@
 //! experiment suite runs in minutes; the bench binaries accept
 //! `--scale paper` to use the full sizes.
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod registry;
 pub mod synth;

@@ -14,8 +14,8 @@
 //! types" — with tiny parties the per-type subgraphs become sparse and
 //! unstable, which this implementation reproduces.
 
+use fedomd_metrics::Stopwatch;
 use std::sync::Arc;
-use std::time::Instant;
 
 use rayon::prelude::*;
 
@@ -251,7 +251,7 @@ pub fn run_fedlit_observed(
 
     // Federated link-type clustering.
     let sw = PhaseStopwatch::start(Phase::Aggregation);
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let assignments = federated_edge_kmeans(clients, cfg.seed);
     driver.timer.add("server", start.elapsed());
     sw.finish(obs);
@@ -296,7 +296,7 @@ pub fn run_fedlit_observed(
             round: round as u64,
         });
         let sw = PhaseStopwatch::start(Phase::LocalTrain);
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let losses: Vec<f32> = models
             .par_iter_mut()
             .zip(optimizers.par_iter_mut())
@@ -324,7 +324,7 @@ pub fn run_fedlit_observed(
         sw.finish(obs);
 
         let sw = PhaseStopwatch::start(Phase::Aggregation);
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let sets: Vec<Vec<Matrix>> = models.iter().map(|mo| mo.params()).collect();
         let global = fedavg(&sets, &vec![1.0; m]);
         for mo in models.iter_mut() {

@@ -20,8 +20,8 @@
 //! FedSage+ ("demand ... massive samples to ... maintain sampling
 //! effectiveness").
 
+use fedomd_metrics::Stopwatch;
 use std::sync::Arc;
-use std::time::Instant;
 
 use rayon::prelude::*;
 
@@ -225,7 +225,7 @@ pub fn run_fedsage_plus_observed(
     driver.announce("FedSage+", m, obs);
 
     // --- Phase 1+2: federated NeighGen training ---
-    let gen_start = Instant::now();
+    let gen_start = Stopwatch::start();
     let supervision: Vec<(Matrix, Matrix, Matrix)> = clients
         .par_iter()
         .enumerate()
@@ -292,7 +292,7 @@ pub fn run_fedsage_plus_observed(
             round: round as u64,
         });
         let sw = PhaseStopwatch::start(Phase::LocalTrain);
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let losses: Vec<f32> = models
             .par_iter_mut()
             .zip(optimizers.par_iter_mut())
@@ -320,7 +320,7 @@ pub fn run_fedsage_plus_observed(
         sw.finish(obs);
 
         let sw = PhaseStopwatch::start(Phase::Aggregation);
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let sets: Vec<Vec<Matrix>> = models.iter().map(|mo| mo.params()).collect();
         let global = fedavg(&sets, &vec![1.0; m]);
         for mo in models.iter_mut() {

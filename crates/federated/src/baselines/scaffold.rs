@@ -9,7 +9,7 @@
 //! deltas, which is why SCAFFOLD's server cost row in the paper's Table 3
 //! carries the extra `N·f²` term.
 
-use std::time::Instant;
+use fedomd_metrics::Stopwatch;
 
 use rayon::prelude::*;
 
@@ -87,7 +87,7 @@ pub fn run_scaffold_observed(
         });
         let global = models[0].params();
         let sw = PhaseStopwatch::start(Phase::LocalTrain);
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let server_c_ref = &server_c;
         let global_ref = &global;
 
@@ -159,7 +159,7 @@ pub fn run_scaffold_observed(
 
         // Server: aggregate weights and control deltas.
         let sw = PhaseStopwatch::start(Phase::Aggregation);
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let param_sets: Vec<Vec<Matrix>> = models.iter().map(|mo| mo.params()).collect();
         let new_global = fedavg(&param_sets, &vec![1.0; m]);
         for (_, delta) in &outcomes {

@@ -17,7 +17,7 @@
 //! wrappers; new call sites should prefer the `FedRun` builder in
 //! `fedomd-core`.
 
-use std::time::Instant;
+use fedomd_metrics::Stopwatch;
 
 use rayon::prelude::*;
 
@@ -234,7 +234,7 @@ impl RoundDriver {
         self.comms.end_round();
         if round.is_multiple_of(self.cfg.eval_every) {
             let sw = PhaseStopwatch::start(Phase::Eval);
-            let start = Instant::now();
+            let start = Stopwatch::start();
             let (val, test) = evaluate(models, clients);
             self.timer.add("inference", start.elapsed());
             sw.finish(obs);
@@ -463,7 +463,7 @@ pub fn run_generic_resumable(
         };
 
         let sw = PhaseStopwatch::start(Phase::LocalTrain);
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let prox_mu = opts.prox_mu;
         let local_epochs = cfg.local_epochs;
         let global_ref = &global_snapshot;
@@ -515,7 +515,7 @@ pub fn run_generic_resumable(
         sw.finish(obs);
 
         if opts.aggregate {
-            let start = Instant::now();
+            let start = Stopwatch::start();
             let sw = PhaseStopwatch::start(Phase::Comms);
             for (i, m) in models.iter().enumerate() {
                 let bytes = chan.upload(Envelope {
@@ -540,6 +540,10 @@ pub fn run_generic_resumable(
                     .into_iter()
                     .map(|env| match env.payload {
                         Payload::WeightUpdate { params } => from_tensors(params),
+                        // LINT: allow(panic) protocol invariant: clients in
+                        // the FedAvg family upload nothing but
+                        // `WeightUpdate`; another payload on the server's
+                        // uplink is a routing bug that must fail loudly.
                         other => panic!("server expected WeightUpdate, got {}", other.kind()),
                     })
                     .collect();
@@ -579,9 +583,12 @@ pub fn run_generic_resumable(
             driver.timer.add("server", start.elapsed());
         }
 
+        // Mean of each client's last-epoch loss. `filter_map` instead of
+        // unwrapping `last()` keeps this panic-free even under a
+        // (nonsensical but representable) `local_epochs == 0` config.
         let mean_loss = epoch_losses
             .iter()
-            .map(|l| *l.last().expect("≥1 local epoch") as f64)
+            .filter_map(|l| l.last().map(|&x| x as f64))
             .sum::<f64>()
             / epoch_losses.len() as f64;
         driver.end_round_observed(round, mean_loss, &models, clients, obs);

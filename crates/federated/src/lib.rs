@@ -11,6 +11,8 @@
 //! round; all randomness is derived from the run seed, so a full federated
 //! run is reproducible bit-for-bit.
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod client;
 pub mod comms;

@@ -6,6 +6,8 @@
 //! §5.1 and Fig. 7), the community→party assignment, induced-subgraph
 //! extraction, and the 1 % / 20 % / 20 % train/val/test splits.
 
+#![forbid(unsafe_code)]
+
 pub mod graph;
 pub mod louvain;
 pub mod partition;

@@ -7,6 +7,8 @@
 //! Rust's shortest-roundtrip float formatting, so every `f64` (and hence
 //! every `f32` widened to `f64`) survives a print → parse cycle exactly.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 /// A parsed JSON document.

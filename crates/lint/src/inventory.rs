@@ -1,0 +1,109 @@
+//! `UNSAFE_INVENTORY.md` generation and drift checking.
+//!
+//! The inventory is the audited record of every `unsafe` site in the
+//! workspace with its `SAFETY:` justification. It is a generated
+//! artefact: `fedomd_lint --inventory` rewrites it, and CI runs
+//! `fedomd_lint --inventory --check` so a new unsafe site (or a moved
+//! one) cannot land without the regenerated, re-reviewed inventory in the
+//! same commit.
+
+use crate::rules::{unsafe_sites, Lines};
+use crate::tokenizer::tokenize;
+use crate::walk::SourceFile;
+
+/// Renders the inventory document for the walked workspace.
+pub fn render(files: &[SourceFile]) -> String {
+    let mut sections: Vec<(String, Vec<String>)> = Vec::new();
+    let mut total = 0usize;
+    for f in files {
+        let tokens = tokenize(&f.src);
+        let lines = Lines::new(&tokens);
+        let sites = unsafe_sites(&tokens, &lines);
+        if sites.is_empty() {
+            continue;
+        }
+        let mut rows = Vec::new();
+        for s in &sites {
+            let just = s
+                .safety
+                .as_deref()
+                .unwrap_or("**MISSING — fails `unsafe-safety`**")
+                .replace('|', "\\|");
+            rows.push(format!("| {} | `{}` | {} |", s.line, s.kind, just));
+        }
+        total += sites.len();
+        sections.push((f.ctx.rel_path.clone(), rows));
+    }
+
+    let mut out = String::new();
+    out.push_str("# Unsafe inventory\n\n");
+    out.push_str(
+        "Every `unsafe` site in the workspace with its audited `SAFETY:`\n\
+         justification. **Generated** by `cargo run -p fedomd-lint -- --inventory`\n\
+         — edit the `SAFETY:` comments in the source, then regenerate; CI\n\
+         gates drift with `--inventory --check`.\n\n",
+    );
+    out.push_str(&format!(
+        "{} unsafe site{} across {} file{}.\n",
+        total,
+        if total == 1 { "" } else { "s" },
+        sections.len(),
+        if sections.len() == 1 { "" } else { "s" },
+    ));
+    for (path, rows) in &sections {
+        out.push_str(&format!("\n## `{path}`\n\n"));
+        out.push_str("| Line | Kind | SAFETY justification |\n");
+        out.push_str("|---|---|---|\n");
+        for r in rows {
+            out.push_str(r);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileCtx;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile {
+            ctx: FileCtx {
+                crate_name: "tensor".into(),
+                rel_path: path.into(),
+                is_test_file: false,
+            },
+            src: src.into(),
+        }
+    }
+
+    #[test]
+    fn renders_sites_with_and_without_justifications() {
+        let files = vec![
+            file("crates/tensor/src/clean.rs", "pub fn f() {}\n"),
+            file(
+                "crates/tensor/src/k.rs",
+                "// SAFETY: bounds checked above.\nunsafe { go() }\nunsafe fn raw() {}\n",
+            ),
+        ];
+        let doc = render(&files);
+        assert!(doc.contains("2 unsafe sites across 1 file"));
+        assert!(doc.contains("## `crates/tensor/src/k.rs`"));
+        assert!(doc.contains("| 2 | `unsafe block` | bounds checked above. |"));
+        assert!(doc.contains("MISSING"));
+        assert!(
+            !doc.contains("clean.rs"),
+            "files without unsafe are omitted"
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let files = vec![file(
+            "crates/tensor/src/k.rs",
+            "// SAFETY: x.\nunsafe { a() }\n",
+        )];
+        assert_eq!(render(&files), render(&files));
+    }
+}

@@ -1,0 +1,56 @@
+//! `fedomd-lint`: the workspace invariant checker.
+//!
+//! The workspace's correctness story rests on invariants no compiler
+//! checks: bit-identical determinism of serialized artefacts (golden
+//! kill-and-resume checkpoints, wire-frame round-trips), audited `unsafe`
+//! in the hand-rolled kernels, and panic-freedom of library code that
+//! production round loops call. This crate enforces them mechanically,
+//! so a PR cannot quietly break them with an unordered `HashMap`
+//! iteration in a serialization path, an unaudited `unsafe` block, or a
+//! wall-clock read inside deterministic training code.
+//!
+//! Pieces:
+//!
+//! * [`tokenizer`] — a comment- and string-aware Rust scanner, so code
+//!   that merely *mentions* `unsafe` or `.unwrap()` in strings or
+//!   comments never trips a rule.
+//! * [`regions`] — `#[cfg(test)]` / `#[test]` region detection; rules
+//!   about library code skip test regions.
+//! * [`rules`] — the rule engine: unsafe hygiene, `#![forbid(unsafe_code)]`
+//!   coverage, serialization-crate map bans, wall-clock confinement, and
+//!   panic-freedom, with the `// LINT: …` attestation grammar.
+//! * [`inventory`] — `UNSAFE_INVENTORY.md` generation + drift check.
+//! * [`walk`] — workspace file discovery (skips `vendor/` and fixtures).
+//!
+//! The `fedomd_lint` binary wires these together; `scripts/tier1.sh` and
+//! CI run it as a hard gate. Zero dependencies by design: the gatekeeper
+//! must never be broken by the crates it gates.
+
+#![forbid(unsafe_code)]
+
+pub mod inventory;
+pub mod regions;
+pub mod rules;
+pub mod tokenizer;
+pub mod walk;
+
+pub use rules::{lint_source, FileCtx, Violation};
+
+use std::path::Path;
+
+/// Lints every workspace source under `root`, returning all violations
+/// sorted by file and line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let files = walk::collect_workspace(root)?;
+    let mut out = Vec::new();
+    for f in &files {
+        out.extend(lint_source(&f.ctx, &f.src));
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(out)
+}
+
+/// Renders the current `UNSAFE_INVENTORY.md` content for `root`.
+pub fn render_inventory(root: &Path) -> std::io::Result<String> {
+    Ok(inventory::render(&walk::collect_workspace(root)?))
+}

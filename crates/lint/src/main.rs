@@ -1,0 +1,136 @@
+//! `fedomd_lint` — the workspace invariant gate.
+//!
+//! ```text
+//! fedomd_lint [--root DIR]                 lint the workspace (exit 1 on violations)
+//! fedomd_lint --inventory [--root DIR]     rewrite UNSAFE_INVENTORY.md
+//! fedomd_lint --inventory --check          fail (exit 1) if the inventory drifted
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations or inventory drift, 2 usage or I/O
+//! error. Run from the workspace root (what `cargo run -p fedomd-lint`
+//! does); `--root` points anywhere else.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fedomd_lint::{lint_workspace, render_inventory};
+
+const INVENTORY_FILE: &str = "UNSAFE_INVENTORY.md";
+
+struct Args {
+    root: PathBuf,
+    inventory: bool,
+    check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut inventory = false;
+    let mut check = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return Err("--root needs a directory argument".into()),
+            },
+            "--inventory" => inventory = true,
+            "--check" => check = true,
+            "--help" | "-h" => {
+                return Err("usage: fedomd_lint [--root DIR] [--inventory [--check]]".into())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if check && !inventory {
+        return Err("--check only applies to --inventory".into());
+    }
+    Ok(Args {
+        root,
+        inventory,
+        check,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("fedomd_lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if !args.root.join("crates").is_dir() {
+        eprintln!(
+            "fedomd_lint: `{}` is not the workspace root (no crates/ directory); \
+             run from the repo root or pass --root",
+            args.root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    if args.inventory {
+        return run_inventory(&args);
+    }
+    run_lint(&args)
+}
+
+fn run_lint(args: &Args) -> ExitCode {
+    let violations = match lint_workspace(&args.root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("fedomd_lint: walking workspace failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if violations.is_empty() {
+        println!("fedomd_lint: workspace clean");
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    println!(
+        "fedomd_lint: {} violation{} (see DESIGN.md §13 for the rules and \
+         the attestation grammar)",
+        violations.len(),
+        if violations.len() == 1 { "" } else { "s" }
+    );
+    ExitCode::FAILURE
+}
+
+fn run_inventory(args: &Args) -> ExitCode {
+    let rendered = match render_inventory(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fedomd_lint: walking workspace failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let path = args.root.join(INVENTORY_FILE);
+    if args.check {
+        let on_disk = std::fs::read_to_string(&path).unwrap_or_default();
+        if on_disk == rendered {
+            println!("fedomd_lint: {INVENTORY_FILE} is up to date");
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "fedomd_lint: {INVENTORY_FILE} drifted from the workspace's unsafe \
+             sites — regenerate with `cargo run -p fedomd-lint -- --inventory` \
+             and commit the result"
+        );
+        return ExitCode::FAILURE;
+    }
+    match std::fs::write(&path, &rendered) {
+        Ok(()) => {
+            println!("fedomd_lint: wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fedomd_lint: writing {} failed: {e}", path.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Detection of test-only code regions.
+//!
+//! The panic-freedom and determinism rules apply to *library* code;
+//! `#[cfg(test)]` modules and `#[test]` functions may unwrap and panic as
+//! much as they like. This module marks, per token, whether it lives
+//! inside such a region, by brace-matching the item that follows any
+//! attribute whose argument list contains the bare identifier `test`
+//! (covers `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`).
+//!
+//! Files can also opt out wholesale with a leading `#![cfg(test)]` inner
+//! attribute; the workspace additionally treats `tests/`, `benches/`,
+//! `examples/`, and `proptests.rs`-style files as test code at the path
+//! level (see [`crate::walk`]).
+
+use crate::tokenizer::{Token, TokenKind};
+
+/// Per-token test-region flags, aligned with the token slice that
+/// produced them.
+pub fn test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut is_test = vec![false; tokens.len()];
+    // Code view: indices of non-comment tokens (comments never affect
+    // attribute or brace structure).
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+
+    let mut c = 0usize;
+    while c < code.len() {
+        let i = code[c];
+        if tokens[i].text == "#" {
+            // Attribute: `#[…]` (outer) or `#![…]` (inner).
+            let mut j = c + 1;
+            let inner = j < code.len() && tokens[code[j]].text == "!";
+            if inner {
+                j += 1;
+            }
+            if j < code.len() && tokens[code[j]].text == "[" {
+                let (end, has_test) = scan_attribute(tokens, &code, j);
+                if has_test {
+                    if inner {
+                        // `#![cfg(test)]`: the whole file is test code.
+                        is_test.iter_mut().for_each(|t| *t = true);
+                        return is_test;
+                    }
+                    // Mark from the attribute through the item it gates.
+                    let item_end = item_end_after(tokens, &code, end + 1);
+                    let from = i;
+                    let to = code.get(item_end).copied().unwrap_or(tokens.len() - 1);
+                    for flag in is_test.iter_mut().take(to + 1).skip(from) {
+                        *flag = true;
+                    }
+                    c = item_end + 1;
+                    continue;
+                }
+                c = end + 1;
+                continue;
+            }
+        }
+        c += 1;
+    }
+    is_test
+}
+
+/// Scans an attribute's bracket group starting at `code[open]` (the `[`),
+/// returning (code-index of the closing `]`, whether the bare ident
+/// `test` appears inside).
+fn scan_attribute(tokens: &[Token], code: &[usize], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut c = open;
+    while c < code.len() {
+        let t = &tokens[code[c]];
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (c, has_test);
+                }
+            }
+            "test" if t.kind == TokenKind::Ident => has_test = true,
+            _ => {}
+        }
+        c += 1;
+    }
+    (code.len().saturating_sub(1), has_test)
+}
+
+/// Finds the code-index where the item starting at `code[start]` ends:
+/// either a `;` at depth 0 (e.g. `#[cfg(test)] mod proptests;`) or the
+/// brace that closes its body. Any further attributes and doc comments
+/// between the gate attribute and the item are part of the region.
+fn item_end_after(tokens: &[Token], code: &[usize], start: usize) -> usize {
+    let mut c = start;
+    // Skip stacked attributes (`#[test] #[ignore] fn …`).
+    while c < code.len() && tokens[code[c]].text == "#" {
+        if c + 1 < code.len() && tokens[code[c + 1]].text == "[" {
+            let (end, _) = scan_attribute(tokens, code, c + 1);
+            c = end + 1;
+        } else {
+            break;
+        }
+    }
+    let mut depth = 0usize;
+    while c < code.len() {
+        match tokens[code[c]].text.as_str() {
+            ";" if depth == 0 => return c,
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return c;
+                }
+            }
+            _ => {}
+        }
+        c += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    /// Returns, for each `unwrap` ident in `src`, whether it is in a test
+    /// region.
+    fn unwrap_flags(src: &str) -> Vec<bool> {
+        let toks = tokenize(src);
+        let flags = test_regions(&toks);
+        toks.iter()
+            .zip(&flags)
+            .filter(|(t, _)| t.text == "unwrap")
+            .map(|(_, &f)| f)
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_test_region() {
+        let src = r#"
+fn lib() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn helper() { y.unwrap(); }
+    #[test]
+    fn t() { z.unwrap(); }
+}
+fn lib2() { w.unwrap(); }
+"#;
+        assert_eq!(unwrap_flags(src), [false, true, true, false]);
+    }
+
+    #[test]
+    fn test_fn_outside_module_is_a_test_region() {
+        let src = r#"
+#[test]
+fn t() { a.unwrap(); }
+fn lib() { b.unwrap(); }
+"#;
+        assert_eq!(unwrap_flags(src), [true, false]);
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = r#"
+#[cfg(all(test, feature = "slow"))]
+mod heavy { fn f() { a.unwrap(); } }
+fn lib() { b.unwrap(); }
+"#;
+        assert_eq!(unwrap_flags(src), [true, false]);
+    }
+
+    #[test]
+    fn string_test_does_not_count() {
+        let src = r#"
+#[cfg(feature = "test")]
+mod not_tests { fn f() { a.unwrap(); } }
+"#;
+        assert_eq!(unwrap_flags(src), [false]);
+    }
+
+    #[test]
+    fn inner_cfg_test_marks_whole_file() {
+        let src = "#![cfg(test)]\nfn anything() { a.unwrap(); }";
+        assert_eq!(unwrap_flags(src), [true]);
+    }
+
+    #[test]
+    fn module_declaration_without_body_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nmod proptests;\nfn lib() { a.unwrap(); }";
+        assert_eq!(unwrap_flags(src), [false]);
+    }
+
+    #[test]
+    fn nested_braces_inside_test_module_stay_inside() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    struct S { x: u32 }
+    fn f() { if true { a.unwrap(); } }
+}
+fn lib() { b.unwrap(); }
+"#;
+        assert_eq!(unwrap_flags(src), [true, false]);
+    }
+
+    #[test]
+    fn stacked_attributes_before_the_item_are_covered() {
+        let src = r#"
+#[test]
+#[ignore]
+fn t() { a.unwrap(); }
+fn lib() { b.unwrap(); }
+"#;
+        assert_eq!(unwrap_flags(src), [true, false]);
+    }
+}

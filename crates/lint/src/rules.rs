@@ -1,0 +1,698 @@
+//! The invariant rules and the attestation-comment grammar.
+//!
+//! Four rule families guard the workspace (see DESIGN.md §13):
+//!
+//! * **unsafe-safety** — every `unsafe` token must be immediately preceded
+//!   by a `// SAFETY: …` comment (attribute lines in between are fine).
+//! * **forbid-unsafe** — crates with no legitimate need for `unsafe` must
+//!   say so with `#![forbid(unsafe_code)]` in their `lib.rs`.
+//! * **determinism** — serialization/wire/checkpoint crates may not touch
+//!   `HashMap`/`HashSet` without a `// LINT: sorted` attestation, and
+//!   wall-clock reads (`Instant::now`, `SystemTime`) are confined to the
+//!   telemetry/metrics/bench crates unless attested
+//!   `// LINT: allow(clock) <reason>`.
+//! * **panic-freedom** — kernel and protocol crates may not `.unwrap()`,
+//!   `.expect(…)`, `panic!`, `unreachable!`, `todo!`, or `unimplemented!`
+//!   in non-test library code unless attested
+//!   `// LINT: allow(panic) <reason>`.
+//!
+//! Attestations bind to the flagged line: they count when they sit on the
+//! same line or on the contiguous run of comment/attribute-only lines
+//! directly above it — a blank line breaks the binding, so a stale
+//! attestation cannot drift away from the code it justifies.
+
+use crate::regions::test_regions;
+use crate::tokenizer::{tokenize, Token, TokenKind};
+
+/// Crates that must carry `#![forbid(unsafe_code)]` in `src/lib.rs`.
+pub const FORBID_UNSAFE_CRATES: &[&str] = &[
+    "graph",
+    "jsonio",
+    "metrics",
+    "telemetry",
+    "transport",
+    "core",
+    "federated",
+    "data",
+];
+
+/// Crates whose code builds serialized artefacts (wire frames, JSON
+/// checkpoints): unordered-map types are banned without attestation.
+pub const SERIALIZATION_CRATES: &[&str] = &["transport", "jsonio", "core"];
+
+/// The only crates allowed to read the wall clock without attestation.
+pub const CLOCK_ALLOWED_CRATES: &[&str] = &["telemetry", "metrics", "bench"];
+
+/// Crates whose non-test library code must be panic-free (or attested).
+pub const PANIC_FREE_CRATES: &[&str] = &["tensor", "sparse", "autograd", "transport", "core"];
+
+/// Where a source file sits in the workspace, as the rules see it.
+#[derive(Clone, Debug)]
+pub struct FileCtx {
+    /// Crate directory name under `crates/` (`"suite"` for the root
+    /// package, `"lint"` for this crate).
+    pub crate_name: String,
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// True for path-level test code (`tests/`, `benches/`, `examples/`,
+    /// `proptests.rs`-style modules).
+    pub is_test_file: bool,
+}
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Stable rule identifier (`unsafe-safety`, `forbid-unsafe`,
+    /// `map-iteration`, `wall-clock`, `panic-freedom`).
+    pub rule: &'static str,
+    /// Human-readable explanation with the required fix.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// An `unsafe` occurrence, for the rule and for `UNSAFE_INVENTORY.md`.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    /// 1-based line of the `unsafe` token.
+    pub line: usize,
+    /// `unsafe fn` / `unsafe block` / `unsafe impl` / `unsafe trait`.
+    pub kind: &'static str,
+    /// The `SAFETY:` justification bound to the site, when present.
+    pub safety: Option<String>,
+}
+
+/// Per-line index of a token stream: which lines hold code, comments, or
+/// only attributes — the substrate for attestation binding.
+pub struct Lines {
+    /// line → concatenated comment text on that line.
+    comments: Vec<(usize, String)>,
+    /// Lines containing at least one non-comment token.
+    code: Vec<usize>,
+    /// Code lines whose every non-comment token belongs to an attribute.
+    attr_only: Vec<usize>,
+    /// line → text of the last non-comment token on it (statement-end
+    /// detection for multi-line statements).
+    last_code: Vec<(usize, String)>,
+    /// Last line holding any token.
+    max_line: usize,
+}
+
+impl Lines {
+    /// Builds the index for one file's tokens.
+    pub fn new(tokens: &[Token]) -> Self {
+        let mut comments: Vec<(usize, String)> = Vec::new();
+        let mut code: Vec<usize> = Vec::new();
+        let mut max_line = 0usize;
+
+        // Token indices covered by attribute groups (`#[…]` / `#![…]`).
+        let mut in_attr = vec![false; tokens.len()];
+        let idxs: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        let mut c = 0usize;
+        while c < idxs.len() {
+            if tokens[idxs[c]].text == "#" {
+                let mut j = c + 1;
+                if j < idxs.len() && tokens[idxs[j]].text == "!" {
+                    j += 1;
+                }
+                if j < idxs.len() && tokens[idxs[j]].text == "[" {
+                    let mut depth = 0usize;
+                    let mut k = j;
+                    while k < idxs.len() {
+                        match tokens[idxs[k]].text.as_str() {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    for covered in idxs.iter().take(k.min(idxs.len() - 1) + 1).skip(c) {
+                        in_attr[*covered] = true;
+                    }
+                    c = k + 1;
+                    continue;
+                }
+            }
+            c += 1;
+        }
+
+        let mut non_attr_code: Vec<usize> = Vec::new();
+        let mut last_code: Vec<(usize, String)> = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            max_line = max_line.max(t.line);
+            if t.is_comment() {
+                match comments.iter_mut().find(|(l, _)| *l == t.line) {
+                    Some((_, s)) => {
+                        s.push(' ');
+                        s.push_str(&t.text);
+                    }
+                    None => comments.push((t.line, t.text.clone())),
+                }
+            } else {
+                code.push(t.line);
+                if !in_attr[i] {
+                    non_attr_code.push(t.line);
+                }
+                match last_code.last_mut() {
+                    Some((l, s)) if *l == t.line => *s = t.text.clone(),
+                    _ => last_code.push((t.line, t.text.clone())),
+                }
+            }
+        }
+        code.dedup();
+        non_attr_code.dedup();
+        let attr_only = code
+            .iter()
+            .copied()
+            .filter(|l| !non_attr_code.contains(l))
+            .collect();
+        Self {
+            comments,
+            code,
+            attr_only,
+            last_code,
+            max_line,
+        }
+    }
+
+    fn comment_on(&self, line: usize) -> Option<&str> {
+        self.comments
+            .iter()
+            .find(|(l, _)| *l == line)
+            .map(|(_, s)| s.as_str())
+    }
+
+    fn has_code(&self, line: usize) -> bool {
+        self.code.binary_search(&line).is_ok()
+    }
+
+    fn attr_only(&self, line: usize) -> bool {
+        self.attr_only.contains(&line)
+    }
+
+    /// True when the last non-comment token on `line` ends a statement
+    /// (`;`, `{`, `}`): the next line then starts a fresh statement.
+    fn ends_statement(&self, line: usize) -> bool {
+        self.last_code
+            .iter()
+            .find(|(l, _)| *l == line)
+            .is_some_and(|(_, t)| matches!(t.as_str(), ";" | "{" | "}"))
+    }
+
+    /// The comment text bound to `line`: comments on the lines of the
+    /// statement containing it (trailing and interior), plus the
+    /// contiguous run of comment/attribute-only lines directly above the
+    /// statement. A blank line ends the run, so an attestation cannot
+    /// drift away from the code it justifies.
+    pub fn bound_comments(&self, line: usize) -> Vec<&str> {
+        // Extend upward to the statement's first line: a preceding code
+        // line that does not end with `;`/`{`/`}` means `line` is a
+        // continuation of it (method chains, wrapped argument lists).
+        let mut stmt = line;
+        while stmt > 1 {
+            let prev = stmt - 1;
+            if self.has_code(prev) && !self.attr_only(prev) && !self.ends_statement(prev) {
+                stmt -= 1;
+            } else {
+                break;
+            }
+        }
+        // The comment/attribute run directly above the statement.
+        let mut above = Vec::new();
+        let mut l = stmt;
+        while l > 1 {
+            l -= 1;
+            let comment = self.comment_on(l);
+            let code = self.has_code(l);
+            match (comment, code) {
+                (Some(c), false) => above.push(c),
+                (maybe, true) if self.attr_only(l) => {
+                    if let Some(c) = maybe {
+                        above.push(c);
+                    }
+                }
+                _ => break, // blank line or real code: binding ends
+            }
+        }
+        above.reverse();
+        // Comments on the statement's own lines, in source order.
+        for sl in stmt..=line {
+            if let Some(c) = self.comment_on(sl) {
+                above.push(c);
+            }
+        }
+        above
+    }
+
+    /// True when a bound comment contains `needle`.
+    pub fn attested(&self, line: usize, needle: &str) -> bool {
+        self.bound_comments(line).iter().any(|c| c.contains(needle))
+    }
+
+    /// True when a bound comment contains `needle` followed by a
+    /// non-empty free-text reason.
+    pub fn attested_with_reason(&self, line: usize, needle: &str) -> bool {
+        self.bound_comments(line).iter().any(|c| {
+            c.find(needle)
+                .map(|p| c[p + needle.len()..].trim().len() >= 3)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Total lines spanned (diagnostics).
+    pub fn max_line(&self) -> usize {
+        self.max_line
+    }
+}
+
+/// Lints one file's source, applying every rule that matches `ctx`.
+pub fn lint_source(ctx: &FileCtx, src: &str) -> Vec<Violation> {
+    let tokens = tokenize(src);
+    let in_test = test_regions(&tokens);
+    let lines = Lines::new(&tokens);
+    let mut out = Vec::new();
+
+    rule_unsafe_safety(ctx, &tokens, &lines, &mut out);
+    rule_forbid_unsafe(ctx, &tokens, &mut out);
+    rule_map_in_serialization(ctx, &tokens, &in_test, &lines, &mut out);
+    rule_wall_clock(ctx, &tokens, &in_test, &lines, &mut out);
+    rule_panic_freedom(ctx, &tokens, &in_test, &lines, &mut out);
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Extracts every unsafe site with its bound `SAFETY:` justification.
+pub fn unsafe_sites(tokens: &[Token], lines: &Lines) -> Vec<UnsafeSite> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut out = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let kind = match code.get(i + 1).map(|n| n.text.as_str()) {
+            Some("fn") => "unsafe fn",
+            Some("{") => "unsafe block",
+            Some("impl") => "unsafe impl",
+            Some("trait") => "unsafe trait",
+            _ => "unsafe",
+        };
+        // The justification is everything from the first `SAFETY:` marker
+        // to the end of the bound comment run (multi-line comments keep
+        // their continuation lines).
+        let bound = lines.bound_comments(t.line);
+        let safety = bound
+            .iter()
+            .position(|c| c.contains("SAFETY:"))
+            .map(|start| {
+                let mut joined = String::new();
+                for (k, c) in bound[start..].iter().enumerate() {
+                    let piece = match (k, c.find("SAFETY:")) {
+                        (0, Some(p)) => &c[p + "SAFETY:".len()..],
+                        _ => c,
+                    };
+                    joined.push_str(piece);
+                    joined.push(' ');
+                }
+                normalize_comment(&joined)
+            })
+            .filter(|s| !s.is_empty());
+        out.push(UnsafeSite {
+            line: t.line,
+            kind,
+            safety,
+        });
+    }
+    out
+}
+
+/// Collapses a comment run into one display line: strips `//` markers and
+/// squeezes whitespace.
+fn normalize_comment(s: &str) -> String {
+    let mut out = String::new();
+    for piece in s.split("//") {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(piece);
+    }
+    out.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+fn rule_unsafe_safety(ctx: &FileCtx, tokens: &[Token], lines: &Lines, out: &mut Vec<Violation>) {
+    for site in unsafe_sites(tokens, lines) {
+        if !lines.attested(site.line, "SAFETY:") {
+            out.push(Violation {
+                file: ctx.rel_path.clone(),
+                line: site.line,
+                rule: "unsafe-safety",
+                message: format!(
+                    "{} without an immediately preceding `// SAFETY:` comment \
+                     stating why its preconditions hold",
+                    site.kind
+                ),
+            });
+        }
+    }
+}
+
+fn rule_forbid_unsafe(ctx: &FileCtx, tokens: &[Token], out: &mut Vec<Violation>) {
+    let expected = format!("crates/{}/src/lib.rs", ctx.crate_name);
+    if ctx.rel_path != expected || !FORBID_UNSAFE_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let found = code
+        .windows(3)
+        .any(|w| w[0].text == "forbid" && w[1].text == "(" && w[2].text == "unsafe_code");
+    if !found {
+        out.push(Violation {
+            file: ctx.rel_path.clone(),
+            line: 1,
+            rule: "forbid-unsafe",
+            message: format!(
+                "crate `{}` has no legitimate need for unsafe code and must \
+                 declare `#![forbid(unsafe_code)]`",
+                ctx.crate_name
+            ),
+        });
+    }
+}
+
+fn rule_map_in_serialization(
+    ctx: &FileCtx,
+    tokens: &[Token],
+    in_test: &[bool],
+    lines: &Lines,
+    out: &mut Vec<Violation>,
+) {
+    if ctx.is_test_file || !SERIALIZATION_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if (t.text == "HashMap" || t.text == "HashSet") && !lines.attested(t.line, "LINT: sorted") {
+            out.push(Violation {
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                rule: "map-iteration",
+                message: format!(
+                    "`{}` in serialization crate `{}`: unordered iteration can \
+                     leak into wire frames or checkpoints — use `BTreeMap`/\
+                     `BTreeSet`, or attest with `// LINT: sorted` after making \
+                     the emission order deterministic",
+                    t.text, ctx.crate_name
+                ),
+            });
+        }
+    }
+}
+
+fn rule_wall_clock(
+    ctx: &FileCtx,
+    tokens: &[Token],
+    in_test: &[bool],
+    lines: &Lines,
+    out: &mut Vec<Violation>,
+) {
+    if ctx.is_test_file || CLOCK_ALLOWED_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let flagged = |idx: usize| -> bool {
+        let t = &tokens[idx];
+        if t.kind != TokenKind::Ident {
+            return false;
+        }
+        if t.text == "SystemTime" {
+            return true;
+        }
+        if t.text == "Instant" {
+            // `Instant :: now` — `use std::time::Instant` alone is fine.
+            let rest: Vec<&Token> = tokens[idx + 1..]
+                .iter()
+                .filter(|n| !n.is_comment())
+                .take(3)
+                .collect();
+            return rest.len() == 3
+                && rest[0].text == ":"
+                && rest[1].text == ":"
+                && rest[2].text == "now";
+        }
+        false
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] || !flagged(i) {
+            continue;
+        }
+        if !lines.attested_with_reason(t.line, "LINT: allow(clock)") {
+            out.push(Violation {
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                rule: "wall-clock",
+                message: format!(
+                    "wall-clock read (`{}`) outside the telemetry/metrics/bench \
+                     crates breaks replay determinism — route timing through \
+                     `fedomd_metrics::Stopwatch`/`Timer`, or attest with \
+                     `// LINT: allow(clock) <reason>`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn rule_panic_freedom(
+    ctx: &FileCtx,
+    tokens: &[Token],
+    in_test: &[bool],
+    lines: &Lines,
+    out: &mut Vec<Violation>,
+) {
+    if ctx.is_test_file || !PANIC_FREE_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    // Work on the code-token view but keep original indices for the
+    // test-region flags.
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    for (c, &i) in code.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &tokens[i];
+        let next = |k: usize| code.get(c + k).map(|&j| tokens[j].text.as_str());
+        let prev = if c > 0 {
+            Some(tokens[code[c - 1]].text.as_str())
+        } else {
+            None
+        };
+        let what: Option<&str> = match (t.kind, t.text.as_str()) {
+            (TokenKind::Ident, m @ ("unwrap" | "expect"))
+                if prev == Some(".") && next(1) == Some("(") =>
+            {
+                Some(m)
+            }
+            (TokenKind::Ident, m @ ("panic" | "unreachable" | "todo" | "unimplemented"))
+                if next(1) == Some("!") =>
+            {
+                Some(m)
+            }
+            _ => None,
+        };
+        let Some(what) = what else { continue };
+        if !lines.attested_with_reason(t.line, "LINT: allow(panic)") {
+            out.push(Violation {
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                rule: "panic-freedom",
+                message: format!(
+                    "`{what}` in non-test library code of panic-free crate \
+                     `{}` — return a typed error, or attest with \
+                     `// LINT: allow(panic) <reason>`",
+                    ctx.crate_name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(crate_name: &str, rel_path: &str) -> FileCtx {
+        FileCtx {
+            crate_name: crate_name.into(),
+            rel_path: rel_path.into(),
+            is_test_file: false,
+        }
+    }
+
+    fn rules_hit(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn safety_comment_binds_through_attributes() {
+        let src = r#"
+// SAFETY: callers guarantee the feature is present.
+#[target_feature(enable = "avx2")]
+unsafe fn k() {}
+"#;
+        assert!(lint_source(&ctx("tensor", "crates/tensor/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn blank_line_breaks_safety_binding() {
+        let src = "// SAFETY: stale, drifted away.\n\nunsafe fn k() {}\n";
+        let v = lint_source(&ctx("tensor", "crates/tensor/src/x.rs"), src);
+        assert_eq!(rules_hit(&v), ["unsafe-safety"]);
+    }
+
+    #[test]
+    fn unwrap_attestation_requires_a_reason() {
+        let bare = "fn f() {\n    // LINT: allow(panic)\n    x.unwrap();\n}\n";
+        let v = lint_source(&ctx("tensor", "crates/tensor/src/x.rs"), bare);
+        assert_eq!(rules_hit(&v), ["panic-freedom"]);
+        let reasoned =
+            "fn f() {\n    // LINT: allow(panic) invariant: x was just inserted.\n    x.unwrap();\n}\n";
+        assert!(lint_source(&ctx("tensor", "crates/tensor/src/x.rs"), reasoned).is_empty());
+    }
+
+    #[test]
+    fn attestation_above_a_multi_line_statement_binds() {
+        // The flagged token sits on a continuation line of a method
+        // chain; the attestation above the statement head must cover it.
+        let src = "fn f() {\n    // LINT: allow(panic) receiver is owned by self, send cannot fail.\n    tx\n        .send(frame)\n        .expect(\"owned\");\n}\n";
+        assert!(lint_source(&ctx("transport", "crates/transport/src/x.rs"), src).is_empty());
+        // A completed statement in between severs the binding.
+        let severed = "fn f() {\n    // LINT: allow(panic) stale reason, drifted.\n    other();\n    tx.send(frame).expect(\"owned\");\n}\n";
+        let v = lint_source(&ctx("transport", "crates/transport/src/x.rs"), severed);
+        assert_eq!(rules_hit(&v), ["panic-freedom"]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_match() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(id); z.unwrap_or_default(); }\n";
+        assert!(lint_source(&ctx("tensor", "crates/tensor/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_ignores_non_kernel_crates_and_test_files() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert!(lint_source(&ctx("nn", "crates/nn/src/x.rs"), src).is_empty());
+        let mut c = ctx("tensor", "crates/tensor/tests/t.rs");
+        c.is_test_file = true;
+        assert!(lint_source(&c, src).is_empty());
+    }
+
+    #[test]
+    fn clock_rule_flags_instant_now_but_not_the_import() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        let v = lint_source(&ctx("federated", "crates/federated/src/x.rs"), src);
+        assert_eq!(rules_hit(&v), ["wall-clock"]);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn clock_rule_exempts_metrics_and_attested_sites() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(lint_source(&ctx("metrics", "crates/metrics/src/x.rs"), src).is_empty());
+        let attested =
+            "fn f() {\n    // LINT: allow(clock) boot banner only, not in any round path.\n    let t = Instant::now();\n}\n";
+        assert!(lint_source(&ctx("federated", "crates/federated/src/x.rs"), attested).is_empty());
+    }
+
+    #[test]
+    fn map_rule_fires_only_in_serialization_crates() {
+        let src = "use std::collections::HashMap;\n";
+        let v = lint_source(&ctx("transport", "crates/transport/src/x.rs"), src);
+        assert_eq!(rules_hit(&v), ["map-iteration"]);
+        assert!(lint_source(&ctx("graph", "crates/graph/src/x.rs"), src).is_empty());
+        let attested = "// LINT: sorted keys are emitted via a sorted Vec below.\nuse std::collections::HashMap;\n";
+        assert!(lint_source(&ctx("transport", "crates/transport/src/x.rs"), attested).is_empty());
+    }
+
+    #[test]
+    fn forbid_rule_checks_only_the_designated_lib_rs() {
+        let empty = "pub fn f() {}\n";
+        let v = lint_source(&ctx("graph", "crates/graph/src/lib.rs"), empty);
+        assert_eq!(rules_hit(&v), ["forbid-unsafe"]);
+        // Same content, not a lib.rs: no violation.
+        assert!(lint_source(&ctx("graph", "crates/graph/src/graph.rs"), empty).is_empty());
+        // tensor legitimately uses unsafe: not on the forbid list.
+        assert!(lint_source(&ctx("tensor", "crates/tensor/src/lib.rs"), empty).is_empty());
+        let ok = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert!(lint_source(&ctx("graph", "crates/graph/src/lib.rs"), ok).is_empty());
+    }
+
+    #[test]
+    fn violations_in_cfg_test_regions_are_exempt() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn helper() { x.unwrap(); let m: HashMap<u32, u32> = HashMap::new(); let t = Instant::now(); }
+}
+"#;
+        assert!(lint_source(&ctx("transport", "crates/transport/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn code_like_text_in_strings_and_comments_is_inert() {
+        let src = r##"
+fn f() {
+    let a = "x.unwrap() and panic! and unsafe and HashMap";
+    let b = r#"Instant::now() SystemTime"#;
+    // mentions of .unwrap() and unsafe in a comment
+    /* HashMap inside /* nested */ block comment */
+}
+"##;
+        assert!(lint_source(&ctx("transport", "crates/transport/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_site_extraction_captures_justifications() {
+        let src = r#"
+// SAFETY: len was checked three lines up.
+unsafe { do_it() }
+unsafe fn naked() {}
+"#;
+        let toks = tokenize(src);
+        let lines = Lines::new(&toks);
+        let sites = unsafe_sites(&toks, &lines);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].kind, "unsafe block");
+        assert_eq!(
+            sites[0].safety.as_deref(),
+            Some("len was checked three lines up.")
+        );
+        assert_eq!(sites[1].kind, "unsafe fn");
+        assert!(sites[1].safety.is_none());
+    }
+}

@@ -1,0 +1,538 @@
+//! A comment- and string-aware Rust tokenizer.
+//!
+//! The rule engine needs to tell *code* apart from *text that merely looks
+//! like code*: the word `unsafe` inside a string literal, a `HashMap`
+//! mentioned in a doc comment, or a `panic!` in a nested block comment must
+//! never trip a rule. This scanner produces a flat token stream with line
+//! numbers, handling every literal form that can hide code-like text:
+//! line and (nested) block comments, plain strings with escapes, raw
+//! strings with arbitrary `#` fences, byte and raw-byte strings, char
+//! literals, and the char-vs-lifetime ambiguity.
+//!
+//! It is deliberately **not** a full lexer: numbers are lumped into one
+//! kind, punctuation is single-char, and keywords are plain identifiers.
+//! Rules match short token sequences (`.` `unwrap` `(`), so that is all
+//! the structure they need — and a smaller grammar means fewer ways for
+//! the gatekeeper itself to be wrong.
+
+/// What a token is, as far as the rules care.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#idents`).
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// Numeric literal (integers, floats, any radix, with suffixes).
+    Num,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`, `br"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'static`) or loop label.
+    Lifetime,
+    /// `// …` comment, doc (`///`, `//!`) included.
+    LineComment,
+    /// `/* … */` comment, nesting included.
+    BlockComment,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification (see [`TokenKind`]).
+    pub kind: TokenKind,
+    /// The exact source text, fences and quotes included.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// True for both comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`, never failing: unterminated literals simply extend to
+/// the end of input (the compiler will reject such a file anyway; the
+/// linter's job is just to not misclassify what follows valid code).
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Scanner::new(src).run()
+}
+
+struct Scanner<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    src: &'a str,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            src,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let _ = self.src;
+        let mut out = Vec::new();
+        while let Some(c) = self.peek(0) {
+            let start_line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    out.push(self.line_comment(start_line));
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    out.push(self.block_comment(start_line));
+                }
+                '"' => out.push(self.string(start_line, String::new())),
+                '\'' => out.push(self.char_or_lifetime(start_line)),
+                'r' | 'b' | 'c' if self.literal_prefix().is_some() => {
+                    // One of r" r#" b" br" b' rb is not real; prefix run
+                    // already validated which form starts here.
+                    let tok = self.prefixed_literal(start_line);
+                    out.push(tok);
+                }
+                c if c.is_alphabetic() || c == '_' => out.push(self.ident(start_line)),
+                c if c.is_ascii_digit() => out.push(self.number(start_line)),
+                _ => {
+                    self.bump();
+                    out.push(Token {
+                        kind: TokenKind::Punct,
+                        text: c.to_string(),
+                        line: start_line,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// When the cursor sits on `r`/`b`/`c`, decides whether a prefixed
+    /// literal starts here, returning the prefix length (chars before the
+    /// quote or the first `#` fence).
+    fn literal_prefix(&self) -> Option<usize> {
+        let a = self.peek(0)?;
+        let b = self.peek(1);
+        match (a, b) {
+            // r"…" | r#"…"# | r#ident (raw ident: NOT a literal)
+            ('r', Some('"')) => Some(1),
+            ('r', Some('#')) => {
+                // Distinguish r#"…"# / r##"…"## from r#ident.
+                let mut i = 1;
+                while self.peek(i) == Some('#') {
+                    i += 1;
+                }
+                if self.peek(i) == Some('"') {
+                    Some(1)
+                } else {
+                    None
+                }
+            }
+            // b"…" | b'…' | br"…" | br#"…"#
+            ('b', Some('"')) | ('b', Some('\'')) => Some(1),
+            ('b', Some('r')) => match self.peek(2) {
+                Some('"') => Some(2),
+                Some('#') => {
+                    let mut i = 2;
+                    while self.peek(i) == Some('#') {
+                        i += 1;
+                    }
+                    if self.peek(i) == Some('"') {
+                        Some(2)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            },
+            // c"…" (C strings, 2021+ editions accept the syntax in later
+            // compilers; treat like a plain string so text inside is inert)
+            ('c', Some('"')) => Some(1),
+            _ => None,
+        }
+    }
+
+    fn prefixed_literal(&mut self, start_line: usize) -> Token {
+        let mut text = String::new();
+        let prefix_len = self.literal_prefix().unwrap_or(1);
+        let raw =
+            self.peek(0) == Some('r') || (self.peek(0) == Some('b') && self.peek(1) == Some('r'));
+        for _ in 0..prefix_len {
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+        match self.peek(0) {
+            Some('\'') => {
+                // b'…': a byte literal; reuse the char scanner.
+                let tok = self.char_or_lifetime(start_line);
+                text.push_str(&tok.text);
+                Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line: start_line,
+                }
+            }
+            Some('#') if raw => self.raw_string(start_line, text),
+            Some('"') if raw => self.raw_string(start_line, text),
+            _ => self.string(start_line, text),
+        }
+    }
+
+    fn line_comment(&mut self, start_line: usize) -> Token {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        Token {
+            kind: TokenKind::LineComment,
+            text,
+            line: start_line,
+        }
+    }
+
+    fn block_comment(&mut self, start_line: usize) -> Token {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push('/');
+                text.push('*');
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push('*');
+                text.push('/');
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        Token {
+            kind: TokenKind::BlockComment,
+            text,
+            line: start_line,
+        }
+    }
+
+    /// Plain (escaped) string body starting at the opening quote.
+    fn string(&mut self, start_line: usize, mut text: String) -> Token {
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    // The escaped char can never close the literal.
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        Token {
+            kind: TokenKind::Str,
+            text,
+            line: start_line,
+        }
+    }
+
+    /// Raw string: `#…#"` fence already positioned at the first `#` or `"`.
+    fn raw_string(&mut self, start_line: usize, mut text: String) -> Token {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        text.push('"');
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                // Need exactly `hashes` fence characters to close.
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    text.push('#');
+                    self.bump();
+                }
+                break;
+            }
+        }
+        Token {
+            kind: TokenKind::Str,
+            text,
+            line: start_line,
+        }
+    }
+
+    /// `'a'`, `'\n'`, `'\u{1F600}'` — or a lifetime `'ident`.
+    fn char_or_lifetime(&mut self, start_line: usize) -> Token {
+        let mut text = String::from("'");
+        self.bump(); // opening quote
+        match (self.peek(0), self.peek(1)) {
+            // 'x' or '\…' is a char literal; 'x… (no closing quote next)
+            // is a lifetime. ''' (a quote char) only appears escaped.
+            (Some('\\'), _) => {
+                text.push('\\');
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                    if e == 'u' && self.peek(0) == Some('{') {
+                        while let Some(c) = self.bump() {
+                            text.push(c);
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    text.push('\'');
+                    self.bump();
+                }
+                Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line: start_line,
+                }
+            }
+            (Some(c), Some('\'')) if c != '\'' => {
+                text.push(c);
+                text.push('\'');
+                self.bump();
+                self.bump();
+                Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line: start_line,
+                }
+            }
+            _ => {
+                // Lifetime or loop label: consume the identifier part.
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line: start_line,
+                }
+            }
+        }
+    }
+
+    fn ident(&mut self, start_line: usize) -> Token {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Token {
+            kind: TokenKind::Ident,
+            text,
+            line: start_line,
+        }
+    }
+
+    fn number(&mut self, start_line: usize) -> Token {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' {
+                // Part of the number only when a digit follows; `1..5`
+                // and `x.0.unwrap()` must leave the dots as punctuation.
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        text.push('.');
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        Token {
+            kind: TokenKind::Num,
+            text,
+            line: start_line,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn code_in_string_literals_is_inert() {
+        let src = r#"let s = "unsafe { HashMap::new().unwrap() } // not a comment";"#;
+        assert_eq!(idents(src), ["let", "s"]);
+        let toks = kinds(src);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        // Nothing after the string was swallowed: the trailing `;` is real.
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some(";"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_a_string() {
+        let src = r#"let s = "she said \"panic!\""; let x = 1;"#;
+        assert_eq!(idents(src), ["let", "s", "let", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences_are_one_token() {
+        let src = r###"let s = r#"quote " and // slashes and unsafe"#; f();"###;
+        assert_eq!(idents(src), ["let", "s", "f"]);
+        // A longer fence swallows a shorter one inside.
+        let src2 = "let s = r##\"inner \"# still open\"##; g();";
+        assert_eq!(idents(src2), ["let", "s", "g"]);
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_raw_string() {
+        let src = "let r#type = 1; let r = r#fn; r#\"raw\"#;";
+        let ids = idents(src);
+        assert!(ids.contains(&"type".to_string()));
+        assert!(ids.contains(&"fn".to_string()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r###"let a = b"bytes .unwrap()"; let b2 = br#"raw bytes panic!"#; h();"###;
+        assert_eq!(idents(src), ["let", "a", "let", "b2", "h"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner unsafe */ still comment .unwrap() */ real();";
+        assert_eq!(idents(src), ["real"]);
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.contains("inner unsafe"));
+    }
+
+    #[test]
+    fn line_comments_stop_at_newline() {
+        let src = "// looks like .unwrap() and unsafe\nactual();";
+        assert_eq!(idents(src), ["actual"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let src = "let c: char = '\"'; let q = '\\''; fn f<'a>(x: &'a str) {} 'label: loop { break 'label; }";
+        let ids = idents(src);
+        assert!(ids.contains(&"char".to_string()));
+        // The lifetimes must come out as lifetimes, not swallow code.
+        let lifes: Vec<_> = tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifes, ["'a", "'a", "'label", "'label"]);
+    }
+
+    #[test]
+    fn a_quote_char_literal_does_not_open_a_string() {
+        // '"' is a char literal; if misread as a string opener, the
+        // following code would vanish into a phantom literal.
+        let src = "let c = '\"'; danger();";
+        assert_eq!(idents(src), ["let", "c", "danger"]);
+    }
+
+    #[test]
+    fn numbers_keep_dots_but_release_method_calls() {
+        let src = "let x = 1.5e3 + t.0.unwrap();";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Num && t == "1.5e3"));
+        // `.unwrap` after a tuple index is still a detectable sequence.
+        let flat: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        let pos = flat
+            .iter()
+            .position(|t| *t == "unwrap")
+            .expect("unwrap token");
+        assert_eq!(flat[pos - 1], ".");
+        assert_eq!(flat[pos + 1], "(");
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_track_newlines() {
+        let src = "a\n\nb // c\n/* d\nd2 */\ne";
+        let toks = tokenize(src);
+        let find = |txt: &str| toks.iter().find(|t| t.text.contains(txt)).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(3));
+        assert_eq!(find("d2"), Some(4));
+        assert_eq!(find("e"), Some(6));
+    }
+}

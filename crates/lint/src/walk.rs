@@ -1,0 +1,162 @@
+//! Workspace file discovery.
+//!
+//! Walks every workspace crate under `crates/` plus the root
+//! `fedomd-suite` package, collecting `.rs` sources with the crate name
+//! and test-ness the rules key on. `vendor/` (offline dependency
+//! stand-ins), `target/`, and fixture directories (intentionally-bad lint
+//! test inputs) are never walked.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::FileCtx;
+
+/// One discovered source file with its rule context.
+pub struct SourceFile {
+    /// Where the file sits, as the rules see it.
+    pub ctx: FileCtx,
+    /// File contents.
+    pub src: String,
+}
+
+/// Directories whose contents are test code at the path level.
+const TEST_DIRS: &[&str] = &["tests", "benches", "examples"];
+
+/// File stems that are `#[cfg(test)]`-included modules by workspace
+/// convention (`#[cfg(test)] mod proptests;` in the crate's `lib.rs`).
+const TEST_STEMS: &[&str] = &["proptests", "tests"];
+
+/// Collects every lintable source file under `root`, sorted by path so a
+/// run's output (and the generated inventory) is deterministic.
+pub fn collect_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+
+    // Member crates.
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        collect_package(root, &dir, &name, &mut out)?;
+    }
+
+    // The root `fedomd-suite` package (integration tests + examples).
+    collect_package(root, root, "suite", &mut out)?;
+
+    out.sort_by(|a, b| a.ctx.rel_path.cmp(&b.ctx.rel_path));
+    Ok(out)
+}
+
+fn collect_package(
+    root: &Path,
+    pkg: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    for sub in ["src", "tests", "benches", "examples"] {
+        let dir = pkg.join(sub);
+        if dir.is_dir() {
+            walk_dir(root, &dir, crate_name, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn walk_dir(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "fixtures" {
+                continue; // intentionally-bad lint test inputs
+            }
+            walk_dir(root, &path, crate_name, out)?;
+        } else if name.ends_with(".rs") {
+            let rel_path = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let stem = name.trim_end_matches(".rs");
+            let is_test_file = rel_path.split('/').any(|seg| TEST_DIRS.contains(&seg))
+                || TEST_STEMS.contains(&stem);
+            let src = fs::read_to_string(&path)?;
+            out.push(SourceFile {
+                ctx: FileCtx {
+                    crate_name: crate_name.to_string(),
+                    rel_path,
+                    is_test_file,
+                },
+                src,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workspace_root() -> PathBuf {
+        // crates/lint/ -> workspace root
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from("."))
+    }
+
+    #[test]
+    fn walks_the_real_workspace() {
+        let files = collect_workspace(&workspace_root()).expect("walk");
+        let paths: Vec<&str> = files.iter().map(|f| f.ctx.rel_path.as_str()).collect();
+        assert!(paths.contains(&"crates/tensor/src/gemm.rs"));
+        assert!(paths.contains(&"crates/lint/src/walk.rs"));
+        // Root package rides along under the `suite` crate name.
+        assert!(files
+            .iter()
+            .any(|f| f.ctx.crate_name == "suite" && f.ctx.rel_path == "src/lib.rs"));
+        // Exclusions hold.
+        assert!(paths.iter().all(|p| !p.starts_with("vendor/")));
+        assert!(paths.iter().all(|p| !p.contains("/fixtures/")));
+        // Sorted, so runs are deterministic.
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted);
+    }
+
+    #[test]
+    fn test_paths_are_classified() {
+        let files = collect_workspace(&workspace_root()).expect("walk");
+        let find = |p: &str| files.iter().find(|f| f.ctx.rel_path == p).map(|f| &f.ctx);
+        assert!(find("tests/determinism.rs").is_some_and(|c| c.is_test_file));
+        assert!(
+            find("crates/graph/src/proptests.rs").is_some_and(|c| c.is_test_file),
+            "cfg(test)-included module files are test code"
+        );
+        assert!(find("crates/tensor/src/gemm.rs").is_some_and(|c| !c.is_test_file));
+    }
+}

@@ -1,0 +1,124 @@
+//! Fixture-directory tests for the rule engine.
+//!
+//! Every `.rs` file under `tests/fixtures/` is a small known-bad (or
+//! known-clean) snippet. Its first line is a directive of the form
+//!
+//! ```text
+//! //@ crate=<name> path=<rel_path> expect=<rule[,rule...]|clean>
+//! ```
+//!
+//! which declares the [`FileCtx`] the snippet is linted under and the
+//! exact set of rules that must fire. This keeps each rule's failure
+//! mode demonstrable: deleting a rule (or breaking its matching) makes
+//! the corresponding bad fixture stop tripping, and this test fails.
+//!
+//! The workspace walker deliberately skips directories named `fixtures`,
+//! so these intentionally-bad files never reach the real lint gate.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+use fedomd_lint::{lint_source, FileCtx};
+
+/// Parses the `//@ crate=... path=... expect=...` directive line.
+fn parse_directive(fixture: &str, first_line: &str) -> (FileCtx, BTreeSet<String>) {
+    let body = first_line
+        .strip_prefix("//@")
+        .unwrap_or_else(|| panic!("{fixture}: first line must start with `//@`"))
+        .trim();
+    let mut crate_name = None;
+    let mut rel_path = None;
+    let mut expect = None;
+    for field in body.split_whitespace() {
+        let (key, value) = field
+            .split_once('=')
+            .unwrap_or_else(|| panic!("{fixture}: malformed directive field `{field}`"));
+        match key {
+            "crate" => crate_name = Some(value.to_string()),
+            "path" => rel_path = Some(value.to_string()),
+            "expect" => expect = Some(value.to_string()),
+            other => panic!("{fixture}: unknown directive key `{other}`"),
+        }
+    }
+    let expect = expect.unwrap_or_else(|| panic!("{fixture}: directive missing `expect=`"));
+    let expected: BTreeSet<String> = if expect == "clean" {
+        BTreeSet::new()
+    } else {
+        expect.split(',').map(str::to_string).collect()
+    };
+    let ctx = FileCtx {
+        crate_name: crate_name.unwrap_or_else(|| panic!("{fixture}: missing `crate=`")),
+        rel_path: rel_path.unwrap_or_else(|| panic!("{fixture}: missing `path=`")),
+        is_test_file: false,
+    };
+    (ctx, expected)
+}
+
+#[test]
+fn fixtures_trip_exactly_their_declared_rules() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("tests/fixtures directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 7,
+        "expected at least one bad fixture per rule plus clean fixtures, found {}",
+        paths.len()
+    );
+
+    let mut bad_rules_seen = BTreeSet::new();
+    for path in &paths {
+        let fixture = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = fs::read_to_string(path).expect("fixture readable");
+        let first_line = src.lines().next().unwrap_or("");
+        let (ctx, expected) = parse_directive(&fixture, first_line);
+
+        let fired: BTreeSet<String> = lint_source(&ctx, &src)
+            .iter()
+            .map(|v| v.rule.to_string())
+            .collect();
+        assert_eq!(
+            fired, expected,
+            "{fixture}: rules that fired do not match its `expect=` directive"
+        );
+        bad_rules_seen.extend(expected);
+    }
+
+    // Every rule the engine ships must have at least one bad fixture
+    // demonstrating its failure mode.
+    let all_rules: BTreeSet<String> = [
+        "unsafe-safety",
+        "forbid-unsafe",
+        "map-iteration",
+        "wall-clock",
+        "panic-freedom",
+    ]
+    .into_iter()
+    .map(str::to_string)
+    .collect();
+    assert_eq!(
+        bad_rules_seen, all_rules,
+        "every rule needs a fixture that trips it"
+    );
+}
+
+#[test]
+fn violation_messages_carry_file_line_and_rule() {
+    let src = "//@ none\nfn f() { v.unwrap(); }\n";
+    let ctx = FileCtx {
+        crate_name: "core".into(),
+        rel_path: "crates/core/src/fixture.rs".into(),
+        is_test_file: false,
+    };
+    let v = lint_source(&ctx, src);
+    assert_eq!(v.len(), 1);
+    let rendered = v[0].to_string();
+    assert!(
+        rendered.starts_with("crates/core/src/fixture.rs:2: [panic-freedom]"),
+        "unexpected rendering: {rendered}"
+    );
+}

@@ -1,0 +1,5 @@
+//@ crate=jsonio path=crates/jsonio/src/lib.rs expect=forbid-unsafe
+// The lib.rs of a crate on the forbid list, missing `#![forbid(unsafe_code)]`.
+pub fn parse(s: &str) -> usize {
+    s.len()
+}

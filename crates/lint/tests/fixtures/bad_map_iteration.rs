@@ -1,0 +1,8 @@
+//@ crate=transport path=crates/transport/src/fixture.rs expect=map-iteration
+// A HashMap in a serialization crate with no sorted-emission attestation:
+// its iteration order could leak into encoded bytes.
+use std::collections::HashMap;
+
+pub fn encode_all(m: &std::collections::BTreeMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}

@@ -1,0 +1,5 @@
+//@ crate=core path=crates/core/src/fixture.rs expect=panic-freedom
+// An unattested `.unwrap()` in the library code of a panic-free crate.
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,5 @@
+//@ crate=tensor path=crates/tensor/src/fixture.rs expect=unsafe-safety
+// An `unsafe fn` with no safety-audit comment bound to it.
+pub unsafe fn launch_kernel(p: *const f32) -> f32 {
+    unsafe { *p }
+}

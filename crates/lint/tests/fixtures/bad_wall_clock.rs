@@ -1,0 +1,8 @@
+//@ crate=federated path=crates/federated/src/fixture.rs expect=wall-clock
+// A raw wall-clock read outside the telemetry/metrics/bench crates.
+use std::time::Instant;
+
+pub fn stamp() -> std::time::Duration {
+    let t = Instant::now();
+    t.elapsed()
+}

@@ -1,0 +1,25 @@
+//@ crate=transport path=crates/transport/src/fixture.rs expect=clean
+// Every risky construct below carries its attestation, so no rule fires.
+
+// LINT: sorted — keys are collected into a Vec and sorted before any
+// byte ever leaves this module.
+use std::collections::HashMap;
+
+pub fn sorted_keys(m: &std::collections::BTreeMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+pub fn first(v: &[u32]) -> u32 {
+    // LINT: allow(panic) fixture invariant: callers pass a slice they
+    // just pushed into, so it is never empty.
+    *v.first().unwrap()
+}
+
+pub fn chained(v: Vec<u32>) -> u32 {
+    // LINT: allow(panic) binding must also cover a flagged token on a
+    // continuation line of this multi-line method chain.
+    v.into_iter()
+        .map(|x| x + 1)
+        .max()
+        .unwrap()
+}

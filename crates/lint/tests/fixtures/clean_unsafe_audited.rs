@@ -1,0 +1,11 @@
+//@ crate=tensor path=crates/tensor/src/fixture.rs expect=clean
+// An audited `unsafe fn`: the fn-level comment binds through the
+// attribute, and the inner block restates the contract it relies on.
+
+// SAFETY: the caller guarantees `p` points to a live, aligned f32 and
+// that the AVX2 feature was detected before dispatching here.
+#[target_feature(enable = "avx2")]
+pub unsafe fn read_one(p: *const f32) -> f32 {
+    // SAFETY: forwarding the fn-level contract: `p` is valid for reads.
+    unsafe { *p }
+}

@@ -3,6 +3,8 @@
 //! the paper's tables do, and serialises machine-readable records for
 //! EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 pub mod accuracy;
 pub mod f1;
 pub mod record;
@@ -15,4 +17,4 @@ pub use f1::{macro_f1, F1Report};
 pub use record::{CellRecord, ExperimentRecord};
 pub use stats::{mean_std, Summary};
 pub use table::Table;
-pub use timer::Timer;
+pub use timer::{Stopwatch, Timer};

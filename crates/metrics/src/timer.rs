@@ -3,6 +3,34 @@
 
 use std::time::{Duration, Instant};
 
+/// A started wall-clock measurement.
+///
+/// This is the only sanctioned way for round-loop code to read the clock:
+/// `fedomd-metrics` is one of the three crates the workspace linter
+/// (`fedomd-lint`, wall-clock rule) allows `Instant::now` in, so training
+/// and protocol crates measure phases with a `Stopwatch` and charge the
+/// result to a [`Timer`] bucket instead of touching `std::time` directly.
+/// Use it for split measurements where [`Timer::time`]'s closure shape
+/// does not fit (e.g. a phase whose start and end straddle borrows).
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts measuring now.
+    pub fn start() -> Self {
+        Self {
+            started: Instant::now(),
+        }
+    }
+
+    /// Wall-clock time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
 /// Accumulates wall-clock time into named buckets.
 #[derive(Clone, Debug, Default)]
 pub struct Timer {

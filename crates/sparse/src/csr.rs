@@ -53,6 +53,8 @@ impl Csr {
         let mut last: Option<(usize, usize)> = None;
         for (r, c, v) in entries {
             if last == Some((r, c)) {
+                // LINT: allow(panic) `last == Some` only after a prior
+                // iteration pushed onto `values`, so `last_mut` is `Some`.
                 *values.last_mut().expect("values nonempty when last is set") += v;
             } else {
                 indptr[r + 1] += 1;

@@ -25,6 +25,8 @@
 //! pure sinks, so a run with any observer is **bit-identical** in result
 //! and byte accounting to the same run with [`NullObserver`].
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod observed;
 pub mod observer;

@@ -220,6 +220,14 @@ fn microkernel_generic(kc: usize, a: &[f32], b: &[f32], c: &mut [f32], ldc: usiz
 ///
 /// # Safety
 /// Callers must have verified AVX2 support at runtime.
+// SAFETY: `unsafe` solely because of `#[target_feature(enable = "avx2")]`
+// — executing AVX2 instructions on a CPU without them is UB. The only
+// call site (`run_microkernel`) is gated on `is_x86_feature_detected!`
+// evaluated once in `gemm_packed`. All memory access goes through the
+// shared safe `microkernel_body`: slices `a`/`b` are packed panels of
+// exactly `kc·MR` / `kc·NR` elements and every index is bounds-checked,
+// so there is no pointer arithmetic and no alignment requirement beyond
+// what `&[f32]` already guarantees.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn microkernel_avx2(kc: usize, a: &[f32], b: &[f32], c: &mut [f32], ldc: usize) {
@@ -277,6 +285,13 @@ fn microkernel_direct_body<const MRE: usize>(
 ///
 /// # Safety
 /// Callers must have verified AVX2 support at runtime.
+// SAFETY: `unsafe` solely because of `#[target_feature(enable = "avx2")]`;
+// the only call site (`run_microkernel_direct`) is gated on
+// `is_x86_feature_detected!` from `gemm_packed`. The body is the safe
+// `microkernel_direct_body`: `a[r·lda + kk]` stays in bounds because the
+// caller slices `a` to start at the tile's first row with `lda` the
+// source row stride and `r < MRE ≤ MR` rows remaining, and every access
+// is bounds-checked — no raw pointers, no alignment assumptions.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn microkernel_direct_avx2<const MRE: usize>(
@@ -331,6 +346,8 @@ fn run_tile_direct(
         3 => run_microkernel_direct::<3>(avx2, kc, a, lda, b_panel, c, ldc),
         2 => run_microkernel_direct::<2>(avx2, kc, a, lda, b_panel, c, ldc),
         1 => run_microkernel_direct::<1>(avx2, kc, a, lda, b_panel, c, ldc),
+        // LINT: allow(panic) mr_eff = min(MR - i, MR) with MR = 4: the
+        // dispatch above is exhaustive for every reachable value.
         _ => unreachable!("mr_eff bounded by MR"),
     };
     if nr_eff == NR {

@@ -98,6 +98,9 @@ pub trait Channel {
 pub(crate) fn decode_round(frames: &[Vec<u8>], round: u64) -> Vec<Envelope> {
     let mut out: Vec<Envelope> = frames
         .iter()
+        // LINT: allow(panic) frames come from `Envelope::encode` in the
+        // same process (see doc above): a decode failure is a codec bug
+        // that must fail loudly, not a recoverable network fault.
         .map(|bytes| Envelope::decode(bytes).expect("in-process frame must decode"))
         .filter(|env| env.round == round)
         .collect();

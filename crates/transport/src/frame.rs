@@ -333,7 +333,17 @@ impl Envelope {
         }
         // Verify the checksum before trusting any payload structure.
         let checksummed = frame.len() - TRAILER_BYTES;
-        let stored = u32::from_le_bytes(frame[checksummed..].try_into().expect("4 bytes"));
+        let stored = match <[u8; TRAILER_BYTES]>::try_from(&frame[checksummed..]) {
+            Ok(bytes) => u32::from_le_bytes(bytes),
+            // Unreachable given the length check above, but a typed error
+            // keeps the decode path panic-free on arbitrary input.
+            Err(_) => {
+                return Err(WireError::Truncated {
+                    needed: TRAILER_BYTES,
+                    available: frame.len() - checksummed,
+                })
+            }
+        };
         let computed = crc32(&frame[..checksummed]);
         if stored != computed {
             return Err(WireError::BadChecksum { stored, computed });
@@ -515,6 +525,24 @@ mod tests {
         let m = Matrix::from_fn(3, 4, |r, c| (r * 7 + c) as f32 * 0.5);
         let t = Tensor::from(&m);
         assert_eq!(t.into_matrix(), m);
+    }
+
+    #[test]
+    fn encoding_is_byte_identical_across_calls() {
+        // Determinism regression guard: the wire format carries no
+        // unordered containers, so encoding the same envelope twice — or
+        // re-encoding after a decode — must reproduce the exact bytes.
+        for env in sample_envelopes() {
+            let a = env.encode();
+            assert_eq!(env.encode(), a);
+            let re = Envelope::decode(&a).expect("decode").encode();
+            assert_eq!(
+                re,
+                a,
+                "decode → re-encode drifted for {}",
+                env.payload.kind()
+            );
+        }
     }
 
     #[test]

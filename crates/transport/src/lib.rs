@@ -17,6 +17,8 @@
 //!   jitter, stragglers, retry with exponential backoff, and a per-round
 //!   deadline that degrades rounds to partial aggregation).
 
+#![forbid(unsafe_code)]
+
 pub mod channel;
 pub mod frame;
 pub mod inproc;

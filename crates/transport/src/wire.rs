@@ -183,6 +183,18 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
+    /// [`Self::take`] as a fixed-size array, for `from_le_bytes`. The
+    /// conversion cannot fail after `take(N)` succeeded, but mapping the
+    /// mismatch into [`WireError`] keeps the reader panic-free on any
+    /// input.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let s = self.take(N)?;
+        <[u8; N]>::try_from(s).map_err(|_| WireError::Truncated {
+            needed: N,
+            available: s.len(),
+        })
+    }
+
     /// Reads one byte.
     pub fn get_u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
@@ -190,22 +202,22 @@ impl<'a> ByteReader<'a> {
 
     /// Reads a `u16`, little-endian.
     pub fn get_u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+        Ok(u16::from_le_bytes(self.take_array::<2>()?))
     }
 
     /// Reads a `u32`, little-endian.
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(u32::from_le_bytes(self.take_array::<4>()?))
     }
 
     /// Reads a `u64`, little-endian.
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(u64::from_le_bytes(self.take_array::<8>()?))
     }
 
     /// Reads an `f32` from its IEEE-754 bits, little-endian.
     pub fn get_f32(&mut self) -> Result<f32, WireError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(f32::from_le_bytes(self.take_array::<4>()?))
     }
 
     /// Reads a length-prefixed run of `f32`s.

@@ -16,6 +16,12 @@ cargo test -q --workspace
 # never runs them (perf runs go through scripts/bench.sh).
 cargo bench --workspace --no-run
 
+# Workspace invariant checker (DESIGN.md §13): unsafe hygiene, serialization
+# determinism, wall-clock confinement, panic-freedom — plus a drift check
+# that UNSAFE_INVENTORY.md still matches the unsafe sites in the tree.
+cargo run -q --release -p fedomd-lint
+cargo run -q --release -p fedomd-lint -- --inventory --check
+
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --check
 else
