@@ -1,0 +1,108 @@
+//! The price of real sockets: the same two FedOMD rounds driven over the
+//! in-process channel vs the TCP-loopback deployment (DESIGN.md §14).
+//! The loopback figure includes the whole deployment lifecycle — bind,
+//! handshake, three client threads, teardown — which is exactly what a
+//! `fedomd-server` + `fedomd-client` restart costs.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedomd_core::{run_fedomd_observed, RunConfig};
+use fedomd_data::{generate, spec, DatasetName};
+use fedomd_federated::{setup_federation, ClientData, FederationConfig, RunResult, TrainConfig};
+use fedomd_net::{run_client, serve_on, ClientOpts, NetConfig, ServeOpts};
+use fedomd_telemetry::NullObserver;
+use fedomd_transport::InProcChannel;
+
+fn two_round_config() -> RunConfig {
+    // Exactly two rounds, no early stopping, sparse eval — the same
+    // measured body as the fed_round suite, so the two files compare.
+    let train = TrainConfig {
+        rounds: 2,
+        patience: 2,
+        eval_every: 2,
+        ..TrainConfig::mini(0)
+    };
+    RunConfig::mini(0).with_train(train)
+}
+
+fn loopback_net() -> NetConfig {
+    NetConfig {
+        phase_timeout: Duration::from_secs(10),
+        connect_attempts: 100,
+        connect_backoff: Duration::from_millis(10),
+        join_timeout: Duration::from_secs(30),
+        ..NetConfig::default()
+    }
+}
+
+/// One full TCP deployment on an ephemeral loopback port: server plus
+/// one thread per client, joined to completion.
+fn tcp_run(run: &RunConfig, name: &str, clients: &[ClientData], n_classes: usize) -> RunResult {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let net = loopback_net();
+    let server = {
+        let run = run.clone();
+        let name = name.to_string();
+        let opts = ServeOpts {
+            net,
+            ..ServeOpts::new(clients.len())
+        };
+        std::thread::spawn(move || serve_on(listener, &opts, &run, &name, &mut NullObserver))
+    };
+    let workers: Vec<_> = clients
+        .iter()
+        .enumerate()
+        .map(|(id, shard)| {
+            let opts = ClientOpts {
+                addr: addr.clone(),
+                id: id as u32,
+                net,
+            };
+            let (run, name, shard) = (run.clone(), name.to_string(), shard.clone());
+            let n = clients.len();
+            std::thread::spawn(move || {
+                run_client(&opts, &run, &name, n, &shard, n_classes, &mut NullObserver)
+                    .expect("client run")
+            })
+        })
+        .collect();
+    let result = server
+        .join()
+        .expect("server thread")
+        .expect("server run completes");
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    result
+}
+
+fn bench_net_round(c: &mut Criterion) {
+    let ds = generate(&spec(DatasetName::CoraMini), 0);
+    let clients = setup_federation(&ds, &FederationConfig::mini(3, 0));
+    let run = two_round_config();
+
+    let mut group = c.benchmark_group("net_round");
+    group.sample_size(10);
+    group.bench_function("inproc_two_rounds", |b| {
+        b.iter(|| {
+            run_fedomd_observed(
+                &clients,
+                ds.n_classes,
+                &run.train,
+                &run.omd,
+                &mut InProcChannel::new(),
+                &mut NullObserver,
+            )
+        })
+    });
+    group.bench_function("tcp_loopback_two_rounds", |b| {
+        b.iter(|| tcp_run(&run, &ds.name, &clients, ds.n_classes))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_net_round);
+criterion_main!(benches);

@@ -1,0 +1,488 @@
+//! The client half of a multi-process FedOMD deployment.
+//!
+//! [`run_fedomd_client_rounds`] is one party's side of Algorithm 1: per
+//! round it records its forward pass, takes part in the 2-round statistics
+//! exchange, optimises `CE + α·L_ortho + β·d_CMD`, uploads its weights,
+//! installs the aggregated global model, and ships the round's loss and
+//! eval counts as a `Metrics` frame. The math is line-for-line the
+//! in-process loop's (`crate::trainer`) — the loss terms are built by the
+//! same shared helpers — so over a faithful transport a multi-process run
+//! reproduces the in-process numbers exactly.
+//!
+//! The loop is *resumable by construction*: it takes an explicit
+//! `start_round` and a caller-owned [`ClientSession`], so the `fedomd-net`
+//! reconnect logic can re-enter it after a server loss, optionally after
+//! installing a fresher global model into the session.
+
+use fedomd_autograd::{CmdTargets, Tape, Var, Workspace};
+use fedomd_federated::helpers::{count_correct, predict};
+use fedomd_federated::{ClientData, TrainConfig};
+use fedomd_nn::{Adam, Model, Optimizer};
+use fedomd_telemetry::{ObservedChannel, Phase, PhaseStopwatch, RoundEvent, RoundObserver};
+use fedomd_tensor::Matrix;
+use fedomd_transport::{from_tensors, to_tensors, Channel, Control, Envelope, Payload};
+
+use crate::config::FedOmdConfig;
+use crate::deploy::build_fedomd_model;
+use crate::protocol::{build_targets, client_means, client_moments_about, GlobalStats};
+use crate::trainer::{sum_cmd, sum_terms};
+
+/// One client's training state, owned by the caller so it survives
+/// transport reconnects.
+pub struct ClientSession {
+    /// The local Ortho-GCN.
+    pub model: Box<dyn Model>,
+    /// The local optimiser (per-client state, never shipped).
+    pub opt: Adam,
+    /// Reusable autograd buffer pool.
+    pub ws: Workspace,
+}
+
+impl ClientSession {
+    /// A fresh session with the federation's common init (the same
+    /// `build_fedomd_model` every process calls).
+    pub fn new(cfg: &TrainConfig, omd: &FedOmdConfig, in_dim: usize, n_classes: usize) -> Self {
+        Self {
+            model: build_fedomd_model(cfg, omd, in_dim, n_classes),
+            opt: Adam::new(cfg.lr, cfg.weight_decay),
+            ws: Workspace::new(),
+        }
+    }
+}
+
+/// Why [`run_fedomd_client_rounds`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientOutcome {
+    /// The configured round budget completed.
+    Finished,
+    /// The server's verdict said the run early-stopped.
+    Stopped,
+    /// No verdict arrived within the channel's deadline: the server is
+    /// gone (crashed, or this client was cut off). `round` is the next
+    /// round this client would have entered; the authoritative resume
+    /// point comes from the server's handshake after reconnecting.
+    ServerLost {
+        /// First round not entered locally.
+        round: usize,
+    },
+}
+
+/// Runs one client's rounds `start_round..cfg.rounds` over `chan`.
+///
+/// Fault semantics mirror the in-process loop under a lossy channel: a
+/// missing global-statistics frame means training without the CMD term
+/// this round, a missing global model means keeping the local weights —
+/// each phase simply times out at the channel's deadline. Only a missing
+/// *verdict* ends the loop (with [`ClientOutcome::ServerLost`]), because
+/// without it the client cannot know whether the run early-stopped.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fedomd_client_rounds(
+    id: u32,
+    client: &ClientData,
+    cfg: &TrainConfig,
+    omd: &FedOmdConfig,
+    session: &mut ClientSession,
+    start_round: usize,
+    chan: &mut dyn Channel,
+    obs: &mut dyn RoundObserver,
+) -> ClientOutcome {
+    let mut chan = ObservedChannel::new(chan);
+    let mut stash: Vec<Envelope> = Vec::new();
+
+    for round in start_round..cfg.rounds {
+        obs.on_event(&RoundEvent::RoundStarted {
+            round: round as u64,
+        });
+        let r = round as u64;
+
+        // --- Phase 1: forward pass ---
+        let sw = PhaseStopwatch::start(Phase::LocalTrain);
+        let mut tape = Tape::with_workspace(std::mem::take(&mut session.ws));
+        let out = session.model.forward(&mut tape, &client.input);
+        sw.finish(obs);
+
+        // --- Phase 2: the 2-round statistics exchange ---
+        let targets: Option<Vec<CmdTargets>> = if omd.use_cmd {
+            let sw = PhaseStopwatch::start(Phase::Comms);
+            let hidden: Vec<&Matrix> = out.hidden.iter().map(|&h| tape.value(h)).collect();
+            chan.upload(Envelope {
+                round: r,
+                sender: id,
+                payload: Payload::StatsRound1 {
+                    means: client_means(&hidden),
+                    n_samples: hidden.first().map_or(0, |z| z.rows()) as u64,
+                },
+            });
+            // First GlobalStats down: the means. A slow client may find the
+            // full statistics already queued behind them — both shapes are
+            // accepted here, keyed on whether the moment list is empty.
+            let mut gmeans: Option<Vec<Vec<f32>>> = None;
+            let mut full: Option<GlobalStats> = None;
+            if let Some(env) = collect_matching(&mut chan, id, r, &mut stash, |p| {
+                matches!(p, Payload::GlobalStats { .. })
+            }) {
+                if let Payload::GlobalStats { means, moments } = env.payload {
+                    if moments.is_empty() {
+                        gmeans = Some(means);
+                    } else {
+                        full = Some(GlobalStats { means, moments });
+                    }
+                }
+            }
+            if full.is_none() {
+                if let Some(means) = &gmeans {
+                    chan.upload(Envelope {
+                        round: r,
+                        sender: id,
+                        payload: Payload::StatsRound2 {
+                            moments: client_moments_about(&hidden, means, omd.max_moment),
+                        },
+                    });
+                    if let Some(env) = collect_matching(
+                        &mut chan,
+                        id,
+                        r,
+                        &mut stash,
+                        |p| matches!(p, Payload::GlobalStats { moments, .. } if !moments.is_empty()),
+                    ) {
+                        if let Payload::GlobalStats { means, moments } = env.payload {
+                            full = Some(GlobalStats { means, moments });
+                        }
+                    }
+                }
+            }
+            chan.flush_into(obs);
+            sw.finish(obs);
+            full.map(|gs| build_targets(&gs))
+        } else {
+            None
+        };
+
+        // --- Phase 3: loss, backward, local step (trainer math, verbatim
+        // via the shared helpers) ---
+        let sw = PhaseStopwatch::start(Phase::LocalTrain);
+        let ce = tape.softmax_cross_entropy(out.logits, &client.labels, &client.splits.train);
+        let mut loss = ce;
+        let mut ortho_term: Option<Var> = None;
+        if omd.use_ortho {
+            if let Some(pen) = sum_terms(&mut tape, out.ortho_weight_vars.to_vec(), |t, w| {
+                t.ortho_penalty(w)
+            }) {
+                let scaled = tape.scale(pen, omd.alpha);
+                ortho_term = Some(scaled);
+                loss = tape.add(loss, scaled);
+            }
+        }
+        let mut cmd_term: Option<Var> = None;
+        if let Some(targets) = &targets {
+            let n_constrained = if omd.cmd_first_layer_only {
+                1
+            } else {
+                out.hidden.len()
+            };
+            if let Some(cmd) = sum_cmd(
+                &mut tape,
+                &out.hidden[..n_constrained],
+                &targets[..n_constrained],
+                omd.width,
+                omd.cmd_mean_scale,
+            ) {
+                let scaled = tape.scale(cmd, omd.beta);
+                cmd_term = Some(scaled);
+                loss = tape.add(loss, scaled);
+            }
+        }
+        tape.backward(loss);
+        let grads: Vec<Matrix> = out
+            .param_vars
+            .iter()
+            .map(|&v| tape.grad_or_zeros(v))
+            .collect();
+        let mut params = session.model.params();
+        session.opt.step(&mut params, &grads);
+        session.model.set_params(&params);
+        session.model.post_step();
+        for g in grads {
+            tape.recycle_matrix(g);
+        }
+        for p in params {
+            tape.recycle_matrix(p);
+        }
+        let total_loss = tape.scalar(loss);
+        obs.on_event(&RoundEvent::LocalStepDone {
+            client: id,
+            epoch: 0,
+            loss: total_loss as f64,
+            ce: tape.scalar(ce) as f64,
+            ortho: ortho_term.map_or(0.0, |v| tape.scalar(v)) as f64,
+            cmd: cmd_term.map_or(0.0, |v| tape.scalar(v)) as f64,
+        });
+        session.ws = tape.recycle();
+        sw.finish(obs);
+
+        // --- Phase 4: weights up, aggregated global model down ---
+        let sw = PhaseStopwatch::start(Phase::Comms);
+        chan.upload(Envelope {
+            round: r,
+            sender: id,
+            payload: Payload::WeightUpdate {
+                params: to_tensors(&session.model.params()),
+            },
+        });
+        if let Some(env) = collect_matching(&mut chan, id, r, &mut stash, |p| {
+            matches!(p, Payload::GlobalModel { .. })
+        }) {
+            if let Payload::GlobalModel { params } = env.payload {
+                session.model.set_params(&from_tensors(params));
+            }
+        }
+        chan.flush_into(obs);
+        sw.finish(obs);
+
+        // --- Round outcome: local eval on the post-aggregation model, the
+        // counts shipped for the server's pooled accuracy. ---
+        let counts = if round.is_multiple_of(cfg.eval_every) {
+            let sw = PhaseStopwatch::start(Phase::Eval);
+            let logits = predict(session.model.as_ref(), client);
+            let (vc, vt) = count_correct(&logits, &client.labels, &client.splits.val);
+            let (tc, tt) = count_correct(&logits, &client.labels, &client.splits.test);
+            sw.finish(obs);
+            (vc as u64, vt as u64, tc as u64, tt as u64)
+        } else {
+            (0, 0, 0, 0)
+        };
+        chan.upload(Envelope {
+            round: r,
+            sender: id,
+            payload: Payload::Metrics {
+                train_loss: total_loss,
+                val_correct: counts.0,
+                val_total: counts.1,
+                test_correct: counts.2,
+                test_total: counts.3,
+            },
+        });
+        chan.flush_into(obs);
+
+        // --- Verdict: continue, stop, or conclude the server is gone. On
+        // its last scheduled round the client leaves without waiting. ---
+        if round + 1 >= cfg.rounds {
+            continue;
+        }
+        match collect_matching(&mut chan, id, r, &mut stash, |p| {
+            matches!(p, Payload::Control(_))
+        }) {
+            Some(env) => {
+                if let Payload::Control(Control::EndRound) = env.payload {
+                    chan.flush_into(obs);
+                    return ClientOutcome::Stopped;
+                }
+                chan.flush_into(obs);
+            }
+            None => {
+                chan.flush_into(obs);
+                return ClientOutcome::ServerLost { round: round + 1 };
+            }
+        }
+    }
+    ClientOutcome::Finished
+}
+
+/// Takes the first round-`round` frame matching `want` — from the stash
+/// first, then from the channel until it reports nothing new (deadline).
+/// Non-matching current-or-future frames are stashed for later phases;
+/// frames of closed rounds are discarded.
+fn collect_matching(
+    chan: &mut ObservedChannel<'_>,
+    id: u32,
+    round: u64,
+    stash: &mut Vec<Envelope>,
+    want: impl Fn(&Payload) -> bool,
+) -> Option<Envelope> {
+    if let Some(pos) = stash
+        .iter()
+        .position(|e| e.round == round && want(&e.payload))
+    {
+        return Some(stash.remove(pos));
+    }
+    stash.retain(|e| e.round >= round);
+    loop {
+        let batch = chan.client_collect(id, round);
+        if batch.is_empty() {
+            return None;
+        }
+        let mut found = None;
+        for env in batch {
+            if found.is_none() && env.round == round && want(&env.payload) {
+                found = Some(env);
+            } else if env.round >= round {
+                stash.push(env);
+            }
+        }
+        if found.is_some() {
+            return found;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedomd_data::{generate, spec, DatasetName};
+    use fedomd_federated::{client_shard, FederationConfig};
+    use fedomd_telemetry::NullObserver;
+    use fedomd_transport::{InProcChannel, SERVER_SENDER};
+
+    fn one_shard() -> (ClientData, usize) {
+        let ds = generate(&spec(DatasetName::CoraMini), 0);
+        let shard = client_shard(&ds, &FederationConfig::mini(2, 0), 0).expect("shard 0");
+        (shard, ds.n_classes)
+    }
+
+    fn quick_cfg(rounds: usize) -> TrainConfig {
+        TrainConfig {
+            rounds,
+            patience: 100,
+            ..TrainConfig::mini(0)
+        }
+    }
+
+    #[test]
+    fn lone_client_degrades_and_reports_server_lost() {
+        // No server behind the channel: every downlink phase times out,
+        // the client still takes its local step, and the missing verdict
+        // after round 0 ends the loop.
+        let (shard, k) = one_shard();
+        let cfg = quick_cfg(3);
+        let omd = FedOmdConfig::paper();
+        let mut session = ClientSession::new(&cfg, &omd, shard.input.n_features(), k);
+        let before = session.model.params();
+        let mut chan = InProcChannel::new();
+        let out = run_fedomd_client_rounds(
+            0,
+            &shard,
+            &cfg,
+            &omd,
+            &mut session,
+            0,
+            &mut chan,
+            &mut NullObserver,
+        );
+        assert_eq!(out, ClientOutcome::ServerLost { round: 1 });
+        let after = session.model.params();
+        assert!(
+            before
+                .iter()
+                .zip(&after)
+                .any(|(a, b)| a.as_slice() != b.as_slice()),
+            "the local Adam step must have moved the weights"
+        );
+        // The round's uplink made it out: stats round 1, weights, metrics
+        // (stats round 2 needs the global means, which never came).
+        let kinds: Vec<&str> = chan
+            .server_collect(0)
+            .iter()
+            .map(|e| e.payload.kind())
+            .collect();
+        assert_eq!(kinds, ["StatsRound1", "WeightUpdate", "Metrics"]);
+    }
+
+    #[test]
+    fn installs_the_global_model_and_ships_eval_counts() {
+        let (shard, k) = one_shard();
+        let cfg = quick_cfg(1);
+        let omd = FedOmdConfig::ortho_only(); // no CMD: no stats exchange
+        let mut session = ClientSession::new(&cfg, &omd, shard.input.n_features(), k);
+        // A "global model" the server would broadcast: recognisably not
+        // what the local step produces.
+        let global: Vec<Matrix> = session
+            .model
+            .params()
+            .iter()
+            .map(|p| Matrix::zeros(p.rows(), p.cols()))
+            .collect();
+        let mut chan = InProcChannel::new();
+        chan.download(
+            0,
+            Envelope {
+                round: 0,
+                sender: SERVER_SENDER,
+                payload: Payload::GlobalModel {
+                    params: to_tensors(&global),
+                },
+            },
+        );
+        let out = run_fedomd_client_rounds(
+            0,
+            &shard,
+            &cfg,
+            &omd,
+            &mut session,
+            0,
+            &mut chan,
+            &mut NullObserver,
+        );
+        // Single-round budget: the client finishes without a verdict.
+        assert_eq!(out, ClientOutcome::Finished);
+        for (p, g) in session.model.params().iter().zip(&global) {
+            assert_eq!(p.as_slice(), g.as_slice(), "global model not installed");
+        }
+        // Round 0 is on the eval schedule: the metrics frame must carry the
+        // zero-model's actual pooled counts over this shard.
+        let logits = predict(session.model.as_ref(), &shard);
+        let (vc, vt) = count_correct(&logits, &shard.labels, &shard.splits.val);
+        let (tc, tt) = count_correct(&logits, &shard.labels, &shard.splits.test);
+        let uplink = chan.server_collect(0);
+        let metrics = uplink
+            .iter()
+            .find(|e| matches!(e.payload, Payload::Metrics { .. }))
+            .expect("metrics frame");
+        match &metrics.payload {
+            Payload::Metrics {
+                train_loss,
+                val_correct,
+                val_total,
+                test_correct,
+                test_total,
+            } => {
+                assert!(train_loss.is_finite() && *train_loss > 0.0);
+                assert_eq!(
+                    (*val_correct, *val_total, *test_correct, *test_total),
+                    (vc as u64, vt as u64, tc as u64, tt as u64)
+                );
+            }
+            other => panic!("unexpected {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn end_round_verdict_stops_the_loop_via_the_stash() {
+        // The verdict is queued before the client even starts: it surfaces
+        // during the (unmatched) global-model collect, parks in the stash,
+        // and is consumed by the verdict phase.
+        let (shard, k) = one_shard();
+        let cfg = quick_cfg(5);
+        let omd = FedOmdConfig::ortho_only();
+        let mut session = ClientSession::new(&cfg, &omd, shard.input.n_features(), k);
+        let mut chan = InProcChannel::new();
+        chan.download(
+            0,
+            Envelope {
+                round: 0,
+                sender: SERVER_SENDER,
+                payload: Payload::Control(Control::EndRound),
+            },
+        );
+        let out = run_fedomd_client_rounds(
+            0,
+            &shard,
+            &cfg,
+            &omd,
+            &mut session,
+            0,
+            &mut chan,
+            &mut NullObserver,
+        );
+        assert_eq!(out, ClientOutcome::Stopped);
+    }
+}

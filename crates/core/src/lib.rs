@@ -28,13 +28,18 @@
 
 #![forbid(unsafe_code)]
 
+pub mod client_loop;
 pub mod config;
+pub mod deploy;
 pub mod protocol;
 pub mod run;
 pub mod run_checkpoint;
+pub mod server;
 pub mod trainer;
 
+pub use client_loop::{run_fedomd_client_rounds, ClientOutcome, ClientSession};
 pub use config::FedOmdConfig;
+pub use deploy::{build_fedomd_model, run_config_digest};
 pub use fedomd_nn::CheckpointError;
 pub use protocol::{
     aggregate_means, aggregate_moments, build_targets, client_means, client_moments_about,
@@ -42,4 +47,5 @@ pub use protocol::{
 };
 pub use run::{FedRun, RunConfig};
 pub use run_checkpoint::{FileCheckpointer, RunCheckpoint};
+pub use server::{run_fedomd_server, ServerOpts};
 pub use trainer::{run_fedomd, run_fedomd_observed, run_fedomd_resumable, run_fedomd_with};

@@ -1,0 +1,622 @@
+//! The server half of a multi-process FedOMD deployment.
+//!
+//! [`run_fedomd_server`] drives Algorithm 1 rounds **without owning any
+//! client**: it aggregates whatever statistics, weight updates, and round
+//! metrics arrive over the [`Channel`], broadcasts the global artefacts
+//! back, and keeps the exact history / early-stopping / checkpoint
+//! bookkeeping of the in-process loop (`crate::trainer`). Clients run
+//! [`crate::client_loop::run_fedomd_client_rounds`] in their own
+//! processes; over a faithful transport the pooled accuracies and round
+//! history reproduce the in-process run bit for bit, because every
+//! aggregation here consumes sender-sorted inputs in the same order the
+//! in-process loop iterates its clients.
+//!
+//! Per round, uplink phases in order: `StatsRound1` → `StatsRound2` →
+//! `WeightUpdate` → `Metrics`; downlinks interleave as in Algorithm 1,
+//! plus one terminal `Control` verdict (`Ack` = continue, `EndRound` =
+//! early stop) that replaces the in-process loop's shared `stopped` flag.
+//! Every phase degrades to partial aggregation: the channel decides when
+//! to stop waiting (its per-phase deadline), the driver aggregates whoever
+//! made it.
+
+use std::collections::BTreeMap;
+
+use fedomd_federated::engine::RoundDriver;
+use fedomd_federated::helpers::fedavg;
+use fedomd_federated::{
+    Direction, Persistence, ResumeState, RunResult, StatsCache, TrafficClass, TrainConfig,
+};
+use fedomd_telemetry::{ObservedChannel, Phase, PhaseStopwatch, RoundEvent, RoundObserver};
+use fedomd_tensor::Matrix;
+use fedomd_transport::{
+    from_tensors, to_tensors, Channel, Control, Envelope, Payload, SERVER_SENDER,
+};
+
+use fedomd_metrics::Stopwatch;
+
+use crate::config::FedOmdConfig;
+use crate::protocol::{aggregate_means, aggregate_moments};
+
+/// Options of the standalone server driver.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerOpts {
+    /// Number of federated parties the run is configured for. Phases wait
+    /// for up to this many reports; fewer degrade to partial aggregation.
+    pub n_clients: usize,
+    /// Fault injection for the kill-and-resume tests: return right after
+    /// the named round's bookkeeping (and checkpoint, if due) completes,
+    /// **before** the verdict broadcast — exactly the window in which a
+    /// real server crash strands its clients mid-wait.
+    pub halt_after: Option<usize>,
+}
+
+impl ServerOpts {
+    /// A plain full run for `n_clients` parties.
+    pub fn new(n_clients: usize) -> Self {
+        Self {
+            n_clients,
+            halt_after: None,
+        }
+    }
+}
+
+/// Runs the FedOMD server rounds over `chan` until the round budget or
+/// early stopping, with checkpoint/resume via `persist` exactly as
+/// [`crate::trainer::run_fedomd_resumable`] — except the snapshots carry
+/// no per-client state (`params`/`optim`/`model_steps` stay empty): the
+/// server's durable state is the driver bookkeeping, the channel cursor,
+/// and the last aggregated global model/statistics, which is what a
+/// reconnecting client needs to rejoin.
+pub fn run_fedomd_server(
+    opts: &ServerOpts,
+    cfg: &TrainConfig,
+    omd: &FedOmdConfig,
+    chan: &mut dyn Channel,
+    obs: &mut dyn RoundObserver,
+    mut persist: Persistence<'_>,
+) -> RunResult {
+    assert!(opts.n_clients > 0, "run_fedomd_server: no clients");
+    let m = opts.n_clients;
+    let track = persist.sink.is_some();
+    let mut last_global: Option<Vec<Matrix>> = None;
+    let mut last_stats: Option<StatsCache> = None;
+
+    let mut driver;
+    let start_round;
+    if let Some(resume) = persist.resume.take() {
+        chan.restore_state(&resume.channel);
+        last_global = resume.global;
+        last_stats = resume.stats;
+        driver = RoundDriver::resume(cfg, resume.driver);
+        start_round = resume.next_round;
+    } else {
+        driver = RoundDriver::new(cfg);
+        start_round = 0;
+    }
+    driver.announce("FedOMD", m, obs);
+    if start_round > 0 {
+        obs.on_event(&RoundEvent::Resumed {
+            round: start_round as u64,
+        });
+    }
+    let mut chan = ObservedChannel::new(chan);
+    let mut collector = Collector::default();
+
+    for round in start_round..cfg.rounds {
+        // A checkpoint taken after early stopping resumes already-stopped.
+        if driver.stopped() {
+            break;
+        }
+        obs.on_event(&RoundEvent::RoundStarted {
+            round: round as u64,
+        });
+        let r = round as u64;
+        let start = Stopwatch::start();
+
+        // --- Phase 2 (server side): the 2-round statistics exchange ---
+        if omd.use_cmd {
+            let sw = PhaseStopwatch::start(Phase::Comms);
+            let mut round1_n: BTreeMap<u32, usize> = BTreeMap::new();
+            let mut round1: Vec<(Vec<Vec<f32>>, usize)> = Vec::new();
+            for env in collector.phase(&mut chan, r, m, |p| {
+                matches!(p, Payload::StatsRound1 { .. })
+            }) {
+                driver.comms.record(
+                    Direction::Uplink,
+                    TrafficClass::Stats,
+                    env.encoded_len() as u64,
+                );
+                if let Payload::StatsRound1 { means, n_samples } = env.payload {
+                    round1_n.insert(env.sender, n_samples as usize);
+                    round1.push((means, n_samples as usize));
+                }
+            }
+            chan.flush_into(obs);
+            obs.on_event(&RoundEvent::StatsRound1Done {
+                participants: round1.len(),
+            });
+
+            if round1.is_empty() {
+                // Nothing to average: no means go down, so no client will
+                // report moments — close the phase without a wait.
+                obs.on_event(&RoundEvent::StatsRound2Done { participants: 0 });
+            } else {
+                let means = aggregate_means(&round1);
+                for i in 0..m {
+                    let bytes = chan.download(
+                        i as u32,
+                        Envelope {
+                            round: r,
+                            sender: SERVER_SENDER,
+                            payload: Payload::GlobalStats {
+                                means: means.clone(),
+                                moments: Vec::new(),
+                            },
+                        },
+                    );
+                    driver
+                        .comms
+                        .record(Direction::Downlink, TrafficClass::Stats, bytes as u64);
+                }
+                chan.flush_into(obs);
+
+                let mut round2: Vec<(Vec<Vec<Vec<f32>>>, usize)> = Vec::new();
+                for env in collector.phase(&mut chan, r, m, |p| {
+                    matches!(p, Payload::StatsRound2 { .. })
+                }) {
+                    driver.comms.record(
+                        Direction::Uplink,
+                        TrafficClass::Stats,
+                        env.encoded_len() as u64,
+                    );
+                    if let Payload::StatsRound2 { moments } = env.payload {
+                        // Round-2 moments are weighted by the n_i announced
+                        // in round 1; an unannounced reporter is ignored.
+                        if let Some(&n) = round1_n.get(&env.sender) {
+                            round2.push((moments, n));
+                        }
+                    }
+                }
+                chan.flush_into(obs);
+                obs.on_event(&RoundEvent::StatsRound2Done {
+                    participants: round2.len(),
+                });
+                if !round2.is_empty() {
+                    let moments = aggregate_moments(&round2);
+                    if track {
+                        last_stats = Some(StatsCache {
+                            means: means.clone(),
+                            moments: moments.clone(),
+                        });
+                    }
+                    for i in 0..m {
+                        let bytes = chan.download(
+                            i as u32,
+                            Envelope {
+                                round: r,
+                                sender: SERVER_SENDER,
+                                payload: Payload::GlobalStats {
+                                    means: means.clone(),
+                                    moments: moments.clone(),
+                                },
+                            },
+                        );
+                        driver
+                            .comms
+                            .record(Direction::Downlink, TrafficClass::Stats, bytes as u64);
+                    }
+                    chan.flush_into(obs);
+                }
+            }
+            sw.finish(obs);
+        }
+
+        // --- Phase 4 (server side): FedAvg over whoever arrived ---
+        let sw = PhaseStopwatch::start(Phase::Comms);
+        let mut sets: Vec<Vec<Matrix>> = Vec::new();
+        for env in collector.phase(&mut chan, r, m, |p| {
+            matches!(p, Payload::WeightUpdate { .. })
+        }) {
+            driver.comms.record(
+                Direction::Uplink,
+                TrafficClass::Weights,
+                env.encoded_len() as u64,
+            );
+            if let Payload::WeightUpdate { params } = env.payload {
+                sets.push(from_tensors(params));
+            }
+        }
+        chan.flush_into(obs);
+        sw.finish(obs);
+        if sets.is_empty() {
+            obs.on_event(&RoundEvent::AggregationDone { participants: 0 });
+        } else {
+            let participants = sets.len();
+            let sw = PhaseStopwatch::start(Phase::Aggregation);
+            let weights = vec![1.0; participants];
+            let global = fedavg(&sets, &weights);
+            sw.finish(obs);
+            if track {
+                last_global = Some(global.clone());
+            }
+            obs.on_event(&RoundEvent::AggregationDone { participants });
+            let sw = PhaseStopwatch::start(Phase::Comms);
+            for i in 0..m {
+                let bytes = chan.download(
+                    i as u32,
+                    Envelope {
+                        round: r,
+                        sender: SERVER_SENDER,
+                        payload: Payload::GlobalModel {
+                            params: to_tensors(&global),
+                        },
+                    },
+                );
+                driver
+                    .comms
+                    .record(Direction::Downlink, TrafficClass::Weights, bytes as u64);
+            }
+            chan.flush_into(obs);
+            sw.finish(obs);
+        }
+
+        // --- Round outcome: losses and pooled eval counts from the
+        // clients; this collect doubles as the end-of-round barrier. ---
+        let mut losses: Vec<f64> = Vec::new();
+        let mut val = (0u64, 0u64);
+        let mut test = (0u64, 0u64);
+        for env in collector.phase(&mut chan, r, m, |p| matches!(p, Payload::Metrics { .. })) {
+            driver.comms.record(
+                Direction::Uplink,
+                TrafficClass::Stats,
+                env.encoded_len() as u64,
+            );
+            if let Payload::Metrics {
+                train_loss,
+                val_correct,
+                val_total,
+                test_correct,
+                test_total,
+            } = env.payload
+            {
+                losses.push(train_loss as f64);
+                val.0 += val_correct;
+                val.1 += val_total;
+                test.0 += test_correct;
+                test.1 += test_total;
+            }
+        }
+        chan.flush_into(obs);
+        // Sender-sorted f64 sum over f32 readings: the same float summation
+        // the in-process loop performs over its client-ordered losses.
+        let mean_loss = if losses.is_empty() {
+            0.0
+        } else {
+            losses.iter().sum::<f64>() / losses.len() as f64
+        };
+        let eval = if driver.eval_due(round) && !losses.is_empty() {
+            // Pooled accuracy is a ratio of integer sums — order-free, so
+            // it matches `evaluate()` exactly whatever the arrival order.
+            let frac = |(c, t): (u64, u64)| if t == 0 { 0.0 } else { c as f64 / t as f64 };
+            Some((frac(val), frac(test)))
+        } else {
+            None
+        };
+        driver.comms.sync_dropped(chan.stats().dropped_frames);
+        driver.timer.add("server", start.elapsed());
+        driver.end_round_metrics(round, mean_loss, eval, obs);
+
+        if let Some(sink) = persist.sink.as_mut() {
+            if sink.every() > 0 && (round + 1).is_multiple_of(sink.every()) {
+                let state = ResumeState {
+                    next_round: round + 1,
+                    params: Vec::new(),
+                    optim: Vec::new(),
+                    model_steps: Vec::new(),
+                    driver: driver.snapshot(),
+                    channel: chan.export_state(),
+                    global: last_global.clone(),
+                    stats: last_stats.clone(),
+                };
+                sink.save(state, obs);
+            }
+        }
+        if opts.halt_after == Some(round) {
+            // Simulated crash: the checkpoint (if due) is durable, the
+            // verdict is not sent — clients stall, then reconnect.
+            return driver.finish_observed("FedOMD", obs);
+        }
+        // The verdict replaces the in-process loop's shared break: clients
+        // wait for it on every round except their last scheduled one.
+        if round + 1 < cfg.rounds {
+            let verdict = if driver.stopped() {
+                Control::EndRound
+            } else {
+                Control::Ack
+            };
+            for i in 0..m {
+                let bytes = chan.download(
+                    i as u32,
+                    Envelope {
+                        round: r,
+                        sender: SERVER_SENDER,
+                        payload: Payload::Control(verdict.clone()),
+                    },
+                );
+                driver
+                    .comms
+                    .record(Direction::Downlink, TrafficClass::Stats, bytes as u64);
+            }
+            chan.flush_into(obs);
+        }
+        if driver.stopped() {
+            break;
+        }
+    }
+    driver.finish_observed("FedOMD", obs)
+}
+
+/// Phase-aware uplink collector.
+///
+/// A fast client may deliver its whole round — both statistics reports,
+/// its weight update, and its metrics — before a slow one delivers
+/// anything, so a single `server_collect` can surface frames of several
+/// phases at once. The collector keeps the out-of-phase surplus in a
+/// stash and serves each phase the first matching frame per sender,
+/// sender-sorted.
+#[derive(Default)]
+struct Collector {
+    stash: Vec<Envelope>,
+}
+
+impl Collector {
+    /// Collects up to `expected` round-`round` frames matching `want`, one
+    /// per sender, drawing from the stash first and then from the channel
+    /// until it reports nothing new (its deadline elapsed with stragglers
+    /// still missing — the partial-aggregation path).
+    fn phase(
+        &mut self,
+        chan: &mut ObservedChannel<'_>,
+        round: u64,
+        expected: usize,
+        want: impl Fn(&Payload) -> bool,
+    ) -> Vec<Envelope> {
+        let mut got: Vec<Envelope> = Vec::new();
+        let take = |env: Envelope, got: &mut Vec<Envelope>, stash: &mut Vec<Envelope>| {
+            if env.round == round
+                && want(&env.payload)
+                && !got.iter().any(|g: &Envelope| g.sender == env.sender)
+            {
+                got.push(env);
+            } else if env.round >= round {
+                stash.push(env);
+            }
+            // Frames of closed rounds are silently discarded here; the
+            // transport already counted them dropped when it admitted the
+            // round's deadline.
+        };
+        for env in std::mem::take(&mut self.stash) {
+            take(env, &mut got, &mut self.stash);
+        }
+        while got.len() < expected {
+            let batch = chan.server_collect(round);
+            if batch.is_empty() {
+                break;
+            }
+            for env in batch {
+                take(env, &mut got, &mut self.stash);
+            }
+        }
+        got.sort_by_key(|e| e.sender);
+        got
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedomd_federated::engine::DriverState;
+    use fedomd_federated::CommsLog;
+    use fedomd_nn::AdamState;
+    use fedomd_telemetry::NullObserver;
+    use fedomd_transport::{ChannelState, InProcChannel, Tensor};
+
+    fn weight_env(round: u64, sender: u32, v: f32) -> Envelope {
+        Envelope {
+            round,
+            sender,
+            payload: Payload::WeightUpdate {
+                params: vec![Tensor {
+                    rows: 1,
+                    cols: 2,
+                    data: vec![v, v + 1.0],
+                }],
+            },
+        }
+    }
+
+    fn metrics_env(round: u64, sender: u32, loss: f32, vc: u64, vt: u64) -> Envelope {
+        Envelope {
+            round,
+            sender,
+            payload: Payload::Metrics {
+                train_loss: loss,
+                val_correct: vc,
+                val_total: vt,
+                test_correct: vc,
+                test_total: vt,
+            },
+        }
+    }
+
+    #[test]
+    fn collector_splits_interleaved_phases_per_sender() {
+        let mut inner = InProcChannel::new();
+        // Sender 1 races ahead: its weight update and metrics land before
+        // sender 0's weight update.
+        inner.upload(weight_env(0, 1, 1.0));
+        inner.upload(metrics_env(0, 1, 0.5, 3, 4));
+        inner.upload(weight_env(0, 0, 0.0));
+        let mut chan = ObservedChannel::new(&mut inner);
+        let mut c = Collector::default();
+        let weights = c.phase(&mut chan, 0, 2, |p| {
+            matches!(p, Payload::WeightUpdate { .. })
+        });
+        assert_eq!(weights.len(), 2);
+        assert_eq!(weights[0].sender, 0, "must be sender-sorted");
+        assert_eq!(weights[1].sender, 1);
+        // The metrics frame was stashed, not lost: the next phase gets it
+        // without touching the (now empty) channel.
+        let metrics = c.phase(&mut chan, 0, 1, |p| matches!(p, Payload::Metrics { .. }));
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].sender, 1);
+    }
+
+    #[test]
+    fn aggregates_arrivals_and_records_pooled_eval() {
+        // Two clients' round-0 uplink is already queued; a single-round
+        // server run must aggregate it, broadcast the average, and push a
+        // history entry with the pooled accuracy.
+        let mut chan = InProcChannel::new();
+        chan.upload(weight_env(0, 0, 0.0));
+        chan.upload(weight_env(0, 1, 2.0));
+        chan.upload(metrics_env(0, 0, 1.0, 1, 4));
+        chan.upload(metrics_env(0, 1, 3.0, 2, 4));
+        let cfg = TrainConfig {
+            rounds: 1,
+            ..TrainConfig::mini(0)
+        };
+        let omd = FedOmdConfig::ortho_only(); // no stats exchange
+        let r = run_fedomd_server(
+            &ServerOpts::new(2),
+            &cfg,
+            &omd,
+            &mut chan,
+            &mut NullObserver,
+            Persistence::default(),
+        );
+        assert_eq!(r.history.len(), 1);
+        assert_eq!(r.history[0].train_loss, 2.0);
+        assert_eq!(r.history[0].val_acc, 3.0 / 8.0);
+        assert_eq!(r.val_acc, 3.0 / 8.0);
+        // Both clients got the FedAvg of the two updates.
+        for id in 0..2u32 {
+            let down = chan.client_collect(id, 0);
+            assert_eq!(down.len(), 1, "client {id} downlink");
+            match &down[0].payload {
+                Payload::GlobalModel { params } => {
+                    assert_eq!(params[0].data, vec![1.0, 2.0]);
+                }
+                other => panic!("unexpected {}", other.kind()),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_round_degrades_without_history() {
+        // Nobody reported: no aggregation, no eval, no history entry —
+        // the run ends with the driver's neutral result.
+        let mut chan = InProcChannel::new();
+        let cfg = TrainConfig {
+            rounds: 1,
+            ..TrainConfig::mini(0)
+        };
+        let r = run_fedomd_server(
+            &ServerOpts::new(3),
+            &cfg,
+            &FedOmdConfig::paper(),
+            &mut chan,
+            &mut NullObserver,
+            Persistence::default(),
+        );
+        assert!(r.history.is_empty());
+        assert_eq!(r.comms.rounds, 1);
+    }
+
+    #[test]
+    fn halt_after_returns_before_the_verdict() {
+        let mut chan = InProcChannel::new();
+        chan.upload(weight_env(0, 0, 1.0));
+        chan.upload(metrics_env(0, 0, 1.0, 1, 2));
+        let cfg = TrainConfig {
+            rounds: 5,
+            ..TrainConfig::mini(0)
+        };
+        let omd = FedOmdConfig::ortho_only();
+        let opts = ServerOpts {
+            n_clients: 1,
+            halt_after: Some(0),
+        };
+        let r = run_fedomd_server(
+            &opts,
+            &cfg,
+            &omd,
+            &mut chan,
+            &mut NullObserver,
+            Persistence::default(),
+        );
+        assert_eq!(r.comms.rounds, 1, "exactly one round ran");
+        // Downlink holds the global model but no Control verdict: the
+        // simulated crash struck before the broadcast.
+        let kinds: Vec<&str> = chan
+            .client_collect(0, 0)
+            .iter()
+            .map(|e| e.payload.kind())
+            .collect();
+        assert_eq!(kinds, ["GlobalModel"]);
+    }
+
+    #[test]
+    fn resumes_from_a_server_side_snapshot() {
+        // A server checkpoint has no per-client state; the driver history
+        // and round cursor must carry over.
+        let mut chan = InProcChannel::new();
+        chan.upload(weight_env(3, 0, 1.0));
+        chan.upload(metrics_env(3, 0, 0.25, 1, 2));
+        let cfg = TrainConfig {
+            rounds: 4,
+            ..TrainConfig::mini(0)
+        };
+        let omd = FedOmdConfig::ortho_only();
+        let prior = DriverState {
+            history: vec![fedomd_federated::RoundStats {
+                round: 2,
+                train_loss: 0.5,
+                val_acc: 0.5,
+                test_acc: 0.5,
+            }],
+            best_val: 0.5,
+            best_test: 0.5,
+            best_round: 2,
+            rounds_since_improve: 0,
+            stopped: false,
+            comms: CommsLog::new(),
+        };
+        let resume = ResumeState {
+            next_round: 3,
+            params: Vec::new(),
+            optim: Vec::<AdamState>::new(),
+            model_steps: Vec::new(),
+            driver: prior,
+            channel: ChannelState::default(),
+            global: None,
+            stats: None,
+        };
+        let r = run_fedomd_server(
+            &ServerOpts::new(1),
+            &cfg,
+            &omd,
+            &mut chan,
+            &mut NullObserver,
+            Persistence {
+                resume: Some(resume),
+                sink: None,
+            },
+        );
+        // Round 3 is off the eval schedule (eval_every = 2), so history
+        // still holds only the checkpointed entry.
+        assert_eq!(r.history.len(), 1);
+        assert_eq!(r.val_acc, 0.5);
+        assert_eq!(r.comms.rounds, 1, "only round 3 ran after resume");
+    }
+}

@@ -39,11 +39,10 @@ use fedomd_federated::{
     ClientData, Direction, Persistence, ResumeState, RunResult, StatsCache, TrafficClass,
     TrainConfig,
 };
-use fedomd_nn::{Adam, ForwardOut, Model, Optimizer, OrthoGcn, OrthoGcnConfig};
+use fedomd_nn::{Adam, ForwardOut, Model, Optimizer};
 use fedomd_telemetry::{
     NullObserver, ObservedChannel, Phase, PhaseStopwatch, RoundEvent, RoundObserver,
 };
-use fedomd_tensor::rng::{derive, seeded};
 use fedomd_tensor::Matrix;
 use fedomd_transport::{
     from_tensors, to_tensors, Channel, Envelope, InProcChannel, Payload, SERVER_SENDER,
@@ -119,20 +118,12 @@ pub fn run_fedomd_resumable(
 ) -> RunResult {
     assert!(!clients.is_empty(), "run_fedomd: no clients");
     let f = clients[0].input.n_features();
-    let ocfg = OrthoGcnConfig {
-        in_dim: f,
-        hidden_dim: cfg.hidden_dim,
-        out_dim: n_classes,
-        hidden_layers: omd.hidden_layers,
-        ns_interval: 10,
-        ns_iters: 3,
-    };
-    // Common global init (the server distributes W₀, paper Phase 1).
+    // Common global init (the server distributes W₀, paper Phase 1),
+    // through the same constructor a standalone `fedomd-client` process
+    // uses, so the two deployments cannot drift apart.
     let mut models: Vec<Box<dyn Model>> = clients
         .iter()
-        .map(|_| {
-            Box::new(OrthoGcn::new(ocfg, &mut seeded(derive(cfg.seed, 0xF000)))) as Box<dyn Model>
-        })
+        .map(|_| crate::deploy::build_fedomd_model(cfg, omd, f, n_classes))
         .collect();
     let mut optimizers: Vec<Adam> = models
         .iter()
@@ -540,7 +531,13 @@ pub fn run_fedomd_resumable(
 }
 
 /// Sums `make(tape, v)` over `vars` on the tape (None when empty).
-fn sum_terms(tape: &mut Tape, vars: Vec<Var>, make: impl Fn(&mut Tape, Var) -> Var) -> Option<Var> {
+/// Shared with the multi-process client loop (`crate::client_loop`), whose
+/// Phase-3 objective must be term-for-term the one built here.
+pub(crate) fn sum_terms(
+    tape: &mut Tape,
+    vars: Vec<Var>,
+    make: impl Fn(&mut Tape, Var) -> Var,
+) -> Option<Var> {
     let mut acc: Option<Var> = None;
     for v in vars {
         let term = make(tape, v);
@@ -553,7 +550,8 @@ fn sum_terms(tape: &mut Tape, vars: Vec<Var>, make: impl Fn(&mut Tape, Var) -> V
 }
 
 /// Sums the per-layer CMD losses (Algorithm 1 line 19's `Σ_l`).
-fn sum_cmd(
+/// Shared with the multi-process client loop (`crate::client_loop`).
+pub(crate) fn sum_cmd(
     tape: &mut Tape,
     hidden: &[Var],
     targets: &[CmdTargets],

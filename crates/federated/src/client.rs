@@ -97,6 +97,22 @@ pub fn setup_federation(dataset: &Dataset, cfg: &FederationConfig) -> Vec<Client
         .collect()
 }
 
+/// One client's shard of the federation: the `ClientData` that
+/// [`setup_federation`] would hand to party `id`, or `None` when `id` is
+/// out of range.
+///
+/// A multi-process `fedomd-client` calls this with its own id so every
+/// process regenerates the identical Louvain cut from the shared
+/// `(dataset, cfg)` and keeps only its slice — no shard files need to be
+/// distributed, and the cut is bitwise the one the in-process simulator
+/// uses (the deterministic-per-seed property of the cut itself).
+pub fn client_shard(dataset: &Dataset, cfg: &FederationConfig, id: usize) -> Option<ClientData> {
+    if id >= cfg.n_parties {
+        return None;
+    }
+    setup_federation(dataset, cfg).into_iter().nth(id)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +192,22 @@ mod tests {
             assert_eq!(x.global_ids, y.global_ids);
             assert_eq!(x.splits.train, y.splits.train);
         }
+    }
+
+    #[test]
+    fn client_shard_matches_the_full_federation_slice() {
+        let ds = mini();
+        let cfg = FederationConfig::mini(3, 5);
+        let all = setup_federation(&ds, &cfg);
+        for (i, expect) in all.iter().enumerate() {
+            let shard = client_shard(&ds, &cfg, i).expect("in-range id");
+            assert_eq!(shard.global_ids, expect.global_ids);
+            assert_eq!(shard.labels, expect.labels);
+            assert_eq!(shard.splits.train, expect.splits.train);
+            assert_eq!(shard.splits.val, expect.splits.val);
+            assert_eq!(shard.splits.test, expect.splits.test);
+        }
+        assert!(client_shard(&ds, &cfg, 3).is_none());
     }
 
     #[test]

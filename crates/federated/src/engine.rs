@@ -220,6 +220,11 @@ impl RoundDriver {
         });
     }
 
+    /// True when `round` is on the evaluation schedule.
+    pub fn eval_due(&self, round: usize) -> bool {
+        round.is_multiple_of(self.cfg.eval_every)
+    }
+
     /// Ends a round: evaluates on schedule, updates the early-stopping
     /// state, records history, and reports `EvalDone` / `EarlyStopped` /
     /// `RoundFinished` to `obs`. Call once per communication round.
@@ -231,13 +236,36 @@ impl RoundDriver {
         clients: &[ClientData],
         obs: &mut dyn RoundObserver,
     ) {
-        self.comms.end_round();
-        if round.is_multiple_of(self.cfg.eval_every) {
+        let eval = if self.eval_due(round) {
             let sw = PhaseStopwatch::start(Phase::Eval);
             let start = Stopwatch::start();
-            let (val, test) = evaluate(models, clients);
+            let accs = evaluate(models, clients);
             self.timer.add("inference", start.elapsed());
             sw.finish(obs);
+            Some(accs)
+        } else {
+            None
+        };
+        self.end_round_metrics(round, mean_train_loss, eval, obs);
+    }
+
+    /// [`Self::end_round_observed`] for a driver that does not own the
+    /// models: the caller supplies the already-computed pooled
+    /// `(val_acc, test_acc)` for scheduled rounds (`None` otherwise).
+    ///
+    /// This is the multi-process server's entry point — clients evaluate
+    /// locally and ship integer counts, the server divides the pooled
+    /// sums — and [`Self::end_round_observed`] delegates here, so the two
+    /// paths share every line of history/early-stopping bookkeeping.
+    pub fn end_round_metrics(
+        &mut self,
+        round: usize,
+        mean_train_loss: f64,
+        eval: Option<(f64, f64)>,
+        obs: &mut dyn RoundObserver,
+    ) {
+        self.comms.end_round();
+        if let Some((val, test)) = eval {
             obs.on_event(&RoundEvent::EvalDone {
                 round: round as u64,
                 val_acc: val,

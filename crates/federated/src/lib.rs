@@ -22,7 +22,7 @@ pub mod helpers;
 pub mod heterogeneity;
 pub mod secure_agg;
 
-pub use client::{setup_federation, ClientData, FederationConfig};
+pub use client::{client_shard, setup_federation, ClientData, FederationConfig};
 pub use comms::{CommsLog, Direction, TrafficClass};
 pub use config::{RoundStats, RunResult, TrainConfig};
 pub use engine::{

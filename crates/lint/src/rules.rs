@@ -10,7 +10,9 @@
 //!   `HashMap`/`HashSet` without a `// LINT: sorted` attestation, and
 //!   wall-clock reads (`Instant::now`, `SystemTime`) are confined to the
 //!   telemetry/metrics/bench crates unless attested
-//!   `// LINT: allow(clock) <reason>`.
+//!   `// LINT: allow(clock) <reason>` — except in the socket-facing `net`
+//!   crate, whose sites must carry the dedicated
+//!   `// LINT: allow(wall-clock) <reason>` marker instead.
 //! * **panic-freedom** — kernel and protocol crates may not `.unwrap()`,
 //!   `.expect(…)`, `panic!`, `unreachable!`, `todo!`, or `unimplemented!`
 //!   in non-test library code unless attested
@@ -34,6 +36,7 @@ pub const FORBID_UNSAFE_CRATES: &[&str] = &[
     "core",
     "federated",
     "data",
+    "net",
 ];
 
 /// Crates whose code builds serialized artefacts (wire frames, JSON
@@ -465,11 +468,19 @@ fn rule_wall_clock(
         }
         false
     };
+    // The net crate serves real sockets, where phase deadlines are wall
+    // time by nature — each site still needs its own attestation, under a
+    // dedicated marker so the generic one cannot be pasted in unreviewed.
+    let needle = if ctx.crate_name == "net" {
+        "LINT: allow(wall-clock)"
+    } else {
+        "LINT: allow(clock)"
+    };
     for (i, t) in tokens.iter().enumerate() {
         if in_test[i] || !flagged(i) {
             continue;
         }
-        if !lines.attested_with_reason(t.line, "LINT: allow(clock)") {
+        if !lines.attested_with_reason(t.line, needle) {
             out.push(Violation {
                 file: ctx.rel_path.clone(),
                 line: t.line,
@@ -478,7 +489,7 @@ fn rule_wall_clock(
                     "wall-clock read (`{}`) outside the telemetry/metrics/bench \
                      crates breaks replay determinism — route timing through \
                      `fedomd_metrics::Stopwatch`/`Timer`, or attest with \
-                     `// LINT: allow(clock) <reason>`",
+                     `// {needle} <reason>`",
                     t.text
                 ),
             });
@@ -627,6 +638,23 @@ unsafe fn k() {}
         let attested =
             "fn f() {\n    // LINT: allow(clock) boot banner only, not in any round path.\n    let t = Instant::now();\n}\n";
         assert!(lint_source(&ctx("federated", "crates/federated/src/x.rs"), attested).is_empty());
+    }
+
+    #[test]
+    fn net_crate_requires_the_wall_clock_marker() {
+        // The generic attestation does not cover the net crate ...
+        let generic =
+            "fn f() {\n    // LINT: allow(clock) phase deadline over a real socket.\n    let t = Instant::now();\n}\n";
+        let v = lint_source(&ctx("net", "crates/net/src/x.rs"), generic);
+        assert_eq!(rules_hit(&v), ["wall-clock"]);
+        // ... only its dedicated marker does.
+        let dedicated =
+            "fn f() {\n    // LINT: allow(wall-clock) phase deadline over a real socket.\n    let t = Instant::now();\n}\n";
+        assert!(lint_source(&ctx("net", "crates/net/src/x.rs"), dedicated).is_empty());
+        // Bare reads stay flagged.
+        let bare = "fn f() { let t = Instant::now(); }\n";
+        let v = lint_source(&ctx("net", "crates/net/src/x.rs"), bare);
+        assert_eq!(rules_hit(&v), ["wall-clock"]);
     }
 
     #[test]

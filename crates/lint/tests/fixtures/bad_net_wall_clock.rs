@@ -1,0 +1,11 @@
+//@ crate=net path=crates/net/src/bad.rs expect=wall-clock
+// The generic clock attestation must NOT cover the net crate: its
+// wall-clock sites need the dedicated `wall-clock` marker so each socket
+// deadline is reviewed under the net crate's policy, not pasted in.
+
+use std::time::Instant;
+
+pub fn phase_deadline() -> Instant {
+    // LINT: allow(clock) phase deadline over a real socket.
+    Instant::now()
+}

@@ -1,0 +1,10 @@
+//@ crate=net path=crates/net/src/clean.rs expect=clean
+// The net crate's dedicated marker attests socket-deadline clock reads.
+
+use std::time::Instant;
+
+pub fn phase_deadline() -> Instant {
+    // LINT: allow(wall-clock) phase deadline over a real socket; every
+    // admit/drop decision it feeds goes through `admit_by_deadline`.
+    Instant::now()
+}

@@ -1,0 +1,266 @@
+//! The client's half of the [`Channel`] trait over TCP.
+//!
+//! One background thread owns the read half of the connection and decodes
+//! frames into a crossbeam queue; the training thread consumes the queue
+//! through [`TcpClientChannel::client_collect`] and writes uploads
+//! directly. When the connection dies the reader thread exits, the queue
+//! disconnects, and every subsequent collect returns empty immediately —
+//! which the round loop reads as "the server is gone" and turns into
+//! [`fedomd_core::ClientOutcome::ServerLost`], the reconnect trigger.
+
+use std::cmp::Ordering;
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use fedomd_transport::{admit_by_deadline, Channel, ChannelState, Envelope, NetStats};
+
+use crate::stream::{read_frame, write_prefixed};
+
+/// [`Channel`] adapter between one client's round loop and its server
+/// connection.
+pub struct TcpClientChannel {
+    writer: TcpStream,
+    rx: Receiver<(Envelope, usize)>,
+    carry: Vec<(Envelope, usize)>,
+    stats: NetStats,
+    phase_timeout: Duration,
+    dead: bool,
+}
+
+impl TcpClientChannel {
+    /// Wraps an already-handshaken connection: spawns the reader thread
+    /// (frames above `max_frame_bytes` kill the connection) and waits at
+    /// most `phase_timeout` per collect.
+    pub fn new(
+        stream: TcpStream,
+        max_frame_bytes: u32,
+        phase_timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let mut read_half = stream.try_clone()?;
+        let (tx, rx) = crossbeam::channel::unbounded();
+        std::thread::spawn(move || {
+            // Exits (dropping `tx`, disconnecting the queue) on EOF, any
+            // I/O error, or a frame that fails the codec.
+            while let Ok(item) = read_frame(&mut read_half, max_frame_bytes) {
+                if tx.send(item).is_err() {
+                    break;
+                }
+            }
+        });
+        Ok(Self {
+            writer: stream,
+            rx,
+            carry: Vec::new(),
+            stats: NetStats::default(),
+            phase_timeout,
+            dead: false,
+        })
+    }
+
+    /// Whether the connection is known dead (a collect observed the
+    /// reader thread gone).
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+}
+
+impl Drop for TcpClientChannel {
+    fn drop(&mut self) {
+        // Unblocks the reader thread so it exits with the channel.
+        let _ = self.writer.shutdown(Shutdown::Both);
+    }
+}
+
+impl Channel for TcpClientChannel {
+    fn upload(&mut self, env: Envelope) -> usize {
+        let frame = env.encode();
+        let n = frame.len();
+        self.stats.sent_frames += 1;
+        self.stats.sent_bytes += n as u64;
+        match write_prefixed(&mut self.writer, &frame) {
+            Ok(()) => {
+                // Handed to the OS; a server-side deadline miss is counted
+                // dropped by the server's accounting, not ours.
+                self.stats.delivered_frames += 1;
+                self.stats.delivered_bytes += n as u64;
+            }
+            Err(_) => {
+                self.stats.dropped_frames += 1;
+                self.dead = true;
+            }
+        }
+        n
+    }
+
+    /// The client never serves; empty so the trait is total.
+    fn server_collect(&mut self, _round: u64) -> Vec<Envelope> {
+        Vec::new()
+    }
+
+    /// The client never downloads; a no-op so the trait is total.
+    fn download(&mut self, _to: u32, _env: Envelope) -> usize {
+        0
+    }
+
+    fn client_collect(&mut self, _id: u32, round: u64) -> Vec<Envelope> {
+        // LINT: allow(wall-clock) the phase deadline over a real network
+        // is necessarily wall time; every admit/drop decision it feeds
+        // still goes through the shared `admit_by_deadline` helper.
+        let phase_start = Instant::now();
+        let deadline_ms = self.phase_timeout.as_secs_f64() * 1e3;
+
+        let mut batch: Vec<(f64, (Envelope, usize))> = Vec::new();
+        let mut have_current = false;
+        let mut route = |arrival: f64,
+                         env: Envelope,
+                         len: usize,
+                         carry: &mut Vec<(Envelope, usize)>,
+                         have_current: &mut bool| {
+            match env.round.cmp(&round) {
+                Ordering::Equal => {
+                    *have_current = true;
+                    batch.push((arrival, (env, len)));
+                }
+                Ordering::Greater => carry.push((env, len)),
+                Ordering::Less => batch.push((f64::INFINITY, (env, len))),
+            }
+        };
+        for (env, len) in std::mem::take(&mut self.carry) {
+            route(0.0, env, len, &mut self.carry, &mut have_current);
+        }
+
+        // Block until the first frame of this round (the round loop asks
+        // for exactly one downlink kind per collect), then drain whatever
+        // else is already queued without blocking again.
+        loop {
+            if have_current {
+                match self.rx.try_recv() {
+                    Ok((env, len)) => {
+                        let ms = phase_start.elapsed().as_secs_f64() * 1e3;
+                        route(ms, env, len, &mut self.carry, &mut have_current);
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        self.dead = true;
+                        break;
+                    }
+                }
+            } else {
+                if self.dead {
+                    break;
+                }
+                let Some(left) = self.phase_timeout.checked_sub(phase_start.elapsed()) else {
+                    break;
+                };
+                match self.rx.recv_timeout(left) {
+                    Ok((env, len)) => {
+                        let ms = phase_start.elapsed().as_secs_f64() * 1e3;
+                        route(ms, env, len, &mut self.carry, &mut have_current);
+                    }
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let mut envs: Vec<Envelope> =
+            admit_by_deadline(batch, deadline_ms, &mut self.stats, |(_, len)| *len)
+                .into_iter()
+                .map(|(env, _)| env)
+                .collect();
+        envs.sort_by_key(|e| e.sender);
+        envs
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    fn restore_state(&mut self, state: &ChannelState) {
+        self.stats = state.stats;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedomd_transport::{Payload, DEFAULT_MAX_FRAME_BYTES, SERVER_SENDER};
+    use std::net::TcpListener;
+
+    fn env(round: u64) -> Envelope {
+        Envelope {
+            round,
+            sender: SERVER_SENDER,
+            payload: Payload::Control(fedomd_transport::Control::Ack),
+        }
+    }
+
+    /// A connected (client stream, server stream) pair on loopback.
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let c = TcpStream::connect(addr).expect("connect");
+        let (s, _) = listener.accept().expect("accept");
+        (c, s)
+    }
+
+    #[test]
+    fn uploads_reach_the_far_end_and_downlinks_collect() {
+        let (c, mut s) = pair();
+        let mut chan = TcpClientChannel::new(c, DEFAULT_MAX_FRAME_BYTES, Duration::from_secs(5))
+            .expect("chan");
+        let up = Envelope {
+            round: 3,
+            sender: 1,
+            payload: Payload::Control(fedomd_transport::Control::BeginRound),
+        };
+        let n = chan.upload(up.clone());
+        let (got, len) = read_frame(&mut s, DEFAULT_MAX_FRAME_BYTES).expect("server read");
+        assert_eq!(len, n);
+        assert_eq!(got, up);
+        assert_eq!(chan.stats().sent_frames, 1);
+        assert_eq!(chan.stats().delivered_frames, 1);
+
+        // Server pushes this round's frame and a future one: the collect
+        // returns the first and carries the second.
+        write_prefixed(&mut s, &env(3).encode()).expect("write");
+        write_prefixed(&mut s, &env(4).encode()).expect("write");
+        let got = chan.client_collect(1, 3);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].round, 3);
+        let got = chan.client_collect(1, 4);
+        assert_eq!(got.len(), 1, "carried frame, no new traffic needed");
+        assert_eq!(got[0].round, 4);
+    }
+
+    #[test]
+    fn a_closed_server_turns_collects_empty_not_hung() {
+        let (c, s) = pair();
+        let mut chan = TcpClientChannel::new(c, DEFAULT_MAX_FRAME_BYTES, Duration::from_secs(60))
+            .expect("chan");
+        drop(s); // the server process dies
+                 // Despite the 60 s phase deadline this returns promptly: the
+                 // reader thread saw EOF and disconnected the queue.
+        let got = chan.client_collect(1, 0);
+        assert!(got.is_empty());
+        assert!(chan.is_dead());
+    }
+
+    #[test]
+    fn stale_downlinks_are_counted_dropped() {
+        let (c, mut s) = pair();
+        let mut chan = TcpClientChannel::new(c, DEFAULT_MAX_FRAME_BYTES, Duration::from_secs(5))
+            .expect("chan");
+        write_prefixed(&mut s, &env(0).encode()).expect("write");
+        write_prefixed(&mut s, &env(2).encode()).expect("write");
+        let got = chan.client_collect(1, 2);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].round, 2);
+        assert_eq!(chan.stats().dropped_frames, 1, "the round-0 leftover");
+        assert_eq!(chan.stats().delivered_frames, 1);
+    }
+}

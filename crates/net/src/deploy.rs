@@ -1,0 +1,412 @@
+//! Process entry points: [`serve`] hosts the FedOMD round driver behind a
+//! TCP listener, [`run_client`] trains one shard against it and reconnects
+//! with backoff when the server is lost. The `fedomd-server` and
+//! `fedomd-client` binaries are thin CLI shells over these two functions,
+//! and the loopback golden tests call them directly from threads.
+
+use std::collections::BTreeSet;
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::Sender;
+use fedomd_core::{
+    run_config_digest, run_fedomd_client_rounds, run_fedomd_server, ClientOutcome, ClientSession,
+    FileCheckpointer, RunCheckpoint, RunConfig, ServerOpts,
+};
+use fedomd_federated::{ClientData, Persistence, ResumeState, RunResult};
+use fedomd_telemetry::RoundObserver;
+use fedomd_transport::{from_tensors, to_tensors, Envelope, Payload, SERVER_SENDER};
+
+use crate::client_chan::TcpClientChannel;
+use crate::error::NetError;
+use crate::server_chan::{Inbound, SyncShared, TcpServerChannel};
+use crate::stream::{read_frame, write_prefixed, Hello, Welcome, PROTOCOL_VERSION};
+
+/// Transport knobs shared by both processes.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Frame-size cap enforced before allocation on every read.
+    pub max_frame_bytes: u32,
+    /// How long either side waits in one collect before degrading the
+    /// phase to whatever arrived (the partial-aggregation deadline).
+    pub phase_timeout: Duration,
+    /// Connection attempts before a client gives up on the server.
+    pub connect_attempts: u32,
+    /// Pause between connection attempts.
+    pub connect_backoff: Duration,
+    /// How long the server waits for the initial quorum before starting
+    /// the rounds with whoever showed up.
+    pub join_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            max_frame_bytes: fedomd_transport::DEFAULT_MAX_FRAME_BYTES,
+            phase_timeout: Duration::from_secs(30),
+            connect_attempts: 50,
+            connect_backoff: Duration::from_millis(200),
+            join_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Server-process options beyond the run configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOpts {
+    /// Number of federated parties.
+    pub n_clients: usize,
+    /// Crash-injection hook for the resume tests (see
+    /// [`fedomd_core::ServerOpts::halt_after`]).
+    pub halt_after: Option<usize>,
+    /// Checkpoint file and period in rounds (`0` disables saving).
+    pub checkpoint: Option<(PathBuf, usize)>,
+    /// Restore from the checkpoint file before the first round.
+    pub resume: bool,
+    /// Transport knobs.
+    pub net: NetConfig,
+}
+
+impl ServeOpts {
+    /// A plain full run for `n_clients` parties.
+    pub fn new(n_clients: usize) -> Self {
+        Self {
+            n_clients,
+            halt_after: None,
+            checkpoint: None,
+            resume: false,
+            net: NetConfig::default(),
+        }
+    }
+}
+
+/// Client-process options beyond the run configuration.
+#[derive(Clone, Debug)]
+pub struct ClientOpts {
+    /// Server address, e.g. `127.0.0.1:7447`.
+    pub addr: String,
+    /// This party's id (`0..n_clients`).
+    pub id: u32,
+    /// Transport knobs.
+    pub net: NetConfig,
+}
+
+/// What a client process did, for logging and the tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClientReport {
+    /// How the final round loop ended.
+    pub outcome: ClientOutcome,
+    /// Times the server was lost and the connection re-established.
+    pub reconnects: u32,
+}
+
+/// Binds `addr` and hosts the run; see [`serve_on`].
+pub fn serve(
+    addr: &str,
+    opts: &ServeOpts,
+    run: &RunConfig,
+    dataset: &str,
+    obs: &mut dyn RoundObserver,
+) -> Result<RunResult, NetError> {
+    let listener = TcpListener::bind(addr)?;
+    serve_on(listener, opts, run, dataset, obs)
+}
+
+/// Hosts one FedOMD run on an already-bound listener.
+///
+/// Taking the listener (rather than an address) lets a restarted server
+/// reuse the exact socket its clients are retrying — the kill-and-resume
+/// test hands the same bound port to the second `serve_on` so no
+/// rebinding race exists.
+///
+/// The acceptor thread admits clients that present the right protocol
+/// version, an id in range, and the same run-configuration digest this
+/// server computed; each admitted connection gets a reader thread and the
+/// round driver runs single-threaded over the merged event queue. The
+/// run starts once `opts.n_clients` are connected or the join timeout
+/// passes (late clients can still join mid-run and participate from the
+/// next round).
+pub fn serve_on(
+    listener: TcpListener,
+    opts: &ServeOpts,
+    run: &RunConfig,
+    dataset: &str,
+    obs: &mut dyn RoundObserver,
+) -> Result<RunResult, NetError> {
+    let digest = run_config_digest(&run.train, &run.omd, dataset, opts.n_clients);
+
+    let mut resume_state: Option<ResumeState> = None;
+    if opts.resume {
+        let Some((path, _)) = &opts.checkpoint else {
+            return Err(NetError::Checkpoint(
+                "resume requested without a checkpoint path".into(),
+            ));
+        };
+        let ckpt = RunCheckpoint::load(path).map_err(|e| NetError::Checkpoint(e.to_string()))?;
+        if ckpt.algorithm != "FedOMD" {
+            return Err(NetError::Checkpoint(format!(
+                "checkpoint algorithm {:?} is not FedOMD",
+                ckpt.algorithm
+            )));
+        }
+        if ckpt.seed != run.train.seed {
+            return Err(NetError::Checkpoint(format!(
+                "checkpoint seed {} does not match the run seed {}",
+                ckpt.seed, run.train.seed
+            )));
+        }
+        resume_state = Some(ckpt.state);
+    }
+    let start_round = resume_state.as_ref().map_or(0, |s| s.next_round);
+    let shared = Arc::new(SyncShared::new(start_round as u64));
+    if let Some(global) = resume_state.as_ref().and_then(|s| s.global.as_ref()) {
+        // Hand reconnecting clients the checkpointed aggregation so they
+        // resume from the federation's weights, not their own init.
+        let env = Envelope {
+            round: start_round as u64,
+            sender: SERVER_SENDER,
+            payload: Payload::GlobalModel {
+                params: to_tensors(global),
+            },
+        };
+        shared.preload_model(env.encode());
+    }
+
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let stop = Arc::new(AtomicBool::new(false));
+    let connected: Arc<parking_lot::Mutex<BTreeSet<u32>>> = Arc::default();
+    listener.set_nonblocking(true)?;
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let shared = Arc::clone(&shared);
+        let connected = Arc::clone(&connected);
+        let n_clients = opts.n_clients;
+        let max_frame = opts.net.max_frame_bytes;
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // A failed handshake just drops the connection;
+                        // the client retries or gives up on its own.
+                        let _ = admit(
+                            stream, digest, n_clients, max_frame, &tx, &shared, &connected,
+                        );
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+    };
+
+    let mut chan = TcpServerChannel::new(rx, opts.net.phase_timeout, Arc::clone(&shared));
+    chan.wait_for_peers(opts.n_clients, opts.net.join_timeout);
+
+    let mut sink = opts
+        .checkpoint
+        .as_ref()
+        .filter(|(_, every)| *every > 0)
+        .map(|(path, every)| FileCheckpointer::new(path, *every, "FedOMD", run.train.seed));
+    let persist = Persistence {
+        resume: resume_state,
+        sink: sink.as_mut().map(|s| s as _),
+    };
+    let sopts = ServerOpts {
+        n_clients: opts.n_clients,
+        halt_after: opts.halt_after,
+    };
+    let result = run_fedomd_server(&sopts, &run.train, &run.omd, &mut chan, obs, persist);
+
+    stop.store(true, Ordering::Relaxed);
+    let _ = acceptor.join();
+    Ok(result)
+}
+
+/// Handshakes one fresh connection and, if admitted, hands it to the
+/// round driver as a peer with its own reader thread.
+fn admit(
+    mut stream: TcpStream,
+    digest: u64,
+    n_clients: usize,
+    max_frame: u32,
+    tx: &Sender<Inbound>,
+    shared: &Arc<SyncShared>,
+    connected: &Arc<parking_lot::Mutex<BTreeSet<u32>>>,
+) -> Result<(), NetError> {
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    // Bound the handshake so a connect-and-stall peer cannot wedge the
+    // acceptor; cleared before the reader thread takes over.
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let hello = Hello::read_from(&mut stream)?;
+    let reason = if hello.version != PROTOCOL_VERSION {
+        Some(format!(
+            "protocol version {} != {PROTOCOL_VERSION}",
+            hello.version
+        ))
+    } else if hello.client_id as usize >= n_clients {
+        Some(format!(
+            "client id {} out of range for {n_clients} parties",
+            hello.client_id
+        ))
+    } else if hello.digest != digest {
+        Some("run-configuration digest mismatch".into())
+    } else if !connected.lock().insert(hello.client_id) {
+        Some(format!("client {} is already connected", hello.client_id))
+    } else {
+        None
+    };
+    if let Some(reason) = reason {
+        Welcome::reject(reason).write_to(&mut stream)?;
+        return Ok(());
+    }
+    let id = hello.client_id;
+    let active_from = shared.join_round();
+    let model = shared.model_frame();
+    let ok = (|| -> Result<(), NetError> {
+        Welcome {
+            accept: true,
+            reason: String::new(),
+            resume_round: active_from,
+            has_model: model.is_some(),
+        }
+        .write_to(&mut stream)?;
+        if let Some(frame) = model {
+            write_prefixed(&mut stream, &frame)?;
+        }
+        stream.set_read_timeout(None)?;
+        let writer = stream.try_clone()?;
+        tx.send(Inbound::Joined {
+            id,
+            writer,
+            active_from,
+        })
+        .map_err(|_| NetError::Protocol("round driver gone".into()))?;
+        Ok(())
+    })();
+    if ok.is_err() {
+        connected.lock().remove(&id);
+        return ok;
+    }
+    let tx = tx.clone();
+    let connected = Arc::clone(connected);
+    std::thread::spawn(move || {
+        // Exits on EOF, I/O error, or an invalid frame — all the same to
+        // the federation: this client is gone until it re-handshakes.
+        while let Ok((env, len)) = read_frame(&mut stream, max_frame) {
+            if tx.send(Inbound::Frame { id, env, len }).is_err() {
+                break;
+            }
+        }
+        connected.lock().remove(&id);
+        let _ = tx.send(Inbound::Left { id });
+    });
+    Ok(())
+}
+
+/// Runs one client process: connect (with backoff), handshake, train the
+/// rounds the server assigns, and reconnect whenever the server is lost
+/// mid-run. Returns once the round budget completes, the server's
+/// verdict stops the run, or the server stays unreachable through a full
+/// backoff schedule.
+pub fn run_client(
+    opts: &ClientOpts,
+    run: &RunConfig,
+    dataset: &str,
+    n_clients: usize,
+    client: &ClientData,
+    n_classes: usize,
+    obs: &mut dyn RoundObserver,
+) -> Result<ClientReport, NetError> {
+    let digest = run_config_digest(&run.train, &run.omd, dataset, n_clients);
+    let mut session =
+        ClientSession::new(&run.train, &run.omd, client.input.n_features(), n_classes);
+    let mut reconnects = 0u32;
+    loop {
+        let mut stream = connect_with_backoff(&opts.addr, &opts.net)?;
+        Hello {
+            version: PROTOCOL_VERSION,
+            client_id: opts.id,
+            digest,
+        }
+        .write_to(&mut stream)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let welcome = Welcome::read_from(&mut stream)?;
+        if !welcome.accept {
+            return Err(NetError::Rejected(welcome.reason));
+        }
+        if welcome.has_model {
+            let (env, _) = read_frame(&mut stream, opts.net.max_frame_bytes)?;
+            match env.payload {
+                Payload::GlobalModel { params } => {
+                    session.model.set_params(&from_tensors(params));
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected the handshake model frame, got {}",
+                        other.kind()
+                    )));
+                }
+            }
+        }
+        stream.set_read_timeout(None)?;
+        let start_round = welcome.resume_round as usize;
+        if start_round >= run.train.rounds {
+            // Nothing left to train (e.g. rejoined after the final round).
+            return Ok(ClientReport {
+                outcome: ClientOutcome::Finished,
+                reconnects,
+            });
+        }
+        let mut chan =
+            TcpClientChannel::new(stream, opts.net.max_frame_bytes, opts.net.phase_timeout)?;
+        match run_fedomd_client_rounds(
+            opts.id,
+            client,
+            &run.train,
+            &run.omd,
+            &mut session,
+            start_round,
+            &mut chan,
+            obs,
+        ) {
+            ClientOutcome::ServerLost { .. } => {
+                reconnects += 1;
+                // The loop re-handshakes; the server's Welcome, not the
+                // local round counter, decides where training resumes.
+            }
+            outcome => {
+                return Ok(ClientReport {
+                    outcome,
+                    reconnects,
+                })
+            }
+        }
+    }
+}
+
+/// Tries `connect_attempts` times, `connect_backoff` apart.
+fn connect_with_backoff(addr: &str, net: &NetConfig) -> Result<TcpStream, NetError> {
+    let mut last: Option<std::io::Error> = None;
+    for attempt in 0..net.connect_attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(net.connect_backoff);
+        }
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                s.set_nodelay(true)?;
+                return Ok(s);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(NetError::Io(last.unwrap_or_else(|| {
+        std::io::Error::other("no connection attempt made")
+    })))
+}

@@ -1,0 +1,517 @@
+//! The server's half of the [`Channel`] trait over TCP.
+//!
+//! Connection handling lives in [`crate::deploy`]: an acceptor thread
+//! performs the handshake and spawns one reader thread per client, and
+//! everything those threads learn funnels into a single crossbeam queue
+//! of [`Inbound`] events. [`TcpServerChannel`] consumes that queue on the
+//! round driver's thread, so the driver itself stays single-threaded and
+//! free of socket code.
+//!
+//! `server_collect` is the only place the server waits: it blocks until
+//! every currently connected client has delivered a frame for the round
+//! (or the phase deadline passes), then routes the arrivals through
+//! [`admit_by_deadline`] — the same admit/drop accounting the in-process
+//! fault simulator uses — so a straggler or disconnect degrades the
+//! round to partial aggregation instead of wedging it.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use fedomd_transport::{admit_by_deadline, Channel, ChannelState, Envelope, NetStats, Payload};
+
+use crate::stream::write_prefixed;
+
+/// One event from the acceptor or a per-connection reader thread.
+#[derive(Debug)]
+pub enum Inbound {
+    /// A client passed the handshake. `writer` is the connection's write
+    /// half; `active_from` is the first round the federation should wait
+    /// for this client (later than the current round for a mid-run
+    /// rejoin, so an in-flight phase is not held up by a newcomer that
+    /// cannot contribute to it).
+    Joined {
+        /// Client id from the handshake.
+        id: u32,
+        /// Write half of the connection.
+        writer: TcpStream,
+        /// First round this client participates in.
+        active_from: u64,
+    },
+    /// A decoded frame arrived from a connected client.
+    Frame {
+        /// Sending client.
+        id: u32,
+        /// The decoded envelope.
+        env: Envelope,
+        /// Encoded frame size in bytes (for the delivery accounting).
+        len: usize,
+    },
+    /// The client's connection ended (EOF, I/O error, or a frame that
+    /// failed the codec). The federation stops waiting for it.
+    Left {
+        /// Departed client.
+        id: u32,
+    },
+}
+
+/// State the round thread shares with the acceptor so a client joining
+/// mid-run can be told where the federation currently is.
+#[derive(Default)]
+pub struct SyncShared {
+    inner: parking_lot::Mutex<SyncState>,
+}
+
+#[derive(Default)]
+struct SyncState {
+    /// Round the server is currently collecting (valid once `started`).
+    round: u64,
+    /// Whether the round loop has started collecting.
+    started: bool,
+    /// The round joining clients should enter while the loop has not
+    /// started yet (0 fresh, the checkpoint round after `--resume`).
+    initial_round: u64,
+    /// Encoded `GlobalModel` frame of the latest aggregation (or the
+    /// resumed checkpoint), handed to joining clients so they start from
+    /// the federation's current weights.
+    model_frame: Option<Vec<u8>>,
+}
+
+impl SyncShared {
+    /// Fresh shared state for a run entering at `initial_round`.
+    pub fn new(initial_round: u64) -> Self {
+        Self {
+            inner: parking_lot::Mutex::new(SyncState {
+                round: initial_round,
+                started: false,
+                initial_round,
+                model_frame: None,
+            }),
+        }
+    }
+
+    /// Called by the channel at the top of every collect.
+    fn begin_round(&self, round: u64) {
+        let mut s = self.inner.lock();
+        s.round = round;
+        s.started = true;
+    }
+
+    /// Stores the latest encoded `GlobalModel` frame.
+    fn set_model(&self, frame: Vec<u8>) {
+        self.inner.lock().model_frame = Some(frame);
+    }
+
+    /// Seeds the model frame before the run starts (checkpoint resume).
+    pub fn preload_model(&self, frame: Vec<u8>) {
+        self.set_model(frame);
+    }
+
+    /// The round a client joining *now* should enter: the initial round
+    /// while the loop has not started, otherwise the round after the one
+    /// in flight (whose uplink phases it already missed).
+    pub fn join_round(&self) -> u64 {
+        let s = self.inner.lock();
+        if s.started {
+            s.round + 1
+        } else {
+            s.initial_round
+        }
+    }
+
+    /// Latest global-model frame, if any aggregation completed yet.
+    pub fn model_frame(&self) -> Option<Vec<u8>> {
+        self.inner.lock().model_frame.clone()
+    }
+}
+
+struct Peer {
+    writer: TcpStream,
+    active_from: u64,
+}
+
+/// [`Channel`] adapter between the round driver and the socket threads.
+pub struct TcpServerChannel {
+    rx: Receiver<Inbound>,
+    peers: BTreeMap<u32, Peer>,
+    carry: Vec<(Envelope, usize)>,
+    stats: NetStats,
+    phase_timeout: Duration,
+    shared: Arc<SyncShared>,
+}
+
+impl TcpServerChannel {
+    /// A channel draining `rx`, waiting at most `phase_timeout` per
+    /// collect before degrading to whatever arrived.
+    pub fn new(rx: Receiver<Inbound>, phase_timeout: Duration, shared: Arc<SyncShared>) -> Self {
+        Self {
+            rx,
+            peers: BTreeMap::new(),
+            carry: Vec::new(),
+            stats: NetStats::default(),
+            phase_timeout,
+            shared,
+        }
+    }
+
+    /// Number of currently connected clients.
+    pub fn n_peers(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Startup barrier: processes inbound events until `n` clients are
+    /// connected or `timeout` passes. Returns the connected count.
+    pub fn wait_for_peers(&mut self, n: usize, timeout: Duration) -> usize {
+        // LINT: allow(wall-clock) startup barrier over real sockets; the
+        // round math never sees this clock.
+        let start = Instant::now();
+        while self.peers.len() < n {
+            let Some(left) = timeout.checked_sub(start.elapsed()) else {
+                break;
+            };
+            match self.rx.recv_timeout(left) {
+                Ok(ev) => self.apply(ev, None),
+                Err(_) => break,
+            }
+        }
+        self.peers.len()
+    }
+
+    /// Applies one event. When `collecting` names the round in flight,
+    /// frames are routed into its batch/carry; otherwise frames are
+    /// carried for the next collect.
+    fn apply(&mut self, ev: Inbound, collecting: Option<&mut CollectState>) {
+        match ev {
+            Inbound::Joined {
+                id,
+                writer,
+                active_from,
+            } => {
+                self.peers.insert(
+                    id,
+                    Peer {
+                        writer,
+                        active_from,
+                    },
+                );
+            }
+            Inbound::Left { id } => {
+                self.peers.remove(&id);
+            }
+            Inbound::Frame { id, env, len } => match collecting {
+                Some(c) => c.take(id, env, len, &mut self.carry),
+                None => self.carry.push((env, len)),
+            },
+        }
+    }
+}
+
+/// The in-flight bookkeeping of one `server_collect` call.
+struct CollectState {
+    round: u64,
+    /// Milliseconds since the phase opened (the arrival stamps).
+    elapsed_ms: f64,
+    /// `(arrival_ms, (envelope, frame bytes))`, the
+    /// [`admit_by_deadline`] input shape.
+    batch: Vec<(f64, (Envelope, usize))>,
+    /// Clients that delivered a frame for `round` during this call.
+    reported: BTreeSet<u32>,
+}
+
+impl CollectState {
+    fn take(&mut self, id: u32, env: Envelope, len: usize, carry: &mut Vec<(Envelope, usize)>) {
+        match env.round.cmp(&self.round) {
+            Ordering::Equal => {
+                self.reported.insert(id);
+                self.batch.push((self.elapsed_ms, (env, len)));
+            }
+            Ordering::Greater => carry.push((env, len)),
+            // A frame of an already-closed round: known late whatever the
+            // deadline, so it flows to the admit helper as unreachable.
+            Ordering::Less => self.batch.push((f64::INFINITY, (env, len))),
+        }
+    }
+}
+
+impl Channel for TcpServerChannel {
+    /// The server never uploads; a no-op so the trait is total.
+    fn upload(&mut self, _env: Envelope) -> usize {
+        0
+    }
+
+    fn server_collect(&mut self, round: u64) -> Vec<Envelope> {
+        self.shared.begin_round(round);
+        // LINT: allow(wall-clock) the phase deadline over a real network
+        // is necessarily wall time; every admit/drop decision it feeds
+        // still goes through the shared `admit_by_deadline` helper.
+        let phase_start = Instant::now();
+        let deadline_ms = self.phase_timeout.as_secs_f64() * 1e3;
+
+        let mut c = CollectState {
+            round,
+            elapsed_ms: 0.0,
+            batch: Vec::new(),
+            reported: BTreeSet::new(),
+        };
+        // Frames carried over from earlier collects count as instant.
+        for (env, len) in std::mem::take(&mut self.carry) {
+            c.take(env.sender, env, len, &mut self.carry);
+        }
+        // Drain whatever is already queued — join/leave notices and
+        // frames that raced ahead of this collect — before deciding who
+        // is still awaited.
+        while let Ok(ev) = self.rx.try_recv() {
+            self.apply(ev, Some(&mut c));
+        }
+
+        loop {
+            let waiting_on = self
+                .peers
+                .iter()
+                .any(|(id, p)| p.active_from <= round && !c.reported.contains(id));
+            if !waiting_on {
+                break;
+            }
+            let Some(left) = self.phase_timeout.checked_sub(phase_start.elapsed()) else {
+                break;
+            };
+            match self.rx.recv_timeout(left) {
+                Ok(ev) => {
+                    c.elapsed_ms = phase_start.elapsed().as_secs_f64() * 1e3;
+                    self.apply(ev, Some(&mut c));
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                // All producer threads are gone (shutdown): whatever is
+                // batched is all there will ever be.
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        let mut envs: Vec<Envelope> =
+            admit_by_deadline(c.batch, deadline_ms, &mut self.stats, |(_, len)| *len)
+                .into_iter()
+                .map(|(env, _)| env)
+                .collect();
+        envs.sort_by_key(|e| e.sender);
+        envs
+    }
+
+    fn download(&mut self, to: u32, env: Envelope) -> usize {
+        let frame = env.encode();
+        let n = frame.len();
+        self.stats.sent_frames += 1;
+        self.stats.sent_bytes += n as u64;
+        if matches!(env.payload, Payload::GlobalModel { .. }) {
+            // Snooped for the handshake: a client joining later starts
+            // from this aggregation.
+            self.shared.set_model(frame.clone());
+        }
+        match self.peers.get_mut(&to) {
+            Some(peer) => match write_prefixed(&mut peer.writer, &frame) {
+                Ok(()) => {
+                    self.stats.delivered_frames += 1;
+                    self.stats.delivered_bytes += n as u64;
+                }
+                Err(_) => {
+                    // A dead connection; the reader thread's `Left` will
+                    // follow, but stop writing to it right away.
+                    self.stats.dropped_frames += 1;
+                    self.peers.remove(&to);
+                }
+            },
+            None => {
+                self.stats.dropped_frames += 1;
+            }
+        }
+        n
+    }
+
+    /// The server never collects downlink; empty so the trait is total.
+    fn client_collect(&mut self, _id: u32, _round: u64) -> Vec<Envelope> {
+        Vec::new()
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    fn restore_state(&mut self, state: &ChannelState) {
+        self.stats = state.stats;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use fedomd_transport::Tensor;
+    use std::net::TcpListener;
+
+    fn sock_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let a = TcpStream::connect(addr).expect("connect");
+        let (b, _) = listener.accept().expect("accept");
+        (a, b)
+    }
+
+    fn env(round: u64, sender: u32) -> Envelope {
+        Envelope {
+            round,
+            sender,
+            payload: Payload::Metrics {
+                train_loss: 1.0,
+                val_correct: 0,
+                val_total: 1,
+                test_correct: 0,
+                test_total: 1,
+            },
+        }
+    }
+
+    fn frame_ev(round: u64, sender: u32) -> Inbound {
+        let e = env(round, sender);
+        let len = e.encoded_len();
+        Inbound::Frame {
+            id: sender,
+            env: e,
+            len,
+        }
+    }
+
+    #[test]
+    fn collect_waits_for_every_live_peer_and_sorts() {
+        let (tx, rx) = unbounded();
+        let shared = Arc::new(SyncShared::new(0));
+        let mut chan = TcpServerChannel::new(rx, Duration::from_secs(5), shared);
+        let (w0, _k0) = sock_pair();
+        let (w1, _k1) = sock_pair();
+        tx.send(Inbound::Joined {
+            id: 0,
+            writer: w0,
+            active_from: 0,
+        })
+        .unwrap();
+        tx.send(Inbound::Joined {
+            id: 1,
+            writer: w1,
+            active_from: 0,
+        })
+        .unwrap();
+        // Out of sender order on the wire; sorted on collect.
+        tx.send(frame_ev(0, 1)).unwrap();
+        tx.send(frame_ev(0, 0)).unwrap();
+        let got = chan.server_collect(0);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].sender, 0);
+        assert_eq!(got[1].sender, 1);
+        assert_eq!(chan.stats().delivered_frames, 2);
+        assert_eq!(chan.stats().dropped_frames, 0);
+    }
+
+    #[test]
+    fn future_frames_carry_and_stale_frames_drop() {
+        let (tx, rx) = unbounded();
+        let shared = Arc::new(SyncShared::new(0));
+        let mut chan = TcpServerChannel::new(rx, Duration::from_millis(50), shared);
+        let (w0, _k0) = sock_pair();
+        tx.send(Inbound::Joined {
+            id: 0,
+            writer: w0,
+            active_from: 0,
+        })
+        .unwrap();
+        tx.send(frame_ev(1, 0)).unwrap(); // a fast client's next round
+        tx.send(frame_ev(0, 0)).unwrap();
+        let got = chan.server_collect(0);
+        assert_eq!(got.len(), 1, "only the round-0 frame");
+        assert_eq!(got[0].round, 0);
+        // The carried round-1 frame satisfies the next collect instantly.
+        let got = chan.server_collect(1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].round, 1);
+        // A round-0 straggler arriving during round 2 is counted dropped.
+        tx.send(frame_ev(0, 0)).unwrap();
+        tx.send(frame_ev(2, 0)).unwrap();
+        let got = chan.server_collect(2);
+        assert_eq!(got.len(), 1);
+        assert_eq!(chan.stats().dropped_frames, 1);
+    }
+
+    #[test]
+    fn departed_and_future_peers_are_not_waited_for() {
+        let (tx, rx) = unbounded();
+        let shared = Arc::new(SyncShared::new(0));
+        let mut chan = TcpServerChannel::new(rx, Duration::from_secs(5), shared);
+        let (w0, _k0) = sock_pair();
+        let (w1, _k1) = sock_pair();
+        let (w2, _k2) = sock_pair();
+        tx.send(Inbound::Joined {
+            id: 0,
+            writer: w0,
+            active_from: 0,
+        })
+        .unwrap();
+        tx.send(Inbound::Joined {
+            id: 1,
+            writer: w1,
+            active_from: 0,
+        })
+        .unwrap();
+        // Client 2 joined mid-run and only participates from round 3.
+        tx.send(Inbound::Joined {
+            id: 2,
+            writer: w2,
+            active_from: 3,
+        })
+        .unwrap();
+        tx.send(frame_ev(0, 0)).unwrap();
+        tx.send(Inbound::Left { id: 1 }).unwrap();
+        // Would block the full 5 s if the departed or the future peer were
+        // still counted as awaited.
+        let got = chan.server_collect(0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].sender, 0);
+        assert_eq!(chan.n_peers(), 2);
+    }
+
+    #[test]
+    fn download_snoops_the_model_and_counts_unknown_peers_dropped() {
+        let (_tx, rx) = unbounded();
+        let shared = Arc::new(SyncShared::new(0));
+        let mut chan = TcpServerChannel::new(rx, Duration::from_millis(10), Arc::clone(&shared));
+        let model = Envelope {
+            round: 0,
+            sender: u32::MAX,
+            payload: Payload::GlobalModel {
+                params: vec![Tensor {
+                    rows: 1,
+                    cols: 1,
+                    data: vec![0.5],
+                }],
+            },
+        };
+        assert!(shared.model_frame().is_none());
+        let n = chan.download(9, model.clone());
+        assert_eq!(n, model.encoded_len());
+        assert_eq!(chan.stats().sent_frames, 1);
+        assert_eq!(chan.stats().dropped_frames, 1, "no such peer");
+        // ... but the model frame is still remembered for joiners.
+        assert_eq!(shared.model_frame(), Some(model.encode()));
+    }
+
+    #[test]
+    fn join_round_tracks_the_run() {
+        let shared = SyncShared::new(7);
+        assert_eq!(shared.join_round(), 7, "before the loop: the start round");
+        shared.begin_round(7);
+        assert_eq!(
+            shared.join_round(),
+            8,
+            "mid-run: the round in flight is missed"
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Length-prefixed frame I/O over a byte stream, plus the join handshake.
+//!
+//! Every message between FedOMD processes is a little-endian `u32` length
+//! prefix followed by that many bytes. For envelope traffic the bytes are
+//! a complete `fedomd-transport` frame (magic, header, payload, CRC) and
+//! the declared length runs through
+//! [`fedomd_transport::check_frame_len`] **before any allocation**, so an
+//! adversarial or corrupted prefix cannot make the receiver reserve
+//! gigabytes. Handshake messages use the same prefix with their own tiny
+//! codec below.
+//!
+//! The handshake is one round trip at connect time:
+//!
+//! * client → server [`Hello`]: protocol version, client id, and the
+//!   FNV-1a digest of the run configuration
+//!   ([`fedomd_core::run_config_digest`]);
+//! * server → client [`Welcome`]: accept/reject with a reason, the round
+//!   the client should enter, and optionally the latest aggregated global
+//!   model (an encoded `GlobalModel` frame) so a rejoining or resumed
+//!   client starts from the federation's current weights.
+
+use std::io::{Read, Write};
+
+use fedomd_transport::wire::{ByteReader, ByteWriter};
+use fedomd_transport::{check_frame_len, Envelope};
+
+use crate::error::NetError;
+
+/// Version of the process-to-process join protocol (independent of the
+/// frame codec's own version byte).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Magic prefix of a `Hello` handshake message.
+const HELLO_MAGIC: u32 = 0x464A_4F49; // "FJOI"
+/// Magic prefix of a `Welcome` handshake message.
+const WELCOME_MAGIC: u32 = 0x4657_454C; // "FWEL"
+
+/// Handshake messages stay far below this; anything bigger is garbage.
+/// The optional model sync rides as a separate envelope frame under the
+/// transport cap, not inside the `Welcome`.
+const MAX_HANDSHAKE_BYTES: u32 = 4096;
+
+/// Writes one length-prefixed message and flushes.
+pub fn write_prefixed(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed message, allocating only after the declared
+/// length passes the `max` cap.
+pub fn read_prefixed(r: &mut impl Read, max: u32) -> Result<Vec<u8>, NetError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let declared = u32::from_le_bytes(len);
+    if declared > max {
+        return Err(NetError::Protocol(format!(
+            "declared message length {declared} exceeds the cap {max}"
+        )));
+    }
+    let mut body = vec![0u8; declared as usize];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Writes one envelope as a length-prefixed transport frame.
+pub fn write_frame(w: &mut impl Write, env: &Envelope) -> std::io::Result<usize> {
+    let frame = env.encode();
+    write_prefixed(w, &frame)?;
+    Ok(frame.len())
+}
+
+/// Reads one length-prefixed transport frame; the declared length is
+/// validated by [`check_frame_len`] (cap *and* minimum) before the
+/// allocation, the frame content by [`Envelope::decode`] after it.
+pub fn read_frame(r: &mut impl Read, max: u32) -> Result<(Envelope, usize), NetError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let declared = u32::from_le_bytes(len);
+    let n = check_frame_len(declared, max)?;
+    let mut frame = vec![0u8; n];
+    r.read_exact(&mut frame)?;
+    let env = Envelope::decode(&frame)?;
+    Ok((env, n))
+}
+
+/// The client's half of the join handshake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// Join-protocol version ([`PROTOCOL_VERSION`]).
+    pub version: u8,
+    /// The client's party id (`0..n_parties`).
+    pub client_id: u32,
+    /// [`fedomd_core::run_config_digest`] of the client's configuration;
+    /// the server refuses a digest that differs from its own.
+    pub digest: u64,
+}
+
+impl Hello {
+    /// Serialises and sends as one prefixed message.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let mut b = ByteWriter::new();
+        b.put_u32(HELLO_MAGIC);
+        b.put_u8(self.version);
+        b.put_u32(self.client_id);
+        b.put_u64(self.digest);
+        write_prefixed(w, &b.into_bytes())
+    }
+
+    /// Reads and parses one prefixed `Hello`.
+    pub fn read_from(r: &mut impl Read) -> Result<Self, NetError> {
+        let body = read_prefixed(r, MAX_HANDSHAKE_BYTES)?;
+        let mut b = ByteReader::new(&body);
+        if b.get_u32()? != HELLO_MAGIC {
+            return Err(NetError::Protocol("hello: bad magic".into()));
+        }
+        let hello = Hello {
+            version: b.get_u8()?,
+            client_id: b.get_u32()?,
+            digest: b.get_u64()?,
+        };
+        b.expect_end()?;
+        Ok(hello)
+    }
+}
+
+/// The server's verdict on a [`Hello`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Welcome {
+    /// Whether the client is admitted.
+    pub accept: bool,
+    /// Reject reason (empty on accept).
+    pub reason: String,
+    /// The first round the client should run. 0 for a fresh federation;
+    /// the checkpoint's next round after `--resume`; the round after the
+    /// current one for a mid-run rejoin.
+    pub resume_round: u64,
+    /// Whether a `GlobalModel` frame follows this message, carrying the
+    /// weights the client must install before its first round.
+    pub has_model: bool,
+}
+
+impl Welcome {
+    /// A rejection with a reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Welcome {
+            accept: false,
+            reason: reason.into(),
+            resume_round: 0,
+            has_model: false,
+        }
+    }
+
+    /// Serialises and sends as one prefixed message.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let mut b = ByteWriter::new();
+        b.put_u32(WELCOME_MAGIC);
+        b.put_u8(self.accept as u8);
+        b.put_str(&self.reason);
+        b.put_u64(self.resume_round);
+        b.put_u8(self.has_model as u8);
+        write_prefixed(w, &b.into_bytes())
+    }
+
+    /// Reads and parses one prefixed `Welcome`.
+    pub fn read_from(r: &mut impl Read) -> Result<Self, NetError> {
+        let body = read_prefixed(r, MAX_HANDSHAKE_BYTES)?;
+        let mut b = ByteReader::new(&body);
+        if b.get_u32()? != WELCOME_MAGIC {
+            return Err(NetError::Protocol("welcome: bad magic".into()));
+        }
+        let w = Welcome {
+            accept: b.get_u8()? != 0,
+            reason: b.get_str()?,
+            resume_round: b.get_u64()?,
+            has_model: b.get_u8()? != 0,
+        };
+        b.expect_end()?;
+        Ok(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedomd_transport::{Payload, WireError, DEFAULT_MAX_FRAME_BYTES};
+
+    #[test]
+    fn handshake_messages_round_trip() {
+        let mut buf = Vec::new();
+        let hello = Hello {
+            version: PROTOCOL_VERSION,
+            client_id: 7,
+            digest: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        hello.write_to(&mut buf).expect("write");
+        let got = Hello::read_from(&mut buf.as_slice()).expect("read");
+        assert_eq!(got, hello);
+
+        let mut buf = Vec::new();
+        let welcome = Welcome {
+            accept: true,
+            reason: String::new(),
+            resume_round: 42,
+            has_model: true,
+        };
+        welcome.write_to(&mut buf).expect("write");
+        assert_eq!(
+            Welcome::read_from(&mut buf.as_slice()).expect("read"),
+            welcome
+        );
+
+        let mut buf = Vec::new();
+        let nope = Welcome::reject("digest mismatch");
+        nope.write_to(&mut buf).expect("write");
+        let got = Welcome::read_from(&mut buf.as_slice()).expect("read");
+        assert!(!got.accept);
+        assert_eq!(got.reason, "digest mismatch");
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let env = Envelope {
+            round: 9,
+            sender: 3,
+            payload: Payload::Metrics {
+                train_loss: 0.75,
+                val_correct: 1,
+                val_total: 2,
+                test_correct: 3,
+                test_total: 4,
+            },
+        };
+        let mut buf = Vec::new();
+        let n = write_frame(&mut buf, &env).expect("write");
+        assert_eq!(buf.len(), n + 4, "prefix + frame");
+        let (got, len) = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME_BYTES).expect("read");
+        assert_eq!(len, n);
+        assert_eq!(got.round, 9);
+        assert_eq!(got.sender, 3);
+        assert_eq!(got.payload, env.payload);
+    }
+
+    #[test]
+    fn adversarial_prefix_is_rejected_before_allocation() {
+        // A hostile peer declares a 4 GiB frame: the reader must refuse
+        // from the 4 prefix bytes alone.
+        let mut bytes = u32::MAX.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 16]);
+        match read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_BYTES) {
+            Err(NetError::Wire(WireError::FrameTooLarge { declared, max })) => {
+                assert_eq!(declared, u32::MAX as u64);
+                assert_eq!(max, DEFAULT_MAX_FRAME_BYTES as u64);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        // Same for handshake messages with their much tighter cap.
+        let err = read_prefixed(&mut bytes.as_slice(), 4096);
+        assert!(matches!(err, Err(NetError::Protocol(_))));
+    }
+}

@@ -90,6 +90,37 @@ pub trait Channel {
     }
 }
 
+/// Splits arrival-stamped items at a phase deadline: in-time items are
+/// delivered (counted into `stats.delivered_*`), late ones are counted
+/// dropped and discarded — the single code path that turns stragglers into
+/// partial aggregation.
+///
+/// Both the virtual-time [`crate::SimNetChannel`] and the wall-clock TCP
+/// channel (`fedomd-net`) route every admit/drop decision through here, so
+/// "a frame that misses its phase deadline is dropped, and the counters
+/// say so" means exactly the same thing on both transports. `arrival_ms`
+/// is milliseconds since the phase opened (virtual or real);
+/// `f64::INFINITY` marks a frame known to be late regardless of the
+/// deadline (e.g. one that surfaced after its round already closed).
+pub fn admit_by_deadline<T>(
+    pending: Vec<(f64, T)>,
+    deadline_ms: f64,
+    stats: &mut NetStats,
+    size_of: impl Fn(&T) -> usize,
+) -> Vec<T> {
+    let mut in_time = Vec::new();
+    for (arrival, item) in pending {
+        if arrival <= deadline_ms {
+            stats.delivered_frames += 1;
+            stats.delivered_bytes += size_of(&item) as u64;
+            in_time.push(item);
+        } else {
+            stats.dropped_frames += 1;
+        }
+    }
+    in_time
+}
+
 /// Decodes raw frames, keeps those stamped with `round`, sorted by sender.
 ///
 /// Frames are produced by [`Envelope::encode`] inside the same process, so

@@ -33,6 +33,35 @@ pub const HEADER_BYTES: usize = 4 + 1 + 1 + 4 + 8 + 4;
 /// Fixed bytes after the payload (the checksum).
 pub const TRAILER_BYTES: usize = 4;
 
+/// Default cap a receiver places on one frame's declared length (64 MiB).
+///
+/// A real FedOMD frame is bounded by the model size (a few MiB at the
+/// paper's scale), so anything near this cap is corruption or hostility,
+/// not a legitimate message.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Validates a length prefix read from an untrusted peer **before**
+/// allocating a receive buffer for it.
+///
+/// Returns the length as a `usize` when it is within `(0, max]`; a zero
+/// length is rejected too, since no valid frame is smaller than its fixed
+/// header + trailer.
+pub fn check_frame_len(declared: u32, max: u32) -> Result<usize, WireError> {
+    if declared as usize > max as usize {
+        return Err(WireError::FrameTooLarge {
+            declared: declared as u64,
+            max: max as u64,
+        });
+    }
+    if (declared as usize) < HEADER_BYTES + TRAILER_BYTES {
+        return Err(WireError::Truncated {
+            needed: HEADER_BYTES + TRAILER_BYTES,
+            available: declared as usize,
+        });
+    }
+    Ok(declared as usize)
+}
+
 /// A dense tensor on the wire: shape plus row-major `f32` data.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Tensor {
@@ -146,6 +175,24 @@ pub enum Payload {
     },
     /// Round orchestration signal.
     Control(Control),
+    /// Client → server: the round's local outcome, so a server that does
+    /// not own the clients (multi-process deployment) can reproduce the
+    /// in-process driver's loss averaging, pooled evaluation, and early
+    /// stopping. Counts are raw integers because pooled accuracy is a
+    /// ratio of integer sums — order-free and therefore exact across
+    /// transports.
+    Metrics {
+        /// This client's total training loss for the round.
+        train_loss: f32,
+        /// Correct validation predictions (0 when not an eval round).
+        val_correct: u64,
+        /// Validation nodes evaluated (0 when not an eval round).
+        val_total: u64,
+        /// Correct test predictions (0 when not an eval round).
+        test_correct: u64,
+        /// Test nodes evaluated (0 when not an eval round).
+        test_total: u64,
+    },
 }
 
 impl Payload {
@@ -158,6 +205,7 @@ impl Payload {
             Payload::GlobalModel { .. } => 4,
             Payload::GlobalStats { .. } => 5,
             Payload::Control(_) => 6,
+            Payload::Metrics { .. } => 7,
         }
     }
 
@@ -170,6 +218,7 @@ impl Payload {
             Payload::GlobalModel { .. } => "GlobalModel",
             Payload::GlobalStats { .. } => "GlobalStats",
             Payload::Control(_) => "Control",
+            Payload::Metrics { .. } => "Metrics",
         }
     }
 
@@ -189,6 +238,19 @@ impl Payload {
             Payload::GlobalStats { means, moments } => {
                 encode_layers(w, means);
                 encode_moments(w, moments);
+            }
+            Payload::Metrics {
+                train_loss,
+                val_correct,
+                val_total,
+                test_correct,
+                test_total,
+            } => {
+                w.put_f32(*train_loss);
+                w.put_u64(*val_correct);
+                w.put_u64(*val_total);
+                w.put_u64(*test_correct);
+                w.put_u64(*test_total);
             }
             Payload::Control(c) => match c {
                 Control::BeginRound => w.put_u8(0),
@@ -241,6 +303,13 @@ impl Payload {
                     }
                 }))
             }
+            7 => Ok(Payload::Metrics {
+                train_loss: r.get_f32()?,
+                val_correct: r.get_u64()?,
+                val_total: r.get_u64()?,
+                test_correct: r.get_u64()?,
+                test_total: r.get_u64()?,
+            }),
             other => Err(WireError::UnknownMsgType(other)),
         }
     }
@@ -432,6 +501,17 @@ mod tests {
                 payload: Payload::Control(Control::BeginRound),
             },
             Envelope {
+                round: 7,
+                sender: 3,
+                payload: Payload::Metrics {
+                    train_loss: 0.8125,
+                    val_correct: 31,
+                    val_total: 40,
+                    test_correct: 77,
+                    test_total: 100,
+                },
+            },
+            Envelope {
                 round: 1,
                 sender: 4,
                 payload: Payload::Control(Control::Abort("client lost".into())),
@@ -518,6 +598,37 @@ mod tests {
         padded.push(0);
         assert!(Envelope::decode(&padded).is_err());
         assert!(Envelope::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn adversarial_length_prefix_is_rejected_before_allocation() {
+        // A hostile peer announces a 4 GiB frame: the cap rejects the
+        // prefix itself, so no buffer of that size is ever allocated.
+        assert_eq!(
+            check_frame_len(u32::MAX, DEFAULT_MAX_FRAME_BYTES),
+            Err(WireError::FrameTooLarge {
+                declared: u32::MAX as u64,
+                max: DEFAULT_MAX_FRAME_BYTES as u64,
+            })
+        );
+        // One byte over a custom cap is over.
+        assert!(matches!(
+            check_frame_len(1025, 1024),
+            Err(WireError::FrameTooLarge {
+                declared: 1025,
+                max: 1024
+            })
+        ));
+        // Shorter than any syntactically possible frame: also rejected.
+        assert!(matches!(
+            check_frame_len(3, DEFAULT_MAX_FRAME_BYTES),
+            Err(WireError::Truncated { .. })
+        ));
+        // Every real frame passes under the default cap.
+        for env in sample_envelopes() {
+            let n = env.encode().len() as u32;
+            assert_eq!(check_frame_len(n, DEFAULT_MAX_FRAME_BYTES), Ok(n as usize));
+        }
     }
 
     #[test]

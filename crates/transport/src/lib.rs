@@ -25,8 +25,11 @@ pub mod inproc;
 pub mod simnet;
 pub mod wire;
 
-pub use channel::{Channel, ChannelState, NetStats};
-pub use frame::{from_tensors, to_tensors, Control, Envelope, Payload, Tensor, SERVER_SENDER};
+pub use channel::{admit_by_deadline, Channel, ChannelState, NetStats};
+pub use frame::{
+    check_frame_len, from_tensors, to_tensors, Control, Envelope, Payload, Tensor,
+    DEFAULT_MAX_FRAME_BYTES, SERVER_SENDER,
+};
 pub use inproc::InProcChannel;
 pub use simnet::{FaultConfig, SimNetChannel};
 pub use wire::WireError;

@@ -16,7 +16,7 @@
 
 use rand::Rng;
 
-use crate::channel::{decode_round, Channel, ChannelState, NetStats};
+use crate::channel::{admit_by_deadline, decode_round, Channel, ChannelState, NetStats};
 use crate::frame::Envelope;
 use fedomd_tensor::rng::{derive, seeded};
 
@@ -142,20 +142,16 @@ impl SimNetChannel {
         None
     }
 
-    /// Splits `pending` at the phase deadline: in-time frames are
-    /// delivered, late ones are counted dropped (stragglers that missed
-    /// the round).
+    /// Splits `pending` at the phase deadline via the shared
+    /// [`admit_by_deadline`] helper: in-time frames are delivered, late
+    /// ones are counted dropped (stragglers that missed the round).
     fn drain_by_deadline(&mut self, pending: Vec<InFlight>, round: u64) -> Vec<Envelope> {
-        let mut in_time = Vec::new();
-        for (arrival, frame) in pending {
-            if arrival <= self.cfg.round_timeout_ms {
-                self.stats.delivered_frames += 1;
-                self.stats.delivered_bytes += frame.len() as u64;
-                in_time.push(frame);
-            } else {
-                self.stats.dropped_frames += 1;
-            }
-        }
+        let in_time = admit_by_deadline(
+            pending,
+            self.cfg.round_timeout_ms,
+            &mut self.stats,
+            Vec::len,
+        );
         decode_round(&in_time, round)
     }
 }

@@ -30,6 +30,15 @@ pub enum WireError {
     },
     /// Unknown message-type discriminant.
     UnknownMsgType(u8),
+    /// A length prefix declares a frame larger than the receiver's cap —
+    /// rejected before any allocation happens, so a hostile header cannot
+    /// make the peer allocate gigabytes.
+    FrameTooLarge {
+        /// Declared frame length.
+        declared: u64,
+        /// Receiver's configured maximum.
+        max: u64,
+    },
     /// Structurally invalid payload (bad length fields, non-UTF-8, ...).
     Malformed(String),
 }
@@ -52,6 +61,9 @@ impl fmt::Display for WireError {
                 )
             }
             WireError::UnknownMsgType(t) => write!(f, "unknown message type {t}"),
+            WireError::FrameTooLarge { declared, max } => {
+                write!(f, "declared frame length {declared} exceeds the cap {max}")
+            }
             WireError::Malformed(why) => write!(f, "malformed payload: {why}"),
         }
     }

@@ -1,0 +1,303 @@
+//! Golden guarantees of the real TCP deployment (DESIGN.md §14): a run
+//! spread across OS-level sockets on 127.0.0.1 reproduces the in-process
+//! run's accuracy and history exactly; a client that departs mid-run
+//! degrades the federation to partial aggregation rather than wedging it;
+//! and a server killed mid-run resumes from its checkpoint while the
+//! clients reconnect on their own.
+//!
+//! The server and clients here are the same `serve_on` / `run_client`
+//! entry points the `fedomd-server` / `fedomd-client` binaries wrap —
+//! run from threads so one test process exercises real sockets without
+//! spawning subprocesses (scripts/net_smoke.sh covers the multi-process
+//! variant).
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fedomd_core::{ClientOutcome, FedRun, RunCheckpoint, RunConfig};
+use fedomd_data::{generate, spec, DatasetName};
+use fedomd_federated::{setup_federation, ClientData, FederationConfig};
+use fedomd_net::{run_client, serve_on, ClientOpts, ClientReport, NetConfig, ServeOpts};
+use fedomd_telemetry::NullObserver;
+
+fn mini_setup(seed: u64) -> (String, Vec<ClientData>, usize) {
+    let ds = generate(&spec(DatasetName::CoraMini), seed);
+    let clients = setup_federation(&ds, &FederationConfig::mini(3, seed));
+    (ds.name.clone(), clients, ds.n_classes)
+}
+
+/// Loopback-tuned knobs: quick reconnects, a bounded join window, and the
+/// given per-phase deadline (generous where every frame must arrive,
+/// short where a test wants the degraded path to trigger fast).
+fn quick_net(phase: Duration) -> NetConfig {
+    NetConfig {
+        phase_timeout: phase,
+        connect_attempts: 100,
+        connect_backoff: Duration::from_millis(100),
+        join_timeout: Duration::from_secs(60),
+        ..NetConfig::default()
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fedomd-net-golden-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// One client process, as a thread. Panics (failing the test at join)
+/// if the client errors out instead of producing a report.
+#[allow(clippy::too_many_arguments)]
+fn spawn_client(
+    addr: String,
+    id: u32,
+    run: RunConfig,
+    dataset: String,
+    n_clients: usize,
+    shard: ClientData,
+    n_classes: usize,
+    net: NetConfig,
+) -> JoinHandle<ClientReport> {
+    std::thread::spawn(move || {
+        let opts = ClientOpts { addr, id, net };
+        run_client(
+            &opts,
+            &run,
+            &dataset,
+            n_clients,
+            &shard,
+            n_classes,
+            &mut NullObserver,
+        )
+        .unwrap_or_else(|e| panic!("client {id}: {e}"))
+    })
+}
+
+#[test]
+fn loopback_tcp_run_matches_the_in_process_run() {
+    let (name, clients, n_classes) = mini_setup(0);
+    let run = RunConfig::mini(0).with_rounds(12).with_patience(40);
+
+    // The in-process reference: same dataset, same shards, same config.
+    let reference = FedRun::new(&clients, n_classes).config(run.clone()).run();
+    assert!(reference.improved(), "reference run must actually learn");
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    // Every frame must arrive for bit-identity, so the deadline is slack.
+    let net = quick_net(Duration::from_secs(20));
+    let server = {
+        let (run, name) = (run.clone(), name.clone());
+        let opts = ServeOpts {
+            net,
+            ..ServeOpts::new(clients.len())
+        };
+        std::thread::spawn(move || serve_on(listener, &opts, &run, &name, &mut NullObserver))
+    };
+    let workers: Vec<_> = clients
+        .iter()
+        .enumerate()
+        .map(|(id, shard)| {
+            spawn_client(
+                addr.clone(),
+                id as u32,
+                run.clone(),
+                name.clone(),
+                clients.len(),
+                shard.clone(),
+                n_classes,
+                net,
+            )
+        })
+        .collect();
+
+    let result = server
+        .join()
+        .expect("server thread")
+        .expect("server run completes");
+    for (id, worker) in workers.into_iter().enumerate() {
+        let report = worker.join().expect("client thread");
+        assert_eq!(report.outcome, ClientOutcome::Finished, "client {id}");
+        assert_eq!(report.reconnects, 0, "client {id} must never reconnect");
+    }
+
+    // The paper numbers — accuracy at the best round and the whole
+    // evaluation curve — are bit-identical across the socket boundary.
+    // (Comms accounting legitimately differs: TCP ships Metrics/Control
+    // frames the in-process loop replaces with shared memory.)
+    assert_eq!(result.test_acc, reference.test_acc, "test accuracy");
+    assert_eq!(result.val_acc, reference.val_acc, "val accuracy");
+    assert_eq!(result.best_round, reference.best_round, "best round");
+    assert_eq!(result.history, reference.history, "evaluation history");
+}
+
+#[test]
+fn a_departing_client_degrades_to_partial_aggregation() {
+    let (name, clients, n_classes) = mini_setup(1);
+    let rounds = 8;
+    let run = RunConfig::mini(1).with_rounds(rounds).with_patience(40);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    // Short server deadline: once a peer departs, each under-attended
+    // phase degrades after one timeout instead of stalling the round.
+    let server_net = quick_net(Duration::from_millis(500));
+    let client_net = quick_net(Duration::from_secs(20));
+    let server = {
+        let (run, name) = (run.clone(), name.clone());
+        let opts = ServeOpts {
+            net: server_net,
+            ..ServeOpts::new(clients.len())
+        };
+        std::thread::spawn(move || serve_on(listener, &opts, &run, &name, &mut NullObserver))
+    };
+    // Client 2 is scheduled for only 3 of the 8 rounds; the handshake
+    // digest deliberately excludes the round budget, so the server admits
+    // it and then sees it leave. The digest-relevant hyperparameters all
+    // match.
+    let workers: Vec<_> = clients
+        .iter()
+        .enumerate()
+        .map(|(id, shard)| {
+            let mut mine = run.clone();
+            if id == 2 {
+                mine.train.rounds = 3;
+            }
+            spawn_client(
+                addr.clone(),
+                id as u32,
+                mine,
+                name.clone(),
+                clients.len(),
+                shard.clone(),
+                n_classes,
+                client_net,
+            )
+        })
+        .collect();
+
+    let result = server
+        .join()
+        .expect("server thread")
+        .expect("server run completes");
+    for (id, worker) in workers.into_iter().enumerate() {
+        let report = worker.join().expect("client thread");
+        assert_eq!(report.outcome, ClientOutcome::Finished, "client {id}");
+        assert_eq!(report.reconnects, 0, "client {id}");
+    }
+
+    // The server drove every scheduled round: the departure degraded the
+    // federation to the two live parties, it did not wedge the run.
+    assert_eq!(result.comms.rounds as usize, rounds, "all rounds ran");
+    assert_eq!(
+        result.history.len(),
+        4,
+        "eval_every=2 over 8 rounds: evaluations at rounds 0, 2, 4, 6"
+    );
+    let last = result.history.last().expect("final evaluation");
+    assert!(
+        last.val_acc > 0.0 && last.val_acc <= 1.0,
+        "partial-aggregation accuracy must stay a sane ratio, got {}",
+        last.val_acc
+    );
+    assert!(
+        result.improved(),
+        "two live parties must still learn something"
+    );
+}
+
+#[test]
+fn a_killed_server_resumes_from_its_checkpoint_and_the_clients_reconnect() {
+    let dir = scratch("kill-resume");
+    let path = dir.join("net.ckpt.json");
+    let (name, clients, n_classes) = mini_setup(2);
+    let rounds = 10;
+    let run = RunConfig::mini(2).with_rounds(rounds).with_patience(40);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    // The clone keeps the port bound across the "crash", exactly like an
+    // OS-level restart script re-binding the same --addr: clients retry
+    // the same address throughout.
+    let relisten = listener.try_clone().expect("clone listener");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server_net = quick_net(Duration::from_secs(20));
+    // Clients notice the missing verdict (the crash signature) after one
+    // phase deadline, then reconnect with backoff.
+    let client_net = quick_net(Duration::from_secs(2));
+
+    // First server generation: checkpoint at round 4, then "crash" before
+    // broadcasting the round-4 verdict.
+    let first = {
+        let (run, name) = (run.clone(), name.clone());
+        let opts = ServeOpts {
+            halt_after: Some(4),
+            checkpoint: Some((path.clone(), 5)),
+            net: server_net,
+            ..ServeOpts::new(clients.len())
+        };
+        std::thread::spawn(move || serve_on(listener, &opts, &run, &name, &mut NullObserver))
+    };
+    let workers: Vec<_> = clients
+        .iter()
+        .enumerate()
+        .map(|(id, shard)| {
+            spawn_client(
+                addr.clone(),
+                id as u32,
+                run.clone(),
+                name.clone(),
+                clients.len(),
+                shard.clone(),
+                n_classes,
+                client_net,
+            )
+        })
+        .collect();
+
+    let partial = first
+        .join()
+        .expect("first server thread")
+        .expect("halted run returns");
+    assert_eq!(partial.comms.rounds, 5, "halted after round 4");
+    let ckpt = RunCheckpoint::load(&path).expect("durable checkpoint");
+    assert_eq!(ckpt.state.next_round, 5, "snapshot taken at the halt round");
+
+    // Second generation on the same socket, restored from the snapshot.
+    // The clients are still alive, spinning in their reconnect loops.
+    let opts = ServeOpts {
+        checkpoint: Some((path.clone(), 5)),
+        resume: true,
+        net: server_net,
+        ..ServeOpts::new(clients.len())
+    };
+    let resumed =
+        serve_on(relisten, &opts, &run, &name, &mut NullObserver).expect("resumed run completes");
+
+    for (id, worker) in workers.into_iter().enumerate() {
+        let report = worker.join().expect("client thread");
+        assert_eq!(report.outcome, ClientOutcome::Finished, "client {id}");
+        assert!(
+            report.reconnects >= 1,
+            "client {id} must have survived the crash by reconnecting"
+        );
+    }
+    assert_eq!(
+        resumed.comms.rounds as usize, rounds,
+        "resumed run finishes the full budget"
+    );
+    assert_eq!(
+        resumed.history.len(),
+        5,
+        "eval_every=2 over 10 rounds, history carried across the resume"
+    );
+    let last = resumed.history.last().expect("final evaluation");
+    assert!(
+        last.val_acc > 0.0 && last.val_acc <= 1.0,
+        "resumed accuracy must stay a sane ratio, got {}",
+        last.val_acc
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
