@@ -372,8 +372,9 @@ struct Collector {
 impl Collector {
     /// Collects up to `expected` round-`round` frames matching `want`, one
     /// per sender, drawing from the stash first and then from the channel
-    /// until it reports nothing new (its deadline elapsed with stragglers
-    /// still missing — the partial-aggregation path).
+    /// until the transport's live-peer count is satisfied or the channel
+    /// reports nothing new (its deadline elapsed with stragglers still
+    /// missing — the partial-aggregation path).
     fn phase(
         &mut self,
         chan: &mut ObservedChannel<'_>,
@@ -398,7 +399,18 @@ impl Collector {
         for env in std::mem::take(&mut self.stash) {
             take(env, &mut got, &mut self.stash);
         }
-        while got.len() < expected {
+        loop {
+            // A transport that tracks liveness caps the wait at its live
+            // peer count: once a departed party shrinks the cohort, the
+            // phase closes as soon as everyone remaining has reported,
+            // instead of burning a full collect deadline per phase on
+            // peers that are gone.
+            let target = chan
+                .awaited_peers(round)
+                .map_or(expected, |live| live.min(expected));
+            if got.len() >= target {
+                break;
+            }
             let batch = chan.server_collect(round);
             if batch.is_empty() {
                 break;
@@ -470,6 +482,52 @@ mod tests {
         let metrics = c.phase(&mut chan, 0, 1, |p| matches!(p, Payload::Metrics { .. }));
         assert_eq!(metrics.len(), 1);
         assert_eq!(metrics[0].sender, 1);
+    }
+
+    #[test]
+    fn collector_stops_at_the_live_peer_count() {
+        // A transport that knows only one of the three configured parties
+        // is still connected: once that party reported, the phase must
+        // close without calling collect again — the extra call is what
+        // used to burn a full phase deadline per phase after a departure.
+        struct OneLive {
+            inner: InProcChannel,
+            collects: usize,
+        }
+        impl Channel for OneLive {
+            fn upload(&mut self, env: Envelope) -> usize {
+                self.inner.upload(env)
+            }
+            fn server_collect(&mut self, round: u64) -> Vec<Envelope> {
+                self.collects += 1;
+                self.inner.server_collect(round)
+            }
+            fn download(&mut self, to: u32, env: Envelope) -> usize {
+                self.inner.download(to, env)
+            }
+            fn client_collect(&mut self, id: u32, round: u64) -> Vec<Envelope> {
+                self.inner.client_collect(id, round)
+            }
+            fn awaited_peers(&self, _round: u64) -> Option<usize> {
+                Some(1)
+            }
+            fn stats(&self) -> fedomd_transport::NetStats {
+                self.inner.stats()
+            }
+        }
+        let mut chan = OneLive {
+            inner: InProcChannel::new(),
+            collects: 0,
+        };
+        chan.inner.upload(weight_env(0, 0, 1.0));
+        let mut observed = ObservedChannel::new(&mut chan);
+        let mut c = Collector::default();
+        let got = c.phase(&mut observed, 0, 3, |p| {
+            matches!(p, Payload::WeightUpdate { .. })
+        });
+        assert_eq!(got.len(), 1);
+        drop(observed);
+        assert_eq!(chan.collects, 1, "no re-collect for departed parties");
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //! `fedomd-client` binaries are thin CLI shells over these two functions,
 //! and the loopback golden tests call them directly from threads.
 
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 use std::io::ErrorKind;
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -95,6 +95,50 @@ pub struct ClientOpts {
     pub net: NetConfig,
 }
 
+/// Live-connection registry the acceptor and the reader threads share.
+///
+/// Each admitted connection is stamped with a monotonically increasing
+/// generation token. A handshake for an id that is still registered does
+/// **not** reject the newcomer: the old connection may be half-open (a
+/// client that died without a FIN, a NAT reset) and would otherwise hold
+/// the id hostage forever, turning every rejoin into a fatal "already
+/// connected". Instead the newest connection wins — the stale entry's
+/// socket is shut down so its blocked reader unblocks and exits — and a
+/// reader only deregisters the id while its own generation is still the
+/// registered one.
+#[derive(Default)]
+struct Registry {
+    next_gen: u64,
+    live: BTreeMap<u32, LiveConn>,
+}
+
+struct LiveConn {
+    gen: u64,
+    /// Clone of the connection's stream, held only so an eviction can
+    /// shut the old socket down and release its reader thread.
+    stream: TcpStream,
+}
+
+impl Registry {
+    /// Registers a connection for `id`, evicting (and shutting down) any
+    /// stale connection holding the id. Returns the new generation.
+    fn register(&mut self, id: u32, stream: TcpStream) -> u64 {
+        self.next_gen += 1;
+        let gen = self.next_gen;
+        if let Some(old) = self.live.insert(id, LiveConn { gen, stream }) {
+            let _ = old.stream.shutdown(Shutdown::Both);
+        }
+        gen
+    }
+
+    /// Removes `id` only if `gen` is still its registered connection.
+    fn deregister(&mut self, id: u32, gen: u64) {
+        if self.live.get(&id).map(|c| c.gen) == Some(gen) {
+            self.live.remove(&id);
+        }
+    }
+}
+
 /// What a client process did, for logging and the tests.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ClientReport {
@@ -178,12 +222,12 @@ pub fn serve_on(
 
     let (tx, rx) = crossbeam::channel::unbounded();
     let stop = Arc::new(AtomicBool::new(false));
-    let connected: Arc<parking_lot::Mutex<BTreeSet<u32>>> = Arc::default();
+    let registry: Arc<parking_lot::Mutex<Registry>> = Arc::default();
     listener.set_nonblocking(true)?;
     let acceptor = {
         let stop = Arc::clone(&stop);
         let shared = Arc::clone(&shared);
-        let connected = Arc::clone(&connected);
+        let registry = Arc::clone(&registry);
         let n_clients = opts.n_clients;
         let max_frame = opts.net.max_frame_bytes;
         std::thread::spawn(move || {
@@ -193,7 +237,7 @@ pub fn serve_on(
                         // A failed handshake just drops the connection;
                         // the client retries or gives up on its own.
                         let _ = admit(
-                            stream, digest, n_clients, max_frame, &tx, &shared, &connected,
+                            stream, digest, n_clients, max_frame, &tx, &shared, &registry,
                         );
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -237,7 +281,7 @@ fn admit(
     max_frame: u32,
     tx: &Sender<Inbound>,
     shared: &Arc<SyncShared>,
-    connected: &Arc<parking_lot::Mutex<BTreeSet<u32>>>,
+    registry: &Arc<parking_lot::Mutex<Registry>>,
 ) -> Result<(), NetError> {
     stream.set_nonblocking(false)?;
     stream.set_nodelay(true)?;
@@ -257,8 +301,6 @@ fn admit(
         ))
     } else if hello.digest != digest {
         Some("run-configuration digest mismatch".into())
-    } else if !connected.lock().insert(hello.client_id) {
-        Some(format!("client {} is already connected", hello.client_id))
     } else {
         None
     };
@@ -267,6 +309,10 @@ fn admit(
         return Ok(());
     }
     let id = hello.client_id;
+    // A re-handshake for a registered id is a reconnect, not an error:
+    // latest wins, the stale connection is shut down (see [`Registry`]).
+    let shutdown_handle = stream.try_clone()?;
+    let gen = registry.lock().register(id, shutdown_handle);
     let active_from = shared.join_round();
     let model = shared.model_frame();
     let ok = (|| -> Result<(), NetError> {
@@ -284,6 +330,7 @@ fn admit(
         let writer = stream.try_clone()?;
         tx.send(Inbound::Joined {
             id,
+            gen,
             writer,
             active_from,
         })
@@ -291,21 +338,22 @@ fn admit(
         Ok(())
     })();
     if ok.is_err() {
-        connected.lock().remove(&id);
+        registry.lock().deregister(id, gen);
         return ok;
     }
     let tx = tx.clone();
-    let connected = Arc::clone(connected);
+    let registry = Arc::clone(registry);
     std::thread::spawn(move || {
-        // Exits on EOF, I/O error, or an invalid frame — all the same to
-        // the federation: this client is gone until it re-handshakes.
+        // Exits on EOF, I/O error, an invalid frame, or an eviction's
+        // shutdown — all the same to the federation: this connection is
+        // done, and the client is gone until it re-handshakes.
         while let Ok((env, len)) = read_frame(&mut stream, max_frame) {
-            if tx.send(Inbound::Frame { id, env, len }).is_err() {
+            if tx.send(Inbound::Frame { id, gen, env, len }).is_err() {
                 break;
             }
         }
-        connected.lock().remove(&id);
-        let _ = tx.send(Inbound::Left { id });
+        registry.lock().deregister(id, gen);
+        let _ = tx.send(Inbound::Left { id, gen });
     });
     Ok(())
 }
@@ -409,4 +457,67 @@ fn connect_with_backoff(addr: &str, net: &NetConfig) -> Result<TcpStream, NetErr
     Err(NetError::Io(last.unwrap_or_else(|| {
         std::io::Error::other("no connection attempt made")
     })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server_chan::TcpServerChannel;
+    use std::io::Read;
+
+    /// A half-open or still-draining connection must not hold a client id
+    /// hostage: a re-handshake for the same id is admitted (latest wins)
+    /// and the stale connection is shut down, instead of the rejoin being
+    /// rejected as "already connected" forever.
+    #[test]
+    fn a_reconnect_evicts_the_stale_connection_instead_of_rejecting() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let digest = 0xF00D;
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let shared = Arc::new(SyncShared::new(0));
+        let registry: Arc<parking_lot::Mutex<Registry>> = Arc::default();
+
+        let handshake = || -> TcpStream {
+            let mut client = TcpStream::connect(addr).expect("connect");
+            Hello {
+                version: PROTOCOL_VERSION,
+                client_id: 0,
+                digest,
+            }
+            .write_to(&mut client)
+            .expect("hello");
+            let (server_side, _) = listener.accept().expect("accept");
+            admit(server_side, digest, 1, 1024, &tx, &shared, &registry).expect("admit");
+            client
+        };
+
+        let mut first = handshake();
+        assert!(Welcome::read_from(&mut first).expect("welcome 1").accept);
+
+        // The same id connects again while the first connection is still
+        // open — exactly what the server sees after a client dies without
+        // a FIN and comes back.
+        let mut second = handshake();
+        let welcome = Welcome::read_from(&mut second).expect("welcome 2");
+        assert!(welcome.accept, "latest must win, got {:?}", welcome.reason);
+
+        // The eviction shut the first connection down: its next read ends
+        // (EOF or reset) instead of hanging.
+        first
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        let mut byte = [0u8; 1];
+        match first.read(&mut byte) {
+            Ok(0) | Err(_) => {}
+            Ok(_) => panic!("the evicted connection is still being served"),
+        }
+
+        // The round driver ends up with exactly one peer for the id — the
+        // second connection's generation — whatever order the abandoned
+        // reader's departure notice arrives in.
+        let mut chan = TcpServerChannel::new(rx, Duration::from_millis(50), shared);
+        let n = chan.wait_for_peers(2, Duration::from_millis(500));
+        assert_eq!(n, 1, "one live peer, not zero (evicted) or two (dup)");
+    }
 }

@@ -26,6 +26,14 @@ use fedomd_transport::{admit_by_deadline, Channel, ChannelState, Envelope, NetSt
 use crate::stream::write_prefixed;
 
 /// One event from the acceptor or a per-connection reader thread.
+///
+/// Every event carries the *generation* the acceptor stamped on its
+/// connection at handshake time. A client id can be re-used across
+/// reconnects, and on a fast reconnect the dying connection's threads
+/// race the new connection's: the generation is what lets the channel
+/// tell "client 3's current connection" from "client 3's abandoned one",
+/// so a stale `Left` cannot evict a freshly rejoined peer and a stale
+/// frame cannot impersonate the new connection.
 #[derive(Debug)]
 pub enum Inbound {
     /// A client passed the handshake. `writer` is the connection's write
@@ -36,6 +44,8 @@ pub enum Inbound {
     Joined {
         /// Client id from the handshake.
         id: u32,
+        /// This connection's generation token.
+        gen: u64,
         /// Write half of the connection.
         writer: TcpStream,
         /// First round this client participates in.
@@ -45,16 +55,22 @@ pub enum Inbound {
     Frame {
         /// Sending client.
         id: u32,
+        /// Generation of the connection it arrived on.
+        gen: u64,
         /// The decoded envelope.
         env: Envelope,
         /// Encoded frame size in bytes (for the delivery accounting).
         len: usize,
     },
-    /// The client's connection ended (EOF, I/O error, or a frame that
-    /// failed the codec). The federation stops waiting for it.
+    /// The client's connection ended (EOF, I/O error, a frame that
+    /// failed the codec, or eviction by a newer connection for the same
+    /// id). The federation stops waiting for it — unless a newer
+    /// generation already took the id over.
     Left {
         /// Departed client.
         id: u32,
+        /// Generation of the connection that ended.
+        gen: u64,
     },
 }
 
@@ -131,6 +147,9 @@ impl SyncShared {
 struct Peer {
     writer: TcpStream,
     active_from: u64,
+    /// Generation of the connection backing this entry; events stamped
+    /// with an older generation are ignored.
+    gen: u64,
 }
 
 /// [`Channel`] adapter between the round driver and the socket threads.
@@ -187,24 +206,42 @@ impl TcpServerChannel {
         match ev {
             Inbound::Joined {
                 id,
+                gen,
                 writer,
                 active_from,
             } => {
+                // Latest wins: the acceptor only admits with a fresh
+                // (strictly larger) generation, so an insert for a mapped
+                // id is a reconnect superseding the old connection.
                 self.peers.insert(
                     id,
                     Peer {
                         writer,
                         active_from,
+                        gen,
                     },
                 );
             }
-            Inbound::Left { id } => {
-                self.peers.remove(&id);
+            Inbound::Left { id, gen } => {
+                // An abandoned connection's departure notice can be
+                // queued behind the replacement's `Joined`; it must not
+                // evict the rejoined peer.
+                if self.peers.get(&id).map(|p| p.gen) == Some(gen) {
+                    self.peers.remove(&id);
+                }
             }
-            Inbound::Frame { id, env, len } => match collecting {
-                Some(c) => c.take(id, env, len, &mut self.carry),
-                None => self.carry.push((env, len)),
-            },
+            Inbound::Frame { id, gen, env, len } => {
+                if self.peers.get(&id).map(|p| p.gen) != Some(gen) {
+                    // Raced out of a connection that was since evicted:
+                    // the client already moved on, the frame is stale.
+                    self.stats.dropped_frames += 1;
+                    return;
+                }
+                match collecting {
+                    Some(c) => c.take(id, env, len, &mut self.carry),
+                    None => self.carry.push((env, len)),
+                }
+            }
         }
     }
 }
@@ -334,6 +371,15 @@ impl Channel for TcpServerChannel {
         Vec::new()
     }
 
+    fn awaited_peers(&self, round: u64) -> Option<usize> {
+        Some(
+            self.peers
+                .values()
+                .filter(|p| p.active_from <= round)
+                .count(),
+        )
+    }
+
     fn stats(&self) -> NetStats {
         self.stats
     }
@@ -373,10 +419,15 @@ mod tests {
     }
 
     fn frame_ev(round: u64, sender: u32) -> Inbound {
+        frame_ev_gen(round, sender, 1)
+    }
+
+    fn frame_ev_gen(round: u64, sender: u32, gen: u64) -> Inbound {
         let e = env(round, sender);
         let len = e.encoded_len();
         Inbound::Frame {
             id: sender,
+            gen,
             env: e,
             len,
         }
@@ -391,12 +442,14 @@ mod tests {
         let (w1, _k1) = sock_pair();
         tx.send(Inbound::Joined {
             id: 0,
+            gen: 1,
             writer: w0,
             active_from: 0,
         })
         .unwrap();
         tx.send(Inbound::Joined {
             id: 1,
+            gen: 1,
             writer: w1,
             active_from: 0,
         })
@@ -420,6 +473,7 @@ mod tests {
         let (w0, _k0) = sock_pair();
         tx.send(Inbound::Joined {
             id: 0,
+            gen: 1,
             writer: w0,
             active_from: 0,
         })
@@ -451,12 +505,14 @@ mod tests {
         let (w2, _k2) = sock_pair();
         tx.send(Inbound::Joined {
             id: 0,
+            gen: 1,
             writer: w0,
             active_from: 0,
         })
         .unwrap();
         tx.send(Inbound::Joined {
             id: 1,
+            gen: 1,
             writer: w1,
             active_from: 0,
         })
@@ -464,12 +520,13 @@ mod tests {
         // Client 2 joined mid-run and only participates from round 3.
         tx.send(Inbound::Joined {
             id: 2,
+            gen: 1,
             writer: w2,
             active_from: 3,
         })
         .unwrap();
         tx.send(frame_ev(0, 0)).unwrap();
-        tx.send(Inbound::Left { id: 1 }).unwrap();
+        tx.send(Inbound::Left { id: 1, gen: 1 }).unwrap();
         // Would block the full 5 s if the departed or the future peer were
         // still counted as awaited.
         let got = chan.server_collect(0);
@@ -501,6 +558,76 @@ mod tests {
         assert_eq!(chan.stats().dropped_frames, 1, "no such peer");
         // ... but the model frame is still remembered for joiners.
         assert_eq!(shared.model_frame(), Some(model.encode()));
+    }
+
+    #[test]
+    fn a_stale_left_does_not_evict_a_rejoined_peer() {
+        let (tx, rx) = unbounded();
+        let shared = Arc::new(SyncShared::new(0));
+        let mut chan = TcpServerChannel::new(rx, Duration::from_millis(50), shared);
+        let (w1, _k1) = sock_pair();
+        let (w2, _k2) = sock_pair();
+        tx.send(Inbound::Joined {
+            id: 0,
+            gen: 1,
+            writer: w1,
+            active_from: 0,
+        })
+        .unwrap();
+        // Fast reconnect: the replacement joins before the abandoned
+        // connection's reader gets around to reporting its departure.
+        tx.send(Inbound::Joined {
+            id: 0,
+            gen: 2,
+            writer: w2,
+            active_from: 0,
+        })
+        .unwrap();
+        tx.send(Inbound::Left { id: 0, gen: 1 }).unwrap();
+        // A frame raced out of the dead connection: stale, dropped.
+        tx.send(frame_ev_gen(0, 0, 1)).unwrap();
+        // The live connection's frame is the one that counts.
+        tx.send(frame_ev_gen(0, 0, 2)).unwrap();
+        let got = chan.server_collect(0);
+        assert_eq!(chan.n_peers(), 1, "the rejoined peer must survive");
+        assert_eq!(got.len(), 1);
+        assert_eq!(chan.stats().delivered_frames, 1);
+        assert_eq!(chan.stats().dropped_frames, 1, "the stale-gen frame");
+        // The *matching* Left still evicts.
+        tx.send(Inbound::Left { id: 0, gen: 2 }).unwrap();
+        let _ = chan.server_collect(1);
+        assert_eq!(chan.n_peers(), 0);
+    }
+
+    #[test]
+    fn awaited_peers_tracks_liveness_and_activation() {
+        let (tx, rx) = unbounded();
+        let shared = Arc::new(SyncShared::new(0));
+        let mut chan = TcpServerChannel::new(rx, Duration::from_millis(50), shared);
+        assert_eq!(chan.awaited_peers(0), Some(0));
+        let (w0, _k0) = sock_pair();
+        let (w1, _k1) = sock_pair();
+        tx.send(Inbound::Joined {
+            id: 0,
+            gen: 1,
+            writer: w0,
+            active_from: 0,
+        })
+        .unwrap();
+        // A mid-run joiner only counts from its activation round.
+        tx.send(Inbound::Joined {
+            id: 1,
+            gen: 2,
+            writer: w1,
+            active_from: 3,
+        })
+        .unwrap();
+        chan.wait_for_peers(2, Duration::from_secs(1));
+        assert_eq!(chan.awaited_peers(0), Some(1));
+        assert_eq!(chan.awaited_peers(3), Some(2));
+        tx.send(Inbound::Left { id: 0, gen: 1 }).unwrap();
+        let _ = chan.server_collect(0);
+        assert_eq!(chan.awaited_peers(0), Some(0), "departures shrink it");
     }
 
     #[test]

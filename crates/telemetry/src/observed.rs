@@ -108,6 +108,10 @@ impl Channel for ObservedChannel<'_> {
         envs
     }
 
+    fn awaited_peers(&self, round: u64) -> Option<usize> {
+        self.inner.awaited_peers(round)
+    }
+
     fn stats(&self) -> NetStats {
         self.inner.stats()
     }

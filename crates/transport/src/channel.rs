@@ -69,6 +69,17 @@ pub trait Channel {
     /// when everything addressed to it was dropped.
     fn client_collect(&mut self, id: u32, round: u64) -> Vec<Envelope>;
 
+    /// Number of peers the server can still expect round-`round` uplink
+    /// from, when the transport tracks liveness (`None`: no liveness
+    /// notion — assume the configured cohort). The server's round driver
+    /// uses this to close a phase once every live peer has reported,
+    /// instead of waiting out the phase deadline for parties the
+    /// transport already knows are gone.
+    fn awaited_peers(&self, round: u64) -> Option<usize> {
+        let _ = round;
+        None
+    }
+
     /// Counters so far.
     fn stats(&self) -> NetStats;
 

@@ -100,13 +100,21 @@ impl Tensor {
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
         let rows = r.get_u32()?;
         let cols = r.get_u32()?;
-        let n = rows as usize * cols as usize;
-        if r.remaining() < n * 4 {
+        // Untrusted dims: count elements in u64 (u32 × u32 cannot
+        // overflow it) and compare against the bytes actually present —
+        // never against `n * 4`, which wraps for dims like 2³¹ × 2³¹ and
+        // would wave a hostile header through to a capacity-overflow
+        // panic in `Vec::with_capacity`.
+        let n = rows as u64 * cols as u64;
+        if n > (r.remaining() / 4) as u64 {
             return Err(WireError::Truncated {
-                needed: n * 4,
+                needed: usize::try_from(n.saturating_mul(4)).unwrap_or(usize::MAX),
                 available: r.remaining(),
             });
         }
+        // `n` is now bounded by the frame size, which the receive path
+        // capped before allocating the frame itself.
+        let n = n as usize;
         let mut data = Vec::with_capacity(n);
         for _ in 0..n {
             data.push(r.get_f32()?);
@@ -629,6 +637,37 @@ mod tests {
             let n = env.encode().len() as u32;
             assert_eq!(check_frame_len(n, DEFAULT_MAX_FRAME_BYTES), Ok(n as usize));
         }
+    }
+
+    #[test]
+    fn overflowing_tensor_dims_are_rejected_not_panicked_on() {
+        // A hostile but checksummed frame: one WeightUpdate tensor
+        // claiming 2³¹ × 2³¹ elements and no data. `rows * cols * 4` is
+        // exactly 2⁶⁴, so wrapping arithmetic would size-check it as 0
+        // bytes and then panic allocating 2⁶² elements; the decoder must
+        // return a typed error instead.
+        let mut body = ByteWriter::new();
+        body.put_u32(1); // one tensor
+        body.put_u32(1 << 31); // rows
+        body.put_u32(1 << 31); // cols
+        let body = body.into_bytes();
+
+        let mut w = ByteWriter::new();
+        w.put_u32(MAGIC);
+        w.put_u8(VERSION);
+        w.put_u8(1); // WeightUpdate
+        w.put_u32(0); // sender
+        w.put_u64(0); // round
+        w.put_u32(body.len() as u32);
+        w.put_raw(&body);
+        let crc = crc32(w.as_slice());
+        w.put_u32(crc);
+        let frame = w.into_bytes();
+
+        assert!(matches!(
+            Envelope::decode(&frame),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
