@@ -1,0 +1,81 @@
+//! Massive-cohort rounds: latency and peak memory of one full FedOMD
+//! round over a 5000-party planted federation, sampling 100 / 1000 / 5000
+//! clients per round (DESIGN.md §15).
+//!
+//! Besides the Criterion timings, each cohort size appends a
+//! `cohort_scale/peak_rss_kb/<size>` record to `$CRITERION_JSON` holding
+//! the process peak RSS (`VmHWM`) in kilobytes — the stub's `mean_ns`
+//! field carries the KB value. Peak RSS is monotone over the process
+//! lifetime, so sizes run in ascending order: each record is the true
+//! peak for its size given everything smaller already ran.
+
+use std::io::Write;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedomd_core::{FedOmdConfig, FedRun};
+use fedomd_data::{generate, SynthParams};
+use fedomd_federated::{setup_federation_planted, CohortConfig, FederationConfig, TrainConfig};
+
+const PARTIES: usize = 5000;
+const COHORTS: [usize; 3] = [100, 1000, 5000];
+
+/// Peak resident set (`VmHWM`) of this process, in kB.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Appends a record in the criterion-stub JSONL schema so `bench_report`
+/// folds the RSS next to the timings.
+fn record_rss(size: usize) {
+    let (Ok(path), Some(kb)) = (std::env::var("CRITERION_JSON"), peak_rss_kb()) else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line =
+        format!("{{\"label\":\"cohort_scale/peak_rss_kb/{size}\",\"mean_ns\":{kb},\"min_ns\":{kb},\"iters\":1}}\n");
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+}
+
+fn bench_cohort_scale(c: &mut Criterion) {
+    let ds = generate(&SynthParams::many_party(PARTIES), 0);
+    let clients = setup_federation_planted(&ds, &FederationConfig::mini(PARTIES, 0));
+
+    let mut group = c.benchmark_group("cohort_scale");
+    group.sample_size(10);
+    for size in COHORTS {
+        // Exactly one full-protocol round (2-round stats exchange + local
+        // epochs + streaming aggregation) per iteration.
+        let cfg = TrainConfig {
+            rounds: 1,
+            patience: 1,
+            eval_every: 1,
+            cohort: if size == PARTIES {
+                CohortConfig::full()
+            } else {
+                CohortConfig::fraction(size as f64 / PARTIES as f64, 0)
+            },
+            ..TrainConfig::mini(0)
+        };
+        group.bench_with_input(BenchmarkId::new("round", size), &cfg, |b, cfg| {
+            b.iter(|| {
+                FedRun::new(&clients, ds.n_classes)
+                    .train(cfg.clone())
+                    .omd(FedOmdConfig::paper())
+                    .run()
+            })
+        });
+        record_rss(size);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cohort_scale);
+criterion_main!(benches);

@@ -13,7 +13,7 @@
 
 use std::path::PathBuf;
 
-use fedomd_core::{run_fedomd, FedOmdConfig};
+use fedomd_core::{FedOmdConfig, FedRun};
 use fedomd_data::{generate, spec, Dataset, DatasetName};
 use fedomd_federated::baselines::{run_baseline, Baseline};
 use fedomd_federated::{setup_federation, ClientData, FederationConfig, RunResult, TrainConfig};
@@ -153,7 +153,10 @@ impl Algo {
     pub fn run(&self, clients: &[ClientData], n_classes: usize, cfg: &TrainConfig) -> RunResult {
         match self {
             Algo::Baseline(b) => run_baseline(*b, clients, n_classes, cfg),
-            Algo::FedOmd(c) => run_fedomd(clients, n_classes, cfg, c),
+            Algo::FedOmd(c) => FedRun::new(clients, n_classes)
+                .train(cfg.clone())
+                .omd(*c)
+                .run(),
         }
     }
 }

@@ -70,6 +70,11 @@ pub fn run_config_digest(
     h.u8(omd.use_cmd as u8);
     h.u32(omd.cmd_mean_scale.to_bits());
     h.u8(omd.cmd_first_layer_only as u8);
+    // Cohort sampling changes which clients the server awaits per round;
+    // a client that disagrees would stall on rounds it was sampled out of.
+    h.u64(cfg.cohort.sample_frac.to_bits());
+    h.u64(cfg.cohort.min_cohort as u64);
+    h.u64(cfg.cohort.seed);
     h.finish()
 }
 
@@ -127,6 +132,9 @@ mod tests {
         assert_ne!(base, run_config_digest(&other, &omd, "cora_mini", 3));
         let mut other = cfg.clone();
         other.hidden_dim += 1;
+        assert_ne!(base, run_config_digest(&other, &omd, "cora_mini", 3));
+        let mut other = cfg.clone();
+        other.cohort = fedomd_federated::CohortConfig::fraction(0.5, 2);
         assert_ne!(base, run_config_digest(&other, &omd, "cora_mini", 3));
         let other = FedOmdConfig {
             beta: 2.0,

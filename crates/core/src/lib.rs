@@ -16,13 +16,15 @@
 //! aggregated with FedAvg.
 //!
 //! ```no_run
-//! use fedomd_core::{run_fedomd, FedOmdConfig};
+//! use fedomd_core::{FedRun, RunConfig};
 //! use fedomd_data::{generate, spec, DatasetName};
-//! use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
+//! use fedomd_federated::{setup_federation, FederationConfig};
 //!
 //! let ds = generate(&spec(DatasetName::CoraMini), 0);
 //! let clients = setup_federation(&ds, &FederationConfig::mini(3, 0));
-//! let result = run_fedomd(&clients, ds.n_classes, &TrainConfig::mini(0), &FedOmdConfig::paper());
+//! let result = FedRun::new(&clients, ds.n_classes)
+//!     .config(RunConfig::mini(0))
+//!     .run();
 //! println!("test accuracy: {:.2}%", 100.0 * result.test_acc);
 //! ```
 
@@ -42,10 +44,11 @@ pub use config::FedOmdConfig;
 pub use deploy::{build_fedomd_model, run_config_digest};
 pub use fedomd_nn::CheckpointError;
 pub use protocol::{
-    aggregate_means, aggregate_moments, build_targets, client_means, client_moments_about,
-    GlobalStats,
+    aggregate_means, aggregate_means_sharded, aggregate_moments, aggregate_moments_sharded,
+    build_targets, client_means, client_moments_about, GlobalStats, MeanAccumulator,
+    MomentAccumulator, ProtocolError, AGG_LANES,
 };
 pub use run::{FedRun, RunConfig};
 pub use run_checkpoint::{FileCheckpointer, RunCheckpoint};
 pub use server::{run_fedomd_server, ServerOpts};
-pub use trainer::{run_fedomd, run_fedomd_observed, run_fedomd_resumable, run_fedomd_with};
+pub use trainer::{run_fedomd_observed, run_fedomd_resumable};

@@ -14,10 +14,94 @@
 //! the "implicitly calculate the IID distribution by only 2-round
 //! interaction" claim of the paper — which
 //! `distributed_protocol_matches_centralized` below verifies.
+//!
+//! # Streaming accumulators
+//!
+//! Both reductions are sample-weighted sums, so the server does not need
+//! the full set of client payloads in memory at once: [`MeanAccumulator`]
+//! and [`MomentAccumulator`] fold one payload at a time
+//! (`push(payload, n_samples)`) and divide by the total sample count once
+//! at [`finish`](MeanAccumulator::finish). Peak memory is O(model), not
+//! O(clients × model) — the property that makes 1k–10k client cohorts
+//! possible.
+//!
+//! Accumulation runs in `f64` across [`AGG_LANES`] fixed lanes: push `i`
+//! lands in lane `i % AGG_LANES`, and `finish` folds the lane partials in
+//! lane order before the single division. Because the lane an item maps to
+//! depends only on its push index — never on thread count or arrival
+//! timing — the sequential streaming path, the parallel sharded tree
+//! ([`MeanAccumulator::push_batch`] reduces each lane's partial on its own
+//! worker), and the batch wrappers ([`aggregate_means`],
+//! [`aggregate_means_sharded`]) all build identical lane partials and
+//! produce bit-identical results.
 
 use fedomd_autograd::CmdTargets;
 use fedomd_tensor::stats::{central_moments, column_means};
 use fedomd_tensor::Matrix;
+use rayon::prelude::*;
+use std::fmt;
+
+/// Number of fixed reduction lanes in the streaming accumulators.
+///
+/// A constant (rather than the worker-pool width) so the shard-reduction
+/// order — and therefore the bit pattern of every aggregate — is the same
+/// on every machine and at every parallelism level.
+pub const AGG_LANES: usize = 8;
+
+/// Typed failure of a server-side aggregation (replaces the panics the
+/// aggregation entry points used to raise on malformed input).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// `finish` was called before any payload was pushed (an empty round).
+    NoClients,
+    /// Every pushed payload reported zero samples, so the weighted average
+    /// is undefined.
+    ZeroTotalSamples,
+    /// A payload's hidden-layer count differs from the first payload's.
+    LayerArity { expected: usize, got: usize },
+    /// A payload's moment-order count differs from the first payload's.
+    OrderArity {
+        layer: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// A payload's per-layer dimension differs from the first payload's.
+    Dimension {
+        layer: usize,
+        expected: usize,
+        got: usize,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::NoClients => write!(f, "no clients: nothing was pushed"),
+            ProtocolError::ZeroTotalSamples => write!(f, "zero total samples across clients"),
+            ProtocolError::LayerArity { expected, got } => {
+                write!(f, "layer arity mismatch: expected {expected}, got {got}")
+            }
+            ProtocolError::OrderArity {
+                layer,
+                expected,
+                got,
+            } => write!(
+                f,
+                "order arity mismatch at layer {layer}: expected {expected}, got {got}"
+            ),
+            ProtocolError::Dimension {
+                layer,
+                expected,
+                got,
+            } => write!(
+                f,
+                "dimension mismatch at layer {layer}: expected {expected}, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
 
 /// Server-side result of the exchange: per hidden layer, the global mean
 /// and the global central moments (orders `2..=max`).
@@ -49,36 +133,169 @@ pub fn client_means(hidden: &[&Matrix]) -> Vec<Vec<f32>> {
     hidden.iter().map(|z| column_means(z)).collect()
 }
 
-/// Server side of round 1 (Eq. 10): sample-weighted average of client
-/// means, per layer.
-///
-/// # Panics
-/// Panics on empty input or inconsistent layer arity/dimensions.
-pub fn aggregate_means(client_stats: &[(Vec<Vec<f32>>, usize)]) -> Vec<Vec<f32>> {
-    assert!(!client_stats.is_empty(), "aggregate_means: no clients");
-    let n_layers = client_stats[0].0.len();
-    let total: f64 = client_stats.iter().map(|(_, n)| *n as f64).sum();
-    assert!(total > 0.0, "aggregate_means: zero total samples");
+/// Folds one round-1 payload into a lane partial: `acc += n · means`.
+fn fold_means(acc: &mut [Vec<f64>], means: &[Vec<f32>], n_samples: usize) {
+    let w = n_samples as f64;
+    for (lane_layer, layer) in acc.iter_mut().zip(means) {
+        for (a, &m) in lane_layer.iter_mut().zip(layer) {
+            *a += w * m as f64;
+        }
+    }
+}
 
-    (0..n_layers)
-        .map(|l| {
-            let dim = client_stats[0].0[l].len();
-            let mut acc = vec![0.0f64; dim];
-            for (means, n) in client_stats {
-                assert_eq!(
-                    means.len(),
-                    n_layers,
-                    "aggregate_means: layer arity mismatch"
-                );
-                assert_eq!(means[l].len(), dim, "aggregate_means: dimension mismatch");
-                let w = *n as f64 / total;
-                for (a, &m) in acc.iter_mut().zip(&means[l]) {
-                    *a += w * m as f64;
-                }
+/// Streaming fold of round-1 client means (Eq. 10).
+///
+/// `push` one `(means, n_samples)` payload per client as it arrives —
+/// payloads are consumed, never retained — then `finish` to obtain the
+/// sample-weighted global means. See the module docs for the lane scheme
+/// that keeps streaming, sharded, and batch reductions bit-identical.
+#[derive(Clone, Debug, Default)]
+pub struct MeanAccumulator {
+    /// `lanes[lane][layer][dim]`, f64 partial sums of `Σ n_i · m_i`.
+    lanes: Vec<Vec<Vec<f64>>>,
+    /// Per-layer dimension, fixed by the first push.
+    dims: Vec<usize>,
+    total_samples: u64,
+    pushed: u64,
+}
+
+impl MeanAccumulator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Payloads folded so far.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    fn init_shape(&mut self, means: &[Vec<f32>]) {
+        self.dims = means.iter().map(|m| m.len()).collect();
+        self.lanes = (0..AGG_LANES)
+            .map(|_| self.dims.iter().map(|&d| vec![0.0f64; d]).collect())
+            .collect();
+    }
+
+    fn check_shape(&self, means: &[Vec<f32>]) -> Result<(), ProtocolError> {
+        if means.len() != self.dims.len() {
+            return Err(ProtocolError::LayerArity {
+                expected: self.dims.len(),
+                got: means.len(),
+            });
+        }
+        for (layer, (m, &dim)) in means.iter().zip(&self.dims).enumerate() {
+            if m.len() != dim {
+                return Err(ProtocolError::Dimension {
+                    layer,
+                    expected: dim,
+                    got: m.len(),
+                });
             }
-            acc.into_iter().map(|v| v as f32).collect()
-        })
-        .collect()
+        }
+        Ok(())
+    }
+
+    /// Folds one client's means, weighted by its sample count. The first
+    /// push fixes the expected shape; later pushes are validated against
+    /// it (and leave the accumulator untouched when they mismatch).
+    pub fn push(&mut self, means: &[Vec<f32>], n_samples: usize) -> Result<(), ProtocolError> {
+        if self.pushed == 0 {
+            self.init_shape(means);
+        } else {
+            self.check_shape(means)?;
+        }
+        let lane = (self.pushed % AGG_LANES as u64) as usize;
+        fold_means(&mut self.lanes[lane], means, n_samples);
+        self.total_samples += n_samples as u64;
+        self.pushed += 1;
+        Ok(())
+    }
+
+    /// Sharded-tree fold of a batch: each of the [`AGG_LANES`] lanes
+    /// reduces its stride of the batch on its own worker, in batch order.
+    /// Bit-identical to pushing the batch sequentially, because every item
+    /// keeps the lane its global push index assigns it.
+    pub fn push_batch(&mut self, batch: &[(Vec<Vec<f32>>, usize)]) -> Result<(), ProtocolError> {
+        let Some((first, _)) = batch.first() else {
+            return Ok(());
+        };
+        if self.pushed == 0 {
+            self.init_shape(first);
+        }
+        for (means, _) in batch {
+            self.check_shape(means)?;
+        }
+        let base = (self.pushed % AGG_LANES as u64) as usize;
+        self.lanes
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(lane, acc)| {
+                let mut j = (lane + AGG_LANES - base) % AGG_LANES;
+                while j < batch.len() {
+                    let (means, n) = &batch[j];
+                    fold_means(acc, means, *n);
+                    j += AGG_LANES;
+                }
+            });
+        for (_, n) in batch {
+            self.total_samples += *n as u64;
+        }
+        self.pushed += batch.len() as u64;
+        Ok(())
+    }
+
+    /// Folds the lane partials in lane order and divides by the total
+    /// sample count: the weighted global means.
+    pub fn finish(self) -> Result<Vec<Vec<f32>>, ProtocolError> {
+        if self.pushed == 0 {
+            return Err(ProtocolError::NoClients);
+        }
+        if self.total_samples == 0 {
+            return Err(ProtocolError::ZeroTotalSamples);
+        }
+        let total = self.total_samples as f64;
+        Ok(self
+            .dims
+            .iter()
+            .enumerate()
+            .map(|(l, &dim)| {
+                (0..dim)
+                    .map(|d| {
+                        let mut sum = 0.0f64;
+                        for lane in &self.lanes {
+                            sum += lane[l][d];
+                        }
+                        (sum / total) as f32
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+}
+
+/// Server side of round 1 (Eq. 10): sample-weighted average of client
+/// means, per layer. Batch wrapper over [`MeanAccumulator`] — the
+/// sequential reference the streaming and sharded paths are pinned
+/// bit-identical to.
+pub fn aggregate_means(
+    client_stats: &[(Vec<Vec<f32>>, usize)],
+) -> Result<Vec<Vec<f32>>, ProtocolError> {
+    let mut acc = MeanAccumulator::new();
+    for (means, n) in client_stats {
+        acc.push(means, *n)?;
+    }
+    acc.finish()
+}
+
+/// Sharded-tree variant of [`aggregate_means`]: reduces per-lane partials
+/// in parallel before the deterministic final fold. Bit-identical to the
+/// batch reference.
+pub fn aggregate_means_sharded(
+    client_stats: &[(Vec<Vec<f32>>, usize)],
+) -> Result<Vec<Vec<f32>>, ProtocolError> {
+    let mut acc = MeanAccumulator::new();
+    acc.push_batch(client_stats)?;
+    acc.finish()
 }
 
 /// Client side of round 2 (Algorithm 1 lines 12-13): central moments of
@@ -100,56 +317,213 @@ pub fn client_moments_about(
         .collect()
 }
 
-/// Server side of round 2: sample-weighted average of client moments.
-pub fn aggregate_moments(client_stats: &[(Vec<Vec<Vec<f32>>>, usize)]) -> Vec<Vec<Vec<f32>>> {
-    assert!(!client_stats.is_empty(), "aggregate_moments: no clients");
-    let n_layers = client_stats[0].0.len();
-    let total: f64 = client_stats.iter().map(|(_, n)| *n as f64).sum();
-    assert!(total > 0.0, "aggregate_moments: zero total samples");
+/// Folds one round-2 payload into a lane partial: `acc += n · moments`.
+fn fold_moments(acc: &mut [Vec<Vec<f64>>], moments: &[Vec<Vec<f32>>], n_samples: usize) {
+    let w = n_samples as f64;
+    for (lane_layer, layer) in acc.iter_mut().zip(moments) {
+        for (lane_order, order) in lane_layer.iter_mut().zip(layer) {
+            for (a, &m) in lane_order.iter_mut().zip(order) {
+                *a += w * m as f64;
+            }
+        }
+    }
+}
 
-    (0..n_layers)
-        .map(|l| {
-            let n_orders = client_stats[0].0[l].len();
-            (0..n_orders)
-                .map(|o| {
-                    let dim = client_stats[0].0[l][o].len();
-                    let mut acc = vec![0.0f64; dim];
-                    for (moments, n) in client_stats {
-                        let w = *n as f64 / total;
-                        assert_eq!(moments[l][o].len(), dim, "aggregate_moments: dim mismatch");
-                        for (a, &m) in acc.iter_mut().zip(&moments[l][o]) {
-                            *a += w * m as f64;
-                        }
-                    }
-                    acc.into_iter().map(|v| v as f32).collect()
-                })
-                .collect()
-        })
-        .collect()
+/// Streaming fold of round-2 client central moments — the
+/// `moments[layer][order][dim]` counterpart of [`MeanAccumulator`], with
+/// the same lane scheme and bit-identity guarantees.
+#[derive(Clone, Debug, Default)]
+pub struct MomentAccumulator {
+    /// `lanes[lane][layer][order][dim]`.
+    lanes: Vec<Vec<Vec<Vec<f64>>>>,
+    /// `dims[layer][order]`, fixed by the first push.
+    dims: Vec<Vec<usize>>,
+    total_samples: u64,
+    pushed: u64,
+}
+
+impl MomentAccumulator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Payloads folded so far.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    fn init_shape(&mut self, moments: &[Vec<Vec<f32>>]) {
+        self.dims = moments
+            .iter()
+            .map(|layer| layer.iter().map(|o| o.len()).collect())
+            .collect();
+        self.lanes = (0..AGG_LANES)
+            .map(|_| {
+                self.dims
+                    .iter()
+                    .map(|layer| layer.iter().map(|&d| vec![0.0f64; d]).collect())
+                    .collect()
+            })
+            .collect();
+    }
+
+    fn check_shape(&self, moments: &[Vec<Vec<f32>>]) -> Result<(), ProtocolError> {
+        if moments.len() != self.dims.len() {
+            return Err(ProtocolError::LayerArity {
+                expected: self.dims.len(),
+                got: moments.len(),
+            });
+        }
+        for (layer, (got_layer, want_layer)) in moments.iter().zip(&self.dims).enumerate() {
+            if got_layer.len() != want_layer.len() {
+                return Err(ProtocolError::OrderArity {
+                    layer,
+                    expected: want_layer.len(),
+                    got: got_layer.len(),
+                });
+            }
+            for (o, &dim) in got_layer.iter().zip(want_layer) {
+                if o.len() != dim {
+                    return Err(ProtocolError::Dimension {
+                        layer,
+                        expected: dim,
+                        got: o.len(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds one client's moments, weighted by its sample count.
+    pub fn push(
+        &mut self,
+        moments: &[Vec<Vec<f32>>],
+        n_samples: usize,
+    ) -> Result<(), ProtocolError> {
+        if self.pushed == 0 {
+            self.init_shape(moments);
+        } else {
+            self.check_shape(moments)?;
+        }
+        let lane = (self.pushed % AGG_LANES as u64) as usize;
+        fold_moments(&mut self.lanes[lane], moments, n_samples);
+        self.total_samples += n_samples as u64;
+        self.pushed += 1;
+        Ok(())
+    }
+
+    /// Sharded-tree fold of a batch; see [`MeanAccumulator::push_batch`].
+    pub fn push_batch(
+        &mut self,
+        batch: &[(Vec<Vec<Vec<f32>>>, usize)],
+    ) -> Result<(), ProtocolError> {
+        let Some((first, _)) = batch.first() else {
+            return Ok(());
+        };
+        if self.pushed == 0 {
+            self.init_shape(first);
+        }
+        for (moments, _) in batch {
+            self.check_shape(moments)?;
+        }
+        let base = (self.pushed % AGG_LANES as u64) as usize;
+        self.lanes
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(lane, acc)| {
+                let mut j = (lane + AGG_LANES - base) % AGG_LANES;
+                while j < batch.len() {
+                    let (moments, n) = &batch[j];
+                    fold_moments(acc, moments, *n);
+                    j += AGG_LANES;
+                }
+            });
+        for (_, n) in batch {
+            self.total_samples += *n as u64;
+        }
+        self.pushed += batch.len() as u64;
+        Ok(())
+    }
+
+    /// Folds the lane partials in lane order and divides by the total
+    /// sample count: the weighted global moments.
+    pub fn finish(self) -> Result<Vec<Vec<Vec<f32>>>, ProtocolError> {
+        if self.pushed == 0 {
+            return Err(ProtocolError::NoClients);
+        }
+        if self.total_samples == 0 {
+            return Err(ProtocolError::ZeroTotalSamples);
+        }
+        let total = self.total_samples as f64;
+        Ok(self
+            .dims
+            .iter()
+            .enumerate()
+            .map(|(l, layer)| {
+                layer
+                    .iter()
+                    .enumerate()
+                    .map(|(o, &dim)| {
+                        (0..dim)
+                            .map(|d| {
+                                let mut sum = 0.0f64;
+                                for lane in &self.lanes {
+                                    sum += lane[l][o][d];
+                                }
+                                (sum / total) as f32
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+}
+
+/// Server side of round 2: sample-weighted average of client moments.
+/// Batch wrapper over [`MomentAccumulator`].
+pub fn aggregate_moments(
+    client_stats: &[(Vec<Vec<Vec<f32>>>, usize)],
+) -> Result<Vec<Vec<Vec<f32>>>, ProtocolError> {
+    let mut acc = MomentAccumulator::new();
+    for (moments, n) in client_stats {
+        acc.push(moments, *n)?;
+    }
+    acc.finish()
+}
+
+/// Sharded-tree variant of [`aggregate_moments`]; bit-identical to it.
+pub fn aggregate_moments_sharded(
+    client_stats: &[(Vec<Vec<Vec<f32>>>, usize)],
+) -> Result<Vec<Vec<Vec<f32>>>, ProtocolError> {
+    let mut acc = MomentAccumulator::new();
+    acc.push_batch(client_stats)?;
+    acc.finish()
 }
 
 /// Runs the full 2-round protocol over per-client hidden activations and
 /// returns the global stats.
-pub fn exchange(per_client_hidden: &[Vec<&Matrix>], max_order: u32) -> GlobalStats {
-    assert!(!per_client_hidden.is_empty(), "exchange: no clients");
+pub fn exchange(
+    per_client_hidden: &[Vec<&Matrix>],
+    max_order: u32,
+) -> Result<GlobalStats, ProtocolError> {
     // Round 1.
-    let round1: Vec<(Vec<Vec<f32>>, usize)> = per_client_hidden
-        .iter()
-        .map(|h| (client_means(h), h.first().map_or(0, |z| z.rows())))
-        .collect();
-    let means = aggregate_means(&round1);
+    let mut mean_acc = MeanAccumulator::new();
+    for h in per_client_hidden {
+        mean_acc.push(&client_means(h), h.first().map_or(0, |z| z.rows()))?;
+    }
+    let means = mean_acc.finish()?;
     // Round 2.
-    let round2: Vec<(Vec<Vec<Vec<f32>>>, usize)> = per_client_hidden
-        .iter()
-        .map(|h| {
-            (
-                client_moments_about(h, &means, max_order),
-                h.first().map_or(0, |z| z.rows()),
-            )
-        })
-        .collect();
-    let moments = aggregate_moments(&round2);
-    GlobalStats { means, moments }
+    let mut moment_acc = MomentAccumulator::new();
+    for h in per_client_hidden {
+        moment_acc.push(
+            &client_moments_about(h, &means, max_order),
+            h.first().map_or(0, |z| z.rows()),
+        )?;
+    }
+    let moments = moment_acc.finish()?;
+    Ok(GlobalStats { means, moments })
 }
 
 /// Converts global stats into per-layer CMD targets for the loss.
@@ -169,6 +543,8 @@ pub fn build_targets(stats: &GlobalStats) -> Vec<CmdTargets> {
 mod tests {
     use super::*;
     use fedomd_tensor::rng::seeded;
+    use proptest::prelude::*;
+    use rand::Rng;
 
     fn act(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut rng = seeded(seed);
@@ -179,7 +555,7 @@ mod tests {
     fn aggregate_means_is_weighted() {
         let a = (vec![vec![0.0f32, 0.0]], 1usize);
         let b = (vec![vec![3.0f32, 6.0]], 2usize);
-        let m = aggregate_means(&[a, b]);
+        let m = aggregate_means(&[a, b]).expect("two well-formed clients");
         assert!((m[0][0] - 2.0).abs() < 1e-6);
         assert!((m[0][1] - 4.0).abs() < 1e-6);
     }
@@ -192,7 +568,7 @@ mod tests {
         let z2 = act(29, 5, 2).map(|v| v + 0.2);
         let z3 = act(7, 5, 3).map(|v| v * 2.0);
 
-        let stats = exchange(&[vec![&z1], vec![&z2], vec![&z3]], 5);
+        let stats = exchange(&[vec![&z1], vec![&z2], vec![&z3]], 5).expect("3 clients");
 
         // Centralised: stack all rows.
         let mut pooled = Vec::new();
@@ -216,7 +592,7 @@ mod tests {
     fn multi_layer_stats_keep_layers_separate() {
         let l1 = act(10, 3, 4);
         let l2 = act(10, 3, 5).map(|v| v + 5.0);
-        let stats = exchange(&[vec![&l1, &l2]], 3);
+        let stats = exchange(&[vec![&l1, &l2]], 3).expect("1 client");
         assert_eq!(stats.means.len(), 2);
         // Layer 2 was shifted by +5, its mean must reflect that.
         assert!(stats.means[1][0] > stats.means[0][0] + 3.0);
@@ -225,7 +601,7 @@ mod tests {
     #[test]
     fn identical_clients_reproduce_their_own_stats() {
         let z = act(20, 4, 6);
-        let stats = exchange(&[vec![&z], vec![&z]], 4);
+        let stats = exchange(&[vec![&z], vec![&z]], 4).expect("2 clients");
         let own_mean = column_means(&z);
         for (a, b) in stats.means[0].iter().zip(&own_mean) {
             assert!((a - b).abs() < 1e-6);
@@ -235,7 +611,7 @@ mod tests {
     #[test]
     fn targets_align_with_stats() {
         let z = act(15, 4, 7);
-        let stats = exchange(&[vec![&z]], 5);
+        let stats = exchange(&[vec![&z]], 5).expect("1 client");
         let targets = build_targets(&stats);
         assert_eq!(targets.len(), 1);
         assert_eq!(targets[0].max_order(), 5);
@@ -245,14 +621,202 @@ mod tests {
     #[test]
     fn uplink_scalar_accounting() {
         let z = act(9, 4, 8);
-        let stats = exchange(&[vec![&z, &z]], 5);
+        let stats = exchange(&[vec![&z, &z]], 5).expect("1 client");
         // 2 layers × 4 dims means + 2 layers × 4 orders × 4 dims moments.
         assert_eq!(stats.uplink_scalars(), 2 * 4 + 2 * 4 * 4);
     }
 
     #[test]
-    #[should_panic(expected = "no clients")]
     fn empty_exchange_rejected() {
-        let _ = exchange(&[], 5);
+        assert_eq!(exchange(&[], 5).unwrap_err(), ProtocolError::NoClients);
+        assert_eq!(aggregate_means(&[]).unwrap_err(), ProtocolError::NoClients);
+        assert_eq!(
+            aggregate_moments_sharded(&[]).unwrap_err(),
+            ProtocolError::NoClients
+        );
+    }
+
+    #[test]
+    fn zero_total_samples_rejected() {
+        let stats = vec![(vec![vec![1.0f32, 2.0]], 0usize); 3];
+        assert_eq!(
+            aggregate_means(&stats).unwrap_err(),
+            ProtocolError::ZeroTotalSamples
+        );
+    }
+
+    #[test]
+    fn shape_mismatches_are_typed_errors() {
+        let mut acc = MeanAccumulator::new();
+        acc.push(&[vec![1.0, 2.0], vec![3.0]], 4)
+            .expect("first push");
+        assert_eq!(
+            acc.push(&[vec![1.0, 2.0]], 4).unwrap_err(),
+            ProtocolError::LayerArity {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(
+            acc.push(&[vec![1.0, 2.0], vec![3.0, 4.0]], 4).unwrap_err(),
+            ProtocolError::Dimension {
+                layer: 1,
+                expected: 1,
+                got: 2
+            }
+        );
+        // A failed push leaves the accumulator usable.
+        acc.push(&[vec![5.0, 6.0], vec![7.0]], 2)
+            .expect("well-formed");
+        assert_eq!(acc.pushed(), 2);
+
+        let mut macc = MomentAccumulator::new();
+        macc.push(&[vec![vec![1.0], vec![2.0]]], 3)
+            .expect("first push");
+        assert_eq!(
+            macc.push(&[vec![vec![1.0]]], 3).unwrap_err(),
+            ProtocolError::OrderArity {
+                layer: 0,
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    /// Deterministic per-client payload for the bit-identity proptests.
+    fn mean_payload(dims: &[usize], seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = seeded(seed);
+        dims.iter()
+            .map(|&d| (0..d).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+            .collect()
+    }
+
+    fn moment_payload(dims: &[usize], orders: usize, seed: u64) -> Vec<Vec<Vec<f32>>> {
+        let mut rng = seeded(seed);
+        dims.iter()
+            .map(|&d| {
+                (0..orders)
+                    .map(|_| (0..d).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+                    .collect()
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// The streaming accumulator, the parallel sharded tree, and the
+        /// batch reference agree bit for bit on ragged sample counts —
+        /// including agreeing on the error when every count is zero.
+        #[test]
+        fn mean_streaming_sharded_batch_bit_identical(
+            seed in 0u64..1_000_000,
+            dims in proptest::collection::vec(1usize..6, 1..4),
+            samples in proptest::collection::vec(0usize..50, 1..24),
+        ) {
+            let payloads: Vec<(Vec<Vec<f32>>, usize)> = samples
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (mean_payload(&dims, seed.wrapping_add(i as u64)), n))
+                .collect();
+
+            let batch = aggregate_means(&payloads);
+            let sharded = aggregate_means_sharded(&payloads);
+            let mut acc = MeanAccumulator::new();
+            for (m, n) in &payloads {
+                acc.push(m, *n).unwrap();
+            }
+            let streaming = acc.finish();
+
+            match batch {
+                Ok(ref b) => {
+                    let s = sharded.unwrap();
+                    let t = streaming.unwrap();
+                    for l in 0..b.len() {
+                        for d in 0..b[l].len() {
+                            prop_assert_eq!(b[l][d].to_bits(), s[l][d].to_bits());
+                            prop_assert_eq!(b[l][d].to_bits(), t[l][d].to_bits());
+                        }
+                    }
+                }
+                Err(e) => {
+                    prop_assert_eq!(sharded.unwrap_err(), e);
+                    prop_assert_eq!(streaming.unwrap_err(), e);
+                }
+            }
+        }
+
+        #[test]
+        fn moment_streaming_sharded_batch_bit_identical(
+            seed in 0u64..1_000_000,
+            dims in proptest::collection::vec(1usize..5, 1..3),
+            orders in 1usize..5,
+            samples in proptest::collection::vec(0usize..50, 1..24),
+        ) {
+            let payloads: Vec<(Vec<Vec<Vec<f32>>>, usize)> = samples
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| {
+                    (moment_payload(&dims, orders, seed.wrapping_add(i as u64)), n)
+                })
+                .collect();
+
+            let batch = aggregate_moments(&payloads);
+            let sharded = aggregate_moments_sharded(&payloads);
+            let mut acc = MomentAccumulator::new();
+            for (m, n) in &payloads {
+                acc.push(m, *n).unwrap();
+            }
+            let streaming = acc.finish();
+
+            match batch {
+                Ok(ref b) => {
+                    let s = sharded.unwrap();
+                    let t = streaming.unwrap();
+                    for l in 0..b.len() {
+                        for o in 0..b[l].len() {
+                            for d in 0..b[l][o].len() {
+                                prop_assert_eq!(b[l][o][d].to_bits(), s[l][o][d].to_bits());
+                                prop_assert_eq!(b[l][o][d].to_bits(), t[l][o][d].to_bits());
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    prop_assert_eq!(sharded.unwrap_err(), e);
+                    prop_assert_eq!(streaming.unwrap_err(), e);
+                }
+            }
+        }
+
+        /// Splitting the same stream into arbitrary interleavings of
+        /// `push` and `push_batch` never changes the result.
+        #[test]
+        fn chunked_pushes_match_one_shot(
+            seed in 0u64..1_000_000,
+            dims in proptest::collection::vec(1usize..5, 1..3),
+            samples in proptest::collection::vec(1usize..50, 2..20),
+            split in 1usize..19,
+        ) {
+            let payloads: Vec<(Vec<Vec<f32>>, usize)> = samples
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (mean_payload(&dims, seed.wrapping_add(i as u64)), n))
+                .collect();
+            let split = split.min(payloads.len());
+
+            let one_shot = aggregate_means(&payloads).unwrap();
+
+            let mut acc = MeanAccumulator::new();
+            for (m, n) in &payloads[..split] {
+                acc.push(m, *n).unwrap();
+            }
+            acc.push_batch(&payloads[split..]).unwrap();
+            let mixed = acc.finish().unwrap();
+
+            for l in 0..one_shot.len() {
+                for d in 0..one_shot[l].len() {
+                    prop_assert_eq!(one_shot[l][d].to_bits(), mixed[l][d].to_bits());
+                }
+            }
+        }
     }
 }

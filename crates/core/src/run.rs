@@ -34,7 +34,9 @@
 
 use std::path::{Path, PathBuf};
 
-use fedomd_federated::{ClientData, GenericOpts, Persistence, RunResult, TrainConfig};
+use fedomd_federated::{
+    ClientData, CohortConfig, GenericOpts, Persistence, RunResult, TrainConfig,
+};
 use fedomd_nn::CheckpointError;
 use fedomd_telemetry::{NullObserver, RoundObserver};
 use fedomd_transport::{Channel, InProcChannel};
@@ -107,6 +109,13 @@ impl RunConfig {
         self.train.seed = seed;
         self
     }
+
+    /// Sets the per-round client sampling policy (default: full
+    /// participation).
+    pub fn with_cohort(mut self, cohort: CohortConfig) -> Self {
+        self.train.cohort = cohort;
+        self
+    }
 }
 
 /// What a [`FedRun`] actually executes.
@@ -132,10 +141,10 @@ impl RunKind {
 /// Builder for one federated run.
 ///
 /// Composes the four independent axes — algorithm, configuration,
-/// transport channel, telemetry observer — that the legacy
-/// `run_fedomd` / `run_fedomd_with` / `run_generic` / `run_generic_with`
-/// quartet hard-wired into separate entry points. Construct with
-/// [`FedRun::new`], chain setters, finish with [`FedRun::run`].
+/// transport channel, telemetry observer — that earlier `run_*` /
+/// `run_*_with` entry points hard-wired into separate functions.
+/// Construct with [`FedRun::new`], chain setters, finish with
+/// [`FedRun::run`].
 pub struct FedRun<'a> {
     clients: &'a [ClientData],
     n_classes: usize,
@@ -282,7 +291,7 @@ impl<'a> FedRun<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trainer::run_fedomd;
+    use crate::trainer::run_fedomd_observed;
     use fedomd_federated::engine::ModelKind;
     use fedomd_federated::{setup_federation, FederationConfig};
     use fedomd_telemetry::MemoryObserver;
@@ -296,11 +305,18 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_legacy_entry_point() {
+    fn builder_matches_the_raw_loop() {
         let (clients, n_classes) = mini_setup();
         let cfg = RunConfig::mini(7).with_rounds(6);
         let a = FedRun::new(&clients, n_classes).config(cfg.clone()).run();
-        let b = run_fedomd(&clients, n_classes, &cfg.train, &cfg.omd);
+        let b = run_fedomd_observed(
+            &clients,
+            n_classes,
+            &cfg.train,
+            &cfg.omd,
+            &mut InProcChannel::new(),
+            &mut NullObserver,
+        );
         assert_eq!(a.test_acc, b.test_acc);
         assert_eq!(a.val_acc, b.val_acc);
         assert_eq!(a.comms.uplink_bytes, b.comms.uplink_bytes);
@@ -333,10 +349,13 @@ mod tests {
             .with_rounds(9)
             .with_patience(5)
             .with_seed(11)
+            .with_cohort(CohortConfig::fraction(0.2, 4))
             .with_omd(FedOmdConfig::cmd_only());
         assert_eq!(c.train.rounds, 9);
         assert_eq!(c.train.patience, 5);
         assert_eq!(c.train.seed, 11);
+        assert_eq!(c.train.cohort.sample_frac, 0.2);
+        assert_eq!(c.train.cohort.seed, 4);
         assert!(!c.omd.use_ortho);
     }
 }

@@ -22,9 +22,10 @@
 use std::collections::BTreeMap;
 
 use fedomd_federated::engine::RoundDriver;
-use fedomd_federated::helpers::fedavg;
+use fedomd_federated::helpers::UpdateAccumulator;
 use fedomd_federated::{
-    Direction, Persistence, ResumeState, RunResult, StatsCache, TrafficClass, TrainConfig,
+    CohortConfig, Direction, Persistence, ResumeState, RunResult, StatsCache, TrafficClass,
+    TrainConfig,
 };
 use fedomd_telemetry::{ObservedChannel, Phase, PhaseStopwatch, RoundEvent, RoundObserver};
 use fedomd_tensor::Matrix;
@@ -35,7 +36,7 @@ use fedomd_transport::{
 use fedomd_metrics::Stopwatch;
 
 use crate::config::FedOmdConfig;
-use crate::protocol::{aggregate_means, aggregate_moments};
+use crate::protocol::{aggregate_means_sharded, aggregate_moments_sharded};
 
 /// Options of the standalone server driver.
 #[derive(Clone, Copy, Debug)]
@@ -43,6 +44,12 @@ pub struct ServerOpts {
     /// Number of federated parties the run is configured for. Phases wait
     /// for up to this many reports; fewer degrade to partial aggregation.
     pub n_clients: usize,
+    /// Per-round client sampling for the weight phase. With a non-full
+    /// cohort, the server awaits only `cohort_size` weight updates and
+    /// discards same-round updates from unsampled senders; statistics and
+    /// metrics phases keep awaiting the full federation. Defaults to full
+    /// participation, which reproduces the unsampled protocol exactly.
+    pub cohort: CohortConfig,
     /// Fault injection for the kill-and-resume tests: return right after
     /// the named round's bookkeeping (and checkpoint, if due) completes,
     /// **before** the verdict broadcast — exactly the window in which a
@@ -55,6 +62,7 @@ impl ServerOpts {
     pub fn new(n_clients: usize) -> Self {
         Self {
             n_clients,
+            cohort: CohortConfig::full(),
             halt_after: None,
         }
     }
@@ -118,8 +126,8 @@ pub fn run_fedomd_server(
             let sw = PhaseStopwatch::start(Phase::Comms);
             let mut round1_n: BTreeMap<u32, usize> = BTreeMap::new();
             let mut round1: Vec<(Vec<Vec<f32>>, usize)> = Vec::new();
-            for env in collector.phase(&mut chan, r, m, |p| {
-                matches!(p, Payload::StatsRound1 { .. })
+            for env in collector.phase(&mut chan, r, m, |e| {
+                matches!(e.payload, Payload::StatsRound1 { .. })
             }) {
                 driver.comms.record(
                     Direction::Uplink,
@@ -136,12 +144,10 @@ pub fn run_fedomd_server(
                 participants: round1.len(),
             });
 
-            if round1.is_empty() {
-                // Nothing to average: no means go down, so no client will
-                // report moments — close the phase without a wait.
-                obs.on_event(&RoundEvent::StatsRound2Done { participants: 0 });
-            } else {
-                let means = aggregate_means(&round1);
+            // An empty phase (or all-zero sample counts) yields Err: no
+            // means go down, so no client will report moments — close the
+            // second phase without a wait.
+            if let Ok(means) = aggregate_means_sharded(&round1) {
                 for i in 0..m {
                     let bytes = chan.download(
                         i as u32,
@@ -161,8 +167,8 @@ pub fn run_fedomd_server(
                 chan.flush_into(obs);
 
                 let mut round2: Vec<(Vec<Vec<Vec<f32>>>, usize)> = Vec::new();
-                for env in collector.phase(&mut chan, r, m, |p| {
-                    matches!(p, Payload::StatsRound2 { .. })
+                for env in collector.phase(&mut chan, r, m, |e| {
+                    matches!(e.payload, Payload::StatsRound2 { .. })
                 }) {
                     driver.comms.record(
                         Direction::Uplink,
@@ -181,8 +187,7 @@ pub fn run_fedomd_server(
                 obs.on_event(&RoundEvent::StatsRound2Done {
                     participants: round2.len(),
                 });
-                if !round2.is_empty() {
-                    let moments = aggregate_moments(&round2);
+                if let Ok(moments) = aggregate_moments_sharded(&round2) {
                     if track {
                         last_stats = Some(StatsCache {
                             means: means.clone(),
@@ -207,15 +212,31 @@ pub fn run_fedomd_server(
                     }
                     chan.flush_into(obs);
                 }
+            } else {
+                // Nothing to average: no means went down, so no client
+                // will report moments — close the phase without a wait.
+                obs.on_event(&RoundEvent::StatsRound2Done { participants: 0 });
             }
             sw.finish(obs);
         }
 
         // --- Phase 4 (server side): FedAvg over whoever arrived ---
+        // With a non-full cohort the phase awaits only the sampled
+        // senders; a same-round update from an unsampled sender is left
+        // unmatched (and discarded when the round closes). Envelopes come
+        // back sender-sorted, and the sharded batch fold is bit-identical
+        // to a sequential fold in that order, so the result matches the
+        // in-process loop's ascending-client aggregation exactly.
+        let cohort = opts.cohort.sample(r, m);
+        let mut in_cohort = vec![false; m];
+        for &i in &cohort {
+            in_cohort[i] = true;
+        }
         let sw = PhaseStopwatch::start(Phase::Comms);
-        let mut sets: Vec<Vec<Matrix>> = Vec::new();
-        for env in collector.phase(&mut chan, r, m, |p| {
-            matches!(p, Payload::WeightUpdate { .. })
+        let mut sets: Vec<(Vec<Matrix>, f64)> = Vec::new();
+        for env in collector.phase(&mut chan, r, cohort.len(), |e| {
+            matches!(e.payload, Payload::WeightUpdate { .. })
+                && in_cohort.get(e.sender as usize).copied().unwrap_or(false)
         }) {
             driver.comms.record(
                 Direction::Uplink,
@@ -223,19 +244,19 @@ pub fn run_fedomd_server(
                 env.encoded_len() as u64,
             );
             if let Payload::WeightUpdate { params } = env.payload {
-                sets.push(from_tensors(params));
+                sets.push((from_tensors(params), 1.0));
             }
         }
         chan.flush_into(obs);
         sw.finish(obs);
-        if sets.is_empty() {
-            obs.on_event(&RoundEvent::AggregationDone { participants: 0 });
-        } else {
-            let participants = sets.len();
-            let sw = PhaseStopwatch::start(Phase::Aggregation);
-            let weights = vec![1.0; participants];
-            let global = fedavg(&sets, &weights);
-            sw.finish(obs);
+        let sw = PhaseStopwatch::start(Phase::Aggregation);
+        let mut agg = UpdateAccumulator::new();
+        agg.push_batch(&sets);
+        let participants = agg.pushed();
+        drop(sets);
+        let global = agg.finish();
+        sw.finish(obs);
+        if let Some(global) = global {
             if track {
                 last_global = Some(global.clone());
             }
@@ -258,6 +279,8 @@ pub fn run_fedomd_server(
             }
             chan.flush_into(obs);
             sw.finish(obs);
+        } else {
+            obs.on_event(&RoundEvent::AggregationDone { participants: 0 });
         }
 
         // --- Round outcome: losses and pooled eval counts from the
@@ -265,7 +288,9 @@ pub fn run_fedomd_server(
         let mut losses: Vec<f64> = Vec::new();
         let mut val = (0u64, 0u64);
         let mut test = (0u64, 0u64);
-        for env in collector.phase(&mut chan, r, m, |p| matches!(p, Payload::Metrics { .. })) {
+        for env in collector.phase(&mut chan, r, m, |e| {
+            matches!(e.payload, Payload::Metrics { .. })
+        }) {
             driver.comms.record(
                 Direction::Uplink,
                 TrafficClass::Stats,
@@ -370,22 +395,24 @@ struct Collector {
 }
 
 impl Collector {
-    /// Collects up to `expected` round-`round` frames matching `want`, one
-    /// per sender, drawing from the stash first and then from the channel
-    /// until the transport's live-peer count is satisfied or the channel
-    /// reports nothing new (its deadline elapsed with stragglers still
-    /// missing — the partial-aggregation path).
+    /// Collects up to `expected` round-`round` frames matching `want`
+    /// (which sees the whole envelope, so admission can filter on sender —
+    /// e.g. cohort membership — as well as payload kind), one per sender,
+    /// drawing from the stash first and then from the channel until the
+    /// transport's live-peer count is satisfied or the channel reports
+    /// nothing new (its deadline elapsed with stragglers still missing —
+    /// the partial-aggregation path).
     fn phase(
         &mut self,
         chan: &mut ObservedChannel<'_>,
         round: u64,
         expected: usize,
-        want: impl Fn(&Payload) -> bool,
+        want: impl Fn(&Envelope) -> bool,
     ) -> Vec<Envelope> {
         let mut got: Vec<Envelope> = Vec::new();
         let take = |env: Envelope, got: &mut Vec<Envelope>, stash: &mut Vec<Envelope>| {
             if env.round == round
-                && want(&env.payload)
+                && want(&env)
                 && !got.iter().any(|g: &Envelope| g.sender == env.sender)
             {
                 got.push(env);
@@ -471,15 +498,17 @@ mod tests {
         inner.upload(weight_env(0, 0, 0.0));
         let mut chan = ObservedChannel::new(&mut inner);
         let mut c = Collector::default();
-        let weights = c.phase(&mut chan, 0, 2, |p| {
-            matches!(p, Payload::WeightUpdate { .. })
+        let weights = c.phase(&mut chan, 0, 2, |e| {
+            matches!(e.payload, Payload::WeightUpdate { .. })
         });
         assert_eq!(weights.len(), 2);
         assert_eq!(weights[0].sender, 0, "must be sender-sorted");
         assert_eq!(weights[1].sender, 1);
         // The metrics frame was stashed, not lost: the next phase gets it
         // without touching the (now empty) channel.
-        let metrics = c.phase(&mut chan, 0, 1, |p| matches!(p, Payload::Metrics { .. }));
+        let metrics = c.phase(&mut chan, 0, 1, |e| {
+            matches!(e.payload, Payload::Metrics { .. })
+        });
         assert_eq!(metrics.len(), 1);
         assert_eq!(metrics[0].sender, 1);
     }
@@ -522,8 +551,8 @@ mod tests {
         chan.inner.upload(weight_env(0, 0, 1.0));
         let mut observed = ObservedChannel::new(&mut chan);
         let mut c = Collector::default();
-        let got = c.phase(&mut observed, 0, 3, |p| {
-            matches!(p, Payload::WeightUpdate { .. })
+        let got = c.phase(&mut observed, 0, 3, |e| {
+            matches!(e.payload, Payload::WeightUpdate { .. })
         });
         assert_eq!(got.len(), 1);
         drop(observed);
@@ -602,8 +631,8 @@ mod tests {
         };
         let omd = FedOmdConfig::ortho_only();
         let opts = ServerOpts {
-            n_clients: 1,
             halt_after: Some(0),
+            ..ServerOpts::new(1)
         };
         let r = run_fedomd_server(
             &opts,

@@ -2,30 +2,43 @@
 //!
 //! Per communication round:
 //!
-//! 1. **Forward** (clients, parallel): each client records its Ortho-GCN
-//!    forward pass on a fresh tape, producing logits and the hidden
-//!    activations `Z^1..Z^{L-1}` (line 3).
-//! 2. **Exchange** (2 rounds, lines 4–18): activation means up, global
+//! 1. **Sample** the round's cohort ([`fedomd_federated::CohortConfig`]):
+//!    a seeded, deterministic subset of clients participates; the rest sit
+//!    the round out (FedAvg partial participation).
+//! 2. **Forward** (cohort, parallel): each sampled client records its
+//!    Ortho-GCN forward pass on a fresh tape, producing logits and the
+//!    hidden activations `Z^1..Z^{L-1}` (line 3).
+//! 3. **Exchange** (2 rounds, lines 4–18): activation means up, global
 //!    means down; central moments about the global mean up, global moments
-//!    down — giving every client the CMD targets.
-//! 3. **Optimise** (clients, parallel, lines 19–20): total loss
+//!    down — giving every sampled client the CMD targets.
+//! 4. **Optimise** (cohort, parallel, lines 19–20): total loss
 //!    `CE + α·L_ortho + β·d_CMD` (Eq. 12), backward, Adam step.
-//! 4. **FedAvg** (server, lines 26–29): uniform weight averaging.
+//! 5. **FedAvg** (server, lines 26–29): uniform weight averaging. The
+//!    aggregated model is broadcast to *all* clients — participants and
+//!    spectators alike — so pooled evaluation always sees a synchronised
+//!    federation.
 //!
-//! Every exchange (phases 2 and 4) travels as encoded `fedomd-transport`
-//! frames over a [`Channel`]; with the default in-process channel the run
-//! is bit-identical to direct in-memory exchange, while a simulated lossy
-//! channel degrades gracefully: a round aggregates over whichever clients
-//! actually arrived, and a client that misses the global statistics simply
-//! trains without the CMD term that round.
+//! Every exchange (phases 3 and 5) travels as encoded `fedomd-transport`
+//! frames over a [`Channel`], and the server never materialises the
+//! O(clients × model) vector of payloads: each envelope is folded into a
+//! streaming accumulator ([`crate::protocol::MeanAccumulator`] /
+//! [`crate::protocol::MomentAccumulator`] /
+//! [`fedomd_federated::UpdateAccumulator`]) as it is collected, so peak
+//! server aggregation memory stays O(model) even at 1k–10k client
+//! cohorts. With the default in-process channel the run is deterministic
+//! per seed, while a simulated lossy channel degrades gracefully: a round
+//! aggregates over whichever clients actually arrived, and a client that
+//! misses the global statistics simply trains without the CMD term that
+//! round.
 //!
 //! Every milestone — round starts, per-client local steps with the CE /
 //! ortho / CMD loss decomposition, frame sends and drops, both statistics
 //! rounds, aggregation, evaluation — is reported to a
 //! [`RoundObserver`] (`fedomd-telemetry`). Observers are pure sinks, so
-//! any observer yields the exact same `RunResult` as [`NullObserver`]
-//! (golden-tested). Prefer the [`crate::FedRun`] builder; `run_fedomd` /
-//! `run_fedomd_with` remain as thin wrappers.
+//! any observer yields the exact same `RunResult` as
+//! [`fedomd_telemetry::NullObserver`] (golden-tested). The [`crate::FedRun`] builder is the entry point;
+//! [`run_fedomd_observed`] / [`run_fedomd_resumable`] are the loop it
+//! dispatches to.
 
 use fedomd_metrics::Stopwatch;
 use std::collections::BTreeMap;
@@ -34,47 +47,21 @@ use rayon::prelude::*;
 
 use fedomd_autograd::{CmdTargets, Tape, Var, Workspace};
 use fedomd_federated::engine::RoundDriver;
-use fedomd_federated::helpers::fedavg;
+use fedomd_federated::helpers::UpdateAccumulator;
 use fedomd_federated::{
     ClientData, Direction, Persistence, ResumeState, RunResult, StatsCache, TrafficClass,
     TrainConfig,
 };
 use fedomd_nn::{Adam, ForwardOut, Model, Optimizer};
-use fedomd_telemetry::{
-    NullObserver, ObservedChannel, Phase, PhaseStopwatch, RoundEvent, RoundObserver,
-};
+use fedomd_telemetry::{ObservedChannel, Phase, PhaseStopwatch, RoundEvent, RoundObserver};
 use fedomd_tensor::Matrix;
-use fedomd_transport::{
-    from_tensors, to_tensors, Channel, Envelope, InProcChannel, Payload, SERVER_SENDER,
-};
+use fedomd_transport::{from_tensors, to_tensors, Channel, Envelope, Payload, SERVER_SENDER};
 
 use crate::config::FedOmdConfig;
 use crate::protocol::{
-    aggregate_means, aggregate_moments, build_targets, client_means, client_moments_about,
-    GlobalStats,
+    build_targets, client_means, client_moments_about, GlobalStats, MeanAccumulator,
+    MomentAccumulator,
 };
-
-/// Runs FedOMD to completion over the default fault-free in-process
-/// channel, without telemetry.
-pub fn run_fedomd(
-    clients: &[ClientData],
-    n_classes: usize,
-    cfg: &TrainConfig,
-    omd: &FedOmdConfig,
-) -> RunResult {
-    run_fedomd_with(clients, n_classes, cfg, omd, &mut InProcChannel::new())
-}
-
-/// Runs FedOMD over `chan`, without telemetry.
-pub fn run_fedomd_with(
-    clients: &[ClientData],
-    n_classes: usize,
-    cfg: &TrainConfig,
-    omd: &FedOmdConfig,
-    chan: &mut dyn Channel,
-) -> RunResult {
-    run_fedomd_observed(clients, n_classes, cfg, omd, chan, &mut NullObserver)
-}
 
 /// Runs FedOMD with every statistics and weight exchange travelling as
 /// encoded frames over `chan` and every round milestone reported to `obs`.
@@ -97,6 +84,18 @@ pub fn run_fedomd_observed(
     )
 }
 
+/// Folds one uplinked weight update into the streaming FedAvg accumulator.
+fn fold_weight_update(agg: &mut UpdateAccumulator, env: Envelope) {
+    match env.payload {
+        Payload::WeightUpdate { params } => agg.push(&from_tensors(params), 1.0),
+        // LINT: allow(panic) protocol invariant: every channel impl routes
+        // only client uplink frames to `server_collect`, and FedOMD
+        // clients upload nothing but `WeightUpdate` in the weight phase —
+        // any other payload here is a routing bug that must fail loudly.
+        other => panic!("server expected WeightUpdate, got {}", other.kind()),
+    }
+}
+
 /// [`run_fedomd_observed`] with checkpoint/resume wiring: restores
 /// `persist.resume` (per-client parameters, Adam moments, driver
 /// bookkeeping, channel fault-stream cursor) before the loop, enters at
@@ -104,9 +103,9 @@ pub fn run_fedomd_observed(
 /// every `sink.every()` rounds — including the last aggregated global
 /// model and global statistics, so a served checkpoint carries the full
 /// round outcome. A resumed run is bit-identical to the same run left
-/// uninterrupted: every RNG stream is derived from `(seed, round)` or a
-/// checkpointed cursor, and snapshots land on round boundaries where the
-/// channel has no frames in flight.
+/// uninterrupted: every RNG stream — including the cohort sampler — is
+/// derived from `(seed, round)` or a checkpointed cursor, and snapshots
+/// land on round boundaries where the channel has no frames in flight.
 pub fn run_fedomd_resumable(
     clients: &[ClientData],
     n_classes: usize,
@@ -174,8 +173,8 @@ pub fn run_fedomd_resumable(
         });
     }
     let mut chan = ObservedChannel::new(chan);
-    // One buffer pool per client, threaded through the forward tape (Phase
-    // 1) and the backward/step tape (Phase 3) of every round.
+    // One buffer pool per client, threaded through the forward tape and
+    // the backward/step tape of every round the client is sampled into.
     let mut workspaces: Vec<Workspace> = models.iter().map(|_| Workspace::new()).collect();
 
     for round in start_round..cfg.rounds {
@@ -186,34 +185,58 @@ pub fn run_fedomd_resumable(
         obs.on_event(&RoundEvent::RoundStarted {
             round: round as u64,
         });
-        // --- Phase 1: forward passes (parallel) ---
+        // The round's cohort: pure function of (cohort seed, round), so a
+        // resumed run replays the same participation schedule.
+        let cohort = cfg.cohort.sample(round as u64, m);
+        let mut in_cohort = vec![false; m];
+        for &i in &cohort {
+            in_cohort[i] = true;
+        }
+
+        // --- Phase 1: forward passes (cohort, parallel) ---
         let sw = PhaseStopwatch::start(Phase::LocalTrain);
         let start = Stopwatch::start();
-        let sessions: Vec<(Tape, ForwardOut)> = models
+        let sessions: Vec<Option<(Tape, ForwardOut)>> = models
             .par_iter()
             .zip(clients.par_iter())
             .zip(workspaces.par_iter_mut())
-            .map(|((model, client), ws)| {
+            .zip(in_cohort.par_iter())
+            .map(|(((model, client), ws), &active)| {
+                if !active {
+                    return None;
+                }
                 let mut tape = Tape::with_workspace(std::mem::take(ws));
                 let out = model.forward(&mut tape, &client.input);
-                (tape, out)
+                Some((tape, out))
             })
             .collect();
         driver.timer.add("client", start.elapsed());
         sw.finish(obs);
 
         // --- Phase 2: the 2-round statistics exchange, over the channel ---
+        // The server folds every envelope into a streaming accumulator as
+        // it is collected; no per-client payload vector is materialised.
         let targets: Vec<Option<Vec<CmdTargets>>> = if omd.use_cmd {
             let sw = PhaseStopwatch::start(Phase::Comms);
             let start = Stopwatch::start();
-            let per_client_hidden: Vec<Vec<&Matrix>> = sessions
+            let per_client_hidden: Vec<Option<Vec<&Matrix>>> = sessions
                 .iter()
-                .map(|(tape, out)| out.hidden.iter().map(|&h| tape.value(h)).collect())
+                .map(|s| {
+                    s.as_ref()
+                        .map(|(tape, out)| out.hidden.iter().map(|&h| tape.value(h)).collect())
+                })
                 .collect();
             let r = round as u64;
 
-            // Round 1 up: per-layer means and the local sample count.
+            // Round 1 up: per-layer means and the local sample count. Each
+            // upload is collected and folded immediately, so the uplink
+            // queue never holds more than one stats payload.
+            // The server remembers each reporter's sample count: round-2
+            // moments are weighted by the n_i announced in round 1.
+            let mut round1_n: BTreeMap<u32, usize> = BTreeMap::new();
+            let mut mean_acc = MeanAccumulator::new();
             for (i, h) in per_client_hidden.iter().enumerate() {
+                let Some(h) = h else { continue };
                 let bytes = chan.upload(Envelope {
                     round: r,
                     sender: i as u32,
@@ -225,32 +248,29 @@ pub fn run_fedomd_resumable(
                 driver
                     .comms
                     .record(Direction::Uplink, TrafficClass::Stats, bytes as u64);
-            }
-            // The server remembers each reporter's sample count: round-2
-            // moments are weighted by the n_i announced in round 1.
-            let mut round1_n: BTreeMap<u32, usize> = BTreeMap::new();
-            let mut round1: Vec<(Vec<Vec<f32>>, usize)> = Vec::new();
-            for env in chan.server_collect(r) {
-                if let Payload::StatsRound1 { means, n_samples } = env.payload {
-                    round1_n.insert(env.sender, n_samples as usize);
-                    round1.push((means, n_samples as usize));
+                for env in chan.server_collect(r) {
+                    if let Payload::StatsRound1 { means, n_samples } = env.payload {
+                        // A malformed payload (impossible in-process:
+                        // every client builds the same model shape)
+                        // degrades exactly like a dropped frame.
+                        if mean_acc.push(&means, n_samples as usize).is_ok() {
+                            round1_n.insert(env.sender, n_samples as usize);
+                        }
+                    }
                 }
             }
             chan.flush_into(obs);
             obs.on_event(&RoundEvent::StatsRound1Done {
-                participants: round1.len(),
+                participants: mean_acc.pushed() as usize,
             });
-            let global_means = if round1.is_empty() {
-                None
-            } else {
-                Some(aggregate_means(&round1))
-            };
+            let global_means: Option<Vec<Vec<f32>>> = mean_acc.finish().ok();
 
-            // Round 1 down: global means (moments are not known yet, so the
-            // GlobalStats frame carries an empty moment list).
+            // Round 1 down: global means, to the cohort (moments are not
+            // known yet, so the GlobalStats frame carries an empty moment
+            // list).
             let mut client_gmeans: Vec<Option<Vec<Vec<f32>>>> = (0..m).map(|_| None).collect();
             if let Some(means) = &global_means {
-                for (i, slot) in client_gmeans.iter_mut().enumerate() {
+                for &i in &cohort {
                     let bytes = chan.download(
                         i as u32,
                         Envelope {
@@ -267,55 +287,58 @@ pub fn run_fedomd_resumable(
                         .record(Direction::Downlink, TrafficClass::Stats, bytes as u64);
                     for env in chan.client_collect(i as u32, r) {
                         if let Payload::GlobalStats { means, .. } = env.payload {
-                            *slot = Some(means);
+                            client_gmeans[i] = Some(means);
                         }
                     }
                 }
             }
             chan.flush_into(obs);
 
-            // Round 2 up: central moments about the global mean. A client
-            // that never received the means sits this round out.
+            // Round 2 up: central moments about the global mean, folded on
+            // arrival. A client that never received the means sits this
+            // round out.
+            let mut moment_acc = MomentAccumulator::new();
             for (i, h) in per_client_hidden.iter().enumerate() {
-                if let Some(means) = &client_gmeans[i] {
-                    let bytes = chan.upload(Envelope {
-                        round: r,
-                        sender: i as u32,
-                        payload: Payload::StatsRound2 {
-                            moments: client_moments_about(h, means, omd.max_moment),
-                        },
-                    });
-                    driver
-                        .comms
-                        .record(Direction::Uplink, TrafficClass::Stats, bytes as u64);
-                }
-            }
-            let mut round2: Vec<(Vec<Vec<Vec<f32>>>, usize)> = Vec::new();
-            for env in chan.server_collect(r) {
-                if let Payload::StatsRound2 { moments } = env.payload {
-                    if let Some(&n) = round1_n.get(&env.sender) {
-                        round2.push((moments, n));
+                let Some(h) = h else { continue };
+                let Some(means) = &client_gmeans[i] else {
+                    continue;
+                };
+                let bytes = chan.upload(Envelope {
+                    round: r,
+                    sender: i as u32,
+                    payload: Payload::StatsRound2 {
+                        moments: client_moments_about(h, means, omd.max_moment),
+                    },
+                });
+                driver
+                    .comms
+                    .record(Direction::Uplink, TrafficClass::Stats, bytes as u64);
+                for env in chan.server_collect(r) {
+                    if let Payload::StatsRound2 { moments } = env.payload {
+                        if let Some(&n) = round1_n.get(&env.sender) {
+                            let _ok = moment_acc.push(&moments, n).is_ok();
+                        }
                     }
                 }
             }
             chan.flush_into(obs);
             obs.on_event(&RoundEvent::StatsRound2Done {
-                participants: round2.len(),
+                participants: moment_acc.pushed() as usize,
             });
 
-            // Round 2 down: the full global stats; each client that receives
-            // them builds its CMD targets, the rest train without the term.
+            // Round 2 down: the full global stats, to the cohort; each
+            // client that receives them builds its CMD targets, the rest
+            // train without the term.
             let mut per_client: Vec<Option<Vec<CmdTargets>>> = (0..m).map(|_| None).collect();
             if let Some(means) = &global_means {
-                if !round2.is_empty() {
-                    let moments = aggregate_moments(&round2);
+                if let Ok(moments) = moment_acc.finish() {
                     if track {
                         last_stats = Some(StatsCache {
                             means: means.clone(),
                             moments: moments.clone(),
                         });
                     }
-                    for (i, slot) in per_client.iter_mut().enumerate() {
+                    for &i in &cohort {
                         let bytes = chan.download(
                             i as u32,
                             Envelope {
@@ -332,7 +355,8 @@ pub fn run_fedomd_resumable(
                             .record(Direction::Downlink, TrafficClass::Stats, bytes as u64);
                         for env in chan.client_collect(i as u32, r) {
                             if let Payload::GlobalStats { means, moments } = env.payload {
-                                *slot = Some(build_targets(&GlobalStats { means, moments }));
+                                per_client[i] =
+                                    Some(build_targets(&GlobalStats { means, moments }));
                             }
                         }
                     }
@@ -346,86 +370,87 @@ pub fn run_fedomd_resumable(
             (0..m).map(|_| None).collect()
         };
 
-        // --- Phase 3: losses, backward, local steps (parallel) ---
+        // --- Phase 3: losses, backward, local steps (cohort, parallel) ---
         let sw = PhaseStopwatch::start(Phase::LocalTrain);
         let start = Stopwatch::start();
-        // Per client: (total, ce, scaled ortho, scaled cmd) loss readings.
-        let losses: Vec<(f32, f32, f32, f32)> = sessions
+        // Per sampled client: (total, ce, scaled ortho, scaled cmd) loss
+        // readings; `None` for clients outside the cohort.
+        let losses: Vec<Option<(f32, f32, f32, f32)>> = sessions
             .into_par_iter()
             .zip(models.par_iter_mut())
             .zip(optimizers.par_iter_mut())
             .zip(clients.par_iter())
             .zip(targets.par_iter())
             .zip(workspaces.par_iter_mut())
-            .map(
-                |((((((mut tape, out), model), opt), client), targets_ref), ws)| {
-                    let ce = tape.softmax_cross_entropy(
-                        out.logits,
-                        &client.labels,
-                        &client.splits.train,
-                    );
-                    let mut loss = ce;
-                    let mut ortho_term: Option<Var> = None;
-                    if omd.use_ortho {
-                        if let Some(pen) =
-                            sum_terms(&mut tape, out.ortho_weight_vars.to_vec(), |t, w| {
-                                t.ortho_penalty(w)
-                            })
-                        {
-                            let scaled = tape.scale(pen, omd.alpha);
-                            ortho_term = Some(scaled);
-                            loss = tape.add(loss, scaled);
-                        }
+            .map(|(((((session, model), opt), client), targets_ref), ws)| {
+                let (mut tape, out) = session?;
+                let ce =
+                    tape.softmax_cross_entropy(out.logits, &client.labels, &client.splits.train);
+                let mut loss = ce;
+                let mut ortho_term: Option<Var> = None;
+                if omd.use_ortho {
+                    if let Some(pen) =
+                        sum_terms(&mut tape, out.ortho_weight_vars.to_vec(), |t, w| {
+                            t.ortho_penalty(w)
+                        })
+                    {
+                        let scaled = tape.scale(pen, omd.alpha);
+                        ortho_term = Some(scaled);
+                        loss = tape.add(loss, scaled);
                     }
-                    let mut cmd_term: Option<Var> = None;
-                    if let Some(targets) = targets_ref {
-                        let n_constrained = if omd.cmd_first_layer_only {
-                            1
-                        } else {
-                            out.hidden.len()
-                        };
-                        if let Some(cmd) = sum_cmd(
-                            &mut tape,
-                            &out.hidden[..n_constrained],
-                            &targets[..n_constrained],
-                            omd.width,
-                            omd.cmd_mean_scale,
-                        ) {
-                            let scaled = tape.scale(cmd, omd.beta);
-                            cmd_term = Some(scaled);
-                            loss = tape.add(loss, scaled);
-                        }
+                }
+                let mut cmd_term: Option<Var> = None;
+                if let Some(targets) = targets_ref {
+                    let n_constrained = if omd.cmd_first_layer_only {
+                        1
+                    } else {
+                        out.hidden.len()
+                    };
+                    if let Some(cmd) = sum_cmd(
+                        &mut tape,
+                        &out.hidden[..n_constrained],
+                        &targets[..n_constrained],
+                        omd.width,
+                        omd.cmd_mean_scale,
+                    ) {
+                        let scaled = tape.scale(cmd, omd.beta);
+                        cmd_term = Some(scaled);
+                        loss = tape.add(loss, scaled);
                     }
-                    tape.backward(loss);
+                }
+                tape.backward(loss);
 
-                    let grads: Vec<Matrix> = out
-                        .param_vars
-                        .iter()
-                        .map(|&v| tape.grad_or_zeros(v))
-                        .collect();
-                    let mut params = model.params();
-                    opt.step(&mut params, &grads);
-                    model.set_params(&params);
-                    model.post_step();
-                    for g in grads {
-                        tape.recycle_matrix(g);
-                    }
-                    for p in params {
-                        tape.recycle_matrix(p);
-                    }
-                    let scalars = (
-                        tape.scalar(loss),
-                        tape.scalar(ce),
-                        ortho_term.map_or(0.0, |v| tape.scalar(v)),
-                        cmd_term.map_or(0.0, |v| tape.scalar(v)),
-                    );
-                    *ws = tape.recycle();
-                    scalars
-                },
-            )
+                let grads: Vec<Matrix> = out
+                    .param_vars
+                    .iter()
+                    .map(|&v| tape.grad_or_zeros(v))
+                    .collect();
+                let mut params = model.params();
+                opt.step(&mut params, &grads);
+                model.set_params(&params);
+                model.post_step();
+                for g in grads {
+                    tape.recycle_matrix(g);
+                }
+                for p in params {
+                    tape.recycle_matrix(p);
+                }
+                let scalars = (
+                    tape.scalar(loss),
+                    tape.scalar(ce),
+                    ortho_term.map_or(0.0, |v| tape.scalar(v)),
+                    cmd_term.map_or(0.0, |v| tape.scalar(v)),
+                );
+                *ws = tape.recycle();
+                Some(scalars)
+            })
             .collect();
         driver.timer.add("client", start.elapsed());
-        for (client, &(loss, ce, ortho, cmd)) in losses.iter().enumerate() {
+        for (client, &(loss, ce, ortho, cmd)) in losses
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.as_ref().map(|l| (i, l)))
+        {
             obs.on_event(&RoundEvent::LocalStepDone {
                 client: client as u32,
                 epoch: 0,
@@ -438,9 +463,17 @@ pub fn run_fedomd_resumable(
         sw.finish(obs);
 
         // --- Phase 4: FedAvg over the channel (partial under faults) ---
+        // Interleaved upload → collect → fold: the uplink queue holds at
+        // most one weight update at a time and the accumulator keeps
+        // AGG_LANES f64 partials, so server aggregation memory is
+        // O(model) regardless of cohort size.
         let start = Stopwatch::start();
         let sw = PhaseStopwatch::start(Phase::Comms);
+        let mut agg = UpdateAccumulator::new();
         for (i, mo) in models.iter().enumerate() {
+            if !in_cohort[i] {
+                continue;
+            }
             let bytes = chan.upload(Envelope {
                 round: round as u64,
                 sender: i as u32,
@@ -451,33 +484,30 @@ pub fn run_fedomd_resumable(
             driver
                 .comms
                 .record(Direction::Uplink, TrafficClass::Weights, bytes as u64);
+            for env in chan.server_collect(round as u64) {
+                fold_weight_update(&mut agg, env);
+            }
         }
-        let received = chan.server_collect(round as u64);
+        // Straggler drain: both in-process channels resolve every pending
+        // frame at the first collect after its upload, but a buffering
+        // channel impl may surface late arrivals here.
+        for env in chan.server_collect(round as u64) {
+            fold_weight_update(&mut agg, env);
+        }
         chan.flush_into(obs);
         sw.finish(obs);
-        if !received.is_empty() {
-            let sets: Vec<Vec<Matrix>> = received
-                .into_iter()
-                .map(|env| match env.payload {
-                    Payload::WeightUpdate { params } => from_tensors(params),
-                    // LINT: allow(panic) protocol invariant: every channel
-                    // impl routes only client uplink frames to
-                    // `server_collect`, and FedOMD clients upload nothing
-                    // but `WeightUpdate` in Phase 4 — any other payload
-                    // here is a routing bug that must fail loudly.
-                    other => panic!("server expected WeightUpdate, got {}", other.kind()),
-                })
-                .collect();
-            let participants = sets.len();
-            let sw = PhaseStopwatch::start(Phase::Aggregation);
-            let weights = vec![1.0; participants];
-            let global = fedavg(&sets, &weights);
-            sw.finish(obs);
+        let participants = agg.pushed();
+        let sw = PhaseStopwatch::start(Phase::Aggregation);
+        let global = agg.finish();
+        sw.finish(obs);
+        if let Some(global) = global {
             if track {
                 last_global = Some(global.clone());
             }
             obs.on_event(&RoundEvent::AggregationDone { participants });
             let sw = PhaseStopwatch::start(Phase::Comms);
+            // Broadcast to every client — spectators included — so the
+            // federation stays synchronised for pooled evaluation.
             for (i, mo) in models.iter_mut().enumerate() {
                 let bytes = chan.download(
                     i as u32,
@@ -506,7 +536,15 @@ pub fn run_fedomd_resumable(
         driver.comms.sync_dropped(chan.stats().dropped_frames);
         driver.timer.add("server", start.elapsed());
 
-        let mean_loss = losses.iter().map(|&(l, ..)| l as f64).sum::<f64>() / losses.len() as f64;
+        let active: Vec<f64> = losses
+            .iter()
+            .filter_map(|l| l.map(|(loss, ..)| loss as f64))
+            .collect();
+        let mean_loss = if active.is_empty() {
+            f64::NAN
+        } else {
+            active.iter().sum::<f64>() / active.len() as f64
+        };
         driver.end_round_observed(round, mean_loss, &models, clients, obs);
         if let Some(sink) = persist.sink.as_mut() {
             if sink.every() > 0 && (round + 1).is_multiple_of(sink.every()) {
@@ -572,8 +610,9 @@ pub(crate) fn sum_cmd(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FedRun;
     use fedomd_data::{generate, spec, DatasetName};
-    use fedomd_federated::{setup_federation, FederationConfig};
+    use fedomd_federated::{setup_federation, CohortConfig, FederationConfig};
 
     fn mini_clients(m: usize, seed: u64) -> (Vec<ClientData>, usize) {
         let ds = generate(&spec(DatasetName::CoraMini), seed);
@@ -591,10 +630,28 @@ mod tests {
         }
     }
 
+    fn run(clients: &[ClientData], k: usize, cfg: &TrainConfig, omd: &FedOmdConfig) -> RunResult {
+        FedRun::new(clients, k).train(cfg.clone()).omd(*omd).run()
+    }
+
+    fn run_over(
+        clients: &[ClientData],
+        k: usize,
+        cfg: &TrainConfig,
+        omd: &FedOmdConfig,
+        chan: &mut dyn Channel,
+    ) -> RunResult {
+        FedRun::new(clients, k)
+            .train(cfg.clone())
+            .omd(*omd)
+            .channel(chan)
+            .run()
+    }
+
     #[test]
     fn fedomd_learns_above_chance() {
         let (clients, k) = mini_clients(3, 0);
-        let r = run_fedomd(&clients, k, &quick_cfg(0), &FedOmdConfig::paper());
+        let r = run(&clients, k, &quick_cfg(0), &FedOmdConfig::paper());
         assert!(
             r.test_acc > 1.5 / k as f64,
             "accuracy {} too low",
@@ -611,7 +668,7 @@ mod tests {
         let (clients, k) = mini_clients(3, 1);
         let mut cfg = quick_cfg(1);
         cfg.rounds = 5;
-        let r = run_fedomd(&clients, k, &cfg, &FedOmdConfig::paper());
+        let r = run(&clients, k, &cfg, &FedOmdConfig::paper());
         assert!(r.comms.stats_uplink_bytes > 0);
         assert!(
             r.comms.stats_fraction() < 0.15,
@@ -635,7 +692,7 @@ mod tests {
                 ..FedOmdConfig::paper()
             },
         ] {
-            let r = run_fedomd(&clients, k, &cfg, &omd);
+            let r = run(&clients, k, &cfg, &omd);
             assert!(r.test_acc.is_finite());
             assert!((0.0..=1.0).contains(&r.test_acc));
         }
@@ -656,7 +713,7 @@ mod tests {
                 hidden_dim: hidden,
                 ..TrainConfig::mini(1)
             };
-            let r = run_fedomd(&clients, k, &cfg, &FedOmdConfig::paper());
+            let r = run(&clients, k, &cfg, &FedOmdConfig::paper());
             let weight_bytes = r.comms.uplink_bytes - r.comms.stats_uplink_bytes;
             r.comms.stats_uplink_bytes as f64 / weight_bytes as f64
         };
@@ -681,9 +738,9 @@ mod tests {
         let (clients, k) = mini_clients(2, 6);
         let mut cfg = quick_cfg(6);
         cfg.rounds = 8;
-        let a = run_fedomd(&clients, k, &cfg, &FedOmdConfig::paper());
+        let a = run(&clients, k, &cfg, &FedOmdConfig::paper());
         let mut sim = SimNetChannel::new(FaultConfig::default());
-        let b = run_fedomd_with(&clients, k, &cfg, &FedOmdConfig::paper(), &mut sim);
+        let b = run_over(&clients, k, &cfg, &FedOmdConfig::paper(), &mut sim);
         assert_eq!(a.test_acc, b.test_acc);
         assert_eq!(a.history, b.history);
         assert_eq!(a.comms, b.comms);
@@ -702,11 +759,11 @@ mod tests {
             max_retries: 1,
             ..Default::default()
         };
-        let run = |fault: FaultConfig| {
+        let run_lossy = |fault: FaultConfig| {
             let mut sim = SimNetChannel::new(fault);
-            run_fedomd_with(&clients, k, &cfg, &FedOmdConfig::paper(), &mut sim)
+            run_over(&clients, k, &cfg, &FedOmdConfig::paper(), &mut sim)
         };
-        let r = run(fault.clone());
+        let r = run_lossy(fault.clone());
         // Drops hit every exchange: stats rounds degrade to CMD-less
         // training for the affected clients, FedAvg degrades to partial
         // aggregation — and the run still converges sanely.
@@ -720,7 +777,7 @@ mod tests {
             "accuracy {} at or below chance",
             r.test_acc
         );
-        let r2 = run(fault);
+        let r2 = run_lossy(fault);
         assert_eq!(
             r.test_acc, r2.test_acc,
             "same fault seed must replay identically"
@@ -733,7 +790,7 @@ mod tests {
         let (clients, k) = mini_clients(2, 3);
         let mut cfg = quick_cfg(3);
         cfg.rounds = 4;
-        let r = run_fedomd(&clients, k, &cfg, &FedOmdConfig::ortho_only());
+        let r = run(&clients, k, &cfg, &FedOmdConfig::ortho_only());
         assert_eq!(r.comms.stats_uplink_bytes, 0);
     }
 
@@ -742,8 +799,8 @@ mod tests {
         let (clients, k) = mini_clients(2, 4);
         let mut cfg = quick_cfg(4);
         cfg.rounds = 8;
-        let a = run_fedomd(&clients, k, &cfg, &FedOmdConfig::paper());
-        let b = run_fedomd(&clients, k, &cfg, &FedOmdConfig::paper());
+        let a = run(&clients, k, &cfg, &FedOmdConfig::paper());
+        let b = run(&clients, k, &cfg, &FedOmdConfig::paper());
         assert_eq!(a.test_acc, b.test_acc);
         assert_eq!(a.comms, b.comms);
     }
@@ -757,7 +814,58 @@ mod tests {
             hidden_layers: 4,
             ..FedOmdConfig::paper()
         };
-        let r = run_fedomd(&clients, k, &cfg, &omd);
+        let r = run(&clients, k, &cfg, &omd);
         assert!(r.test_acc.is_finite());
+    }
+
+    #[test]
+    fn sampled_cohort_trains_subset_and_stays_synchronised() {
+        use fedomd_telemetry::MemoryObserver;
+        let (clients, k) = mini_clients(4, 8);
+        let mut cfg = quick_cfg(8);
+        cfg.rounds = 4;
+        cfg.patience = 40;
+        cfg.cohort = CohortConfig::fraction(0.5, 21);
+        let mut mem = MemoryObserver::new();
+        let r = FedRun::new(&clients, k)
+            .train(cfg.clone())
+            .omd(FedOmdConfig::paper())
+            .observer(&mut mem)
+            .run();
+        // Exactly the sampled half of the federation trains each round...
+        assert_eq!(mem.count("local_step_done"), 4 * 2);
+        assert!(r.test_acc.is_finite());
+
+        // ...and uplink traffic shrinks accordingly versus full
+        // participation (2 of 4 uploads per round).
+        let full_cfg = TrainConfig {
+            cohort: CohortConfig::full(),
+            ..cfg.clone()
+        };
+        let full = run(&clients, k, &full_cfg, &FedOmdConfig::paper());
+        assert!(
+            r.comms.uplink_bytes < full.comms.uplink_bytes,
+            "sampling must cut uplink traffic: {} vs {}",
+            r.comms.uplink_bytes,
+            full.comms.uplink_bytes
+        );
+    }
+
+    #[test]
+    fn sampled_runs_replay_per_cohort_seed() {
+        let (clients, k) = mini_clients(4, 9);
+        let mut cfg = quick_cfg(9);
+        cfg.rounds = 6;
+        cfg.cohort = CohortConfig::fraction(0.5, 5);
+        let a = run(&clients, k, &cfg, &FedOmdConfig::paper());
+        let b = run(&clients, k, &cfg, &FedOmdConfig::paper());
+        assert_eq!(a.test_acc, b.test_acc);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.comms, b.comms);
+        // A different sampling seed draws different cohorts → different
+        // traffic pattern is possible but the run still completes.
+        cfg.cohort.seed = 6;
+        let c = run(&clients, k, &cfg, &FedOmdConfig::paper());
+        assert!(c.test_acc.is_finite());
     }
 }

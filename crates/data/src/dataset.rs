@@ -16,6 +16,12 @@ pub struct Dataset {
     pub labels: Vec<usize>,
     /// Number of classes.
     pub n_classes: usize,
+    /// Planted community per node, when the generator knows it (synthetic
+    /// datasets always do). Empty means "unknown — discover via Louvain".
+    /// Federation setup can cut along these directly
+    /// (`setup_federation_planted`), which is what makes thousand-party
+    /// federations affordable.
+    pub communities: Vec<usize>,
 }
 
 impl Dataset {
@@ -43,6 +49,13 @@ impl Dataset {
         }
         if !self.features.all_finite() {
             return Err("non-finite feature values".into());
+        }
+        if !self.communities.is_empty() && self.communities.len() != self.graph.n_nodes() {
+            return Err(format!(
+                "communities {} != nodes {} (must be empty or full)",
+                self.communities.len(),
+                self.graph.n_nodes()
+            ));
         }
         Ok(())
     }
@@ -83,6 +96,7 @@ mod tests {
             features: Matrix::from_fn(3, 2, |r, c| (r + c) as f32),
             labels: vec![0, 1, 0],
             n_classes: 2,
+            communities: Vec::new(),
         }
     }
 
@@ -105,5 +119,14 @@ mod tests {
         let mut d = tiny();
         d.features = Matrix::zeros(4, 2);
         assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn communities_must_be_empty_or_cover_every_node() {
+        let mut d = tiny();
+        d.communities = vec![0, 1];
+        assert!(d.validate().is_err());
+        d.communities = vec![0, 1, 0];
+        d.validate().expect("full community vector is valid");
     }
 }

@@ -35,6 +35,30 @@ pub struct SynthParams {
     pub nnz_per_node: usize,
 }
 
+impl SynthParams {
+    /// A federation-scale preset: `n_parties` planted communities of ~16
+    /// nodes each, with modest feature/edge budgets so generating a
+    /// 5000-party graph stays in the tens of milliseconds. Pair with
+    /// `setup_federation_planted`, which cuts along the planted
+    /// communities instead of re-discovering them with Louvain.
+    pub fn many_party(n_parties: usize) -> SynthParams {
+        assert!(n_parties >= 1);
+        let n_nodes = n_parties * 16;
+        SynthParams {
+            name: format!("many-party-{n_parties}"),
+            n_nodes,
+            n_edges: n_nodes * 3,
+            n_classes: 8,
+            n_features: 32,
+            n_communities: n_parties,
+            intra_ratio: 0.9,
+            label_purity: 0.8,
+            class_signature_dims: 6,
+            nnz_per_node: 6,
+        }
+    }
+}
+
 /// Generates a dataset from the block model.
 ///
 /// Construction:
@@ -118,13 +142,34 @@ pub fn generate(params: &SynthParams, seed: u64) -> Dataset {
         }
     }
 
+    // At federation scale (thousands of communities) the linear size²
+    // scan below would make edge sampling quadratic, so large k switches
+    // to binary search over prefix sums. The two picks differ in rounding
+    // (sequential subtraction vs prefix totals), so the scan is kept for
+    // small k to leave every existing dataset bit-for-bit unchanged.
+    let cum_sq: Vec<f64> = if k > 256 {
+        let mut acc = 0.0;
+        sq_sizes
+            .iter()
+            .map(|&s| {
+                acc += s;
+                acc
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     for _ in 0..n_intra {
         // Community ∝ size² (uniform pair sampling within).
         let mut t = rng.gen::<f64>() * sq_total;
         let mut c = 0;
-        while c + 1 < k && t > sq_sizes[c] {
-            t -= sq_sizes[c];
-            c += 1;
+        if cum_sq.is_empty() {
+            while c + 1 < k && t > sq_sizes[c] {
+                t -= sq_sizes[c];
+                c += 1;
+            }
+        } else {
+            c = cum_sq.partition_point(|&acc| acc < t).min(k - 1);
         }
         let m = &members[c];
         if m.len() < 2 {
@@ -209,6 +254,7 @@ pub fn generate(params: &SynthParams, seed: u64) -> Dataset {
         features,
         labels,
         n_classes: params.n_classes,
+        communities: comm_of,
     };
     debug_assert!(ds.validate().is_ok());
     ds
@@ -298,6 +344,28 @@ mod tests {
             // nnz_per_node = 8 scaled by the community length factor (≤ 1.7).
             assert!(nnz <= 14, "row {r} has {nnz} nonzeros");
         }
+    }
+
+    #[test]
+    fn planted_communities_are_recorded() {
+        let ds = generate(&small_params(), 8);
+        assert_eq!(ds.communities.len(), ds.n_nodes());
+        let k = ds.communities.iter().copied().max().unwrap() + 1;
+        assert_eq!(k, 12, "every planted community must be non-empty");
+    }
+
+    #[test]
+    fn many_party_preset_generates_at_scale() {
+        // 300 communities also exercises the prefix-sum community pick
+        // (the k > 256 fast path).
+        let p = SynthParams::many_party(300);
+        let ds = generate(&p, 0);
+        ds.validate().expect("valid");
+        assert_eq!(ds.n_nodes(), 300 * 16);
+        let k = ds.communities.iter().copied().max().unwrap() + 1;
+        assert_eq!(k, 300);
+        let h = ds.graph.edge_homophily(&ds.labels);
+        assert!(h > 0.4, "homophily {h} too low for a planted graph");
     }
 
     #[test]

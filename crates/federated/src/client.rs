@@ -3,7 +3,10 @@
 use std::sync::Arc;
 
 use fedomd_data::Dataset;
-use fedomd_graph::{louvain_cut, split_nodes, LouvainConfig, SplitRatios, Splits};
+use fedomd_graph::{
+    assign_parties, extract_parties, louvain_cut, rebalance_empty_parties, split_nodes,
+    LouvainConfig, PartySubgraph, SplitRatios, Splits,
+};
 use fedomd_nn::GraphInput;
 use fedomd_sparse::normalized_adjacency;
 use fedomd_tensor::rng::derive;
@@ -75,7 +78,46 @@ pub fn setup_federation(dataset: &Dataset, cfg: &FederationConfig) -> Vec<Client
         ..Default::default()
     };
     let parties = louvain_cut(&dataset.graph, cfg.n_parties, &louvain_cfg);
+    bundle_parties(dataset, cfg, parties)
+}
 
+/// Cuts `dataset` along its **planted** communities (`dataset.communities`)
+/// instead of re-discovering them with Louvain: greedy community→party
+/// packing, bulk subgraph extraction, per-party stratified splits.
+///
+/// This is the affordable path to thousand-party federations — Louvain on
+/// a graph wide enough for 5000 parties dominates setup, while the planted
+/// cut is linear in nodes and edges. `cfg.resolution` is ignored (there is
+/// nothing to rediscover); splits and tie-breaking still follow
+/// `cfg.seed`, so the cut is deterministic per seed.
+///
+/// Panics when the dataset has no community vector (real-world datasets
+/// without planted structure should go through [`setup_federation`]).
+pub fn setup_federation_planted(dataset: &Dataset, cfg: &FederationConfig) -> Vec<ClientData> {
+    assert_eq!(
+        dataset.communities.len(),
+        dataset.n_nodes(),
+        "dataset {:?} has no planted communities; use setup_federation",
+        dataset.name
+    );
+    let party_of_comm = assign_parties(&dataset.communities, cfg.n_parties);
+    let mut node_party: Vec<usize> = dataset
+        .communities
+        .iter()
+        .map(|&c| party_of_comm[c])
+        .collect();
+    rebalance_empty_parties(&mut node_party, cfg.n_parties);
+    let parties = extract_parties(&dataset.graph, &node_party, cfg.n_parties);
+    bundle_parties(dataset, cfg, parties)
+}
+
+/// Turns party subgraphs into full client bundles: local labels/features,
+/// normalised operator, stratified splits.
+fn bundle_parties(
+    dataset: &Dataset,
+    cfg: &FederationConfig,
+    parties: Vec<PartySubgraph>,
+) -> Vec<ClientData> {
     parties
         .into_iter()
         .enumerate()
@@ -208,6 +250,54 @@ mod tests {
             assert_eq!(shard.splits.test, expect.splits.test);
         }
         assert!(client_shard(&ds, &cfg, 3).is_none());
+    }
+
+    #[test]
+    fn planted_cut_covers_all_nodes_and_is_non_iid() {
+        let ds = generate(&fedomd_data::SynthParams::many_party(40), 0);
+        let clients = setup_federation_planted(&ds, &FederationConfig::mini(40, 0));
+        assert_eq!(clients.len(), 40);
+        let mut seen = vec![false; ds.n_nodes()];
+        for c in &clients {
+            assert!(c.n_nodes() > 0, "planted cut left an empty party");
+            for &g in &c.global_ids {
+                assert!(!seen[g]);
+                seen[g] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Parties cut along communities inherit skewed label histograms.
+        let hist = |c: &ClientData| {
+            let mut h = vec![0f64; ds.n_classes];
+            for &l in &c.labels {
+                h[l] += 1.0;
+            }
+            let total: f64 = h.iter().sum();
+            h.into_iter().map(|v| v / total).collect::<Vec<_>>()
+        };
+        let h0 = hist(&clients[0]);
+        let h1 = hist(&clients[1]);
+        let tv: f64 = h0.iter().zip(&h1).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
+        assert!(tv > 0.1, "planted parties look i.i.d. (tv {tv})");
+    }
+
+    #[test]
+    fn planted_cut_is_deterministic_per_seed() {
+        let ds = generate(&fedomd_data::SynthParams::many_party(25), 3);
+        let a = setup_federation_planted(&ds, &FederationConfig::mini(25, 7));
+        let b = setup_federation_planted(&ds, &FederationConfig::mini(25, 7));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.global_ids, y.global_ids);
+            assert_eq!(x.splits.train, y.splits.train);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no planted communities")]
+    fn planted_cut_rejects_datasets_without_communities() {
+        let mut ds = mini();
+        ds.communities.clear();
+        let _ = setup_federation_planted(&ds, &FederationConfig::mini(3, 0));
     }
 
     #[test]

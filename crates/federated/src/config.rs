@@ -2,6 +2,92 @@
 
 use crate::comms::CommsLog;
 use fedomd_metrics::Timer;
+use fedomd_tensor::rng::{derive, seeded};
+use rand::Rng;
+
+/// Salt separating the cohort-sampling RNG stream from every other
+/// derived stream in the run.
+const COHORT_SALT: u64 = 0xC0_4074;
+
+/// Per-round client sampling — FedAvg-style partial participation.
+///
+/// Each round the driver samples `max(min_cohort, round(sample_frac · m))`
+/// of the `m` clients (clamped to `1..=m`); only the sampled cohort
+/// forwards, exchanges statistics, trains, and uploads weights, while the
+/// aggregated global model is still broadcast to *all* clients so pooled
+/// evaluation always sees a synchronised federation. The cohort is a pure
+/// function of `(seed, round)` — independent of the run seed — so resumed
+/// runs replay the same cohorts and the same seed always samples the same
+/// clients.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CohortConfig {
+    /// Fraction of clients sampled per round; `>= 1.0` means full
+    /// participation (the sampler returns `0..m` exactly).
+    pub sample_frac: f64,
+    /// Lower bound on the cohort size (clamped to the federation size).
+    pub min_cohort: usize,
+    /// Seed of the sampling stream.
+    pub seed: u64,
+}
+
+impl Default for CohortConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl CohortConfig {
+    /// Full participation: every client trains every round.
+    pub fn full() -> Self {
+        Self {
+            sample_frac: 1.0,
+            min_cohort: 1,
+            seed: 0,
+        }
+    }
+
+    /// Samples `sample_frac` of the clients per round.
+    pub fn fraction(sample_frac: f64, seed: u64) -> Self {
+        Self {
+            sample_frac,
+            min_cohort: 1,
+            seed,
+        }
+    }
+
+    /// True when sampling is disabled (every client participates).
+    pub fn is_full(&self) -> bool {
+        self.sample_frac >= 1.0
+    }
+
+    /// Cohort size for a federation of `m` clients.
+    pub fn cohort_size(&self, m: usize) -> usize {
+        if self.is_full() || m == 0 {
+            return m;
+        }
+        let target = (self.sample_frac.max(0.0) * m as f64).round() as usize;
+        target.max(self.min_cohort.min(m)).clamp(1, m)
+    }
+
+    /// The round's cohort: sorted, distinct client ids. A partial
+    /// Fisher–Yates shuffle seeded by `(self.seed, round)` alone, so the
+    /// same seed always samples the same cohort for a given round.
+    pub fn sample(&self, round: u64, m: usize) -> Vec<usize> {
+        if self.is_full() || m == 0 {
+            return (0..m).collect();
+        }
+        let k = self.cohort_size(m);
+        let mut ids: Vec<usize> = (0..m).collect();
+        let mut rng = seeded(derive(derive(self.seed, COHORT_SALT), round));
+        for j in 0..k {
+            let pick = rng.gen_range(j..m);
+            ids.swap(j, pick);
+        }
+        ids.truncate(k);
+        ids.sort_unstable();
+        ids
+    }
+}
 
 /// Federated training hyper-parameters (paper §5.1 defaults via
 /// [`TrainConfig::paper`], fast defaults via [`TrainConfig::mini`]).
@@ -26,6 +112,8 @@ pub struct TrainConfig {
     /// Evaluate every this many rounds (1 reproduces the paper's per-round
     /// convergence curves).
     pub eval_every: usize,
+    /// Per-round client sampling (default: full participation).
+    pub cohort: CohortConfig,
 }
 
 impl TrainConfig {
@@ -40,6 +128,7 @@ impl TrainConfig {
             hidden_dim: 64,
             seed,
             eval_every: 1,
+            cohort: CohortConfig::full(),
         }
     }
 
@@ -54,6 +143,7 @@ impl TrainConfig {
             hidden_dim: 32,
             seed,
             eval_every: 2,
+            cohort: CohortConfig::full(),
         }
     }
 }
@@ -144,5 +234,51 @@ mod tests {
         let mut flat = base.clone();
         flat.val_acc = 0.2;
         assert!(!flat.improved());
+    }
+
+    #[test]
+    fn same_seed_samples_the_same_cohort() {
+        let cohort = CohortConfig::fraction(0.1, 42);
+        for round in [0u64, 1, 7, 999] {
+            assert_eq!(cohort.sample(round, 1000), cohort.sample(round, 1000));
+        }
+        // Different rounds (and different seeds) draw different cohorts.
+        assert_ne!(cohort.sample(0, 1000), cohort.sample(1, 1000));
+        let other = CohortConfig::fraction(0.1, 43);
+        assert_ne!(cohort.sample(0, 1000), other.sample(0, 1000));
+    }
+
+    #[test]
+    fn full_participation_is_the_identity_cohort() {
+        let full = CohortConfig::full();
+        let m = 17;
+        assert_eq!(full.sample(3, m), (0..m).collect::<Vec<_>>());
+        // Any frac >= 1 short-circuits, bit-for-bit back-compat.
+        let over = CohortConfig::fraction(1.5, 9);
+        assert_eq!(over.sample(3, m), (0..m).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cohorts_are_sorted_distinct_and_sized() {
+        let cohort = CohortConfig {
+            sample_frac: 0.25,
+            min_cohort: 3,
+            seed: 7,
+        };
+        for round in 0u64..20 {
+            let ids = cohort.sample(round, 40);
+            assert_eq!(ids.len(), 10);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+            assert!(ids.iter().all(|&i| i < 40));
+        }
+        // min_cohort floors the size even for tiny fractions.
+        let tiny = CohortConfig {
+            sample_frac: 0.001,
+            min_cohort: 3,
+            seed: 7,
+        };
+        assert_eq!(tiny.sample(0, 40).len(), 3);
+        // ...but never exceeds the federation.
+        assert_eq!(tiny.sample(0, 2).len(), 1.max(tiny.min_cohort.min(2)));
     }
 }

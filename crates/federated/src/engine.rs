@@ -12,10 +12,12 @@
 //! sends and drops, aggregation, evaluation, early stopping — is reported
 //! to a [`RoundObserver`] (`fedomd-telemetry`). Observers are pure sinks:
 //! a run with any observer is bit-identical to the same run with
-//! [`NullObserver`], which the golden tests pin. The historical
-//! `run_generic` / `run_generic_with` entry points remain as thin
-//! wrappers; new call sites should prefer the `FedRun` builder in
-//! `fedomd-core`.
+//! [`NullObserver`], which the golden tests pin. Per-round client sampling
+//! ([`crate::CohortConfig`]) restricts training and uploads to a seeded
+//! cohort, and the server folds each arriving weight update into a
+//! streaming [`crate::helpers::UpdateAccumulator`] so aggregation memory
+//! stays O(model) at any cohort size. The `FedRun` builder in
+//! `fedomd-core` is the user-facing entry point.
 
 use fedomd_metrics::Stopwatch;
 
@@ -29,13 +31,12 @@ use fedomd_tensor::Matrix;
 use crate::client::ClientData;
 use crate::comms::{CommsLog, Direction, TrafficClass};
 use crate::config::{RoundStats, RunResult, TrainConfig};
-use crate::helpers::{evaluate, fedavg, local_step};
+use crate::helpers::{evaluate, local_step, UpdateAccumulator};
 use fedomd_telemetry::{
     NullObserver, ObservedChannel, Phase, PhaseStopwatch, RoundEvent, RoundObserver,
 };
 use fedomd_transport::{
-    from_tensors, to_tensors, Channel, ChannelState, Envelope, InProcChannel, Payload,
-    SERVER_SENDER,
+    from_tensors, to_tensors, Channel, ChannelState, Envelope, Payload, SERVER_SENDER,
 };
 
 /// Which local architecture the generic runner instantiates.
@@ -353,38 +354,16 @@ pub fn build_model(
     }
 }
 
-/// Runs a FedAvg-family algorithm to completion over the default
-/// fault-free in-process channel, without telemetry.
-pub fn run_generic(
-    clients: &[ClientData],
-    n_classes: usize,
-    cfg: &TrainConfig,
-    opts: &GenericOpts,
-) -> RunResult {
-    run_generic_with(clients, n_classes, cfg, opts, &mut InProcChannel::new())
-}
-
-/// Runs a FedAvg-family algorithm over `chan`, without telemetry.
-pub fn run_generic_with(
-    clients: &[ClientData],
-    n_classes: usize,
-    cfg: &TrainConfig,
-    opts: &GenericOpts,
-    chan: &mut dyn Channel,
-) -> RunResult {
-    run_generic_observed(clients, n_classes, cfg, opts, chan, &mut NullObserver)
-}
-
 /// Runs a FedAvg-family algorithm with every weight exchange travelling as
 /// encoded frames over `chan` and every milestone reported to `obs`.
 ///
-/// Each aggregation round: all clients upload `WeightUpdate` frames, the
-/// server aggregates **whatever arrived** (partial aggregation when the
-/// channel dropped clients), and broadcasts `GlobalModel` frames; a client
-/// whose downlink frame was lost keeps its local weights for the round.
-/// An entirely-lost round (no uploads arrive) leaves every model local.
-/// Byte accounting in [`CommsLog`] is the size of the actual encoded
-/// frames.
+/// Each aggregation round: the sampled cohort uploads `WeightUpdate`
+/// frames, the server aggregates **whatever arrived** (partial
+/// aggregation when the channel dropped clients), and broadcasts
+/// `GlobalModel` frames to every client; a client whose downlink frame
+/// was lost keeps its local weights for the round. An entirely-lost round
+/// (no uploads arrive) leaves every model local. Byte accounting in
+/// [`CommsLog`] is the size of the actual encoded frames.
 pub fn run_generic_observed(
     clients: &[ClientData],
     n_classes: usize,
@@ -484,6 +463,12 @@ pub fn run_generic_resumable(
         obs.on_event(&RoundEvent::RoundStarted {
             round: round as u64,
         });
+        // The round's cohort: pure function of (cohort seed, round).
+        let m = clients.len();
+        let mut in_cohort = vec![false; m];
+        for &i in &cfg.cohort.sample(round as u64, m) {
+            in_cohort[i] = true;
+        }
         let global_snapshot: Vec<Matrix> = if opts.prox_mu > 0.0 {
             models[0].params()
         } else {
@@ -495,12 +480,16 @@ pub fn run_generic_resumable(
         let prox_mu = opts.prox_mu;
         let local_epochs = cfg.local_epochs;
         let global_ref = &global_snapshot;
-        let epoch_losses: Vec<Vec<f32>> = models
+        let epoch_losses: Vec<Option<Vec<f32>>> = models
             .par_iter_mut()
             .zip(optimizers.par_iter_mut())
             .zip(clients.par_iter())
             .zip(workspaces.par_iter_mut())
-            .map(|(((model, opt), client), ws)| {
+            .zip(in_cohort.par_iter())
+            .map(|((((model, opt), client), ws), &active)| {
+                if !active {
+                    return None;
+                }
                 let mut losses = Vec::with_capacity(local_epochs);
                 for _ in 0..local_epochs {
                     losses.push(local_step(
@@ -524,11 +513,15 @@ pub fn run_generic_resumable(
                         |_| {},
                     ));
                 }
-                losses
+                Some(losses)
             })
             .collect();
         driver.timer.add("client", start.elapsed());
-        for (client, losses) in epoch_losses.iter().enumerate() {
+        for (client, losses) in epoch_losses
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.as_ref().map(|l| (i, l)))
+        {
             for (epoch, &loss) in losses.iter().enumerate() {
                 obs.on_event(&RoundEvent::LocalStepDone {
                     client: client as u32,
@@ -545,41 +538,52 @@ pub fn run_generic_resumable(
         if opts.aggregate {
             let start = Stopwatch::start();
             let sw = PhaseStopwatch::start(Phase::Comms);
-            for (i, m) in models.iter().enumerate() {
+            // Interleaved upload → collect → fold: the server folds each
+            // arriving update into a streaming accumulator, so the uplink
+            // queue holds at most one payload and aggregation memory is
+            // O(model) regardless of cohort size. Fold order is ascending
+            // sender (uploads happen in client order; a collect returns
+            // sender-sorted envelopes), so the float summation order is
+            // deterministic and matches a one-shot batch collect.
+            let mut agg = UpdateAccumulator::new();
+            let fold = |agg: &mut UpdateAccumulator, env: Envelope| match env.payload {
+                Payload::WeightUpdate { params } => agg.push(&from_tensors(params), 1.0),
+                // LINT: allow(panic) protocol invariant: clients in
+                // the FedAvg family upload nothing but
+                // `WeightUpdate`; another payload on the server's
+                // uplink is a routing bug that must fail loudly.
+                other => panic!("server expected WeightUpdate, got {}", other.kind()),
+            };
+            for (i, mo) in models.iter().enumerate() {
+                if !in_cohort[i] {
+                    continue;
+                }
                 let bytes = chan.upload(Envelope {
                     round: round as u64,
                     sender: i as u32,
                     payload: Payload::WeightUpdate {
-                        params: to_tensors(&m.params()),
+                        params: to_tensors(&mo.params()),
                     },
                 });
                 driver
                     .comms
                     .record(Direction::Uplink, TrafficClass::Weights, bytes as u64);
+                for env in chan.server_collect(round as u64) {
+                    fold(&mut agg, env);
+                }
             }
-            // Partial aggregation: average over whichever clients the
-            // channel delivered (sender-sorted, so the float summation
-            // order is deterministic).
-            let received = chan.server_collect(round as u64);
+            // Straggler drain for channel impls that buffer past the
+            // first post-upload collect.
+            for env in chan.server_collect(round as u64) {
+                fold(&mut agg, env);
+            }
             chan.flush_into(obs);
             sw.finish(obs);
-            if !received.is_empty() {
-                let param_sets: Vec<Vec<Matrix>> = received
-                    .into_iter()
-                    .map(|env| match env.payload {
-                        Payload::WeightUpdate { params } => from_tensors(params),
-                        // LINT: allow(panic) protocol invariant: clients in
-                        // the FedAvg family upload nothing but
-                        // `WeightUpdate`; another payload on the server's
-                        // uplink is a routing bug that must fail loudly.
-                        other => panic!("server expected WeightUpdate, got {}", other.kind()),
-                    })
-                    .collect();
-                let participants = param_sets.len();
-                let sw = PhaseStopwatch::start(Phase::Aggregation);
-                let weights = vec![1.0; participants];
-                let global = fedavg(&param_sets, &weights);
-                sw.finish(obs);
+            let participants = agg.pushed();
+            let sw = PhaseStopwatch::start(Phase::Aggregation);
+            let global = agg.finish();
+            sw.finish(obs);
+            if let Some(global) = global {
                 obs.on_event(&RoundEvent::AggregationDone { participants });
                 let sw = PhaseStopwatch::start(Phase::Comms);
                 for (i, m) in models.iter_mut().enumerate() {
@@ -611,14 +615,18 @@ pub fn run_generic_resumable(
             driver.timer.add("server", start.elapsed());
         }
 
-        // Mean of each client's last-epoch loss. `filter_map` instead of
-        // unwrapping `last()` keeps this panic-free even under a
-        // (nonsensical but representable) `local_epochs == 0` config.
-        let mean_loss = epoch_losses
+        // Mean of each sampled client's last-epoch loss. `filter_map`
+        // instead of unwrapping `last()` keeps this panic-free even under
+        // a (nonsensical but representable) `local_epochs == 0` config.
+        let active: Vec<f64> = epoch_losses
             .iter()
-            .filter_map(|l| l.last().map(|&x| x as f64))
-            .sum::<f64>()
-            / epoch_losses.len() as f64;
+            .filter_map(|l| l.as_ref().and_then(|l| l.last()).map(|&x| x as f64))
+            .collect();
+        let mean_loss = if active.is_empty() {
+            f64::NAN
+        } else {
+            active.iter().sum::<f64>() / active.len() as f64
+        };
         driver.end_round_observed(round, mean_loss, &models, clients, obs);
         if let Some(sink) = persist.sink.as_mut() {
             if sink.every() > 0 && (round + 1).is_multiple_of(sink.every()) {
@@ -646,6 +654,7 @@ mod tests {
     use super::*;
     use crate::client::{setup_federation, FederationConfig};
     use fedomd_data::{generate, spec, DatasetName};
+    use fedomd_transport::InProcChannel;
 
     fn clients(m: usize) -> (Vec<ClientData>, usize) {
         let ds = generate(&spec(DatasetName::CoraMini), 0);
@@ -661,6 +670,27 @@ mod tests {
             patience: 40,
             ..TrainConfig::mini(0)
         }
+    }
+
+    // Test-local shorthands over the one real entry point (the public
+    // builder lives in `fedomd-core`, which depends on this crate).
+    fn run_generic(
+        clients: &[ClientData],
+        n_classes: usize,
+        cfg: &TrainConfig,
+        opts: &GenericOpts,
+    ) -> RunResult {
+        run_generic_with(clients, n_classes, cfg, opts, &mut InProcChannel::new())
+    }
+
+    fn run_generic_with(
+        clients: &[ClientData],
+        n_classes: usize,
+        cfg: &TrainConfig,
+        opts: &GenericOpts,
+        chan: &mut dyn Channel,
+    ) -> RunResult {
+        run_generic_observed(clients, n_classes, cfg, opts, chan, &mut NullObserver)
     }
 
     #[test]
@@ -840,6 +870,39 @@ mod tests {
         for (x, y) in a.history.iter().zip(&b.history) {
             assert_eq!(x.val_acc, y.val_acc);
         }
+    }
+
+    #[test]
+    fn sampled_cohort_runs_and_replays() {
+        use crate::config::CohortConfig;
+        let (cl, k) = clients(4);
+        let mut cfg = quick_cfg();
+        cfg.rounds = 10;
+        cfg.patience = 40;
+        cfg.cohort = CohortConfig::fraction(0.5, 3);
+        let opts = GenericOpts {
+            name: "FedMLP",
+            model: ModelKind::Mlp,
+            aggregate: true,
+            prox_mu: 0.0,
+        };
+        let a = run_generic(&cl, k, &cfg, &opts);
+        let b = run_generic(&cl, k, &cfg, &opts);
+        assert!(a.test_acc.is_finite());
+        assert_eq!(a.test_acc, b.test_acc);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.comms, b.comms);
+        // Half the cohort uploads per round vs full participation.
+        let full = run_generic(
+            &cl,
+            k,
+            &TrainConfig {
+                cohort: CohortConfig::full(),
+                ..cfg.clone()
+            },
+            &opts,
+        );
+        assert!(a.comms.uplink_bytes < full.comms.uplink_bytes);
     }
 
     #[test]

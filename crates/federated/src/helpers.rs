@@ -1,10 +1,12 @@
 //! Shared machinery for every federated algorithm: prediction, weighted
-//! evaluation, the FedAvg reduction, and the single-client training step.
+//! evaluation, the FedAvg reduction (batch [`fedavg`] and streaming
+//! [`UpdateAccumulator`]), and the single-client training step.
 
 use fedomd_autograd::{Tape, Var, Workspace};
 use fedomd_metrics::accuracy::argmax_row;
 use fedomd_nn::{ForwardOut, Model, Optimizer};
 use fedomd_tensor::Matrix;
+use rayon::prelude::*;
 
 use crate::client::ClientData;
 
@@ -75,6 +77,151 @@ pub fn fedavg(param_sets: &[Vec<Matrix>], weights: &[f64]) -> Vec<Matrix> {
         }
     }
     out
+}
+
+/// Fixed lane count of [`UpdateAccumulator`] — the same shard-reduction
+/// scheme as `fedomd_core::protocol`'s statistics accumulators, so every
+/// aggregate in the system folds in the same machine-independent order.
+pub const AGG_LANES: usize = 8;
+
+/// Streaming FedAvg (paper Eq. 2 / Algorithm 1 line 27): folds one
+/// client's parameter set at a time so the server never materialises the
+/// O(clients × model) vector of updates — peak memory is
+/// `AGG_LANES × model` f64 partials, O(model).
+///
+/// Accumulates `Σ_i w_i · W_i` in f64 across [`AGG_LANES`] fixed lanes
+/// (push `i` lands in lane `i % AGG_LANES`); [`finish`](Self::finish)
+/// folds the lanes in lane order and divides by `Σ w_i` once. Because the
+/// lane an update maps to depends only on its push index, the sequential
+/// streaming path and the parallel sharded tree
+/// ([`push_batch`](Self::push_batch)) are bit-identical.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateAccumulator {
+    /// `lanes[lane][param][element]`.
+    lanes: Vec<Vec<Vec<f64>>>,
+    /// Per-parameter `(rows, cols)`, fixed by the first push.
+    shapes: Vec<(usize, usize)>,
+    total_weight: f64,
+    pushed: usize,
+}
+
+/// Folds one parameter set into a lane partial: `acc += w · params`.
+fn fold_update(acc: &mut [Vec<f64>], params: &[Matrix], weight: f64) {
+    for (lane_param, p) in acc.iter_mut().zip(params) {
+        for (a, &v) in lane_param.iter_mut().zip(p.as_slice()) {
+            *a += weight * v as f64;
+        }
+    }
+}
+
+impl UpdateAccumulator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Updates folded so far.
+    pub fn pushed(&self) -> usize {
+        self.pushed
+    }
+
+    fn init_shape(&mut self, params: &[Matrix]) {
+        self.shapes = params.iter().map(|p| p.shape()).collect();
+        self.lanes = (0..AGG_LANES)
+            .map(|_| {
+                self.shapes
+                    .iter()
+                    .map(|&(r, c)| vec![0.0f64; r * c])
+                    .collect()
+            })
+            .collect();
+    }
+
+    fn check_shape(&self, params: &[Matrix]) {
+        assert_eq!(
+            params.len(),
+            self.shapes.len(),
+            "UpdateAccumulator: param arity mismatch"
+        );
+        for (p, &s) in params.iter().zip(&self.shapes) {
+            assert_eq!(p.shape(), s, "UpdateAccumulator: shape mismatch");
+        }
+    }
+
+    /// Folds one client's parameters with FedAvg weight `weight`. The
+    /// first push fixes the expected shapes; later pushes must match.
+    pub fn push(&mut self, params: &[Matrix], weight: f64) {
+        assert!(weight >= 0.0, "UpdateAccumulator: negative weight");
+        if self.pushed == 0 {
+            self.init_shape(params);
+        } else {
+            self.check_shape(params);
+        }
+        let lane = self.pushed % AGG_LANES;
+        fold_update(&mut self.lanes[lane], params, weight);
+        self.total_weight += weight;
+        self.pushed += 1;
+    }
+
+    /// Sharded-tree fold of a batch: each lane reduces its stride of the
+    /// batch on its own worker, in batch order — bit-identical to pushing
+    /// the batch sequentially.
+    pub fn push_batch(&mut self, batch: &[(Vec<Matrix>, f64)]) {
+        let Some((first, _)) = batch.first() else {
+            return;
+        };
+        if self.pushed == 0 {
+            self.init_shape(first);
+        }
+        for (params, weight) in batch {
+            assert!(*weight >= 0.0, "UpdateAccumulator: negative weight");
+            self.check_shape(params);
+        }
+        let base = self.pushed % AGG_LANES;
+        self.lanes
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(lane, acc)| {
+                let mut j = (lane + AGG_LANES - base) % AGG_LANES;
+                while j < batch.len() {
+                    let (params, weight) = &batch[j];
+                    fold_update(acc, params, *weight);
+                    j += AGG_LANES;
+                }
+            });
+        for (_, weight) in batch {
+            self.total_weight += *weight;
+        }
+        self.pushed += batch.len();
+    }
+
+    /// Folds the lane partials in lane order, divides by the total weight,
+    /// and returns the averaged model. `None` when nothing was pushed (or
+    /// every weight was zero) — the caller keeps the previous global
+    /// model, exactly as an empty round does today.
+    pub fn finish(self) -> Option<Vec<Matrix>> {
+        if self.pushed == 0 || self.total_weight <= 0.0 {
+            return None;
+        }
+        let total = self.total_weight;
+        Some(
+            self.shapes
+                .iter()
+                .enumerate()
+                .map(|(pi, &(rows, cols))| {
+                    let data = (0..rows * cols)
+                        .map(|e| {
+                            let mut sum = 0.0f64;
+                            for lane in &self.lanes {
+                                sum += lane[pi][e];
+                            }
+                            (sum / total) as f32
+                        })
+                        .collect();
+                    Matrix::from_vec(rows, cols, data)
+                })
+                .collect(),
+        )
+    }
 }
 
 /// One local training step: forward, CE over the train mask, optional
@@ -210,5 +357,68 @@ mod tests {
         let labels = vec![0, 0];
         let (c, t) = count_correct(&logits, &labels, &[0, 1]);
         assert_eq!((c, t), (1, 2));
+    }
+
+    #[test]
+    fn update_accumulator_weighted_mean() {
+        let a = vec![Matrix::from_vec(1, 1, vec![0.0])];
+        let b = vec![Matrix::from_vec(1, 1, vec![10.0])];
+        let mut acc = UpdateAccumulator::new();
+        acc.push(&a, 3.0);
+        acc.push(&b, 1.0);
+        let avg = acc.finish().expect("two updates");
+        assert!((avg[0][(0, 0)] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn update_accumulator_empty_yields_none() {
+        assert!(UpdateAccumulator::new().finish().is_none());
+        // All-zero weights keep the old global too.
+        let mut acc = UpdateAccumulator::new();
+        acc.push(&[Matrix::from_vec(1, 1, vec![4.0])], 0.0);
+        assert!(acc.finish().is_none());
+    }
+
+    #[test]
+    fn update_accumulator_streaming_matches_sharded_bitwise() {
+        let mut rng = seeded(11);
+        use rand::Rng;
+        let batch: Vec<(Vec<Matrix>, f64)> = (0..23)
+            .map(|_| {
+                let params = vec![
+                    Matrix::from_vec(2, 3, (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect()),
+                    Matrix::from_vec(1, 4, (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect()),
+                ];
+                (params, rng.gen_range(0.0..3.0f64))
+            })
+            .collect();
+
+        let mut seq = UpdateAccumulator::new();
+        for (params, w) in &batch {
+            seq.push(params, *w);
+        }
+        let seq = seq.finish().expect("23 updates");
+
+        let mut tree = UpdateAccumulator::new();
+        // Split across push and push_batch to cover the mixed path.
+        for (params, w) in &batch[..5] {
+            tree.push(params, *w);
+        }
+        tree.push_batch(&batch[5..]);
+        let tree = tree.finish().expect("23 updates");
+
+        for (a, b) in seq.iter().zip(&tree) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+
+        // And both sit within float tolerance of the f32 batch fedavg.
+        let sets: Vec<Vec<Matrix>> = batch.iter().map(|(p, _)| p.clone()).collect();
+        let weights: Vec<f64> = batch.iter().map(|(_, w)| *w).collect();
+        let reference = fedavg(&sets, &weights);
+        for (a, b) in seq.iter().zip(&reference) {
+            a.assert_close(b, 1e-5);
+        }
     }
 }

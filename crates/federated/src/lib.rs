@@ -22,13 +22,16 @@ pub mod helpers;
 pub mod heterogeneity;
 pub mod secure_agg;
 
-pub use client::{client_shard, setup_federation, ClientData, FederationConfig};
-pub use comms::{CommsLog, Direction, TrafficClass};
-pub use config::{RoundStats, RunResult, TrainConfig};
-pub use engine::{
-    run_generic, run_generic_observed, run_generic_resumable, run_generic_with, CheckpointSink,
-    DriverState, GenericOpts, ModelKind, Persistence, ResumeState, StatsCache,
+pub use client::{
+    client_shard, setup_federation, setup_federation_planted, ClientData, FederationConfig,
 };
+pub use comms::{CommsLog, Direction, TrafficClass};
+pub use config::{CohortConfig, RoundStats, RunResult, TrainConfig};
+pub use engine::{
+    run_generic_observed, run_generic_resumable, CheckpointSink, DriverState, GenericOpts,
+    ModelKind, Persistence, ResumeState, StatsCache,
+};
+pub use helpers::UpdateAccumulator;
 pub use secure_agg::{
     aggregate_masked, secure_weighted_sum, secure_weighted_sum_frames, MaskingContext,
 };

@@ -15,7 +15,10 @@ pub mod split;
 
 pub use graph::Graph;
 pub use louvain::{louvain, LouvainConfig};
-pub use partition::{assign_parties, label_histograms, louvain_cut, PartySubgraph};
+pub use partition::{
+    assign_parties, extract_parties, label_histograms, louvain_cut, rebalance_empty_parties,
+    PartySubgraph,
+};
 pub use split::{split_nodes, SplitRatios, Splits};
 
 #[cfg(test)]

@@ -25,6 +25,11 @@ pub struct PartySubgraph {
 /// Communities are processed largest-first; each goes to the party with the
 /// fewest nodes so far. When there are fewer communities than parties, the
 /// largest communities are split round-robin so every party is non-empty.
+///
+/// The "smallest party" lookup runs on a min-heap keyed `(load, party)`, so
+/// the whole assignment is `O((k + m) log m)` — a linear scan per community
+/// would be quadratic at federation scale (thousands of parties). Ties
+/// break toward the lowest party id, exactly as a first-minimum scan would.
 pub fn assign_parties(community: &[usize], m: usize) -> Vec<usize> {
     assert!(m >= 1, "need at least one party");
     let k = community.iter().copied().max().map_or(0, |c| c + 1);
@@ -36,11 +41,12 @@ pub fn assign_parties(community: &[usize], m: usize) -> Vec<usize> {
     order.sort_unstable_by_key(|&c| std::cmp::Reverse(sizes[c]));
 
     let mut party_of_comm = vec![0usize; k];
-    let mut load = vec![0usize; m];
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, usize)>> =
+        (0..m).map(|p| std::cmp::Reverse((0, p))).collect();
     for &c in &order {
-        let p = (0..m).min_by_key(|&p| load[p]).expect("m >= 1");
+        let std::cmp::Reverse((load, p)) = heap.pop().expect("m >= 1");
         party_of_comm[c] = p;
-        load[p] += sizes[c];
+        heap.push(std::cmp::Reverse((load + sizes[c], p)));
     }
     party_of_comm
 }
@@ -58,37 +64,74 @@ pub fn louvain_cut(g: &Graph, m: usize, cfg: &LouvainConfig) -> Vec<PartySubgrap
     let mut node_party: Vec<usize> = community.iter().map(|&c| party_of_comm[c]).collect();
 
     rebalance_empty_parties(&mut node_party, m);
+    extract_parties(g, &node_party, m)
+}
 
-    (0..m)
-        .map(|p| {
-            let nodes: Vec<usize> = (0..g.n_nodes()).filter(|&u| node_party[u] == p).collect();
-            let (graph, global_ids) = g.induced_subgraph(&nodes);
-            PartySubgraph { graph, global_ids }
+/// Extracts every party's induced subgraph from a node→party assignment in
+/// one pass over the nodes and one pass over the edges — `O(n + E + m)`
+/// total, where calling [`Graph::induced_subgraph`] per party would cost
+/// `O(m · (n + E))` and dominate setup at thousands of parties.
+///
+/// Output is identical to the per-party extraction: local ids follow
+/// ascending global id, and surviving edges keep the global edge order.
+pub fn extract_parties(g: &Graph, node_party: &[usize], m: usize) -> Vec<PartySubgraph> {
+    assert_eq!(node_party.len(), g.n_nodes(), "assignment length mismatch");
+    assert!(node_party.iter().all(|&p| p < m), "party id out of range");
+    let mut local_id = vec![0usize; g.n_nodes()];
+    let mut global_ids: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (u, &p) in node_party.iter().enumerate() {
+        local_id[u] = global_ids[p].len();
+        global_ids[p].push(u);
+    }
+    let mut edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); m];
+    for &(u, v) in g.edges() {
+        let p = node_party[u];
+        if node_party[v] == p {
+            edges[p].push((local_id[u], local_id[v]));
+        }
+    }
+    global_ids
+        .into_iter()
+        .zip(edges)
+        .map(|(ids, es)| PartySubgraph {
+            graph: Graph::new(ids.len(), &es),
+            global_ids: ids,
         })
         .collect()
 }
 
 /// Ensures every party id in `0..m` owns at least one node by moving nodes
 /// out of the largest party. Deterministic (takes highest-indexed nodes).
-fn rebalance_empty_parties(node_party: &mut [usize], m: usize) {
+///
+/// Party sizes are counted once and maintained incrementally, so the cost
+/// is `O(n + m·e)` for `e` initially-empty parties rather than a full
+/// recount per move.
+pub fn rebalance_empty_parties(node_party: &mut [usize], m: usize) {
     if node_party.len() < m {
         // Cannot make every party non-empty; leave as is.
         return;
     }
-    loop {
-        let mut counts = vec![0usize; m];
-        for &p in node_party.iter() {
-            counts[p] += 1;
-        }
-        let Some(empty) = (0..m).find(|&p| counts[p] == 0) else {
-            return;
-        };
+    let mut counts = vec![0usize; m];
+    for &p in node_party.iter() {
+        counts[p] += 1;
+    }
+    // Ascending node lists per party: popping the back yields the
+    // highest-indexed node, matching the original reverse scan.
+    let mut nodes_of: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (u, &p) in node_party.iter().enumerate() {
+        nodes_of[p].push(u);
+    }
+    // Filling a party cannot empty another (the donor always keeps ≥ 1
+    // node), so the empty set is fixed up front; it is processed in
+    // ascending order, as the original first-empty scan did.
+    let empties: Vec<usize> = (0..m).filter(|&p| counts[p] == 0).collect();
+    for empty in empties {
         let donor = (0..m).max_by_key(|&p| counts[p]).expect("m >= 1");
-        let node = (0..node_party.len())
-            .rev()
-            .find(|&u| node_party[u] == donor)
-            .expect("donor party non-empty");
+        let node = nodes_of[donor].pop().expect("donor party non-empty");
         node_party[node] = empty;
+        nodes_of[empty].push(node);
+        counts[donor] -= 1;
+        counts[empty] += 1;
     }
 }
 

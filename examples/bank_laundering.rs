@@ -12,7 +12,7 @@
 //! cargo run --release --example bank_laundering
 //! ```
 
-use fedomd_core::{run_fedomd, FedOmdConfig};
+use fedomd_core::{FedOmdConfig, FedRun};
 use fedomd_data::{generate, SynthParams};
 use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
 
@@ -59,7 +59,10 @@ fn main() {
         "variant", "accuracy", "uplink MB", "stats share"
     );
     for (label, omd) in variants {
-        let r = run_fedomd(&clients, dataset.n_classes, &cfg, &omd);
+        let r = FedRun::new(&clients, dataset.n_classes)
+            .train(cfg.clone())
+            .omd(omd)
+            .run();
         println!(
             "{:<32} {:>8.2}% {:>10.2} {:>11.3}%",
             label,

@@ -10,7 +10,7 @@
 //! ```
 
 use fedomd_autograd::Tape;
-use fedomd_core::{run_fedomd, FedOmdConfig};
+use fedomd_core::{FedOmdConfig, FedRun};
 use fedomd_data::{generate, spec, DatasetName};
 use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
 use fedomd_nn::{Model, OrthoGcn, OrthoGcnConfig};
@@ -30,7 +30,10 @@ fn main() {
             hidden_layers: depth,
             ..FedOmdConfig::paper()
         };
-        let r = run_fedomd(&clients, dataset.n_classes, &cfg, &omd);
+        let r = FedRun::new(&clients, dataset.n_classes)
+            .train(cfg.clone())
+            .omd(omd)
+            .run();
 
         // Diversity of the deepest hidden layer on client 0 with a fresh
         // (untrained) stack of the same depth: how much signal survives

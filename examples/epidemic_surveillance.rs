@@ -13,7 +13,7 @@
 //! cargo run --release --example epidemic_surveillance
 //! ```
 
-use fedomd_core::{run_fedomd, FedOmdConfig};
+use fedomd_core::{FedOmdConfig, FedRun};
 use fedomd_data::{generate, SynthParams};
 use fedomd_federated::baselines::{run_baseline, Baseline};
 use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
@@ -50,7 +50,10 @@ fn main() {
         let r = run_baseline(b, &clients, dataset.n_classes, &cfg);
         rows.push((r.algorithm.clone(), r.test_acc, r.comms.total_bytes()));
     }
-    let r = run_fedomd(&clients, dataset.n_classes, &cfg, &FedOmdConfig::paper());
+    let r = FedRun::new(&clients, dataset.n_classes)
+        .train(cfg.clone())
+        .omd(FedOmdConfig::paper())
+        .run();
     rows.push((r.algorithm.clone(), r.test_acc, r.comms.total_bytes()));
 
     println!("{:<10} {:>10} {:>12}", "model", "accuracy", "traffic");

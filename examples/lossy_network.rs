@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use fedomd_core::{run_fedomd_observed, run_fedomd_with, FedOmdConfig};
+use fedomd_core::{FedOmdConfig, FedRun};
 use fedomd_data::{generate, spec, DatasetName};
 use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
 use fedomd_telemetry::{MemoryObserver, RoundEvent};
@@ -20,10 +20,14 @@ fn main() {
     let cfg = TrainConfig::mini(0);
     let omd = FedOmdConfig::paper();
 
-    // Baseline: the fault-free in-process channel every `run_fedomd`
-    // call uses by default.
+    // Baseline: the fault-free in-process channel a `FedRun` uses by
+    // default (routed explicitly here so we can read its stats after).
     let mut inproc = InProcChannel::new();
-    let clean = run_fedomd_with(&clients, dataset.n_classes, &cfg, &omd, &mut inproc);
+    let clean = FedRun::new(&clients, dataset.n_classes)
+        .train(cfg.clone())
+        .omd(omd)
+        .channel(&mut inproc)
+        .run();
 
     // The same run across a lossy network: 15 % frame loss, one retry,
     // client 2 a 4x straggler against a 50 ms round deadline. Everything
@@ -42,14 +46,12 @@ fn main() {
     // its payload kind — something the transport's aggregate counters
     // cannot tell you.
     let mut mem = MemoryObserver::new();
-    let lossy = run_fedomd_observed(
-        &clients,
-        dataset.n_classes,
-        &cfg,
-        &omd,
-        &mut simnet,
-        &mut mem,
-    );
+    let lossy = FedRun::new(&clients, dataset.n_classes)
+        .train(cfg.clone())
+        .omd(omd)
+        .channel(&mut simnet)
+        .observer(&mut mem)
+        .run();
     let net = simnet.stats();
 
     println!("channel    test acc   uplink MB   dropped frames   retries");

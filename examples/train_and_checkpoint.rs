@@ -6,7 +6,7 @@
 //! ```
 
 use fedomd_autograd::Tape;
-use fedomd_core::{run_fedomd, FedOmdConfig};
+use fedomd_core::{FedOmdConfig, FedRun};
 use fedomd_data::{generate, spec, DatasetName};
 use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
 use fedomd_nn::{Checkpoint, Model, OrthoGcn, OrthoGcnConfig};
@@ -22,10 +22,14 @@ fn main() {
     };
     let omd = FedOmdConfig::paper();
 
-    // `run_fedomd` trains in place; to capture the trained weights we train
-    // a standalone Ortho-GCN the same way the federation initialises one,
-    // then run one more short federated session for the headline number.
-    let result = run_fedomd(&clients, dataset.n_classes, &cfg, &omd);
+    // The federated run trains in place; to capture the trained weights we
+    // train a standalone Ortho-GCN the same way the federation initialises
+    // one, then run one more short federated session for the headline
+    // number.
+    let result = FedRun::new(&clients, dataset.n_classes)
+        .train(cfg.clone())
+        .omd(omd)
+        .run();
     println!(
         "trained FedOMD: test accuracy {:.2}%",
         100.0 * result.test_acc

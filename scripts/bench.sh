@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 LABEL="${1:?usage: scripts/bench.sh <run-label> [notes]}"
 NOTES="${2:-}"
-SUITES=(gemm spmm fed_round cmd net_round)
+SUITES=(gemm spmm fed_round cmd net_round cohort_scale)
 
 export CRITERION_BUDGET_MS="${BENCH_BUDGET_MS:-500}"
 JSONL="$(mktemp /tmp/fedomd_bench.XXXXXX.jsonl)"

@@ -12,6 +12,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
+# Massive-cohort smoke (DESIGN.md §15): a 2000-party planted federation
+# completes sampled rounds with streaming aggregation. Ignored by default
+# (it is release-speed work), run explicitly here in release mode.
+cargo test -q --release --test end_to_end -- --ignored
 # Benches are tier-1 compile targets: a PR must not break them even if it
 # never runs them (perf runs go through scripts/bench.sh).
 cargo bench --workspace --no-run

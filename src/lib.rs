@@ -16,7 +16,7 @@ pub use fedomd_tensor as tensor;
 /// One-stop imports for the common "generate → cut → train → evaluate"
 /// flow (what `examples/quickstart.rs` uses).
 pub mod prelude {
-    pub use fedomd_core::{run_fedomd, FedOmdConfig};
+    pub use fedomd_core::{FedOmdConfig, FedRun, RunConfig};
     pub use fedomd_data::{generate, spec, DatasetName};
     pub use fedomd_federated::baselines::{run_baseline, Baseline};
     pub use fedomd_federated::{

@@ -1,10 +1,22 @@
 //! Every algorithm the paper compares (seven baselines + FedOMD) runs end
 //! to end on the same federation and produces sane results.
 
-use fedomd_core::{run_fedomd, FedOmdConfig};
+use fedomd_core::{FedOmdConfig, FedRun};
 use fedomd_data::{generate, spec, DatasetName};
 use fedomd_federated::baselines::{run_baseline, Baseline, ALL_BASELINES};
-use fedomd_federated::{setup_federation, ClientData, FederationConfig, TrainConfig};
+use fedomd_federated::{setup_federation, ClientData, FederationConfig, RunResult, TrainConfig};
+
+fn run_fedomd(
+    clients: &[ClientData],
+    n_classes: usize,
+    cfg: &TrainConfig,
+    omd: &FedOmdConfig,
+) -> RunResult {
+    FedRun::new(clients, n_classes)
+        .train(cfg.clone())
+        .omd(*omd)
+        .run()
+}
 
 fn quick() -> (Vec<ClientData>, usize, TrainConfig) {
     let ds = generate(&spec(DatasetName::CoraMini), 0);

@@ -2,7 +2,7 @@
 //! seed, so entire federated runs are bit-for-bit repeatable — the property
 //! that makes the experiment records in EXPERIMENTS.md regenerable.
 
-use fedomd_core::{run_fedomd, FedOmdConfig};
+use fedomd_core::{FedOmdConfig, FedRun};
 use fedomd_data::{generate, spec, DatasetName};
 use fedomd_federated::baselines::{run_baseline, Baseline};
 use fedomd_federated::{setup_federation, FederationConfig, TrainConfig};
@@ -16,7 +16,10 @@ fn whole_fedomd_run_is_bit_reproducible() {
             rounds: 15,
             ..TrainConfig::mini(11)
         };
-        run_fedomd(&clients, ds.n_classes, &cfg, &FedOmdConfig::paper())
+        FedRun::new(&clients, ds.n_classes)
+            .train(cfg)
+            .omd(FedOmdConfig::paper())
+            .run()
     };
     let a = run();
     let b = run();
@@ -60,7 +63,10 @@ fn different_seeds_give_different_runs() {
             rounds: 15,
             ..TrainConfig::mini(seed)
         };
-        run_fedomd(&clients, ds.n_classes, &cfg, &FedOmdConfig::paper())
+        FedRun::new(&clients, ds.n_classes)
+            .train(cfg)
+            .omd(FedOmdConfig::paper())
+            .run()
     };
     let a = acc(1);
     let b = acc(2);

@@ -43,7 +43,7 @@ fn two_round_protocol_equals_centralized_on_model_activations() {
         .map(|(tape, hidden)| hidden.iter().map(|&h| tape.value(h)).collect())
         .collect();
 
-    let stats = exchange(&per_client, 5);
+    let stats = exchange(&per_client, 5).expect("non-degenerate federation");
 
     // Centralised reference: stack every client's activations per layer.
     let n_layers = per_client[0].len();
@@ -91,7 +91,7 @@ fn protocol_uplink_is_orders_smaller_than_weights() {
     let mut tape = Tape::new();
     let out = model.forward(&mut tape, &clients[0].input);
     let hidden: Vec<&Matrix> = out.hidden.iter().map(|&h| tape.value(h)).collect();
-    let stats = exchange(&[hidden], 5);
+    let stats = exchange(&[hidden], 5).expect("non-degenerate federation");
 
     let stat_scalars = stats.uplink_scalars();
     let weight_scalars = model.n_scalars();

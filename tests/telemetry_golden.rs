@@ -3,7 +3,7 @@
 //! zero-cost `NullObserver` — and the JSONL trace is parseable line by
 //! line and covers every executed round.
 
-use fedomd_core::{run_fedomd, run_fedomd_observed, FedOmdConfig, FedRun, RunConfig};
+use fedomd_core::{run_fedomd_observed, FedOmdConfig, FedRun, RunConfig};
 use fedomd_data::{generate, spec, DatasetName};
 use fedomd_federated::{
     setup_federation, ClientData, FederationConfig, GenericOpts, ModelKind, RunResult, TrainConfig,
@@ -37,11 +37,14 @@ fn assert_same_run(a: &RunResult, b: &RunResult) {
 }
 
 #[test]
-fn null_observer_run_is_bit_identical_to_legacy_entry_point() {
+fn null_observer_run_is_bit_identical_to_the_builder() {
     let (clients, n_classes) = mini_setup(0);
     let cfg = short_cfg(0, 6);
     let omd = FedOmdConfig::paper();
-    let baseline = run_fedomd(&clients, n_classes, &cfg, &omd);
+    let baseline = FedRun::new(&clients, n_classes)
+        .train(cfg.clone())
+        .omd(omd)
+        .run();
     let nulled = run_fedomd_observed(
         &clients,
         n_classes,
@@ -58,7 +61,10 @@ fn any_observer_is_a_pure_sink() {
     let (clients, n_classes) = mini_setup(1);
     let cfg = short_cfg(1, 5);
     let omd = FedOmdConfig::paper();
-    let baseline = run_fedomd(&clients, n_classes, &cfg, &omd);
+    let baseline = FedRun::new(&clients, n_classes)
+        .train(cfg.clone())
+        .omd(omd)
+        .run();
 
     let mut mem = MemoryObserver::new();
     let observed = run_fedomd_observed(
@@ -123,7 +129,7 @@ fn observers_do_not_perturb_a_lossy_channel_run() {
 }
 
 #[test]
-fn fedrun_builder_matches_legacy_generic_loop() {
+fn fedrun_builder_matches_the_raw_generic_loop() {
     let (clients, n_classes) = mini_setup(3);
     let cfg = short_cfg(3, 4);
     let opts = GenericOpts {
@@ -132,12 +138,19 @@ fn fedrun_builder_matches_legacy_generic_loop() {
         aggregate: true,
         prox_mu: 0.0,
     };
-    let legacy = fedomd_federated::run_generic(&clients, n_classes, &cfg, &opts);
+    let raw = fedomd_federated::run_generic_observed(
+        &clients,
+        n_classes,
+        &cfg,
+        &opts,
+        &mut InProcChannel::new(),
+        &mut NullObserver,
+    );
     let built = FedRun::new(&clients, n_classes)
         .config(RunConfig::mini(3).with_train(cfg))
         .generic(opts)
         .run();
-    assert_same_run(&legacy, &built);
+    assert_same_run(&raw, &built);
 }
 
 #[test]
