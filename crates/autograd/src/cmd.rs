@@ -20,7 +20,7 @@
 //! where `u = (m − M)/‖m − M‖`, `v_j = (C_j − S_j)/‖C_j − S_j‖` (taken as 0
 //! at the non-differentiable origin), and `C_1 = 0` by definition.
 
-use fedomd_tensor::stats::{central_moments, column_means, l2_distance};
+use fedomd_tensor::stats::{central_moments, central_moments_upto, column_means, l2_distance};
 use fedomd_tensor::Matrix;
 use rayon::prelude::*;
 
@@ -41,13 +41,12 @@ impl CmdTargets {
     }
 
     /// Targets computed from a single matrix (used by tests: the CMD of `Z`
-    /// against its own targets must be zero).
+    /// against its own targets must be zero). `max_order == 1` yields a
+    /// mean-only target with no moment constraints.
     pub fn from_matrix(z: &Matrix, max_order: u32) -> Self {
-        assert!(max_order >= 2);
+        assert!(max_order >= 1);
         let mean = column_means(z);
-        let moments = (2..=max_order)
-            .map(|j| central_moments(z, &mean, j))
-            .collect();
+        let moments = central_moments_upto(z, &mean, max_order);
         Self { mean, moments }
     }
 }
@@ -73,6 +72,29 @@ pub fn cmd_value_weighted(z: &Matrix, targets: &CmdTargets, width: f32, mean_sca
     );
     let m = column_means(z);
     let mut total = mean_scale * l2_distance(&m, &targets.mean) / width;
+    // One fused sweep over Z yields every order at once (bit-identical to
+    // the per-order reference — see `cmd_value_ref` and the proptests).
+    let all = central_moments_upto(z, &m, targets.max_order());
+    let mut wj = width;
+    for (c_j, s_j) in all.iter().zip(&targets.moments) {
+        wj *= width;
+        total += l2_distance(c_j, s_j) / wj;
+    }
+    total
+}
+
+/// Per-order reference implementation of [`cmd_value_weighted`]: one
+/// `central_moments` sweep per order, exactly the pre-fusion kernel. Kept
+/// as the bit-identity oracle for the fused path.
+pub fn cmd_value_ref(z: &Matrix, targets: &CmdTargets, width: f32, mean_scale: f32) -> f32 {
+    assert!(width > 0.0, "cmd_value: width must be positive");
+    assert_eq!(
+        targets.mean.len(),
+        z.cols(),
+        "cmd_value: dimension mismatch"
+    );
+    let m = column_means(z);
+    let mut total = mean_scale * l2_distance(&m, &targets.mean) / width;
     let mut wj = width;
     for (idx, s_j) in targets.moments.iter().enumerate() {
         let j = idx as u32 + 2;
@@ -88,6 +110,154 @@ pub fn cmd_grad(z: &Matrix, targets: &CmdTargets, width: f32, gout: f32) -> Matr
     cmd_grad_weighted(z, targets, width, gout, 1.0)
 }
 
+/// Rows per parallel task of the gradient sweep; also amortises the
+/// per-call SIMD dispatch over a block of rows.
+const GRAD_ROW_BLOCK: usize = 64;
+
+/// The per-row gradient kernel over a block of rows, monomorphised on the
+/// moment-term count. Per element it evaluates
+/// `g0[col] + Σ_ord w[ord·d+col]·(p − cprev[ord·d+col])` with `p` the
+/// left-associated power chain `diff, diff², …` — exactly the reference
+/// expression in [`cmd_grad_ref`] with its per-column constant prefix
+/// hoisted (the hoisted products are left-associated in the same order,
+/// so every partial product is bitwise the same). `r0` is the absolute
+/// row index of `grad`'s first row.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn cmd_grad_rows_body<const ORDERS: usize>(
+    z_data: &[f32],
+    m: &[f32],
+    g0: &[f32],
+    w: &[f32],
+    cprev: &[f32],
+    d: usize,
+    r0: usize,
+    grad: &mut [f32],
+) {
+    for (rr, grow) in grad.chunks_mut(d).enumerate() {
+        let zrow = &z_data[(r0 + rr) * d..(r0 + rr + 1) * d];
+        for col in 0..d {
+            let diff = zrow[col] - m[col];
+            let mut g = g0[col];
+            // powers (Z - m)^{j-1}: start at j = 2 -> power 1.
+            let mut p = diff;
+            for ord in 0..ORDERS {
+                g += w[ord * d + col] * (p - cprev[ord * d + col]);
+                p *= diff;
+            }
+            grow[col] += g;
+        }
+    }
+}
+
+/// Baseline-ISA instantiation of the gradient row kernel.
+#[allow(clippy::too_many_arguments)]
+fn cmd_grad_rows_generic<const ORDERS: usize>(
+    z_data: &[f32],
+    m: &[f32],
+    g0: &[f32],
+    w: &[f32],
+    cprev: &[f32],
+    d: usize,
+    r0: usize,
+    grad: &mut [f32],
+) {
+    cmd_grad_rows_body::<ORDERS>(z_data, m, g0, w, cprev, d, r0, grad);
+}
+
+/// AVX2 instantiation: identical Rust code, wider auto-vectorisation.
+/// Plain lane-wise IEEE mul/add/sub without contraction keeps it
+/// bit-identical to [`cmd_grad_rows_generic`].
+///
+/// # Safety
+/// Callers must have verified AVX2 support at runtime.
+// SAFETY: `unsafe` solely because of `#[target_feature(enable = "avx2")]`
+// — executing AVX2 instructions on a CPU without them is UB. The only
+// call site (`run_cmd_grad_rows`) is gated on `is_x86_feature_detected!`
+// evaluated once in `cmd_grad_weighted`. All memory access goes through
+// the shared safe `cmd_grad_rows_body`: plain slices, every index
+// bounds-checked — no raw pointers, no alignment assumptions.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn cmd_grad_rows_avx2<const ORDERS: usize>(
+    z_data: &[f32],
+    m: &[f32],
+    g0: &[f32],
+    w: &[f32],
+    cprev: &[f32],
+    d: usize,
+    r0: usize,
+    grad: &mut [f32],
+) {
+    cmd_grad_rows_body::<ORDERS>(z_data, m, g0, w, cprev, d, r0, grad);
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn run_cmd_grad_rows<const ORDERS: usize>(
+    avx2: bool,
+    z_data: &[f32],
+    m: &[f32],
+    g0: &[f32],
+    w: &[f32],
+    cprev: &[f32],
+    d: usize,
+    r0: usize,
+    grad: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2 {
+        // SAFETY: `avx2` is only true when `is_x86_feature_detected!`
+        // confirmed support in `cmd_grad_weighted`.
+        unsafe { cmd_grad_rows_avx2::<ORDERS>(z_data, m, g0, w, cprev, d, r0, grad) };
+        return;
+    }
+    let _ = avx2;
+    cmd_grad_rows_generic::<ORDERS>(z_data, m, g0, w, cprev, d, r0, grad);
+}
+
+/// Dispatches the runtime moment-term count to a monomorphised kernel
+/// (0..=5 covers targets of `max_order ∈ 1..=6`); higher counts take a
+/// dynamically-bounded loop with the identical per-element chain.
+#[allow(clippy::too_many_arguments)]
+fn cmd_grad_rows_dyn(
+    avx2: bool,
+    orders: usize,
+    z_data: &[f32],
+    m: &[f32],
+    g0: &[f32],
+    w: &[f32],
+    cprev: &[f32],
+    d: usize,
+    r0: usize,
+    grad: &mut [f32],
+) {
+    match orders {
+        0 => run_cmd_grad_rows::<0>(avx2, z_data, m, g0, w, cprev, d, r0, grad),
+        1 => run_cmd_grad_rows::<1>(avx2, z_data, m, g0, w, cprev, d, r0, grad),
+        2 => run_cmd_grad_rows::<2>(avx2, z_data, m, g0, w, cprev, d, r0, grad),
+        3 => run_cmd_grad_rows::<3>(avx2, z_data, m, g0, w, cprev, d, r0, grad),
+        4 => run_cmd_grad_rows::<4>(avx2, z_data, m, g0, w, cprev, d, r0, grad),
+        5 => run_cmd_grad_rows::<5>(avx2, z_data, m, g0, w, cprev, d, r0, grad),
+        _ => {
+            for (rr, grow) in grad.chunks_mut(d).enumerate() {
+                let zrow = &z_data[(r0 + rr) * d..(r0 + rr + 1) * d];
+                for col in 0..d {
+                    let diff = zrow[col] - m[col];
+                    let mut g = g0[col];
+                    let mut p = diff;
+                    for ord in 0..orders {
+                        g += w[ord * d + col] * (p - cprev[ord * d + col]);
+                        p *= diff;
+                    }
+                    grow[col] += g;
+                }
+            }
+        }
+    }
+}
+
 /// Gradient counterpart of [`cmd_value_weighted`].
 pub fn cmd_grad_weighted(
     z: &Matrix,
@@ -99,19 +269,18 @@ pub fn cmd_grad_weighted(
     assert!(width > 0.0, "cmd_grad: width must be positive");
     let (n, d) = z.shape();
     let mut grad = Matrix::zeros(n, d);
-    if n == 0 {
+    if n == 0 || d == 0 {
         return grad;
     }
     let max_order = targets.max_order();
     let m = column_means(z);
 
-    // Central moments C_1..C_J about the local mean. C_1 is identically 0
-    // but participates in the j = 2 gradient term, so keep the slot.
+    // Central moments C_1..C_J about the local mean, all orders from one
+    // fused sweep. C_1 is identically 0 but participates in the j = 2
+    // gradient term, so keep the slot.
     let mut c: Vec<Vec<f32>> = Vec::with_capacity(max_order as usize);
     c.push(vec![0.0; d]);
-    for j in 2..=max_order {
-        c.push(central_moments(z, &m, j));
-    }
+    c.extend(central_moments_upto(z, &m, max_order));
 
     // Unit direction for the mean term.
     let mean_norm = l2_distance(&m, &targets.mean);
@@ -141,27 +310,118 @@ pub fn cmd_grad_weighted(
     }
 
     let inv_n = 1.0 / n as f32;
+    let mean_coef = mean_scale * gout / width;
+    // Hoist the per-column constants of the reference expression
+    // (`mean_coef·u[col]·inv_n` and `gout·coef·v_j[col]·j·inv_n`) out of
+    // the row loop; the products stay left-associated in the reference
+    // order so the hoisted values are bitwise the ones the reference
+    // computes per row.
+    let g0: Vec<f32> = u.iter().map(|&uc| mean_coef * uc * inv_n).collect();
+    let orders = v.len();
+    let mut w = vec![0.0f32; orders * d];
+    let mut cprev = vec![0.0f32; orders * d];
+    for (idx, vj) in v.iter().enumerate() {
+        let j = (idx + 2) as f32;
+        for col in 0..d {
+            w[idx * d + col] = gout * coef[idx] * vj[col] * j * inv_n;
+            cprev[idx * d + col] = c[idx][col]; // C_{j-1}
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    let avx2 = std::arch::is_x86_feature_detected!("avx2");
+    #[cfg(not(target_arch = "x86_64"))]
+    let avx2 = false;
+    let z_data = z.as_slice();
+    grad.as_mut_slice()
+        .par_chunks_mut(d * GRAD_ROW_BLOCK)
+        .enumerate()
+        .for_each(|(blk, gchunk)| {
+            cmd_grad_rows_dyn(
+                avx2,
+                orders,
+                z_data,
+                &m,
+                &g0,
+                &w,
+                &cprev,
+                d,
+                blk * GRAD_ROW_BLOCK,
+                gchunk,
+            );
+        });
+    grad
+}
+
+/// Per-order reference implementation of [`cmd_grad_weighted`]: one
+/// `central_moments` sweep per order and the unhoisted per-element
+/// expression, exactly the pre-fusion kernel. Kept as the bit-identity
+/// oracle for the fused/SIMD path.
+pub fn cmd_grad_ref(
+    z: &Matrix,
+    targets: &CmdTargets,
+    width: f32,
+    gout: f32,
+    mean_scale: f32,
+) -> Matrix {
+    assert!(width > 0.0, "cmd_grad: width must be positive");
+    let (n, d) = z.shape();
+    let mut grad = Matrix::zeros(n, d);
+    if n == 0 || d == 0 {
+        return grad;
+    }
+    let max_order = targets.max_order();
+    let m = column_means(z);
+
+    let mut c: Vec<Vec<f32>> = Vec::with_capacity(max_order as usize);
+    c.push(vec![0.0; d]);
+    for j in 2..=max_order {
+        c.push(central_moments(z, &m, j));
+    }
+
+    let mean_norm = l2_distance(&m, &targets.mean);
+    let u: Vec<f32> = if mean_norm > 0.0 {
+        m.iter()
+            .zip(&targets.mean)
+            .map(|(a, b)| (a - b) / mean_norm)
+            .collect()
+    } else {
+        vec![0.0; d]
+    };
+
+    let mut v: Vec<Vec<f32>> = Vec::with_capacity(max_order as usize - 1);
+    let mut coef: Vec<f32> = Vec::with_capacity(max_order as usize - 1);
+    let mut wj = width;
+    for (idx, s_j) in targets.moments.iter().enumerate() {
+        let c_j = &c[idx + 1];
+        wj *= width;
+        let norm = l2_distance(c_j, s_j);
+        if norm > 0.0 {
+            v.push(c_j.iter().zip(s_j).map(|(a, b)| (a - b) / norm).collect());
+        } else {
+            v.push(vec![0.0; d]);
+        }
+        coef.push(1.0 / wj);
+    }
+
+    let inv_n = 1.0 / n as f32;
     let z_data = z.as_slice();
     let mean_coef = mean_scale * gout / width;
-    grad.as_mut_slice()
-        .par_chunks_mut(d)
-        .enumerate()
-        .for_each(|(r, grow)| {
-            let zrow = &z_data[r * d..(r + 1) * d];
-            for col in 0..d {
-                let diff = zrow[col] - m[col];
-                let mut g = mean_coef * u[col] * inv_n;
-                // powers (Z - m)^{j-1}: start at j = 2 -> power 1.
-                let mut p = diff;
-                for (idx, vj) in v.iter().enumerate() {
-                    let j = (idx + 2) as f32;
-                    let c_prev = c[idx][col]; // C_{j-1}
-                    g += gout * coef[idx] * vj[col] * j * inv_n * (p - c_prev);
-                    p *= diff;
-                }
-                grow[col] += g;
+    for (r, grow) in grad.as_mut_slice().chunks_mut(d).enumerate() {
+        let zrow = &z_data[r * d..(r + 1) * d];
+        for col in 0..d {
+            let diff = zrow[col] - m[col];
+            let mut g = mean_coef * u[col] * inv_n;
+            let mut p = diff;
+            for (idx, vj) in v.iter().enumerate() {
+                let j = (idx + 2) as f32;
+                let c_prev = c[idx][col];
+                g += gout * coef[idx] * vj[col] * j * inv_n * (p - c_prev);
+                p *= diff;
             }
-        });
+            grow[col] += g;
+        }
+    }
     grad
 }
 
@@ -289,6 +549,64 @@ mod weighted_tests {
         for ms in [0.0f32, 0.1, 0.7] {
             let g = cmd_grad_weighted(&z, &t, 1.0, 1.0, ms);
             finite_diff_check(|m| cmd_value_weighted(m, &t, 1.0, ms), &z, &g, 1e-3, 2e-2);
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_fused_value_is_bit_identical_to_ref(
+            rows in 0usize..40, cols in 1usize..96, max_order in 1u32..=6,
+            ms_idx in 0usize..3, seed in 0u64..300
+        ) {
+            let mean_scale = [0.0f32, 0.5, 1.0][ms_idx];
+            // The fused one-sweep value path must agree bit-for-bit with
+            // the per-order reference for ragged widths (cols crosses the
+            // 64-column block boundary), rows == 0, every monomorphised
+            // order count, and the weighted (mean_scale) variants.
+            let z = Matrix::from_fn(rows, cols, |r, c| {
+                let h = (r as u64 * 211 + c as u64 * 37 + seed * 971) % 1783;
+                h as f32 / 1783.0 - 0.5
+            });
+            let t = CmdTargets::from_matrix(
+                &Matrix::from_fn(rows.max(3), cols, |r, c| {
+                    let h = (r as u64 * 97 + c as u64 * 59 + seed * 389) % 1511;
+                    h as f32 / 1511.0 - 0.5
+                }),
+                max_order,
+            );
+            let fused = cmd_value_weighted(&z, &t, 1.5, mean_scale);
+            let reference = cmd_value_ref(&z, &t, 1.5, mean_scale);
+            prop_assert_eq!(fused.to_bits(), reference.to_bits());
+        }
+
+        #[test]
+        fn prop_fused_grad_is_bit_identical_to_ref(
+            rows in 0usize..80, cols in 1usize..96, max_order in 1u32..=6,
+            ms_idx in 0usize..3, seed in 0u64..300
+        ) {
+            let mean_scale = [0.0f32, 0.5, 1.0][ms_idx];
+            // Same pinning for the gradient: the monomorphised
+            // AVX2-dispatched row kernel (rows up to 80 crosses the
+            // 64-row block granule) vs the serial unhoisted reference.
+            let z = Matrix::from_fn(rows, cols, |r, c| {
+                let h = (r as u64 * 139 + c as u64 * 43 + seed * 677) % 1913;
+                h as f32 / 1913.0 - 0.5
+            });
+            let t = CmdTargets::from_matrix(
+                &Matrix::from_fn(rows.max(3), cols, |r, c| {
+                    let h = (r as u64 * 83 + c as u64 * 71 + seed * 449) % 1297;
+                    h as f32 / 1297.0 - 0.5
+                }),
+                max_order,
+            );
+            let fused = cmd_grad_weighted(&z, &t, 1.5, 0.7, mean_scale);
+            let reference = cmd_grad_ref(&z, &t, 1.5, 0.7, mean_scale);
+            prop_assert_eq!(fused.shape(), reference.shape());
+            for (a, b) in fused.as_slice().iter().zip(reference.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

@@ -33,6 +33,20 @@ fn bench_cmd(c: &mut Criterion) {
             },
         );
     }
+    // Extended shapes (PR 8): the variance-only sweep (order 2, the cheapest
+    // constraint config) and the order-3 ablation, at the paper-scale shape.
+    let z = activations(2708, 256, 1);
+    let targets3 = CmdTargets::from_matrix(&activations(2708, 256, 2), 3);
+    group.bench_with_input(BenchmarkId::new("moments_upto2", "2708x256"), &z, |b, z| {
+        let means = column_means(z);
+        b.iter(|| central_moments_upto(z, &means, 2))
+    });
+    group.bench_with_input(BenchmarkId::new("value_order3", "2708x256"), &z, |b, z| {
+        b.iter(|| cmd_value(z, &targets3, 1.0))
+    });
+    group.bench_with_input(BenchmarkId::new("grad_order3", "2708x256"), &z, |b, z| {
+        b.iter(|| cmd_grad(z, &targets3, 1.0, 1.0))
+    });
     group.finish();
 }
 

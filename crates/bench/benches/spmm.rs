@@ -11,7 +11,7 @@ fn bench_spmm(c: &mut Criterion) {
     for name in [DatasetName::CoraMini, DatasetName::ComputerMini] {
         let ds = generate(&spec(name), 0);
         let s = normalized_adjacency(ds.n_nodes(), ds.graph.edges());
-        for &hidden in &[32usize, 64, 128] {
+        for &hidden in &[16usize, 32, 64, 128, 256] {
             let mut rng = seeded(1);
             let x = fedomd_tensor::init::standard_normal(ds.n_nodes(), hidden, &mut rng);
             group.bench_with_input(

@@ -36,7 +36,7 @@
 //! produce bit-identical results.
 
 use fedomd_autograd::CmdTargets;
-use fedomd_tensor::stats::{central_moments, column_means};
+use fedomd_tensor::stats::{central_moments_upto, column_means};
 use fedomd_tensor::Matrix;
 use rayon::prelude::*;
 use std::fmt;
@@ -313,7 +313,7 @@ pub fn client_moments_about(
     hidden
         .iter()
         .zip(global_means)
-        .map(|(z, m)| (2..=max_order).map(|j| central_moments(z, m, j)).collect())
+        .map(|(z, m)| central_moments_upto(z, m, max_order))
         .collect()
 }
 
@@ -581,7 +581,7 @@ mod tests {
             assert!((a - b).abs() < 1e-5, "mean mismatch: {a} vs {b}");
         }
         for (o, j) in (2u32..=5).enumerate() {
-            let c_mom = central_moments(&pooled, &c_mean, j);
+            let c_mom = fedomd_tensor::stats::central_moments(&pooled, &c_mean, j);
             for (a, b) in stats.moments[0][o].iter().zip(&c_mom) {
                 assert!((a - b).abs() < 1e-4, "order {j} mismatch: {a} vs {b}");
             }
@@ -702,6 +702,20 @@ mod tests {
             .collect()
     }
 
+    /// Overwrites a few entries with NaN/±∞. The aggregation paths make
+    /// no finiteness checks, so a poisoned upload must flow through the
+    /// streaming, sharded, and batch folds bit-identically — the same
+    /// IEEE operations in the same order — rather than diverging in just
+    /// one of them.
+    fn poison_slice(values: &mut [f32], seed: u64) {
+        const SPECIALS: [f32; 3] = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+        let mut rng = seeded(seed);
+        for _ in 0..1 + values.len() / 5 {
+            let i = rng.gen_range(0..values.len());
+            values[i] = SPECIALS[rng.gen_range(0..SPECIALS.len())];
+        }
+    }
+
     proptest! {
         /// The streaming accumulator, the parallel sharded tree, and the
         /// batch reference agree bit for bit on ragged sample counts —
@@ -815,6 +829,104 @@ mod tests {
             for l in 0..one_shot.len() {
                 for d in 0..one_shot[l].len() {
                     prop_assert_eq!(one_shot[l][d].to_bits(), mixed[l][d].to_bits());
+                }
+            }
+        }
+
+        /// A poisoned mean upload (NaN/±∞ entries) corrupts the
+        /// sequential, `push_batch`, sharded, and batch paths identically
+        /// — bit for bit, NaN payloads included.
+        #[test]
+        fn mean_nonfinite_payloads_stay_bit_identical(
+            seed in 0u64..1_000_000,
+            dims in proptest::collection::vec(1usize..6, 1..4),
+            samples in proptest::collection::vec(1usize..50, 2..24),
+            victim in 0usize..24,
+            split in 1usize..23,
+        ) {
+            let mut payloads: Vec<(Vec<Vec<f32>>, usize)> = samples
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (mean_payload(&dims, seed.wrapping_add(i as u64)), n))
+                .collect();
+            let victim = victim % payloads.len();
+            for (l, layer) in payloads[victim].0.iter_mut().enumerate() {
+                poison_slice(layer, seed ^ (l as u64 + 1));
+            }
+            let split = split.min(payloads.len());
+
+            let batch = aggregate_means(&payloads).unwrap();
+            let sharded = aggregate_means_sharded(&payloads).unwrap();
+            let mut seq = MeanAccumulator::new();
+            for (m, n) in &payloads {
+                seq.push(m, *n).unwrap();
+            }
+            let seq = seq.finish().unwrap();
+            let mut mixed = MeanAccumulator::new();
+            for (m, n) in &payloads[..split] {
+                mixed.push(m, *n).unwrap();
+            }
+            mixed.push_batch(&payloads[split..]).unwrap();
+            let mixed = mixed.finish().unwrap();
+
+            for l in 0..batch.len() {
+                for d in 0..batch[l].len() {
+                    let want = batch[l][d].to_bits();
+                    prop_assert_eq!(want, sharded[l][d].to_bits());
+                    prop_assert_eq!(want, seq[l][d].to_bits());
+                    prop_assert_eq!(want, mixed[l][d].to_bits());
+                }
+            }
+        }
+
+        /// Same pinning for the raw-moment paths: one client uploading
+        /// non-finite moments poisons every aggregation path the same way.
+        #[test]
+        fn moment_nonfinite_payloads_stay_bit_identical(
+            seed in 0u64..1_000_000,
+            dims in proptest::collection::vec(1usize..5, 1..3),
+            orders in 1usize..5,
+            samples in proptest::collection::vec(1usize..50, 2..24),
+            victim in 0usize..24,
+            split in 1usize..23,
+        ) {
+            let mut payloads: Vec<(Vec<Vec<Vec<f32>>>, usize)> = samples
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| {
+                    (moment_payload(&dims, orders, seed.wrapping_add(i as u64)), n)
+                })
+                .collect();
+            let victim = victim % payloads.len();
+            for (l, layer) in payloads[victim].0.iter_mut().enumerate() {
+                for (o, ord) in layer.iter_mut().enumerate() {
+                    poison_slice(ord, seed ^ ((l * 8 + o) as u64 + 1));
+                }
+            }
+            let split = split.min(payloads.len());
+
+            let batch = aggregate_moments(&payloads).unwrap();
+            let sharded = aggregate_moments_sharded(&payloads).unwrap();
+            let mut seq = MomentAccumulator::new();
+            for (m, n) in &payloads {
+                seq.push(m, *n).unwrap();
+            }
+            let seq = seq.finish().unwrap();
+            let mut mixed = MomentAccumulator::new();
+            for (m, n) in &payloads[..split] {
+                mixed.push(m, *n).unwrap();
+            }
+            mixed.push_batch(&payloads[split..]).unwrap();
+            let mixed = mixed.finish().unwrap();
+
+            for l in 0..batch.len() {
+                for o in 0..batch[l].len() {
+                    for d in 0..batch[l][o].len() {
+                        let want = batch[l][o][d].to_bits();
+                        prop_assert_eq!(want, sharded[l][o][d].to_bits());
+                        prop_assert_eq!(want, seq[l][o][d].to_bits());
+                        prop_assert_eq!(want, mixed[l][o][d].to_bits());
+                    }
                 }
             }
         }

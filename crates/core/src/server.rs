@@ -84,6 +84,8 @@ pub fn run_fedomd_server(
     mut persist: Persistence<'_>,
 ) -> RunResult {
     assert!(opts.n_clients > 0, "run_fedomd_server: no clients");
+    let cohort = opts.cohort.validate(opts.n_clients);
+    assert!(cohort.is_ok(), "run_fedomd_server: {}", cohort.unwrap_err());
     let m = opts.n_clients;
     let track = persist.sink.is_some();
     let mut last_global: Option<Vec<Matrix>> = None;

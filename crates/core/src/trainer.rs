@@ -116,6 +116,8 @@ pub fn run_fedomd_resumable(
     mut persist: Persistence<'_>,
 ) -> RunResult {
     assert!(!clients.is_empty(), "run_fedomd: no clients");
+    let cohort = cfg.validate(clients.len());
+    assert!(cohort.is_ok(), "run_fedomd: {}", cohort.unwrap_err());
     let f = clients[0].input.n_features();
     // Common global init (the server distributes W₀, paper Phase 1),
     // through the same constructor a standalone `fedomd-client` process

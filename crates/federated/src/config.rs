@@ -1,5 +1,7 @@
 //! Training configuration and run results shared by every algorithm.
 
+use std::fmt;
+
 use crate::comms::CommsLog;
 use fedomd_metrics::Timer;
 use fedomd_tensor::rng::{derive, seeded};
@@ -12,7 +14,7 @@ const COHORT_SALT: u64 = 0xC0_4074;
 /// Per-round client sampling — FedAvg-style partial participation.
 ///
 /// Each round the driver samples `max(min_cohort, round(sample_frac · m))`
-/// of the `m` clients (clamped to `1..=m`); only the sampled cohort
+/// of the `m` clients (capped at `m`); only the sampled cohort
 /// forwards, exchanges statistics, trains, and uploads weights, while the
 /// aggregated global model is still broadcast to *all* clients so pooled
 /// evaluation always sees a synchronised federation. The cohort is a pure
@@ -24,7 +26,8 @@ pub struct CohortConfig {
     /// Fraction of clients sampled per round; `>= 1.0` means full
     /// participation (the sampler returns `0..m` exactly).
     pub sample_frac: f64,
-    /// Lower bound on the cohort size (clamped to the federation size).
+    /// Lower bound on the cohort size; [`Self::validate`] rejects bounds
+    /// that exceed the federation size.
     pub min_cohort: usize,
     /// Seed of the sampling stream.
     pub seed: u64,
@@ -60,13 +63,44 @@ impl CohortConfig {
         self.sample_frac >= 1.0
     }
 
-    /// Cohort size for a federation of `m` clients.
+    /// Checks the sampling parameters against a federation of `m`
+    /// clients. Every run entry point — the in-process trainers, the TCP
+    /// server, and the TCP client — calls this before the first round, so
+    /// a misconfigured federation fails loudly up front instead of
+    /// silently training on an accidental cohort.
+    pub fn validate(&self, m: usize) -> Result<(), CohortConfigError> {
+        if !self.sample_frac.is_finite() {
+            return Err(CohortConfigError::NonFiniteSampleFrac {
+                got: self.sample_frac,
+            });
+        }
+        if self.sample_frac <= 0.0 {
+            return Err(CohortConfigError::NonPositiveSampleFrac {
+                got: self.sample_frac,
+            });
+        }
+        if self.min_cohort == 0 {
+            return Err(CohortConfigError::ZeroMinCohort);
+        }
+        if self.min_cohort > m {
+            return Err(CohortConfigError::MinCohortExceedsParties {
+                min_cohort: self.min_cohort,
+                parties: m,
+            });
+        }
+        Ok(())
+    }
+
+    /// Cohort size for a federation of `m` clients. Assumes a config that
+    /// passed [`Self::validate`] but stays total regardless: the result is
+    /// always in `1..=m` (for `m > 0`), so a direct call can never produce
+    /// an out-of-range cohort.
     pub fn cohort_size(&self, m: usize) -> usize {
         if self.is_full() || m == 0 {
             return m;
         }
-        let target = (self.sample_frac.max(0.0) * m as f64).round() as usize;
-        target.max(self.min_cohort.min(m)).clamp(1, m)
+        let target = (self.sample_frac * m as f64).round() as usize;
+        target.max(self.min_cohort).clamp(1, m)
     }
 
     /// The round's cohort: sorted, distinct client ids. A partial
@@ -88,6 +122,63 @@ impl CohortConfig {
         ids
     }
 }
+
+/// Why a [`CohortConfig`] was rejected.
+///
+/// Invalid sampling parameters used to be silently clamped into range
+/// inside [`CohortConfig::cohort_size`] — a NaN or negative
+/// `sample_frac` quietly became a 1-client cohort. They are now rejected
+/// up front by [`CohortConfig::validate`] at every run entry point, and
+/// over TCP the server refuses to even start a run with them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CohortConfigError {
+    /// `sample_frac` is NaN or infinite.
+    NonFiniteSampleFrac {
+        /// The rejected value.
+        got: f64,
+    },
+    /// `sample_frac <= 0` asks to sample nobody.
+    NonPositiveSampleFrac {
+        /// The rejected value.
+        got: f64,
+    },
+    /// `min_cohort == 0` — every round needs at least one participant.
+    ZeroMinCohort,
+    /// `min_cohort` exceeds the federation size.
+    MinCohortExceedsParties {
+        /// The configured lower bound.
+        min_cohort: usize,
+        /// The federation size it was validated against.
+        parties: usize,
+    },
+}
+
+impl fmt::Display for CohortConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CohortConfigError::NonFiniteSampleFrac { got } => {
+                write!(f, "cohort sample_frac must be finite, got {got}")
+            }
+            CohortConfigError::NonPositiveSampleFrac { got } => {
+                write!(f, "cohort sample_frac must be positive, got {got}")
+            }
+            CohortConfigError::ZeroMinCohort => {
+                write!(f, "cohort min_cohort must be at least 1")
+            }
+            CohortConfigError::MinCohortExceedsParties {
+                min_cohort,
+                parties,
+            } => {
+                write!(
+                    f,
+                    "cohort min_cohort {min_cohort} exceeds the federation size {parties}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CohortConfigError {}
 
 /// Federated training hyper-parameters (paper §5.1 defaults via
 /// [`TrainConfig::paper`], fast defaults via [`TrainConfig::mini`]).
@@ -145,6 +236,13 @@ impl TrainConfig {
             eval_every: 2,
             cohort: CohortConfig::full(),
         }
+    }
+
+    /// Checks the parts of the schedule that depend on the federation
+    /// size `m` (currently the cohort sampling parameters). Run entry
+    /// points call this before the first round.
+    pub fn validate(&self, m: usize) -> Result<(), CohortConfigError> {
+        self.cohort.validate(m)
     }
 }
 
@@ -280,5 +378,63 @@ mod tests {
         assert_eq!(tiny.sample(0, 40).len(), 3);
         // ...but never exceeds the federation.
         assert_eq!(tiny.sample(0, 2).len(), 1.max(tiny.min_cohort.min(2)));
+    }
+
+    #[test]
+    fn validate_rejects_nan_negative_and_zero_sample_fracs() {
+        assert!(matches!(
+            CohortConfig::fraction(f64::NAN, 0).validate(10),
+            Err(CohortConfigError::NonFiniteSampleFrac { got }) if got.is_nan()
+        ));
+        assert!(matches!(
+            CohortConfig::fraction(f64::INFINITY, 0).validate(10),
+            Err(CohortConfigError::NonFiniteSampleFrac { .. })
+        ));
+        assert_eq!(
+            CohortConfig::fraction(-1.0, 0).validate(10),
+            Err(CohortConfigError::NonPositiveSampleFrac { got: -1.0 })
+        );
+        assert_eq!(
+            CohortConfig::fraction(0.0, 0).validate(10),
+            Err(CohortConfigError::NonPositiveSampleFrac { got: 0.0 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_min_cohorts() {
+        let big = CohortConfig {
+            sample_frac: 0.5,
+            min_cohort: 11,
+            seed: 0,
+        };
+        assert_eq!(
+            big.validate(10),
+            Err(CohortConfigError::MinCohortExceedsParties {
+                min_cohort: 11,
+                parties: 10,
+            })
+        );
+        assert_eq!(big.validate(11), Ok(()));
+        let zero = CohortConfig {
+            sample_frac: 0.5,
+            min_cohort: 0,
+            seed: 0,
+        };
+        assert_eq!(zero.validate(10), Err(CohortConfigError::ZeroMinCohort));
+    }
+
+    #[test]
+    fn validate_accepts_presets_and_errors_display_their_numbers() {
+        assert_eq!(CohortConfig::full().validate(1), Ok(()));
+        assert_eq!(TrainConfig::paper(0).validate(5), Ok(()));
+        assert_eq!(CohortConfig::fraction(0.3, 9).validate(3), Ok(()));
+        let msg = CohortConfigError::MinCohortExceedsParties {
+            min_cohort: 9,
+            parties: 4,
+        }
+        .to_string();
+        assert!(msg.contains('9') && msg.contains('4'), "got: {msg}");
+        let msg = CohortConfigError::NonFiniteSampleFrac { got: f64::NAN }.to_string();
+        assert!(msg.contains("NaN"), "got: {msg}");
     }
 }

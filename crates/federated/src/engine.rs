@@ -399,6 +399,8 @@ pub fn run_generic_resumable(
     mut persist: Persistence<'_>,
 ) -> RunResult {
     assert!(!clients.is_empty(), "run_generic: no clients");
+    let cohort = cfg.validate(clients.len());
+    assert!(cohort.is_ok(), "run_generic: {}", cohort.unwrap_err());
     let mut models: Vec<Box<dyn Model>> = clients
         .iter()
         .enumerate()

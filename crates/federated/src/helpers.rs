@@ -421,4 +421,51 @@ mod tests {
             a.assert_close(b, 1e-5);
         }
     }
+
+    #[test]
+    fn update_accumulator_nonfinite_updates_stay_bit_identical() {
+        let mut rng = seeded(13);
+        use rand::Rng;
+        const SPECIALS: [f32; 3] = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+        let batch: Vec<(Vec<Matrix>, f64)> = (0..23)
+            .map(|i| {
+                let mut vals: Vec<f32> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                // A few poisoned clients: their NaN/±∞ entries must
+                // corrupt every aggregation path identically, not just
+                // some of them.
+                if i % 7 == 0 {
+                    vals[rng.gen_range(0..6usize)] = SPECIALS[rng.gen_range(0..SPECIALS.len())];
+                }
+                let params = vec![
+                    Matrix::from_vec(2, 3, vals),
+                    Matrix::from_vec(1, 4, (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect()),
+                ];
+                (params, rng.gen_range(0.0..3.0f64))
+            })
+            .collect();
+
+        let mut seq = UpdateAccumulator::new();
+        for (params, w) in &batch {
+            seq.push(params, *w);
+        }
+        let seq = seq.finish().expect("23 updates");
+
+        for split in [1usize, 5, 11, 22] {
+            let mut mixed = UpdateAccumulator::new();
+            for (params, w) in &batch[..split] {
+                mixed.push(params, *w);
+            }
+            mixed.push_batch(&batch[split..]);
+            let mixed = mixed.finish().expect("23 updates");
+
+            let mut saw_nonfinite = false;
+            for (a, b) in seq.iter().zip(&mixed) {
+                for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                    saw_nonfinite |= !x.is_finite();
+                }
+            }
+            assert!(saw_nonfinite, "the poison must reach the aggregate");
+        }
+    }
 }

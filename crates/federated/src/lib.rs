@@ -26,7 +26,7 @@ pub use client::{
     client_shard, setup_federation, setup_federation_planted, ClientData, FederationConfig,
 };
 pub use comms::{CommsLog, Direction, TrafficClass};
-pub use config::{CohortConfig, RoundStats, RunResult, TrainConfig};
+pub use config::{CohortConfig, CohortConfigError, RoundStats, RunResult, TrainConfig};
 pub use engine::{
     run_generic_observed, run_generic_resumable, CheckpointSink, DriverState, GenericOpts,
     ModelKind, Persistence, ResumeState, StatsCache,

@@ -174,6 +174,11 @@ pub fn serve(
 /// run starts once `opts.n_clients` are connected or the join timeout
 /// passes (late clients can still join mid-run and participate from the
 /// next round).
+///
+/// An invalid run configuration (e.g. a NaN cohort `sample_frac`) is
+/// [`NetError::Config`] before the listener accepts anything — the digest
+/// of a config the server would refuse to run must never be handed to
+/// clients as something to match.
 pub fn serve_on(
     listener: TcpListener,
     opts: &ServeOpts,
@@ -181,6 +186,7 @@ pub fn serve_on(
     dataset: &str,
     obs: &mut dyn RoundObserver,
 ) -> Result<RunResult, NetError> {
+    run.train.validate(opts.n_clients)?;
     let digest = run_config_digest(&run.train, &run.omd, dataset, opts.n_clients);
 
     let mut resume_state: Option<ResumeState> = None;
@@ -363,7 +369,8 @@ fn admit(
 /// rounds the server assigns, and reconnect whenever the server is lost
 /// mid-run. Returns once the round budget completes, the server's
 /// verdict stops the run, or the server stays unreachable through a full
-/// backoff schedule.
+/// backoff schedule. An invalid run configuration is [`NetError::Config`]
+/// before the first connection attempt, mirroring [`serve_on`].
 pub fn run_client(
     opts: &ClientOpts,
     run: &RunConfig,
@@ -373,6 +380,7 @@ pub fn run_client(
     n_classes: usize,
     obs: &mut dyn RoundObserver,
 ) -> Result<ClientReport, NetError> {
+    run.train.validate(n_clients)?;
     let digest = run_config_digest(&run.train, &run.omd, dataset, n_clients);
     let mut session =
         ClientSession::new(&run.train, &run.omd, client.input.n_features(), n_classes);

@@ -2,11 +2,17 @@
 
 use std::fmt;
 
+use fedomd_federated::CohortConfigError;
 use fedomd_transport::WireError;
 
 /// Anything that can go wrong between two FedOMD processes.
 #[derive(Debug)]
 pub enum NetError {
+    /// The run configuration itself is invalid (e.g. a NaN cohort
+    /// `sample_frac`); rejected before any socket is touched, on both the
+    /// server and the client side, so a bad config can never reach the
+    /// handshake digest looking legitimate.
+    Config(CohortConfigError),
     /// Socket-level failure (connect, read, write, bind).
     Io(std::io::Error),
     /// A frame failed the codec (bad magic, checksum, oversized prefix).
@@ -26,6 +32,7 @@ pub enum NetError {
 impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            NetError::Config(e) => write!(f, "invalid run config: {e}"),
             NetError::Io(e) => write!(f, "i/o: {e}"),
             NetError::Wire(e) => write!(f, "wire: {e}"),
             NetError::Rejected(why) => write!(f, "handshake rejected: {why}"),
@@ -46,5 +53,11 @@ impl From<std::io::Error> for NetError {
 impl From<WireError> for NetError {
     fn from(e: WireError) -> Self {
         NetError::Wire(e)
+    }
+}
+
+impl From<CohortConfigError> for NetError {
+    fn from(e: CohortConfigError) -> Self {
+        NetError::Config(e)
     }
 }

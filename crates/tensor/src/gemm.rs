@@ -481,6 +481,150 @@ fn gemm_packed(m: usize, n: usize, kdim: usize, a: View<'_>, b: View<'_>, c: &mu
 // `run_tile_direct`'s monomorphised dispatch enumerates 1..=MR.
 const _: () = assert!(MR == 4, "update run_tile_direct's dispatch arms with MR");
 
+/// Output rows (= `A` columns) per task of the tall-skinny tn path. At
+/// 128 a stripe reads 512 contiguous bytes per `A` storage row — whole
+/// cache lines, unlike an MR-wide tile whose 16-byte strided reads waste
+/// 3/4 of every line fetched — and its `NR`-padded accumulator block is
+/// 8 KiB, small enough to live in L1 for the whole sweep.
+const TN_STRIPE: usize = 128;
+
+/// Inner kernel of the tall-skinny `C = Aᵀ·B` path (`n ≤ NR`): one
+/// stripe of `we ≤ TN_STRIPE` output rows (= `A` columns `i0..i0+we`)
+/// accumulated over all `m` summation rows in ascending order against a
+/// single NR-padded packed `B` panel. The per-element sequence is the
+/// always-add variant of [`gemm_tn_ref`]'s — identical bits by the
+/// skip-invisibility argument in the module docs. Padded columns
+/// (`j ≥ n`) accumulate into lanes that are never stored.
+#[inline(always)]
+fn tn_stripe_body(
+    a_data: &[f32],
+    k: usize,
+    m: usize,
+    i0: usize,
+    bp: &[f32],
+    n: usize,
+    tile: &mut [f32],
+) {
+    let we = tile.len() / n;
+    let mut acc = [[0.0f32; NR]; TN_STRIPE];
+    for l in 0..m {
+        let av = &a_data[l * k + i0..l * k + i0 + we];
+        let bv = &bp[l * NR..(l + 1) * NR];
+        for (acc_row, &ar) in acc[..we].iter_mut().zip(av) {
+            for (accv, &b) in acc_row.iter_mut().zip(bv) {
+                *accv += ar * b;
+            }
+        }
+    }
+    for (r, acc_row) in acc[..we].iter().enumerate() {
+        tile[r * n..(r + 1) * n].copy_from_slice(&acc_row[..n]);
+    }
+}
+
+/// Baseline-ISA instantiation of the tall-skinny tn kernel.
+fn tn_stripe_generic(
+    a_data: &[f32],
+    k: usize,
+    m: usize,
+    i0: usize,
+    bp: &[f32],
+    n: usize,
+    tile: &mut [f32],
+) {
+    tn_stripe_body(a_data, k, m, i0, bp, n, tile);
+}
+
+/// AVX2 instantiation: identical Rust code, wider auto-vectorisation.
+/// Lane-wise IEEE arithmetic without contraction keeps it bit-identical
+/// to [`tn_stripe_generic`].
+///
+/// # Safety
+/// Callers must have verified AVX2 support at runtime.
+// SAFETY: `unsafe` solely because of `#[target_feature(enable = "avx2")]`
+// — executing AVX2 instructions on a CPU without them is UB. The only
+// call site (`run_tn_stripe`) is gated on `is_x86_feature_detected!`
+// evaluated once in `gemm_tn_direct`. The body is the safe
+// `tn_stripe_body`: `a_data[l·k + i0 .. +we]` stays in bounds because
+// the stripe partition derives `we ≤ k − i0`, `bp` is the packed panel
+// of exactly `m·NR` elements, and every access is bounds-checked — no
+// raw pointers, no alignment assumptions.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn tn_stripe_avx2(
+    a_data: &[f32],
+    k: usize,
+    m: usize,
+    i0: usize,
+    bp: &[f32],
+    n: usize,
+    tile: &mut [f32],
+) {
+    tn_stripe_body(a_data, k, m, i0, bp, n, tile);
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn run_tn_stripe(
+    avx2: bool,
+    a_data: &[f32],
+    k: usize,
+    m: usize,
+    i0: usize,
+    bp: &[f32],
+    n: usize,
+    tile: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2 {
+        // SAFETY: `avx2` is only true when `is_x86_feature_detected!`
+        // confirmed support in `gemm_tn_direct`.
+        unsafe { tn_stripe_avx2(a_data, k, m, i0, bp, n, tile) };
+        return;
+    }
+    let _ = avx2;
+    tn_stripe_generic(a_data, k, m, i0, bp, n, tile);
+}
+
+/// Tall-skinny `C = Aᵀ·B` driver for `n ≤ NR` (e.g. the
+/// `2708×1433 · 2708×16` weight gradient of a 16-unit hidden layer).
+///
+/// The packed path is a bad fit here twice over: with at most one `B`
+/// micro-panel, every packed `A` panel is written and read exactly once
+/// (pure packing overhead), and the tn `View` has strided logical rows
+/// (`cs = k`) so `gemm_packed`'s direct-A shortcut can never fire.
+/// Instead `B` is packed once into a single `m × NR` zero-padded panel
+/// and `A`'s storage is streamed in place, one `TN_STRIPE`-column stripe
+/// at a time — each stripe reads its columns contiguously from every
+/// row, sequentially down the matrix, so `A` is fetched exactly once in
+/// whole cache lines. `c` must be zeroed on entry; results are
+/// bit-identical to [`gemm_tn_ref`] (pinned by
+/// `prop_tn_direct_bitwise_matches_ref`).
+fn gemm_tn_direct(a_data: &[f32], b_data: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+    debug_assert!(n <= NR && n > 0);
+    debug_assert_eq!(c.len(), k * n);
+    if m == 0 || k == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    let avx2 = std::arch::is_x86_feature_detected!("avx2");
+    #[cfg(not(target_arch = "x86_64"))]
+    let avx2 = false;
+
+    // Pack B once: storage row l lands at bp[l·NR..l·NR+n], the padded
+    // columns stay zero (their accumulator lanes are never stored).
+    let mut bp = vec![0.0f32; m * NR];
+    for (l, row) in b_data.chunks(n).enumerate() {
+        bp[l * NR..l * NR + n].copy_from_slice(row);
+    }
+
+    c.par_chunks_mut(TN_STRIPE * n)
+        .enumerate()
+        .for_each(|(blk, tile)| {
+            let i0 = blk * TN_STRIPE;
+            run_tn_stripe(avx2, a_data, k, m, i0, &bp, n, tile);
+        });
+}
+
 /// True when fewer than [`SPARSE_MAX_DENSITY`] of `a`'s entries are
 /// non-zero. Exact parallel count — integer summation, so the answer (and
 /// therefore the dispatch) is deterministic regardless of thread count.
@@ -639,6 +783,10 @@ fn matmul_tn_body(a: &Matrix, b: &Matrix, c: &mut Matrix) {
         gemm_tn_ref(a.as_slice(), b.as_slice(), m, k, n, c.as_mut_slice());
     } else if is_zero_heavy(a.as_slice()) {
         gemm_tn_skip_par(a.as_slice(), b.as_slice(), m, k, n, c.as_mut_slice());
+    } else if n <= NR {
+        // Tall-skinny outputs (narrow B) skip the packing machinery
+        // entirely — see `gemm_tn_direct`.
+        gemm_tn_direct(a.as_slice(), b.as_slice(), m, k, n, c.as_mut_slice());
     } else {
         // Logical left operand is Aᵀ (`k × m`): element (i, l) = A[l, i].
         let av = View {
@@ -908,6 +1056,20 @@ mod tests {
     }
 
     #[test]
+    fn matmul_tn_tall_skinny_dispatch_is_bit_identical() {
+        // Large enough to clear SMALL_FLOPS and dense enough to skip the
+        // zero-heavy path, with n ≤ NR: dispatches to `gemm_tn_direct`
+        // through the public entry point (the 2708×1433×16 bench shape in
+        // miniature, crossing the MR tile edge with k = 521).
+        let a = mat(300, 521, 40);
+        let b = mat(300, 16, 41);
+        assert_bits_eq(&matmul_tn(&a, &b), &matmul_tn_ref(&a, &b));
+        // Ragged n below NR too.
+        let b7 = mat(300, 7, 42);
+        assert_bits_eq(&matmul_tn(&a, &b7), &matmul_tn_ref(&a, &b7));
+    }
+
+    #[test]
     fn matmul_nt_equals_mul_with_transpose() {
         let a = mat(13, 21, 6);
         let b = mat(10, 21, 7);
@@ -1140,6 +1302,26 @@ mod tests {
             let mut b_nt = mat(n, k, seed.wrapping_add(9));
             inject_nonfinite(&mut b_nt, seed.wrapping_add(10), inj_b);
             assert_bits_eq(&packed_nt(&a, &b_nt), &matmul_nt_ref(&a, &b_nt));
+        }
+
+        /// The tall-skinny direct-tn kernel (forced, bypassing dispatch)
+        /// reproduces the reference bit-for-bit over its whole `n ≤ NR`
+        /// domain, with zeroed rows and non-finite contamination of
+        /// either operand.
+        #[test]
+        fn prop_tn_direct_bitwise_matches_ref(
+            m in 1usize..40, k in 1usize..40, n in 1usize..=NR,
+            seed in 0u64..1000,
+            inj_a in 0usize..3, inj_b in 0usize..3, zr in 0usize..3,
+        ) {
+            let mut a = mat(m, k, seed);
+            let mut b = mat(m, n, seed.wrapping_add(1));
+            inject_nonfinite(&mut a, seed.wrapping_add(2), inj_a);
+            inject_nonfinite(&mut b, seed.wrapping_add(3), inj_b);
+            zero_rows(&mut a, seed.wrapping_add(4), zr);
+            let mut c = Matrix::zeros(k, n);
+            gemm_tn_direct(a.as_slice(), b.as_slice(), m, k, n, c.as_mut_slice());
+            assert_bits_eq(&c, &matmul_tn_ref(&a, &b));
         }
 
         /// The public entry points (which dispatch small shapes to the

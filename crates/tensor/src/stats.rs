@@ -50,40 +50,142 @@ pub fn central_moments(z: &Matrix, center: &[f32], order: u32) -> Vec<f32> {
     acc.into_iter().map(|a| (a / rows as f64) as f32).collect()
 }
 
-/// All central moments of orders `2..=max_order` about `center`, computed in
-/// a single pass over the data. Returns `moments[j-2]` = order-`j` vector.
-///
-/// This is the hot path of the FedOMD round (orders 2..=5 for every hidden
-/// layer), so the pass is parallelised over column blocks.
-pub fn central_moments_upto(z: &Matrix, center: &[f32], max_order: u32) -> Vec<Vec<f32>> {
-    assert!(
-        max_order >= 2,
-        "central_moments_upto: max_order must be >= 2"
-    );
-    assert_eq!(
-        center.len(),
-        z.cols(),
-        "central_moments_upto: center length mismatch"
-    );
-    let (rows, cols) = z.shape();
-    let orders = (max_order - 1) as usize;
-    if rows == 0 {
-        return vec![vec![0.0; cols]; orders];
-    }
-    let data = z.as_slice();
-    const COL_BLOCK: usize = 64;
-    let n_blocks = cols.div_ceil(COL_BLOCK);
+/// Column-block width of the fused moment sweep. 64 f32 columns = 4
+/// cache lines of data per row touch, and the per-order accumulator
+/// arrays (`[f64; COL_BLOCK]` each) stay comfortably in L1.
+const COL_BLOCK: usize = 64;
 
-    let per_block: Vec<Vec<Vec<f64>>> = (0..n_blocks)
-        .into_par_iter()
-        .map(|blk| {
-            let c0 = blk * COL_BLOCK;
-            let c1 = (c0 + COL_BLOCK).min(cols);
-            let width = c1 - c0;
+/// One fused sweep over `rows × width` elements of a column block,
+/// accumulating all `ORDERS` central-moment powers at once: per element
+/// `d = (v − c) as f64`, then the left-associated power chain
+/// `d², d³, …` feeds one f64 accumulator per order. Rows are visited in
+/// ascending order, so for any single order the per-element operation
+/// sequence is exactly the per-order reference kernel's
+/// (`central_moments`' `powi_f64` chain) — bit-identical by
+/// construction, pinned by `prop_fused_sweep_is_bit_identical_*`.
+///
+/// `ORDERS` is a compile-time constant so the inner loop fully unrolls;
+/// `out` receives `ORDERS` runs of `width` f64 sums (not yet divided by
+/// `rows`).
+#[inline(always)]
+fn moment_sweep_body<const ORDERS: usize>(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    center: &[f32],
+    c0: usize,
+    width: usize,
+    out: &mut [f64],
+) {
+    let mut acc = [[0.0f64; COL_BLOCK]; ORDERS];
+    for r in 0..rows {
+        let row = &data[r * cols + c0..r * cols + c0 + width];
+        let ctr = &center[c0..c0 + width];
+        for i in 0..width {
+            let d = (row[i] - ctr[i]) as f64;
+            let mut p = d * d;
+            acc[0][i] += p;
+            for acc_ord in acc.iter_mut().skip(1) {
+                p *= d;
+                acc_ord[i] += p;
+            }
+        }
+    }
+    for (ord, acc_row) in acc.iter().enumerate() {
+        out[ord * width..(ord + 1) * width].copy_from_slice(&acc_row[..width]);
+    }
+}
+
+/// Baseline-ISA instantiation of the fused sweep.
+fn moment_sweep_generic<const ORDERS: usize>(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    center: &[f32],
+    c0: usize,
+    width: usize,
+    out: &mut [f64],
+) {
+    moment_sweep_body::<ORDERS>(data, rows, cols, center, c0, width, out);
+}
+
+/// AVX2 instantiation: identical Rust code, wider auto-vectorisation.
+/// The chain is plain lane-wise IEEE mul/add without contraction, so it
+/// stays bit-identical to [`moment_sweep_generic`].
+///
+/// # Safety
+/// Callers must have verified AVX2 support at runtime.
+// SAFETY: `unsafe` solely because of `#[target_feature(enable = "avx2")]`
+// — executing AVX2 instructions on a CPU without them is UB. The only
+// call site (`run_moment_sweep`) is gated on `is_x86_feature_detected!`
+// evaluated once in `central_moments_upto`. All memory access goes
+// through the shared safe `moment_sweep_body`: `data`/`center`/`out` are
+// ordinary slices with every index bounds-checked — no raw pointers, no
+// alignment assumptions beyond `&[f32]`/`&mut [f64]`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn moment_sweep_avx2<const ORDERS: usize>(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    center: &[f32],
+    c0: usize,
+    width: usize,
+    out: &mut [f64],
+) {
+    moment_sweep_body::<ORDERS>(data, rows, cols, center, c0, width, out);
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn run_moment_sweep<const ORDERS: usize>(
+    avx2: bool,
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    center: &[f32],
+    c0: usize,
+    width: usize,
+    out: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2 {
+        // SAFETY: `avx2` is only true when `is_x86_feature_detected!`
+        // confirmed support in `central_moments_upto`.
+        unsafe { moment_sweep_avx2::<ORDERS>(data, rows, cols, center, c0, width, out) };
+        return;
+    }
+    let _ = avx2;
+    moment_sweep_generic::<ORDERS>(data, rows, cols, center, c0, width, out);
+}
+
+/// Dispatches the runtime order count to a monomorphised sweep (1..=5
+/// covers the paper's `max_order ∈ 2..=6`); higher counts fall back to a
+/// dynamically-sized accumulator with the identical per-element chain.
+#[allow(clippy::too_many_arguments)]
+fn moment_sweep_dyn(
+    avx2: bool,
+    orders: usize,
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    center: &[f32],
+    c0: usize,
+    width: usize,
+    out: &mut [f64],
+) {
+    match orders {
+        1 => run_moment_sweep::<1>(avx2, data, rows, cols, center, c0, width, out),
+        2 => run_moment_sweep::<2>(avx2, data, rows, cols, center, c0, width, out),
+        3 => run_moment_sweep::<3>(avx2, data, rows, cols, center, c0, width, out),
+        4 => run_moment_sweep::<4>(avx2, data, rows, cols, center, c0, width, out),
+        5 => run_moment_sweep::<5>(avx2, data, rows, cols, center, c0, width, out),
+        _ => {
+            // Unbounded-order fallback: same chain, heap accumulators.
             let mut acc = vec![vec![0.0f64; width]; orders];
             for r in 0..rows {
-                let row = &data[r * cols + c0..r * cols + c1];
-                for (i, (&v, &c)) in row.iter().zip(&center[c0..c1]).enumerate() {
+                let row = &data[r * cols + c0..r * cols + c0 + width];
+                for (i, (&v, &c)) in row.iter().zip(&center[c0..c0 + width]).enumerate() {
                     let d = (v - c) as f64;
                     let mut p = d * d;
                     acc[0][i] += p;
@@ -93,15 +195,63 @@ pub fn central_moments_upto(z: &Matrix, center: &[f32], max_order: u32) -> Vec<V
                     }
                 }
             }
-            acc
+            for (ord, vals) in acc.into_iter().enumerate() {
+                out[ord * width..(ord + 1) * width].copy_from_slice(&vals);
+            }
+        }
+    }
+}
+
+/// All central moments of orders `2..=max_order` about `center`, computed in
+/// a single fused pass over the data. Returns `moments[j-2]` = order-`j`
+/// vector (empty when `max_order == 1`).
+///
+/// This is the hot path of the FedOMD round (orders 2..=5 for every hidden
+/// layer), so the pass is parallelised over column blocks and dispatched to
+/// an AVX2 instantiation when the CPU supports it (bit-identical — see
+/// [`moment_sweep_avx2`]).
+pub fn central_moments_upto(z: &Matrix, center: &[f32], max_order: u32) -> Vec<Vec<f32>> {
+    assert!(
+        max_order >= 1,
+        "central_moments_upto: max_order must be >= 1"
+    );
+    assert_eq!(
+        center.len(),
+        z.cols(),
+        "central_moments_upto: center length mismatch"
+    );
+    let (rows, cols) = z.shape();
+    let orders = (max_order - 1) as usize;
+    if orders == 0 {
+        return Vec::new();
+    }
+    if rows == 0 {
+        return vec![vec![0.0; cols]; orders];
+    }
+    let data = z.as_slice();
+    let n_blocks = cols.div_ceil(COL_BLOCK);
+    #[cfg(target_arch = "x86_64")]
+    let avx2 = std::arch::is_x86_feature_detected!("avx2");
+    #[cfg(not(target_arch = "x86_64"))]
+    let avx2 = false;
+
+    let per_block: Vec<Vec<f64>> = (0..n_blocks)
+        .into_par_iter()
+        .map(|blk| {
+            let c0 = blk * COL_BLOCK;
+            let width = (c0 + COL_BLOCK).min(cols) - c0;
+            let mut sums = vec![0.0f64; orders * width];
+            moment_sweep_dyn(avx2, orders, data, rows, cols, center, c0, width, &mut sums);
+            sums
         })
         .collect();
 
     let mut out = vec![vec![0.0f32; cols]; orders];
-    for (blk, acc) in per_block.into_iter().enumerate() {
+    for (blk, sums) in per_block.into_iter().enumerate() {
         let c0 = blk * COL_BLOCK;
-        for (ord, vals) in acc.into_iter().enumerate() {
-            for (i, v) in vals.into_iter().enumerate() {
+        let width = (c0 + COL_BLOCK).min(cols) - c0;
+        for (ord, vals) in sums.chunks(width).enumerate() {
+            for (i, &v) in vals.iter().enumerate() {
                 out[ord][c0 + i] = (v / rows as f64) as f32;
             }
         }
@@ -244,14 +394,16 @@ mod tests {
 
         #[test]
         fn prop_upto_is_bit_identical_to_individual_orders(
-            rows in 0usize..40, cols in 1usize..200, max_order in 2u32..6, seed in 0u64..500
+            rows in 0usize..40, cols in 1usize..200, max_order in 1u32..=6, seed in 0u64..500
         ) {
-            // The single-pass kernel and the order-by-order reference share
-            // the same accumulation structure (rows in ascending order,
-            // f64 accumulators, left-associated power chains), so they must
-            // agree *bit-for-bit* — including `rows == 0` and a ragged
-            // final column block (cols up to 200 crosses the 64-column
-            // blocking with a partial tail).
+            // The fused single-pass kernel (monomorphised + AVX2-dispatched)
+            // and the order-by-order reference share the same accumulation
+            // structure (rows in ascending order, f64 accumulators,
+            // left-associated power chains), so they must agree
+            // *bit-for-bit* — including `max_order == 1` (no moments),
+            // `rows == 0`, and a ragged final column block (cols up to 200
+            // crosses the 64-column blocking with a partial tail).
+            // `max_order ∈ 1..=6` exercises every monomorphised ORDERS arm.
             let z = Matrix::from_fn(rows, cols, |r, c| {
                 let h = (r as u64 * 131 + c as u64 * 31 + seed * 1009) % 1997;
                 h as f32 / 1997.0 - 0.5
@@ -261,6 +413,26 @@ mod tests {
                 .collect();
             let all = central_moments_upto(&z, &center, max_order);
             prop_assert_eq!(all.len(), (max_order - 1) as usize);
+            for (idx, order) in (2..=max_order).enumerate() {
+                let single = central_moments(&z, &center, order);
+                prop_assert_eq!(&all[idx], &single, "order {}", order);
+            }
+        }
+
+        #[test]
+        fn prop_upto_dynamic_fallback_is_bit_identical(
+            rows in 0usize..30, cols in 1usize..80, max_order in 7u32..10, seed in 0u64..200
+        ) {
+            // Order counts past the monomorphised 1..=5 arms take the
+            // heap-accumulator fallback; pin it to the reference too.
+            let z = Matrix::from_fn(rows, cols, |r, c| {
+                let h = (r as u64 * 67 + c as u64 * 29 + seed * 811) % 1499;
+                h as f32 / 1499.0 - 0.5
+            });
+            let center: Vec<f32> = (0..cols)
+                .map(|c| ((c as u64 * 41 + seed) % 89) as f32 / 89.0 - 0.5)
+                .collect();
+            let all = central_moments_upto(&z, &center, max_order);
             for (idx, order) in (2..=max_order).enumerate() {
                 let single = central_moments(&z, &center, order);
                 prop_assert_eq!(&all[idx], &single, "order {}", order);

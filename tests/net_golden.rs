@@ -303,3 +303,57 @@ fn a_killed_server_resumes_from_its_checkpoint_and_the_clients_reconnect() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn invalid_cohort_config_is_rejected_before_any_socket_traffic() {
+    let (name, clients, n_classes) = mini_setup(3);
+    let run = RunConfig::mini(3).with_cohort(fedomd_federated::CohortConfig::fraction(f64::NAN, 0));
+
+    // Server side: the listener is bound but must never be accepted on —
+    // serve_on returns the typed config error up front.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let opts = ServeOpts::new(clients.len());
+    let err = serve_on(listener, &opts, &run, &name, &mut NullObserver)
+        .expect_err("NaN sample_frac must not start a run");
+    assert!(
+        matches!(
+            err,
+            fedomd_net::NetError::Config(
+                fedomd_federated::CohortConfigError::NonFiniteSampleFrac { .. }
+            )
+        ),
+        "got: {err}"
+    );
+
+    // Client side: rejected before the first connection attempt — there is
+    // no server behind this address, yet the error is Config, not Io.
+    let copts = ClientOpts {
+        addr: "127.0.0.1:1".into(),
+        id: 0,
+        net: NetConfig::default(),
+    };
+    let bad = RunConfig::mini(3).with_cohort(fedomd_federated::CohortConfig {
+        sample_frac: 0.5,
+        min_cohort: clients.len() + 1,
+        seed: 0,
+    });
+    let err = run_client(
+        &copts,
+        &bad,
+        &name,
+        clients.len(),
+        &clients[0],
+        n_classes,
+        &mut NullObserver,
+    )
+    .expect_err("oversized min_cohort must not reach the handshake");
+    assert!(
+        matches!(
+            err,
+            fedomd_net::NetError::Config(
+                fedomd_federated::CohortConfigError::MinCohortExceedsParties { .. }
+            )
+        ),
+        "got: {err}"
+    );
+}
