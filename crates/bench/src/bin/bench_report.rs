@@ -2,8 +2,9 @@
 //! trajectory file `BENCH_kernels.json`.
 //!
 //! The vendored criterion stub appends one JSON object per benchmark
-//! (`{"label":…,"mean_ns":…,"min_ns":…,"iters":…}`) to the file named by
-//! `CRITERION_JSON`. `scripts/bench.sh` runs the bench suites with that
+//! (`{"label":…,"mean_ns":…,"min_ns":…,"median_ns":…,"iters":…}`) to the
+//! file named by `CRITERION_JSON`; `median_ns` is optional so auxiliary
+//! records (RSS probes and older captures) still parse. `scripts/bench.sh` runs the bench suites with that
 //! set, then invokes this binary to fold the lines into a labelled run:
 //!
 //! ```text
@@ -72,6 +73,11 @@ fn parse_jsonl(text: &str) -> Result<Vec<(String, Json)>, String> {
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("line {}: missing {key}", lineno + 1))?;
             rec.push((key.to_string(), Json::Num(v)));
+        }
+        // Optional: only the criterion stub's timing records carry a
+        // median; auxiliary records (e.g. cohort_scale RSS probes) don't.
+        if let Some(v) = doc.get("median_ns").and_then(Json::as_f64) {
+            rec.push(("median_ns".to_string(), Json::Num(v)));
         }
         benches.retain(|(l, _)| *l != label);
         benches.push((label, Json::Obj(rec)));

@@ -36,7 +36,9 @@ use fedomd_transport::{
 use fedomd_metrics::Stopwatch;
 
 use crate::config::FedOmdConfig;
-use crate::protocol::{aggregate_means_sharded, aggregate_moments_sharded};
+use crate::protocol::{
+    aggregate_means_sharded, aggregate_moments_sharded, MeanAccumulator, MomentAccumulator,
+};
 
 /// Options of the standalone server driver.
 #[derive(Clone, Copy, Debug)]
@@ -126,88 +128,159 @@ pub fn run_fedomd_server(
         // --- Phase 2 (server side): the 2-round statistics exchange ---
         if omd.use_cmd {
             let sw = PhaseStopwatch::start(Phase::Comms);
+            let all_ids: Vec<u32> = (0..m as u32).collect();
             let mut round1_n: BTreeMap<u32, usize> = BTreeMap::new();
-            let mut round1: Vec<(Vec<Vec<f32>>, usize)> = Vec::new();
-            for env in collector.phase(&mut chan, r, m, |e| {
-                matches!(e.payload, Payload::StatsRound1 { .. })
-            }) {
-                driver.comms.record(
-                    Direction::Uplink,
-                    TrafficClass::Stats,
-                    env.encoded_len() as u64,
+            let r1_participants;
+            let means_res;
+            if cfg.pipeline.enabled {
+                // Fold each report the moment it lands: the streaming
+                // accumulator replaces the whole-cohort buffer, and the
+                // push order is the same ascending-sender order the batch
+                // fold consumes, so the average is bit-identical while
+                // peak memory stays O(model + reorder window).
+                let mut mean_acc = MeanAccumulator::new();
+                let comms = &mut driver.comms;
+                collector.phase_fold(
+                    &mut chan,
+                    r,
+                    &all_ids,
+                    |e| matches!(e.payload, Payload::StatsRound1 { .. }),
+                    |env| {
+                        comms.record(
+                            Direction::Uplink,
+                            TrafficClass::Stats,
+                            env.encoded_len() as u64,
+                        );
+                        if let Payload::StatsRound1 { means, n_samples } = env.payload {
+                            // A malformed payload degrades exactly like a
+                            // dropped frame.
+                            if mean_acc.push(&means, n_samples as usize).is_ok() {
+                                round1_n.insert(env.sender, n_samples as usize);
+                            }
+                        }
+                    },
                 );
-                if let Payload::StatsRound1 { means, n_samples } = env.payload {
-                    round1_n.insert(env.sender, n_samples as usize);
-                    round1.push((means, n_samples as usize));
-                }
-            }
-            chan.flush_into(obs);
-            obs.on_event(&RoundEvent::StatsRound1Done {
-                participants: round1.len(),
-            });
-
-            // An empty phase (or all-zero sample counts) yields Err: no
-            // means go down, so no client will report moments — close the
-            // second phase without a wait.
-            if let Ok(means) = aggregate_means_sharded(&round1) {
-                for i in 0..m {
-                    let bytes = chan.download(
-                        i as u32,
-                        Envelope {
-                            round: r,
-                            sender: SERVER_SENDER,
-                            payload: Payload::GlobalStats {
-                                means: means.clone(),
-                                moments: Vec::new(),
-                            },
-                        },
-                    );
-                    driver
-                        .comms
-                        .record(Direction::Downlink, TrafficClass::Stats, bytes as u64);
-                }
-                chan.flush_into(obs);
-
-                let mut round2: Vec<(Vec<Vec<Vec<f32>>>, usize)> = Vec::new();
+                r1_participants = mean_acc.pushed() as usize;
+                means_res = mean_acc.finish();
+            } else {
+                let mut round1: Vec<(Vec<Vec<f32>>, usize)> = Vec::new();
                 for env in collector.phase(&mut chan, r, m, |e| {
-                    matches!(e.payload, Payload::StatsRound2 { .. })
+                    matches!(e.payload, Payload::StatsRound1 { .. })
                 }) {
                     driver.comms.record(
                         Direction::Uplink,
                         TrafficClass::Stats,
                         env.encoded_len() as u64,
                     );
-                    if let Payload::StatsRound2 { moments } = env.payload {
-                        // Round-2 moments are weighted by the n_i announced
-                        // in round 1; an unannounced reporter is ignored.
-                        if let Some(&n) = round1_n.get(&env.sender) {
-                            round2.push((moments, n));
+                    if let Payload::StatsRound1 { means, n_samples } = env.payload {
+                        round1_n.insert(env.sender, n_samples as usize);
+                        round1.push((means, n_samples as usize));
+                    }
+                }
+                r1_participants = round1.len();
+                means_res = aggregate_means_sharded(&round1);
+            }
+            chan.flush_into(obs);
+            obs.on_event(&RoundEvent::StatsRound1Done {
+                participants: r1_participants,
+            });
+
+            // An empty phase (or all-zero sample counts) yields Err: no
+            // means go down, so no client will report moments — close the
+            // second phase without a wait.
+            if let Ok(means) = means_res {
+                let cohort: Vec<u32> = (0..m as u32).collect();
+                let bytes = chan.download_many(
+                    &cohort,
+                    Envelope {
+                        round: r,
+                        sender: SERVER_SENDER,
+                        payload: Payload::GlobalStats {
+                            means: means.clone(),
+                            moments: Vec::new(),
+                        },
+                    },
+                );
+                for _ in 0..m {
+                    driver
+                        .comms
+                        .record(Direction::Downlink, TrafficClass::Stats, bytes as u64);
+                }
+                chan.flush_into(obs);
+
+                let r2_participants;
+                let moments_res;
+                if cfg.pipeline.enabled {
+                    let mut moment_acc = MomentAccumulator::new();
+                    let comms = &mut driver.comms;
+                    collector.phase_fold(
+                        &mut chan,
+                        r,
+                        &all_ids,
+                        |e| matches!(e.payload, Payload::StatsRound2 { .. }),
+                        |env| {
+                            comms.record(
+                                Direction::Uplink,
+                                TrafficClass::Stats,
+                                env.encoded_len() as u64,
+                            );
+                            if let Payload::StatsRound2 { moments } = env.payload {
+                                // Round-2 moments are weighted by the n_i
+                                // announced in round 1; an unannounced
+                                // reporter is ignored.
+                                if let Some(&n) = round1_n.get(&env.sender) {
+                                    let _ok = moment_acc.push(&moments, n).is_ok();
+                                }
+                            }
+                        },
+                    );
+                    r2_participants = moment_acc.pushed() as usize;
+                    moments_res = moment_acc.finish();
+                } else {
+                    let mut round2: Vec<(Vec<Vec<Vec<f32>>>, usize)> = Vec::new();
+                    for env in collector.phase(&mut chan, r, m, |e| {
+                        matches!(e.payload, Payload::StatsRound2 { .. })
+                    }) {
+                        driver.comms.record(
+                            Direction::Uplink,
+                            TrafficClass::Stats,
+                            env.encoded_len() as u64,
+                        );
+                        if let Payload::StatsRound2 { moments } = env.payload {
+                            // Round-2 moments are weighted by the n_i
+                            // announced in round 1; an unannounced reporter
+                            // is ignored.
+                            if let Some(&n) = round1_n.get(&env.sender) {
+                                round2.push((moments, n));
+                            }
                         }
                     }
+                    r2_participants = round2.len();
+                    moments_res = aggregate_moments_sharded(&round2);
                 }
                 chan.flush_into(obs);
                 obs.on_event(&RoundEvent::StatsRound2Done {
-                    participants: round2.len(),
+                    participants: r2_participants,
                 });
-                if let Ok(moments) = aggregate_moments_sharded(&round2) {
+                if let Ok(moments) = moments_res {
                     if track {
                         last_stats = Some(StatsCache {
                             means: means.clone(),
                             moments: moments.clone(),
                         });
                     }
-                    for i in 0..m {
-                        let bytes = chan.download(
-                            i as u32,
-                            Envelope {
-                                round: r,
-                                sender: SERVER_SENDER,
-                                payload: Payload::GlobalStats {
-                                    means: means.clone(),
-                                    moments: moments.clone(),
-                                },
+                    let bytes = chan.download_many(
+                        &cohort,
+                        Envelope {
+                            round: r,
+                            sender: SERVER_SENDER,
+                            payload: Payload::GlobalStats {
+                                means: means.clone(),
+                                moments: moments.clone(),
                             },
-                        );
+                        },
+                    );
+                    for _ in 0..m {
                         driver
                             .comms
                             .record(Direction::Downlink, TrafficClass::Stats, bytes as u64);
@@ -234,28 +307,63 @@ pub fn run_fedomd_server(
         for &i in &cohort {
             in_cohort[i] = true;
         }
-        let sw = PhaseStopwatch::start(Phase::Comms);
-        let mut sets: Vec<(Vec<Matrix>, f64)> = Vec::new();
-        for env in collector.phase(&mut chan, r, cohort.len(), |e| {
-            matches!(e.payload, Payload::WeightUpdate { .. })
-                && in_cohort.get(e.sender as usize).copied().unwrap_or(false)
-        }) {
-            driver.comms.record(
-                Direction::Uplink,
-                TrafficClass::Weights,
-                env.encoded_len() as u64,
-            );
-            if let Payload::WeightUpdate { params } = env.payload {
-                sets.push((from_tensors(params), 1.0));
-            }
-        }
-        chan.flush_into(obs);
-        sw.finish(obs);
-        let sw = PhaseStopwatch::start(Phase::Aggregation);
         let mut agg = UpdateAccumulator::new();
-        agg.push_batch(&sets);
+        if cfg.pipeline.enabled {
+            // Fold-on-arrival: each update lands in the streaming
+            // accumulator the moment its ascending-sender turn comes up
+            // (out-of-order arrivals wait in the collector's reorder
+            // window), so the server folds fast clients' uploads while
+            // stragglers are still training — the whole wait is the
+            // overlap the `FoldOverlap` telemetry segment measures — and
+            // never materialises the O(cohort·model) payload buffer.
+            let sw = PhaseStopwatch::start(Phase::FoldOverlap);
+            let cohort_ids: Vec<u32> = cohort.iter().map(|&i| i as u32).collect();
+            let comms = &mut driver.comms;
+            collector.phase_fold(
+                &mut chan,
+                r,
+                &cohort_ids,
+                |e| {
+                    matches!(e.payload, Payload::WeightUpdate { .. })
+                        && in_cohort.get(e.sender as usize).copied().unwrap_or(false)
+                },
+                |env| {
+                    comms.record(
+                        Direction::Uplink,
+                        TrafficClass::Weights,
+                        env.encoded_len() as u64,
+                    );
+                    if let Payload::WeightUpdate { params } = env.payload {
+                        agg.push(&from_tensors(params), 1.0);
+                    }
+                },
+            );
+            chan.flush_into(obs);
+            sw.finish(obs);
+        } else {
+            let sw = PhaseStopwatch::start(Phase::Comms);
+            let mut sets: Vec<(Vec<Matrix>, f64)> = Vec::new();
+            for env in collector.phase(&mut chan, r, cohort.len(), |e| {
+                matches!(e.payload, Payload::WeightUpdate { .. })
+                    && in_cohort.get(e.sender as usize).copied().unwrap_or(false)
+            }) {
+                driver.comms.record(
+                    Direction::Uplink,
+                    TrafficClass::Weights,
+                    env.encoded_len() as u64,
+                );
+                if let Payload::WeightUpdate { params } = env.payload {
+                    sets.push((from_tensors(params), 1.0));
+                }
+            }
+            chan.flush_into(obs);
+            sw.finish(obs);
+            let sw = PhaseStopwatch::start(Phase::Aggregation);
+            agg.push_batch(&sets);
+            sw.finish(obs);
+        }
+        let sw = PhaseStopwatch::start(Phase::Aggregation);
         let participants = agg.pushed();
-        drop(sets);
         let global = agg.finish();
         sw.finish(obs);
         if let Some(global) = global {
@@ -264,17 +372,18 @@ pub fn run_fedomd_server(
             }
             obs.on_event(&RoundEvent::AggregationDone { participants });
             let sw = PhaseStopwatch::start(Phase::Comms);
-            for i in 0..m {
-                let bytes = chan.download(
-                    i as u32,
-                    Envelope {
-                        round: r,
-                        sender: SERVER_SENDER,
-                        payload: Payload::GlobalModel {
-                            params: to_tensors(&global),
-                        },
+            let cohort: Vec<u32> = (0..m as u32).collect();
+            let bytes = chan.download_many(
+                &cohort,
+                Envelope {
+                    round: r,
+                    sender: SERVER_SENDER,
+                    payload: Payload::GlobalModel {
+                        params: to_tensors(&global),
                     },
-                );
+                },
+            );
+            for _ in 0..m {
                 driver
                     .comms
                     .record(Direction::Downlink, TrafficClass::Weights, bytes as u64);
@@ -361,15 +470,16 @@ pub fn run_fedomd_server(
             } else {
                 Control::Ack
             };
-            for i in 0..m {
-                let bytes = chan.download(
-                    i as u32,
-                    Envelope {
-                        round: r,
-                        sender: SERVER_SENDER,
-                        payload: Payload::Control(verdict.clone()),
-                    },
-                );
+            let cohort: Vec<u32> = (0..m as u32).collect();
+            let bytes = chan.download_many(
+                &cohort,
+                Envelope {
+                    round: r,
+                    sender: SERVER_SENDER,
+                    payload: Payload::Control(verdict),
+                },
+            );
+            for _ in 0..m {
                 driver
                     .comms
                     .record(Direction::Downlink, TrafficClass::Stats, bytes as u64);
@@ -450,6 +560,83 @@ impl Collector {
         }
         got.sort_by_key(|e| e.sender);
         got
+    }
+
+    /// Fold-on-arrival variant of [`Self::phase`]: applies `fold` to each
+    /// admitted envelope in ascending sender order — the exact order the
+    /// batch variant's final sort produces — buffering out-of-order
+    /// arrivals in a reorder window keyed by sender, so the phase never
+    /// materialises more than the window while fast senders' payloads are
+    /// consumed immediately. `candidates` is the ascending list of senders
+    /// the phase may admit (the cohort for the weight phase). An admitted
+    /// sender stuck behind a gap (an earlier candidate that never reports)
+    /// folds when the phase closes, still ascending.
+    ///
+    /// Close conditions match [`Self::phase`]: enough admissions to cover
+    /// `min(awaited_peers, candidates.len())`, or a collect that comes
+    /// back empty (the transport's deadline elapsed / every live peer
+    /// reported — the partial-aggregation path). Polls
+    /// [`Channel::server_collect_some`], so a transport that can return
+    /// single frames feeds the fold as uploads land rather than at phase
+    /// end. Returns the number of envelopes folded.
+    fn phase_fold(
+        &mut self,
+        chan: &mut ObservedChannel<'_>,
+        round: u64,
+        candidates: &[u32],
+        want: impl Fn(&Envelope) -> bool,
+        mut fold: impl FnMut(Envelope),
+    ) -> usize {
+        let expected = candidates.len();
+        let mut window: BTreeMap<u32, Envelope> = BTreeMap::new();
+        let mut seen: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        let mut next = 0usize;
+        let mut folded = 0usize;
+        let admit = |env: Envelope,
+                     window: &mut BTreeMap<u32, Envelope>,
+                     seen: &mut std::collections::BTreeSet<u32>,
+                     stash: &mut Vec<Envelope>| {
+            if env.round == round && want(&env) && seen.insert(env.sender) {
+                window.insert(env.sender, env);
+            } else if env.round >= round {
+                stash.push(env);
+            }
+            // Frames of closed rounds are silently discarded, as in
+            // `phase`.
+        };
+        for env in std::mem::take(&mut self.stash) {
+            admit(env, &mut window, &mut seen, &mut self.stash);
+        }
+        loop {
+            // Fold the contiguous arrived prefix of the candidate list.
+            while next < candidates.len() {
+                let Some(env) = window.remove(&candidates[next]) else {
+                    break;
+                };
+                fold(env);
+                folded += 1;
+                next += 1;
+            }
+            let target = chan
+                .awaited_peers(round)
+                .map_or(expected, |live| live.min(expected));
+            if seen.len() >= target {
+                break;
+            }
+            let batch = chan.server_collect_some(round);
+            if batch.is_empty() {
+                break;
+            }
+            for env in batch {
+                admit(env, &mut window, &mut seen, &mut self.stash);
+            }
+        }
+        // Close: whatever waited behind a gap folds now, ascending.
+        while let Some((_, env)) = window.pop_first() {
+            fold(env);
+            folded += 1;
+        }
+        folded
     }
 }
 
@@ -559,6 +746,147 @@ mod tests {
         assert_eq!(got.len(), 1);
         drop(observed);
         assert_eq!(chan.collects, 1, "no re-collect for departed parties");
+    }
+
+    #[test]
+    fn phase_fold_folds_out_of_order_arrivals_ascending() {
+        use std::collections::VecDeque;
+        // A transport that surfaces one frame per collect, in raw arrival
+        // order — the shape `server_collect_some` takes over TCP.
+        struct Trickle {
+            frames: VecDeque<Envelope>,
+        }
+        impl Channel for Trickle {
+            fn upload(&mut self, env: Envelope) -> usize {
+                self.frames.push_back(env);
+                1
+            }
+            fn server_collect(&mut self, _round: u64) -> Vec<Envelope> {
+                self.frames.drain(..).collect()
+            }
+            fn server_collect_some(&mut self, _round: u64) -> Vec<Envelope> {
+                self.frames.pop_front().into_iter().collect()
+            }
+            fn download(&mut self, _to: u32, _env: Envelope) -> usize {
+                0
+            }
+            fn client_collect(&mut self, _id: u32, _round: u64) -> Vec<Envelope> {
+                Vec::new()
+            }
+            fn stats(&self) -> fedomd_transport::NetStats {
+                fedomd_transport::NetStats::default()
+            }
+        }
+        let mut t = Trickle {
+            frames: VecDeque::new(),
+        };
+        // Arrival order 2, 0, 1: the window must hold 2 until 0 and 1 fold.
+        t.upload(weight_env(0, 2, 2.0));
+        t.upload(weight_env(0, 0, 0.0));
+        t.upload(weight_env(0, 1, 1.0));
+        let mut chan = ObservedChannel::new(&mut t);
+        let mut c = Collector::default();
+        let mut order = Vec::new();
+        let folded = c.phase_fold(
+            &mut chan,
+            0,
+            &[0, 1, 2],
+            |e| matches!(e.payload, Payload::WeightUpdate { .. }),
+            |env| order.push(env.sender),
+        );
+        assert_eq!(folded, 3);
+        assert_eq!(order, vec![0, 1, 2], "fold order must be ascending");
+    }
+
+    #[test]
+    fn disconnect_mid_fold_closes_at_the_live_peer_count() {
+        // Two of three parties depart after the third uploads (their
+        // generation-stamped `Left` events shrink `awaited_peers` to 1).
+        // The partially-folded phase must close without another collect —
+        // and the survivor, stuck in the window behind the gap left by the
+        // departed senders, must still fold.
+        struct OneLive {
+            inner: InProcChannel,
+            collects: usize,
+        }
+        impl Channel for OneLive {
+            fn upload(&mut self, env: Envelope) -> usize {
+                self.inner.upload(env)
+            }
+            fn server_collect(&mut self, round: u64) -> Vec<Envelope> {
+                self.collects += 1;
+                self.inner.server_collect(round)
+            }
+            fn server_collect_some(&mut self, round: u64) -> Vec<Envelope> {
+                self.server_collect(round)
+            }
+            fn download(&mut self, to: u32, env: Envelope) -> usize {
+                self.inner.download(to, env)
+            }
+            fn client_collect(&mut self, id: u32, round: u64) -> Vec<Envelope> {
+                self.inner.client_collect(id, round)
+            }
+            fn awaited_peers(&self, _round: u64) -> Option<usize> {
+                Some(1)
+            }
+            fn stats(&self) -> fedomd_transport::NetStats {
+                self.inner.stats()
+            }
+        }
+        let mut chan = OneLive {
+            inner: InProcChannel::new(),
+            collects: 0,
+        };
+        chan.inner.upload(weight_env(0, 2, 2.0));
+        let mut observed = ObservedChannel::new(&mut chan);
+        let mut c = Collector::default();
+        let mut order = Vec::new();
+        let folded = c.phase_fold(
+            &mut observed,
+            0,
+            &[0, 1, 2],
+            |e| matches!(e.payload, Payload::WeightUpdate { .. }),
+            |env| order.push(env.sender),
+        );
+        assert_eq!(folded, 1, "the survivor's update must not be stranded");
+        assert_eq!(order, vec![2]);
+        drop(observed);
+        assert_eq!(chan.collects, 1, "no re-collect for departed parties");
+    }
+
+    #[test]
+    fn pipelined_server_round_matches_the_sequential_server_round() {
+        use fedomd_federated::PipelineConfig;
+        // The same queued uplink, drained by both server paths: every
+        // RunResult artefact (pooled eval, history, byte accounting) must
+        // agree bit for bit.
+        let run_once = |pipelined: bool| {
+            let mut chan = InProcChannel::new();
+            chan.upload(weight_env(0, 0, 0.0));
+            chan.upload(weight_env(0, 1, 2.0));
+            chan.upload(metrics_env(0, 0, 1.0, 1, 4));
+            chan.upload(metrics_env(0, 1, 3.0, 2, 4));
+            let mut cfg = TrainConfig {
+                rounds: 1,
+                ..TrainConfig::mini(0)
+            };
+            if pipelined {
+                cfg.pipeline = PipelineConfig::on();
+            }
+            run_fedomd_server(
+                &ServerOpts::new(2),
+                &cfg,
+                &FedOmdConfig::ortho_only(),
+                &mut chan,
+                &mut NullObserver,
+                Persistence::default(),
+            )
+        };
+        let seq = run_once(false);
+        let piped = run_once(true);
+        assert_eq!(seq.history, piped.history);
+        assert_eq!(seq.val_acc, piped.val_acc);
+        assert_eq!(seq.comms, piped.comms);
     }
 
     #[test]

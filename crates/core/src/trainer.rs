@@ -48,6 +48,7 @@ use rayon::prelude::*;
 use fedomd_autograd::{CmdTargets, Tape, Var, Workspace};
 use fedomd_federated::engine::RoundDriver;
 use fedomd_federated::helpers::UpdateAccumulator;
+use fedomd_federated::pipeline::fold_in_order;
 use fedomd_federated::{
     ClientData, Direction, Persistence, ResumeState, RunResult, StatsCache, TrafficClass,
     TrainConfig,
@@ -93,6 +94,24 @@ fn fold_weight_update(agg: &mut UpdateAccumulator, env: Envelope) {
         // clients upload nothing but `WeightUpdate` in the weight phase —
         // any other payload here is a routing bug that must fail loudly.
         other => panic!("server expected WeightUpdate, got {}", other.kind()),
+    }
+}
+
+/// Reports each sampled client's Phase-3 loss decomposition to `obs`.
+fn emit_local_steps(losses: &[Option<(f32, f32, f32, f32)>], obs: &mut dyn RoundObserver) {
+    for (client, &(loss, ce, ortho, cmd)) in losses
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| l.as_ref().map(|l| (i, l)))
+    {
+        obs.on_event(&RoundEvent::LocalStepDone {
+            client: client as u32,
+            epoch: 0,
+            loss: loss as f64,
+            ce: ce as f64,
+            ortho: ortho as f64,
+            cmd: cmd as f64,
+        });
     }
 }
 
@@ -373,121 +392,194 @@ pub fn run_fedomd_resumable(
         };
 
         // --- Phase 3: losses, backward, local steps (cohort, parallel) ---
-        let sw = PhaseStopwatch::start(Phase::LocalTrain);
-        let start = Stopwatch::start();
+        // One sampled client's backward/step turn, shared verbatim between
+        // the phase-sequential sweep and the pipelined overlap sweep so
+        // the two paths compute identical bits. Returns the (total, ce,
+        // scaled ortho, scaled cmd) loss readings.
+        let optimise_client = |session: (Tape, ForwardOut),
+                               model: &mut Box<dyn Model>,
+                               opt: &mut Adam,
+                               client: &ClientData,
+                               targets_ref: &Option<Vec<CmdTargets>>,
+                               ws: &mut Workspace|
+         -> (f32, f32, f32, f32) {
+            let (mut tape, out) = session;
+            let ce = tape.softmax_cross_entropy(out.logits, &client.labels, &client.splits.train);
+            let mut loss = ce;
+            let mut ortho_term: Option<Var> = None;
+            if omd.use_ortho {
+                if let Some(pen) = sum_terms(&mut tape, out.ortho_weight_vars.to_vec(), |t, w| {
+                    t.ortho_penalty(w)
+                }) {
+                    let scaled = tape.scale(pen, omd.alpha);
+                    ortho_term = Some(scaled);
+                    loss = tape.add(loss, scaled);
+                }
+            }
+            let mut cmd_term: Option<Var> = None;
+            if let Some(targets) = targets_ref {
+                let n_constrained = if omd.cmd_first_layer_only {
+                    1
+                } else {
+                    out.hidden.len()
+                };
+                if let Some(cmd) = sum_cmd(
+                    &mut tape,
+                    &out.hidden[..n_constrained],
+                    &targets[..n_constrained],
+                    omd.width,
+                    omd.cmd_mean_scale,
+                ) {
+                    let scaled = tape.scale(cmd, omd.beta);
+                    cmd_term = Some(scaled);
+                    loss = tape.add(loss, scaled);
+                }
+            }
+            tape.backward(loss);
+
+            let grads: Vec<Matrix> = out
+                .param_vars
+                .iter()
+                .map(|&v| tape.grad_or_zeros(v))
+                .collect();
+            let mut params = model.params();
+            opt.step(&mut params, &grads);
+            model.set_params(&params);
+            model.post_step();
+            for g in grads {
+                tape.recycle_matrix(g);
+            }
+            for p in params {
+                tape.recycle_matrix(p);
+            }
+            let scalars = (
+                tape.scalar(loss),
+                tape.scalar(ce),
+                ortho_term.map_or(0.0, |v| tape.scalar(v)),
+                cmd_term.map_or(0.0, |v| tape.scalar(v)),
+            );
+            *ws = tape.recycle();
+            scalars
+        };
+
         // Per sampled client: (total, ce, scaled ortho, scaled cmd) loss
         // readings; `None` for clients outside the cohort.
-        let losses: Vec<Option<(f32, f32, f32, f32)>> = sessions
-            .into_par_iter()
-            .zip(models.par_iter_mut())
-            .zip(optimizers.par_iter_mut())
-            .zip(clients.par_iter())
-            .zip(targets.par_iter())
-            .zip(workspaces.par_iter_mut())
-            .map(|(((((session, model), opt), client), targets_ref), ws)| {
-                let (mut tape, out) = session?;
-                let ce =
-                    tape.softmax_cross_entropy(out.logits, &client.labels, &client.splits.train);
-                let mut loss = ce;
-                let mut ortho_term: Option<Var> = None;
-                if omd.use_ortho {
-                    if let Some(pen) =
-                        sum_terms(&mut tape, out.ortho_weight_vars.to_vec(), |t, w| {
-                            t.ortho_penalty(w)
-                        })
-                    {
-                        let scaled = tape.scale(pen, omd.alpha);
-                        ortho_term = Some(scaled);
-                        loss = tape.add(loss, scaled);
+        let losses: Vec<Option<(f32, f32, f32, f32)>>;
+        let mut piped_agg: Option<UpdateAccumulator> = None;
+        if cfg.pipeline.enabled {
+            // Pipelined Phase 3→4: each rayon worker hands its freshly
+            // stepped parameters to the fold thread the moment it leaves
+            // `optimise_client`, and the fold thread performs the same
+            // upload → collect → fold channel call sequence, in the same
+            // ascending cohort order, as the sequential Phase 4 below —
+            // so the aggregate is bit-identical and only the wall-clock
+            // overlaps.
+            let cohort_ids: Vec<u32> = cohort.iter().map(|&i| i as u32).collect();
+            let sw = PhaseStopwatch::start(Phase::FoldOverlap);
+            let start = Stopwatch::start();
+            let comms = &mut driver.comms;
+            let chan_ref = &mut chan;
+            let (agg, piped_losses) = fold_in_order(
+                &cohort_ids,
+                UpdateAccumulator::new(),
+                |agg: &mut UpdateAccumulator, id, params| {
+                    let bytes = chan_ref.upload(Envelope {
+                        round: round as u64,
+                        sender: id,
+                        payload: Payload::WeightUpdate { params },
+                    });
+                    comms.record(Direction::Uplink, TrafficClass::Weights, bytes as u64);
+                    for env in chan_ref.server_collect(round as u64) {
+                        fold_weight_update(agg, env);
                     }
-                }
-                let mut cmd_term: Option<Var> = None;
-                if let Some(targets) = targets_ref {
-                    let n_constrained = if omd.cmd_first_layer_only {
-                        1
-                    } else {
-                        out.hidden.len()
-                    };
-                    if let Some(cmd) = sum_cmd(
-                        &mut tape,
-                        &out.hidden[..n_constrained],
-                        &targets[..n_constrained],
-                        omd.width,
-                        omd.cmd_mean_scale,
-                    ) {
-                        let scaled = tape.scale(cmd, omd.beta);
-                        cmd_term = Some(scaled);
-                        loss = tape.add(loss, scaled);
-                    }
-                }
-                tape.backward(loss);
-
-                let grads: Vec<Matrix> = out
-                    .param_vars
-                    .iter()
-                    .map(|&v| tape.grad_or_zeros(v))
-                    .collect();
-                let mut params = model.params();
-                opt.step(&mut params, &grads);
-                model.set_params(&params);
-                model.post_step();
-                for g in grads {
-                    tape.recycle_matrix(g);
-                }
-                for p in params {
-                    tape.recycle_matrix(p);
-                }
-                let scalars = (
-                    tape.scalar(loss),
-                    tape.scalar(ce),
-                    ortho_term.map_or(0.0, |v| tape.scalar(v)),
-                    cmd_term.map_or(0.0, |v| tape.scalar(v)),
-                );
-                *ws = tape.recycle();
-                Some(scalars)
-            })
-            .collect();
-        driver.timer.add("client", start.elapsed());
-        for (client, &(loss, ce, ortho, cmd)) in losses
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| l.as_ref().map(|l| (i, l)))
-        {
-            obs.on_event(&RoundEvent::LocalStepDone {
-                client: client as u32,
-                epoch: 0,
-                loss: loss as f64,
-                ce: ce as f64,
-                ortho: ortho as f64,
-                cmd: cmd as f64,
-            });
+                },
+                |tx| -> Vec<Option<(f32, f32, f32, f32)>> {
+                    sessions
+                        .into_par_iter()
+                        .zip(models.par_iter_mut())
+                        .zip(optimizers.par_iter_mut())
+                        .zip(clients.par_iter())
+                        .zip(targets.par_iter())
+                        .zip(workspaces.par_iter_mut())
+                        .enumerate()
+                        .map(
+                            |(i, (((((session, model), opt), client), targets_ref), ws))| {
+                                let session = session?;
+                                let scalars =
+                                    optimise_client(session, model, opt, client, targets_ref, ws);
+                                // LINT: allow(panic) the fold thread provably
+                                // outlives the optimise sweep (scoped thread,
+                                // drains the channel until all senders drop), so
+                                // a send failure is unreachable; propagating it
+                                // as a panic beats silently losing an update.
+                                tx.send((i as u32, to_tensors(&model.params())))
+                                    .expect("fold thread outlives the optimise sweep");
+                                Some(scalars)
+                            },
+                        )
+                        .collect()
+                },
+            );
+            piped_agg = Some(agg);
+            losses = piped_losses;
+            driver.timer.add("client", start.elapsed());
+            emit_local_steps(&losses, obs);
+            sw.finish(obs);
+        } else {
+            let sw = PhaseStopwatch::start(Phase::LocalTrain);
+            let start = Stopwatch::start();
+            losses = sessions
+                .into_par_iter()
+                .zip(models.par_iter_mut())
+                .zip(optimizers.par_iter_mut())
+                .zip(clients.par_iter())
+                .zip(targets.par_iter())
+                .zip(workspaces.par_iter_mut())
+                .map(|(((((session, model), opt), client), targets_ref), ws)| {
+                    let session = session?;
+                    Some(optimise_client(
+                        session,
+                        model,
+                        opt,
+                        client,
+                        targets_ref,
+                        ws,
+                    ))
+                })
+                .collect();
+            driver.timer.add("client", start.elapsed());
+            emit_local_steps(&losses, obs);
+            sw.finish(obs);
         }
-        sw.finish(obs);
 
         // --- Phase 4: FedAvg over the channel (partial under faults) ---
         // Interleaved upload → collect → fold: the uplink queue holds at
         // most one weight update at a time and the accumulator keeps
         // AGG_LANES f64 partials, so server aggregation memory is
-        // O(model) regardless of cohort size.
+        // O(model) regardless of cohort size. On the pipelined path the
+        // whole interleave already ran during the overlap; only the
+        // straggler drain below remains.
         let start = Stopwatch::start();
         let sw = PhaseStopwatch::start(Phase::Comms);
-        let mut agg = UpdateAccumulator::new();
-        for (i, mo) in models.iter().enumerate() {
-            if !in_cohort[i] {
-                continue;
-            }
-            let bytes = chan.upload(Envelope {
-                round: round as u64,
-                sender: i as u32,
-                payload: Payload::WeightUpdate {
-                    params: to_tensors(&mo.params()),
-                },
-            });
-            driver
-                .comms
-                .record(Direction::Uplink, TrafficClass::Weights, bytes as u64);
-            for env in chan.server_collect(round as u64) {
-                fold_weight_update(&mut agg, env);
+        let mut agg = piped_agg.take().unwrap_or_default();
+        if !cfg.pipeline.enabled {
+            for (i, mo) in models.iter().enumerate() {
+                if !in_cohort[i] {
+                    continue;
+                }
+                let bytes = chan.upload(Envelope {
+                    round: round as u64,
+                    sender: i as u32,
+                    payload: Payload::WeightUpdate {
+                        params: to_tensors(&mo.params()),
+                    },
+                });
+                driver
+                    .comms
+                    .record(Direction::Uplink, TrafficClass::Weights, bytes as u64);
+                for env in chan.server_collect(round as u64) {
+                    fold_weight_update(&mut agg, env);
+                }
             }
         }
         // Straggler drain: both in-process channels resolve every pending
@@ -851,6 +943,65 @@ mod tests {
             r.comms.uplink_bytes,
             full.comms.uplink_bytes
         );
+    }
+
+    #[test]
+    fn pipelined_fedomd_matches_sequential_bit_for_bit() {
+        use fedomd_federated::PipelineConfig;
+        let (clients, k) = mini_clients(4, 10);
+        let mut cfg = quick_cfg(10);
+        cfg.rounds = 8;
+        for cohort in [CohortConfig::full(), CohortConfig::fraction(0.5, 11)] {
+            cfg.cohort = cohort;
+            let seq = run(&clients, k, &cfg, &FedOmdConfig::paper());
+            let piped = run(
+                &clients,
+                k,
+                &TrainConfig {
+                    pipeline: PipelineConfig::on(),
+                    ..cfg.clone()
+                },
+                &FedOmdConfig::paper(),
+            );
+            // The overlap replays the sequential Phase-4 channel calls in
+            // the same ascending order, so every artefact agrees exactly.
+            assert_eq!(seq.test_acc, piped.test_acc);
+            assert_eq!(seq.val_acc, piped.val_acc);
+            assert_eq!(seq.best_round, piped.best_round);
+            assert_eq!(seq.history, piped.history);
+            assert_eq!(seq.comms, piped.comms);
+        }
+    }
+
+    #[test]
+    fn pipelined_fedomd_matches_sequential_under_faults() {
+        use fedomd_federated::PipelineConfig;
+        use fedomd_transport::{FaultConfig, SimNetChannel};
+        let (clients, k) = mini_clients(3, 11);
+        let mut cfg = quick_cfg(11);
+        cfg.rounds = 15;
+        let fault = FaultConfig {
+            seed: 9,
+            drop_prob: 0.2,
+            max_retries: 1,
+            ..Default::default()
+        };
+        let run_with = |cfg: &TrainConfig| {
+            let mut sim = SimNetChannel::new(fault.clone());
+            run_over(&clients, k, cfg, &FedOmdConfig::paper(), &mut sim)
+        };
+        let seq = run_with(&cfg);
+        let piped = run_with(&TrainConfig {
+            pipeline: PipelineConfig::on(),
+            ..cfg.clone()
+        });
+        // Identical channel calls in identical order ⇒ the same fault
+        // stream decisions, so a straggler-degraded partial round replays
+        // exactly too.
+        assert!(seq.comms.dropped_messages > 0, "fault config must bite");
+        assert_eq!(seq.test_acc, piped.test_acc);
+        assert_eq!(seq.history, piped.history);
+        assert_eq!(seq.comms, piped.comms);
     }
 
     #[test]

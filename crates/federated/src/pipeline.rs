@@ -1,0 +1,218 @@
+//! Train/fold overlap: the in-process half of pipelined rounds.
+//!
+//! The phase-sequential round loop puts a hard barrier between the rayon
+//! training sweep and aggregation: every client trains, *then* the server
+//! folds every upload. [`fold_in_order`] removes the barrier without
+//! giving up bit-identity. Rayon workers hand `(client_id, payload)` to a
+//! dedicated fold thread over a channel the moment they finish; the fold
+//! thread buffers out-of-order arrivals in a reorder window (a `BTreeMap`
+//! keyed by sender id) and folds **strictly in the caller's expected
+//! ascending-id order** — the exact order the sequential loop folds in —
+//! so the accumulated result is `to_bits`-identical to the barrier path
+//! while the server-side fold work overlaps the still-training stragglers.
+//!
+//! Deadlock freedom: the fold thread *always* drains the channel into the
+//! reorder window, never blocking on "the next expected id" — so a worker
+//! can never be stuck behind a fold that is itself waiting on that
+//! worker's pool slot. The window holds at most the out-of-order gap
+//! (worst case the whole cohort minus one when client 0 finishes last,
+//! typically a handful of payloads).
+
+use std::collections::BTreeMap;
+
+use crossbeam::channel;
+
+/// Re-exported sender type the `produce` closure pushes finished payloads
+/// through: `(sender_id, payload)` pairs, any arrival order.
+pub type FoldSender<T> = channel::Sender<(u32, T)>;
+
+/// Runs `produce` (typically a rayon sweep) concurrently with a fold
+/// thread that consumes its `(id, payload)` sends and applies `fold` in
+/// strictly ascending `expected` order, buffering early arrivals in a
+/// reorder window. Returns the folded state and `produce`'s own result.
+///
+/// `expected` must be sorted ascending and duplicate-free — it is the
+/// fold schedule (e.g. the round's cohort ids). A payload whose id is
+/// not reachable through the schedule (or that arrives after a gap id
+/// that never shows up) is folded at close, still in ascending id order,
+/// so the total fold order over whatever actually arrived is ascending —
+/// the same order a batch collect sorted by sender would produce.
+pub fn fold_in_order<T, S, R, F, P>(expected: &[u32], state: S, mut fold: F, produce: P) -> (S, R)
+where
+    T: Send,
+    S: Send,
+    F: FnMut(&mut S, u32, T) + Send,
+    P: FnOnce(&FoldSender<T>) -> R,
+{
+    debug_assert!(
+        expected.windows(2).all(|w| w[0] < w[1]),
+        "fold_in_order: expected ids must be ascending and distinct"
+    );
+    // Hand-off only: the fold thread drains every send into its window
+    // immediately, so the queue never backs a blocked worker.
+    let (tx, rx) = channel::bounded::<(u32, T)>(2);
+    std::thread::scope(|scope| {
+        let folder = scope.spawn(move || {
+            let mut state = state;
+            let mut window: BTreeMap<u32, T> = BTreeMap::new();
+            let mut next = 0usize;
+            while let Ok((id, item)) = rx.recv() {
+                window.insert(id, item);
+                // Fold the contiguous arrived prefix of the schedule.
+                while next < expected.len() {
+                    let Some(item) = window.remove(&expected[next]) else {
+                        break;
+                    };
+                    fold(&mut state, expected[next], item);
+                    next += 1;
+                }
+            }
+            // Producer done: whatever still waits behind a gap (an
+            // expected id that never arrived) folds now, ascending.
+            while let Some((id, item)) = window.pop_first() {
+                fold(&mut state, id, item);
+            }
+            state
+        });
+        let produced = produce(&tx);
+        // Closing the channel is what ends the fold thread's recv loop.
+        drop(tx);
+        let state = folder
+            .join()
+            // LINT: allow(panic) a panic on the fold thread (e.g. a
+            // protocol-invariant violation inside `fold`) must propagate,
+            // not vanish into a half-folded result.
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        (state, produced)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Sends `items` in the given order, returns the fold log.
+    fn fold_log(expected: &[u32], arrivals: &[u32]) -> Vec<u32> {
+        let (log, ()) = fold_in_order(
+            expected,
+            Vec::new(),
+            |log: &mut Vec<u32>, id, ()| log.push(id),
+            |tx| {
+                for &id in arrivals {
+                    tx.send((id, ())).expect("fold thread alive");
+                }
+            },
+        );
+        log
+    }
+
+    #[test]
+    fn folds_reversed_arrivals_in_ascending_order() {
+        assert_eq!(fold_log(&[0, 1, 2, 3], &[3, 2, 1, 0]), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sparse_schedules_fold_in_schedule_order() {
+        assert_eq!(fold_log(&[1, 4, 7], &[7, 1, 4]), vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn a_missing_expected_id_does_not_strand_later_arrivals() {
+        // Id 1 never arrives: 0 folds on arrival, 2 and 3 wait behind the
+        // gap and drain ascending at close.
+        assert_eq!(fold_log(&[0, 1, 2, 3], &[2, 0, 3]), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn empty_production_returns_the_initial_state() {
+        assert_eq!(fold_log(&[0, 1, 2], &[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn produce_result_passes_through() {
+        let (sum, answer) = fold_in_order(
+            &[0, 1],
+            0u64,
+            |acc: &mut u64, _id, v: u64| *acc += v,
+            |tx| {
+                tx.send((1, 10)).unwrap();
+                tx.send((0, 7)).unwrap();
+                42usize
+            },
+        );
+        assert_eq!(sum, 17);
+        assert_eq!(answer, 42);
+    }
+
+    #[test]
+    fn parallel_producers_still_fold_ascending() {
+        use rayon::prelude::*;
+        let expected: Vec<u32> = (0..64).collect();
+        let (log, ()) = fold_in_order(
+            &expected,
+            Vec::new(),
+            |log: &mut Vec<u32>, id, ()| log.push(id),
+            |tx| {
+                expected.par_iter().for_each(|&id| {
+                    tx.send((id, ())).expect("fold thread alive");
+                });
+            },
+        );
+        assert_eq!(log, expected);
+    }
+
+    proptest! {
+        /// Any arrival permutation of any subset of the schedule folds in
+        /// ascending id order — the sequential oracle's order.
+        #[test]
+        fn fold_order_is_ascending_for_any_arrival_order(
+            ids in proptest::collection::vec(0u32..32, 0..16),
+            seed in 0u64..1000,
+        ) {
+            let mut expected: Vec<u32> = ids.clone();
+            expected.sort_unstable();
+            expected.dedup();
+            // A cheap seeded shuffle for the arrival order.
+            let mut arrivals = expected.clone();
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+            for i in (1..arrivals.len()).rev() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                arrivals.swap(i, (s % (i as u64 + 1)) as usize);
+            }
+            prop_assert_eq!(fold_log(&expected, &arrivals), expected);
+        }
+
+        /// Float accumulation through the pipeline is bit-identical to a
+        /// sequential ascending fold, whatever the arrival order.
+        #[test]
+        fn sum_is_bit_identical_to_the_sequential_oracle(
+            vals in proptest::collection::vec(-1e6f64..1e6, 1..12),
+            seed in 0u64..1000,
+        ) {
+            let expected: Vec<u32> = (0..vals.len() as u32).collect();
+            let mut arrivals: Vec<u32> = expected.clone();
+            let mut s = seed.wrapping_mul(0x2545_F491_4F6C_DD1D).max(1);
+            for i in (1..arrivals.len()).rev() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                arrivals.swap(i, (s % (i as u64 + 1)) as usize);
+            }
+            let (piped, ()) = fold_in_order(
+                &expected,
+                0.0f64,
+                |acc: &mut f64, _id, v: f64| *acc += v,
+                |tx| {
+                    for &id in &arrivals {
+                        tx.send((id, vals[id as usize])).expect("fold thread alive");
+                    }
+                },
+            );
+            let sequential: f64 = vals.iter().sum();
+            prop_assert_eq!(piped.to_bits(), sequential.to_bits());
+        }
+    }
+}

@@ -16,6 +16,7 @@
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write;
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -336,6 +337,67 @@ impl Channel for TcpServerChannel {
         envs
     }
 
+    /// Early-returning collect for the fold-on-arrival server loop:
+    /// returns as soon as at least one round-`round` frame has been
+    /// admitted (often a single fast client's upload), so the caller can
+    /// fold it while stragglers are still training. Returns an empty batch
+    /// only when nothing more is coming — no live peer is active for the
+    /// round and unreported in this call, the phase deadline elapsed, or
+    /// every producer thread is gone.
+    fn server_collect_some(&mut self, round: u64) -> Vec<Envelope> {
+        self.shared.begin_round(round);
+        // LINT: allow(wall-clock) same phase-deadline clock as
+        // `server_collect`; every admit/drop decision still flows through
+        // the shared `admit_by_deadline` helper.
+        let phase_start = Instant::now();
+        let deadline_ms = self.phase_timeout.as_secs_f64() * 1e3;
+
+        let mut c = CollectState {
+            round,
+            elapsed_ms: 0.0,
+            batch: Vec::new(),
+            reported: BTreeSet::new(),
+        };
+        // Frames carried over from earlier collects count as instant.
+        for (env, len) in std::mem::take(&mut self.carry) {
+            c.take(env.sender, env, len, &mut self.carry);
+        }
+        while let Ok(ev) = self.rx.try_recv() {
+            self.apply(ev, Some(&mut c));
+        }
+
+        // Block only while the batch is still empty: one admitted frame
+        // is enough for the caller to make fold progress.
+        while c.reported.is_empty() {
+            let waiting_on = self
+                .peers
+                .iter()
+                .any(|(id, p)| p.active_from <= round && !c.reported.contains(id));
+            if !waiting_on {
+                break;
+            }
+            let Some(left) = self.phase_timeout.checked_sub(phase_start.elapsed()) else {
+                break;
+            };
+            match self.rx.recv_timeout(left) {
+                Ok(ev) => {
+                    c.elapsed_ms = phase_start.elapsed().as_secs_f64() * 1e3;
+                    self.apply(ev, Some(&mut c));
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        let mut envs: Vec<Envelope> =
+            admit_by_deadline(c.batch, deadline_ms, &mut self.stats, |(_, len)| *len)
+                .into_iter()
+                .map(|(env, _)| env)
+                .collect();
+        envs.sort_by_key(|e| e.sender);
+        envs
+    }
+
     fn download(&mut self, to: u32, env: Envelope) -> usize {
         let frame = env.encode();
         let n = frame.len();
@@ -361,6 +423,79 @@ impl Channel for TcpServerChannel {
             },
             None => {
                 self.stats.dropped_frames += 1;
+            }
+        }
+        n
+    }
+
+    /// Broadcast override: one `encode()` (checksum included) for the
+    /// whole cohort, then the frame is scattered to every live peer in
+    /// socket-buffer-sized slices, round-robin. Encoding once drops the
+    /// per-peer work from O(frame encode) to O(frame memcpy); the
+    /// round-robin scatter means that while one peer's kernel buffer is
+    /// full the server streams into the others' instead of blocking on a
+    /// serial `write_all` per peer — at multi-megabyte models that
+    /// peer-by-peer drain ping-pong, not the copies, dominated the
+    /// downlink tail. Each peer still observes plain `write_prefixed`
+    /// bytes, in order.
+    fn download_many(&mut self, to: &[u32], env: Envelope) -> usize {
+        /// Stay under default socket buffers so a slice to a draining
+        /// peer usually fits without blocking.
+        const SLICE: usize = 128 * 1024;
+        let frame = env.encode();
+        let n = frame.len();
+        if matches!(env.payload, Payload::GlobalModel { .. }) {
+            // Snooped for the handshake: a client joining later starts
+            // from this aggregation.
+            self.shared.set_model(frame.clone());
+        }
+        self.stats.sent_frames += to.len() as u64;
+        self.stats.sent_bytes += (to.len() * n) as u64;
+        let mut live: Vec<u32> = Vec::with_capacity(to.len());
+        for &id in to {
+            match self.peers.get_mut(&id) {
+                // The length prefix first, so every later slice is pure
+                // frame payload at the same offset for every peer.
+                Some(peer) => match peer.writer.write_all(&(n as u32).to_le_bytes()) {
+                    Ok(()) => live.push(id),
+                    Err(_) => {
+                        // A dead connection; the reader thread's `Left`
+                        // will follow, but stop writing to it right away.
+                        self.stats.dropped_frames += 1;
+                        self.peers.remove(&id);
+                    }
+                },
+                None => {
+                    self.stats.dropped_frames += 1;
+                }
+            }
+        }
+        for start in (0..n).step_by(SLICE) {
+            let slice = &frame[start..(start + SLICE).min(n)];
+            live.retain(|&id| {
+                let Some(peer) = self.peers.get_mut(&id) else {
+                    self.stats.dropped_frames += 1;
+                    return false;
+                };
+                match peer.writer.write_all(slice) {
+                    Ok(()) => true,
+                    Err(_) => {
+                        self.stats.dropped_frames += 1;
+                        self.peers.remove(&id);
+                        false
+                    }
+                }
+            });
+        }
+        for &id in &live {
+            if let Some(peer) = self.peers.get_mut(&id) {
+                if peer.writer.flush().is_ok() {
+                    self.stats.delivered_frames += 1;
+                    self.stats.delivered_bytes += n as u64;
+                } else {
+                    self.stats.dropped_frames += 1;
+                    self.peers.remove(&id);
+                }
             }
         }
         n
@@ -466,6 +601,61 @@ mod tests {
     }
 
     #[test]
+    fn collect_some_returns_the_first_frame_without_waiting_for_stragglers() {
+        let (tx, rx) = unbounded();
+        let shared = Arc::new(SyncShared::new(0));
+        // Would block the full 5 s per call if `server_collect_some` waited
+        // for every live peer the way `server_collect` does.
+        let mut chan = TcpServerChannel::new(rx, Duration::from_secs(5), shared);
+        let (w0, _k0) = sock_pair();
+        let (w1, _k1) = sock_pair();
+        tx.send(Inbound::Joined {
+            id: 0,
+            gen: 1,
+            writer: w0,
+            active_from: 0,
+        })
+        .unwrap();
+        tx.send(Inbound::Joined {
+            id: 1,
+            gen: 1,
+            writer: w1,
+            active_from: 0,
+        })
+        .unwrap();
+        tx.send(frame_ev(0, 1)).unwrap();
+        let got = chan.server_collect_some(0);
+        assert_eq!(got.len(), 1, "one admitted frame is enough to return");
+        assert_eq!(got[0].sender, 1);
+        // The straggler's frame satisfies the next call.
+        tx.send(frame_ev(0, 0)).unwrap();
+        let got = chan.server_collect_some(0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].sender, 0);
+        assert_eq!(chan.stats().delivered_frames, 2);
+    }
+
+    #[test]
+    fn collect_some_returns_empty_once_no_awaited_peer_remains() {
+        let (tx, rx) = unbounded();
+        let shared = Arc::new(SyncShared::new(0));
+        let mut chan = TcpServerChannel::new(rx, Duration::from_secs(5), shared);
+        let (w0, _k0) = sock_pair();
+        tx.send(Inbound::Joined {
+            id: 0,
+            gen: 1,
+            writer: w0,
+            active_from: 0,
+        })
+        .unwrap();
+        tx.send(Inbound::Left { id: 0, gen: 1 }).unwrap();
+        // Empty batch = the transport's "nothing more is coming" signal the
+        // fold loop closes the phase on; it must not burn the phase timeout.
+        let got = chan.server_collect_some(0);
+        assert!(got.is_empty());
+    }
+
+    #[test]
     fn future_frames_carry_and_stale_frames_drop() {
         let (tx, rx) = unbounded();
         let shared = Arc::new(SyncShared::new(0));
@@ -557,6 +747,50 @@ mod tests {
         assert_eq!(chan.stats().sent_frames, 1);
         assert_eq!(chan.stats().dropped_frames, 1, "no such peer");
         // ... but the model frame is still remembered for joiners.
+        assert_eq!(shared.model_frame(), Some(model.encode()));
+    }
+
+    #[test]
+    fn download_many_encodes_once_and_delivers_to_every_live_peer() {
+        let (tx, rx) = unbounded();
+        let shared = Arc::new(SyncShared::new(0));
+        let mut chan = TcpServerChannel::new(rx, Duration::from_millis(50), Arc::clone(&shared));
+        let (w0, mut far0) = sock_pair();
+        let (w1, mut far1) = sock_pair();
+        for (id, writer) in [(0, w0), (1, w1)] {
+            tx.send(Inbound::Joined {
+                id,
+                gen: 1,
+                writer,
+                active_from: 0,
+            })
+            .unwrap();
+        }
+        chan.server_collect(0); // drain the joins
+        let model = Envelope {
+            round: 0,
+            sender: u32::MAX,
+            payload: Payload::GlobalModel {
+                params: vec![Tensor {
+                    rows: 1,
+                    cols: 2,
+                    data: vec![0.25, -0.5],
+                }],
+            },
+        };
+        // Peer 7 never joined: counted dropped, the rest still delivered.
+        let n = chan.download_many(&[0, 1, 7], model.clone());
+        assert_eq!(n, model.encoded_len());
+        assert_eq!(chan.stats().sent_frames, 3);
+        assert_eq!(chan.stats().delivered_frames, 2);
+        assert_eq!(chan.stats().dropped_frames, 1);
+        // Both live peers got the identical encoded frame...
+        for far in [&mut far0, &mut far1] {
+            let body = crate::stream::read_prefixed(far, fedomd_transport::DEFAULT_MAX_FRAME_BYTES)
+                .expect("frame");
+            assert_eq!(body, model.encode());
+        }
+        // ...and the broadcast snooped the model for future joiners.
         assert_eq!(shared.model_frame(), Some(model.encode()));
     }
 

@@ -20,6 +20,10 @@ pub enum Phase {
     Aggregation,
     /// Validation/test evaluation.
     Eval,
+    /// Pipelined-round overlap segment: client training and server-side
+    /// folding running concurrently (covers both, since they share the
+    /// wall-clock interval).
+    FoldOverlap,
 }
 
 impl Phase {
@@ -30,6 +34,7 @@ impl Phase {
             Phase::Comms => "comms",
             Phase::Aggregation => "aggregation",
             Phase::Eval => "eval",
+            Phase::FoldOverlap => "fold_overlap",
         }
     }
 }
@@ -296,6 +301,7 @@ mod tests {
         assert_eq!(Phase::Comms.name(), "comms");
         assert_eq!(Phase::Aggregation.name(), "aggregation");
         assert_eq!(Phase::Eval.name(), "eval");
+        assert_eq!(Phase::FoldOverlap.name(), "fold_overlap");
     }
 
     #[test]
@@ -348,6 +354,10 @@ mod tests {
             RoundEvent::PhaseDone {
                 phase: Phase::Comms,
                 micros: 1234,
+            },
+            RoundEvent::PhaseDone {
+                phase: Phase::FoldOverlap,
+                micros: 56,
             },
             RoundEvent::EvalDone {
                 round: 0,

@@ -79,6 +79,20 @@ impl Channel for ObservedChannel<'_> {
         envs
     }
 
+    fn server_collect_some(&mut self, round: u64) -> Vec<Envelope> {
+        let envs = self.inner.server_collect_some(round);
+        // Same positional matching as `server_collect`. In-process round
+        // loops pair every upload with an immediate collect, and the TCP
+        // server never uploads through its own channel, so `pending_up`
+        // holds at most the frames this very call is answering for.
+        for (sender, kind, bytes) in self.pending_up.drain(..) {
+            if !envs.iter().any(|e| e.sender == sender) {
+                self.events.push(RoundEvent::FrameDropped { kind, bytes });
+            }
+        }
+        envs
+    }
+
     fn download(&mut self, to: u32, env: Envelope) -> usize {
         let kind = env.payload.kind();
         let bytes = self.inner.download(to, env);
@@ -87,6 +101,21 @@ impl Channel for ObservedChannel<'_> {
             bytes: bytes as u64,
         });
         self.pending_down.push((to, kind, bytes as u64));
+        bytes
+    }
+
+    fn download_many(&mut self, to: &[u32], env: Envelope) -> usize {
+        let kind = env.payload.kind();
+        let bytes = self.inner.download_many(to, env);
+        // Same event stream a per-peer download loop would produce: one
+        // `FrameSent` per addressee, in broadcast order.
+        for &id in to {
+            self.events.push(RoundEvent::FrameSent {
+                kind,
+                bytes: bytes as u64,
+            });
+            self.pending_down.push((id, kind, bytes as u64));
+        }
         bytes
     }
 

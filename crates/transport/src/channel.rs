@@ -52,7 +52,12 @@ pub struct ChannelState {
 }
 
 /// A bidirectional star topology between one server and `n` clients.
-pub trait Channel {
+///
+/// `Send` is a supertrait so a `&mut dyn Channel` can cross into the
+/// dedicated fold thread of a pipelined round (see `fedomd-federated`'s
+/// `pipeline` module) — every existing channel is a plain data structure
+/// or socket owner, so the bound costs nothing.
+pub trait Channel: Send {
     /// Client `env.sender` uploads to the server. Returns the encoded
     /// frame size in bytes (what the client actually put on the wire).
     fn upload(&mut self, env: Envelope) -> usize;
@@ -62,8 +67,38 @@ pub trait Channel {
     /// downstream aggregation order is deterministic.
     fn server_collect(&mut self, round: u64) -> Vec<Envelope>;
 
+    /// Like [`Channel::server_collect`], but may return as soon as *at
+    /// least one* current-round upload has been admitted rather than
+    /// waiting for the whole cohort — the primitive a fold-on-arrival
+    /// server loop polls so it can fold early uploads while stragglers
+    /// are still training. Returns an empty batch only when the
+    /// transport has concluded no further round-`round` uplink is
+    /// coming (deadline passed, or every live peer already reported).
+    /// The default simply delegates to the batch collect, which is
+    /// correct (one "batch" containing everything) for lockstep
+    /// in-process channels.
+    fn server_collect_some(&mut self, round: u64) -> Vec<Envelope> {
+        self.server_collect(round)
+    }
+
     /// Server sends `env` to client `to`. Returns the encoded frame size.
     fn download(&mut self, to: u32, env: Envelope) -> usize;
+
+    /// Server sends the same `env` to every client in `to`, in the given
+    /// order. Returns the encoded frame size — the copies are identical,
+    /// so total downlink traffic is `to.len()` times the return value
+    /// (0 when `to` is empty). The default clones through
+    /// [`Channel::download`]; transports with a real serialisation step
+    /// override it to encode the frame once per broadcast instead of
+    /// once per peer, which matters when the payload is a multi-megabyte
+    /// global model.
+    fn download_many(&mut self, to: &[u32], env: Envelope) -> usize {
+        let mut n = 0;
+        for &id in to {
+            n = self.download(id, env.clone());
+        }
+        n
+    }
 
     /// Client `id` gathers the frames addressed to it for `round`; empty
     /// when everything addressed to it was dropped.

@@ -138,8 +138,9 @@ impl ByteWriter {
     /// Writes a length-prefixed (`u32`) run of `f32`s.
     pub fn put_f32_slice(&mut self, vs: &[f32]) {
         self.put_u32(vs.len() as u32);
+        self.buf.reserve(vs.len() * 4);
         for &v in vs {
-            self.put_f32(v);
+            self.buf.extend_from_slice(&v.to_le_bytes());
         }
     }
 
@@ -243,11 +244,14 @@ impl<'a> ByteReader<'a> {
                 available: self.remaining(),
             });
         }
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.get_f32()?);
-        }
-        Ok(out)
+        // One bulk take, then a chunked conversion the compiler can
+        // vectorise — per-element reads carry position bookkeeping that
+        // dominates decode time on multi-megabyte weight frames.
+        let raw = self.take(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
     }
 
     /// Reads a length-prefixed UTF-8 string.
@@ -275,18 +279,61 @@ impl<'a> ByteReader<'a> {
     }
 }
 
+/// Slice-by-8 lookup tables for [`crc32`], built at compile time.
+///
+/// `CRC_TABLES[0]` is the classic single-byte table; `CRC_TABLES[j]`
+/// advances a byte's contribution `j` extra positions, so eight table
+/// lookups retire eight message bytes per step.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & (crc & 1).wrapping_neg());
+            k += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[j - 1][i];
+            t[j][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+};
+
 /// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over `bytes`.
 ///
 /// Detects any single-bit or single-byte corruption of a frame, which the
-/// codec property tests exercise directly.
+/// codec property tests exercise directly. Implemented slice-by-8 (eight
+/// bytes per table step) because every weight frame is checksummed twice —
+/// once on encode, once on decode — and at multi-megabyte model frames the
+/// former bit-serial loop dominated round latency on the wire.
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = !0u32;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
 }
@@ -346,6 +393,29 @@ mod tests {
         // Standard check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_matches_the_bit_serial_reference() {
+        // The pre-table implementation, kept as the ground truth the
+        // slice-by-8 tables must reproduce on every length mod 8.
+        fn reference(bytes: &[u8]) -> u32 {
+            let mut crc = !0u32;
+            for &b in bytes {
+                crc ^= b as u32;
+                for _ in 0..8 {
+                    let mask = (crc & 1).wrapping_neg();
+                    crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+                }
+            }
+            !crc
+        }
+        let data: Vec<u8> = (0..1021u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        for len in [0, 1, 7, 8, 9, 15, 16, 63, 64, 1000, 1021] {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
     }
 
     #[test]

@@ -27,8 +27,11 @@ cargo run -q --release -p fedomd-lint
 cargo run -q --release -p fedomd-lint -- --inventory --check
 
 # Multi-process deployment smoke (DESIGN.md §14): 1 fedomd-server and
-# 3 fedomd-client OS processes complete a short run over 127.0.0.1.
-scripts/net_smoke.sh
+# 3 fedomd-client OS processes complete a short run over 127.0.0.1 —
+# once phase-sequential, once with the fold-on-arrival pipelined server
+# (DESIGN.md §16).
+scripts/net_smoke.sh sequential
+scripts/net_smoke.sh pipelined
 
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --check

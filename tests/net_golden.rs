@@ -75,6 +75,137 @@ fn spawn_client(
     })
 }
 
+/// One full loopback federation: a server (with its own config — e.g.
+/// `--pipelined` on) plus one client thread per shard, each running
+/// `client_runs[id]`. Panics unless every client finishes cleanly.
+fn run_loopback(
+    server_run: &RunConfig,
+    client_runs: &[RunConfig],
+    name: &str,
+    clients: &[ClientData],
+    n_classes: usize,
+) -> fedomd_federated::RunResult {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let net = quick_net(Duration::from_secs(20));
+    let server = {
+        let (run, name) = (server_run.clone(), name.to_string());
+        let opts = ServeOpts {
+            net,
+            ..ServeOpts::new(clients.len())
+        };
+        std::thread::spawn(move || serve_on(listener, &opts, &run, &name, &mut NullObserver))
+    };
+    let workers: Vec<_> = clients
+        .iter()
+        .enumerate()
+        .map(|(id, shard)| {
+            spawn_client(
+                addr.clone(),
+                id as u32,
+                client_runs[id].clone(),
+                name.to_string(),
+                clients.len(),
+                shard.clone(),
+                n_classes,
+                net,
+            )
+        })
+        .collect();
+    let result = server
+        .join()
+        .expect("server thread")
+        .expect("server run completes");
+    for (id, worker) in workers.into_iter().enumerate() {
+        let report = worker.join().expect("client thread");
+        assert_eq!(report.outcome, ClientOutcome::Finished, "client {id}");
+    }
+    result
+}
+
+#[test]
+fn a_pipelined_server_reproduces_the_sequential_tcp_run() {
+    let (name, clients, n_classes) = mini_setup(4);
+    let run = RunConfig::mini(4).with_rounds(10).with_patience(40);
+    let same: Vec<RunConfig> = vec![run.clone(); clients.len()];
+
+    let sequential = run_loopback(&run, &same, &name, &clients, n_classes);
+    assert!(sequential.improved(), "sequential run must actually learn");
+    // The handshake digest excludes the pipeline flag, so unmodified
+    // sequential clients are admitted by the fold-on-arrival server.
+    let pipelined = run_loopback(
+        &run.clone().with_pipelined(true),
+        &same,
+        &name,
+        &clients,
+        n_classes,
+    );
+
+    assert_eq!(pipelined.test_acc, sequential.test_acc, "test accuracy");
+    assert_eq!(pipelined.val_acc, sequential.val_acc, "val accuracy");
+    assert_eq!(pipelined.best_round, sequential.best_round, "best round");
+    assert_eq!(pipelined.history, sequential.history, "evaluation history");
+}
+
+#[test]
+fn a_pipelined_server_reproduces_the_cohort_sampled_tcp_run() {
+    let (name, clients, n_classes) = mini_setup(5);
+    // Cohort sampling exercises the sparse-candidate weight fold: only the
+    // sampled senders appear in the reorder window's expected schedule.
+    let run = RunConfig::mini(5)
+        .with_rounds(8)
+        .with_patience(40)
+        .with_cohort(fedomd_federated::CohortConfig::fraction(0.67, 9));
+    let same: Vec<RunConfig> = vec![run.clone(); clients.len()];
+
+    let sequential = run_loopback(&run, &same, &name, &clients, n_classes);
+    let pipelined = run_loopback(
+        &run.clone().with_pipelined(true),
+        &same,
+        &name,
+        &clients,
+        n_classes,
+    );
+
+    assert_eq!(pipelined.test_acc, sequential.test_acc, "test accuracy");
+    assert_eq!(pipelined.val_acc, sequential.val_acc, "val accuracy");
+    assert_eq!(pipelined.best_round, sequential.best_round, "best round");
+    assert_eq!(pipelined.history, sequential.history, "evaluation history");
+}
+
+#[test]
+fn a_departing_client_degrades_under_a_pipelined_server() {
+    let (name, clients, n_classes) = mini_setup(6);
+    let rounds = 8;
+    let run = RunConfig::mini(6).with_rounds(rounds).with_patience(40);
+    // Client 2 leaves after 3 of the 8 rounds, so the fold loop must close
+    // each later phase at the shrunken live-peer count instead of burning
+    // the 20 s deadline waiting on a reorder-window slot that never fills.
+    let mut client_runs: Vec<RunConfig> = vec![run.clone(); clients.len()];
+    client_runs[2].train.rounds = 3;
+
+    let sequential = run_loopback(&run, &client_runs, &name, &clients, n_classes);
+    let pipelined = run_loopback(
+        &run.clone().with_pipelined(true),
+        &client_runs,
+        &name,
+        &clients,
+        n_classes,
+    );
+
+    assert_eq!(
+        pipelined.comms.rounds as usize, rounds,
+        "the departure must degrade the federation, not wedge it"
+    );
+    // Which frames fold is round-deterministic (client 2 contributes
+    // exactly rounds 0–2 in both runs), so even the degraded tail is
+    // bit-identical across the two server modes.
+    assert_eq!(pipelined.test_acc, sequential.test_acc, "test accuracy");
+    assert_eq!(pipelined.val_acc, sequential.val_acc, "val accuracy");
+    assert_eq!(pipelined.history, sequential.history, "evaluation history");
+    assert!(pipelined.improved(), "two live parties must still learn");
+}
+
 #[test]
 fn loopback_tcp_run_matches_the_in_process_run() {
     let (name, clients, n_classes) = mini_setup(0);

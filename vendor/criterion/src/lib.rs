@@ -4,12 +4,15 @@
 //! benchmark groups, `BenchmarkId`, `Bencher::iter`, and `black_box`, so
 //! the workspace's benches compile and run offline. Measurement is a
 //! plain wall-clock loop (short warm-up, then a fixed time budget) and
-//! reports mean/min per iteration — adequate for relative comparisons,
-//! with none of criterion's statistics. Env `CRITERION_BUDGET_MS`
-//! adjusts the per-benchmark budget (default 300 ms). When
-//! `CRITERION_JSON` names a file, one JSON object per benchmark
-//! (`{"label":…,"mean_ns":…,"min_ns":…,"iters":…}`) is appended to it,
-//! which is what `scripts/bench.sh` aggregates into `BENCH_kernels.json`.
+//! reports mean/min/median per iteration — adequate for relative
+//! comparisons, with none of criterion's statistics. On noisy shared
+//! boxes the median is the number to compare: a single preempted
+//! iteration skews the mean by ±30% but moves the median not at all.
+//! Env `CRITERION_BUDGET_MS` adjusts the per-benchmark budget (default
+//! 300 ms). When `CRITERION_JSON` names a file, one JSON object per
+//! benchmark (`{"label":…,"mean_ns":…,"min_ns":…,"median_ns":…,
+//! "iters":…}`) is appended to it, which is what `scripts/bench.sh`
+//! aggregates into `BENCH_kernels.json`.
 
 use std::fmt::Display;
 use std::hint;
@@ -27,31 +30,38 @@ pub struct Bencher {
     mean_ns: f64,
     /// Fastest observed iteration.
     min_ns: f64,
+    /// Median iteration — robust to scheduler-noise outliers.
+    median_ns: f64,
     /// Iterations measured.
     iters: u64,
 }
 
 impl Bencher {
     /// Times `f` repeatedly: 3 warm-up calls, then as many calls as fit
-    /// the time budget (at least 5).
+    /// the time budget (at least 9, so the reported median rests on a
+    /// real sample even for slow benches).
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
         for _ in 0..3 {
             black_box(f());
         }
         let budget = budget();
         let started = Instant::now();
-        let mut iters = 0u64;
-        let mut min_ns = f64::INFINITY;
-        while iters < 5 || (started.elapsed() < budget && iters < 1_000_000) {
+        let mut samples: Vec<f64> = Vec::new();
+        while samples.len() < 9 || (started.elapsed() < budget && samples.len() < 1_000_000) {
             let t0 = Instant::now();
             black_box(f());
-            let dt = t0.elapsed().as_nanos() as f64;
-            min_ns = min_ns.min(dt);
-            iters += 1;
+            samples.push(t0.elapsed().as_nanos() as f64);
         }
-        self.mean_ns = started.elapsed().as_nanos() as f64 / iters as f64;
-        self.min_ns = min_ns;
-        self.iters = iters;
+        self.mean_ns = started.elapsed().as_nanos() as f64 / samples.len() as f64;
+        self.iters = samples.len() as u64;
+        samples.sort_unstable_by(f64::total_cmp);
+        self.min_ns = samples[0];
+        let mid = samples.len() / 2;
+        self.median_ns = if samples.len() % 2 == 1 {
+            samples[mid]
+        } else {
+            0.5 * (samples[mid - 1] + samples[mid])
+        };
     }
 }
 
@@ -79,13 +89,15 @@ fn run_one(label: &str, suffix: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher {
         mean_ns: 0.0,
         min_ns: 0.0,
+        median_ns: 0.0,
         iters: 0,
     };
     f(&mut b);
     let printed = format!("{label}{suffix}");
     println!(
-        "{printed:<52} mean {:>12}   min {:>12}   ({} iters)",
+        "{printed:<52} mean {:>12}   median {:>12}   min {:>12}   ({} iters)",
         human(b.mean_ns),
+        human(b.median_ns),
         human(b.min_ns),
         b.iters
     );
@@ -102,8 +114,8 @@ fn record_json(label: &str, b: &Bencher) {
         return;
     }
     let line = format!(
-        "{{\"label\":{label:?},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"iters\":{}}}\n",
-        b.mean_ns, b.min_ns, b.iters
+        "{{\"label\":{label:?},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"median_ns\":{:.1},\"iters\":{}}}\n",
+        b.mean_ns, b.min_ns, b.median_ns, b.iters
     );
     let res = std::fs::OpenOptions::new()
         .create(true)
@@ -283,6 +295,7 @@ mod tests {
             .filter(|l| l.starts_with("{\"label\":\"json_probe\",\"mean_ns\":"))
             .collect();
         assert_eq!(mine.len(), 1);
+        assert!(mine[0].contains("\"median_ns\":"));
         assert!(mine[0].contains("\"iters\":"));
     }
 }
