@@ -50,5 +50,5 @@ pub use protocol::{
 };
 pub use run::{FedRun, RunConfig};
 pub use run_checkpoint::{FileCheckpointer, RunCheckpoint};
-pub use server::{run_fedomd_server, ServerOpts};
+pub use server::{drive_phase, drive_phase_fold, run_fedomd_server, ServerOpts};
 pub use trainer::{run_fedomd_observed, run_fedomd_resumable};

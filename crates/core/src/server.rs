@@ -640,6 +640,35 @@ impl Collector {
     }
 }
 
+/// Drives [`Collector::phase`] — the batch collection path — over `chan`
+/// with a fresh collector. Public so the exhaustive interleaving harness
+/// (`tests/interleaving.rs`) can push the private collector through every
+/// arrival permutation and compare against the sequential oracle; the
+/// round loop itself keeps using its long-lived collector directly.
+pub fn drive_phase(
+    chan: &mut dyn Channel,
+    round: u64,
+    expected: usize,
+    want: impl Fn(&Envelope) -> bool,
+) -> Vec<Envelope> {
+    let mut observed = ObservedChannel::new(chan);
+    Collector::default().phase(&mut observed, round, expected, want)
+}
+
+/// Drives [`Collector::phase_fold`] — the fold-on-arrival path — over
+/// `chan` with a fresh collector; the interleaving counterpart of
+/// [`drive_phase`]. Returns the number of envelopes folded.
+pub fn drive_phase_fold(
+    chan: &mut dyn Channel,
+    round: u64,
+    candidates: &[u32],
+    want: impl Fn(&Envelope) -> bool,
+    fold: impl FnMut(Envelope),
+) -> usize {
+    let mut observed = ObservedChannel::new(chan);
+    Collector::default().phase_fold(&mut observed, round, candidates, want, fold)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -93,6 +93,8 @@ fn fold_weight_update(agg: &mut UpdateAccumulator, env: Envelope) {
         // only client uplink frames to `server_collect`, and FedOMD
         // clients upload nothing but `WeightUpdate` in the weight phase —
         // any other payload here is a routing bug that must fail loudly.
+        // LINT: allow(msg-wildcard) same invariant: the wildcard cannot
+        // swallow a frame, it panics naming the unexpected kind.
         other => panic!("server expected WeightUpdate, got {}", other.kind()),
     }
 }

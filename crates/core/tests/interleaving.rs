@@ -1,0 +1,235 @@
+//! Exhaustive interleaving checks for the server's phase collector.
+//!
+//! `Collector::phase_fold` (driven here through `drive_phase_fold`)
+//! promises fold-on-arrival with batch-identical results: whatever order
+//! the transport surfaces uploads in — one frame per poll, any
+//! permutation, any straggler subset — the weight payloads fold in
+//! ascending sender order, bit-identical to folding the batch path's
+//! (`drive_phase`) sorted result sequentially. These tests walk the whole
+//! small-model state space: every arrival permutation of every arrival
+//! subset for n ≤ 5, under both liveness modes (a transport that tracks
+//! live peers and one that times out), with n = 6 behind `--ignored`.
+//! A third sweep interleaves out-of-phase metrics frames between the
+//! weight uploads to exercise the admission filter.
+//!
+//! The fold accumulator is order-sensitive (`s = s * 0.75 + x` with
+//! repeating-fraction inputs), so a wrong fold order changes the bits.
+
+use std::collections::VecDeque;
+
+use fedomd_core::{drive_phase, drive_phase_fold};
+use fedomd_transport::{Channel, Envelope, NetStats, Payload, Tensor};
+
+/// A server-side transport mock that surfaces exactly one pre-loaded
+/// frame per `server_collect_some` poll — the finest-grained interleaving
+/// a transport can produce — and all of them per batch collect.
+struct Trickle {
+    frames: VecDeque<Envelope>,
+    /// `Some(k)`: pretend k live peers (liveness-tracking close);
+    /// `None`: no liveness info (deadline close on empty poll).
+    live: Option<usize>,
+}
+
+impl Channel for Trickle {
+    fn upload(&mut self, env: Envelope) -> usize {
+        self.frames.push_back(env);
+        0
+    }
+
+    fn server_collect(&mut self, _round: u64) -> Vec<Envelope> {
+        self.frames.drain(..).collect()
+    }
+
+    fn server_collect_some(&mut self, _round: u64) -> Vec<Envelope> {
+        self.frames.pop_front().into_iter().collect()
+    }
+
+    fn download(&mut self, _to: u32, _env: Envelope) -> usize {
+        0
+    }
+
+    fn client_collect(&mut self, _id: u32, _round: u64) -> Vec<Envelope> {
+        Vec::new()
+    }
+
+    fn awaited_peers(&self, _round: u64) -> Option<usize> {
+        self.live
+    }
+
+    fn stats(&self) -> NetStats {
+        NetStats::default()
+    }
+}
+
+const ROUND: u64 = 3;
+
+fn val(id: u32) -> f32 {
+    (id as f32 + 1.0) / 3.0
+}
+
+fn weight_env(sender: u32) -> Envelope {
+    Envelope {
+        round: ROUND,
+        sender,
+        payload: Payload::WeightUpdate {
+            params: vec![Tensor {
+                rows: 1,
+                cols: 1,
+                data: vec![val(sender)],
+            }],
+        },
+    }
+}
+
+fn metrics_env(sender: u32) -> Envelope {
+    Envelope {
+        round: ROUND,
+        sender,
+        payload: Payload::Metrics {
+            train_loss: val(sender),
+            val_correct: 0,
+            val_total: 1,
+            test_correct: 0,
+            test_total: 1,
+        },
+    }
+}
+
+fn is_weight(env: &Envelope) -> bool {
+    matches!(env.payload, Payload::WeightUpdate { .. })
+}
+
+fn fold_into(acc: &mut (f32, Vec<u32>), env: Envelope) {
+    let Payload::WeightUpdate { params } = &env.payload else {
+        panic!("admission filter leaked {}", env.payload.kind());
+    };
+    acc.0 = acc.0 * 0.75 + params[0].data[0];
+    acc.1.push(env.sender);
+}
+
+/// All permutations of `items` (Heap's algorithm).
+fn permutations(items: &[u32]) -> Vec<Vec<u32>> {
+    fn heap(k: usize, a: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if k <= 1 {
+            out.push(a.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, a, out);
+            if k.is_multiple_of(2) {
+                a.swap(i, k - 1);
+            } else {
+                a.swap(0, k - 1);
+            }
+        }
+    }
+    let mut a = items.to_vec();
+    let mut out = Vec::new();
+    let n = a.len();
+    heap(n, &mut a, &mut out);
+    out
+}
+
+/// Every subset of `0..n`, as ascending id lists.
+fn subsets(n: u32) -> Vec<Vec<u32>> {
+    (0u32..1 << n)
+        .map(|mask| (0..n).filter(|i| mask & (1 << i) != 0).collect())
+        .collect()
+}
+
+/// The oracle: the batch path's sorted collect, folded sequentially.
+fn batch_oracle(n: u32, arrived: &[u32]) -> (f32, Vec<u32>) {
+    let mut chan = Trickle {
+        frames: arrived.iter().map(|&id| weight_env(id)).collect(),
+        live: None,
+    };
+    let got = drive_phase(&mut chan, ROUND, n as usize, is_weight);
+    let mut acc = (0.0f32, Vec::new());
+    for env in got {
+        fold_into(&mut acc, env);
+    }
+    acc
+}
+
+/// Folds one arrival permutation through `drive_phase_fold`.
+fn fold_run(n: u32, frames: Vec<Envelope>, live: Option<usize>) -> (usize, (f32, Vec<u32>)) {
+    let mut chan = Trickle {
+        frames: frames.into(),
+        live,
+    };
+    let candidates: Vec<u32> = (0..n).collect();
+    let mut acc = (0.0f32, Vec::new());
+    let folded = drive_phase_fold(&mut chan, ROUND, &candidates, is_weight, |env| {
+        fold_into(&mut acc, env)
+    });
+    (folded, acc)
+}
+
+fn sweep(n: u32) {
+    for arrived in subsets(n) {
+        let (want_acc, want_order) = batch_oracle(n, &arrived);
+        assert_eq!(want_order, arrived, "batch path must be sender-sorted");
+        for perm in permutations(&arrived) {
+            let frames: Vec<Envelope> = perm.iter().map(|&id| weight_env(id)).collect();
+            // Liveness-tracking close (every live peer reported) and
+            // deadline close (empty poll with stragglers missing).
+            for live in [Some(arrived.len()), None] {
+                let (folded, (acc, order)) = fold_run(n, frames.clone(), live);
+                assert_eq!(folded, arrived.len(), "n={n} perm {perm:?} live {live:?}");
+                assert_eq!(
+                    acc.to_bits(),
+                    want_acc.to_bits(),
+                    "n={n} perm {perm:?} live {live:?}: fold-on-arrival \
+                     diverged from the batch path"
+                );
+                assert_eq!(
+                    order, want_order,
+                    "n={n} perm {perm:?} live {live:?}: fold order not \
+                     ascending"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_arrival_orders_and_subsets_match_the_batch_path_up_to_5() {
+    for n in 1..=5 {
+        sweep(n);
+    }
+}
+
+#[test]
+#[ignore = "3914 collector runs; nightly budget"]
+fn all_arrival_orders_and_subsets_match_the_batch_path_at_6() {
+    sweep(6);
+}
+
+/// Out-of-phase frames interleaved at every position: metrics frames are
+/// not admitted by the weight phase's filter and never perturb the fold,
+/// wherever they land in the arrival order.
+#[test]
+fn out_of_phase_frames_never_perturb_the_fold() {
+    let n = 3u32;
+    let ids: Vec<u32> = (0..n).collect();
+    let (want_acc, want_order) = batch_oracle(n, &ids);
+    // Permute the mixed sequence of 3 weight + 3 metrics frames by frame
+    // index: 6! = 720 arrival orders.
+    let index: Vec<u32> = (0..2 * n).collect();
+    for perm in permutations(&index) {
+        let frames: Vec<Envelope> = perm
+            .iter()
+            .map(|&k| {
+                if k < n {
+                    weight_env(k)
+                } else {
+                    metrics_env(k - n)
+                }
+            })
+            .collect();
+        let (folded, (acc, order)) = fold_run(n, frames, Some(n as usize));
+        assert_eq!(folded, n as usize, "perm {perm:?}");
+        assert_eq!(acc.to_bits(), want_acc.to_bits(), "perm {perm:?}");
+        assert_eq!(order, want_order, "perm {perm:?}");
+    }
+}

@@ -82,6 +82,11 @@ fn federated_edge_kmeans(clients: &[ClientData], seed: u64) -> Vec<Vec<usize>> {
                     let emb = edge_embedding(&c.input.x, u, v);
                     let t = (0..N_TYPES)
                         .min_by(|&a, &b| {
+                            // LINT: allow(panic) arithmetic invariants:
+                            // squared distances of finite embeddings are
+                            // finite (so the partial_cmp is total), and
+                            // N_TYPES is a positive constant (so min_by
+                            // over the range is never empty).
                             sq_dist(&emb, &centroids[a])
                                 .partial_cmp(&sq_dist(&emb, &centroids[b]))
                                 .expect("finite distances")
@@ -174,6 +179,8 @@ impl Model for FedLitModel {
                 Some(acc) => tape.add(acc, term),
             });
         }
+        // LINT: allow(panic) `self.ops` holds one operator per edge type
+        // and N_TYPES is a positive constant, so the accumulator is Some.
         let h = tape.relu(h_sum.expect("at least one type"));
 
         let mut logit_sum = None;
@@ -188,6 +195,7 @@ impl Model for FedLitModel {
                 Some(acc) => tape.add(acc, term),
             });
         }
+        // LINT: allow(panic) as above: the per-type loop ran at least once.
         let logits = logit_sum.expect("at least one type");
 
         param_vars.extend(w0_vars);

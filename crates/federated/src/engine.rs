@@ -595,6 +595,10 @@ pub fn run_generic_resumable(
                                 return None;
                             }
                             let losses = train_client(model, opt, client, ws);
+                            // LINT: allow(panic) the fold thread provably
+                            // outlives the sweep: the scoped receiver drains
+                            // until every sender drops, so a failed send
+                            // here is a harness bug that must fail loudly.
                             tx.send((i as u32, to_tensors(&model.params())))
                                 .expect("fold thread outlives the training sweep");
                             Some(losses)

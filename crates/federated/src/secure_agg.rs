@@ -158,6 +158,10 @@ pub fn secure_weighted_sum_frames(
         .map(|env| {
             senders.push(env.sender);
             match env.payload {
+                // LINT: allow(panic) protocol invariant of the masking
+                // round: every masked upload is exactly one WeightUpdate
+                // tensor by construction (see `mask_upload`); anything
+                // else is a routing bug the simulation wants loud.
                 Payload::WeightUpdate { mut params } => params
                     .pop()
                     .expect("one tensor per masked upload")

@@ -1,0 +1,122 @@
+//! Exhaustive interleaving checks for `fold_in_order`.
+//!
+//! The pipelined fold promises: whatever order `(id, payload)` pairs
+//! arrive in — and whichever subset of the schedule actually arrives —
+//! the fold is applied in strictly ascending schedule order, so the
+//! folded state is `to_bits`-identical to the sequential batch path.
+//! PR 9's proptests spot-check random orders; these tests are small-model
+//! *exhaustive*: every arrival permutation of every arrival subset for
+//! n ≤ 5 (326 runs at n = 5), with n = 6 (1957 runs) behind `--ignored`
+//! for the nightly budget.
+//!
+//! The accumulator is deliberately order-sensitive (`s = s * 0.75 + x`
+//! with repeating-fraction inputs), so any out-of-order fold changes the
+//! bits, not just the story.
+
+use fedomd_federated::pipeline::fold_in_order;
+
+/// All permutations of `items` (Heap's algorithm).
+fn permutations(items: &[u32]) -> Vec<Vec<u32>> {
+    fn heap(k: usize, a: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if k <= 1 {
+            out.push(a.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, a, out);
+            if k.is_multiple_of(2) {
+                a.swap(i, k - 1);
+            } else {
+                a.swap(0, k - 1);
+            }
+        }
+    }
+    let mut a = items.to_vec();
+    let mut out = Vec::new();
+    let n = a.len();
+    heap(n, &mut a, &mut out);
+    out
+}
+
+/// Every subset of `0..n`, as ascending id lists.
+fn subsets(n: u32) -> Vec<Vec<u32>> {
+    (0u32..1 << n)
+        .map(|mask| (0..n).filter(|i| mask & (1 << i) != 0).collect())
+        .collect()
+}
+
+/// An order-sensitive payload: 1/3-style repeating fractions make the
+/// chained multiply-add non-commutative in f32.
+fn val(id: u32) -> f32 {
+    (id as f32 + 1.0) / 3.0
+}
+
+/// The sequential oracle: fold ascending ids directly, no threads.
+fn oracle(arrived: &[u32]) -> (f32, Vec<u32>) {
+    let mut acc = 0.0f32;
+    let mut order = Vec::new();
+    for &id in arrived {
+        acc = acc * 0.75 + val(id);
+        order.push(id);
+    }
+    (acc, order)
+}
+
+/// Runs `fold_in_order` with the full schedule `0..n`, delivering only
+/// `perm`'s ids in `perm`'s order, and returns (accumulator, fold order).
+fn run(n: u32, perm: &[u32]) -> (f32, Vec<u32>) {
+    let schedule: Vec<u32> = (0..n).collect();
+    let (state, ()) = fold_in_order(
+        &schedule,
+        (0.0f32, Vec::new()),
+        |s: &mut (f32, Vec<u32>), id, x: f32| {
+            s.0 = s.0 * 0.75 + x;
+            s.1.push(id);
+        },
+        |tx| {
+            for &id in perm {
+                tx.send((id, val(id))).expect("fold thread alive");
+            }
+        },
+    );
+    state
+}
+
+fn sweep(n: u32) {
+    for arrived in subsets(n) {
+        let (want_acc, want_order) = oracle(&arrived);
+        for perm in permutations(&arrived) {
+            let (acc, order) = run(n, &perm);
+            assert_eq!(
+                acc.to_bits(),
+                want_acc.to_bits(),
+                "n={n} arrival order {perm:?}: accumulator diverged from \
+                 the sequential fold"
+            );
+            assert_eq!(
+                order, want_order,
+                "n={n} arrival order {perm:?}: fold order not ascending"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_arrival_orders_and_subsets_fold_identically_up_to_5() {
+    for n in 1..=5 {
+        sweep(n);
+    }
+}
+
+#[test]
+#[ignore = "1957 spawned folds; nightly budget"]
+fn all_arrival_orders_and_subsets_fold_identically_at_6() {
+    sweep(6);
+}
+
+#[test]
+fn empty_arrival_set_folds_nothing() {
+    let (acc, order) = run(4, &[]);
+    assert_eq!(acc.to_bits(), 0.0f32.to_bits());
+    assert!(order.is_empty());
+}

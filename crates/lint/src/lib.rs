@@ -19,6 +19,13 @@
 //! * [`rules`] — the rule engine: unsafe hygiene, `#![forbid(unsafe_code)]`
 //!   coverage, serialization-crate map bans, wall-clock confinement, and
 //!   panic-freedom, with the `// LINT: …` attestation grammar.
+//! * [`parser`] — a lightweight item-level pass over the token stream
+//!   (fn/impl/mod items, let bindings, lock-guard scopes, call edges),
+//!   the substrate for the concurrency and protocol rules.
+//! * [`concurrency`] — lock discipline (workspace-wide acquisition-order
+//!   graph), bounded-channel hygiene, and detached-thread detection.
+//! * [`protocol`] — `Payload`/`msg_type` match exhaustiveness, so new
+//!   frame types can't be silently dropped by wildcard arms.
 //! * [`inventory`] — `UNSAFE_INVENTORY.md` generation + drift check.
 //! * [`walk`] — workspace file discovery (skips `vendor/` and fixtures).
 //!
@@ -28,8 +35,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod concurrency;
 pub mod inventory;
+pub mod parser;
+pub mod protocol;
 pub mod regions;
+pub mod report;
 pub mod rules;
 pub mod tokenizer;
 pub mod walk;
@@ -39,13 +50,19 @@ pub use rules::{lint_source, FileCtx, Violation};
 use std::path::Path;
 
 /// Lints every workspace source under `root`, returning all violations
-/// sorted by file and line.
+/// sorted by file and line. Lock-order edges from every file are merged
+/// into one acquisition-order graph before cycle detection, so a cycle
+/// split across `net`/`transport`/`federated` is still caught.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     let files = walk::collect_workspace(root)?;
     let mut out = Vec::new();
+    let mut edges = Vec::new();
     for f in &files {
-        out.extend(lint_source(&f.ctx, &f.src));
+        let a = rules::analyze_source(&f.ctx, &f.src);
+        out.extend(a.violations);
+        edges.extend(a.lock_edges);
     }
+    out.extend(concurrency::lock_cycle_violations(&edges));
     out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(out)
 }

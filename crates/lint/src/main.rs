@@ -1,11 +1,14 @@
 //! `fedomd_lint` — the workspace invariant gate.
 //!
 //! ```text
-//! fedomd_lint [--root DIR]                 lint the workspace (exit 1 on violations)
+//! fedomd_lint [--root DIR] [--check]       lint the workspace (exit 1 on violations)
+//! fedomd_lint --format json                machine-readable diagnostics for CI
 //! fedomd_lint --inventory [--root DIR]     rewrite UNSAFE_INVENTORY.md
 //! fedomd_lint --inventory --check          fail (exit 1) if the inventory drifted
 //! ```
 //!
+//! `--check` is accepted in lint mode for CI-script symmetry with the
+//! inventory gate: linting never writes, so it only documents intent.
 //! Exit codes: 0 clean, 1 violations or inventory drift, 2 usage or I/O
 //! error. Run from the workspace root (what `cargo run -p fedomd-lint`
 //! does); `--root` points anywhere else.
@@ -15,20 +18,27 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fedomd_lint::{lint_workspace, render_inventory};
+use fedomd_lint::{lint_workspace, render_inventory, report};
 
 const INVENTORY_FILE: &str = "UNSAFE_INVENTORY.md";
+
+enum Format {
+    Human,
+    Json,
+}
 
 struct Args {
     root: PathBuf,
     inventory: bool,
     check: bool,
+    format: Format,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut root = PathBuf::from(".");
     let mut inventory = false;
     let mut check = false;
+    let mut format = Format::Human;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -38,19 +48,30 @@ fn parse_args() -> Result<Args, String> {
             },
             "--inventory" => inventory = true,
             "--check" => check = true,
+            "--format" => match it.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some(other) => return Err(format!("unknown format `{other}` (human|json)")),
+                None => return Err("--format needs an argument (human|json)".into()),
+            },
             "--help" | "-h" => {
-                return Err("usage: fedomd_lint [--root DIR] [--inventory [--check]]".into())
+                return Err(
+                    "usage: fedomd_lint [--root DIR] [--check] [--format human|json] \
+                     [--inventory [--check]]"
+                        .into(),
+                )
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if check && !inventory {
-        return Err("--check only applies to --inventory".into());
+    if inventory && matches!(format, Format::Json) {
+        return Err("--format json only applies to lint mode".into());
     }
     Ok(Args {
         root,
         inventory,
         check,
+        format,
     })
 }
 
@@ -85,6 +106,14 @@ fn run_lint(args: &Args) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Format::Json = args.format {
+        print!("{}", report::render_json(&violations));
+        return if violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if violations.is_empty() {
         println!("fedomd_lint: workspace clean");
         return ExitCode::SUCCESS;
@@ -93,8 +122,8 @@ fn run_lint(args: &Args) -> ExitCode {
         println!("{v}");
     }
     println!(
-        "fedomd_lint: {} violation{} (see DESIGN.md §13 for the rules and \
-         the attestation grammar)",
+        "fedomd_lint: {} violation{} (see DESIGN.md §13 and §17 for the \
+         rules and the attestation grammar)",
         violations.len(),
         if violations.len() == 1 { "" } else { "s" }
     );

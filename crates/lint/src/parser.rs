@@ -1,0 +1,630 @@
+//! A lightweight item-level parser over the token stream.
+//!
+//! The token-level rules of PR 5 see one token at a time; the concurrency
+//! and protocol rules (DESIGN.md §17) need *structure*: which `fn` a token
+//! sits in, how long a lock guard lives, which functions call which. This
+//! module recovers exactly that much — `fn`/`impl`/`mod` items with
+//! brace-matched bodies, `let`-binding ranges, guard scopes for
+//! `.lock()`/`.read()`/`.write()` acquisitions, and a within-file call
+//! edge list — without attempting a real Rust grammar. Everything is
+//! expressed in *code-token indices*: positions into the comment-stripped
+//! view of the token stream, so the structural passes never trip over
+//! comment placement.
+//!
+//! Known, accepted approximations (documented in DESIGN.md §17): const
+//! generic default blocks in signatures are not angle-bracket aware, and
+//! `match` guards containing closures could confuse arm splitting. The
+//! workspace contains neither; fixtures pin the supported shapes.
+
+use crate::tokenizer::{Token, TokenKind};
+
+/// Kinds of items the parser recognises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    Fn,
+    Impl,
+    Mod,
+}
+
+/// One `fn` / `impl` / `mod` item, possibly nested in another.
+#[derive(Clone, Debug)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Item name (`fn` name, `mod` name, the joined type idents of an
+    /// `impl` header). Empty for unnamed forms.
+    pub name: String,
+    /// 1-based line of the introducing keyword.
+    pub line: usize,
+    /// Code-token index range of the `{ … }` body, inclusive of both
+    /// braces. `None` for bodiless items (`mod x;`, trait method decls).
+    pub body: Option<(usize, usize)>,
+}
+
+/// One `let` statement: its optional simple binding name and the
+/// code-token index range `[let .. ;]` it spans.
+#[derive(Clone, Debug)]
+pub struct LetBinding {
+    /// `Some(name)` only for plain `let [mut] name = …;` bindings —
+    /// destructuring patterns yield `None`.
+    pub name: Option<String>,
+    /// Code-token index of the `let` keyword.
+    pub start: usize,
+    /// Code-token index of the terminating `;` (or the last token when
+    /// the statement is truncated).
+    pub end: usize,
+}
+
+/// A live lock-guard region derived from a `.lock()` / `.read()` /
+/// `.write()` acquisition.
+#[derive(Clone, Debug)]
+pub struct GuardScope {
+    /// The receiver chain naming the lock (`self.inner`, `registry`).
+    pub name: String,
+    /// `lock`, `read`, or `write`.
+    pub method: String,
+    /// 1-based line of the acquisition.
+    pub line: usize,
+    /// Code-token index of the method ident.
+    pub acquire: usize,
+    /// Code-token index at which the guard is no longer live (exclusive):
+    /// the end of the statement for temporaries, the end of the enclosing
+    /// block (or an early `drop(name)`) for `let`-bound guards.
+    pub end: usize,
+    /// Whether the guard was bound by a `let` (block scope).
+    pub bound: bool,
+}
+
+/// One within-file call edge: `caller` (an enclosing fn's name) invokes
+/// `callee` at `line`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallEdge {
+    pub caller: String,
+    pub callee: String,
+    pub line: usize,
+}
+
+/// A parsed file: the code-token view plus the recovered structure.
+pub struct ParsedFile<'a> {
+    /// The full token stream the indices refer back to.
+    pub tokens: &'a [Token],
+    /// Indices of non-comment tokens — the view all offsets use.
+    pub code: Vec<usize>,
+    /// All items in source order, nested items included.
+    pub items: Vec<Item>,
+    /// All `let` statements in source order.
+    pub lets: Vec<LetBinding>,
+}
+
+/// Keywords that look like calls when followed by `(` but are not.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "let", "fn", "impl", "mod", "use", "pub",
+    "in", "as", "move", "ref", "mut", "else", "unsafe", "where", "break", "continue", "struct",
+    "enum", "trait", "type", "const", "static", "dyn", "box", "async", "await", "crate", "super",
+];
+
+impl<'a> ParsedFile<'a> {
+    /// Text of the code token at code index `c` (empty past the end).
+    pub fn text(&self, c: usize) -> &str {
+        self.code
+            .get(c)
+            .map(|&i| self.tokens[i].text.as_str())
+            .unwrap_or("")
+    }
+
+    /// 1-based line of the code token at code index `c`.
+    pub fn line(&self, c: usize) -> usize {
+        self.code.get(c).map(|&i| self.tokens[i].line).unwrap_or(0)
+    }
+
+    /// Whether the code token at `c` is an identifier.
+    pub fn is_ident(&self, c: usize) -> bool {
+        self.code
+            .get(c)
+            .is_some_and(|&i| self.tokens[i].kind == TokenKind::Ident)
+    }
+
+    /// Original token-stream index of code index `c` (for test-region
+    /// lookups), saturating past the end.
+    pub fn token_index(&self, c: usize) -> usize {
+        self.code.get(c).copied().unwrap_or(usize::MAX)
+    }
+
+    /// The innermost `fn` item whose body contains code index `c`.
+    pub fn enclosing_fn(&self, c: usize) -> Option<&Item> {
+        self.items
+            .iter()
+            .filter(|it| it.kind == ItemKind::Fn)
+            .filter(|it| it.body.is_some_and(|(s, e)| s < c && c < e))
+            .min_by_key(|it| it.body.map(|(s, e)| e - s).unwrap_or(usize::MAX))
+    }
+
+    /// The innermost `let` statement whose range contains code index `c`.
+    pub fn enclosing_let(&self, c: usize) -> Option<&LetBinding> {
+        self.lets
+            .iter()
+            .filter(|l| l.start < c && c <= l.end)
+            .min_by_key(|l| l.end - l.start)
+    }
+
+    /// Every within-file call edge. An ident followed by `(` counts as a
+    /// call unless it is a keyword, a macro invocation (`name!(…)`), or a
+    /// definition site (`fn name(`); method calls contribute their bare
+    /// method name. Tokens outside any `fn` body yield no edge.
+    pub fn call_edges(&self) -> Vec<CallEdge> {
+        let mut out = Vec::new();
+        for c in 0..self.code.len() {
+            if !self.is_ident(c) || self.text(c + 1) != "(" {
+                continue;
+            }
+            let name = self.text(c);
+            if CALL_KEYWORDS.contains(&name) {
+                continue;
+            }
+            let prev = if c > 0 { self.text(c - 1) } else { "" };
+            if prev == "fn" || prev == "!" {
+                continue; // definition header / inside a macro path
+            }
+            // `name!(…)` never reaches here (the `!` sits between), but
+            // `name !(` with the ident before `!` must be skipped too.
+            if self.text(c + 1) == "!" {
+                continue;
+            }
+            let Some(f) = self.enclosing_fn(c) else {
+                continue;
+            };
+            if f.name.is_empty() {
+                continue;
+            }
+            out.push(CallEdge {
+                caller: f.name.clone(),
+                callee: name.to_string(),
+                line: self.line(c),
+            });
+        }
+        out
+    }
+
+    /// The receiver chain ending just before the `.` at code index
+    /// `dot` — idents joined by `.`/`::`, e.g. `self.inner`. Empty when
+    /// the receiver is not a plain chain (a call result, a literal).
+    pub fn receiver_chain(&self, dot: usize) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let mut c = dot; // index of the `.` before the method
+        loop {
+            if c == 0 {
+                break;
+            }
+            let prev = c - 1;
+            if self.is_ident(prev) {
+                parts.push(self.text(prev).to_string());
+                // Continue through `.` or `::` separators.
+                if prev >= 1 && self.text(prev - 1) == "." {
+                    parts.push(".".into());
+                    c = prev - 1;
+                    continue;
+                }
+                if prev >= 2 && self.text(prev - 1) == ":" && self.text(prev - 2) == ":" {
+                    parts.push("::".into());
+                    c = prev - 2;
+                    continue;
+                }
+                break;
+            }
+            return String::new();
+        }
+        parts.reverse();
+        parts.concat()
+    }
+
+    /// Scans forward from code index `from` for the next `;` at the same
+    /// bracket depth, returning its index (or the last token's).
+    fn statement_end(&self, from: usize) -> usize {
+        let mut depth = 0i32;
+        for c in from..self.code.len() {
+            match self.text(c) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return c; // fell out of the enclosing block
+                    }
+                }
+                ";" if depth == 0 => return c,
+                _ => {}
+            }
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Scans forward from code index `from` for the `}` that closes the
+    /// enclosing block, returning its index (or the last token's).
+    fn block_end(&self, from: usize) -> usize {
+        let mut depth = 0i32;
+        for c in from..self.code.len() {
+            match self.text(c) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return c;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Every lock-guard region in the file. An acquisition is a
+    /// `.lock()` / `.read()` / `.write()` call with empty parens (the
+    /// `RwLock`/`Mutex` shapes; `io::Read::read(buf)` has arguments and
+    /// never matches). Temporaries (the guard is immediately chained or
+    /// passed) live to the end of their statement; `let`-bound guards
+    /// live to the end of the enclosing block or an earlier
+    /// `drop(name)`.
+    pub fn guard_scopes(&self) -> Vec<GuardScope> {
+        let mut out = Vec::new();
+        for c in 0..self.code.len() {
+            let m = self.text(c);
+            if !matches!(m, "lock" | "read" | "write") || !self.is_ident(c) {
+                continue;
+            }
+            if c == 0 || self.text(c - 1) != "." {
+                continue;
+            }
+            if self.text(c + 1) != "(" || self.text(c + 2) != ")" {
+                continue;
+            }
+            let name = self.receiver_chain(c - 1);
+            if name.is_empty() {
+                continue; // unnameable receiver: not a graph node
+            }
+            let after = c + 3; // first token past the `()`
+            let chained = matches!(self.text(after), "." | "?");
+            let binding = if chained { None } else { self.enclosing_let(c) };
+            let (bound, end) = if let Some(b) = binding {
+                let mut end = self.block_end(b.end + 1) + 1;
+                // An explicit `drop(name)` releases the guard early.
+                if let Some(bound_name) = b.name.as_deref() {
+                    for d in b.end + 1..end {
+                        if self.text(d) == "drop"
+                            && self.text(d + 1) == "("
+                            && self.text(d + 2) == bound_name
+                            && self.text(d + 3) == ")"
+                        {
+                            end = d;
+                            break;
+                        }
+                    }
+                }
+                (true, end)
+            } else {
+                (false, self.statement_end(c) + 1)
+            };
+            out.push(GuardScope {
+                name,
+                method: m.to_string(),
+                line: self.line(c),
+                acquire: c,
+                end,
+                bound,
+            });
+        }
+        out
+    }
+}
+
+/// Parses the item-level structure of one file's token stream.
+pub fn parse(tokens: &[Token]) -> ParsedFile<'_> {
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let text = |c: usize| -> &str { code.get(c).map(|&i| tokens[i].text.as_str()).unwrap_or("") };
+    let is_ident = |c: usize| -> bool {
+        code.get(c)
+            .is_some_and(|&i| tokens[i].kind == TokenKind::Ident)
+    };
+    let line = |c: usize| -> usize { code.get(c).map(|&i| tokens[i].line).unwrap_or(0) };
+
+    // Finds the body `{ … }` starting at the first brace at paren/bracket
+    // depth 0 after `from`; stops at a depth-0 `;` (bodiless item).
+    let find_body = |from: usize| -> Option<(usize, usize)> {
+        let mut depth = 0i32;
+        let mut c = from;
+        while c < code.len() {
+            match text(c) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth <= 0 => return None,
+                "{" if depth <= 0 => {
+                    // Brace-match to the body's closing `}`.
+                    let mut b = 0i32;
+                    let mut k = c;
+                    while k < code.len() {
+                        match text(k) {
+                            "(" | "[" | "{" => b += 1,
+                            ")" | "]" | "}" => {
+                                b -= 1;
+                                if b == 0 {
+                                    return Some((c, k));
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    return Some((c, code.len().saturating_sub(1)));
+                }
+                _ => {}
+            }
+            c += 1;
+        }
+        None
+    };
+
+    let mut items = Vec::new();
+    let mut lets = Vec::new();
+    for c in 0..code.len() {
+        if !is_ident(c) {
+            continue;
+        }
+        match text(c) {
+            "fn" => {
+                // `fn(u32) -> u32` type position has no name: skip.
+                if !is_ident(c + 1) {
+                    continue;
+                }
+                items.push(Item {
+                    kind: ItemKind::Fn,
+                    name: text(c + 1).to_string(),
+                    line: line(c),
+                    body: find_body(c + 2),
+                });
+            }
+            "impl" => {
+                // Name = the header's idents joined ("Channel for Tcp…").
+                let mut names = Vec::new();
+                let mut k = c + 1;
+                let mut depth = 0i32;
+                while k < code.len() {
+                    match text(k) {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" | ";" if depth <= 0 => break,
+                        _ if is_ident(k) => names.push(text(k).to_string()),
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                items.push(Item {
+                    kind: ItemKind::Impl,
+                    name: names.join(" "),
+                    line: line(c),
+                    body: find_body(c + 1),
+                });
+            }
+            "mod" => {
+                if !is_ident(c + 1) {
+                    continue;
+                }
+                items.push(Item {
+                    kind: ItemKind::Mod,
+                    name: text(c + 1).to_string(),
+                    line: line(c),
+                    body: find_body(c + 2),
+                });
+            }
+            "let" => {
+                // Simple binding name: `let [mut] name (=|:)`; anything
+                // else (destructuring, `let Some(x)`) yields None.
+                let mut n = c + 1;
+                if text(n) == "mut" {
+                    n += 1;
+                }
+                let name = if is_ident(n)
+                    && text(n) != "_"
+                    && matches!(text(n + 1), "=" | ":")
+                    && text(n + 2) != "="
+                // `let x == …` is not a binding
+                {
+                    Some(text(n).to_string())
+                } else {
+                    None
+                };
+                // Range to the terminating depth-0 `;`.
+                let mut depth = 0i32;
+                let mut end = code.len().saturating_sub(1);
+                for k in c + 1..code.len() {
+                    match text(k) {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => {
+                            depth -= 1;
+                            if depth < 0 {
+                                end = k;
+                                break;
+                            }
+                        }
+                        ";" if depth == 0 => {
+                            end = k;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                lets.push(LetBinding {
+                    name,
+                    start: c,
+                    end,
+                });
+            }
+            _ => {}
+        }
+    }
+    ParsedFile {
+        tokens,
+        code,
+        items,
+        lets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn parsed(src: &str) -> (Vec<Item>, Vec<LetBinding>) {
+        let toks = tokenize(src);
+        let p = parse(&toks);
+        (p.items, p.lets)
+    }
+
+    #[test]
+    fn parses_fn_items_with_names_and_bodies() {
+        let toks = tokenize("fn a() { b(); }\nfn c(x: u32) -> u32 { x }\n");
+        let p = parse(&toks);
+        let fns: Vec<&Item> = p.items.iter().filter(|i| i.kind == ItemKind::Fn).collect();
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "a");
+        assert_eq!(fns[1].name, "c");
+        assert!(fns.iter().all(|f| f.body.is_some()));
+        let (s, e) = fns[0].body.unwrap();
+        assert_eq!(p.text(s), "{");
+        assert_eq!(p.text(e), "}");
+    }
+
+    #[test]
+    fn bodiless_trait_fn_has_no_body() {
+        let (items, _) = parsed("trait T { fn f(&self) -> u32; fn g(&self) { } }");
+        let fns: Vec<&Item> = items.iter().filter(|i| i.kind == ItemKind::Fn).collect();
+        assert_eq!(fns.len(), 2);
+        assert!(fns[0].body.is_none(), "declaration has no body");
+        assert!(fns[1].body.is_some(), "default method has one");
+    }
+
+    #[test]
+    fn fn_type_tokens_are_not_items() {
+        let (items, _) = parsed("fn real(cb: fn(u32) -> u32) { cb(1); }");
+        let fns: Vec<&Item> = items.iter().filter(|i| i.kind == ItemKind::Fn).collect();
+        assert_eq!(fns.len(), 1, "the `fn(u32)` type is not an item");
+        assert_eq!(fns[0].name, "real");
+    }
+
+    #[test]
+    fn impl_and_mod_items_are_recorded() {
+        let src = "mod inner { impl Channel for Tcp { fn up(&self) {} } } mod decl;";
+        let (items, _) = parsed(src);
+        let kinds: Vec<ItemKind> = items.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            [ItemKind::Mod, ItemKind::Impl, ItemKind::Fn, ItemKind::Mod]
+        );
+        assert_eq!(items[1].name, "Channel for Tcp");
+        assert!(items[3].body.is_none(), "`mod decl;` is bodiless");
+    }
+
+    #[test]
+    fn enclosing_fn_finds_the_innermost() {
+        let src = "fn outer() { fn inner() { target(); } }";
+        let toks = tokenize(src);
+        let p = parse(&toks);
+        let t = (0..p.code.len()).find(|&c| p.text(c) == "target").unwrap();
+        assert_eq!(p.enclosing_fn(t).map(|f| f.name.as_str()), Some("inner"));
+    }
+
+    #[test]
+    fn call_edges_link_caller_to_callee() {
+        let src = "fn a() { helper(1); x.method(); }\nfn helper(v: u32) {}\n";
+        let toks = tokenize(src);
+        let p = parse(&toks);
+        let edges = p.call_edges();
+        assert!(edges
+            .iter()
+            .any(|e| e.caller == "a" && e.callee == "helper"));
+        assert!(edges
+            .iter()
+            .any(|e| e.caller == "a" && e.callee == "method"));
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_call_edges() {
+        let src = "fn a() { println!(\"x\"); if (b) { } match (c) { _ => {} } }";
+        let toks = tokenize(src);
+        let p = parse(&toks);
+        let edges = p.call_edges();
+        let callees: Vec<&str> = edges.iter().map(|e| e.callee.as_str()).collect();
+        assert!(!callees.contains(&"println"));
+        assert!(!callees.contains(&"if"));
+        assert!(!callees.contains(&"match"));
+    }
+
+    #[test]
+    fn let_binding_names_and_ranges() {
+        let (_, lets) = parsed("fn f() { let mut x = g(); let (a, b) = h(); let _ = i(); }");
+        assert_eq!(lets.len(), 3);
+        assert_eq!(lets[0].name.as_deref(), Some("x"));
+        assert_eq!(lets[1].name, None, "destructuring has no simple name");
+        assert_eq!(lets[2].name, None, "`_` is not a binding");
+    }
+
+    #[test]
+    fn let_bound_guard_scopes_to_block_end() {
+        let src = "fn f() { let g = m.lock(); use_it(); } fn after() { free(); }";
+        let toks = tokenize(src);
+        let p = parse(&toks);
+        let guards = p.guard_scopes();
+        assert_eq!(guards.len(), 1);
+        let g = &guards[0];
+        assert_eq!(g.name, "m");
+        assert!(g.bound);
+        // `use_it` is inside the scope, `free` is not.
+        let use_it = (0..p.code.len()).find(|&c| p.text(c) == "use_it").unwrap();
+        let free = (0..p.code.len()).find(|&c| p.text(c) == "free").unwrap();
+        assert!(g.acquire < use_it && use_it < g.end);
+        assert!(free >= g.end);
+    }
+
+    #[test]
+    fn temporary_guard_scopes_to_statement_end() {
+        let src = "fn f() { self.inner.lock().push(1); later(); }";
+        let toks = tokenize(src);
+        let p = parse(&toks);
+        let guards = p.guard_scopes();
+        assert_eq!(guards.len(), 1);
+        let g = &guards[0];
+        assert_eq!(g.name, "self.inner");
+        assert!(!g.bound, "chained guard is a temporary");
+        let later = (0..p.code.len()).find(|&c| p.text(c) == "later").unwrap();
+        assert!(later >= g.end, "statement scope ends before `later()`");
+    }
+
+    #[test]
+    fn drop_ends_a_bound_guard_early() {
+        let src = "fn f() { let g = m.lock(); a(); drop(g); b(); }";
+        let toks = tokenize(src);
+        let p = parse(&toks);
+        let g = &p.guard_scopes()[0];
+        let b = (0..p.code.len()).find(|&c| p.text(c) == "b").unwrap();
+        assert!(b >= g.end, "guard is dead after drop(g)");
+    }
+
+    #[test]
+    fn io_style_reads_with_arguments_are_not_guards() {
+        let src = "fn f() { stream.read(&mut buf); w.write(&bytes); }";
+        let toks = tokenize(src);
+        let p = parse(&toks);
+        assert!(
+            p.guard_scopes().is_empty(),
+            "only empty-paren lock()/read()/write() acquire guards"
+        );
+    }
+
+    #[test]
+    fn receiver_chains_cross_module_paths() {
+        let src = "fn f() { crate::state::REGISTRY.lock(); }";
+        let toks = tokenize(src);
+        let p = parse(&toks);
+        let g = &p.guard_scopes()[0];
+        assert_eq!(g.name, "crate::state::REGISTRY");
+    }
+}

@@ -1,0 +1,319 @@
+//! Protocol exhaustiveness rule (`msg-wildcard`).
+//!
+//! Every `match` over the wire protocol — a scrutinee ending in
+//! `.payload` / `msg_type`, or arms that pattern-match `Payload::…` —
+//! inside `core`/`net`/`transport` must name all message variants.
+//! A wildcard/catch-all arm silently drops frame types added later (the
+//! roadmap's codec payloads), so it needs
+//! `// LINT: allow(msg-wildcard) <reason>`; a match with no wildcard must
+//! name every variant or the lint lists the missing ones.
+//!
+//! The variant list below is the rule's source of truth and must track
+//! `fedomd_transport::Payload`; the transport crate's `payload_roundtrip`
+//! tests fail on any variant added without an encode/decode arm, and the
+//! same PR updates this list.
+
+use crate::parser::ParsedFile;
+use crate::rules::{FileCtx, Lines, Violation, PROTOCOL_CRATES};
+
+/// The message variants of `fedomd_transport::Payload`, in msg_type order.
+pub const VARIANTS: &[&str] = &[
+    "WeightUpdate",
+    "StatsRound1",
+    "StatsRound2",
+    "GlobalModel",
+    "GlobalStats",
+    "Control",
+    "Metrics",
+];
+
+pub fn apply(
+    ctx: &FileCtx,
+    parsed: &ParsedFile<'_>,
+    in_test: &[bool],
+    lines: &Lines,
+    out: &mut Vec<Violation>,
+) {
+    if ctx.is_test_file || !PROTOCOL_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for c in 0..parsed.code.len() {
+        if in_test.get(parsed.token_index(c)).copied().unwrap_or(false)
+            || !parsed.is_ident(c)
+            || parsed.text(c) != "match"
+        {
+            continue;
+        }
+        check_match(ctx, parsed, lines, c, out);
+    }
+}
+
+fn check_match(
+    ctx: &FileCtx,
+    parsed: &ParsedFile<'_>,
+    lines: &Lines,
+    match_idx: usize,
+    out: &mut Vec<Violation>,
+) {
+    // Scrutinee runs from `match` to the body's `{` at depth 0.
+    let mut open = match_idx + 1;
+    let mut depth = 0i32;
+    loop {
+        if open >= parsed.code.len() {
+            return;
+        }
+        match parsed.text(open) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => break,
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            _ => {}
+        }
+        open += 1;
+    }
+    let close = match block_close(parsed, open) {
+        Some(k) => k,
+        None => return,
+    };
+    let arms = split_arms(parsed, open, close);
+
+    // Protocol match? (a) the scrutinee is a simple field/path chain
+    // ending in `payload`/`msg_type` — calls like `collect(…)` are not
+    // protocol scrutinees even if a closure inside mentions Payload — or
+    // (b) some arm pattern names `Payload`.
+    let scrutinee: Vec<&str> = (match_idx + 1..open).map(|i| parsed.text(i)).collect();
+    let simple_chain = !scrutinee.is_empty()
+        && scrutinee
+            .iter()
+            .all(|t| matches!(*t, "." | ":" | "&" | "*") || is_word(t));
+    let chain_hits = simple_chain
+        && scrutinee
+            .last()
+            .is_some_and(|t| *t == "payload" || *t == "msg_type");
+    let arm_hits = arms
+        .iter()
+        .any(|(_, pat)| pat.iter().any(|i| parsed.text(*i) == "Payload"));
+    if !chain_hits && !arm_hits {
+        return;
+    }
+
+    let mut named: Vec<&str> = Vec::new();
+    let mut saw_wildcard = false;
+    for (arm_line, pat) in &arms {
+        let toks: Vec<&str> = pat.iter().map(|i| parsed.text(*i)).collect();
+        if is_wildcard(&toks) {
+            saw_wildcard = true;
+            if !lines.attested_with_reason(*arm_line, "LINT: allow(msg-wildcard)") {
+                out.push(Violation {
+                    file: ctx.rel_path.clone(),
+                    line: *arm_line,
+                    rule: "msg-wildcard",
+                    message: "wildcard arm in a protocol match silently \
+                              swallows message variants added later — name \
+                              the variants, or attest with \
+                              `// LINT: allow(msg-wildcard) <reason>`"
+                        .into(),
+                });
+            }
+            continue;
+        }
+        for t in &toks {
+            if VARIANTS.contains(t) && !named.contains(t) {
+                named.push(t);
+            }
+        }
+    }
+    if !saw_wildcard && named.len() < VARIANTS.len() {
+        let missing: Vec<&str> = VARIANTS
+            .iter()
+            .copied()
+            .filter(|v| !named.contains(v))
+            .collect();
+        out.push(Violation {
+            file: ctx.rel_path.clone(),
+            line: parsed.line(match_idx),
+            rule: "msg-wildcard",
+            message: format!(
+                "protocol match does not cover all message variants \
+                 (missing: {}) — name every variant so new frame types \
+                 fail loudly here",
+                missing.join(", ")
+            ),
+        });
+    }
+}
+
+/// Code index of the `}` closing the block opened at `open`.
+fn block_close(parsed: &ParsedFile<'_>, open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for k in open..parsed.code.len() {
+        match parsed.text(k) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits a match body into `(arm_line, pattern-token indices)` pairs.
+/// Patterns run to the first depth-0 `=>`; bodies are skipped as one
+/// balanced block or up to the next depth-0 comma.
+fn split_arms(parsed: &ParsedFile<'_>, open: usize, close: usize) -> Vec<(usize, Vec<usize>)> {
+    let mut arms = Vec::new();
+    let mut c = open + 1;
+    while c < close {
+        let arm_line = parsed.line(c);
+        let mut pat = Vec::new();
+        let mut depth = 0i32;
+        while c < close {
+            if depth == 0 && parsed.text(c) == "=" && parsed.text(c + 1) == ">" {
+                break;
+            }
+            match parsed.text(c) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+            pat.push(c);
+            c += 1;
+        }
+        if c >= close {
+            break;
+        }
+        c += 2; // past `=>`
+        if parsed.text(c) == "{" {
+            c = block_close(parsed, c).map(|k| k + 1).unwrap_or(close);
+            if c < close && parsed.text(c) == "," {
+                c += 1;
+            }
+        } else {
+            let mut d = 0i32;
+            while c < close {
+                match parsed.text(c) {
+                    "(" | "[" | "{" => d += 1,
+                    ")" | "]" | "}" => d -= 1,
+                    "," if d == 0 => {
+                        c += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                c += 1;
+            }
+        }
+        if !pat.is_empty() {
+            arms.push((arm_line, pat));
+        }
+    }
+    arms
+}
+
+fn is_word(t: &str) -> bool {
+    t.chars().all(|ch| ch.is_ascii_alphanumeric() || ch == '_') && !t.is_empty()
+}
+
+/// A catch-all pattern: `_`, `_name`, or a bare binding ident. Anything
+/// structured (`Payload::X { .. }`, literals, guards) is not, and neither
+/// is a bare variant-name ident (const-style `msg_type` arms).
+fn is_wildcard(toks: &[&str]) -> bool {
+    let toks: Vec<&str> = toks
+        .iter()
+        .copied()
+        .filter(|t| !matches!(*t, "&" | "ref" | "mut"))
+        .collect();
+    match toks.as_slice() {
+        [one] => {
+            one.starts_with('_')
+                || (is_word(one)
+                    && !one.chars().next().is_some_and(|c| c.is_ascii_digit())
+                    && !VARIANTS.contains(one))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::lint_source;
+
+    fn ctx(crate_name: &str) -> FileCtx {
+        FileCtx {
+            crate_name: crate_name.into(),
+            rel_path: format!("crates/{crate_name}/src/x.rs"),
+            is_test_file: false,
+        }
+    }
+
+    const FULL: &str = "fn f(p: Payload) -> u8 {\n    match p {\n        Payload::WeightUpdate { .. } => 1,\n        Payload::StatsRound1 { .. } => 2,\n        Payload::StatsRound2 { .. } => 3,\n        Payload::GlobalModel { .. } => 4,\n        Payload::GlobalStats { .. } => 5,\n        Payload::Control(_) => 6,\n        Payload::Metrics { .. } => 7,\n    }\n}\n";
+
+    #[test]
+    fn naming_every_variant_is_clean() {
+        assert!(lint_source(&ctx("transport"), FULL).is_empty());
+    }
+
+    #[test]
+    fn unattested_wildcard_arm_is_flagged() {
+        let src = "fn f(env: &Envelope) {\n    match env.payload {\n        Payload::WeightUpdate { .. } => use_it(),\n        other => drop_it(other),\n    }\n}\n";
+        let v = lint_source(&ctx("net"), src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "msg-wildcard");
+        assert!(v[0].message.contains("wildcard"));
+    }
+
+    #[test]
+    fn attested_wildcard_arm_passes() {
+        let src = "fn f(env: &Envelope) {\n    match env.payload {\n        Payload::WeightUpdate { .. } => use_it(),\n        // LINT: allow(msg-wildcard) clients only ever see weight updates here.\n        other => reject(other),\n    }\n}\n";
+        assert!(lint_source(&ctx("net"), src).is_empty());
+    }
+
+    #[test]
+    fn msg_type_scrutinee_missing_variants_is_flagged() {
+        let src = "fn f(msg_type: u8) {\n    match msg_type {\n        WeightUpdate => a(),\n        Control => b(),\n    }\n}\n";
+        let v = lint_source(&ctx("transport"), src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "msg-wildcard");
+        assert!(v[0].message.contains("StatsRound1"), "{}", v[0].message);
+        assert!(v[0].message.contains("Metrics"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn call_scrutinees_are_not_protocol_matches() {
+        // `match collect(…)` with a closure mentioning Payload inside the
+        // call is an Option match, not a protocol match (deploy.rs shape).
+        let src = "fn f() {\n    match collect(&mut chan, |p| matches!(p, Payload::Control(_))) {\n        Some(env) => use_it(env),\n        None => idle(),\n    }\n}\n";
+        assert!(lint_source(&ctx("core"), src).is_empty());
+    }
+
+    #[test]
+    fn non_protocol_matches_and_other_crates_are_ignored() {
+        let src = "fn f(x: Option<u8>) { match x { Some(v) => use_it(v), None => idle() } }\n";
+        assert!(lint_source(&ctx("transport"), src).is_empty());
+        let wild = "fn f(env: &Envelope) { match env.payload { other => drop_it(other) } }\n";
+        assert!(lint_source(&ctx("federated"), wild).is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(env: &Envelope) { match env.payload { other => panic!() } }\n}\n";
+        assert!(lint_source(&ctx("transport"), src).is_empty());
+    }
+
+    #[test]
+    fn wildcard_classifier_sees_through_ref_and_mut() {
+        assert!(is_wildcard(&["_"]));
+        assert!(is_wildcard(&["other"]));
+        assert!(is_wildcard(&["ref", "mut", "other"]));
+        assert!(!is_wildcard(&[
+            "Payload", ":", ":", "Control", "(", "_", ")"
+        ]));
+        assert!(!is_wildcard(&["0"]));
+    }
+}

@@ -1,0 +1,131 @@
+//! Machine-readable diagnostics (`fedomd_lint --format json`).
+//!
+//! Hand-rolled JSON (the crate stays zero-dependency): an array of
+//! objects with `file`, `line`, `rule`, `message`, and `attestation` —
+//! the `// LINT: …` marker that would silence the finding, so CI
+//! annotations can show the reviewer exactly what an accepted exception
+//! must say. The human one-line-per-violation format stays the default.
+
+use crate::rules::Violation;
+
+/// The attestation marker that silences a rule, when one exists.
+/// `forbid-unsafe` has none: the fix is the crate-level attribute.
+pub fn attestation_for(rule: &str) -> Option<&'static str> {
+    match rule {
+        "unsafe-safety" => Some("// SAFETY: <justification>"),
+        "map-iteration" => Some("// LINT: sorted <reason>"),
+        "wall-clock" => Some("// LINT: allow(wall-clock) <reason>"),
+        "panic-freedom" => Some("// LINT: allow(panic) <reason>"),
+        "lock-order" => Some("// LINT: lock-order <name>"),
+        "unbounded-channel" => Some("// LINT: allow(unbounded-channel) <reason>"),
+        "detached-thread" => Some("// LINT: allow(detached-thread) <reason>"),
+        "msg-wildcard" => Some("// LINT: allow(msg-wildcard) <reason>"),
+        _ => None,
+    }
+}
+
+/// Renders violations as a JSON array (stable key order, one object per
+/// line, trailing newline).
+pub fn render_json(violations: &[Violation]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!("\"file\": {}, ", escape(&v.file)));
+        out.push_str(&format!("\"line\": {}, ", v.line));
+        out.push_str(&format!("\"rule\": {}, ", escape(v.rule)));
+        out.push_str(&format!("\"message\": {}, ", escape(&v.message)));
+        match attestation_for(v.rule) {
+            Some(a) => out.push_str(&format!("\"attestation\": {}", escape(a))),
+            None => out.push_str("\"attestation\": null"),
+        }
+        out.push('}');
+    }
+    if !violations.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// JSON string escaping per RFC 8259: quotes, backslashes, and control
+/// characters.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, msg: &str) -> Violation {
+        Violation {
+            file: "crates/net/src/x.rs".into(),
+            line: 7,
+            rule,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn empty_report_is_an_empty_array() {
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+
+    #[test]
+    fn objects_carry_all_five_fields() {
+        let json = render_json(&[v("lock-order", "blocking `send` under guard")]);
+        assert!(json.contains("\"file\": \"crates/net/src/x.rs\""));
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("\"rule\": \"lock-order\""));
+        assert!(json.contains("\"message\": \"blocking `send` under guard\""));
+        assert!(json.contains("\"attestation\": \"// LINT: lock-order <name>\""));
+    }
+
+    #[test]
+    fn forbid_unsafe_has_no_attestation() {
+        let json = render_json(&[v("forbid-unsafe", "missing attribute")]);
+        assert!(json.contains("\"attestation\": null"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let json = render_json(&[v("panic-freedom", "uses `\"quoted\"`\nand\tmore")]);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\\t"));
+    }
+
+    #[test]
+    fn every_rule_id_resolves_an_attestation_or_is_structural() {
+        for rule in [
+            "unsafe-safety",
+            "map-iteration",
+            "wall-clock",
+            "panic-freedom",
+            "lock-order",
+            "unbounded-channel",
+            "detached-thread",
+            "msg-wildcard",
+        ] {
+            assert!(attestation_for(rule).is_some(), "{rule}");
+        }
+        assert!(attestation_for("forbid-unsafe").is_none());
+    }
+}

@@ -17,6 +17,18 @@
 //!   `.expect(…)`, `panic!`, `unreachable!`, `todo!`, or `unimplemented!`
 //!   in non-test library code unless attested
 //!   `// LINT: allow(panic) <reason>`.
+//! * **lock discipline** (`lock-order`, [`crate::concurrency`]) — nested
+//!   lock acquisitions form a workspace-wide order graph; cycles,
+//!   re-acquisition, and blocking under a live guard are flagged unless
+//!   attested `// LINT: lock-order <name>`.
+//! * **bounded concurrency** (`unbounded-channel` / `detached-thread`,
+//!   [`crate::concurrency`]) — channels must be bounded and spawned
+//!   threads must have a reachable `join`, or attest with
+//!   `// LINT: allow(unbounded-channel) <reason>` /
+//!   `// LINT: allow(detached-thread) <reason>`.
+//! * **protocol exhaustiveness** (`msg-wildcard`, [`crate::protocol`]) —
+//!   matches over `Payload`/`msg_type` must name every message variant;
+//!   wildcard arms need `// LINT: allow(msg-wildcard) <reason>`.
 //!
 //! Attestations bind to the flagged line: they count when they sit on the
 //! same line or on the contiguous run of comment/attribute-only lines
@@ -47,7 +59,23 @@ pub const SERIALIZATION_CRATES: &[&str] = &["transport", "jsonio", "core"];
 pub const CLOCK_ALLOWED_CRATES: &[&str] = &["telemetry", "metrics", "bench"];
 
 /// Crates whose non-test library code must be panic-free (or attested).
-pub const PANIC_FREE_CRATES: &[&str] = &["tensor", "sparse", "autograd", "transport", "core"];
+pub const PANIC_FREE_CRATES: &[&str] = &[
+    "tensor",
+    "sparse",
+    "autograd",
+    "transport",
+    "core",
+    "net",
+    "federated",
+];
+
+/// Crates with a real concurrent surface (threads, channels, locks): the
+/// lock-discipline and bounded-concurrency rules apply here.
+pub const CONCURRENCY_CRATES: &[&str] = &["net", "transport", "federated", "core"];
+
+/// Crates that touch the wire protocol: `Payload`/`msg_type` matches must
+/// be exhaustive here.
+pub const PROTOCOL_CRATES: &[&str] = &["core", "net", "transport"];
 
 /// Where a source file sits in the workspace, as the rules see it.
 #[derive(Clone, Debug)]
@@ -70,7 +98,8 @@ pub struct Violation {
     /// 1-based line.
     pub line: usize,
     /// Stable rule identifier (`unsafe-safety`, `forbid-unsafe`,
-    /// `map-iteration`, `wall-clock`, `panic-freedom`).
+    /// `map-iteration`, `wall-clock`, `panic-freedom`, `lock-order`,
+    /// `unbounded-channel`, `detached-thread`, `msg-wildcard`).
     pub rule: &'static str,
     /// Human-readable explanation with the required fix.
     pub message: String,
@@ -287,11 +316,21 @@ impl Lines {
     }
 }
 
-/// Lints one file's source, applying every rule that matches `ctx`.
-pub fn lint_source(ctx: &FileCtx, src: &str) -> Vec<Violation> {
+/// One file's analysis: its violations plus the lock edges it contributes
+/// to the workspace-wide lock-order graph.
+pub struct Analysis {
+    pub violations: Vec<Violation>,
+    pub lock_edges: Vec<crate::concurrency::LockEdge>,
+}
+
+/// Analyzes one file's source, applying every rule that matches `ctx`.
+/// Lock-order *edges* are returned, not judged: cycle detection needs the
+/// whole graph, which [`crate::lint_workspace`] assembles across files.
+pub fn analyze_source(ctx: &FileCtx, src: &str) -> Analysis {
     let tokens = tokenize(src);
     let in_test = test_regions(&tokens);
     let lines = Lines::new(&tokens);
+    let parsed = crate::parser::parse(&tokens);
     let mut out = Vec::new();
 
     rule_unsafe_safety(ctx, &tokens, &lines, &mut out);
@@ -299,9 +338,26 @@ pub fn lint_source(ctx: &FileCtx, src: &str) -> Vec<Violation> {
     rule_map_in_serialization(ctx, &tokens, &in_test, &lines, &mut out);
     rule_wall_clock(ctx, &tokens, &in_test, &lines, &mut out);
     rule_panic_freedom(ctx, &tokens, &in_test, &lines, &mut out);
+    let lock_edges = crate::concurrency::apply(ctx, &parsed, &in_test, &lines, &mut out);
+    crate::protocol::apply(ctx, &parsed, &in_test, &lines, &mut out);
 
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    out
+    Analysis {
+        violations: out,
+        lock_edges,
+    }
+}
+
+/// Lints one file's source in isolation: `analyze_source` plus cycle
+/// detection over this file's own lock edges (fixtures and single-file
+/// callers; the workspace pass judges the merged graph instead).
+pub fn lint_source(ctx: &FileCtx, src: &str) -> Vec<Violation> {
+    let mut a = analyze_source(ctx, src);
+    a.violations
+        .extend(crate::concurrency::lock_cycle_violations(&a.lock_edges));
+    a.violations
+        .sort_by(|x, y| (x.line, x.rule).cmp(&(y.line, y.rule)));
+    a.violations
 }
 
 /// Extracts every unsafe site with its bound `SAFETY:` justification.

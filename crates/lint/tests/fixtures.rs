@@ -65,7 +65,7 @@ fn fixtures_trip_exactly_their_declared_rules() {
         .collect();
     paths.sort();
     assert!(
-        paths.len() >= 7,
+        paths.len() >= 16,
         "expected at least one bad fixture per rule plus clean fixtures, found {}",
         paths.len()
     );
@@ -96,6 +96,10 @@ fn fixtures_trip_exactly_their_declared_rules() {
         "map-iteration",
         "wall-clock",
         "panic-freedom",
+        "lock-order",
+        "unbounded-channel",
+        "detached-thread",
+        "msg-wildcard",
     ]
     .into_iter()
     .map(str::to_string)

@@ -1,0 +1,6 @@
+//@ crate=federated path=crates/federated/src/fixture.rs expect=detached-thread
+// A spawned thread whose handle is discarded: nothing ever observes its
+// completion (or its panic), and shutdown can race its side effects.
+pub fn fire_and_forget() {
+    std::thread::spawn(|| background_work());
+}

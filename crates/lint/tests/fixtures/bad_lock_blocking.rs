@@ -1,0 +1,7 @@
+//@ crate=transport path=crates/transport/src/fixture.rs expect=lock-order
+// A blocking channel send while a lock guard is live: if the receiver is
+// itself waiting on this lock, both sides park forever.
+pub fn drain(state: &Lock, tx: &Sender) {
+    let guard = state.lock();
+    tx.send(guard.head());
+}

@@ -1,0 +1,14 @@
+//@ crate=net path=crates/net/src/fixture.rs expect=lock-order
+// Two functions acquire the same pair of locks in opposite orders — the
+// classic ABBA deadlock. Both edges of the cycle are reported.
+pub fn forward(reg: &Lock, stats: &Lock) {
+    let a = reg.lock();
+    let b = stats.lock();
+    use_both(&a, &b);
+}
+
+pub fn backward(reg: &Lock, stats: &Lock) {
+    let b = stats.lock();
+    let a = reg.lock();
+    use_both(&a, &b);
+}

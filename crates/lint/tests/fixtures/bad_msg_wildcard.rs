@@ -1,0 +1,16 @@
+//@ crate=core path=crates/core/src/fixture.rs expect=msg-wildcard
+// Protocol matches that can silently drop frames: a catch-all arm over
+// `Payload`, and a `msg_type` match naming only some variants.
+pub fn route(env: Envelope) {
+    match env.payload {
+        Payload::WeightUpdate { params } => fold(params),
+        other => ignore(other),
+    }
+}
+
+pub fn phase_of(msg_type: u8) -> Phase {
+    match msg_type {
+        WeightUpdate => Phase::Weights,
+        Control => Phase::Control,
+    }
+}

@@ -1,0 +1,10 @@
+//@ crate=net path=crates/net/src/fixture.rs expect=unbounded-channel
+// Unbounded queues in a concurrency crate hide backpressure: a stalled
+// consumer lets the producer buffer frames without limit.
+pub fn open_crossbeam() -> (Sender, Receiver) {
+    crossbeam::channel::unbounded()
+}
+
+pub fn open_std() -> (Sender, Receiver) {
+    std::sync::mpsc::channel()
+}

@@ -1,0 +1,12 @@
+//@ crate=net path=crates/net/src/fixture.rs expect=clean
+// Bounded queues make backpressure explicit; a deliberate unbounded queue
+// carries its reasoned attestation.
+pub fn open() -> (Sender, Receiver) {
+    crossbeam::channel::bounded(64)
+}
+
+pub fn legacy() -> (Sender, Receiver) {
+    // LINT: allow(unbounded-channel) drained synchronously every round by
+    // the lockstep driver, so occupancy is bounded by one round's frames.
+    crossbeam::channel::unbounded()
+}

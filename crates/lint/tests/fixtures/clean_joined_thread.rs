@@ -1,0 +1,22 @@
+//@ crate=federated path=crates/federated/src/fixture.rs expect=clean
+// Every spawn has a reachable join: on its own binding, at the call site
+// of the spawning function, or an attested deliberate detachment.
+pub fn run() {
+    let worker = std::thread::spawn(|| background_work());
+    finish(worker.join());
+}
+
+pub fn start() -> JoinHandle {
+    std::thread::spawn(|| background_work())
+}
+
+pub fn drive() {
+    let h = start();
+    finish(h.join());
+}
+
+pub fn daemon() {
+    // LINT: allow(detached-thread) process-lifetime heartbeat; it exits
+    // with the process and owns nothing that needs ordered teardown.
+    std::thread::spawn(|| background_work());
+}

@@ -1,0 +1,22 @@
+//@ crate=net path=crates/net/src/fixture.rs expect=clean
+// Lock discipline done right: a single documented nesting order, and
+// blocking work only after the guard is released.
+pub fn nested(reg: &Lock, stats: &Lock) {
+    let a = reg.lock();
+    // LINT: lock-order registry-before-stats, the documented global order.
+    let b = stats.lock();
+    use_both(&a, &b);
+}
+
+pub fn handoff(state: &Lock, tx: &Sender) {
+    let guard = state.lock();
+    let head = guard.head();
+    drop(guard);
+    tx.send(head);
+}
+
+pub fn temporary(state: &Lock, tx: &Sender) {
+    // A temporary guard dies at its own statement; the send is safe.
+    state.lock().bump();
+    tx.send(1);
+}

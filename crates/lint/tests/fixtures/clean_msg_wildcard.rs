@@ -1,0 +1,22 @@
+//@ crate=core path=crates/core/src/fixture.rs expect=clean
+// Exhaustive protocol handling: every variant named, and the one
+// deliberate catch-all attested because it fails loudly, not silently.
+pub fn route(env: Envelope) {
+    match env.payload {
+        Payload::WeightUpdate { params } => fold(params),
+        Payload::StatsRound1 { terms } => stats1(terms),
+        Payload::StatsRound2 { terms } => stats2(terms),
+        Payload::GlobalModel { params } => set(params),
+        Payload::GlobalStats { stats } => apply(stats),
+        Payload::Control(c) => control(c),
+        Payload::Metrics { .. } => record(env.sender),
+    }
+}
+
+pub fn decode(msg_type: u8) -> DecodeResult {
+    match msg_type {
+        // LINT: allow(msg-wildcard) unknown tags become a typed error the
+        // caller must handle; no frame is dropped on the floor.
+        other => reject(other),
+    }
+}

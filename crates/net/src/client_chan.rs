@@ -38,7 +38,13 @@ impl TcpClientChannel {
         phase_timeout: Duration,
     ) -> std::io::Result<Self> {
         let mut read_half = stream.try_clone()?;
-        let (tx, rx) = crossbeam::channel::unbounded();
+        // Bounded: if the training loop stalls, the reader parks on a full
+        // queue (TCP backpressure) instead of buffering frames without
+        // limit; 256 covers many phases of server traffic.
+        let (tx, rx) = crossbeam::channel::bounded(256);
+        // LINT: allow(detached-thread) reader with no handle to keep: it
+        // exits on EOF or error once `Drop` shuts the socket down, and
+        // joining it from `Drop` could block a dying client on the peer.
         std::thread::spawn(move || {
             // Exits (dropping `tx`, disconnecting the queue) on EOF, any
             // I/O error, or a frame that fails the codec.

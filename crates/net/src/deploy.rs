@@ -226,7 +226,10 @@ pub fn serve_on(
         shared.preload_model(env.encode());
     }
 
-    let (tx, rx) = crossbeam::channel::unbounded();
+    // Bounded so slow server-side folding applies backpressure to the
+    // per-connection readers instead of buffering unboundedly; 1024
+    // in-flight frames comfortably covers a full phase from every client.
+    let (tx, rx) = crossbeam::channel::bounded(1024);
     let stop = Arc::new(AtomicBool::new(false));
     let registry: Arc<parking_lot::Mutex<Registry>> = Arc::default();
     listener.set_nonblocking(true)?;
@@ -350,6 +353,10 @@ fn admit(
     }
     let tx = tx.clone();
     let registry = Arc::clone(registry);
+    // LINT: allow(detached-thread) per-connection reader with no handle to
+    // keep: it exits on EOF/error/eviction shutdown of its own socket and
+    // announces the departure itself via `Inbound::Left`; the acceptor
+    // that spawned it must not block on departed peers.
     std::thread::spawn(move || {
         // Exits on EOF, I/O error, an invalid frame, or an eviction's
         // shutdown — all the same to the federation: this connection is
@@ -404,6 +411,9 @@ pub fn run_client(
                 Payload::GlobalModel { params } => {
                     session.model.set_params(&from_tensors(params));
                 }
+                // LINT: allow(msg-wildcard) the handshake slot admits
+                // exactly one frame type; anything else is a typed
+                // protocol error naming the offending kind, not a drop.
                 other => {
                     return Err(NetError::Protocol(format!(
                         "expected the handshake model frame, got {}",

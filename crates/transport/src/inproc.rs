@@ -1,48 +1,46 @@
 //! [`InProcChannel`]: the default, fault-free transport.
 //!
-//! Frames travel as encoded bytes through crossbeam MPMC queues — one
+//! Frames travel as encoded bytes through plain `VecDeque` buffers — one
 //! uplink queue shared by all clients, one downlink queue per client — and
-//! are decoded on arrival. Because the `f32` wire format is bit-exact and
+//! are decoded on arrival. The channel is driven single-threaded through
+//! `&mut self` (the `Channel` trait's contract), so there is nothing to
+//! synchronize: queues are just memory, sends cannot fail, and the
+//! lock-free path keeps the fault-free baseline trivially allocation- and
+//! panic-free. Because the `f32` wire format is bit-exact and
 //! [`server_collect`](crate::Channel::server_collect) returns envelopes in
 //! sender order (the order the lockstep loop uploaded them in), a training
 //! run over this channel is bit-identical to one passing values by direct
 //! function call. Nothing is ever dropped, reordered, or delayed.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
 
 use crate::channel::{decode_round, Channel, ChannelState, NetStats};
 use crate::frame::Envelope;
 
-/// Both ends of one client's downlink queue.
-type DownQueue = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
-
-/// Fault-free in-process channel over crossbeam queues.
+/// Fault-free in-process channel over plain byte queues.
 pub struct InProcChannel {
-    up_tx: Sender<Vec<u8>>,
-    up_rx: Receiver<Vec<u8>>,
+    up: VecDeque<Vec<u8>>,
     /// Downlink queue per client, grown on first use.
-    down: Vec<DownQueue>,
+    down: Vec<VecDeque<Vec<u8>>>,
     stats: NetStats,
 }
 
 impl InProcChannel {
     /// Creates a channel; client queues are allocated lazily.
     pub fn new() -> Self {
-        let (up_tx, up_rx) = unbounded();
         Self {
-            up_tx,
-            up_rx,
+            up: VecDeque::new(),
             down: Vec::new(),
             stats: NetStats::default(),
         }
     }
 
-    fn down_queue(&mut self, client: u32) -> &DownQueue {
+    fn down_queue(&mut self, client: u32) -> &mut VecDeque<Vec<u8>> {
         let idx = client as usize;
         while self.down.len() <= idx {
-            self.down.push(unbounded());
+            self.down.push(VecDeque::new());
         }
-        &self.down[idx]
+        &mut self.down[idx]
     }
 
     fn record_send(&mut self, bytes: usize) {
@@ -63,44 +61,29 @@ impl Channel for InProcChannel {
     fn upload(&mut self, env: Envelope) -> usize {
         let frame = env.encode();
         let n = frame.len();
-        // LINT: allow(panic) send on a channel whose receiver this struct
-        // owns can only fail if the struct is torn — unreachable by
-        // construction.
-        self.up_tx
-            .send(frame)
-            .expect("uplink receiver held by self");
+        self.up.push_back(frame);
         self.record_send(n);
         n
     }
 
     fn server_collect(&mut self, round: u64) -> Vec<Envelope> {
-        let mut frames = Vec::new();
-        while let Ok(f) = self.up_rx.try_recv() {
-            frames.push(f);
-        }
+        let frames: Vec<Vec<u8>> = self.up.drain(..).collect();
         decode_round(&frames, round)
     }
 
     fn download(&mut self, to: u32, env: Envelope) -> usize {
         let frame = env.encode();
         let n = frame.len();
-        // LINT: allow(panic) as above: the matching receiver lives in
-        // `self.down`, so the channel cannot be disconnected.
-        self.down_queue(to)
-            .0
-            .send(frame)
-            .expect("downlink receiver held by self");
+        self.down_queue(to).push_back(frame);
         self.record_send(n);
         n
     }
 
     fn client_collect(&mut self, id: u32, round: u64) -> Vec<Envelope> {
-        let mut frames = Vec::new();
-        if let Some((_, rx)) = self.down.get(id as usize) {
-            while let Ok(f) = rx.try_recv() {
-                frames.push(f);
-            }
-        }
+        let frames: Vec<Vec<u8>> = match self.down.get_mut(id as usize) {
+            Some(q) => q.drain(..).collect(),
+            None => Vec::new(),
+        };
         decode_round(&frames, round)
     }
 

@@ -20,11 +20,21 @@ cargo test -q --release --test end_to_end -- --ignored
 # never runs them (perf runs go through scripts/bench.sh).
 cargo bench --workspace --no-run
 
-# Workspace invariant checker (DESIGN.md §13): unsafe hygiene, serialization
-# determinism, wall-clock confinement, panic-freedom — plus a drift check
-# that UNSAFE_INVENTORY.md still matches the unsafe sites in the tree.
-cargo run -q --release -p fedomd-lint
+# Workspace invariant checker (DESIGN.md §13, §17): unsafe hygiene,
+# serialization determinism, wall-clock confinement, panic-freedom, lock
+# discipline, bounded-concurrency hygiene, and protocol exhaustiveness —
+# plus a drift check that UNSAFE_INVENTORY.md still matches the unsafe
+# sites in the tree.
+cargo run -q --release -p fedomd-lint -- --check
 cargo run -q --release -p fedomd-lint -- --inventory --check
+
+# Exhaustive interleaving sweep (DESIGN.md §17): every arrival permutation
+# and straggler subset for cohorts n ≤ 5 folds bit-identically to the
+# sequential batch path, on both `fold_in_order` and the server collector.
+# (Already part of `cargo test --workspace` above; run explicitly so a
+# sweep failure is attributable at a glance. n = 6 stays `--ignored`.)
+cargo test -q --release -p fedomd-federated --test interleaving
+cargo test -q --release -p fedomd-core --test interleaving
 
 # Multi-process deployment smoke (DESIGN.md §14): 1 fedomd-server and
 # 3 fedomd-client OS processes complete a short run over 127.0.0.1 —
